@@ -1,0 +1,227 @@
+//! The **Theorem 4.1 adversary**: an adaptive clairvoyant construction
+//! forcing every deterministic online scheduler towards ratio
+//! `φ = (√5+1)/2`.
+//!
+//! Rounds are released at times `T_i = (i−1)(φ+1)`. Round `i` contains a
+//! *short* job (laxity 0, length 1) and a *long* job (length `φ`, laxity
+//! `(n−i+1)(φ+1)`). The adversary watches whether the scheduler starts the
+//! long job inside the short job's active interval `[T_i, T_i+1)`:
+//!
+//! * **No** → stop releasing. The scheduler pays `φ+1` for this round on
+//!   top of `φ` per earlier round, while OPT stacks all long jobs at `T_i`
+//!   (they are all still startable) for a span of `φ + (i−1)`; the ratio is
+//!   exactly `φ` in every branch.
+//! * **Yes** → the long job's interval is pinned disjoint from every other
+//!   round's long interval; continue to round `i+1`.
+//!
+//! After `n` rounds the game stops regardless; the online span is at least
+//! `nφ` versus OPT `φ + (n−1)` — ratio → `φ` as `n → ∞`.
+
+use fjs_core::job::{Instance, JobId};
+use fjs_core::schedule::Schedule;
+use fjs_core::sim::{Clairvoyance, Environment, JobSpec, World};
+use fjs_core::time::{Dur, Time};
+
+/// The golden ratio `φ = (√5 + 1)/2`.
+pub fn phi() -> f64 {
+    (5.0_f64.sqrt() + 1.0) / 2.0
+}
+
+/// The adaptive Theorem 4.1 adversary. Implements [`Environment`]
+/// (clairvoyant: all lengths are fixed at release).
+#[derive(Clone, Debug)]
+pub struct CvAdversary {
+    /// Maximum number of rounds `n`.
+    max_rounds: usize,
+    /// Rounds released so far; each entry is `(short_id, long_id, T_i)`.
+    rounds: Vec<(JobId, JobId, Time)>,
+    /// Whether the scheduler declined a long job (game over).
+    declined: bool,
+}
+
+impl CvAdversary {
+    /// Creates the adversary with at most `n ≥ 1` rounds.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "need at least one round");
+        CvAdversary { max_rounds: n, rounds: Vec::new(), declined: false }
+    }
+
+    /// Rounds released so far.
+    pub fn rounds_released(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether the scheduler survived all `n` rounds (never declined to
+    /// start a long job inside the short window).
+    pub fn ran_full_course(&self) -> bool {
+        self.rounds.len() == self.max_rounds && !self.declined
+    }
+
+    /// Whether round `i` (0-based) had its long job started inside the
+    /// short job's active interval `[T_i, T_i + 1)`.
+    fn long_started_in_window(&self, i: usize, world: &World) -> bool {
+        let (_, long_id, t_i) = self.rounds[i];
+        match world.job(long_id).start() {
+            Some(s) => s >= t_i && s < t_i + Dur::new(1.0),
+            None => false,
+        }
+    }
+
+    /// The paper's counter-schedule on the materialized instance: all long
+    /// jobs start at the last round's release time, all short jobs at their
+    /// arrivals. Always feasible by construction of the laxities.
+    pub fn prescribed_schedule(&self, instance: &Instance) -> Schedule {
+        let t_last = self.rounds.last().expect("at least one round").2;
+        let mut schedule = Schedule::with_len(instance.len());
+        for &(short, long, t_i) in &self.rounds {
+            schedule.set_start(short, t_i);
+            schedule.set_start(long, t_last);
+        }
+        schedule
+    }
+}
+
+impl Environment for CvAdversary {
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::Clairvoyant
+    }
+
+    fn next_release_time(&mut self, world: &World) -> Option<Time> {
+        if self.declined {
+            return None;
+        }
+        let i = self.rounds.len();
+        if i == 0 {
+            return Some(Time::ZERO);
+        }
+        if i >= self.max_rounds {
+            return None;
+        }
+        // The decision for round i+1 is made at its nominal release time
+        // T_{i+1}; the release may turn out empty if the scheduler declined
+        // to start round i's long job inside the short window. We can only
+        // *know* after T_i + 1, and T_{i+1} = T_i + φ + 1 > T_i + 1, so the
+        // start history at T_{i+1} is conclusive.
+        let t_next = Time::from_dur(Dur::new(i as f64 * (phi() + 1.0)));
+        if world.now() >= t_next || world.now() >= self.rounds[i - 1].2 + Dur::new(1.0) {
+            // Window already closed: decide now to avoid a pointless visit.
+            if !self.long_started_in_window(i - 1, world) {
+                self.declined = true;
+                return None;
+            }
+        }
+        Some(t_next)
+    }
+
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
+        let i = self.rounds.len();
+        if i > 0 && !self.long_started_in_window(i - 1, world) {
+            // The scheduler declined: terminate the game.
+            self.declined = true;
+            return Vec::new();
+        }
+        let first_id = world.num_jobs() as u32;
+        let short = JobId(first_id);
+        let long = JobId(first_id + 1);
+        self.rounds.push((short, long, now));
+        let remaining = (self.max_rounds - i) as f64; // n − i + 1 with 1-based i
+        vec![
+            JobSpec::fixed(now, Dur::new(1.0)), // short: laxity 0
+            JobSpec::fixed(now + Dur::new(remaining * (phi() + 1.0)), Dur::new(phi())),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+    use fjs_core::sim::run;
+
+    /// Starts everything at arrival: always starts the long job inside the
+    /// short window, so the game runs the full course.
+    struct EagerTest;
+    impl OnlineScheduler for EagerTest {
+        fn name(&self) -> String {
+            "eager-test".into()
+        }
+        fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+            ctx.start(job.id);
+        }
+        fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+    }
+
+    /// Starts jobs at their deadlines: never starts a long job inside the
+    /// short window, so the game stops after round 1.
+    struct LazyTest;
+    impl OnlineScheduler for LazyTest {
+        fn name(&self) -> String {
+            "lazy-test".into()
+        }
+        fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {}
+        fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+            ctx.start(id);
+        }
+    }
+
+    #[test]
+    fn eager_runs_full_course_and_pays_phi_per_round() {
+        let n = 10;
+        let mut adv = CvAdversary::new(n);
+        let out = run(&mut adv, EagerTest);
+        assert!(out.is_feasible());
+        assert!(adv.ran_full_course());
+        assert_eq!(out.instance.len(), 2 * n);
+        // Each round costs φ (long started with the short at T_i).
+        let expect = n as f64 * phi();
+        assert!((out.span.get() - expect).abs() < 1e-9, "span {} vs {}", out.span, expect);
+        // Prescribed: all longs at T_n → span φ + (n−1).
+        let presc = adv.prescribed_schedule(&out.instance);
+        assert!(presc.validate(&out.instance).is_ok());
+        let presc_span = presc.span(&out.instance);
+        assert!((presc_span.get() - (phi() + (n - 1) as f64)).abs() < 1e-9);
+        let ratio = out.span.ratio(presc_span);
+        // nφ / (φ + n − 1) → φ from below.
+        assert!(ratio > 1.4 && ratio < phi() + 1e-9);
+    }
+
+    #[test]
+    fn declining_scheduler_stops_the_game() {
+        let mut adv = CvAdversary::new(10);
+        let out = run(&mut adv, LazyTest);
+        assert!(out.is_feasible());
+        assert_eq!(adv.rounds_released(), 1, "stopped after the first decline");
+        assert!(!adv.ran_full_course());
+        // Lazy pays the short [0,1) plus the long at its deadline.
+        // Span = 1 + φ.
+        assert!((out.span.get() - (1.0 + phi())).abs() < 1e-9);
+        // OPT: start both at 0 → φ. Ratio = (φ+1)/φ = φ.
+        let presc = adv.prescribed_schedule(&out.instance);
+        let ratio = out.span.ratio(presc.span(&out.instance));
+        assert!((ratio - phi()).abs() < 1e-9, "golden-ratio branch, got {ratio}");
+    }
+
+    #[test]
+    fn ratio_approaches_phi_with_rounds() {
+        let mut prev = 0.0;
+        for n in [2, 5, 20, 100] {
+            let mut adv = CvAdversary::new(n);
+            let out = run(&mut adv, EagerTest);
+            let presc = adv.prescribed_schedule(&out.instance);
+            let ratio = out.span.ratio(presc.span(&out.instance));
+            assert!(ratio >= prev - 1e-12, "ratio should be nondecreasing in n");
+            prev = ratio;
+        }
+        assert!((prev - phi()).abs() < 0.02, "n=100 should be within 2% of φ, got {prev}");
+    }
+
+    #[test]
+    fn phi_value() {
+        assert!((phi() - 1.618_033_988_749_895).abs() < 1e-15);
+        // φ² = φ + 1, the identity the construction leans on.
+        assert!((phi() * phi() - (phi() + 1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # fjs-adversary
+//!
+//! The lower-bound machinery of Ren & Tang (SPAA 2017) as executable code:
+//!
+//! * [`non_clairvoyant`] — the adaptive Theorem 3.3 adversary (ratio → `μ`
+//!   against every deterministic non-clairvoyant scheduler), with the
+//!   scaled parameterization documented in DESIGN.md §7;
+//! * [`clairvoyant`] — the adaptive Theorem 4.1 adversary (ratio → `φ`
+//!   against every deterministic clairvoyant scheduler);
+//! * [`tightness`] — the static Figure 2 / Figure 3 instances showing
+//!   Batch's `2μ` lower bound and Batch+'s `μ+1` tightness.
+//!
+//! Adversaries implement [`fjs_core::sim::Environment`], so any
+//! [`fjs_core::sim::OnlineScheduler`] can be thrown at them via
+//! [`fjs_core::sim::run`]. Each construction also produces the paper's
+//! *prescribed* counter-schedule, whose (validated-feasible) span upper
+//! bounds the optimum — making the measured ratio a certified lower bound
+//! on the scheduler's competitive ratio.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clairvoyant;
+pub mod non_clairvoyant;
+pub mod tightness;
+
+pub use clairvoyant::{phi, CvAdversary};
+pub use non_clairvoyant::{NcAdversary, NcAdversaryParams};
+pub use tightness::{fig2_batch_tightness, fig3_batch_plus_tightness, TightnessInstance};

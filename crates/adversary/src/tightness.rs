@@ -1,0 +1,169 @@
+//! Tightness instances from the paper (static constructions).
+//!
+//! * [`fig2_batch_tightness`] — Figure 2: forces the Batch scheduler to a
+//!   ratio arbitrarily close to `2μ` (Theorem 3.4, lower-bound side).
+//! * [`fig3_batch_plus_tightness`] — Figure 3: forces Batch+ to a ratio
+//!   arbitrarily close to `μ+1` (Theorem 3.5, tightness side).
+//!
+//! Each constructor returns the instance together with the paper's
+//! prescribed near-optimal schedule (validated feasible), whose span upper
+//! bounds `span_min` — exactly how the paper derives the ratios.
+
+use fjs_core::job::{Instance, Job};
+use fjs_core::schedule::Schedule;
+use fjs_core::time::{Dur, Time};
+
+/// A static instance paired with the paper's prescribed near-optimal
+/// schedule.
+#[derive(Clone, Debug)]
+pub struct TightnessInstance {
+    /// The adversarial instance.
+    pub instance: Instance,
+    /// The paper's explicit good schedule (feasible; its span ≥ `span_min`).
+    pub prescribed: Schedule,
+    /// Cached span of the prescribed schedule.
+    pub prescribed_span: Dur,
+}
+
+impl TightnessInstance {
+    fn new(instance: Instance, prescribed: Schedule) -> Self {
+        prescribed
+            .validate(&instance)
+            .expect("prescribed schedule must be feasible by construction");
+        let prescribed_span = prescribed.span(&instance);
+        TightnessInstance { instance, prescribed, prescribed_span }
+    }
+}
+
+/// The Figure 2 instance (`Batch` lower bound `2μ`).
+///
+/// * group 1: `m` short jobs, laxity 0, length 1, the `i`-th arriving at
+///   `2(i−1)μ`;
+/// * group 2: `m` short jobs, laxity `μ−ε`, length 1, the `i`-th arriving
+///   at `2(i−1)μ + ε`;
+/// * group 3: `2m` long jobs of length `μ`, all with starting deadline
+///   `2mμ`, the `i`-th arriving at `(i−1)μ`.
+///
+/// Batch pairs each short job with one long job per iteration, inducing
+/// span `2mμ`; the prescribed schedule (shorts at arrival, longs stacked at
+/// their common deadline) has span `m(1+ε) + μ`.
+///
+/// # Panics
+/// Panics unless `m ≥ 1`, `μ > 1` and `0 < ε < min(1, μ)`.
+pub fn fig2_batch_tightness(m: usize, mu: f64, eps: f64) -> TightnessInstance {
+    assert!(m >= 1, "need at least one round");
+    assert!(mu > 1.0, "μ must exceed 1, got {mu}");
+    assert!(eps > 0.0 && eps < 1.0 && eps < mu, "need 0 < ε < min(1, μ), got {eps}");
+
+    let mut jobs = Vec::with_capacity(4 * m);
+    // Group 1: rigid shorts.
+    for i in 0..m {
+        let a = 2.0 * i as f64 * mu;
+        jobs.push(Job::adp(a, a, 1.0));
+    }
+    // Group 2: shorts with laxity μ−ε.
+    for i in 0..m {
+        let a = 2.0 * i as f64 * mu + eps;
+        jobs.push(Job::adp(a, a + (mu - eps), 1.0));
+    }
+    // Group 3: longs sharing deadline 2mμ.
+    let common_deadline = 2.0 * m as f64 * mu;
+    for i in 0..(2 * m) {
+        let a = i as f64 * mu;
+        jobs.push(Job::adp(a, common_deadline, mu));
+    }
+    let instance = Instance::new(jobs);
+
+    // Prescribed: shorts at arrival, longs at the common deadline.
+    let mut prescribed = Schedule::with_len(instance.len());
+    for (id, job) in instance.iter() {
+        if job.length() == Dur::new(mu) {
+            prescribed.set_start(id, Time::new(common_deadline));
+        } else {
+            prescribed.set_start(id, job.arrival());
+        }
+    }
+    TightnessInstance::new(instance, prescribed)
+}
+
+/// The Figure 3 instance (`Batch+` tightness `μ+1`).
+///
+/// * `m` short jobs, laxity 0, length 1, the `i`-th arriving at
+///   `(i−1)(μ+1)`;
+/// * `m` long jobs of length `μ`, all with starting deadline `m(μ+1)`, the
+///   `i`-th arriving at `(i−1)(μ+1) + (1−ε)`.
+///
+/// Batch+ starts each long job immediately (it arrives during the short
+/// flag's active interval), inducing span `m(μ+1−ε)`; the prescribed
+/// schedule has span `m + μ`.
+///
+/// # Panics
+/// Panics unless `m ≥ 1`, `μ > 1` and `0 < ε < 1`.
+pub fn fig3_batch_plus_tightness(m: usize, mu: f64, eps: f64) -> TightnessInstance {
+    assert!(m >= 1, "need at least one round");
+    assert!(mu > 1.0, "μ must exceed 1, got {mu}");
+    assert!(eps > 0.0 && eps < 1.0, "need 0 < ε < 1, got {eps}");
+
+    let mut jobs = Vec::with_capacity(2 * m);
+    for i in 0..m {
+        let a = i as f64 * (mu + 1.0);
+        jobs.push(Job::adp(a, a, 1.0));
+    }
+    let common_deadline = m as f64 * (mu + 1.0);
+    for i in 0..m {
+        let a = i as f64 * (mu + 1.0) + (1.0 - eps);
+        jobs.push(Job::adp(a, common_deadline, mu));
+    }
+    let instance = Instance::new(jobs);
+
+    let mut prescribed = Schedule::with_len(instance.len());
+    for (id, job) in instance.iter() {
+        if job.length() == Dur::new(mu) {
+            prescribed.set_start(id, Time::new(common_deadline));
+        } else {
+            prescribed.set_start(id, job.arrival());
+        }
+    }
+    TightnessInstance::new(instance, prescribed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::time::dur;
+
+    #[test]
+    fn fig2_shapes() {
+        let t = fig2_batch_tightness(3, 4.0, 1e-3);
+        assert_eq!(t.instance.len(), 4 * 3);
+        assert_eq!(t.instance.mu(), Some(4.0));
+        // Prescribed span = m(1+ε) + μ.
+        let expect = 3.0 * (1.0 + 1e-3) + 4.0;
+        assert!((t.prescribed_span.get() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_shapes() {
+        let t = fig3_batch_plus_tightness(5, 3.0, 1e-3);
+        assert_eq!(t.instance.len(), 2 * 5);
+        assert_eq!(t.instance.mu(), Some(3.0));
+        // Prescribed span = m + μ.
+        assert_eq!(t.prescribed_span, dur(5.0 + 3.0));
+    }
+
+    #[test]
+    fn fig2_prescribed_is_feasible_for_all_sizes() {
+        for m in [1, 2, 8] {
+            for mu in [1.5, 2.0, 8.0] {
+                let t = fig2_batch_tightness(m, mu, 1e-4);
+                assert!(t.prescribed.validate(&t.instance).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "μ must exceed 1")]
+    fn fig3_rejects_mu_of_one() {
+        let _ = fig3_batch_plus_tightness(2, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Per-instance scheduler evaluation with OPT bracketing.
+//!
+//! For every `(scheduler, instance)` cell the harness reports the span
+//! together with a lower and an upper bound on the optimal span, so each
+//! competitive-ratio estimate comes as a bracket:
+//!
+//! `span / ub  ≤  true ratio on this instance  ≤  span / lb`.
+
+use fjs_core::job::Instance;
+use fjs_core::time::Dur;
+use fjs_schedulers::SchedulerKind;
+
+/// Evaluation of one scheduler on one instance.
+#[derive(Clone, Copy, Debug)]
+pub struct Evaluation {
+    /// The scheduler's span.
+    pub span: Dur,
+    /// Certified lower bound on OPT (`fjs-opt` bounds).
+    pub opt_lb: Dur,
+    /// Feasible upper bound on OPT (coordinate descent).
+    pub opt_ub: Dur,
+    /// Whether the run was feasible (no forced starts).
+    pub feasible: bool,
+}
+
+impl Evaluation {
+    /// Pessimistic ratio estimate `span / opt_lb` (overestimates).
+    pub fn ratio_vs_lb(&self) -> f64 {
+        self.span.ratio(self.opt_lb)
+    }
+
+    /// Optimistic ratio estimate `span / opt_ub` (underestimates; still a
+    /// valid lower bound on the instance ratio because `opt_ub ≥ OPT`).
+    pub fn ratio_vs_ub(&self) -> f64 {
+        self.span.ratio(self.opt_ub)
+    }
+}
+
+/// Runs one scheduler on one instance and brackets OPT.
+///
+/// `descent_passes` controls the upper-bound effort (0 disables descent and
+/// uses the better of the arrival/deadline schedules).
+pub fn evaluate(kind: SchedulerKind, inst: &Instance, descent_passes: usize) -> Evaluation {
+    let out = kind.run_on(inst);
+    let opt_lb = fjs_opt::best_lower_bound(inst);
+    let opt_ub = fjs_opt::upper_bound_span(inst, descent_passes).span;
+    Evaluation { span: out.span, opt_lb, opt_ub, feasible: out.is_feasible() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::Job;
+
+    #[test]
+    fn bracket_is_consistent() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 4.0, 2.0),
+            Job::adp(1.0, 6.0, 1.0),
+            Job::adp(5.0, 5.0, 2.0),
+        ]);
+        for kind in SchedulerKind::full_set() {
+            let ev = evaluate(kind, &inst, 20);
+            assert!(ev.feasible, "{}", kind.label());
+            assert!(ev.opt_lb <= ev.opt_ub, "{}", kind.label());
+            assert!(ev.span >= ev.opt_lb, "{}: online below OPT lower bound?!", kind.label());
+            assert!(ev.ratio_vs_ub() <= ev.ratio_vs_lb() + 1e-12);
+            assert!(ev.ratio_vs_ub() >= 1.0 - 1e-9, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn exact_bracket_on_tiny_integer_instance() {
+        let inst = Instance::new(vec![Job::adp(0.0, 4.0, 2.0), Job::adp(4.0, 8.0, 3.0)]);
+        let ev = evaluate(SchedulerKind::BatchPlus, &inst, 50);
+        let exact = fjs_opt::optimal_span_dp(&inst).unwrap();
+        assert!(ev.opt_lb <= exact && exact <= ev.opt_ub);
+    }
+}

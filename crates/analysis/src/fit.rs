@@ -1,0 +1,102 @@
+//! Convergence diagnostics: least-squares fits quantifying how fast a
+//! measured ratio sequence approaches its theoretical limit.
+//!
+//! The paper's tightness families satisfy `ratio(m) = L − c/m + o(1/m)`
+//! (e.g. Figure 3: `m(μ+1−ε)/(m+μ) = (μ+1−ε) − μ(μ+1−ε)/(m+μ)`), so
+//! regressing the measured ratios on `1/m` recovers the limit `L` as the
+//! intercept — a sharper check than eyeballing the largest `m`.
+
+/// An affine least-squares fit `y ≈ a + b·x`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct AffineFit {
+    /// Intercept.
+    pub a: f64,
+    /// Slope.
+    pub b: f64,
+    /// Coefficient of determination in `[0, 1]` (1 for ≥2 points on a line;
+    /// defined as 1 when the response is constant).
+    pub r2: f64,
+}
+
+/// Ordinary least squares for `y ≈ a + b·x`.
+///
+/// # Panics
+/// Panics unless `xs` and `ys` have equal length ≥ 2 and `xs` are not all
+/// identical.
+pub fn fit_affine(xs: &[f64], ys: &[f64]) -> AffineFit {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "need at least two points");
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+    assert!(sxx > 0.0, "x values must not be all identical");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 =
+        xs.iter().zip(ys).map(|(x, y)| (y - (a + b * x)) * (y - (a + b * x))).sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    AffineFit { a, b, r2 }
+}
+
+/// Fits `ratio(m) ≈ L + c/m` and returns the estimated limit `L`, the
+/// first-order coefficient `c` and the fit quality.
+///
+/// # Panics
+/// Panics unless at least two distinct positive `ms` are given.
+pub fn convergence_limit(ms: &[f64], ratios: &[f64]) -> AffineFit {
+    assert!(ms.iter().all(|&m| m > 0.0), "scales must be positive");
+    let xs: Vec<f64> = ms.iter().map(|&m| 1.0 / m).collect();
+    fit_affine(&xs, ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 - 0.5 * x).collect();
+        let f = fit_affine(&xs, &ys);
+        assert!((f.a - 2.5).abs() < 1e-12);
+        assert!((f.b + 0.5).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_response_has_unit_r2() {
+        let f = fit_affine(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]);
+        assert_eq!(f.a, 4.0);
+        assert_eq!(f.b, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn convergence_recovers_paper_limit() {
+        // The exact Figure 3 ratio law: m(μ+1−ε)/(m+μ) with μ=4, ε→0.
+        let mu = 4.0;
+        let ms: Vec<f64> = vec![32.0, 64.0, 128.0, 256.0, 512.0, 1024.0];
+        let ratios: Vec<f64> = ms.iter().map(|m| m * (mu + 1.0) / (m + mu)).collect();
+        let f = convergence_limit(&ms, &ratios);
+        // The law is L − Lμ/(m+μ), not exactly affine in 1/m, but for
+        // large m the intercept estimate lands within 1% of μ+1 = 5.
+        assert!((f.a - (mu + 1.0)).abs() < 0.05, "estimated limit {}", f.a);
+        assert!(f.b < 0.0, "approach from below");
+        assert!(f.r2 > 0.99, "r² = {}", f.r2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        let _ = fit_affine(&[1.0], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical")]
+    fn degenerate_x_rejected() {
+        let _ = fit_affine(&[2.0, 2.0], &[1.0, 3.0]);
+    }
+}

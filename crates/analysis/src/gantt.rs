@@ -1,0 +1,194 @@
+//! ASCII Gantt rendering of schedules — makes the batching structure of
+//! the paper's algorithms visible in a terminal.
+//!
+//! ```text
+//! J0 |   ██████                      | [a=0, d=5] p=2
+//! J1 |     █████████                 | [a=1, d=9] p=3
+//!    +-------------------------------+
+//!     0                            14
+//! ```
+
+use fjs_core::job::Instance;
+use fjs_core::schedule::Schedule;
+use fjs_core::time::Time;
+use std::fmt::Write as _;
+
+/// Rendering options.
+#[derive(Clone, Copy, Debug)]
+pub struct GanttOptions {
+    /// Total character width of the time axis.
+    pub width: usize,
+    /// Show the job window `[a, d]` and length annotations.
+    pub annotate: bool,
+    /// Cap on the number of jobs rendered (the rest are summarized).
+    pub max_jobs: usize,
+}
+
+impl Default for GanttOptions {
+    fn default() -> Self {
+        GanttOptions { width: 64, annotate: true, max_jobs: 40 }
+    }
+}
+
+/// Renders a (possibly partial) schedule as an ASCII Gantt chart. Jobs are
+/// shown in id order; `░` marks the waiting part of the window (arrival to
+/// start) and `█` the active interval.
+pub fn render_gantt(inst: &Instance, schedule: &Schedule, opts: GanttOptions) -> String {
+    assert!(opts.width >= 8, "axis too narrow");
+    if inst.is_empty() {
+        return "(empty instance)\n".to_string();
+    }
+    let t0 = inst.first_arrival().expect("non-empty").get();
+    let t1 = inst
+        .iter()
+        .filter_map(|(id, job)| schedule.start(id).map(|s| (s + job.length()).get()))
+        .fold(inst.horizon().expect("non-empty").get(), f64::max);
+    let scale = if t1 > t0 { (opts.width - 1) as f64 / (t1 - t0) } else { 1.0 };
+    let col = |t: f64| -> usize { (((t - t0) * scale).round() as usize).min(opts.width - 1) };
+
+    let shown = inst.len().min(opts.max_jobs);
+    let label_w = format!("J{}", inst.len() - 1).len().max(2);
+    let mut out = String::new();
+    for (id, job) in inst.iter().take(shown) {
+        let mut lane = vec![' '; opts.width];
+        match schedule.start(id) {
+            Some(s) => {
+                // Waiting segment: arrival → start.
+                for cell in lane
+                    .iter_mut()
+                    .take(col(s.get()))
+                    .skip(col(job.arrival().get()))
+                {
+                    *cell = '░';
+                }
+                let lo = col(s.get());
+                let hi = col((s + job.length()).get()).max(lo + 1);
+                for cell in lane.iter_mut().take(hi.min(opts.width)).skip(lo) {
+                    *cell = '█';
+                }
+            }
+            None => {
+                // Unstarted: show the window only.
+                let lo = col(job.arrival().get());
+                let hi = col(job.deadline().get()).max(lo + 1);
+                for cell in lane.iter_mut().take(hi.min(opts.width)).skip(lo) {
+                    *cell = '·';
+                }
+            }
+        }
+        let lane: String = lane.into_iter().collect();
+        let _ = write!(out, "{:>label_w$} |{}|", format!("J{}", id.0), lane);
+        if opts.annotate {
+            let _ = write!(
+                out,
+                " [a={}, d={}] p={}",
+                trim(job.arrival().get()),
+                trim(job.deadline().get()),
+                trim(job.length().get())
+            );
+        }
+        out.push('\n');
+    }
+    if shown < inst.len() {
+        let _ = writeln!(out, "{:>label_w$} … ({} more jobs)", "", inst.len() - shown);
+    }
+    let _ = writeln!(out, "{:>label_w$} +{}+", "", "-".repeat(opts.width));
+    let left = trim(t0);
+    let right = trim(t1);
+    let pad = opts.width.saturating_sub(left.len() + right.len());
+    let _ = writeln!(out, "{:>label_w$}  {}{}{}", "", left, " ".repeat(pad), right);
+    out
+}
+
+/// Renders the busy/idle strip of the whole schedule on one line.
+pub fn render_busy_strip(inst: &Instance, schedule: &Schedule, width: usize) -> String {
+    assert!(width >= 8, "strip too narrow");
+    if inst.is_empty() {
+        return String::new();
+    }
+    let busy = schedule.busy_set(inst);
+    let t0 = inst.first_arrival().expect("non-empty").get();
+    let t1 = busy.hi().map_or(t0 + 1.0, |h| h.get());
+    let scale = if t1 > t0 { (t1 - t0) / width as f64 } else { 1.0 };
+    (0..width)
+        .map(|i| {
+            let mid = t0 + (i as f64 + 0.5) * scale;
+            if busy.contains(Time::new(mid)) {
+                '█'
+            } else {
+                '·'
+            }
+        })
+        .collect()
+}
+
+fn trim(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::{Job, JobId};
+    use fjs_core::time::t;
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 5.0, 2.0),
+            Job::adp(1.0, 9.0, 3.0),
+        ]);
+        let s = Schedule::from_starts(2, [(JobId(0), t(3.0)), (JobId(1), t(3.0))]);
+        (inst, s)
+    }
+
+    #[test]
+    fn renders_all_jobs_with_bars() {
+        let (inst, s) = setup();
+        let g = render_gantt(&inst, &s, GanttOptions::default());
+        assert!(g.contains("J0"));
+        assert!(g.contains("J1"));
+        assert!(g.contains('█'));
+        assert!(g.contains('░'), "waiting segment shown");
+        assert!(g.contains("p=2"));
+    }
+
+    #[test]
+    fn partial_schedules_show_windows() {
+        let (inst, _) = setup();
+        let partial = Schedule::with_len(2);
+        let g = render_gantt(&inst, &partial, GanttOptions::default());
+        assert!(g.contains('·'), "unstarted job windows rendered as dots");
+        assert!(!g.contains('█'));
+    }
+
+    #[test]
+    fn busy_strip_marks_active_region() {
+        let (inst, s) = setup();
+        let strip = render_busy_strip(&inst, &s, 30);
+        assert_eq!(strip.chars().count(), 30);
+        assert!(strip.contains('█'));
+        assert!(strip.contains('·'));
+    }
+
+    #[test]
+    fn truncates_many_jobs() {
+        let jobs: Vec<Job> = (0..50).map(|i| Job::adp(i as f64, i as f64, 1.0)).collect();
+        let inst = Instance::new(jobs);
+        let sched = Schedule::from_starts(
+            50,
+            (0..50u32).map(|i| (JobId(i), t(i as f64))),
+        );
+        let g = render_gantt(&inst, &sched, GanttOptions { max_jobs: 10, ..Default::default() });
+        assert!(g.contains("40 more jobs"));
+    }
+
+    #[test]
+    fn empty_instance() {
+        let g = render_gantt(&Instance::empty(), &Schedule::with_len(0), GanttOptions::default());
+        assert!(g.contains("empty"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # fjs-analysis
+//!
+//! The experiment harness: per-instance scheduler evaluation with OPT
+//! bracketing ([`evaluate()`]), crossbeam-parallel parameter sweeps
+//! ([`sweep`]), summary statistics ([`stats`]) and text/CSV table rendering
+//! ([`table`]). The `fjs-cli` crate composes these into the experiments
+//! E1–E11 documented in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod evaluate;
+pub mod fit;
+pub mod gantt;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use evaluate::{evaluate, Evaluation};
+pub use fit::{convergence_limit, fit_affine, AffineFit};
+pub use gantt::{render_busy_strip, render_gantt, GanttOptions};
+pub use stats::Summary;
+pub use sweep::{grid2, parallel_map};
+pub use table::{f2, f3, Table};

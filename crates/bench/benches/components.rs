@@ -1,0 +1,94 @@
+//! Microbenches for the substrates: interval-set union, span lower bounds,
+//! the exact DP, coordinate descent and First Fit packing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fjs_bench::bench_instance;
+use fjs_core::interval::{Interval, IntervalSet};
+use fjs_core::job::{Instance, Job};
+use fjs_core::time::t;
+use fjs_dbp::{deterministic_sizes, pack, Item, Packer};
+use std::time::Duration;
+
+fn bench_interval_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval-set");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000] {
+        // Deterministic pseudo-random interval soup.
+        let intervals: Vec<Interval> = (0..n)
+            .map(|i| {
+                let x = ((i as u64).wrapping_mul(2654435761) % 100_000) as f64 / 10.0;
+                Interval::new(t(x), t(x + 3.0))
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("union-measure", n), &intervals, |b, ivs| {
+            b.iter(|| {
+                let set: IntervalSet = ivs.iter().copied().collect();
+                std::hint::black_box(set.measure())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt-bounds");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize, 10_000] {
+        let inst = bench_instance(n, 3);
+        group.bench_with_input(BenchmarkId::new("lb_chain", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(fjs_opt::lb_chain(inst)))
+        });
+        group.bench_with_input(BenchmarkId::new("lb_mandatory", n), &inst, |b, inst| {
+            b.iter(|| std::hint::black_box(fjs_opt::lb_mandatory(inst)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact-optimal");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let inst = Instance::new(vec![
+        Job::adp(0.0, 3.0, 2.0),
+        Job::adp(1.0, 5.0, 1.0),
+        Job::adp(2.0, 2.0, 3.0),
+        Job::adp(3.0, 8.0, 2.0),
+        Job::adp(5.0, 9.0, 1.0),
+        Job::adp(6.0, 10.0, 2.0),
+    ]);
+    group.bench_function("dp-n6", |b| {
+        b.iter(|| std::hint::black_box(fjs_opt::optimal_span_dp(&inst).unwrap()))
+    });
+    group.bench_function("descent-n200", |b| {
+        let big = bench_instance(200, 5);
+        b.iter(|| std::hint::black_box(fjs_opt::upper_bound_span(&big, 5).span))
+    });
+    group.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dbp-packing");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[1_000usize, 5_000] {
+        let inst = bench_instance(n, 9);
+        let sizes = deterministic_sizes(n, 0.1, 0.6, 11);
+        let items: Vec<Item> = inst
+            .iter()
+            .map(|(id, j)| Item::new(j.active_interval_at(j.deadline()), sizes[id.index()]))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("first-fit", n), &items, |b, items| {
+            b.iter(|| std::hint::black_box(pack(items, Packer::FirstFit).total_usage))
+        });
+        group.bench_with_input(BenchmarkId::new("cd-first-fit", n), &items, |b, items| {
+            b.iter(|| {
+                std::hint::black_box(
+                    pack(items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }).total_usage,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_interval_set, bench_bounds, bench_exact, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! # fjs-bench
+//!
+//! Criterion benchmark harnesses. Three targets:
+//!
+//! * `benches/experiments.rs` — one group per paper experiment (E1–E11),
+//!   running the same code paths as `fjs <id>` at quick profile;
+//! * `benches/schedulers.rs` — scheduler throughput (jobs/second) on the
+//!   workload families;
+//! * `benches/components.rs` — microbenches for the interval-set algebra,
+//!   lower bounds, exact DP and First Fit packing.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![warn(missing_docs)]
+
+/// Standard quick instance used by several bench targets: the cloud-batch
+/// scenario at the given size.
+pub fn bench_instance(n: usize, seed: u64) -> fjs_core::job::Instance {
+    fjs_workloads::Scenario::CloudBatch.generate(n, seed)
+}

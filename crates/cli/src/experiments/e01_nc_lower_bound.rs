@@ -1,0 +1,161 @@
+//! **E1 — Theorem 3.3 / Figure 1.** Runs the adaptive non-clairvoyant
+//! adversary against Eager, Lazy, Batch and Batch+ and reports the
+//! certified ratio `span_online / span_prescribed` (the prescribed
+//! counter-schedule is feasible, so its span upper-bounds OPT and the ratio
+//! lower-bounds the scheduler's competitive ratio on this instance).
+//!
+//! Expected shape: the ratio grows with the number of adversary iterations
+//! `k` towards `(kμ+1)/(μ+k) → μ` for schedulers that chase concurrency
+//! (Batch, Batch+, Eager), and is enormous for Lazy (which never exceeds
+//! the concurrency threshold and eats the Lemma 3.1 `√n` span instead).
+
+use super::Profile;
+use fjs_adversary::{NcAdversary, NcAdversaryParams};
+use fjs_analysis::{f3, parallel_map, Table};
+use fjs_core::sim::run as simulate;
+use fjs_schedulers::SchedulerKind;
+
+/// One adversary duel.
+pub struct DuelResult {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// μ parameter.
+    pub mu: f64,
+    /// Earmarking iterations `k`.
+    pub k: usize,
+    /// Iterations the adversary actually released.
+    pub released: usize,
+    /// Online span.
+    pub online_span: f64,
+    /// Prescribed counter-schedule span (≥ OPT).
+    pub prescribed_span: f64,
+    /// Certified ratio lower bound.
+    pub ratio: f64,
+    /// The asymptote `(kμ+1)/(μ+k)` of the full-course branch.
+    pub full_course_ratio: f64,
+}
+
+/// Runs one scheduler against the scaled adversary.
+pub fn duel(kind: SchedulerKind, mu: f64, k: usize, n_per_iter: usize) -> DuelResult {
+    assert!(
+        !kind.requires_clairvoyance(),
+        "the Theorem 3.3 adversary assigns lengths adaptively and only \
+         admits non-clairvoyant schedulers"
+    );
+    let params = NcAdversaryParams::uniform(mu, k, n_per_iter);
+    let mut adv = NcAdversary::new(params);
+    let sched = kind.build();
+    let out = simulate(&mut adv, sched);
+    assert!(out.is_feasible(), "{} violated feasibility", kind.label());
+    let prescribed = adv
+        .prescribed_schedule(&out.instance)
+        .expect("Lemma 3.2 runtime check: earmarks startable at the final release");
+    prescribed.validate(&out.instance).expect("prescribed schedule feasible");
+    let prescribed_span = prescribed.span(&out.instance).get();
+    DuelResult {
+        scheduler: kind.label(),
+        mu,
+        k,
+        released: adv.iterations_released(),
+        online_span: out.span.get(),
+        prescribed_span,
+        ratio: out.span.get() / prescribed_span,
+        full_course_ratio: (k as f64 * mu + 1.0) / (mu + k as f64),
+    }
+}
+
+/// Experiment runner.
+pub fn run_experiment(profile: Profile) -> Vec<Table> {
+    let mus: &[f64] = profile.pick(&[4.0][..], &[2.0, 4.0, 8.0][..]);
+    let ks: &[usize] = profile.pick(&[1, 4][..], &[1, 2, 4, 8, 16, 32][..]);
+    let n = profile.pick(64, 256);
+    let kinds = [
+        SchedulerKind::Batch,
+        SchedulerKind::BatchPlus,
+        SchedulerKind::Eager,
+        SchedulerKind::Lazy,
+    ];
+
+    let cells: Vec<(SchedulerKind, f64, usize)> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            mus.iter().flat_map(move |&mu| ks.iter().map(move |&k| (kind, mu, k)))
+        })
+        .collect();
+    let results = parallel_map(&cells, |&(kind, mu, k)| duel(kind, mu, k, n));
+
+    let mut t = Table::new(
+        "E1 (Thm 3.3 / Fig 1): adaptive adversary vs non-clairvoyant schedulers",
+        &[
+            "scheduler",
+            "mu",
+            "k",
+            "iters released",
+            "online span",
+            "prescribed span",
+            "ratio (cert. LB)",
+            "(kmu+1)/(mu+k)",
+        ],
+    );
+    for r in &results {
+        t.push_row(vec![
+            r.scheduler.clone(),
+            format!("{}", r.mu),
+            format!("{}", r.k),
+            format!("{}", r.released),
+            f3(r.online_span),
+            f3(r.prescribed_span),
+            f3(r.ratio),
+            f3(r.full_course_ratio),
+        ]);
+    }
+    vec![t]
+}
+
+/// Registry entry point.
+pub fn run(profile: Profile) -> Vec<Table> {
+    run_experiment(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_ratio_tracks_full_course_asymptote() {
+        let r = duel(SchedulerKind::Batch, 4.0, 4, 64);
+        assert_eq!(r.released, 5, "Batch crosses every threshold");
+        // The certified ratio should be at least the full-course value
+        // (the online span also pays the last iteration's unit jobs).
+        assert!(r.ratio >= r.full_course_ratio * 0.9, "ratio {} vs {}", r.ratio, r.full_course_ratio);
+    }
+
+    #[test]
+    fn ratio_grows_with_k_towards_mu() {
+        let r1 = duel(SchedulerKind::BatchPlus, 4.0, 1, 64);
+        let r8 = duel(SchedulerKind::BatchPlus, 4.0, 8, 64);
+        assert!(r8.ratio > r1.ratio, "{} vs {}", r8.ratio, r1.ratio);
+        assert!(r8.ratio < 4.0 + 1.0 + 1e-9, "cannot exceed Batch+'s bound μ+1");
+    }
+
+    #[test]
+    fn lazy_is_punished_by_lemma_3_1() {
+        let r = duel(SchedulerKind::Lazy, 4.0, 2, 64);
+        assert_eq!(r.released, 1, "Lazy never crosses the threshold");
+        // Span = n (sequential unit jobs) vs prescribed 1.
+        assert!(r.ratio >= (64.0f64).sqrt(), "ratio {}", r.ratio);
+    }
+
+    #[test]
+    fn quick_profile_renders() {
+        let tables = run(Profile::Quick);
+        assert_eq!(tables.len(), 1);
+        assert!(tables[0].rows.len() >= 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-clairvoyant")]
+    fn clairvoyant_schedulers_rejected() {
+        let _ = duel(SchedulerKind::profit_optimal(), 2.0, 1, 16);
+    }
+}

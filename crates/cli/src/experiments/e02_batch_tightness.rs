@@ -1,0 +1,121 @@
+//! **E2 — Theorem 3.4 / Figure 2.** Runs Batch on the Figure 2 instance
+//! and reports the ratio against the paper's prescribed schedule. Expected
+//! shape: measured Batch span is exactly `2mμ`; the ratio
+//! `2mμ / (m(1+ε)+μ)` approaches `2μ` from below as `m` grows, and never
+//! exceeds the `2μ+1` upper bound of Theorem 3.4.
+
+use super::Profile;
+use fjs_adversary::fig2_batch_tightness;
+use fjs_analysis::{convergence_limit, f3, parallel_map, Table};
+use fjs_core::sim::{run_static, Clairvoyance};
+use fjs_schedulers::Batch;
+
+/// One Figure 2 measurement.
+pub struct Fig2Result {
+    /// Round count `m`.
+    pub m: usize,
+    /// μ.
+    pub mu: f64,
+    /// Batch's span (theory: `2mμ`).
+    pub batch_span: f64,
+    /// Prescribed schedule span (theory: `m(1+ε)+μ`).
+    pub prescribed_span: f64,
+    /// Measured ratio.
+    pub ratio: f64,
+}
+
+/// Runs Batch on one Figure 2 instance.
+pub fn measure(m: usize, mu: f64, eps: f64) -> Fig2Result {
+    let tight = fig2_batch_tightness(m, mu, eps);
+    let out = run_static(&tight.instance, Clairvoyance::NonClairvoyant, Batch::new());
+    assert!(out.is_feasible());
+    Fig2Result {
+        m,
+        mu,
+        batch_span: out.span.get(),
+        prescribed_span: tight.prescribed_span.get(),
+        ratio: out.span.get() / tight.prescribed_span.get(),
+    }
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let eps = 1e-3;
+    let ms: &[usize] = profile.pick(&[1, 8, 64][..], &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..]);
+    let mus: &[f64] = profile.pick(&[4.0][..], &[2.0, 4.0, 8.0][..]);
+
+    let cells: Vec<(usize, f64)> =
+        mus.iter().flat_map(|&mu| ms.iter().map(move |&m| (m, mu))).collect();
+    let results = parallel_map(&cells, |&(m, mu)| measure(m, mu, eps));
+
+    let mut t = Table::new(
+        "E2 (Thm 3.4 / Fig 2): Batch on the 2μ tightness instance",
+        &["mu", "m", "Batch span", "prescribed span", "ratio", "2mu target", "2mu+1 bound"],
+    );
+    for r in &results {
+        t.push_row(vec![
+            format!("{}", r.mu),
+            format!("{}", r.m),
+            f3(r.batch_span),
+            f3(r.prescribed_span),
+            f3(r.ratio),
+            f3(2.0 * r.mu),
+            f3(2.0 * r.mu + 1.0),
+        ]);
+    }
+
+    // Extrapolate the m → ∞ limit per μ by regressing ratio on 1/m.
+    let mut conv = Table::new(
+        "E2 convergence: extrapolated m→∞ ratio vs the 2μ target",
+        &["mu", "estimated limit", "2mu target", "fit r²"],
+    );
+    for &mu in mus {
+        let (ms_f, ratios): (Vec<f64>, Vec<f64>) = results
+            .iter()
+            .filter(|r| r.mu == mu && r.m >= 4)
+            .map(|r| (r.m as f64, r.ratio))
+            .unzip();
+        if ms_f.len() >= 2 {
+            let fit = convergence_limit(&ms_f, &ratios);
+            conv.push_row(vec![format!("{mu}"), f3(fit.a), f3(2.0 * mu), f3(fit.r2)]);
+        }
+    }
+    vec![t, conv]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_span_matches_theory_exactly() {
+        for (m, mu) in [(1usize, 2.0f64), (4, 4.0), (16, 8.0)] {
+            let r = measure(m, mu, 1e-3);
+            assert!(
+                (r.batch_span - 2.0 * m as f64 * mu).abs() < 1e-6,
+                "m={m} mu={mu}: span {} != {}",
+                r.batch_span,
+                2.0 * m as f64 * mu
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_approaches_two_mu_from_below() {
+        let mu = 4.0;
+        let mut prev = 0.0;
+        for m in [1, 4, 16, 64, 256] {
+            let r = measure(m, mu, 1e-3);
+            assert!(r.ratio > prev, "monotone in m");
+            assert!(r.ratio < 2.0 * mu, "never exceeds 2μ on this instance");
+            prev = r.ratio;
+        }
+        assert!(prev > 2.0 * mu * 0.95, "m=256 within 5% of 2μ, got {prev}");
+    }
+
+    #[test]
+    fn ratio_within_theorem_bounds() {
+        let r = measure(128, 8.0, 1e-3);
+        assert!(r.ratio <= 2.0 * r.mu + 1.0 + 1e-9);
+    }
+}

@@ -1,0 +1,127 @@
+//! **E3 — Theorem 3.5 / Figure 3.** Runs Batch+ on the Figure 3 instance.
+//! Expected shape: measured Batch+ span is exactly `m(μ+1−ε)`; the ratio
+//! `m(μ+1−ε)/(m+μ)` approaches `μ+1` from below as `m` grows — the
+//! theorem's tightness — while never exceeding the proved `μ+1` bound.
+//! Batch (without the "+") is also run on the same instance to show the
+//! instance does *not* fool it, motivating E11's ablation.
+
+use super::Profile;
+use fjs_adversary::fig3_batch_plus_tightness;
+use fjs_analysis::{convergence_limit, f3, parallel_map, Table};
+use fjs_core::sim::{run_static, Clairvoyance};
+use fjs_schedulers::{Batch, BatchPlus};
+
+/// One Figure 3 measurement.
+pub struct Fig3Result {
+    /// Round count `m`.
+    pub m: usize,
+    /// μ.
+    pub mu: f64,
+    /// Batch+'s span (theory: `m(μ+1−ε)`).
+    pub batch_plus_span: f64,
+    /// Plain Batch's span on the same instance.
+    pub batch_span: f64,
+    /// Prescribed schedule span (theory: `m+μ`).
+    pub prescribed_span: f64,
+    /// Measured Batch+ ratio.
+    pub ratio: f64,
+}
+
+/// Runs Batch+ (and Batch) on one Figure 3 instance.
+pub fn measure(m: usize, mu: f64, eps: f64) -> Fig3Result {
+    let tight = fig3_batch_plus_tightness(m, mu, eps);
+    let plus = run_static(&tight.instance, Clairvoyance::NonClairvoyant, BatchPlus::new());
+    let plain = run_static(&tight.instance, Clairvoyance::NonClairvoyant, Batch::new());
+    assert!(plus.is_feasible() && plain.is_feasible());
+    Fig3Result {
+        m,
+        mu,
+        batch_plus_span: plus.span.get(),
+        batch_span: plain.span.get(),
+        prescribed_span: tight.prescribed_span.get(),
+        ratio: plus.span.get() / tight.prescribed_span.get(),
+    }
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let eps = 1e-3;
+    let ms: &[usize] = profile.pick(&[1, 8, 64][..], &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..]);
+    let mus: &[f64] = profile.pick(&[4.0][..], &[2.0, 4.0, 8.0][..]);
+
+    let cells: Vec<(usize, f64)> =
+        mus.iter().flat_map(|&mu| ms.iter().map(move |&m| (m, mu))).collect();
+    let results = parallel_map(&cells, |&(m, mu)| measure(m, mu, eps));
+
+    let mut t = Table::new(
+        "E3 (Thm 3.5 / Fig 3): Batch+ on the μ+1 tightness instance",
+        &["mu", "m", "Batch+ span", "Batch span", "prescribed span", "ratio", "mu+1 bound"],
+    );
+    for r in &results {
+        t.push_row(vec![
+            format!("{}", r.mu),
+            format!("{}", r.m),
+            f3(r.batch_plus_span),
+            f3(r.batch_span),
+            f3(r.prescribed_span),
+            f3(r.ratio),
+            f3(r.mu + 1.0),
+        ]);
+    }
+
+    // Extrapolate the m → ∞ limit per μ by regressing ratio on 1/m.
+    let mut conv = Table::new(
+        "E3 convergence: extrapolated m→∞ ratio vs the μ+1 tight bound",
+        &["mu", "estimated limit", "mu+1 bound", "fit r²"],
+    );
+    for &mu in mus {
+        let (ms_f, ratios): (Vec<f64>, Vec<f64>) = results
+            .iter()
+            .filter(|r| r.mu == mu && r.m >= 4)
+            .map(|r| (r.m as f64, r.ratio))
+            .unzip();
+        if ms_f.len() >= 2 {
+            let fit = convergence_limit(&ms_f, &ratios);
+            conv.push_row(vec![format!("{mu}"), f3(fit.a), f3(mu + 1.0), f3(fit.r2)]);
+        }
+    }
+    vec![t, conv]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_plus_span_matches_theory() {
+        for (m, mu) in [(1usize, 2.0f64), (8, 4.0), (32, 8.0)] {
+            let r = measure(m, mu, 1e-3);
+            let expect = m as f64 * (mu + 1.0 - 1e-3);
+            assert!(
+                (r.batch_plus_span - expect).abs() < 1e-6,
+                "m={m} mu={mu}: {} vs {}",
+                r.batch_plus_span,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_approaches_mu_plus_one_never_exceeding() {
+        let mu = 4.0;
+        let mut prev = 0.0;
+        for m in [1, 8, 64, 256] {
+            let r = measure(m, mu, 1e-3);
+            assert!(r.ratio > prev);
+            assert!(r.ratio <= mu + 1.0 + 1e-9, "Theorem 3.5 upper bound");
+            prev = r.ratio;
+        }
+        assert!(prev > (mu + 1.0) * 0.97, "m=256 within 3% of μ+1, got {prev}");
+    }
+
+    #[test]
+    fn prescribed_span_is_m_plus_mu() {
+        let r = measure(16, 8.0, 1e-3);
+        assert!((r.prescribed_span - (16.0 + 8.0)).abs() < 1e-9);
+    }
+}

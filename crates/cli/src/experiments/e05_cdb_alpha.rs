@@ -1,0 +1,112 @@
+//! **E5 — Theorem 4.4.** Sweeps the CDB class ratio `α` over random
+//! workloads and reports the measured ratio bracket against the proved
+//! bound curve `3α + 4 + 2/(α−1)`.
+//!
+//! Expected shape: measured ratios sit far below the worst-case curve (the
+//! bound is adversarial), stay bounded across `α`, and the *bound* curve
+//! itself attains its minimum `7 + 2√6 ≈ 11.899` at `α = 1+√(2/3) ≈ 1.8165`
+//! — both facts surfaced in the table. Extreme `α` (≈1 or large) degrade
+//! the measured ratio too: near 1 every job is its own category (no
+//! batching), large α behaves like a single Batch+ over wildly mixed
+//! lengths.
+
+use super::Profile;
+use fjs_analysis::{evaluate, f3, parallel_map, Summary, Table};
+use fjs_schedulers::{cdb_bound, optimal_alpha, SchedulerKind};
+use fjs_workloads::Scenario;
+
+/// Ratio summary for one α.
+pub struct AlphaResult {
+    /// The class ratio.
+    pub alpha: f64,
+    /// Mean measured ratio vs the certified OPT lower bound (pessimistic).
+    pub ratio_vs_lb: Summary,
+    /// Mean measured ratio vs the descent OPT upper bound (optimistic).
+    pub ratio_vs_ub: Summary,
+    /// The proved worst-case bound at this α.
+    pub bound: f64,
+}
+
+/// Evaluates CDB(α) over `seeds` replications of a scenario.
+pub fn sweep_alpha(alpha: f64, scenario: Scenario, n: usize, seeds: &[u64]) -> AlphaResult {
+    let evals = parallel_map(seeds, |&seed| {
+        let inst = scenario.generate(n, seed);
+        evaluate(SchedulerKind::Cdb { alpha, base: 1.0 }, &inst, 3)
+    });
+    let lb: Vec<f64> = evals.iter().map(|e| e.ratio_vs_lb()).collect();
+    let ub: Vec<f64> = evals.iter().map(|e| e.ratio_vs_ub()).collect();
+    AlphaResult {
+        alpha,
+        ratio_vs_lb: Summary::of(&lb),
+        ratio_vs_ub: Summary::of(&ub),
+        bound: cdb_bound(alpha),
+    }
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let alphas: &[f64] = profile.pick(
+        &[1.3, 1.8165, 3.0][..],
+        &[1.1, 1.2, 1.4, 1.6, 1.8165, 2.0, 2.4, 2.8, 3.2, 4.0, 6.0][..],
+    );
+    let n = profile.pick(120, 400);
+    let seeds: Vec<u64> = (1..=profile.pick(4u64, 12u64)).collect();
+
+    let mut tables = Vec::new();
+    for scenario in [Scenario::CloudBatch, Scenario::BurstyAnalytics] {
+        let mut t = Table::new(
+            format!(
+                "E5 (Thm 4.4): CDB ratio vs α on {} (n={n}, {} seeds); bound minimum {:.3} at α*={:.4}",
+                scenario.name(),
+                seeds.len(),
+                7.0 + 2.0 * 6.0f64.sqrt(),
+                optimal_alpha(),
+            ),
+            &["alpha", "ratio vs OPT-LB (mean±std)", "ratio vs OPT-UB (mean±std)", "proved bound"],
+        );
+        for &alpha in alphas {
+            let r = sweep_alpha(alpha, scenario, n, &seeds);
+            t.push_row(vec![
+                format!("{alpha:.4}"),
+                r.ratio_vs_lb.pm(),
+                r.ratio_vs_ub.pm(),
+                f3(r.bound),
+            ]);
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_ratio_stays_below_worst_case_bound() {
+        let seeds = [1, 2, 3];
+        for alpha in [1.5, 1.8165, 2.5] {
+            let r = sweep_alpha(alpha, Scenario::CloudBatch, 150, &seeds);
+            assert!(
+                r.ratio_vs_lb.max <= r.bound,
+                "α={alpha}: measured (pessimistic) {} exceeds proved bound {}",
+                r.ratio_vs_lb.max,
+                r.bound
+            );
+            assert!(r.ratio_vs_ub.min >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn bound_curve_minimum_location() {
+        let at_opt = cdb_bound(optimal_alpha());
+        assert!(cdb_bound(1.3) > at_opt);
+        assert!(cdb_bound(3.0) > at_opt);
+    }
+
+    #[test]
+    fn bracket_ordering() {
+        let r = sweep_alpha(2.0, Scenario::BurstyAnalytics, 100, &[5, 6]);
+        assert!(r.ratio_vs_ub.mean <= r.ratio_vs_lb.mean + 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! **E8 — head-to-head.** All schedulers across the workload families plus
+//! two targeted sweeps:
+//!
+//! * **μ-sweep** — bimodal lengths with growing long/short ratio. The
+//!   paper's central qualitative claim: the non-clairvoyant schedulers'
+//!   ratios grow with `μ` (Batch ~`2μ`, Batch+ ~`μ+1` in the worst case,
+//!   and visibly increasing here), while the clairvoyant CDB/Profit stay
+//!   `O(1)`.
+//! * **laxity-sweep** — proportional laxity factor from rigid to generous.
+//!   All schedulers converge at factor 0 (no scheduling freedom exists);
+//!   span-savvy schedulers pull away as laxity grows.
+
+use super::Profile;
+use fjs_analysis::{evaluate, parallel_map, Summary, Table};
+use fjs_schedulers::SchedulerKind;
+use fjs_workloads::{ArrivalProcess, LaxityModel, LengthLaw, Scenario, WorkloadSpec};
+
+/// Summary of one `(scheduler, workload)` cell.
+pub struct Cell {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Mean span.
+    pub span: Summary,
+    /// Mean ratio vs the certified OPT lower bound.
+    pub ratio_vs_lb: Summary,
+    /// Mean ratio vs the descent OPT upper bound.
+    pub ratio_vs_ub: Summary,
+}
+
+/// Evaluates one scheduler over seeds of a workload spec.
+pub fn eval_cell(kind: SchedulerKind, spec: &WorkloadSpec, seeds: &[u64]) -> Cell {
+    let evals = parallel_map(seeds, |&seed| {
+        let inst = spec.generate(seed);
+        evaluate(kind, &inst, 2)
+    });
+    Cell {
+        scheduler: kind.label(),
+        span: Summary::of(&evals.iter().map(|e| e.span.get()).collect::<Vec<_>>()),
+        ratio_vs_lb: Summary::of(&evals.iter().map(|e| e.ratio_vs_lb()).collect::<Vec<_>>()),
+        ratio_vs_ub: Summary::of(&evals.iter().map(|e| e.ratio_vs_ub()).collect::<Vec<_>>()),
+    }
+}
+
+/// The μ-sweep workload: bimodal lengths `1` vs `mu`, Poisson arrivals,
+/// laxity proportional to length.
+pub fn mu_sweep_spec(n: usize, mu: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        n,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        lengths: LengthLaw::Bimodal { short: 1.0, long: mu, p_long: 0.3 },
+        laxity: LaxityModel::Proportional { factor: 2.0 },
+    }
+}
+
+/// The laxity-sweep workload: uniform lengths, proportional laxity factor.
+pub fn laxity_sweep_spec(n: usize, factor: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        n,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        lengths: LengthLaw::Uniform { min: 1.0, max: 8.0 },
+        laxity: LaxityModel::Proportional { factor },
+    }
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let n = profile.pick(120, 400);
+    let seeds: Vec<u64> = (1..=profile.pick(3u64, 10u64)).collect();
+    let kinds = SchedulerKind::full_set();
+    let mut tables = Vec::new();
+
+    // Part 1: scenario grid.
+    let mut t = Table::new(
+        format!("E8a: scheduler × scenario (n={n}, {} seeds)", seeds.len()),
+        &["scenario", "scheduler", "span (mean±std)", "ratio vs LB", "ratio vs UB"],
+    );
+    for scenario in Scenario::all() {
+        let spec = scenario.spec(n);
+        for &kind in &kinds {
+            let c = eval_cell(kind, &spec, &seeds);
+            t.push_row(vec![
+                scenario.name().to_string(),
+                c.scheduler,
+                c.span.pm(),
+                c.ratio_vs_lb.pm(),
+                c.ratio_vs_ub.pm(),
+            ]);
+        }
+    }
+    tables.push(t);
+
+    // Part 2: μ-sweep.
+    let mus: &[f64] = profile.pick(&[2.0, 8.0][..], &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0][..]);
+    let mut t = Table::new(
+        format!("E8b: μ-sweep (bimodal lengths 1 vs μ; n={n}, {} seeds) — non-clairvoyant ratios grow with μ, clairvoyant stay O(1)", seeds.len()),
+        &["mu", "scheduler", "ratio vs LB", "ratio vs UB"],
+    );
+    for &mu in mus {
+        let spec = mu_sweep_spec(n, mu);
+        for &kind in &kinds {
+            let c = eval_cell(kind, &spec, &seeds);
+            t.push_row(vec![
+                format!("{mu}"),
+                c.scheduler,
+                c.ratio_vs_lb.pm(),
+                c.ratio_vs_ub.pm(),
+            ]);
+        }
+    }
+    tables.push(t);
+
+    // Part 3: laxity sweep.
+    let factors: &[f64] = profile.pick(&[0.0, 2.0][..], &[0.0, 0.5, 1.0, 2.0, 5.0, 20.0][..]);
+    let mut t = Table::new(
+        format!("E8c: laxity-sweep (proportional factor; n={n}, {} seeds)", seeds.len()),
+        &["laxity factor", "scheduler", "span (mean±std)", "ratio vs LB"],
+    );
+    for &f in factors {
+        let spec = laxity_sweep_spec(n, f);
+        for &kind in &kinds {
+            let c = eval_cell(kind, &spec, &seeds);
+            t.push_row(vec![format!("{f}"), c.scheduler, c.span.pm(), c.ratio_vs_lb.pm()]);
+        }
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_laxity_equalizes_all_schedulers() {
+        // With rigid jobs there is exactly one feasible schedule; every
+        // scheduler must produce the same span.
+        let spec = laxity_sweep_spec(80, 0.0);
+        let seeds = [3];
+        let spans: Vec<f64> = SchedulerKind::full_set()
+            .iter()
+            .map(|&k| eval_cell(k, &spec, &seeds).span.mean)
+            .collect();
+        for s in &spans {
+            assert!((s - spans[0]).abs() < 1e-9, "spans differ on rigid jobs: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn batch_plus_beats_eager_on_slack_rich() {
+        let spec = Scenario::SlackRich.spec(150);
+        let seeds = [1, 2, 3];
+        let eager = eval_cell(SchedulerKind::Eager, &spec, &seeds);
+        let bp = eval_cell(SchedulerKind::BatchPlus, &spec, &seeds);
+        assert!(
+            bp.span.mean < eager.span.mean,
+            "Batch+ {} should beat Eager {} when laxity is plentiful",
+            bp.span.mean,
+            eager.span.mean
+        );
+    }
+
+    #[test]
+    fn mu_sweep_separates_clairvoyant_from_blind() {
+        // At μ=16, Batch's pessimistic ratio should exceed Profit's.
+        let spec = mu_sweep_spec(200, 16.0);
+        let seeds = [5, 6, 7];
+        let batch = eval_cell(SchedulerKind::Batch, &spec, &seeds);
+        let profit = eval_cell(SchedulerKind::profit_optimal(), &spec, &seeds);
+        assert!(
+            profit.ratio_vs_lb.mean <= batch.ratio_vs_lb.mean + 1e-9,
+            "Profit {} vs Batch {}",
+            profit.ratio_vs_lb.mean,
+            batch.ratio_vs_lb.mean
+        );
+    }
+}

@@ -1,0 +1,151 @@
+//! **E11 — ablations.** Probes the design choices DESIGN.md calls out:
+//!
+//! * **The "+" in Batch+** — Batch vs Batch+ on both tightness instances
+//!   and the random families. Expected: Batch+ dominates on Figure 2
+//!   (where Batch pays `2μ`), Batch dominates on Figure 3 (built to fool
+//!   the "+"), and they are close on benign random workloads — exactly why
+//!   the paper needed both bounds.
+//! * **CDB base offset** `b` — the classification boundary phase. The
+//!   Theorem 4.4 bound is independent of `b`; measured sensitivity should
+//!   be mild.
+//! * **Doubler budget** `c` — the reconstruction's one knob.
+
+use super::Profile;
+use fjs_adversary::{fig2_batch_tightness, fig3_batch_plus_tightness};
+use fjs_analysis::{evaluate, f3, parallel_map, Summary, Table};
+use fjs_core::sim::{run_static, Clairvoyance};
+use fjs_schedulers::{optimal_alpha, SchedulerKind};
+use fjs_workloads::Scenario;
+
+/// Batch vs Batch+ on a named instance.
+pub struct PlusAblation {
+    /// Instance label.
+    pub instance: String,
+    /// Batch span.
+    pub batch: f64,
+    /// Batch+ span.
+    pub batch_plus: f64,
+}
+
+/// Runs both Batch variants on one static instance.
+pub fn batch_vs_plus(label: &str, inst: &fjs_core::job::Instance) -> PlusAblation {
+    let b = run_static(inst, Clairvoyance::NonClairvoyant, fjs_schedulers::Batch::new());
+    let bp = run_static(inst, Clairvoyance::NonClairvoyant, fjs_schedulers::BatchPlus::new());
+    assert!(b.is_feasible() && bp.is_feasible());
+    PlusAblation { instance: label.to_string(), batch: b.span.get(), batch_plus: bp.span.get() }
+}
+
+/// Mean pessimistic ratio of a parameterized scheduler over seeds.
+pub fn mean_ratio(kind: SchedulerKind, scenario: Scenario, n: usize, seeds: &[u64]) -> Summary {
+    let r = parallel_map(seeds, |&seed| {
+        let inst = scenario.generate(n, seed);
+        evaluate(kind, &inst, 2).ratio_vs_lb()
+    });
+    Summary::of(&r)
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let n = profile.pick(120, 400);
+    let seeds: Vec<u64> = (1..=profile.pick(3u64, 10u64)).collect();
+    let m = profile.pick(32, 256);
+    let mu = 4.0;
+    let mut tables = Vec::new();
+
+    // Part 1: the "+".
+    let mut t = Table::new(
+        "E11a: the \"+\" ablation — Batch vs Batch+ spans",
+        &["instance", "Batch span", "Batch+ span", "Batch+/Batch"],
+    );
+    let fig2 = fig2_batch_tightness(m, mu, 1e-3);
+    let fig3 = fig3_batch_plus_tightness(m, mu, 1e-3);
+    for (label, inst) in [
+        (format!("Fig2(m={m}, μ={mu})"), &fig2.instance),
+        (format!("Fig3(m={m}, μ={mu})"), &fig3.instance),
+        ("cloud-batch(seed=1)".to_string(), &Scenario::CloudBatch.generate(n, 1)),
+        ("slack-rich(seed=1)".to_string(), &Scenario::SlackRich.generate(n, 1)),
+    ] {
+        let r = batch_vs_plus(&label, inst);
+        t.push_row(vec![
+            r.instance.clone(),
+            f3(r.batch),
+            f3(r.batch_plus),
+            f3(r.batch_plus / r.batch),
+        ]);
+    }
+    tables.push(t);
+
+    // Part 2: CDB base offset.
+    let mut t = Table::new(
+        format!("E11b: CDB base-offset sensitivity (α*={:.4}, n={n})", optimal_alpha()),
+        &["base b", "ratio vs LB (cloud-batch)", "ratio vs LB (bursty)"],
+    );
+    for &base in profile.pick(&[0.5, 1.0, 2.0][..], &[0.25, 0.5, 1.0, 1.5, 2.0, 4.0][..]) {
+        let kind = SchedulerKind::Cdb { alpha: optimal_alpha(), base };
+        let cb = mean_ratio(kind, Scenario::CloudBatch, n, &seeds);
+        let ba = mean_ratio(kind, Scenario::BurstyAnalytics, n, &seeds);
+        t.push_row(vec![format!("{base}"), cb.pm(), ba.pm()]);
+    }
+    tables.push(t);
+
+    // Part 3: Doubler budget factor.
+    let mut t = Table::new(
+        format!("E11c: Doubler budget factor (n={n})"),
+        &["c", "ratio vs LB (cloud-batch)", "ratio vs LB (slack-rich)"],
+    );
+    for &c in profile.pick(&[0.5, 1.0, 2.0][..], &[0.25, 0.5, 1.0, 1.5, 2.0, 4.0][..]) {
+        let kind = SchedulerKind::Doubler { c };
+        let cb = mean_ratio(kind, Scenario::CloudBatch, n, &seeds);
+        let sr = mean_ratio(kind, Scenario::SlackRich, n, &seeds);
+        t.push_row(vec![format!("{c}"), cb.pm(), sr.pm()]);
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_tightness_instance_fools_its_target() {
+        let fig2 = fig2_batch_tightness(64, 4.0, 1e-3);
+        let r2 = batch_vs_plus("fig2", &fig2.instance);
+        assert!(
+            r2.batch_plus < r2.batch,
+            "Fig2 is built against Batch: Batch+ {} vs Batch {}",
+            r2.batch_plus,
+            r2.batch
+        );
+
+        let fig3 = fig3_batch_plus_tightness(64, 4.0, 1e-3);
+        let r3 = batch_vs_plus("fig3", &fig3.instance);
+        assert!(
+            r3.batch < r3.batch_plus,
+            "Fig3 is built against Batch+: Batch {} vs Batch+ {}",
+            r3.batch,
+            r3.batch_plus
+        );
+    }
+
+    #[test]
+    fn cdb_base_sensitivity_is_mild() {
+        let seeds = [1, 2, 3];
+        let r1 = mean_ratio(
+            SchedulerKind::Cdb { alpha: optimal_alpha(), base: 0.5 },
+            Scenario::CloudBatch,
+            120,
+            &seeds,
+        );
+        let r2 = mean_ratio(
+            SchedulerKind::Cdb { alpha: optimal_alpha(), base: 2.0 },
+            Scenario::CloudBatch,
+            120,
+            &seeds,
+        );
+        // Both stay below the worst-case bound with a wide margin.
+        let bound = fjs_schedulers::cdb_bound(optimal_alpha());
+        assert!(r1.max < bound && r2.max < bound);
+    }
+}

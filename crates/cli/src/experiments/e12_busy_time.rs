@@ -1,0 +1,127 @@
+//! **E12 — bounded-capacity busy time (extension).** The related busy-time
+//! literature (refs \[22\], \[12\] of the paper) schedules jobs on machines that each run at most
+//! `g` jobs concurrently; the paper's concluding remarks note that the
+//! unbounded-capacity online case is equivalent to Clairvoyant FJS. This
+//! experiment sweeps `g` to show the continuum:
+//!
+//! * `g = 1` — busy time equals total work for every scheduler (no sharing
+//!   possible; scheduling is irrelevant);
+//! * `g → ∞` — busy time equals the span (the paper's objective), so the
+//!   scheduler ranking converges to the span ranking of E8.
+
+use super::Profile;
+use fjs_analysis::{f3, parallel_map, Summary, Table};
+use fjs_dbp::assign_busy_time;
+use fjs_schedulers::SchedulerKind;
+use fjs_workloads::Scenario;
+
+/// One `(scheduler, g)` cell.
+pub struct BusyCell {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Machine capacity.
+    pub g: usize,
+    /// Mean total busy time.
+    pub busy: Summary,
+    /// Mean machines used.
+    pub machines: Summary,
+    /// Mean lower bound `max(span, work/g)`.
+    pub lb: Summary,
+}
+
+/// Evaluates one scheduler × capacity over seeds.
+pub fn eval_cell(
+    kind: SchedulerKind,
+    g: usize,
+    scenario: Scenario,
+    n: usize,
+    seeds: &[u64],
+) -> BusyCell {
+    let rows = parallel_map(seeds, |&seed| {
+        let inst = scenario.generate(n, seed);
+        let out = kind.run_on(&inst);
+        assert!(out.is_feasible());
+        let bt = assign_busy_time(&out.instance, &out.schedule, g);
+        (bt.total_busy_time.get(), bt.machines as f64, bt.lower_bound.get())
+    });
+    BusyCell {
+        scheduler: kind.label(),
+        g,
+        busy: Summary::of(&rows.iter().map(|r| r.0).collect::<Vec<_>>()),
+        machines: Summary::of(&rows.iter().map(|r| r.1).collect::<Vec<_>>()),
+        lb: Summary::of(&rows.iter().map(|r| r.2).collect::<Vec<_>>()),
+    }
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let n = profile.pick(150, 400);
+    let seeds: Vec<u64> = (1..=profile.pick(3u64, 10u64)).collect();
+    let gs: &[usize] = profile.pick(&[1, 4, 1_000_000][..], &[1, 2, 4, 8, 16, 64, 1_000_000][..]);
+    let kinds = [
+        SchedulerKind::Eager,
+        SchedulerKind::BatchPlus,
+        SchedulerKind::profit_optimal(),
+    ];
+
+    let mut tables = Vec::new();
+    for scenario in [Scenario::CloudBatch, Scenario::SlackRich] {
+        let mut t = Table::new(
+            format!(
+                "E12 (extension): busy time on g-slot machines, {} (n={n}, {} seeds)",
+                scenario.name(),
+                seeds.len()
+            ),
+            &["g", "scheduler", "busy time (mean)", "machines (mean)", "LB (mean)", "busy/LB"],
+        );
+        for &g in gs {
+            for &kind in &kinds {
+                let c = eval_cell(kind, g, scenario, n, &seeds);
+                t.push_row(vec![
+                    if g >= 1_000_000 { "inf".into() } else { format!("{g}") },
+                    c.scheduler.clone(),
+                    f3(c.busy.mean),
+                    f3(c.machines.mean),
+                    f3(c.lb.mean),
+                    f3(c.busy.mean / c.lb.mean),
+                ]);
+            }
+        }
+        tables.push(t);
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn g_one_equalizes_all_schedulers() {
+        let seeds = [1, 2];
+        let a = eval_cell(SchedulerKind::Eager, 1, Scenario::CloudBatch, 100, &seeds);
+        let b = eval_cell(SchedulerKind::BatchPlus, 1, Scenario::CloudBatch, 100, &seeds);
+        // With unit capacity, busy time = total work regardless of starts.
+        assert!((a.busy.mean - b.busy.mean).abs() < 1e-6, "{} vs {}", a.busy.mean, b.busy.mean);
+    }
+
+    #[test]
+    fn huge_g_reduces_to_span_ranking() {
+        let seeds = [3, 4];
+        let eager = eval_cell(SchedulerKind::Eager, 1_000_000, Scenario::SlackRich, 120, &seeds);
+        let plus = eval_cell(SchedulerKind::BatchPlus, 1_000_000, Scenario::SlackRich, 120, &seeds);
+        assert!(
+            plus.busy.mean < eager.busy.mean,
+            "span-minimizing scheduler must win at unbounded capacity"
+        );
+        assert!((eager.machines.mean - 1.0).abs() < 1e-9, "one machine suffices");
+    }
+
+    #[test]
+    fn busy_time_never_below_lb() {
+        for g in [1, 3, 10] {
+            let c = eval_cell(SchedulerKind::profit_optimal(), g, Scenario::CloudBatch, 100, &[5]);
+            assert!(c.busy.mean >= c.lb.mean - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! **E13 — extension schedulers.** Two questions the paper leaves open that
+//! the codebase can answer empirically:
+//!
+//! * **Is delay without coordination enough?** `RandomStart` delays each
+//!   job independently and uniformly in its window. It consistently loses
+//!   to deadline-triggered batching (Batch+), showing the paper's
+//!   schedulers win by *synchronizing* starts, not merely by waiting.
+//! * **Is a count trigger as good as a deadline trigger?** `Threshold(m)`
+//!   batches whenever `m` jobs pend. Its best `m` is workload-dependent and
+//!   still loses to Batch+ on heterogeneous inputs — the deadline trigger
+//!   is what ties the online schedule to OPT's structure (each flag pays
+//!   for a disjoint piece of OPT).
+
+use super::Profile;
+use fjs_analysis::{evaluate, parallel_map, Summary, Table};
+use fjs_schedulers::SchedulerKind;
+use fjs_workloads::Scenario;
+
+/// Mean pessimistic ratio of one scheduler over seeds.
+pub fn mean_ratio(kind: SchedulerKind, scenario: Scenario, n: usize, seeds: &[u64]) -> Summary {
+    let r = parallel_map(seeds, |&seed| {
+        let inst = scenario.generate(n, seed);
+        evaluate(kind, &inst, 2).ratio_vs_lb()
+    });
+    Summary::of(&r)
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let n = profile.pick(120, 400);
+    let seeds: Vec<u64> = (1..=profile.pick(3u64, 10u64)).collect();
+    let mut tables = Vec::new();
+
+    // Part 1: RandomStart vs the coordinated schedulers.
+    let mut t = Table::new(
+        format!("E13a: is uncoordinated random delay enough? (ratio vs OPT-LB, n={n})"),
+        &["scenario", "RandomStart", "Eager", "Batch+", "Profit"],
+    );
+    for scenario in [Scenario::CloudBatch, Scenario::SlackRich, Scenario::BurstyAnalytics] {
+        let rs = mean_ratio(SchedulerKind::RandomStart { seed: 99 }, scenario, n, &seeds);
+        let eager = mean_ratio(SchedulerKind::Eager, scenario, n, &seeds);
+        let bp = mean_ratio(SchedulerKind::BatchPlus, scenario, n, &seeds);
+        let pr = mean_ratio(SchedulerKind::profit_optimal(), scenario, n, &seeds);
+        t.push_row(vec![scenario.name().into(), rs.pm(), eager.pm(), bp.pm(), pr.pm()]);
+    }
+    tables.push(t);
+
+    // Part 2: Threshold sweep vs Batch+.
+    let ms: &[usize] = profile.pick(&[1, 8, 64][..], &[1, 2, 4, 8, 16, 32, 64, 128][..]);
+    let mut t = Table::new(
+        format!("E13b: count-triggered batching Threshold(m) vs deadline-triggered Batch+ (ratio vs OPT-LB, n={n})"),
+        &["m", "Threshold (cloud-batch)", "Threshold (slack-rich)", "Batch+ (cloud-batch)", "Batch+ (slack-rich)"],
+    );
+    let bp_cb = mean_ratio(SchedulerKind::BatchPlus, Scenario::CloudBatch, n, &seeds);
+    let bp_sr = mean_ratio(SchedulerKind::BatchPlus, Scenario::SlackRich, n, &seeds);
+    for &m in ms {
+        let th_cb = mean_ratio(SchedulerKind::Threshold { m }, Scenario::CloudBatch, n, &seeds);
+        let th_sr = mean_ratio(SchedulerKind::Threshold { m }, Scenario::SlackRich, n, &seeds);
+        t.push_row(vec![format!("{m}"), th_cb.pm(), th_sr.pm(), bp_cb.pm(), bp_sr.pm()]);
+    }
+    tables.push(t);
+
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_delay_does_not_beat_batching_on_slack_rich() {
+        let seeds = [1, 2, 3, 4];
+        let rs = mean_ratio(SchedulerKind::RandomStart { seed: 5 }, Scenario::SlackRich, 150, &seeds);
+        let bp = mean_ratio(SchedulerKind::BatchPlus, Scenario::SlackRich, 150, &seeds);
+        assert!(
+            bp.mean <= rs.mean + 1e-9,
+            "Batch+ {} should not lose to RandomStart {}",
+            bp.mean,
+            rs.mean
+        );
+    }
+
+    #[test]
+    fn threshold_one_matches_eager() {
+        let seeds = [7];
+        let th = mean_ratio(SchedulerKind::Threshold { m: 1 }, Scenario::CloudBatch, 100, &seeds);
+        let eager = mean_ratio(SchedulerKind::Eager, Scenario::CloudBatch, 100, &seeds);
+        assert!((th.mean - eager.mean).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,101 @@
+//! **E14 — the value of information (extension).** The paper's two settings
+//! are the endpoints of an information ladder:
+//!
+//! 1. **non-clairvoyant** — nothing about `p(J)` (Section 3; best possible
+//!    ratio `μ`);
+//! 2. **class-only** — `⌈log₂ p⌉` revealed (`O(log μ)` bits; enough to run
+//!    CDB at `α = 2`, ratio `≤ 3·2+4+2 = 12`);
+//! 3. **clairvoyant** — full `p(J)` (Section 4; Profit reaches `4+2√2`).
+//!
+//! This experiment runs the natural champion of each rung on the μ-sweep
+//! workload. Expected shape: the non-clairvoyant champion (Batch+)
+//! degrades with μ; the class-only champion (SemiCdb) and the clairvoyant
+//! champions (CDB, Profit) stay flat — i.e. **`O(log μ)` bits already break
+//! the `μ` barrier**, and full clairvoyance then buys only a constant
+//! factor (Profit vs SemiCdb).
+
+use super::Profile;
+use fjs_analysis::{evaluate, parallel_map, Summary, Table};
+use fjs_schedulers::SchedulerKind;
+use fjs_workloads::{ArrivalProcess, LaxityModel, LengthLaw, WorkloadSpec};
+
+/// The μ-sweep workload shared with E8b.
+pub fn spec(n: usize, mu: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        n,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        lengths: LengthLaw::Bimodal { short: 1.0, long: mu, p_long: 0.3 },
+        laxity: LaxityModel::Proportional { factor: 2.0 },
+    }
+}
+
+/// Mean pessimistic ratio for one scheduler at one μ.
+pub fn ratio_at(kind: SchedulerKind, n: usize, mu: f64, seeds: &[u64]) -> Summary {
+    let r = parallel_map(seeds, |&seed| {
+        let inst = spec(n, mu).generate(seed);
+        evaluate(kind, &inst, 2).ratio_vs_lb()
+    });
+    Summary::of(&r)
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let n = profile.pick(120, 400);
+    let seeds: Vec<u64> = (1..=profile.pick(3u64, 10u64)).collect();
+    let mus: &[f64] = profile.pick(&[2.0, 16.0][..], &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0][..]);
+
+    let ladder = [
+        ("none (Batch+)", SchedulerKind::BatchPlus),
+        ("class only (SemiCDB)", SchedulerKind::SemiCdb),
+        ("full (CDB α=2)", SchedulerKind::Cdb { alpha: 2.0, base: 1.0 }),
+        ("full (Profit k*)", SchedulerKind::profit_optimal()),
+    ];
+
+    let mut t = Table::new(
+        format!(
+            "E14 (extension): information ladder on the μ-sweep (n={n}, {} seeds); \
+             ratio vs OPT-LB",
+            seeds.len()
+        ),
+        &["mu", "none (Batch+)", "class only (SemiCDB)", "full (CDB α=2)", "full (Profit k*)"],
+    );
+    for &mu in mus {
+        let cells: Vec<String> = ladder
+            .iter()
+            .map(|&(_, kind)| ratio_at(kind, n, mu, &seeds).pm())
+            .collect();
+        let mut row = vec![format!("{mu}")];
+        row.extend(cells);
+        t.push_row(row);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semicdb_equals_full_cdb_alpha_two() {
+        // The class-only rung must coincide with CDB(2,1) exactly.
+        let seeds = [1, 2, 3];
+        let semi = ratio_at(SchedulerKind::SemiCdb, 120, 8.0, &seeds);
+        let full = ratio_at(SchedulerKind::Cdb { alpha: 2.0, base: 1.0 }, 120, 8.0, &seeds);
+        assert!((semi.mean - full.mean).abs() < 1e-12, "{} vs {}", semi.mean, full.mean);
+    }
+
+    #[test]
+    fn class_bits_break_the_mu_barrier() {
+        // At large μ, SemiCdb (class-only) must clearly beat Batch+
+        // (no information).
+        let seeds = [4, 5, 6];
+        let blind = ratio_at(SchedulerKind::BatchPlus, 200, 32.0, &seeds);
+        let classy = ratio_at(SchedulerKind::SemiCdb, 200, 32.0, &seeds);
+        assert!(
+            classy.mean < blind.mean,
+            "SemiCdb {} should beat Batch+ {} at μ=32",
+            classy.mean,
+            blind.mean
+        );
+    }
+}

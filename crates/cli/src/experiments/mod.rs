@@ -1,0 +1,154 @@
+//! The experiment suite E1–E11 (see DESIGN.md §6 for the index mapping each
+//! experiment to a figure/theorem of the paper).
+//!
+//! Every experiment is a pure function from an effort [`Profile`] to a list
+//! of [`Table`]s; the CLI renders them to stdout/Markdown/CSV and the bench
+//! crate calls the same functions at `Quick` effort.
+
+use fjs_analysis::Table;
+
+pub mod e01_nc_lower_bound;
+pub mod e02_batch_tightness;
+pub mod e03_batchplus_tightness;
+pub mod e04_cv_lower_bound;
+pub mod e05_cdb_alpha;
+pub mod e06_flag_graph;
+pub mod e07_profit_k;
+pub mod e08_head_to_head;
+pub mod e09_dbp;
+pub mod e10_exhaustive;
+pub mod e11_ablations;
+pub mod e12_busy_time;
+pub mod e13_extensions;
+pub mod e14_information;
+
+/// Effort level of an experiment run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Profile {
+    /// Seconds-scale smoke run (used by benches and CI).
+    Quick,
+    /// The full parameter grid used to regenerate EXPERIMENTS.md.
+    Full,
+}
+
+impl Profile {
+    /// Scales a `(quick, full)` pair.
+    pub fn pick<T: Copy>(&self, quick: T, full: T) -> T {
+        match self {
+            Profile::Quick => quick,
+            Profile::Full => full,
+        }
+    }
+}
+
+/// One experiment: id, description, and a runner.
+pub struct Experiment {
+    /// Short id, e.g. `"e3"`.
+    pub id: &'static str,
+    /// What the experiment reproduces.
+    pub title: &'static str,
+    /// Runner.
+    pub run: fn(Profile) -> Vec<Table>,
+}
+
+/// The registry of all experiments in id order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e1",
+            title: "Theorem 3.3 / Figure 1: non-clairvoyant lower bound μ (adaptive adversary)",
+            run: e01_nc_lower_bound::run,
+        },
+        Experiment {
+            id: "e2",
+            title: "Theorem 3.4 / Figure 2: Batch tightness (ratio → 2μ)",
+            run: e02_batch_tightness::run,
+        },
+        Experiment {
+            id: "e3",
+            title: "Theorem 3.5 / Figure 3: Batch+ tightness (ratio → μ+1)",
+            run: e03_batchplus_tightness::run,
+        },
+        Experiment {
+            id: "e4",
+            title: "Theorem 4.1 / Figure 4: clairvoyant lower bound φ (adaptive adversary)",
+            run: e04_cv_lower_bound::run,
+        },
+        Experiment {
+            id: "e5",
+            title: "Theorem 4.4: CDB ratio vs class ratio α (bound 3α+4+2/(α−1))",
+            run: e05_cdb_alpha::run,
+        },
+        Experiment {
+            id: "e6",
+            title: "Lemmas 4.6–4.10 / Figure 6: flag-job graph structure",
+            run: e06_flag_graph::run,
+        },
+        Experiment {
+            id: "e7",
+            title: "Theorem 4.11: Profit ratio vs parameter k (bound 2k+2+1/(k−1))",
+            run: e07_profit_k::run,
+        },
+        Experiment {
+            id: "e8",
+            title: "Head-to-head: all schedulers across workload families, μ- and laxity-sweeps",
+            run: e08_head_to_head::run,
+        },
+        Experiment {
+            id: "e9",
+            title: "Section 5: generalized MinUsageTime DBP (scheduler × First Fit packing)",
+            run: e09_dbp::run,
+        },
+        Experiment {
+            id: "e10",
+            title: "Exhaustive small-instance validation against exact optimal",
+            run: e10_exhaustive::run,
+        },
+        Experiment {
+            id: "e11",
+            title: "Ablations: Batch vs Batch+, CDB α/base, Profit k, Doubler c",
+            run: e11_ablations::run,
+        },
+        Experiment {
+            id: "e12",
+            title: "Extension: busy time on g-slot machines (g=1 → work, g=∞ → span)",
+            run: e12_busy_time::run,
+        },
+        Experiment {
+            id: "e13",
+            title: "Extension: random-delay and count-triggered baselines vs deadline batching",
+            run: e13_extensions::run,
+        },
+        Experiment {
+            id: "e14",
+            title: "Extension: the information ladder (none / class-only / full clairvoyance)",
+            run: e14_information::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_fourteen_unique_ids() {
+        let exps = all();
+        assert_eq!(exps.len(), 14);
+        let mut ids: Vec<_> = exps.iter().map(|e| e.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 14);
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        assert!(by_id("e4").is_some());
+        assert!(by_id("e99").is_none());
+    }
+}

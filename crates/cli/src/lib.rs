@@ -1,0 +1,14 @@
+//! # fjs-cli
+//!
+//! Experiment implementations (E1–E11) and the `fjs` binary that runs them.
+//! Each experiment regenerates one figure/theorem of Ren & Tang (SPAA 2017)
+//! as a table; `fjs all --full > EXPERIMENTS-raw.md` reproduces the data
+//! behind EXPERIMENTS.md. The `fjs-bench` crate calls the same experiment
+//! functions at `Profile::Quick`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+
+pub use experiments::{all, by_id, Experiment, Profile};

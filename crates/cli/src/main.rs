@@ -1,0 +1,212 @@
+//! The `fjs` experiment runner.
+//!
+//! ```text
+//! fjs list                 # show the experiment registry
+//! fjs e3                   # run one experiment (quick profile)
+//! fjs e3 --full            # full parameter grid
+//! fjs all --full           # everything (regenerates EXPERIMENTS.md data)
+//! fjs e5 --csv out/        # additionally write each table as CSV
+//! fjs gantt batch+         # visualize a scheduler on a demo workload
+//! fjs trace jobs.csv       # run every scheduler on your own CSV trace
+//! fjs audit profit         # run a scheduler and audit it against its rules
+//! ```
+
+use fjs_cli::experiments::{all, by_id, Experiment, Profile};
+use std::io::Write as _;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: fjs <list | all | e1..e13> [--full] [--csv <dir>]\n\
+         \u{20}      fjs gantt [scheduler] [seed]\n\
+         \u{20}      fjs trace <file.csv>\n\
+         \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
+         Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md)."
+    );
+    std::process::exit(2);
+}
+
+fn pick_scheduler(name: &str) -> fjs_schedulers::SchedulerKind {
+    use fjs_schedulers::SchedulerKind as K;
+    match name.to_ascii_lowercase().as_str() {
+        "eager" => K::Eager,
+        "lazy" => K::Lazy,
+        "batch" => K::Batch,
+        "batch+" | "batchplus" => K::BatchPlus,
+        "cdb" => K::cdb_optimal(),
+        "profit" => K::profit_optimal(),
+        "doubler" => K::Doubler { c: 1.0 },
+        "random" => K::RandomStart { seed: 1 },
+        other => {
+            eprintln!("unknown scheduler '{other}' (try eager/lazy/batch/batch+/cdb/profit/doubler/random)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_gantt(args: &[String]) {
+    let kind = pick_scheduler(args.first().map(String::as_str).unwrap_or("batch+"));
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
+    let inst = fjs_workloads::Scenario::BurstyAnalytics.generate(24, seed);
+    let out = kind.run_on(&inst);
+    let metrics = fjs_core::metrics::schedule_metrics(&out.instance, &out.schedule);
+    println!("{} on bursty-analytics (24 jobs, seed {seed}):\n", kind.label());
+    println!(
+        "{}",
+        fjs_analysis::render_gantt(
+            &out.instance,
+            &out.schedule,
+            fjs_analysis::GanttOptions::default()
+        )
+    );
+    println!(
+        "span = {:.2}  peak concurrency = {}  mean concurrency = {:.2}  laxity used = {:.0}%",
+        metrics.span.get(),
+        metrics.peak_concurrency,
+        metrics.mean_concurrency,
+        100.0 * metrics.laxity_utilization
+    );
+}
+
+fn cmd_audit(args: &[String]) {
+    use fjs_core::sim::{run_static, Clairvoyance};
+    use fjs_schedulers::FlagRecorder;
+    let which = args.first().map(String::as_str).unwrap_or("batch+");
+    let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(7);
+    let inst = fjs_workloads::Scenario::CloudBatch.generate(300, seed);
+    let verdict = match which {
+        "batch" => {
+            let mut s = fjs_schedulers::Batch::new();
+            let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut s);
+            fjs_schedulers::audit_batch(&out.instance, &out.schedule, &s.flag_jobs())
+                .map(|()| (out.span, s.flag_jobs().len()))
+        }
+        "batch+" | "batchplus" => {
+            let mut s = fjs_schedulers::BatchPlus::new();
+            let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut s);
+            fjs_schedulers::audit_batch_plus(&out.instance, &out.schedule, &s.flag_jobs())
+                .map(|()| (out.span, s.flag_jobs().len()))
+        }
+        "profit" => {
+            let mut s = fjs_schedulers::Profit::optimal();
+            let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut s);
+            fjs_schedulers::audit_profit(
+                &out.instance,
+                &out.schedule,
+                &s.flag_jobs(),
+                fjs_schedulers::OPTIMAL_K,
+            )
+            .map(|()| (out.span, s.flag_jobs().len()))
+        }
+        other => {
+            eprintln!("cannot audit '{other}' (try batch, batch+, profit)");
+            std::process::exit(2);
+        }
+    };
+    match verdict {
+        Ok((span, flags)) => println!(
+            "audit PASSED: {which} on cloud-batch (300 jobs, seed {seed}) — \
+             span {span}, {flags} flag jobs, every start justified by the paper's rules"
+        ),
+        Err(e) => {
+            eprintln!("audit FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_trace(args: &[String]) {
+    let Some(path) = args.first() else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = fjs_workloads::parse_trace(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(2);
+    });
+    let inst = trace.instance;
+    let lb = fjs_opt::best_lower_bound(&inst).get();
+    let stats = fjs_workloads::workload_stats(&inst);
+    println!(
+        "{path}: {} jobs, μ = {:.2}, mean laxity/length = {:.2}, {:.0}% rigid, \
+         load = {:.2}, OPT span ≥ {lb:.3}\n",
+        stats.n,
+        stats.mu,
+        stats.mean_laxity_ratio,
+        100.0 * stats.rigid_fraction,
+        stats.load,
+    );
+    let mut table = fjs_analysis::Table::new(
+        "scheduler comparison",
+        &["scheduler", "span", "span/OPT-LB", "peak concurrency"],
+    );
+    for kind in fjs_schedulers::SchedulerKind::full_set() {
+        let out = kind.run_on(&inst);
+        let m = fjs_core::metrics::schedule_metrics(&out.instance, &out.schedule);
+        table.push_row(vec![
+            kind.label(),
+            format!("{:.3}", out.span.get()),
+            format!("{:.3}", out.span.get() / lb),
+            format!("{}", m.peak_concurrency),
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let cmd = args[0].as_str();
+    let full = args.iter().any(|a| a == "--full");
+    let profile = if full { Profile::Full } else { Profile::Quick };
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv")
+        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+
+    match cmd {
+        "gantt" => {
+            cmd_gantt(&args[1..]);
+        }
+        "trace" => {
+            cmd_trace(&args[1..]);
+        }
+        "audit" => {
+            cmd_audit(&args[1..]);
+        }
+        "list" => {
+            for e in all() {
+                println!("{:4}  {}", e.id, e.title);
+            }
+        }
+        "all" => {
+            for e in all() {
+                run_one(&e, profile, csv_dir.as_deref());
+            }
+        }
+        id => match by_id(id) {
+            Some(e) => run_one(&e, profile, csv_dir.as_deref()),
+            None => usage(),
+        },
+    }
+}
+
+fn run_one(e: &Experiment, profile: Profile, csv_dir: Option<&str>) {
+    eprintln!("==> {} — {} [{:?}]", e.id, e.title, profile);
+    let start = Instant::now();
+    let tables = (e.run)(profile);
+    for (i, t) in tables.iter().enumerate() {
+        println!("{}", t.render());
+        if let Some(dir) = csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = format!("{dir}/{}-{}.csv", e.id, i);
+            let mut f = std::fs::File::create(&path).expect("create csv file");
+            f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            eprintln!("    wrote {path}");
+        }
+    }
+    eprintln!("<== {} done in {:.2}s", e.id, start.elapsed().as_secs_f64());
+}

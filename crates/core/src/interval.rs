@@ -1,0 +1,364 @@
+//! Half-open intervals `[lo, hi)` and measurable unions of them.
+//!
+//! The span objective of the paper is `len(⋃_J [s(J), s(J)+p(J)))`; the
+//! [`IntervalSet`] type maintains a sorted list of disjoint intervals so that
+//! unions and measures are exact (no discretization).
+
+use crate::time::{Dur, Time};
+use std::fmt;
+
+/// A half-open time interval `[lo, hi)`. Empty iff `lo >= hi`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interval {
+    lo: Time,
+    hi: Time,
+}
+
+impl Interval {
+    /// Creates `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`. (Zero-length intervals are allowed and are empty.)
+    #[track_caller]
+    pub fn new(lo: Time, hi: Time) -> Self {
+        assert!(lo <= hi, "interval endpoints out of order: [{lo}, {hi})");
+        Interval { lo, hi }
+    }
+
+    /// The active interval of a job started at `start` with length `len`.
+    #[track_caller]
+    pub fn active(start: Time, len: Dur) -> Self {
+        Interval::new(start, start + len)
+    }
+
+    /// Left endpoint (`I⁻` in the paper).
+    #[inline]
+    pub fn lo(&self) -> Time {
+        self.lo
+    }
+
+    /// Right endpoint (`I⁺` in the paper).
+    #[inline]
+    pub fn hi(&self) -> Time {
+        self.hi
+    }
+
+    /// `len(I) = I⁺ − I⁻`.
+    #[inline]
+    pub fn len(&self) -> Dur {
+        self.hi - self.lo
+    }
+
+    /// Whether the interval is empty (`lo == hi`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo >= self.hi
+    }
+
+    /// Whether `t ∈ [lo, hi)`.
+    #[inline]
+    pub fn contains(&self, t: Time) -> bool {
+        self.lo <= t && t < self.hi
+    }
+
+    /// Whether `other ⊆ self`.
+    #[inline]
+    pub fn contains_interval(&self, other: &Interval) -> bool {
+        other.is_empty() || (self.lo <= other.lo && other.hi <= self.hi)
+    }
+
+    /// Whether the two half-open intervals share a point.
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.lo < other.hi && other.lo < self.hi
+    }
+
+    /// Intersection of two intervals; `None` if disjoint (or touching).
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo < hi).then_some(Interval { lo, hi })
+    }
+
+    /// Length of the overlap with `other` (zero if disjoint).
+    pub fn overlap_len(&self, other: &Interval) -> Dur {
+        self.intersect(other).map_or(Dur::ZERO, |i| i.len())
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.lo, self.hi)
+    }
+}
+
+/// A union of half-open intervals, stored as sorted, disjoint, non-touching,
+/// non-empty segments. The measure of the set is the *span* when the
+/// segments are job active intervals.
+///
+/// ```
+/// use fjs_core::interval::{Interval, IntervalSet};
+/// use fjs_core::time::{t, dur};
+///
+/// let set: IntervalSet = [
+///     Interval::new(t(0.0), t(2.0)),
+///     Interval::new(t(1.0), t(3.0)),  // overlaps → merges
+///     Interval::new(t(5.0), t(6.0)),  // gap → second segment
+/// ].into_iter().collect();
+/// assert_eq!(set.num_segments(), 2);
+/// assert_eq!(set.measure(), dur(4.0));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
+pub struct IntervalSet {
+    /// Sorted by `lo`; pairwise disjoint with strict gaps between segments.
+    segs: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        IntervalSet::default()
+    }
+
+    /// Builds the union of arbitrary intervals.
+    pub fn from_intervals<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        let mut s = IntervalSet::new();
+        for iv in iter {
+            s.insert(iv);
+        }
+        s
+    }
+
+    /// Inserts (unions) one interval. Amortized `O(log n + k)` where `k` is
+    /// the number of segments merged away.
+    pub fn insert(&mut self, iv: Interval) {
+        if iv.is_empty() {
+            return;
+        }
+        // Find the first segment whose right endpoint reaches iv.lo
+        // (touching segments merge: [0,1) ∪ [1,2) = [0,2)).
+        let start = self.segs.partition_point(|s| s.hi < iv.lo);
+        // Find the first segment strictly to the right of iv (no touching).
+        let end = self.segs.partition_point(|s| s.lo <= iv.hi);
+        if start == end {
+            self.segs.insert(start, iv);
+            return;
+        }
+        let lo = iv.lo.min(self.segs[start].lo);
+        let hi = iv.hi.max(self.segs[end - 1].hi);
+        self.segs.drain(start + 1..end);
+        self.segs[start] = Interval { lo, hi };
+    }
+
+    /// Unions another set into this one.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        for seg in &other.segs {
+            self.insert(*seg);
+        }
+    }
+
+    /// Total measure of the set (`span` when segments are active intervals).
+    pub fn measure(&self) -> Dur {
+        self.segs.iter().map(|s| s.len()).sum()
+    }
+
+    /// Number of maximal contiguous segments.
+    pub fn num_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// The maximal contiguous segments, sorted.
+    pub fn segments(&self) -> &[Interval] {
+        &self.segs
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.segs.is_empty()
+    }
+
+    /// Whether `t` lies in the set.
+    pub fn contains(&self, t: Time) -> bool {
+        let idx = self.segs.partition_point(|s| s.hi <= t);
+        self.segs.get(idx).is_some_and(|s| s.contains(t))
+    }
+
+    /// Whether `iv ⊆ self` (as point sets).
+    pub fn contains_interval(&self, iv: &Interval) -> bool {
+        if iv.is_empty() {
+            return true;
+        }
+        let idx = self.segs.partition_point(|s| s.hi <= iv.lo);
+        self.segs.get(idx).is_some_and(|s| s.contains_interval(iv))
+    }
+
+    /// The maximal contiguous segment containing `t`, if any.
+    ///
+    /// This is the `I_S(J)` operation used throughout Section 4 of the paper:
+    /// the contiguous busy interval a given active interval falls in.
+    pub fn segment_containing(&self, t: Time) -> Option<Interval> {
+        let idx = self.segs.partition_point(|s| s.hi <= t);
+        self.segs.get(idx).filter(|s| s.contains(t)).copied()
+    }
+
+    /// Measure of the intersection of `self` with `iv`.
+    pub fn measure_within(&self, iv: &Interval) -> Dur {
+        self.segs.iter().map(|s| s.overlap_len(iv)).sum()
+    }
+
+    /// Leftmost point of the set, if non-empty.
+    pub fn lo(&self) -> Option<Time> {
+        self.segs.first().map(|s| s.lo)
+    }
+
+    /// Rightmost point of the set, if non-empty.
+    pub fn hi(&self) -> Option<Time> {
+        self.segs.last().map(|s| s.hi)
+    }
+}
+
+impl FromIterator<Interval> for IntervalSet {
+    fn from_iter<I: IntoIterator<Item = Interval>>(iter: I) -> Self {
+        IntervalSet::from_intervals(iter)
+    }
+}
+
+impl fmt::Display for IntervalSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, seg) in self.segs.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∪ ")?;
+            }
+            write!(f, "{seg}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{dur, t};
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(t(lo), t(hi))
+    }
+
+    #[test]
+    fn interval_basics() {
+        let i = iv(1.0, 3.0);
+        assert_eq!(i.len(), dur(2.0));
+        assert!(i.contains(t(1.0)));
+        assert!(i.contains(t(2.999)));
+        assert!(!i.contains(t(3.0)), "half-open: right endpoint excluded");
+        assert!(!i.contains(t(0.999)));
+        assert!(!i.is_empty());
+        assert!(iv(2.0, 2.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_interval_panics() {
+        let _ = iv(3.0, 1.0);
+    }
+
+    #[test]
+    fn overlap_semantics_half_open() {
+        // Touching half-open intervals do not overlap…
+        assert!(!iv(0.0, 1.0).overlaps(&iv(1.0, 2.0)));
+        // …but properly intersecting ones do.
+        assert!(iv(0.0, 1.5).overlaps(&iv(1.0, 2.0)));
+        assert_eq!(iv(0.0, 1.5).overlap_len(&iv(1.0, 2.0)), dur(0.5));
+        assert_eq!(iv(0.0, 1.0).overlap_len(&iv(1.0, 2.0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn intersect() {
+        assert_eq!(iv(0.0, 2.0).intersect(&iv(1.0, 3.0)), Some(iv(1.0, 2.0)));
+        assert_eq!(iv(0.0, 1.0).intersect(&iv(1.0, 3.0)), None);
+        assert_eq!(iv(0.0, 5.0).intersect(&iv(1.0, 3.0)), Some(iv(1.0, 3.0)));
+    }
+
+    #[test]
+    fn set_merges_touching_segments() {
+        let s = IntervalSet::from_intervals([iv(0.0, 1.0), iv(1.0, 2.0)]);
+        assert_eq!(s.num_segments(), 1);
+        assert_eq!(s.measure(), dur(2.0));
+    }
+
+    #[test]
+    fn set_keeps_gaps() {
+        let s = IntervalSet::from_intervals([iv(0.0, 1.0), iv(2.0, 3.0)]);
+        assert_eq!(s.num_segments(), 2);
+        assert_eq!(s.measure(), dur(2.0));
+        assert!(s.contains(t(0.5)));
+        assert!(!s.contains(t(1.5)));
+    }
+
+    #[test]
+    fn set_insert_merging_many() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(0.0, 1.0));
+        s.insert(iv(4.0, 5.0));
+        s.insert(iv(2.0, 3.0));
+        assert_eq!(s.num_segments(), 3);
+        // Bridge all three.
+        s.insert(iv(0.5, 4.5));
+        assert_eq!(s.num_segments(), 1);
+        assert_eq!(s.measure(), dur(5.0));
+        assert_eq!(s.segments()[0], iv(0.0, 5.0));
+    }
+
+    #[test]
+    fn set_insert_empty_is_noop() {
+        let mut s = IntervalSet::new();
+        s.insert(iv(1.0, 1.0));
+        assert!(s.is_empty());
+        assert_eq!(s.measure(), Dur::ZERO);
+    }
+
+    #[test]
+    fn set_insert_contained() {
+        let mut s = IntervalSet::from_intervals([iv(0.0, 10.0)]);
+        s.insert(iv(3.0, 4.0));
+        assert_eq!(s.num_segments(), 1);
+        assert_eq!(s.measure(), dur(10.0));
+    }
+
+    #[test]
+    fn segment_containing_lookup() {
+        let s = IntervalSet::from_intervals([iv(0.0, 1.0), iv(2.0, 5.0)]);
+        assert_eq!(s.segment_containing(t(3.0)), Some(iv(2.0, 5.0)));
+        assert_eq!(s.segment_containing(t(1.5)), None);
+        assert_eq!(s.segment_containing(t(1.0)), None, "right endpoint excluded");
+        assert_eq!(s.segment_containing(t(2.0)), Some(iv(2.0, 5.0)));
+    }
+
+    #[test]
+    fn contains_interval_subset() {
+        let s = IntervalSet::from_intervals([iv(0.0, 2.0), iv(3.0, 6.0)]);
+        assert!(s.contains_interval(&iv(3.5, 5.0)));
+        assert!(s.contains_interval(&iv(0.0, 2.0)));
+        assert!(!s.contains_interval(&iv(1.0, 4.0)), "spans a gap");
+        assert!(s.contains_interval(&iv(9.0, 9.0)), "empty interval always contained");
+    }
+
+    #[test]
+    fn measure_within_window() {
+        let s = IntervalSet::from_intervals([iv(0.0, 2.0), iv(3.0, 6.0)]);
+        assert_eq!(s.measure_within(&iv(1.0, 4.0)), dur(2.0));
+        assert_eq!(s.measure_within(&iv(10.0, 20.0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn union_with_other_set() {
+        let mut a = IntervalSet::from_intervals([iv(0.0, 1.0)]);
+        let b = IntervalSet::from_intervals([iv(0.5, 2.0), iv(5.0, 6.0)]);
+        a.union_with(&b);
+        assert_eq!(a.num_segments(), 2);
+        assert_eq!(a.measure(), dur(3.0));
+        assert_eq!(a.lo(), Some(t(0.0)));
+        assert_eq!(a.hi(), Some(t(6.0)));
+    }
+}

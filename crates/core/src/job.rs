@@ -1,0 +1,398 @@
+//! Jobs and problem instances.
+//!
+//! Following the paper's notation, a job `J` has an arrival time `a(J)`, a
+//! *starting deadline* `d(J)` (the latest allowed start, not a completion
+//! deadline) and a processing length `p(J)`. `d(J) − a(J)` is the *laxity*.
+
+use crate::interval::Interval;
+use crate::time::{Dur, Time};
+use std::fmt;
+
+/// Dense job identifier: index into an [`Instance`] (or, during simulation,
+/// release order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+impl JobId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// A fully specified job (length known to the *instance*, though not
+/// necessarily to the scheduler).
+///
+/// ```
+/// use fjs_core::job::Job;
+/// use fjs_core::time::{t, dur};
+///
+/// let j = Job::adp(1.0, 4.0, 2.0); // arrives at 1, must start by 4, runs 2
+/// assert_eq!(j.laxity(), dur(3.0));
+/// assert_eq!(j.latest_completion(), t(6.0));
+/// assert!(j.can_start_at(t(4.0)) && !j.can_start_at(t(4.5)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Job {
+    arrival: Time,
+    deadline: Time,
+    length: Dur,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    /// Panics unless `arrival <= deadline` and `length > 0`.
+    #[track_caller]
+    pub fn new(arrival: Time, deadline: Time, length: Dur) -> Self {
+        assert!(
+            arrival <= deadline,
+            "starting deadline {deadline} precedes arrival {arrival}"
+        );
+        assert!(length.is_positive(), "processing length must be positive, got {length}");
+        Job { arrival, deadline, length }
+    }
+
+    /// Convenience constructor from raw `f64`s: `(a, d, p)`.
+    #[track_caller]
+    pub fn adp(arrival: f64, deadline: f64, length: f64) -> Self {
+        Job::new(Time::new(arrival), Time::new(deadline), Dur::new(length))
+    }
+
+    /// A *rigid* job (zero laxity: must start at its arrival).
+    #[track_caller]
+    pub fn rigid(arrival: Time, length: Dur) -> Self {
+        Job::new(arrival, arrival, length)
+    }
+
+    /// Builds a job from the *busy-time literature's* convention — a
+    /// release time and a **completion deadline** `D` (the job must finish
+    /// by `D`) — converting to this crate's starting-deadline convention
+    /// via `d = D − p`. This is the equivalence the paper's concluding
+    /// remarks use to relate Clairvoyant FJS to online busy-time
+    /// scheduling with unbounded capacity (Koehler & Khuller).
+    ///
+    /// # Panics
+    /// Panics unless the window admits the job (`D − p ≥ arrival`) and
+    /// `p > 0`.
+    #[track_caller]
+    pub fn with_completion_deadline(arrival: Time, completion_deadline: Time, length: Dur) -> Self {
+        Job::new(arrival, completion_deadline - length, length)
+    }
+
+    /// Arrival time `a(J)`.
+    #[inline]
+    pub fn arrival(&self) -> Time {
+        self.arrival
+    }
+
+    /// Starting deadline `d(J)` (latest allowed start).
+    #[inline]
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// Processing length `p(J)`.
+    #[inline]
+    pub fn length(&self) -> Dur {
+        self.length
+    }
+
+    /// Laxity `d(J) − a(J)`.
+    #[inline]
+    pub fn laxity(&self) -> Dur {
+        self.deadline - self.arrival
+    }
+
+    /// The window of feasible start times `[a(J), d(J)]`.
+    #[inline]
+    pub fn start_window(&self) -> (Time, Time) {
+        (self.arrival, self.deadline)
+    }
+
+    /// Whether `s` is a feasible start time for this job.
+    #[inline]
+    pub fn can_start_at(&self, s: Time) -> bool {
+        self.arrival <= s && s <= self.deadline
+    }
+
+    /// Latest possible completion time `d(J) + p(J)`.
+    #[inline]
+    pub fn latest_completion(&self) -> Time {
+        self.deadline + self.length
+    }
+
+    /// The *mandatory part* of the job: the interval covered by every
+    /// feasible placement, `[d(J), a(J)+p(J))` (empty when the laxity is at
+    /// least `p(J)`).
+    pub fn mandatory_part(&self) -> Option<Interval> {
+        let lo = self.deadline;
+        let hi = self.arrival + self.length;
+        (lo < hi).then(|| Interval::new(lo, hi))
+    }
+
+    /// Active interval when started at `s`.
+    #[track_caller]
+    pub fn active_interval_at(&self, s: Time) -> Interval {
+        Interval::active(s, self.length)
+    }
+
+    /// Whether the active intervals of `self` and `other` can never overlap
+    /// under *any* scheduler: `other` arrives no earlier than the latest
+    /// possible completion of `self`, or vice versa. This is the
+    /// non-overlappability relation that powers every optimal-span lower
+    /// bound in the paper.
+    pub fn never_overlaps(&self, other: &Job) -> bool {
+        other.arrival >= self.latest_completion() || self.arrival >= other.latest_completion()
+    }
+}
+
+impl fmt::Display for Job {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(a={}, d={}, p={})", self.arrival, self.deadline, self.length)
+    }
+}
+
+/// A static problem instance: a finite set of jobs with known lengths.
+///
+/// Jobs need not be sorted; [`Instance::new`] keeps the given order so that
+/// `JobId(i)` always refers to the `i`-th job, but iteration helpers provide
+/// arrival order where needed.
+#[derive(Clone, Default, PartialEq, Debug)]
+pub struct Instance {
+    jobs: Vec<Job>,
+}
+
+impl Instance {
+    /// Creates an instance from a list of jobs.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        Instance { jobs }
+    }
+
+    /// The empty instance.
+    pub fn empty() -> Self {
+        Instance::default()
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the instance has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The job with the given id.
+    ///
+    /// # Panics
+    /// Panics if the id is out of range.
+    #[track_caller]
+    pub fn job(&self, id: JobId) -> &Job {
+        &self.jobs[id.index()]
+    }
+
+    /// All jobs, in id order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// `(id, job)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (JobId, &Job)> {
+        self.jobs.iter().enumerate().map(|(i, j)| (JobId(i as u32), j))
+    }
+
+    /// Job ids sorted by `(arrival, id)`.
+    pub fn ids_by_arrival(&self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = (0..self.jobs.len() as u32).map(JobId).collect();
+        ids.sort_by_key(|id| (self.job(*id).arrival(), *id));
+        ids
+    }
+
+    /// Appends a job and returns its id.
+    pub fn push(&mut self, job: Job) -> JobId {
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(job);
+        id
+    }
+
+    /// The max/min processing-length ratio `μ` of the instance.
+    ///
+    /// Returns `None` for an empty instance; `Some(1.0)` for uniform lengths.
+    pub fn mu(&self) -> Option<f64> {
+        let max = self.jobs.iter().map(|j| j.length()).max()?;
+        let min = self.jobs.iter().map(|j| j.length()).min()?;
+        Some(max.ratio(min))
+    }
+
+    /// Total processing length `Σ p(J)`.
+    pub fn total_work(&self) -> Dur {
+        self.jobs.iter().map(|j| j.length()).sum()
+    }
+
+    /// Maximum processing length.
+    pub fn max_length(&self) -> Option<Dur> {
+        self.jobs.iter().map(|j| j.length()).max()
+    }
+
+    /// Minimum processing length.
+    pub fn min_length(&self) -> Option<Dur> {
+        self.jobs.iter().map(|j| j.length()).min()
+    }
+
+    /// Earliest arrival.
+    pub fn first_arrival(&self) -> Option<Time> {
+        self.jobs.iter().map(|j| j.arrival()).min()
+    }
+
+    /// Latest possible completion over all jobs (`max d(J)+p(J)`), i.e. an
+    /// upper bound on the time horizon any feasible schedule can touch.
+    pub fn horizon(&self) -> Option<Time> {
+        self.jobs.iter().map(|j| j.latest_completion()).max()
+    }
+}
+
+impl FromIterator<Job> for Instance {
+    fn from_iter<I: IntoIterator<Item = Job>>(iter: I) -> Self {
+        Instance::new(iter.into_iter().collect())
+    }
+}
+
+impl std::ops::Index<JobId> for Instance {
+    type Output = Job;
+    fn index(&self, id: JobId) -> &Job {
+        self.job(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{dur, t};
+
+    #[test]
+    fn job_accessors() {
+        let j = Job::adp(1.0, 4.0, 2.0);
+        assert_eq!(j.arrival(), t(1.0));
+        assert_eq!(j.deadline(), t(4.0));
+        assert_eq!(j.length(), dur(2.0));
+        assert_eq!(j.laxity(), dur(3.0));
+        assert_eq!(j.latest_completion(), t(6.0));
+        assert!(j.can_start_at(t(1.0)));
+        assert!(j.can_start_at(t(4.0)));
+        assert!(!j.can_start_at(t(4.5)));
+        assert!(!j.can_start_at(t(0.5)));
+    }
+
+    #[test]
+    fn completion_deadline_conversion() {
+        // Busy-time convention: finish by 10, length 3 → may start until 7.
+        let j = Job::with_completion_deadline(t(2.0), t(10.0), dur(3.0));
+        assert_eq!(j.deadline(), t(7.0));
+        assert_eq!(j.latest_completion(), t(10.0));
+        // Tight window: must start immediately.
+        let tight = Job::with_completion_deadline(t(2.0), t(5.0), dur(3.0));
+        assert_eq!(tight.laxity(), Dur::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes arrival")]
+    fn completion_deadline_too_tight_rejected() {
+        let _ = Job::with_completion_deadline(t(2.0), t(4.0), dur(3.0));
+    }
+
+    #[test]
+    fn rigid_job_has_zero_laxity() {
+        let j = Job::rigid(t(2.0), dur(5.0));
+        assert_eq!(j.laxity(), Dur::ZERO);
+        assert_eq!(j.deadline(), t(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes arrival")]
+    fn deadline_before_arrival_rejected() {
+        let _ = Job::adp(2.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_length_rejected() {
+        let _ = Job::adp(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn mandatory_part() {
+        // Laxity 1 < p = 3 → mandatory part [d, a+p) = [1, 3).
+        let j = Job::adp(0.0, 1.0, 3.0);
+        assert_eq!(j.mandatory_part(), Some(Interval::new(t(1.0), t(3.0))));
+        // Laxity 5 >= p = 3 → no mandatory part.
+        let j2 = Job::adp(0.0, 5.0, 3.0);
+        assert_eq!(j2.mandatory_part(), None);
+        // Laxity exactly p → empty mandatory part.
+        let j3 = Job::adp(0.0, 3.0, 3.0);
+        assert_eq!(j3.mandatory_part(), None);
+    }
+
+    #[test]
+    fn never_overlaps_relation() {
+        let early = Job::adp(0.0, 1.0, 2.0); // latest completion 3
+        let late = Job::adp(3.0, 10.0, 1.0);
+        assert!(early.never_overlaps(&late));
+        assert!(late.never_overlaps(&early), "relation is symmetric");
+        let mid = Job::adp(2.5, 10.0, 1.0);
+        assert!(!early.never_overlaps(&mid), "arrives before latest completion");
+    }
+
+    #[test]
+    fn instance_stats() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 1.0),
+            Job::adp(1.0, 5.0, 4.0),
+            Job::adp(2.0, 3.0, 2.0),
+        ]);
+        assert_eq!(inst.len(), 3);
+        assert_eq!(inst.mu(), Some(4.0));
+        assert_eq!(inst.total_work(), dur(7.0));
+        assert_eq!(inst.max_length(), Some(dur(4.0)));
+        assert_eq!(inst.min_length(), Some(dur(1.0)));
+        assert_eq!(inst.first_arrival(), Some(t(0.0)));
+        assert_eq!(inst.horizon(), Some(t(9.0)));
+        assert_eq!(inst[JobId(1)].length(), dur(4.0));
+    }
+
+    #[test]
+    fn empty_instance_stats() {
+        let inst = Instance::empty();
+        assert!(inst.is_empty());
+        assert_eq!(inst.mu(), None);
+        assert_eq!(inst.horizon(), None);
+        assert_eq!(inst.total_work(), Dur::ZERO);
+    }
+
+    #[test]
+    fn ids_by_arrival_breaks_ties_by_id() {
+        let inst = Instance::new(vec![
+            Job::adp(5.0, 6.0, 1.0),
+            Job::adp(0.0, 1.0, 1.0),
+            Job::adp(0.0, 2.0, 1.0),
+        ]);
+        assert_eq!(inst.ids_by_arrival(), vec![JobId(1), JobId(2), JobId(0)]);
+    }
+
+    #[test]
+    fn push_assigns_sequential_ids() {
+        let mut inst = Instance::empty();
+        assert_eq!(inst.push(Job::adp(0.0, 1.0, 1.0)), JobId(0));
+        assert_eq!(inst.push(Job::adp(1.0, 2.0, 1.0)), JobId(1));
+        assert_eq!(inst.len(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! Schedule metrics beyond the span: concurrency profile, waiting times,
+//! utilization. These quantify *how* a scheduler achieves its span (the
+//! paper's algorithms all work by boosting concurrency) and feed the
+//! MinUsageTime DBP bounds (peak concurrency bounds the number of unit
+//! bins any packing needs for unit-size items).
+
+use crate::job::Instance;
+use crate::schedule::Schedule;
+use crate::time::{Dur, Time};
+
+/// Aggregate metrics of a complete schedule.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ScheduleMetrics {
+    /// The span (union measure).
+    pub span: Dur,
+    /// Maximum number of simultaneously running jobs.
+    pub peak_concurrency: usize,
+    /// Time-average concurrency over the busy period (`total work / span`).
+    pub mean_concurrency: f64,
+    /// Total waiting time `Σ (s(J) − a(J))`.
+    pub total_wait: Dur,
+    /// Largest single wait.
+    pub max_wait: Dur,
+    /// Fraction of total laxity actually used, in `[0, 1]` (0 when no job
+    /// has laxity).
+    pub laxity_utilization: f64,
+}
+
+/// Computes metrics for a complete schedule.
+///
+/// # Panics
+/// Panics if the schedule is incomplete or sized differently from the
+/// instance.
+pub fn schedule_metrics(inst: &Instance, schedule: &Schedule) -> ScheduleMetrics {
+    assert_eq!(schedule.len(), inst.len(), "schedule/instance size mismatch");
+    let span = schedule.span(inst);
+    let peak = concurrency_profile(inst, schedule)
+        .into_iter()
+        .map(|(_, c)| c)
+        .max()
+        .unwrap_or(0);
+
+    let mut total_wait = Dur::ZERO;
+    let mut max_wait = Dur::ZERO;
+    let mut total_laxity = Dur::ZERO;
+    for (id, job) in inst.iter() {
+        let s = schedule.start(id).expect("metrics need a complete schedule");
+        let wait = s - job.arrival();
+        total_wait += wait;
+        max_wait = max_wait.max(wait);
+        total_laxity += job.laxity();
+    }
+    let mean_concurrency = if span.is_positive() {
+        inst.total_work().ratio(span)
+    } else {
+        0.0
+    };
+    let laxity_utilization = if total_laxity.is_positive() {
+        total_wait.ratio(total_laxity)
+    } else {
+        0.0
+    };
+    ScheduleMetrics {
+        span,
+        peak_concurrency: peak,
+        mean_concurrency,
+        total_wait,
+        max_wait,
+        laxity_utilization,
+    }
+}
+
+/// The stepwise concurrency profile: `(time, running count)` at every
+/// change point, sorted by time. The count applies on `[time, next time)`.
+pub fn concurrency_profile(inst: &Instance, schedule: &Schedule) -> Vec<(Time, usize)> {
+    let mut events: Vec<(Time, i32)> = Vec::with_capacity(2 * inst.len());
+    for (id, job) in inst.iter() {
+        if let Some(s) = schedule.start(id) {
+            events.push((s, 1));
+            events.push((s + job.length(), -1));
+        }
+    }
+    // Departures before arrivals at equal times (half-open intervals).
+    events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+    let mut profile = Vec::new();
+    let mut count: i32 = 0;
+    let mut i = 0;
+    while i < events.len() {
+        let t = events[i].0;
+        while i < events.len() && events[i].0 == t {
+            count += events[i].1;
+            i += 1;
+        }
+        debug_assert!(count >= 0);
+        profile.push((t, count as usize));
+    }
+    profile
+}
+
+/// The number of running jobs at an instant (half-open semantics: a job
+/// completing exactly at `t` is not running at `t`).
+pub fn concurrency_at(inst: &Instance, schedule: &Schedule, t: Time) -> usize {
+    inst.iter()
+        .filter(|(id, job)| {
+            schedule
+                .start(*id)
+                .is_some_and(|s| s <= t && t < s + job.length())
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Job, JobId};
+    use crate::time::{dur, t};
+
+    fn setup() -> (Instance, Schedule) {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 5.0, 2.0),
+            Job::adp(0.0, 5.0, 3.0),
+            Job::adp(4.0, 9.0, 1.0),
+        ]);
+        let s = Schedule::from_starts(
+            3,
+            [(JobId(0), t(1.0)), (JobId(1), t(2.0)), (JobId(2), t(8.0))],
+        );
+        (inst, s)
+    }
+
+    #[test]
+    fn profile_counts_steps() {
+        let (inst, s) = setup();
+        // Intervals: [1,3), [2,5), [8,9).
+        let profile = concurrency_profile(&inst, &s);
+        assert_eq!(
+            profile,
+            vec![
+                (t(1.0), 1),
+                (t(2.0), 2),
+                (t(3.0), 1),
+                (t(5.0), 0),
+                (t(8.0), 1),
+                (t(9.0), 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn concurrency_at_instants() {
+        let (inst, s) = setup();
+        assert_eq!(concurrency_at(&inst, &s, t(0.5)), 0);
+        assert_eq!(concurrency_at(&inst, &s, t(2.5)), 2);
+        assert_eq!(concurrency_at(&inst, &s, t(3.0)), 1, "half-open: J0 done at 3");
+        assert_eq!(concurrency_at(&inst, &s, t(8.0)), 1);
+        assert_eq!(concurrency_at(&inst, &s, t(9.0)), 0);
+    }
+
+    #[test]
+    fn metrics_aggregates() {
+        let (inst, s) = setup();
+        let m = schedule_metrics(&inst, &s);
+        assert_eq!(m.span, dur(5.0)); // [1,5) ∪ [8,9)
+        assert_eq!(m.peak_concurrency, 2);
+        assert!((m.mean_concurrency - 6.0 / 5.0).abs() < 1e-12);
+        assert_eq!(m.total_wait, dur(1.0 + 2.0 + 4.0));
+        assert_eq!(m.max_wait, dur(4.0));
+        // Laxities 5, 5, 5 → utilization 7/15.
+        assert!((m.laxity_utilization - 7.0 / 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_schedule_has_zero_wait() {
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 1.0), Job::adp(2.0, 2.0, 1.0)]);
+        let s = Schedule::from_starts(2, [(JobId(0), t(0.0)), (JobId(1), t(2.0))]);
+        let m = schedule_metrics(&inst, &s);
+        assert_eq!(m.total_wait, Dur::ZERO);
+        assert_eq!(m.laxity_utilization, 0.0);
+        assert_eq!(m.peak_concurrency, 1);
+    }
+
+    #[test]
+    fn simultaneous_departure_arrival_ordering() {
+        // J0 ends exactly when J1 starts: peak must be 1, not 2.
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 2.0), Job::adp(2.0, 2.0, 2.0)]);
+        let s = Schedule::from_starts(2, [(JobId(0), t(0.0)), (JobId(1), t(2.0))]);
+        let m = schedule_metrics(&inst, &s);
+        assert_eq!(m.peak_concurrency, 1);
+        let profile = concurrency_profile(&inst, &s);
+        assert_eq!(profile, vec![(t(0.0), 1), (t(2.0), 1), (t(4.0), 0)]);
+    }
+
+    #[test]
+    fn empty_instance_metrics() {
+        let inst = Instance::empty();
+        let s = Schedule::with_len(0);
+        let m = schedule_metrics(&inst, &s);
+        assert_eq!(m.span, Dur::ZERO);
+        assert_eq!(m.peak_concurrency, 0);
+        assert_eq!(m.mean_concurrency, 0.0);
+    }
+}

@@ -1,0 +1,729 @@
+//! The event-driven simulation engine.
+//!
+//! Drives an [`OnlineScheduler`] against an [`Environment`] and produces a
+//! [`SimOutcome`]: the materialized instance, the schedule, its span, and
+//! any feasibility violations.
+//!
+//! # Event ordering
+//!
+//! Multiple events may share a timestamp; they are processed in a fixed kind
+//! order chosen to match the paper's semantics of half-open active intervals
+//! `[s, s+p)`:
+//!
+//! 1. **Completions** — a job is *not* running at its completion instant, so
+//!    completions precede everything else (e.g. the Theorem 3.3 adversary
+//!    releases iteration `i+1` exactly at the earmarked job's completion,
+//!    and those arrivals must observe the job as finished).
+//! 2. **Releases** — arrivals at this instant.
+//! 3. **Ordered starts** — `Ctx::start_at` commitments falling due.
+//! 4. **Length probes** — deferred adaptive-length rulings.
+//! 5. **Deadline alarms** — last-chance notifications for pending jobs.
+//! 6. **Wakeups** — scheduler-requested callbacks.
+//!
+//! Within a kind, ties break by insertion sequence (FIFO), which makes runs
+//! fully deterministic.
+
+use crate::job::{Instance, JobId};
+use crate::schedule::Schedule;
+use crate::sim::env::{Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec};
+use crate::sim::sched::{Action, Arrival, Ctx, OnlineScheduler};
+use crate::sim::trace::{TraceEvent, TraceKind};
+use crate::sim::world::{JobStatus, World};
+use crate::time::{Dur, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Engine limits and options.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Hard cap on processed events (guards against runaway adaptive
+    /// environments or scheduler wakeup loops).
+    pub max_events: usize,
+    /// Record a chronological [`TraceEvent`] log in the outcome.
+    pub record_trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_events: 50_000_000, record_trace: false }
+    }
+}
+
+/// A feasibility violation: the scheduler let a pending job pass its
+/// starting deadline. The engine force-starts the job at the deadline so the
+/// run can continue, but correct schedulers must never trigger this.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Violation {
+    /// The job that was not started in time.
+    pub id: JobId,
+    /// The deadline at which the engine force-started it.
+    pub at: Time,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} missed its starting deadline at {}", self.id, self.at)
+    }
+}
+
+/// The result of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimOutcome {
+    /// All released jobs with their final lengths, in release order.
+    pub instance: Instance,
+    /// Start times chosen by the scheduler (complete by construction).
+    pub schedule: Schedule,
+    /// Span of the schedule (cached from [`Schedule::span`]).
+    pub span: Dur,
+    /// Feasibility violations (empty for a correct scheduler).
+    pub violations: Vec<Violation>,
+    /// Total events processed (diagnostics).
+    pub events_processed: usize,
+    /// Chronological event log (empty unless
+    /// [`SimConfig::record_trace`] was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimOutcome {
+    /// Whether the run finished without feasibility violations.
+    pub fn is_feasible(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum EventKind {
+    Completion(JobId),
+    // Releases are not queued; they are pulled from the environment and
+    // slot in at priority `RELEASE_ORDER`.
+    OrderedStart(JobId),
+    LengthProbe(JobId),
+    DeadlineAlarm(JobId),
+    Wakeup(u64),
+}
+
+impl EventKind {
+    fn order(&self) -> u8 {
+        match self {
+            EventKind::Completion(_) => 0,
+            EventKind::OrderedStart(_) => 2,
+            EventKind::LengthProbe(_) => 3,
+            EventKind::DeadlineAlarm(_) => 4,
+            EventKind::Wakeup(_) => 5,
+        }
+    }
+}
+
+/// Priority of a release pseudo-event at equal timestamps.
+const RELEASE_ORDER: u8 = 1;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+struct Event {
+    time: Time,
+    order: u8,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.order, self.seq).cmp(&(other.time, other.order, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Engine<E, S> {
+    world: World,
+    env: E,
+    sched: S,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    violations: Vec<Violation>,
+    events: usize,
+    config: SimConfig,
+    trace: Vec<TraceEvent>,
+}
+
+impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
+    fn record(&mut self, kind: TraceKind) {
+        if self.config.record_trace {
+            self.trace.push(TraceEvent { time: self.world.now(), kind });
+        }
+    }
+
+    fn push(&mut self, time: Time, kind: EventKind) {
+        self.queue.push(Reverse(Event { time, order: kind.order(), seq: self.seq, kind }));
+        self.seq += 1;
+    }
+
+    /// Starts a pending job at `at`; consults the environment for adaptive
+    /// lengths and schedules the completion or probe.
+    fn start_job(&mut self, id: JobId, at: Time) {
+        assert!(self.world.is_pending(id), "starting non-pending job {id}");
+        let rec = self.world.job(id);
+        assert!(
+            rec.arrival() <= at && at <= rec.deadline(),
+            "start of {id} at {at} outside its window [{}, {}]",
+            rec.arrival(),
+            rec.deadline()
+        );
+        let known = rec.length();
+        self.world.mark_started(id, at);
+        self.record(TraceKind::Started { id });
+        match known {
+            Some(p) => self.push(at + p, EventKind::Completion(id)),
+            None => match self.env.rule_length(id, at, at, &self.world) {
+                LengthRuling::Assign(p) => {
+                    assert!(p.is_positive(), "ruled non-positive length {p} for {id}");
+                    self.world.set_length(id, p);
+                    self.record(TraceKind::LengthRuled { id, length: p });
+                    self.push(at + p, EventKind::Completion(id));
+                }
+                LengthRuling::AskAgainAt(t) => {
+                    assert!(t > at, "length probe for {id} must defer forward");
+                    self.push(t, EventKind::LengthProbe(id));
+                }
+            },
+        }
+    }
+
+    /// Applies the actions a scheduler requested during one callback.
+    fn apply_actions(&mut self, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::StartNow(id) => {
+                    let now = self.world.now();
+                    self.start_job(id, now);
+                }
+                Action::StartAt(id, at) => {
+                    assert!(self.world.is_pending(id), "start_at for non-pending job {id}");
+                    let now = self.world.now();
+                    let rec = self.world.job(id);
+                    assert!(
+                        rec.ordered_start().is_none(),
+                        "start_at for job {id} which already has an ordered start"
+                    );
+                    assert!(
+                        at >= now && at >= rec.arrival() && at <= rec.deadline(),
+                        "start_at({id}, {at}) outside [max(now,a), d] = [{}, {}]",
+                        now.max(rec.arrival()),
+                        rec.deadline()
+                    );
+                    self.world.set_ordered_start(id, at);
+                    self.push(at, EventKind::OrderedStart(id));
+                }
+                Action::WakeAt(at, token) => {
+                    assert!(
+                        at >= self.world.now(),
+                        "wake_at({at}) in the past (now = {})",
+                        self.world.now()
+                    );
+                    self.push(at, EventKind::Wakeup(token));
+                }
+            }
+        }
+    }
+
+    fn dispatch_arrival(&mut self, arrival: Arrival) {
+        let mut ctx = Ctx::new(&self.world);
+        self.sched.on_arrival(arrival, &mut ctx);
+        let actions = ctx.into_actions();
+        self.apply_actions(actions);
+    }
+
+    fn run(mut self) -> SimOutcome {
+        loop {
+            let queued = self.queue.peek().map(|Reverse(e)| (e.time, e.order));
+            let release = self.env.next_release_time(&self.world).map(|rt| {
+                assert!(
+                    rt >= self.world.now(),
+                    "environment scheduled a release in the past: {rt} < {}",
+                    self.world.now()
+                );
+                (rt, RELEASE_ORDER)
+            });
+            let take_release = match (queued, release) {
+                (None, None) => break,
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(q), Some(r)) => r < q,
+            };
+
+            self.events += 1;
+            assert!(
+                self.events <= self.config.max_events,
+                "simulation exceeded {} events (runaway environment or scheduler?)",
+                self.config.max_events
+            );
+
+            if take_release {
+                let now = release.expect("checked").0;
+                self.world.advance_to(now);
+                let specs = self.env.release_at(now, &self.world);
+                let clairvoyance = self.world.clairvoyance();
+                for JobSpec { deadline, length } in specs {
+                    assert!(
+                        deadline >= now,
+                        "released job has deadline {deadline} before arrival {now}"
+                    );
+                    let fixed = match length {
+                        LengthSpec::Fixed(p) => {
+                            assert!(p.is_positive(), "released job has non-positive length {p}");
+                            Some(p)
+                        }
+                        LengthSpec::Adaptive => {
+                            assert!(
+                                !clairvoyance.reveals_class(),
+                                "adaptive lengths require a fully non-clairvoyant run"
+                            );
+                            None
+                        }
+                    };
+                    let id = self.world.release(now, deadline, fixed);
+                    self.record(TraceKind::Released { id, deadline });
+                    self.push(deadline, EventKind::DeadlineAlarm(id));
+                    self.dispatch_arrival(Arrival {
+                        id,
+                        arrival: now,
+                        deadline,
+                        length: if clairvoyance.is_clairvoyant() { fixed } else { None },
+                        length_class: if clairvoyance.reveals_class() {
+                            fixed.map(|p| crate::sim::env::geometric_class(p, 2.0, 1.0))
+                        } else {
+                            None
+                        },
+                    });
+                }
+                continue;
+            }
+
+            let Reverse(event) = self.queue.pop().expect("checked non-empty");
+            self.world.advance_to(event.time);
+            match event.kind {
+                EventKind::Completion(id) => {
+                    self.world.mark_completed(id);
+                    self.record(TraceKind::Completed { id });
+                    let length = self.world.job(id).length().expect("completed job has length");
+                    let mut ctx = Ctx::new(&self.world);
+                    self.sched.on_completion(id, length, &mut ctx);
+                    let actions = ctx.into_actions();
+                    self.apply_actions(actions);
+                }
+                EventKind::OrderedStart(id) => {
+                    if self.world.is_pending(id) {
+                        self.start_job(id, event.time);
+                    }
+                }
+                EventKind::LengthProbe(id) => {
+                    let started_at = self.world.job(id).start().expect("probed job has started");
+                    match self.env.rule_length(id, started_at, event.time, &self.world) {
+                        LengthRuling::Assign(p) => {
+                            assert!(p.is_positive(), "ruled non-positive length {p} for {id}");
+                            let completion = started_at + p;
+                            assert!(
+                                completion >= event.time,
+                                "ruled length puts completion of {id} in the past"
+                            );
+                            self.world.set_length(id, p);
+                            self.record(TraceKind::LengthRuled { id, length: p });
+                            self.push(completion, EventKind::Completion(id));
+                        }
+                        LengthRuling::AskAgainAt(at) => {
+                            assert!(at > event.time, "length probe for {id} must defer forward");
+                            self.push(at, EventKind::LengthProbe(id));
+                        }
+                    }
+                }
+                EventKind::DeadlineAlarm(id) => {
+                    if !self.world.is_pending(id) {
+                        continue; // already started
+                    }
+                    if self.world.job(id).ordered_start().is_some() {
+                        // An ordered start exists; it can only be for this
+                        // very instant (start_at validates t <= d), and the
+                        // OrderedStart event sorts before remaining alarms,
+                        // so reaching here means it was issued during this
+                        // instant. Honor it now.
+                        self.start_job(id, event.time);
+                        continue;
+                    }
+                    let mut ctx = Ctx::new(&self.world);
+                    self.sched.on_deadline(id, &mut ctx);
+                    let actions = ctx.into_actions();
+                    self.apply_actions(actions);
+                    if self.world.is_pending(id) && self.world.job(id).ordered_start().is_none() {
+                        self.violations.push(Violation { id, at: event.time });
+                        self.record(TraceKind::ForcedStart { id });
+                        self.start_job(id, event.time);
+                    }
+                }
+                EventKind::Wakeup(token) => {
+                    self.record(TraceKind::Wakeup { token });
+                    let mut ctx = Ctx::new(&self.world);
+                    self.sched.on_wakeup(token, &mut ctx);
+                    let actions = ctx.into_actions();
+                    self.apply_actions(actions);
+                }
+            }
+        }
+
+        debug_assert_eq!(self.world.num_running(), 0);
+        debug_assert_eq!(self.world.num_pending(), 0);
+
+        let instance = self.world.to_instance();
+        let mut schedule = Schedule::with_len(instance.len());
+        for (i, rec) in self.world.jobs().iter().enumerate() {
+            if let JobStatus::Completed { start, .. } = rec.status() {
+                schedule.set_start(JobId(i as u32), start);
+            }
+        }
+        let span = schedule.span(&instance);
+        SimOutcome {
+            instance,
+            schedule,
+            span,
+            violations: self.violations,
+            events_processed: self.events,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Runs `sched` against `env` until no events remain.
+pub fn run<E: Environment, S: OnlineScheduler>(env: E, sched: S) -> SimOutcome {
+    run_with_config(env, sched, SimConfig::default())
+}
+
+/// Runs with explicit [`SimConfig`].
+pub fn run_with_config<E: Environment, S: OnlineScheduler>(
+    env: E,
+    sched: S,
+    config: SimConfig,
+) -> SimOutcome {
+    Engine {
+        world: World::new(env.clairvoyance()),
+        env,
+        sched,
+        queue: BinaryHeap::new(),
+        seq: 0,
+        violations: Vec::new(),
+        events: 0,
+        config,
+        trace: Vec::new(),
+    }
+    .run()
+}
+
+/// Convenience: runs a scheduler on a static instance.
+///
+/// Note: the outcome's instance lists jobs in *release order* (sorted by
+/// arrival), which may be a permutation of `inst`; spans are unaffected.
+pub fn run_static<S: OnlineScheduler>(
+    inst: &Instance,
+    clairvoyance: Clairvoyance,
+    sched: S,
+) -> SimOutcome {
+    let env = crate::sim::env::StaticEnv::new(inst, clairvoyance);
+    run(env, sched)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::time::{dur, t};
+
+    /// Starts every job the moment it arrives.
+    struct EagerTest;
+    impl OnlineScheduler for EagerTest {
+        fn name(&self) -> String {
+            "eager-test".into()
+        }
+        fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+            ctx.start(job.id);
+        }
+        fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {
+            unreachable!("eager never leaves jobs pending");
+        }
+    }
+
+    /// Starts every job at its deadline via the deadline alarm.
+    struct LazyTest;
+    impl OnlineScheduler for LazyTest {
+        fn name(&self) -> String {
+            "lazy-test".into()
+        }
+        fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {}
+        fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+            ctx.start(id);
+        }
+    }
+
+    /// Never starts anything voluntarily (exercises force-start violations).
+    struct Broken;
+    impl OnlineScheduler for Broken {
+        fn name(&self) -> String {
+            "broken".into()
+        }
+        fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {}
+        fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+    }
+
+    fn inst() -> Instance {
+        Instance::new(vec![
+            Job::adp(0.0, 2.0, 1.0),
+            Job::adp(0.5, 3.0, 2.0),
+            Job::adp(10.0, 12.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn eager_starts_at_arrivals() {
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
+        assert!(out.is_feasible());
+        assert!(out.schedule.is_complete());
+        // [0,1) ∪ [0.5,2.5) ∪ [10,11) → 2.5 + 1.
+        assert_eq!(out.span, dur(3.5));
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(0.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(0.5)));
+        assert_eq!(out.schedule.start(JobId(2)), Some(t(10.0)));
+        assert!(out.schedule.validate(&out.instance).is_ok());
+    }
+
+    #[test]
+    fn lazy_starts_at_deadlines() {
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, LazyTest);
+        assert!(out.is_feasible());
+        // [2,3) ∪ [3,5) ∪ [12,13) → 3 + 1.
+        assert_eq!(out.span, dur(4.0));
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(2.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(3.0)));
+    }
+
+    #[test]
+    fn broken_scheduler_is_force_started_with_violations() {
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, Broken);
+        assert_eq!(out.violations.len(), 3);
+        assert!(!out.is_feasible());
+        // Force-start happens at each deadline, so spans match Lazy.
+        assert_eq!(out.span, dur(4.0));
+    }
+
+    #[test]
+    fn start_at_commitment_honored() {
+        /// Commits each arrival to start at its deadline via start_at.
+        struct Committer;
+        impl OnlineScheduler for Committer {
+            fn name(&self) -> String {
+                "committer".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                ctx.start_at(job.id, job.deadline);
+            }
+            fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {
+                unreachable!("ordered start should pre-empt the alarm");
+            }
+        }
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, Committer);
+        assert!(out.is_feasible());
+        assert_eq!(out.span, dur(4.0));
+    }
+
+    #[test]
+    fn wakeups_fire_with_tokens() {
+        /// Starts each job 0.5 after its arrival using a wakeup.
+        struct Waker;
+        impl OnlineScheduler for Waker {
+            fn name(&self) -> String {
+                "waker".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                ctx.wake_at(job.arrival + dur(0.5), u64::from(job.id.0));
+            }
+            fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+                ctx.start(id);
+            }
+            fn on_wakeup(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+                let id = JobId(token as u32);
+                if ctx.is_pending(id) {
+                    ctx.start(id);
+                }
+            }
+        }
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, Waker);
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(0.5)));
+        assert_eq!(out.schedule.start(JobId(2)), Some(t(10.5)));
+    }
+
+    #[test]
+    fn non_clairvoyant_masks_lengths_until_completion() {
+        struct Observer {
+            saw_length_at_arrival: bool,
+            completion_lengths: Vec<Dur>,
+        }
+        impl OnlineScheduler for Observer {
+            fn name(&self) -> String {
+                "observer".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                self.saw_length_at_arrival |= job.length.is_some();
+                ctx.start(job.id);
+            }
+            fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+            fn on_completion(&mut self, _id: JobId, length: Dur, _ctx: &mut Ctx<'_>) {
+                self.completion_lengths.push(length);
+            }
+        }
+        let mut obs = Observer { saw_length_at_arrival: false, completion_lengths: vec![] };
+        {
+            let env = crate::sim::env::StaticEnv::new(&inst(), Clairvoyance::NonClairvoyant);
+            let out = run_with_config(env, &mut obs, SimConfig::default());
+            assert!(out.is_feasible());
+        }
+        assert!(!obs.saw_length_at_arrival);
+        assert_eq!(obs.completion_lengths.len(), 3);
+    }
+
+    #[test]
+    fn adaptive_lengths_via_probe() {
+        /// Environment releasing one adaptive job and ruling length 2.0 one
+        /// time unit after start (the Theorem 3.3 adversary's cadence).
+        struct OneAdaptive {
+            released: bool,
+        }
+        impl Environment for OneAdaptive {
+            fn clairvoyance(&self) -> Clairvoyance {
+                Clairvoyance::NonClairvoyant
+            }
+            fn next_release_time(&mut self, _world: &World) -> Option<Time> {
+                (!self.released).then(|| t(1.0))
+            }
+            fn release_at(&mut self, _now: Time, _world: &World) -> Vec<JobSpec> {
+                self.released = true;
+                vec![JobSpec::adaptive(t(4.0))]
+            }
+            fn rule_length(
+                &mut self,
+                _id: JobId,
+                started_at: Time,
+                now: Time,
+                _world: &World,
+            ) -> LengthRuling {
+                if now == started_at {
+                    LengthRuling::AskAgainAt(started_at + dur(1.0))
+                } else {
+                    LengthRuling::Assign(dur(2.0))
+                }
+            }
+        }
+        let out = run(OneAdaptive { released: false }, EagerTest);
+        assert!(out.is_feasible());
+        assert_eq!(out.instance.job(JobId(0)).length(), dur(2.0));
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(1.0)));
+        assert_eq!(out.span, dur(2.0));
+    }
+
+    #[test]
+    fn outcome_instance_matches_release_order() {
+        let source = Instance::new(vec![
+            Job::adp(5.0, 6.0, 1.0), // released second
+            Job::adp(0.0, 1.0, 2.0), // released first
+        ]);
+        let out = run_static(&source, Clairvoyance::Clairvoyant, EagerTest);
+        assert_eq!(out.instance.job(JobId(0)).arrival(), t(0.0));
+        assert_eq!(out.instance.job(JobId(1)).arrival(), t(5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn event_cap_trips() {
+        /// Wakes itself up forever.
+        struct Spinner;
+        impl OnlineScheduler for Spinner {
+            fn name(&self) -> String {
+                "spinner".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                ctx.start(job.id);
+                ctx.wake_at(job.arrival + dur(1.0), 0);
+            }
+            fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+            fn on_wakeup(&mut self, _token: u64, ctx: &mut Ctx<'_>) {
+                ctx.wake_at(ctx.now() + dur(1.0), 0);
+            }
+        }
+        let single = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
+        let env = crate::sim::env::StaticEnv::new(&single, Clairvoyance::Clairvoyant);
+        let _ = run_with_config(env, Spinner, SimConfig { max_events: 100, record_trace: false });
+    }
+
+    #[test]
+    fn empty_instance_runs_to_empty_outcome() {
+        let out = run_static(&Instance::empty(), Clairvoyance::Clairvoyant, EagerTest);
+        assert!(out.is_feasible());
+        assert_eq!(out.span, Dur::ZERO);
+        assert_eq!(out.instance.len(), 0);
+    }
+
+    #[test]
+    fn trace_records_full_lifecycle() {
+        let single = Instance::new(vec![Job::adp(0.0, 2.0, 1.0)]);
+        let env = crate::sim::env::StaticEnv::new(&single, Clairvoyance::Clairvoyant);
+        let out = run_with_config(
+            env,
+            LazyTest,
+            SimConfig { record_trace: true, ..Default::default() },
+        );
+        use crate::sim::trace::TraceKind;
+        let kinds: Vec<_> = out.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::Released { id: JobId(0), deadline: t(2.0) },
+                TraceKind::Started { id: JobId(0) },
+                TraceKind::Completed { id: JobId(0) },
+            ]
+        );
+        assert_eq!(out.trace[1].time, t(2.0));
+        assert_eq!(out.trace[2].time, t(3.0));
+    }
+
+    #[test]
+    fn trace_empty_when_disabled() {
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_deadline_alarms_after_batch_start() {
+        /// Batch-like: on a deadline alarm, start every pending job.
+        struct MiniBatch;
+        impl OnlineScheduler for MiniBatch {
+            fn name(&self) -> String {
+                "mini-batch".into()
+            }
+            fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {}
+            fn on_deadline(&mut self, _id: JobId, ctx: &mut Ctx<'_>) {
+                let pending: Vec<JobId> = ctx.pending().collect();
+                for id in pending {
+                    ctx.start(id);
+                }
+            }
+        }
+        // Two jobs share a deadline; the first alarm starts both, the second
+        // alarm must be a no-op.
+        let two = Instance::new(vec![Job::adp(0.0, 2.0, 1.0), Job::adp(0.0, 2.0, 5.0)]);
+        let out = run_static(&two, Clairvoyance::Clairvoyant, MiniBatch);
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(2.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(2.0)));
+        assert_eq!(out.span, dur(5.0));
+    }
+}

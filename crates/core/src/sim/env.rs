@@ -1,0 +1,287 @@
+//! Environments: where jobs (and their processing lengths) come from.
+//!
+//! The paper's lower-bound proofs (Theorems 3.3 and 4.1) use *adaptive
+//! adversaries*: the job release process and even the processing lengths
+//! react to the online scheduler's decisions. The [`Environment`] trait is
+//! general enough to express both adversaries and ordinary static instances:
+//!
+//! * releases are pulled lazily ([`Environment::next_release_time`] /
+//!   [`Environment::release_at`]), so an adversary may decide *whether* and
+//!   *when* to release more jobs based on everything that has happened;
+//! * a job's length may be `Adaptive`, in which case the environment is
+//!   consulted when the job starts and may defer the decision to a later
+//!   time ([`LengthRuling::AskAgainAt`]) — exactly how the Theorem 3.3
+//!   adversary assigns each length one time unit after the start.
+
+use crate::job::{Instance, JobId};
+use crate::sim::world::World;
+use crate::time::{Dur, Time};
+
+/// How much the scheduler learns about `p(J)` at arrival.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Clairvoyance {
+    /// Lengths revealed at arrival (Section 4 of the paper).
+    Clairvoyant,
+    /// Lengths revealed only at completion (Section 3).
+    NonClairvoyant,
+    /// Only the geometric **length class** `⌈log₂ p⌉` is revealed at
+    /// arrival (a semi-clairvoyant extension: `O(log μ)` bits of
+    /// information, exactly what Classify-by-Duration Batch+ consumes).
+    ClassOnly,
+}
+
+impl Clairvoyance {
+    /// `true` iff full lengths are revealed at arrival.
+    pub fn is_clairvoyant(self) -> bool {
+        matches!(self, Clairvoyance::Clairvoyant)
+    }
+
+    /// `true` iff at least the length class is revealed at arrival.
+    pub fn reveals_class(self) -> bool {
+        matches!(self, Clairvoyance::Clairvoyant | Clairvoyance::ClassOnly)
+    }
+}
+
+/// The geometric class of a length: the smallest integer `i` with
+/// `p ≤ base·alpha^i` (class `i` covers `(base·alpha^(i−1), base·alpha^i]`),
+/// with a small relative tolerance so boundary lengths land in the lower
+/// class despite floating-point noise. This is the classification both
+/// [`Clairvoyance::ClassOnly`] runs and Classify-by-Duration Batch+ use.
+pub fn geometric_class(p: Dur, alpha: f64, base: f64) -> i64 {
+    assert!(alpha > 1.0 && base > 0.0, "need alpha > 1 and base > 0");
+    assert!(p.is_positive(), "lengths are positive");
+    let x = (p.get() / base).ln() / alpha.ln();
+    let snapped = x.round();
+    if (x - snapped).abs() < 1e-9 {
+        snapped as i64
+    } else {
+        x.ceil() as i64
+    }
+}
+
+/// How a released job's processing length is determined.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LengthSpec {
+    /// Length fixed at release time (required under [`Clairvoyance::Clairvoyant`]).
+    Fixed(Dur),
+    /// Length decided by the environment after the job starts, via
+    /// [`Environment::rule_length`]. Only allowed in non-clairvoyant runs.
+    Adaptive,
+}
+
+/// A job as released by an environment; the arrival time is implicitly the
+/// release instant.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct JobSpec {
+    /// Starting deadline `d(J)` (must be `>=` the release time).
+    pub deadline: Time,
+    /// Processing length specification.
+    pub length: LengthSpec,
+}
+
+impl JobSpec {
+    /// A job with a fixed length.
+    pub fn fixed(deadline: Time, length: Dur) -> Self {
+        JobSpec { deadline, length: LengthSpec::Fixed(length) }
+    }
+
+    /// A job whose length the environment will decide adaptively.
+    pub fn adaptive(deadline: Time) -> Self {
+        JobSpec { deadline, length: LengthSpec::Adaptive }
+    }
+}
+
+/// The environment's answer when asked for an adaptive job's length.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum LengthRuling {
+    /// The length is `d`; the job completes at `start + d` (which must not
+    /// lie in the past at ruling time).
+    Assign(Dur),
+    /// Defer: ask again at the given time (strictly later than now).
+    AskAgainAt(Time),
+}
+
+/// A source of jobs (and of adaptive length decisions).
+///
+/// Implementations observe the full simulation state through [`World`] and
+/// may adapt. The engine guarantees:
+///
+/// * ids are assigned consecutively in release order, so the environment can
+///   predict the ids of the jobs it returns from [`Environment::release_at`]
+///   (the first gets `JobId(world.num_jobs())`, and so on);
+/// * [`Environment::rule_length`] is called only for `Adaptive` jobs — once
+///   when the job starts and once at every `AskAgainAt` time — and the
+///   world already reflects the start when the first call happens.
+pub trait Environment {
+    /// The information model of this run.
+    fn clairvoyance(&self) -> Clairvoyance;
+
+    /// The earliest time `>= world.now()` at which this environment wants to
+    /// release jobs, or `None` if no release is *currently* scheduled. The
+    /// engine re-queries after every event, so an adversary may answer
+    /// `None` now and a concrete time after observing a future event.
+    fn next_release_time(&mut self, world: &World) -> Option<Time>;
+
+    /// Releases the batch of jobs arriving exactly at `now` (the engine
+    /// calls this only at a time previously returned by
+    /// [`Environment::next_release_time`]). May return an empty vector.
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec>;
+
+    /// Rules on the length of an adaptive job. See [`LengthRuling`].
+    ///
+    /// `started_at` is the job's start time; `now` is the ruling time (equal
+    /// to `started_at` on the first call). When assigning, the completion
+    /// `started_at + length` must be `>= now`.
+    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+        let _ = (id, started_at, now, world);
+        unreachable!("environment released an Adaptive job but does not implement rule_length")
+    }
+}
+
+impl<E: Environment + ?Sized> Environment for &mut E {
+    fn clairvoyance(&self) -> Clairvoyance {
+        (**self).clairvoyance()
+    }
+    fn next_release_time(&mut self, world: &World) -> Option<Time> {
+        (**self).next_release_time(world)
+    }
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
+        (**self).release_at(now, world)
+    }
+    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+        (**self).rule_length(id, started_at, now, world)
+    }
+}
+
+impl<E: Environment + ?Sized> Environment for Box<E> {
+    fn clairvoyance(&self) -> Clairvoyance {
+        (**self).clairvoyance()
+    }
+    fn next_release_time(&mut self, world: &World) -> Option<Time> {
+        (**self).next_release_time(world)
+    }
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
+        (**self).release_at(now, world)
+    }
+    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+        (**self).rule_length(id, started_at, now, world)
+    }
+}
+
+/// The trivial environment: a static [`Instance`] whose jobs are released at
+/// their arrival times with fixed lengths.
+///
+/// Jobs are released in `(arrival, original-index)` order; because the
+/// engine numbers jobs by release order, the simulation's `JobId`s may be a
+/// permutation of the instance's. [`StaticEnv::source_index`] maps back.
+#[derive(Clone, Debug)]
+pub struct StaticEnv {
+    /// `(arrival, deadline, length, original index)` sorted by `(arrival, idx)`.
+    jobs: Vec<(Time, Time, Dur, usize)>,
+    next: usize,
+    clairvoyance: Clairvoyance,
+}
+
+impl StaticEnv {
+    /// Wraps an instance.
+    pub fn new(inst: &Instance, clairvoyance: Clairvoyance) -> Self {
+        let mut jobs: Vec<_> = inst
+            .iter()
+            .map(|(id, j)| (j.arrival(), j.deadline(), j.length(), id.index()))
+            .collect();
+        jobs.sort_by_key(|a| (a.0, a.3));
+        StaticEnv { jobs, next: 0, clairvoyance }
+    }
+
+    /// Maps a simulation `JobId` (release order) back to the index of the
+    /// job in the source instance.
+    pub fn source_index(&self, sim_id: JobId) -> usize {
+        self.jobs[sim_id.index()].3
+    }
+
+    /// The release-order-to-source-index mapping for all jobs.
+    pub fn source_indices(&self) -> Vec<usize> {
+        self.jobs.iter().map(|j| j.3).collect()
+    }
+}
+
+impl Environment for StaticEnv {
+    fn clairvoyance(&self) -> Clairvoyance {
+        self.clairvoyance
+    }
+
+    fn next_release_time(&mut self, _world: &World) -> Option<Time> {
+        self.jobs.get(self.next).map(|j| j.0)
+    }
+
+    fn release_at(&mut self, now: Time, _world: &World) -> Vec<JobSpec> {
+        let mut out = Vec::new();
+        while let Some(&(a, d, p, _)) = self.jobs.get(self.next) {
+            if a != now {
+                break;
+            }
+            out.push(JobSpec::fixed(d, p));
+            self.next += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use crate::time::{dur, t};
+
+    #[test]
+    fn static_env_releases_in_arrival_order() {
+        let inst = Instance::new(vec![
+            Job::adp(5.0, 6.0, 1.0),
+            Job::adp(0.0, 1.0, 2.0),
+            Job::adp(0.0, 3.0, 3.0),
+        ]);
+        let mut env = StaticEnv::new(&inst, Clairvoyance::Clairvoyant);
+        let world = World::new(Clairvoyance::Clairvoyant);
+        assert_eq!(env.next_release_time(&world), Some(t(0.0)));
+        let batch = env.release_at(t(0.0), &world);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch[0], JobSpec::fixed(t(1.0), dur(2.0)));
+        assert_eq!(batch[1], JobSpec::fixed(t(3.0), dur(3.0)));
+        assert_eq!(env.next_release_time(&world), Some(t(5.0)));
+        let batch2 = env.release_at(t(5.0), &world);
+        assert_eq!(batch2.len(), 1);
+        assert_eq!(env.next_release_time(&world), None);
+        // Release order 0,1,2 maps to source indices 1,2,0.
+        assert_eq!(env.source_indices(), vec![1, 2, 0]);
+        assert_eq!(env.source_index(JobId(2)), 0);
+    }
+
+    #[test]
+    fn job_spec_constructors() {
+        assert_eq!(
+            JobSpec::fixed(t(3.0), dur(1.0)).length,
+            LengthSpec::Fixed(dur(1.0))
+        );
+        assert_eq!(JobSpec::adaptive(t(3.0)).length, LengthSpec::Adaptive);
+    }
+
+    #[test]
+    fn clairvoyance_predicate() {
+        assert!(Clairvoyance::Clairvoyant.is_clairvoyant());
+        assert!(!Clairvoyance::NonClairvoyant.is_clairvoyant());
+        assert!(!Clairvoyance::ClassOnly.is_clairvoyant());
+        assert!(Clairvoyance::ClassOnly.reveals_class());
+        assert!(Clairvoyance::Clairvoyant.reveals_class());
+        assert!(!Clairvoyance::NonClairvoyant.reveals_class());
+    }
+
+    #[test]
+    fn geometric_classes_base_two() {
+        // Class i covers (2^(i−1), 2^i].
+        assert_eq!(geometric_class(dur(1.0), 2.0, 1.0), 0);
+        assert_eq!(geometric_class(dur(1.5), 2.0, 1.0), 1);
+        assert_eq!(geometric_class(dur(2.0), 2.0, 1.0), 1);
+        assert_eq!(geometric_class(dur(2.1), 2.0, 1.0), 2);
+        assert_eq!(geometric_class(dur(0.5), 2.0, 1.0), -1);
+    }
+}

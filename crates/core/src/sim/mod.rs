@@ -1,0 +1,17 @@
+//! Event-driven online scheduling simulation.
+//!
+//! See [`engine`] for the run loop and event-ordering contract, [`mod@env`] for
+//! job sources (including adaptive adversaries), [`sched`] for the scheduler
+//! interface, and [`world`] for the observable state.
+
+pub mod engine;
+pub mod env;
+pub mod sched;
+pub mod trace;
+pub mod world;
+
+pub use engine::{run, run_static, run_with_config, SimConfig, SimOutcome, Violation};
+pub use env::{geometric_class, Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec, StaticEnv};
+pub use sched::{Arrival, Ctx, OnlineScheduler};
+pub use trace::{render_trace, TraceEvent, TraceKind};
+pub use world::{JobRecord, JobStatus, World};

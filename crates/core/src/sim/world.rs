@@ -1,0 +1,288 @@
+//! The observable simulation state.
+//!
+//! [`World`] is the single source of truth for job status during a run. The
+//! engine mutates it; schedulers and environments read it (environments see
+//! everything, schedulers go through [`crate::sim::Ctx`], which masks
+//! lengths in non-clairvoyant runs).
+
+use crate::job::{Instance, Job, JobId};
+use crate::sim::env::Clairvoyance;
+use crate::time::{Dur, Time};
+use std::collections::BTreeSet;
+
+/// Lifecycle of a job inside a simulation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum JobStatus {
+    /// Arrived, not yet started.
+    Pending,
+    /// Started at the given time, still running.
+    Running {
+        /// Start time chosen by the scheduler.
+        start: Time,
+    },
+    /// Finished.
+    Completed {
+        /// Start time chosen by the scheduler.
+        start: Time,
+        /// Final processing length.
+        length: Dur,
+    },
+}
+
+/// Per-job record.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    pub(crate) arrival: Time,
+    pub(crate) deadline: Time,
+    /// Length as known to the *engine* (None while an adaptive length is
+    /// still unruled).
+    pub(crate) length: Option<Dur>,
+    pub(crate) status: JobStatus,
+    /// Start time the scheduler committed to via `start_at`, if any.
+    pub(crate) ordered_start: Option<Time>,
+}
+
+impl JobRecord {
+    /// Arrival time `a(J)`.
+    pub fn arrival(&self) -> Time {
+        self.arrival
+    }
+
+    /// Starting deadline `d(J)`.
+    pub fn deadline(&self) -> Time {
+        self.deadline
+    }
+
+    /// The length, if decided (fixed at release, or ruled after start).
+    pub fn length(&self) -> Option<Dur> {
+        self.length
+    }
+
+    /// Current lifecycle status.
+    pub fn status(&self) -> JobStatus {
+        self.status
+    }
+
+    /// Start time, if the job has started.
+    pub fn start(&self) -> Option<Time> {
+        match self.status {
+            JobStatus::Pending => None,
+            JobStatus::Running { start } | JobStatus::Completed { start, .. } => Some(start),
+        }
+    }
+
+    /// A future start committed via `Ctx::start_at`, if pending with one.
+    pub fn ordered_start(&self) -> Option<Time> {
+        self.ordered_start
+    }
+}
+
+/// The full simulation state (see module docs).
+#[derive(Clone, Debug)]
+pub struct World {
+    clairvoyance: Clairvoyance,
+    now: Time,
+    jobs: Vec<JobRecord>,
+    pending: BTreeSet<JobId>,
+    running: BTreeSet<JobId>,
+}
+
+impl World {
+    /// Fresh world at time zero.
+    pub fn new(clairvoyance: Clairvoyance) -> Self {
+        World {
+            clairvoyance,
+            now: Time::ZERO,
+            jobs: Vec::new(),
+            pending: BTreeSet::new(),
+            running: BTreeSet::new(),
+        }
+    }
+
+    /// The information model of this run.
+    pub fn clairvoyance(&self) -> Clairvoyance {
+        self.clairvoyance
+    }
+
+    /// Whether this run reveals full lengths at arrival.
+    pub fn is_clairvoyant(&self) -> bool {
+        self.clairvoyance.is_clairvoyant()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of jobs released so far (the next release gets this id).
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The record for a job.
+    ///
+    /// # Panics
+    /// Panics if the id has not been released.
+    #[track_caller]
+    pub fn job(&self, id: JobId) -> &JobRecord {
+        &self.jobs[id.index()]
+    }
+
+    /// All released jobs in id (= release) order.
+    pub fn jobs(&self) -> &[JobRecord] {
+        &self.jobs
+    }
+
+    /// Ids of jobs that have arrived but not started, ascending.
+    pub fn pending(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.pending.iter().copied()
+    }
+
+    /// Ids of currently running jobs, ascending.
+    pub fn running(&self) -> impl Iterator<Item = JobId> + '_ {
+        self.running.iter().copied()
+    }
+
+    /// Number of pending jobs.
+    pub fn num_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of running jobs (the instantaneous *concurrency*).
+    pub fn num_running(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Whether the id refers to a pending job.
+    pub fn is_pending(&self, id: JobId) -> bool {
+        self.pending.contains(&id)
+    }
+
+    /// Whether the id refers to a running job.
+    pub fn is_running(&self, id: JobId) -> bool {
+        self.running.contains(&id)
+    }
+
+    // ---- engine-internal mutators ------------------------------------
+
+    pub(crate) fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.now, "time went backwards: {} -> {}", self.now, t);
+        self.now = t;
+    }
+
+    pub(crate) fn release(&mut self, arrival: Time, deadline: Time, length: Option<Dur>) -> JobId {
+        let id = JobId(self.jobs.len() as u32);
+        self.jobs.push(JobRecord {
+            arrival,
+            deadline,
+            length,
+            status: JobStatus::Pending,
+            ordered_start: None,
+        });
+        self.pending.insert(id);
+        id
+    }
+
+    pub(crate) fn mark_started(&mut self, id: JobId, start: Time) {
+        let rec = &mut self.jobs[id.index()];
+        debug_assert!(matches!(rec.status, JobStatus::Pending));
+        rec.status = JobStatus::Running { start };
+        rec.ordered_start = None;
+        self.pending.remove(&id);
+        self.running.insert(id);
+    }
+
+    pub(crate) fn set_length(&mut self, id: JobId, length: Dur) {
+        let rec = &mut self.jobs[id.index()];
+        debug_assert!(rec.length.is_none());
+        rec.length = Some(length);
+    }
+
+    pub(crate) fn set_ordered_start(&mut self, id: JobId, t: Time) {
+        self.jobs[id.index()].ordered_start = Some(t);
+    }
+
+    pub(crate) fn mark_completed(&mut self, id: JobId) {
+        let rec = &mut self.jobs[id.index()];
+        let JobStatus::Running { start } = rec.status else {
+            panic!("completing a job that is not running: {id}");
+        };
+        let length = rec.length.expect("completed job must have a ruled length");
+        rec.status = JobStatus::Completed { start, length };
+        self.running.remove(&id);
+    }
+
+    /// Materializes the final state as a static [`Instance`] (requires every
+    /// job's length to be known, which holds at the end of a run).
+    pub fn to_instance(&self) -> Instance {
+        self.jobs
+            .iter()
+            .map(|r| {
+                Job::new(
+                    r.arrival,
+                    r.deadline,
+                    r.length.expect("all lengths ruled by end of run"),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{dur, t};
+
+    #[test]
+    fn lifecycle_bookkeeping() {
+        let mut w = World::new(Clairvoyance::NonClairvoyant);
+        assert_eq!(w.num_jobs(), 0);
+        let a = w.release(t(0.0), t(2.0), Some(dur(1.0)));
+        let b = w.release(t(0.0), t(3.0), None);
+        assert_eq!((a, b), (JobId(0), JobId(1)));
+        assert_eq!(w.num_pending(), 2);
+        assert_eq!(w.num_running(), 0);
+        assert!(w.is_pending(a));
+
+        w.advance_to(t(1.0));
+        w.mark_started(a, t(1.0));
+        assert!(w.is_running(a));
+        assert!(!w.is_pending(a));
+        assert_eq!(w.num_running(), 1);
+        assert_eq!(w.job(a).start(), Some(t(1.0)));
+
+        w.advance_to(t(2.0));
+        w.mark_completed(a);
+        assert_eq!(w.num_running(), 0);
+        assert_eq!(
+            w.job(a).status(),
+            JobStatus::Completed { start: t(1.0), length: dur(1.0) }
+        );
+
+        w.mark_started(b, t(2.0));
+        w.set_length(b, dur(0.5));
+        w.mark_completed(b);
+        let inst = w.to_instance();
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.job(JobId(1)).length(), dur(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "not running")]
+    fn completing_pending_job_panics() {
+        let mut w = World::new(Clairvoyance::NonClairvoyant);
+        let a = w.release(t(0.0), t(2.0), Some(dur(1.0)));
+        w.mark_completed(a);
+    }
+
+    #[test]
+    fn ordered_start_roundtrip() {
+        let mut w = World::new(Clairvoyance::Clairvoyant);
+        let a = w.release(t(0.0), t(5.0), Some(dur(1.0)));
+        assert_eq!(w.job(a).ordered_start(), None);
+        w.set_ordered_start(a, t(3.0));
+        assert_eq!(w.job(a).ordered_start(), Some(t(3.0)));
+        w.mark_started(a, t(3.0));
+        assert_eq!(w.job(a).ordered_start(), None, "cleared on start");
+    }
+}

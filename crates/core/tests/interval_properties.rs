@@ -1,0 +1,103 @@
+//! Property tests for the interval-set algebra, checked against a naive
+//! discretized reference implementation.
+
+use fjs_core::interval::{Interval, IntervalSet};
+use fjs_core::time::{t, Dur};
+use proptest::prelude::*;
+
+/// Strategy: intervals with integer-quarter endpoints in [0, 100).
+fn interval_strategy() -> impl Strategy<Value = Interval> {
+    (0u32..400, 1u32..80).prop_map(|(lo, len)| {
+        Interval::new(t(lo as f64 / 4.0), t((lo + len) as f64 / 4.0))
+    })
+}
+
+/// Naive measure: scanline over quarter-unit cells.
+fn naive_measure(ivs: &[Interval]) -> f64 {
+    let mut covered = 0u32;
+    for cell in 0..500u32 {
+        let lo = cell as f64 / 4.0;
+        let mid = lo + 0.125;
+        if ivs.iter().any(|iv| iv.contains(t(mid))) {
+            covered += 1;
+        }
+    }
+    covered as f64 / 4.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn measure_matches_naive_scanline(ivs in prop::collection::vec(interval_strategy(), 0..30)) {
+        let set: IntervalSet = ivs.iter().copied().collect();
+        let expected = naive_measure(&ivs);
+        prop_assert!(
+            (set.measure().get() - expected).abs() < 1e-9,
+            "set {} measure {} vs naive {}", set, set.measure(), expected
+        );
+    }
+
+    #[test]
+    fn segments_are_sorted_disjoint_nonempty(ivs in prop::collection::vec(interval_strategy(), 0..30)) {
+        let set: IntervalSet = ivs.iter().copied().collect();
+        let segs = set.segments();
+        for s in segs {
+            prop_assert!(!s.is_empty());
+        }
+        for w in segs.windows(2) {
+            // Strict gap between consecutive segments (touching merges).
+            prop_assert!(w[0].hi() < w[1].lo(), "{} then {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant(ivs in prop::collection::vec(interval_strategy(), 0..20)) {
+        let forward: IntervalSet = ivs.iter().copied().collect();
+        let backward: IntervalSet = ivs.iter().rev().copied().collect();
+        prop_assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn union_is_monotone_and_subadditive(
+        a in prop::collection::vec(interval_strategy(), 0..15),
+        b in prop::collection::vec(interval_strategy(), 0..15),
+    ) {
+        let sa: IntervalSet = a.iter().copied().collect();
+        let sb: IntervalSet = b.iter().copied().collect();
+        let mut su = sa.clone();
+        su.union_with(&sb);
+        prop_assert!(su.measure() >= sa.measure());
+        prop_assert!(su.measure() >= sb.measure());
+        prop_assert!(su.measure() <= sa.measure() + sb.measure() + Dur::new(1e-12));
+        // Idempotence.
+        let mut twice = su.clone();
+        twice.union_with(&sb);
+        prop_assert_eq!(twice, su);
+    }
+
+    #[test]
+    fn contains_agrees_with_membership(
+        ivs in prop::collection::vec(interval_strategy(), 0..20),
+        probe in 0u32..500,
+    ) {
+        let set: IntervalSet = ivs.iter().copied().collect();
+        let point = t(probe as f64 / 4.0 + 0.125);
+        let direct = ivs.iter().any(|iv| iv.contains(point));
+        prop_assert_eq!(set.contains(point), direct);
+        prop_assert_eq!(set.segment_containing(point).is_some(), direct);
+    }
+
+    #[test]
+    fn measure_within_partitions(
+        ivs in prop::collection::vec(interval_strategy(), 0..20),
+        cut in 1u32..499,
+    ) {
+        // Splitting the axis at `cut` partitions the measure.
+        let set: IntervalSet = ivs.iter().copied().collect();
+        let left = Interval::new(t(0.0), t(cut as f64 / 4.0));
+        let right = Interval::new(t(cut as f64 / 4.0), t(1000.0));
+        let total = set.measure_within(&left) + set.measure_within(&right);
+        prop_assert!((total - set.measure()).get().abs() < 1e-9);
+    }
+}

@@ -1,0 +1,28 @@
+//! # fjs-dbp
+//!
+//! The MinUsageTime **Dynamic Bin Packing** substrate behind the paper's
+//! Section 5 extension. Items (jobs with sizes) occupy unit-capacity bins
+//! (cloud servers) over their active intervals; the objective is the total
+//! time bins are "on". Combining a span scheduler (Batch+/Profit) with
+//! First Fit packing generalizes MinUsageTime DBP to flexible jobs:
+//! the scheduler controls the span term of the usage bound, the packer the
+//! demand term.
+//!
+//! * [`packing`] — First Fit and classify-by-duration First Fit, usage
+//!   accounting, capacity verification, certified usage lower bounds;
+//! * [`pipeline`] — glue from instances/schedules/simulation outcomes to
+//!   packable items.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod busy_time;
+pub mod packing;
+pub mod pipeline;
+
+pub use busy_time::{assign_busy_time, busy_time_lower_bound, BusyTimeOutcome};
+pub use packing::{pack, usage_lower_bound, verify_capacity, Bin, Item, Packer, Packing};
+pub use pipeline::{
+    arrival_schedule, deadline_schedule, deterministic_sizes, outcome_items, pack_schedule,
+    PipelineOutcome,
+};

@@ -1,0 +1,432 @@
+//! MinUsageTime Dynamic Bin Packing: items with residency intervals and
+//! sizes are packed into unit-capacity bins; a bin accrues *usage time*
+//! whenever it holds at least one item; the objective is the total usage
+//! time over all bins.
+//!
+//! This is the substrate for the paper's Section 5 extension: a span
+//! scheduler decides each job's active interval, then a packing policy
+//! decides which server (bin) runs it. Two policies from the cited line of
+//! work are implemented:
+//!
+//! * [`Packer::FirstFit`] — place each item, in order of start time, into
+//!   the earliest-opened bin whose load at that moment stays within
+//!   capacity (near-optimal `O(μ)`-competitive non-clairvoyantly \[20, 23\]);
+//! * [`Packer::ClassifiedFirstFit`] — First Fit within duration classes
+//!   (geometric classes of ratio `alpha`), the `O(log μ)`-competitive
+//!   clairvoyant strategy of \[19\].
+
+use fjs_core::interval::{Interval, IntervalSet};
+use fjs_core::time::{Dur, Time};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An item to pack: a residency interval (the job's active interval) and a
+/// size (resource demand), `0 < size <= 1`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Item {
+    /// Residency interval `[start, end)`.
+    pub interval: Interval,
+    /// Resource demand as a fraction of bin capacity.
+    pub size: f64,
+}
+
+impl Item {
+    /// Creates an item.
+    ///
+    /// # Panics
+    /// Panics unless `0 < size <= 1` and the interval is non-empty.
+    pub fn new(interval: Interval, size: f64) -> Self {
+        assert!(size > 0.0 && size <= 1.0, "size must be in (0, 1], got {size}");
+        assert!(!interval.is_empty(), "item interval must be non-empty");
+        Item { interval, size }
+    }
+}
+
+/// The packing policy.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Packer {
+    /// Plain First Fit over all items (earliest-opened feasible bin).
+    FirstFit,
+    /// Best Fit: the feasible bin with the highest current load (the
+    /// tightest remaining capacity).
+    BestFit,
+    /// Next Fit: only the most recently opened bin is considered.
+    NextFit,
+    /// First Fit within geometric duration classes: an item of duration
+    /// `len` belongs to class `ceil(log_alpha(len / base))`, and bins are
+    /// dedicated to one class each — the `O(log μ)`-competitive strategy
+    /// of \[19\].
+    ClassifiedFirstFit {
+        /// Class ratio (`> 1`).
+        alpha: f64,
+        /// Base duration (`> 0`).
+        base: f64,
+    },
+}
+
+impl Packer {
+    fn class_of(&self, len: Dur) -> Option<i64> {
+        match *self {
+            Packer::FirstFit | Packer::BestFit | Packer::NextFit => None,
+            Packer::ClassifiedFirstFit { alpha, base } => {
+                assert!(alpha > 1.0 && base > 0.0, "invalid classified first fit parameters");
+                let x = (len.get() / base).ln() / alpha.ln();
+                let snapped = x.round();
+                Some(if (x - snapped).abs() < 1e-9 { snapped as i64 } else { x.ceil() as i64 })
+            }
+        }
+    }
+}
+
+/// One bin of the packing.
+#[derive(Clone, Debug)]
+pub struct Bin {
+    /// Duration class (for classified packing), `None` for plain First Fit.
+    pub class: Option<i64>,
+    /// Indices (into the input item slice) of items placed in this bin.
+    pub items: Vec<usize>,
+    /// Union of the residency intervals of the items.
+    pub residency: IntervalSet,
+    /// Active items as `(end, size)` orderable by end (internal sweep
+    /// state).
+    active: BinaryHeap<Reverse<(Time, usize)>>,
+    /// Current load during the sweep.
+    load: f64,
+    /// Sizes of items by heap token (parallel to `items`).
+    sizes: Vec<f64>,
+}
+
+impl Bin {
+    fn new(class: Option<i64>) -> Self {
+        Bin {
+            class,
+            items: Vec::new(),
+            residency: IntervalSet::new(),
+            active: BinaryHeap::new(),
+            load: 0.0,
+            sizes: Vec::new(),
+        }
+    }
+
+    /// Drops departed items as of time `t` (half-open: an item ending at
+    /// `t` is gone at `t`).
+    fn settle(&mut self, t: Time) {
+        while let Some(&Reverse((end, tok))) = self.active.peek() {
+            if end <= t {
+                self.active.pop();
+                self.load -= self.sizes[tok];
+            } else {
+                break;
+            }
+        }
+        if self.load < 1e-12 {
+            self.load = self.load.max(0.0);
+        }
+    }
+
+    fn fits(&self, size: f64) -> bool {
+        self.load + size <= 1.0 + 1e-9
+    }
+
+    fn place(&mut self, item_idx: usize, item: Item) {
+        let tok = self.sizes.len();
+        self.sizes.push(item.size);
+        self.items.push(item_idx);
+        self.active.push(Reverse((item.interval.hi(), tok)));
+        self.load += item.size;
+        self.residency.insert(item.interval);
+    }
+
+    /// Usage time of this bin (measure of its residency set).
+    pub fn usage(&self) -> Dur {
+        self.residency.measure()
+    }
+}
+
+/// The result of packing a set of items.
+#[derive(Clone, Debug)]
+pub struct Packing {
+    /// The bins, in open order.
+    pub bins: Vec<Bin>,
+    /// Total usage time `Σ_bins usage`.
+    pub total_usage: Dur,
+}
+
+impl Packing {
+    /// Number of bins opened.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+}
+
+/// Packs `items` with the given policy, processing items in order of start
+/// time (ties by index), as an online packer would observe them.
+///
+/// ```
+/// use fjs_core::interval::Interval;
+/// use fjs_core::time::{t, dur};
+/// use fjs_dbp::{pack, Item, Packer};
+///
+/// let items = [
+///     Item::new(Interval::new(t(0.0), t(4.0)), 0.5),
+///     Item::new(Interval::new(t(1.0), t(3.0)), 0.5), // shares the bin
+///     Item::new(Interval::new(t(1.0), t(2.0)), 0.5), // overflows → bin 2
+/// ];
+/// let packing = pack(&items, Packer::FirstFit);
+/// assert_eq!(packing.num_bins(), 2);
+/// assert_eq!(packing.total_usage, dur(4.0 + 1.0));
+/// ```
+pub fn pack(items: &[Item], packer: Packer) -> Packing {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by(|&a, &b| {
+        items[a]
+            .interval
+            .lo()
+            .cmp(&items[b].interval.lo())
+            .then(a.cmp(&b))
+    });
+
+    let mut bins: Vec<Bin> = Vec::new();
+    for idx in order {
+        let item = items[idx];
+        let class = packer.class_of(item.interval.len());
+        let t = item.interval.lo();
+        // Settle departures up to t in the candidate bins, then place per
+        // policy.
+        let choice: Option<usize> = match packer {
+            Packer::FirstFit | Packer::ClassifiedFirstFit { .. } => {
+                let mut found = None;
+                for (i, bin) in bins.iter_mut().enumerate() {
+                    if bin.class != class {
+                        continue;
+                    }
+                    bin.settle(t);
+                    if bin.fits(item.size) {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                found
+            }
+            Packer::BestFit => {
+                let mut best: Option<(usize, f64)> = None;
+                for (i, bin) in bins.iter_mut().enumerate() {
+                    bin.settle(t);
+                    if bin.fits(item.size)
+                        && best.is_none_or(|(_, load)| bin.load > load)
+                    {
+                        best = Some((i, bin.load));
+                    }
+                }
+                best.map(|(i, _)| i)
+            }
+            Packer::NextFit => {
+                let last = bins.len().checked_sub(1);
+                last.filter(|&i| {
+                    let bin = &mut bins[i];
+                    bin.settle(t);
+                    bin.fits(item.size)
+                })
+            }
+        };
+        match choice {
+            Some(i) => bins[i].place(idx, item),
+            None => {
+                let mut bin = Bin::new(class);
+                bin.place(idx, item);
+                bins.push(bin);
+            }
+        }
+    }
+
+    let total_usage = bins.iter().map(|b| b.usage()).sum();
+    Packing { bins, total_usage }
+}
+
+/// A certified lower bound on the total usage time of *any* packing:
+/// `max(span, total item area)` — the bound the MinUsageTime DBP literature
+/// builds on (usage is at least the span because some bin is on whenever any
+/// item is resident, and at least the time-accumulated demand because bins
+/// have unit capacity).
+pub fn usage_lower_bound(items: &[Item]) -> Dur {
+    let span: Dur =
+        items.iter().map(|i| i.interval).collect::<IntervalSet>().measure();
+    let area: f64 = items.iter().map(|i| i.interval.len().get() * i.size).sum();
+    span.max(Dur::new(area))
+}
+
+/// Verifies that no bin ever exceeds unit capacity (sweep over events).
+/// Returns the first `(bin index, time, load)` violation, if any.
+pub fn verify_capacity(items: &[Item], packing: &Packing) -> Option<(usize, Time, f64)> {
+    for (b, bin) in packing.bins.iter().enumerate() {
+        // Event sweep over this bin's items.
+        let mut events: Vec<(Time, f64)> = Vec::new();
+        for &idx in &bin.items {
+            events.push((items[idx].interval.lo(), items[idx].size));
+            events.push((items[idx].interval.hi(), -items[idx].size));
+        }
+        // Departures (negative) before arrivals at equal times.
+        events.sort_by(|x, y| {
+            x.0.cmp(&y.0).then(x.1.partial_cmp(&y.1).expect("finite sizes"))
+        });
+        let mut load = 0.0;
+        for (t, delta) in events {
+            load += delta;
+            if load > 1.0 + 1e-6 {
+                return Some((b, t, load));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::time::t;
+
+    fn item(lo: f64, hi: f64, size: f64) -> Item {
+        Item::new(Interval::new(t(lo), t(hi)), size)
+    }
+
+    #[test]
+    fn single_item_single_bin() {
+        let items = [item(0.0, 5.0, 0.7)];
+        let p = pack(&items, Packer::FirstFit);
+        assert_eq!(p.num_bins(), 1);
+        assert_eq!(p.total_usage, Dur::new(5.0));
+        assert!(verify_capacity(&items, &p).is_none());
+    }
+
+    #[test]
+    fn first_fit_shares_a_bin_when_it_fits() {
+        let items = [item(0.0, 4.0, 0.5), item(1.0, 3.0, 0.5)];
+        let p = pack(&items, Packer::FirstFit);
+        assert_eq!(p.num_bins(), 1);
+        assert_eq!(p.total_usage, Dur::new(4.0));
+    }
+
+    #[test]
+    fn first_fit_opens_second_bin_on_overflow() {
+        let items = [item(0.0, 4.0, 0.7), item(1.0, 3.0, 0.7)];
+        let p = pack(&items, Packer::FirstFit);
+        assert_eq!(p.num_bins(), 2);
+        assert_eq!(p.total_usage, Dur::new(4.0 + 2.0));
+        assert!(verify_capacity(&items, &p).is_none());
+    }
+
+    #[test]
+    fn departures_free_capacity() {
+        // Second item starts exactly when the first ends (half-open): fits.
+        let items = [item(0.0, 2.0, 0.9), item(2.0, 4.0, 0.9)];
+        let p = pack(&items, Packer::FirstFit);
+        assert_eq!(p.num_bins(), 1);
+        assert_eq!(p.total_usage, Dur::new(4.0));
+    }
+
+    #[test]
+    fn classified_first_fit_separates_classes() {
+        // Durations 1 and 10 land in different classes for alpha=2, base=1.
+        let items = [item(0.0, 1.0, 0.3), item(0.0, 10.0, 0.3)];
+        let p = pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 });
+        assert_eq!(p.num_bins(), 2);
+        assert_ne!(p.bins[0].class, p.bins[1].class);
+    }
+
+    #[test]
+    fn classified_same_class_shares() {
+        let items = [item(0.0, 3.0, 0.4), item(1.0, 4.5, 0.4)];
+        let p = pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 });
+        assert_eq!(p.num_bins(), 1);
+    }
+
+    #[test]
+    fn usage_lower_bound_dominates_span_and_area() {
+        let items = [item(0.0, 2.0, 1.0), item(0.0, 2.0, 1.0)];
+        // span = 2, area = 4 → LB = 4. Any packing needs two bins of 2.
+        assert_eq!(usage_lower_bound(&items), Dur::new(4.0));
+        let p = pack(&items, Packer::FirstFit);
+        assert!(p.total_usage >= usage_lower_bound(&items));
+    }
+
+    #[test]
+    fn many_small_items_fill_one_bin() {
+        let items: Vec<Item> = (0..10).map(|_| item(0.0, 1.0, 0.1)).collect();
+        let p = pack(&items, Packer::FirstFit);
+        assert_eq!(p.num_bins(), 1);
+        assert_eq!(p.total_usage, Dur::new(1.0));
+        assert!(verify_capacity(&items, &p).is_none());
+    }
+
+    #[test]
+    fn capacity_verifier_catches_violation() {
+        // Hand-build an infeasible packing.
+        let items = [item(0.0, 2.0, 0.8), item(1.0, 3.0, 0.8)];
+        let mut bin = Bin::new(None);
+        bin.place(0, items[0]);
+        bin.place(1, items[1]);
+        let p = Packing { total_usage: bin.usage(), bins: vec![bin] };
+        let v = verify_capacity(&items, &p);
+        assert!(v.is_some());
+        assert_eq!(v.unwrap().0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be in")]
+    fn oversize_item_rejected() {
+        let _ = item(0.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn best_fit_prefers_fuller_bin() {
+        // Two open bins with loads 0.5 and 0.7; a 0.2 item fits both.
+        // Best Fit must take the fuller bin, First Fit the earlier one.
+        let items = [
+            item(0.0, 10.0, 0.5), // bin 0
+            item(0.0, 10.0, 0.7), // bin 1 (0.5 + 0.7 > 1)
+            item(1.0, 5.0, 0.2),
+        ];
+        let p = pack(&items, Packer::BestFit);
+        assert_eq!(p.num_bins(), 2);
+        assert!(p.bins[1].items.contains(&2), "Best Fit picks the fuller bin");
+        let ff = pack(&items, Packer::FirstFit);
+        assert!(ff.bins[0].items.contains(&2), "First Fit picks the earlier bin");
+    }
+
+    #[test]
+    fn next_fit_ignores_earlier_bins() {
+        let items = [
+            item(0.0, 10.0, 0.5), // bin 0
+            item(0.0, 10.0, 0.7), // bin 1 (doesn't fit bin 0)
+            item(1.0, 5.0, 0.4),  // fits bin 0, but NF only sees bin 1 → bin 2
+        ];
+        let p = pack(&items, Packer::NextFit);
+        assert_eq!(p.num_bins(), 3);
+        let ff = pack(&items, Packer::FirstFit);
+        assert_eq!(ff.num_bins(), 2);
+    }
+
+    #[test]
+    fn all_policies_capacity_safe_on_mixed_items() {
+        let items: Vec<Item> = (0..60)
+            .map(|i| {
+                let lo = (i * 7 % 50) as f64;
+                let len = 1.0 + (i % 5) as f64;
+                let size = 0.15 + 0.1 * ((i % 7) as f64);
+                item(lo, lo + len, size)
+            })
+            .collect();
+        for packer in [
+            Packer::FirstFit,
+            Packer::BestFit,
+            Packer::NextFit,
+            Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 },
+        ] {
+            let p = pack(&items, packer);
+            assert!(verify_capacity(&items, &p).is_none(), "{packer:?}");
+            assert!(p.total_usage >= usage_lower_bound(&items), "{packer:?}");
+            let placed: usize = p.bins.iter().map(|b| b.items.len()).sum();
+            assert_eq!(placed, items.len(), "{packer:?}");
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Certified lower bounds on the optimal span.
+//!
+//! For instances too large for exact optimization, experiments compare a
+//! scheduler's span against a *lower bound* `LB ≤ span_min(J)`; the measured
+//! ratio `span_ALG / LB` then only **over**-estimates the true competitive
+//! ratio, so "measured ≤ paper bound" stays a sound check.
+//!
+//! Three bounds (the first is the paper's own argument style — Theorems 3.4
+//! and 3.5 lower-bound OPT by a set of pairwise non-overlappable flag jobs):
+//!
+//! * [`lb_chain`] — the maximum of `Σ p(J)` over a set of jobs whose active
+//!   intervals can never pairwise overlap (each next job arrives no earlier
+//!   than the previous one's latest completion `d+p`);
+//! * [`lb_mandatory`] — the measure of the union of *mandatory parts*
+//!   `[d(J), a(J)+p(J))`, which every feasible schedule covers;
+//! * [`lb_max_length`] — `max p(J)` (subsumed by [`lb_chain`], kept as a
+//!   sanity baseline).
+
+use fjs_core::interval::IntervalSet;
+use fjs_core::job::Instance;
+use fjs_core::time::{Dur, Time};
+
+/// `max p(J)` — any schedule's span is at least the longest job.
+pub fn lb_max_length(inst: &Instance) -> Dur {
+    inst.max_length().unwrap_or(Dur::ZERO)
+}
+
+/// Measure of the union of mandatory parts `[d(J), a(J)+p(J))`.
+pub fn lb_mandatory(inst: &Instance) -> Dur {
+    inst.jobs()
+        .iter()
+        .filter_map(|j| j.mandatory_part())
+        .collect::<IntervalSet>()
+        .measure()
+}
+
+/// Maximum total length of a *never-overlappable chain*: jobs
+/// `J_1, …, J_m` with `a(J_{i+1}) ≥ d(J_i) + p(J_i)`. The active intervals
+/// of such jobs are disjoint under every scheduler, so their total length
+/// lower-bounds the optimal span.
+///
+/// Computed in `O(n log n)` with a Fenwick prefix-max over compressed
+/// latest-completion coordinates.
+///
+/// ```
+/// use fjs_core::job::{Instance, Job};
+/// use fjs_core::time::dur;
+/// use fjs_opt::lb_chain;
+///
+/// let inst = Instance::new(vec![
+///     Job::adp(0.0, 1.0, 2.0),  // latest completion 3
+///     Job::adp(3.0, 9.0, 4.0),  // arrives at 3 → chains with the first
+/// ]);
+/// assert_eq!(lb_chain(&inst), dur(6.0));
+/// ```
+pub fn lb_chain(inst: &Instance) -> Dur {
+    let n = inst.len();
+    if n == 0 {
+        return Dur::ZERO;
+    }
+
+    // Jobs sorted by arrival; chain predecessor i of j needs
+    // d_i + p_i <= a_j, and f(i) is final before any j with a_j >= a_i + …
+    // (a predecessor always arrives strictly earlier than its completion
+    // bound, hence earlier than j's arrival).
+    let mut by_arrival: Vec<usize> = (0..n).collect();
+    by_arrival.sort_by_key(|&i| (inst.jobs()[i].arrival(), i));
+
+    // Coordinate-compress latest completions.
+    let mut comps: Vec<Time> = inst.jobs().iter().map(|j| j.latest_completion()).collect();
+    comps.sort();
+    comps.dedup();
+    let rank = |t: Time| comps.partition_point(|&c| c <= t); // # comps <= t
+
+    let mut fenwick = PrefixMax::new(comps.len());
+    // Pending insertions: (completion, f-value), processed in arrival order
+    // via a pointer over jobs sorted by completion bound.
+    let mut by_completion: Vec<usize> = (0..n).collect();
+    by_completion.sort_by_key(|&i| inst.jobs()[i].latest_completion());
+    let mut f = vec![0.0f64; n];
+    let mut insert_ptr = 0;
+    let mut best = 0.0f64;
+
+    for &j in &by_arrival {
+        let job = &inst.jobs()[j];
+        // Insert every job whose completion bound is <= a_j. Such a job
+        // arrived strictly before a_j, so its f-value is final.
+        while insert_ptr < n {
+            let i = by_completion[insert_ptr];
+            if inst.jobs()[i].latest_completion() <= job.arrival() {
+                let r = rank(inst.jobs()[i].latest_completion());
+                fenwick.update(r - 1, f[i]);
+                insert_ptr += 1;
+            } else {
+                break;
+            }
+        }
+        let prefix = rank(job.arrival()); // predecessors have comp <= a_j
+        let best_pred = if prefix == 0 { 0.0 } else { fenwick.query(prefix - 1) };
+        f[j] = best_pred + job.length().get();
+        best = best.max(f[j]);
+    }
+    Dur::new(best)
+}
+
+/// The tightest of the certified lower bounds.
+pub fn best_lower_bound(inst: &Instance) -> Dur {
+    lb_chain(inst).max(lb_mandatory(inst)).max(lb_max_length(inst))
+}
+
+/// Fenwick tree over prefix maxima.
+struct PrefixMax {
+    tree: Vec<f64>,
+}
+
+impl PrefixMax {
+    fn new(n: usize) -> Self {
+        PrefixMax { tree: vec![0.0; n + 1] }
+    }
+
+    /// Raises the value at 0-based index `i` to at least `v`.
+    fn update(&mut self, i: usize, v: f64) {
+        let mut idx = i + 1;
+        while idx < self.tree.len() {
+            if self.tree[idx] < v {
+                self.tree[idx] = v;
+            }
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Max over 0-based indices `0..=i`.
+    fn query(&self, i: usize) -> f64 {
+        let mut idx = i + 1;
+        let mut best = 0.0f64;
+        while idx > 0 {
+            best = best.max(self.tree[idx]);
+            idx -= idx & idx.wrapping_neg();
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::Job;
+    use fjs_core::time::dur;
+
+    #[test]
+    fn empty_instance_bounds_are_zero() {
+        let inst = Instance::empty();
+        assert_eq!(lb_chain(&inst), Dur::ZERO);
+        assert_eq!(lb_mandatory(&inst), Dur::ZERO);
+        assert_eq!(best_lower_bound(&inst), Dur::ZERO);
+    }
+
+    #[test]
+    fn chain_of_disjoint_jobs_sums_lengths() {
+        // Each job arrives after the previous latest completion.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 1.0, 2.0),   // latest completion 3
+            Job::adp(3.0, 4.0, 1.0),   // latest completion 5
+            Job::adp(5.0, 5.0, 4.0),   // latest completion 9
+        ]);
+        assert_eq!(lb_chain(&inst), dur(7.0));
+    }
+
+    #[test]
+    fn chain_picks_best_branch() {
+        // Two incompatible early jobs; the heavier should be chained.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.5, 1.0),
+            Job::adp(0.0, 0.5, 5.0), // overlappable with the first → pick one
+            Job::adp(10.0, 11.0, 2.0),
+        ]);
+        assert_eq!(lb_chain(&inst), dur(7.0));
+    }
+
+    #[test]
+    fn chain_at_least_max_length() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 100.0, 9.0),
+            Job::adp(0.0, 100.0, 1.0),
+        ]);
+        assert!(lb_chain(&inst) >= lb_max_length(&inst));
+        assert_eq!(lb_chain(&inst), dur(9.0), "overlappable jobs do not chain");
+    }
+
+    #[test]
+    fn mandatory_union_measured() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 1.0, 3.0), // mandatory [1, 3)
+            Job::adp(2.0, 2.5, 2.0), // mandatory [2.5, 4)
+            Job::adp(0.0, 50.0, 1.0), // no mandatory part
+        ]);
+        // [1,3) ∪ [2.5,4) = [1,4) → 3.
+        assert_eq!(lb_mandatory(&inst), dur(3.0));
+    }
+
+    #[test]
+    fn rigid_jobs_mandatory_equals_eager_span() {
+        // All-rigid instances: mandatory parts are the actual active
+        // intervals, so the bound is exact.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 2.0),
+            Job::adp(1.0, 1.0, 2.0),
+            Job::adp(10.0, 10.0, 1.0),
+        ]);
+        assert_eq!(lb_mandatory(&inst), dur(4.0));
+        assert_eq!(best_lower_bound(&inst), dur(4.0));
+    }
+
+    #[test]
+    fn boundary_touching_jobs_chain() {
+        // a_2 exactly equals d_1 + p_1: half-open intervals make them
+        // non-overlappable, so they chain.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 1.0, 2.0), // latest completion 3
+            Job::adp(3.0, 10.0, 5.0),
+        ]);
+        assert_eq!(lb_chain(&inst), dur(7.0));
+    }
+
+    #[test]
+    fn chain_handles_equal_arrivals() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 1.0),
+            Job::adp(0.0, 0.0, 2.0),
+            Job::adp(0.0, 0.0, 3.0),
+        ]);
+        assert_eq!(lb_chain(&inst), dur(3.0));
+    }
+
+    #[test]
+    fn prefix_max_fenwick() {
+        let mut pm = PrefixMax::new(8);
+        pm.update(3, 5.0);
+        pm.update(6, 2.0);
+        assert_eq!(pm.query(2), 0.0);
+        assert_eq!(pm.query(3), 5.0);
+        assert_eq!(pm.query(7), 5.0);
+        pm.update(1, 9.0);
+        assert_eq!(pm.query(1), 9.0);
+        assert_eq!(pm.query(7), 9.0);
+    }
+}

@@ -1,0 +1,428 @@
+//! Exact optimal span for small **integer** instances.
+//!
+//! The paper cites Khandekar et al. for the fact that offline FJS is
+//! polynomially solvable; here we only need exact optima as ground truth for
+//! validating schedulers on small instances (experiment E10), so we use a
+//! transparent search instead of reimplementing the full DP:
+//!
+//! **Integrality lemma.** For an instance whose arrivals, deadlines and
+//! lengths are all integers, some optimal schedule uses only integer start
+//! times. *Proof sketch:* fix an optimal schedule and any job `J` not on the
+//! integer grid. As a function of `s(J)` (others fixed), the span is
+//! piecewise linear with breakpoints only where an endpoint of `J`'s active
+//! interval meets an endpoint of another job's interval or `s(J)` hits
+//! `a(J)`/`d(J)`. Moving `s(J)` to the nearest breakpoint in the direction
+//! of weakly decreasing span never increases the span, and iterating this
+//! over jobs (each move strictly reduces the total fractional mass of start
+//! times or keeps span equal while snapping one more job) terminates with an
+//! all-integer schedule of equal span, because all breakpoints are integer
+//! combinations of the integer inputs.
+//!
+//! [`optimal_span_dp`] searches over schedules presented in sorted-start
+//! order with memoization on `(remaining set, last start, covered
+//! frontier)`: every interval that extends past the last start truncates to
+//! a single contiguous covered region `[s_last, R)`, so the marginal cost of
+//! the next interval depends only on `R`. [`optimal_span_exhaustive`] is an
+//! independent brute force used to cross-validate the DP in tests.
+
+use fjs_core::job::{Instance, JobId};
+use fjs_core::schedule::Schedule;
+use fjs_core::time::{Dur, Time};
+use std::collections::HashMap;
+
+/// Errors from the exact solvers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExactError {
+    /// A job parameter is not integral.
+    NonIntegral,
+    /// The instance exceeds the solver's size limits.
+    TooLarge {
+        /// Number of jobs in the instance.
+        jobs: usize,
+        /// The solver's job limit.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::NonIntegral => {
+                write!(f, "exact solvers require integer arrivals, deadlines and lengths")
+            }
+            ExactError::TooLarge { jobs, limit } => {
+                write!(f, "instance has {jobs} jobs, exact solver limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// Maximum jobs accepted by [`optimal_span_dp`] (the state space is
+/// exponential in the job count).
+pub const DP_JOB_LIMIT: usize = 16;
+
+/// Maximum jobs accepted by [`optimal_span_exhaustive`].
+pub const EXHAUSTIVE_JOB_LIMIT: usize = 6;
+
+#[derive(Clone, Copy, Debug)]
+struct IntJob {
+    a: i64,
+    d: i64,
+    p: i64,
+}
+
+fn to_int_jobs(inst: &Instance) -> Result<Vec<IntJob>, ExactError> {
+    inst.jobs()
+        .iter()
+        .map(|j| {
+            let a = j.arrival().get();
+            let d = j.deadline().get();
+            let p = j.length().get();
+            if a.fract() != 0.0 || d.fract() != 0.0 || p.fract() != 0.0 {
+                return Err(ExactError::NonIntegral);
+            }
+            Ok(IntJob { a: a as i64, d: d as i64, p: p as i64 })
+        })
+        .collect()
+}
+
+/// Exact optimal span via memoized search in sorted-start order.
+///
+/// Accepts integer instances with at most [`DP_JOB_LIMIT`] jobs; complexity
+/// is `O(2^n · T² · n · W)` in the worst case (`T` = horizon, `W` = window
+/// width), so keep windows modest.
+pub fn optimal_span_dp(inst: &Instance) -> Result<Dur, ExactError> {
+    let jobs = to_int_jobs(inst)?;
+    let n = jobs.len();
+    if n == 0 {
+        return Ok(Dur::ZERO);
+    }
+    if n > DP_JOB_LIMIT {
+        return Err(ExactError::TooLarge { jobs: n, limit: DP_JOB_LIMIT });
+    }
+
+    let t0 = jobs.iter().map(|j| j.a).min().expect("non-empty");
+    let full_mask: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut memo: HashMap<(u32, i64, i64), i64> = HashMap::new();
+
+    // Search over schedules listed in nondecreasing start order. `s_last`
+    // is the previous start; `r` the covered frontier (max endpoint so
+    // far). All existing intervals start <= s_last, so coverage beyond
+    // s_last is exactly [s_last, r) — the next interval's marginal cost is
+    // max(0, s+p − max(s, r)).
+    fn solve(
+        jobs: &[IntJob],
+        mask: u32,
+        s_last: i64,
+        r: i64,
+        memo: &mut HashMap<(u32, i64, i64), i64>,
+    ) -> i64 {
+        if mask == 0 {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&(mask, s_last, r)) {
+            return v;
+        }
+        let mut best = i64::MAX;
+        for (idx, job) in jobs.iter().enumerate() {
+            if mask & (1 << idx) == 0 {
+                continue;
+            }
+            let lo = job.a.max(s_last);
+            if lo > job.d {
+                continue; // this job cannot start at or after s_last → this ordering is infeasible
+            }
+            for s in lo..=job.d {
+                let e = s + job.p;
+                let marginal = (e - r.max(s)).max(0);
+                if marginal >= best {
+                    // Larger s only weakly increases marginal for this job,
+                    // but future costs vary; cannot break. Just skip if the
+                    // immediate cost alone already matches best and e <= r
+                    // offers nothing — conservative: no skip.
+                }
+                let rest = solve(jobs, mask & !(1 << idx), s, r.max(e), memo);
+                if rest != i64::MAX {
+                    best = best.min(marginal + rest);
+                }
+            }
+        }
+        memo.insert((mask, s_last, r), best);
+        best
+    }
+
+    let best = solve(&jobs, full_mask, t0, t0, &mut memo);
+    debug_assert!(best != i64::MAX, "every instance admits the deadline schedule");
+    Ok(Dur::new(best as f64))
+}
+
+/// Exact optimal span **with a witness schedule**, via the same memoized
+/// search as [`optimal_span_dp`] plus choice recording.
+///
+/// The returned schedule is validated feasible and its span equals the
+/// returned optimum exactly.
+pub fn optimal_schedule_dp(inst: &Instance) -> Result<(Dur, Schedule), ExactError> {
+    let jobs = to_int_jobs(inst)?;
+    let n = jobs.len();
+    if n == 0 {
+        return Ok((Dur::ZERO, Schedule::with_len(0)));
+    }
+    if n > DP_JOB_LIMIT {
+        return Err(ExactError::TooLarge { jobs: n, limit: DP_JOB_LIMIT });
+    }
+
+    let t0 = jobs.iter().map(|j| j.a).min().expect("non-empty");
+    let full_mask: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut memo: HashMap<(u32, i64, i64), i64> = HashMap::new();
+    let mut choice: HashMap<(u32, i64, i64), (usize, i64)> = HashMap::new();
+
+    fn solve_rec(
+        jobs: &[IntJob],
+        mask: u32,
+        s_last: i64,
+        r: i64,
+        memo: &mut HashMap<(u32, i64, i64), i64>,
+        choice: &mut HashMap<(u32, i64, i64), (usize, i64)>,
+    ) -> i64 {
+        if mask == 0 {
+            return 0;
+        }
+        if let Some(&v) = memo.get(&(mask, s_last, r)) {
+            return v;
+        }
+        let mut best = i64::MAX;
+        let mut best_choice = None;
+        for (idx, job) in jobs.iter().enumerate() {
+            if mask & (1 << idx) == 0 {
+                continue;
+            }
+            let lo = job.a.max(s_last);
+            if lo > job.d {
+                continue;
+            }
+            for s in lo..=job.d {
+                let e = s + job.p;
+                let marginal = (e - r.max(s)).max(0);
+                let rest = solve_rec(jobs, mask & !(1 << idx), s, r.max(e), memo, choice);
+                if rest != i64::MAX && marginal + rest < best {
+                    best = marginal + rest;
+                    best_choice = Some((idx, s));
+                }
+            }
+        }
+        memo.insert((mask, s_last, r), best);
+        if let Some(c) = best_choice {
+            choice.insert((mask, s_last, r), c);
+        }
+        best
+    }
+
+    let best = solve_rec(&jobs, full_mask, t0, t0, &mut memo, &mut choice);
+    debug_assert!(best != i64::MAX);
+
+    // Walk the choices to materialize the schedule.
+    let mut schedule = Schedule::with_len(n);
+    let (mut mask, mut s_last, mut r) = (full_mask, t0, t0);
+    while mask != 0 {
+        let &(idx, s) = choice
+            .get(&(mask, s_last, r))
+            .expect("every reachable non-empty state has a recorded choice");
+        schedule.set_start(JobId(idx as u32), Time::new(s as f64));
+        let e = s + jobs[idx].p;
+        mask &= !(1 << idx);
+        s_last = s;
+        r = r.max(e);
+    }
+    debug_assert!(schedule.validate(inst).is_ok());
+    debug_assert_eq!(schedule.span(inst), Dur::new(best as f64));
+    Ok((Dur::new(best as f64), schedule))
+}
+
+/// Exact optimal span via brute-force product enumeration over the integer
+/// grid. Exponentially slower than [`optimal_span_dp`]; only for
+/// cross-validation (at most [`EXHAUSTIVE_JOB_LIMIT`] jobs).
+pub fn optimal_span_exhaustive(inst: &Instance) -> Result<Dur, ExactError> {
+    let jobs = to_int_jobs(inst)?;
+    let n = jobs.len();
+    if n == 0 {
+        return Ok(Dur::ZERO);
+    }
+    if n > EXHAUSTIVE_JOB_LIMIT {
+        return Err(ExactError::TooLarge { jobs: n, limit: EXHAUSTIVE_JOB_LIMIT });
+    }
+
+    let mut starts = vec![0i64; n];
+    let mut best = i64::MAX;
+
+    fn rec(jobs: &[IntJob], starts: &mut [i64], k: usize, best: &mut i64) {
+        if k == jobs.len() {
+            // Union length of [s_i, s_i + p_i).
+            let mut ivs: Vec<(i64, i64)> =
+                jobs.iter().zip(starts.iter()).map(|(j, &s)| (s, s + j.p)).collect();
+            ivs.sort_unstable();
+            let mut total = 0;
+            let mut cur = ivs[0];
+            for &(lo, hi) in &ivs[1..] {
+                if lo <= cur.1 {
+                    cur.1 = cur.1.max(hi);
+                } else {
+                    total += cur.1 - cur.0;
+                    cur = (lo, hi);
+                }
+            }
+            total += cur.1 - cur.0;
+            *best = (*best).min(total);
+            return;
+        }
+        for s in jobs[k].a..=jobs[k].d {
+            starts[k] = s;
+            rec(jobs, starts, k + 1, best);
+        }
+    }
+
+    rec(&jobs, &mut starts, 0, &mut best);
+    Ok(Dur::new(best as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::Job;
+    use fjs_core::time::dur;
+
+    #[test]
+    fn empty_instance_zero() {
+        assert_eq!(optimal_span_dp(&Instance::empty()), Ok(Dur::ZERO));
+        assert_eq!(optimal_span_exhaustive(&Instance::empty()), Ok(Dur::ZERO));
+    }
+
+    #[test]
+    fn single_job_span_is_length() {
+        let inst = Instance::new(vec![Job::adp(0.0, 5.0, 3.0)]);
+        assert_eq!(optimal_span_dp(&inst), Ok(dur(3.0)));
+        assert_eq!(optimal_span_exhaustive(&inst), Ok(dur(3.0)));
+    }
+
+    #[test]
+    fn two_jobs_stack_when_windows_allow() {
+        // Both can start at t=4: span = max length.
+        let inst = Instance::new(vec![Job::adp(0.0, 4.0, 2.0), Job::adp(4.0, 8.0, 3.0)]);
+        assert_eq!(optimal_span_dp(&inst), Ok(dur(3.0)));
+        assert_eq!(optimal_span_exhaustive(&inst), Ok(dur(3.0)));
+    }
+
+    #[test]
+    fn disjoint_jobs_sum() {
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 1.0), Job::adp(10.0, 10.0, 2.0)]);
+        assert_eq!(optimal_span_dp(&inst), Ok(dur(3.0)));
+    }
+
+    #[test]
+    fn partial_overlap_optimum() {
+        // J0 rigid at 0 len 2; J1 window [1, 3] len 2.
+        // Best: start J1 at 1 → union [0,3) = 3? or J1 at... s=1: [0,2)∪[1,3)=3.
+        // s=3: [0,2)∪[3,5)=4. s=2: [0,4)=4. Optimum 3.
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 2.0), Job::adp(1.0, 3.0, 2.0)]);
+        assert_eq!(optimal_span_dp(&inst), Ok(dur(3.0)));
+        assert_eq!(optimal_span_exhaustive(&inst), Ok(dur(3.0)));
+    }
+
+    #[test]
+    fn nesting_beats_chaining() {
+        // A long job can absorb two short ones entirely.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 10.0, 8.0),
+            Job::adp(2.0, 20.0, 1.0),
+            Job::adp(5.0, 20.0, 1.0),
+        ]);
+        assert_eq!(optimal_span_dp(&inst), Ok(dur(8.0)));
+    }
+
+    #[test]
+    fn rejects_non_integral() {
+        let inst = Instance::new(vec![Job::adp(0.0, 1.5, 1.0)]);
+        assert_eq!(optimal_span_dp(&inst), Err(ExactError::NonIntegral));
+        assert_eq!(optimal_span_exhaustive(&inst), Err(ExactError::NonIntegral));
+    }
+
+    #[test]
+    fn rejects_oversize() {
+        let jobs: Vec<Job> = (0..20).map(|i| Job::adp(i as f64, i as f64, 1.0)).collect();
+        let inst = Instance::new(jobs);
+        assert!(matches!(optimal_span_dp(&inst), Err(ExactError::TooLarge { .. })));
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_fixed_cases() {
+        let cases = vec![
+            vec![Job::adp(0.0, 3.0, 2.0), Job::adp(1.0, 5.0, 1.0), Job::adp(2.0, 2.0, 3.0)],
+            vec![Job::adp(0.0, 0.0, 1.0), Job::adp(0.0, 6.0, 2.0), Job::adp(3.0, 4.0, 2.0)],
+            vec![
+                Job::adp(0.0, 2.0, 1.0),
+                Job::adp(0.0, 2.0, 2.0),
+                Job::adp(1.0, 4.0, 1.0),
+                Job::adp(3.0, 6.0, 3.0),
+            ],
+        ];
+        for jobs in cases {
+            let inst = Instance::new(jobs);
+            assert_eq!(
+                optimal_span_dp(&inst).unwrap(),
+                optimal_span_exhaustive(&inst).unwrap(),
+                "instance: {inst:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_span_and_is_feasible() {
+        let cases = vec![
+            vec![Job::adp(0.0, 4.0, 2.0), Job::adp(4.0, 8.0, 3.0)],
+            vec![Job::adp(0.0, 0.0, 2.0), Job::adp(1.0, 3.0, 2.0)],
+            vec![
+                Job::adp(0.0, 2.0, 1.0),
+                Job::adp(0.0, 2.0, 2.0),
+                Job::adp(1.0, 4.0, 1.0),
+                Job::adp(3.0, 6.0, 3.0),
+            ],
+        ];
+        for jobs in cases {
+            let inst = Instance::new(jobs);
+            let (span, schedule) = optimal_schedule_dp(&inst).unwrap();
+            assert!(schedule.validate(&inst).is_ok());
+            assert_eq!(schedule.span(&inst), span);
+            assert_eq!(span, optimal_span_dp(&inst).unwrap());
+        }
+    }
+
+    #[test]
+    fn reconstruction_empty_instance() {
+        let (span, schedule) = optimal_schedule_dp(&Instance::empty()).unwrap();
+        assert_eq!(span, Dur::ZERO);
+        assert!(schedule.is_empty());
+    }
+
+    #[test]
+    fn optimum_never_exceeds_lazy_or_eager() {
+        use fjs_core::prelude::*;
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 4.0, 2.0),
+            Job::adp(1.0, 3.0, 1.0),
+            Job::adp(2.0, 7.0, 2.0),
+            Job::adp(6.0, 6.0, 1.0),
+        ]);
+        let opt = optimal_span_dp(&inst).unwrap();
+        // Eager: [0,2)∪[1,2)∪[2,4)∪[6,7) = 5. Lazy: [4,6)∪[3,4)∪[7,9)∪[6,7) = 6.
+        let eager_span = {
+            let starts: Vec<(JobId, Time)> =
+                inst.iter().map(|(id, j)| (id, j.arrival())).collect();
+            Schedule::from_starts(inst.len(), starts).span(&inst)
+        };
+        assert!(opt <= eager_span);
+        // Start J0@2 ([2,4)), J1@2 ([2,3)), J2@2 ([2,4)), J3@6 ([6,7)):
+        // union [2,4) ∪ [6,7) → 3.
+        assert_eq!(opt, dur(3.0));
+    }
+}

@@ -1,0 +1,242 @@
+//! Local-search **upper bounds** on the optimal span for instances too large
+//! for exact optimization.
+//!
+//! Starting from any feasible schedule, [`coordinate_descent`] repeatedly
+//! repositions one job at a time to its best feasible start given all other
+//! jobs. By the piecewise-linearity of the span in a single start time, the
+//! per-job optimum is attained at a *breakpoint*: the job's window bounds or
+//! a position where one of its endpoints meets another active interval's
+//! endpoint. The result is a feasible schedule, hence `span ≥ span_min`;
+//! together with `fjs-opt`'s lower bounds this brackets OPT.
+
+use fjs_core::interval::IntervalSet;
+use fjs_core::job::{Instance, JobId};
+use fjs_core::schedule::Schedule;
+use fjs_core::time::{Dur, Time};
+
+/// Result of a descent run.
+#[derive(Clone, Debug)]
+pub struct DescentResult {
+    /// The improved feasible schedule.
+    pub schedule: Schedule,
+    /// Its span.
+    pub span: Dur,
+    /// Full passes over the job set performed.
+    pub passes: usize,
+}
+
+/// Improves a feasible schedule by coordinate descent until a full pass
+/// yields no improvement or `max_passes` is reached.
+///
+/// # Panics
+/// Panics if `init` is not a complete feasible schedule for `inst`.
+pub fn coordinate_descent(inst: &Instance, init: &Schedule, max_passes: usize) -> DescentResult {
+    init.validate(inst).expect("descent requires a feasible initial schedule");
+    let n = inst.len();
+    let mut starts: Vec<Time> =
+        (0..n).map(|i| init.start(JobId(i as u32)).expect("complete")).collect();
+
+    let mut passes = 0;
+    while passes < max_passes {
+        passes += 1;
+        let mut improved = false;
+        for i in 0..n {
+            let job = &inst.jobs()[i];
+            // Union of all other active intervals.
+            let others: IntervalSet = (0..n)
+                .filter(|&q| q != i)
+                .map(|q| inst.jobs()[q].active_interval_at(starts[q]))
+                .collect();
+
+            // Candidate starts: window bounds plus endpoint alignments.
+            let (lo, hi) = job.start_window();
+            let p = job.length();
+            let mut cands: Vec<Time> = vec![lo, hi];
+            for seg in others.segments() {
+                for &e in &[seg.lo(), seg.hi()] {
+                    // Align left endpoint at e, or right endpoint at e.
+                    let c1 = e;
+                    let c2 = e - p;
+                    if c1 >= lo && c1 <= hi {
+                        cands.push(c1);
+                    }
+                    if c2 >= lo && c2 <= hi {
+                        cands.push(c2);
+                    }
+                }
+            }
+            let current = starts[i];
+            let current_cost = marginal(&others, current, p);
+            let mut best = (current_cost, current);
+            for &c in &cands {
+                let cost = marginal(&others, c, p);
+                if cost < best.0 {
+                    best = (cost, c);
+                }
+            }
+            if best.1 != current && best.0 < current_cost {
+                starts[i] = best.1;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    let schedule =
+        Schedule::from_starts(n, starts.iter().enumerate().map(|(i, &s)| (JobId(i as u32), s)));
+    let span = schedule.span(inst);
+    DescentResult { schedule, span, passes }
+}
+
+/// Length of `[s, s+p)` not covered by `others`.
+fn marginal(others: &IntervalSet, s: Time, p: Dur) -> Dur {
+    let iv = fjs_core::interval::Interval::active(s, p);
+    p - others.measure_within(&iv)
+}
+
+/// A feasible upper bound on the optimal span: best of the all-at-deadline
+/// and all-at-arrival schedules, then coordinate descent.
+pub fn upper_bound_span(inst: &Instance, max_passes: usize) -> DescentResult {
+    if inst.is_empty() {
+        return DescentResult { schedule: Schedule::with_len(0), span: Dur::ZERO, passes: 0 };
+    }
+    let lazy = Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
+    let eager = Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.arrival())));
+    let init = if lazy.span(inst) <= eager.span(inst) { lazy } else { eager };
+    coordinate_descent(inst, &init, max_passes)
+}
+
+/// A (usually tighter) upper bound via **randomized restarts**: descent
+/// from the deterministic anchors plus `restarts` random feasible
+/// schedules (each job at an independent uniform point of its window,
+/// seeded splitmix64). Returns the best result found. Deterministic per
+/// `(inst, seed)`.
+pub fn upper_bound_span_randomized(
+    inst: &Instance,
+    max_passes: usize,
+    restarts: usize,
+    seed: u64,
+) -> DescentResult {
+    let mut best = upper_bound_span(inst, max_passes);
+    if inst.is_empty() {
+        return best;
+    }
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut unit = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..restarts {
+        let init = Schedule::from_starts(
+            inst.len(),
+            inst.iter().map(|(id, j)| {
+                let s = j.arrival() + j.laxity() * unit();
+                (id, s.min(j.deadline()))
+            }),
+        );
+        let res = coordinate_descent(inst, &init, max_passes);
+        if res.span < best.span {
+            best = res;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::Job;
+    use fjs_core::time::{dur, t};
+
+    #[test]
+    fn descent_finds_stacking_optimum() {
+        // Two jobs that can fully stack: descent should reach span 3.
+        let inst = Instance::new(vec![Job::adp(0.0, 4.0, 2.0), Job::adp(4.0, 8.0, 3.0)]);
+        let res = upper_bound_span(&inst, 50);
+        assert_eq!(res.span, dur(3.0));
+        assert!(res.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn descent_never_worsens_the_initial_schedule() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 5.0, 1.0),
+            Job::adp(2.0, 9.0, 3.0),
+            Job::adp(4.0, 4.0, 2.0),
+        ]);
+        let lazy =
+            Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
+        let before = lazy.span(&inst);
+        let res = coordinate_descent(&inst, &lazy, 50);
+        assert!(res.span <= before);
+        assert!(res.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn descent_matches_exact_on_small_instances() {
+        let cases = vec![
+            vec![Job::adp(0.0, 0.0, 2.0), Job::adp(1.0, 3.0, 2.0)],
+            vec![Job::adp(0.0, 10.0, 8.0), Job::adp(2.0, 20.0, 1.0), Job::adp(5.0, 20.0, 1.0)],
+            vec![Job::adp(0.0, 3.0, 2.0), Job::adp(1.0, 5.0, 1.0), Job::adp(2.0, 2.0, 3.0)],
+        ];
+        for jobs in cases {
+            let inst = Instance::new(jobs);
+            let exact = crate::exact::optimal_span_dp(&inst).unwrap();
+            let res = upper_bound_span(&inst, 100);
+            assert!(res.span >= exact, "upper bound below optimum?!");
+            // Descent is a heuristic; on these easy cases it is exact.
+            assert_eq!(res.span, exact, "instance {inst:?}");
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let res = upper_bound_span(&Instance::empty(), 10);
+        assert_eq!(res.span, Dur::ZERO);
+        let res = upper_bound_span_randomized(&Instance::empty(), 10, 3, 1);
+        assert_eq!(res.span, Dur::ZERO);
+    }
+
+    #[test]
+    fn randomized_restarts_never_worse_than_plain() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 8.0, 2.0),
+            Job::adp(1.0, 6.0, 3.0),
+            Job::adp(2.0, 12.0, 1.0),
+            Job::adp(9.0, 15.0, 2.0),
+        ]);
+        let plain = upper_bound_span(&inst, 30);
+        let rand = upper_bound_span_randomized(&inst, 30, 8, 42);
+        assert!(rand.span <= plain.span);
+        assert!(rand.schedule.validate(&inst).is_ok());
+        // Deterministic per seed.
+        let again = upper_bound_span_randomized(&inst, 30, 8, 42);
+        assert_eq!(rand.span, again.span);
+    }
+
+    #[test]
+    fn randomized_restarts_respect_optimum() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 3.0, 2.0),
+            Job::adp(1.0, 5.0, 1.0),
+            Job::adp(2.0, 2.0, 3.0),
+        ]);
+        let opt = crate::exact::optimal_span_dp(&inst).unwrap();
+        let res = upper_bound_span_randomized(&inst, 50, 10, 7);
+        assert!(res.span >= opt);
+    }
+
+    #[test]
+    fn rigid_instance_is_a_fixed_point() {
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 1.0), Job::adp(5.0, 5.0, 1.0)]);
+        let res = upper_bound_span(&inst, 10);
+        assert_eq!(res.span, dur(2.0));
+        assert_eq!(res.schedule.start(fjs_core::job::JobId(0)), Some(t(0.0)));
+    }
+}

@@ -1,0 +1,87 @@
+//! # fjs-opt
+//!
+//! Offline optimal baselines for flexible job scheduling:
+//!
+//! * [`exact`] — exact optimal span for small integer instances (memoized
+//!   search + independent brute force), the ground truth for experiment E10;
+//! * [`bounds`] — certified polynomial-time lower bounds on the optimal
+//!   span (never-overlappable chains, mandatory parts), used whenever exact
+//!   optimization is infeasible;
+//! * [`improve`] — coordinate-descent upper bounds (feasible schedules),
+//!   bracketing OPT from above.
+//!
+//! For any instance: `bounds::best_lower_bound ≤ span_min ≤
+//! improve::upper_bound_span`, with equality of the outer two on many easy
+//! families (verified by property tests).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bounds;
+pub mod exact;
+pub mod improve;
+
+pub use bounds::{best_lower_bound, lb_chain, lb_mandatory, lb_max_length};
+pub use exact::{optimal_schedule_dp, optimal_span_dp, optimal_span_exhaustive, ExactError};
+pub use improve::{coordinate_descent, upper_bound_span, upper_bound_span_randomized, DescentResult};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fjs_core::job::{Instance, Job};
+    use proptest::prelude::*;
+
+    /// Random small integer instance: n ≤ 5 jobs, horizon ≤ ~14.
+    fn small_int_instance() -> impl Strategy<Value = Instance> {
+        prop::collection::vec((0i64..8, 0i64..5, 1i64..5), 1..=5).prop_map(|trips| {
+            Instance::new(
+                trips
+                    .into_iter()
+                    .map(|(a, lax, p)| Job::adp(a as f64, (a + lax) as f64, p as f64))
+                    .collect(),
+            )
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn dp_matches_exhaustive(inst in small_int_instance()) {
+            let dp = optimal_span_dp(&inst).unwrap();
+            let ex = optimal_span_exhaustive(&inst).unwrap();
+            prop_assert_eq!(dp, ex);
+        }
+
+        #[test]
+        fn lower_bounds_never_exceed_optimum(inst in small_int_instance()) {
+            let opt = optimal_span_dp(&inst).unwrap();
+            prop_assert!(best_lower_bound(&inst) <= opt,
+                "LB {} > OPT {} on {:?}", best_lower_bound(&inst), opt, inst);
+        }
+
+        #[test]
+        fn upper_bounds_never_undershoot_optimum(inst in small_int_instance()) {
+            let opt = optimal_span_dp(&inst).unwrap();
+            let ub = upper_bound_span(&inst, 50);
+            prop_assert!(ub.span >= opt);
+            prop_assert!(ub.schedule.validate(&inst).is_ok());
+        }
+
+        #[test]
+        fn chain_bound_is_monotone_under_job_removal(inst in small_int_instance()) {
+            // Removing a job cannot increase the chain bound.
+            let full = lb_chain(&inst);
+            for skip in 0..inst.len() {
+                let reduced: Instance = inst
+                    .jobs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != skip)
+                    .map(|(_, j)| *j)
+                    .collect();
+                prop_assert!(lb_chain(&reduced) <= full);
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Baseline schedulers the paper argues about in prose.
+//!
+//! Section 3.2: *"an eager scheduler that starts every job immediately at
+//! its arrival cannot achieve any bounded competitive ratio … Similarly, a
+//! lazy scheduler that delays the start of each job till its starting
+//! deadline cannot achieve any bounded competitive ratio either."* Both are
+//! implemented here as experimental baselines (they are feasible, just not
+//! competitive).
+
+use fjs_core::job::JobId;
+use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
+
+/// Starts every job immediately at its arrival.
+///
+/// Never exploits laxity; unboundedly non-competitive (Section 3.2) but
+/// works in both information models.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Eager;
+
+impl OnlineScheduler for Eager {
+    fn name(&self) -> String {
+        "Eager".into()
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        ctx.start(job.id);
+    }
+
+    fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {
+        // Unreachable for Eager: nothing is ever pending at a deadline.
+    }
+}
+
+/// Delays every job until its starting deadline.
+///
+/// Takes no advantage of the flexibility the laxity offers; unboundedly
+/// non-competitive (Section 3.2) but feasible in both information models.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Lazy;
+
+impl OnlineScheduler for Lazy {
+    fn name(&self) -> String {
+        "Lazy".into()
+    }
+
+    fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {}
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        ctx.start(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+
+    fn inst() -> Instance {
+        Instance::new(vec![
+            Job::adp(0.0, 3.0, 1.0),
+            Job::adp(1.0, 4.0, 2.0),
+            Job::adp(2.0, 2.0, 1.0), // rigid
+        ])
+    }
+
+    #[test]
+    fn eager_span() {
+        let out = run_static(&inst(), Clairvoyance::NonClairvoyant, Eager);
+        assert!(out.is_feasible());
+        // [0,1) ∪ [1,3) ∪ [2,3) → [0,3).
+        assert_eq!(out.span, dur(3.0));
+    }
+
+    #[test]
+    fn lazy_span() {
+        let out = run_static(&inst(), Clairvoyance::NonClairvoyant, Lazy);
+        assert!(out.is_feasible());
+        // [3,4) ∪ [4,6) ∪ [2,3) → [2,6).
+        assert_eq!(out.span, dur(4.0));
+    }
+
+    #[test]
+    fn eager_unbounded_ratio_witness() {
+        // n short jobs with huge laxity arriving staggered: Eager spreads
+        // them out (span n), an optimal scheduler stacks them (span ~1).
+        let n = 50;
+        let jobs: Vec<Job> = (0..n).map(|i| Job::adp(i as f64, 1000.0, 1.0)).collect();
+        let inst = Instance::new(jobs);
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, Eager);
+        assert_eq!(out.span, dur(n as f64));
+        // Stacking all at t=1000 gives span 1 → ratio n, unbounded in n.
+    }
+
+    #[test]
+    fn lazy_unbounded_ratio_witness() {
+        // n short jobs with *distinct* deadlines far apart: Lazy induces
+        // span n while starting them all together at arrival gives span 1.
+        let n = 50;
+        let jobs: Vec<Job> =
+            (0..n).map(|i| Job::adp(0.0, 10.0 * (i + 1) as f64, 1.0)).collect();
+        let inst = Instance::new(jobs);
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, Lazy);
+        assert_eq!(out.span, dur(n as f64));
+    }
+}

@@ -1,0 +1,130 @@
+//! The **Batch** scheduler (Section 3.2, Theorem 3.4).
+//!
+//! Batch proceeds in iterations. In each iteration it waits until some
+//! pending job `J` hits its starting deadline `d(J)` — `J` is the *flag job*
+//! of the iteration — and at that instant starts **all** pending jobs
+//! simultaneously. It then waits for the next pending job to hit its
+//! deadline.
+//!
+//! For Non-Clairvoyant FJS, Batch is `(2μ+1)`-competitive and no better than
+//! `2μ`-competitive, where `μ` is the max/min processing-length ratio
+//! (Theorem 3.4; experiment E2 reproduces the `2μ` tightness instance of
+//! Figure 2).
+
+use fjs_core::job::JobId;
+use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
+
+use crate::flag_graph::FlagRecorder;
+
+/// The Batch scheduler. Works in both information models (it never looks at
+/// processing lengths).
+#[derive(Clone, Default, Debug)]
+pub struct Batch {
+    flags: Vec<JobId>,
+}
+
+impl Batch {
+    /// Creates a Batch scheduler.
+    pub fn new() -> Self {
+        Batch::default()
+    }
+}
+
+impl FlagRecorder for Batch {
+    fn flag_jobs(&self) -> Vec<JobId> {
+        self.flags.clone()
+    }
+}
+
+impl OnlineScheduler for Batch {
+    fn name(&self) -> String {
+        "Batch".into()
+    }
+
+    fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {
+        // Buffer: jobs wait until some pending job hits its deadline.
+    }
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        // `id` is the flag job of this iteration (the engine only delivers
+        // deadline alarms for still-pending jobs, so if several jobs share
+        // the deadline the first alarm elects the flag and starts the rest;
+        // their own alarms then find them already started).
+        self.flags.push(id);
+        let pending: Vec<JobId> = ctx.pending().collect();
+        for j in pending {
+            ctx.start(j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+
+    #[test]
+    fn batch_starts_everything_at_first_deadline() {
+        // Three jobs; J0's deadline at t=2 triggers the only iteration.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 2.0, 1.0),
+            Job::adp(0.5, 9.0, 1.0),
+            Job::adp(1.0, 7.0, 3.0),
+        ]);
+        let mut sched = Batch::new();
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        for i in 0..3 {
+            assert_eq!(out.schedule.start(JobId(i)), Some(t(2.0)));
+        }
+        assert_eq!(out.span, dur(3.0));
+        assert_eq!(sched.flag_jobs(), &[JobId(0)]);
+    }
+
+    #[test]
+    fn batch_runs_multiple_iterations() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 1.0, 1.0),
+            Job::adp(0.0, 10.0, 1.0),
+            Job::adp(5.0, 6.0, 1.0), // arrives after iteration 1 started
+        ]);
+        let mut sched = Batch::new();
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        // Iteration 1 at t=1 starts J0 and J1; iteration 2 at t=6 starts J2.
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(1.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(1.0)));
+        assert_eq!(out.schedule.start(JobId(2)), Some(t(6.0)));
+        assert_eq!(out.span, dur(2.0));
+        assert_eq!(sched.flag_jobs(), &[JobId(0), JobId(2)]);
+    }
+
+    #[test]
+    fn batch_does_not_start_arrivals_mid_iteration() {
+        // Unlike Batch+, a job arriving while others run is buffered until
+        // *its own* (or an earlier) pending deadline.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 10.0),
+            Job::adp(1.0, 20.0, 1.0),
+        ]);
+        let mut sched = Batch::new();
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(20.0)), "waits for its deadline");
+        assert_eq!(out.span, dur(11.0));
+    }
+
+    #[test]
+    fn same_deadline_jobs_share_one_iteration() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 3.0, 1.0),
+            Job::adp(1.0, 3.0, 2.0),
+        ]);
+        let mut sched = Batch::new();
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(3.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(3.0)));
+        assert_eq!(sched.flag_jobs().len(), 1, "one flag per iteration");
+    }
+}

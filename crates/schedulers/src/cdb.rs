@@ -1,0 +1,222 @@
+//! The **Classify-by-Duration Batch+** (CDB) scheduler (Section 4.2,
+//! Theorem 4.4).
+//!
+//! Clairvoyant. Jobs are classified by processing length: with base `b` and
+//! class ratio `α`, category `i` holds all jobs with
+//! `p(J) ∈ (b·α^(i−1), b·α^i]`, so each category's internal max/min length
+//! ratio is at most `α`. An independent [`BatchPlusState`] schedules each
+//! category.
+//!
+//! Theorem 4.4: CDB is `(3α + 4 + 2/(α−1))`-competitive, minimized at
+//! `α = 1 + √(2/3) ≈ 1.8165` where the ratio is `7 + 2√6 ≈ 11.899`.
+
+use std::collections::BTreeMap;
+
+use fjs_core::job::JobId;
+use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
+use fjs_core::time::Dur;
+
+use crate::batch_plus::BatchPlusState;
+use crate::flag_graph::FlagRecorder;
+
+/// The optimal class ratio `α* = 1 + √(2/3)` (Theorem 4.4).
+pub fn optimal_alpha() -> f64 {
+    1.0 + (2.0f64 / 3.0).sqrt()
+}
+
+/// The proved competitive ratio of CDB as a function of `α`.
+pub fn cdb_bound(alpha: f64) -> f64 {
+    assert!(alpha > 1.0, "CDB requires α > 1");
+    3.0 * alpha + 4.0 + 2.0 / (alpha - 1.0)
+}
+
+/// The Classify-by-Duration Batch+ scheduler. Requires a clairvoyant run.
+#[derive(Clone, Debug)]
+pub struct ClassifyByDuration {
+    alpha: f64,
+    base: f64,
+    /// One Batch+ state machine per non-empty category index.
+    categories: BTreeMap<i64, BatchPlusState>,
+    /// Category of each released job (indexed by job id).
+    job_category: Vec<i64>,
+}
+
+impl ClassifyByDuration {
+    /// Creates a CDB scheduler with class ratio `alpha > 1` and base length
+    /// `base > 0` (the paper's `b`; category boundaries sit at `b·α^i`).
+    ///
+    /// # Panics
+    /// Panics if `alpha <= 1` or `base <= 0`.
+    pub fn new(alpha: f64, base: f64) -> Self {
+        assert!(alpha > 1.0, "CDB requires α > 1, got {alpha}");
+        assert!(base > 0.0, "CDB requires a positive base length, got {base}");
+        ClassifyByDuration {
+            alpha,
+            base,
+            categories: BTreeMap::new(),
+            job_category: Vec::new(),
+        }
+    }
+
+    /// CDB with the analytically optimal `α = 1 + √(2/3)` and base 1.
+    pub fn optimal() -> Self {
+        ClassifyByDuration::new(optimal_alpha(), 1.0)
+    }
+
+    /// The class ratio `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The category index of a processing length: the smallest integer `i`
+    /// with `p ≤ b·α^i` (so category `i` is `(b·α^(i−1), b·α^i]`); see
+    /// [`fjs_core::sim::geometric_class`].
+    pub fn category_of(&self, p: Dur) -> i64 {
+        fjs_core::sim::geometric_class(p, self.alpha, self.base)
+    }
+
+    /// Number of non-empty categories seen so far.
+    pub fn num_categories(&self) -> usize {
+        self.categories.len()
+    }
+
+    fn record_category(&mut self, id: JobId, cat: i64) {
+        let idx = id.index();
+        if self.job_category.len() <= idx {
+            self.job_category.resize(idx + 1, i64::MIN);
+        }
+        self.job_category[idx] = cat;
+    }
+
+    fn category_state(&mut self, cat: i64) -> &mut BatchPlusState {
+        self.categories.entry(cat).or_default()
+    }
+}
+
+impl FlagRecorder for ClassifyByDuration {
+    fn flag_jobs(&self) -> Vec<JobId> {
+        let mut all: Vec<JobId> =
+            self.categories.values().flat_map(|s| s.flags().iter().copied()).collect();
+        all.sort();
+        all
+    }
+}
+
+impl OnlineScheduler for ClassifyByDuration {
+    fn name(&self) -> String {
+        format!("CDB(α={:.4})", self.alpha)
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        let p = job
+            .length
+            .expect("CDB is a clairvoyant scheduler: run it with Clairvoyance::Clairvoyant");
+        let cat = self.category_of(p);
+        self.record_category(job.id, cat);
+        self.category_state(cat).job_arrived(job.id, ctx);
+    }
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        let cat = self.job_category[id.index()];
+        self.category_state(cat).job_deadline(id, ctx);
+    }
+
+    fn on_completion(&mut self, id: JobId, _length: Dur, _ctx: &mut Ctx<'_>) {
+        let cat = self.job_category[id.index()];
+        self.category_state(cat).job_completed(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+
+    #[test]
+    fn bound_curve_minimum_at_optimal_alpha() {
+        let at_opt = cdb_bound(optimal_alpha());
+        assert!((at_opt - (7.0 + 2.0 * 6.0_f64.sqrt())).abs() < 1e-9);
+        for a in [1.2, 1.5, 1.7, 2.0, 2.5, 3.5] {
+            assert!(cdb_bound(a) >= at_opt - 1e-12, "α={a} beats the optimum");
+        }
+    }
+
+    #[test]
+    fn category_boundaries_half_open_above() {
+        let cdb = ClassifyByDuration::new(2.0, 1.0);
+        // Category i = (2^(i−1), 2^i].
+        assert_eq!(cdb.category_of(dur(1.0)), 0);
+        assert_eq!(cdb.category_of(dur(1.5)), 1);
+        assert_eq!(cdb.category_of(dur(2.0)), 1);
+        assert_eq!(cdb.category_of(dur(2.0001)), 2);
+        assert_eq!(cdb.category_of(dur(4.0)), 2);
+        assert_eq!(cdb.category_of(dur(0.5)), -1);
+        assert_eq!(cdb.category_of(dur(0.4)), 0 - 1, "0.4 ∈ (0.25, 0.5]? no: (0.25,0.5] is cat -1");
+    }
+
+    #[test]
+    fn within_category_ratio_bounded_by_alpha() {
+        let alpha = 1.9;
+        let cdb = ClassifyByDuration::new(alpha, 1.0);
+        // Any two lengths in the same category have ratio ≤ α (up to the
+        // boundary tolerance).
+        let lens = [0.3, 0.5, 0.9, 1.0, 1.3, 1.9, 2.0, 3.6, 3.61, 6.8, 13.0];
+        for &a in &lens {
+            for &b in &lens {
+                if cdb.category_of(dur(a)) == cdb.category_of(dur(b)) {
+                    let ratio = if a > b { a / b } else { b / a };
+                    assert!(
+                        ratio <= alpha * (1.0 + 1e-9),
+                        "lengths {a} and {b} share a category but ratio {ratio} > α"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn categories_schedule_independently() {
+        // Short job category and long job category each get their own
+        // Batch+ iterations.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 2.0, 1.0),    // short, flags cat A at t=2
+            Job::adp(0.0, 8.0, 100.0),  // long, flags cat B at t=8
+            Job::adp(1.0, 50.0, 0.9),   // short, pending with J0 → starts at 2
+        ]);
+        let mut sched = ClassifyByDuration::new(2.0, 1.0);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(2.0)));
+        assert_eq!(out.schedule.start(JobId(2)), Some(t(2.0)), "same category as J0");
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(8.0)), "own category, own flag");
+        assert_eq!(sched.num_categories(), 2);
+        assert_eq!(sched.flag_jobs(), vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn mid_iteration_arrival_starts_only_in_same_category() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 10.0),  // long flag, runs [0,10)
+            Job::adp(1.0, 40.0, 9.0),  // same category → starts at arrival
+            Job::adp(1.0, 40.0, 1.0),  // different category → buffered
+        ]);
+        let mut sched = ClassifyByDuration::new(2.0, 1.0);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(1.0)));
+        assert_eq!(out.schedule.start(JobId(2)), Some(t(40.0)), "short category buffers");
+    }
+
+    #[test]
+    #[should_panic(expected = "clairvoyant")]
+    fn non_clairvoyant_run_panics() {
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
+        let _ = run_static(&inst, Clairvoyance::NonClairvoyant, ClassifyByDuration::optimal());
+    }
+
+    #[test]
+    #[should_panic(expected = "α > 1")]
+    fn alpha_must_exceed_one() {
+        let _ = ClassifyByDuration::new(1.0, 1.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! The **Doubler** baseline (Koehler & Khuller, WADS 2017).
+//!
+//! The paper's concluding remarks cite a concurrent work that studied the
+//! unbounded-capacity online case (equivalent to Clairvoyant FJS) and
+//! proposed a 5-competitive *Doubler* scheduler. Ren & Tang give no
+//! pseudocode, so this module implements the classic rent-or-buy doubling
+//! reconstruction: **delay each job for at most (a constant multiple of) its
+//! own processing length**, i.e. start `J` at
+//! `min(d(J), a(J) + c·p(J))`.
+//!
+//! The intuition matches the cited description: a job gambles waiting time
+//! against the span it would have to pay anyway. Short jobs therefore
+//! synchronize behind long ones, while long jobs never wait much longer than
+//! their own cost. This scheduler is used purely as a clairvoyant baseline
+//! comparator in experiments E4/E8/E11 (see DESIGN.md §7, substitutions).
+
+use fjs_core::job::JobId;
+use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
+
+/// The Doubler baseline. Requires a clairvoyant run (the delay budget is
+/// `c·p(J)`).
+#[derive(Clone, Copy, Debug)]
+pub struct Doubler {
+    c: f64,
+}
+
+impl Default for Doubler {
+    fn default() -> Self {
+        Doubler::new(1.0)
+    }
+}
+
+impl Doubler {
+    /// Creates a Doubler with waiting budget `c·p(J)` per job, `c > 0`.
+    ///
+    /// # Panics
+    /// Panics if `c <= 0`.
+    pub fn new(c: f64) -> Self {
+        assert!(c > 0.0, "Doubler requires a positive budget factor, got {c}");
+        Doubler { c }
+    }
+
+    /// The budget factor `c`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+}
+
+impl OnlineScheduler for Doubler {
+    fn name(&self) -> String {
+        format!("Doubler(c={:.2})", self.c)
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        let p = job
+            .length
+            .expect("Doubler is a clairvoyant scheduler: run it with Clairvoyance::Clairvoyant");
+        let budget_start = job.arrival + p * self.c;
+        let start = budget_start.min(job.deadline);
+        if start <= job.arrival {
+            ctx.start(job.id);
+        } else {
+            ctx.start_at(job.id, start);
+        }
+    }
+
+    fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {
+        // Every job carries a start_at commitment no later than its
+        // deadline, so the alarm never finds an uncommitted pending job.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+
+    #[test]
+    fn waits_its_own_length_then_starts() {
+        let inst = Instance::new(vec![Job::adp(0.0, 100.0, 3.0)]);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, Doubler::default());
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(3.0)));
+    }
+
+    #[test]
+    fn deadline_caps_the_wait() {
+        let inst = Instance::new(vec![Job::adp(0.0, 2.0, 10.0)]);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, Doubler::default());
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(2.0)));
+    }
+
+    #[test]
+    fn short_jobs_synchronize_behind_long_ones() {
+        // A long job starts at 10; short laxity-rich jobs arriving later
+        // land inside its active interval thanks to their waits.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 50.0, 10.0),  // starts at 10, runs [10, 20)
+            Job::adp(9.0, 50.0, 2.0),   // starts at 11, runs [11, 13)
+            Job::adp(12.0, 50.0, 1.0),  // starts at 13, runs [13, 14)
+        ]);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, Doubler::default());
+        assert!(out.is_feasible());
+        assert_eq!(out.span, dur(10.0), "all work hides under the long job");
+    }
+
+    #[test]
+    fn rigid_jobs_start_at_arrival() {
+        let inst = Instance::new(vec![Job::adp(5.0, 5.0, 1.0)]);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, Doubler::new(2.0));
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(5.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive budget")]
+    fn non_positive_budget_rejected() {
+        let _ = Doubler::new(0.0);
+    }
+}

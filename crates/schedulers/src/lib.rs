@@ -1,0 +1,46 @@
+//! # fjs-schedulers
+//!
+//! Every scheduler from Ren & Tang, *Online Flexible Job Scheduling for
+//! Minimum Span* (SPAA 2017), plus the baselines the paper compares against
+//! in prose:
+//!
+//! | Scheduler | Setting | Competitive ratio | Paper |
+//! |-----------|---------|-------------------|-------|
+//! | [`Eager`] | both | unbounded | §3.2 prose |
+//! | [`Lazy`] | both | unbounded | §3.2 prose |
+//! | [`Batch`] | non-clairvoyant | `[2μ, 2μ+1]` | Thm 3.4 |
+//! | [`BatchPlus`] | non-clairvoyant | `μ+1` (tight) | Thm 3.5 |
+//! | [`ClassifyByDuration`] | clairvoyant | `3α+4+2/(α−1)`, best `7+2√6` | Thm 4.4 |
+//! | [`Profit`] | clairvoyant | `2k+2+1/(k−1)`, best `4+2√2` | Thm 4.11 |
+//! | [`Doubler`] | clairvoyant | baseline (Koehler–Khuller reconstruction) | §5 |
+//!
+//! The [`flag_graph`] module implements the flag-job graph `G(F,E)` used by
+//! the Profit analysis (Lemmas 4.6–4.10), and [`registry`] exposes a uniform
+//! way to enumerate and run all schedulers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod audit;
+pub mod baseline;
+pub mod batch;
+pub mod batch_plus;
+pub mod cdb;
+pub mod doubler;
+pub mod extensions;
+pub mod flag_graph;
+pub mod profit;
+pub mod registry;
+pub mod semi_cdb;
+
+pub use audit::{audit_batch, audit_batch_plus, audit_profit, AuditError};
+pub use baseline::{Eager, Lazy};
+pub use batch::Batch;
+pub use batch_plus::{BatchPlus, BatchPlusState};
+pub use cdb::{cdb_bound, optimal_alpha, ClassifyByDuration};
+pub use doubler::Doubler;
+pub use extensions::{RandomStart, Threshold};
+pub use flag_graph::{flag_infos, FlagGraph, FlagInfo, FlagRecorder, TreeStats};
+pub use profit::{profit_bound, Profit, OPTIMAL_K};
+pub use registry::SchedulerKind;
+pub use semi_cdb::SemiCdb;

@@ -1,0 +1,262 @@
+//! The **Profit** scheduler (Section 4.3, Theorem 4.11).
+//!
+//! Clairvoyant. Proceeds in (possibly overlapping) iterations. When a
+//! pending job hits its starting deadline, the scheduler elects a *flag
+//! job* `J_f` (ties at the same deadline broken towards the longest
+//! processing length) and starts it at `d(J_f)`. A job `J` is *profitable*
+//! to `J_f` — and is started in `J_f`'s iteration — when at least `1/k` of
+//! its active interval is guaranteed to overlap `J_f`'s:
+//!
+//! * pending at `d(J_f)` with `p(J) ≤ k·p(J_f)` → started at `d(J_f)`;
+//! * arriving during `J_f`'s active interval with
+//!   `p(J) ≤ k·(d(J_f)+p(J_f) − a(J))` → started immediately at `a(J)`.
+//!
+//! Non-profitable pending jobs simply wait for their own deadlines, which
+//! open new iterations; hence several flag jobs may run concurrently.
+//!
+//! Theorem 4.11: Profit is `(2k + 2 + 1/(k−1))`-competitive for every
+//! `k > 1`, minimized at `k = 1 + √2/2 ≈ 1.7071` where the ratio is
+//! `4 + 2√2 ≈ 6.828`.
+
+use fjs_core::job::JobId;
+use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
+use fjs_core::time::{Dur, Time};
+
+use crate::flag_graph::FlagRecorder;
+
+/// The optimal profitability parameter `k* = 1 + √2/2` (Theorem 4.11).
+pub const OPTIMAL_K: f64 = 1.0 + std::f64::consts::FRAC_1_SQRT_2;
+
+/// The proved competitive ratio of Profit as a function of `k`.
+pub fn profit_bound(k: f64) -> f64 {
+    assert!(k > 1.0, "Profit requires k > 1");
+    2.0 * k + 2.0 + 1.0 / (k - 1.0)
+}
+
+/// The Profit scheduler. Requires a clairvoyant run (it reads `p(J)` at
+/// arrival) and panics otherwise.
+///
+/// ```
+/// use fjs_core::prelude::*;
+/// use fjs_schedulers::Profit;
+///
+/// let inst = Instance::new(vec![
+///     Job::adp(0.0, 3.0, 2.0),   // flags at t = 3
+///     Job::adp(1.0, 20.0, 2.5),  // profitable (2.5 ≤ k·2) → joins the flag
+/// ]);
+/// let out = run_static(&inst, Clairvoyance::Clairvoyant, Profit::optimal());
+/// assert!(out.is_feasible());
+/// assert_eq!(out.span, dur(2.5)); // both run inside [3, 5.5)
+/// ```
+#[derive(Clone, Debug)]
+pub struct Profit {
+    k: f64,
+    /// Running flag jobs as `(id, completion time d+p)`.
+    active: Vec<(JobId, Time)>,
+    flags: Vec<JobId>,
+}
+
+impl Profit {
+    /// Creates a Profit scheduler with profitability parameter `k > 1`.
+    ///
+    /// # Panics
+    /// Panics if `k <= 1` (the admission rule and the analysis both require
+    /// `k > 1`).
+    pub fn new(k: f64) -> Self {
+        assert!(k > 1.0, "Profit requires k > 1, got {k}");
+        Profit { k, active: Vec::new(), flags: Vec::new() }
+    }
+
+    /// Profit with the analytically optimal `k = 1 + √2/2`.
+    pub fn optimal() -> Self {
+        Profit::new(OPTIMAL_K)
+    }
+
+    /// The profitability parameter.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    fn length_of(&self, ctx: &Ctx<'_>, id: JobId) -> Dur {
+        ctx.length_of(id)
+            .expect("Profit is a clairvoyant scheduler: run it with Clairvoyance::Clairvoyant")
+    }
+}
+
+impl FlagRecorder for Profit {
+    fn flag_jobs(&self) -> Vec<JobId> {
+        self.flags.clone()
+    }
+}
+
+impl OnlineScheduler for Profit {
+    fn name(&self) -> String {
+        format!("Profit(k={:.4})", self.k)
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        let p = job
+            .length
+            .expect("Profit is a clairvoyant scheduler: run it with Clairvoyance::Clairvoyant");
+        // Started immediately iff profitable to some running flag job:
+        // p(J) ≤ k · (d(J_f)+p(J_f) − a(J)).
+        let profitable = self
+            .active
+            .iter()
+            .any(|&(_, end)| p.get() <= self.k * (end - job.arrival).get());
+        if profitable {
+            ctx.start(job.id);
+        }
+        // Otherwise pend until some deadline (possibly its own) fires.
+    }
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        // Elect the flag among all pending jobs at this deadline: the one
+        // with the longest processing length (paper's tie-break).
+        let pending: Vec<JobId> = ctx.pending().collect();
+        let flag = pending
+            .iter()
+            .copied()
+            .filter(|&j| ctx.deadline_of(j) == now)
+            .max_by(|&x, &y| {
+                self.length_of(ctx, x)
+                    .cmp(&self.length_of(ctx, y))
+                    .then(y.cmp(&x)) // prefer smaller id on equal length
+            })
+            .unwrap_or(id);
+        let p_flag = self.length_of(ctx, flag);
+        self.flags.push(flag);
+        self.active.push((flag, now + p_flag));
+        ctx.start(flag);
+        // Start every pending job profitable to the new flag:
+        // p(J) ≤ k · p(J_f).
+        for j in pending {
+            if j == flag {
+                continue;
+            }
+            if self.length_of(ctx, j).get() <= self.k * p_flag.get() {
+                ctx.start(j);
+            }
+        }
+    }
+
+    fn on_completion(&mut self, id: JobId, _length: Dur, _ctx: &mut Ctx<'_>) {
+        self.active.retain(|&(f, _)| f != id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+
+    fn run_profit(inst: &Instance, k: f64) -> (SimOutcome, Vec<JobId>) {
+        let mut sched = Profit::new(k);
+        let out = run_static(inst, Clairvoyance::Clairvoyant, &mut sched);
+        assert!(out.is_feasible());
+        let flags = sched.flag_jobs();
+        (out, flags)
+    }
+
+    #[test]
+    fn bound_curve_minimum_at_optimal_k() {
+        let at_opt = profit_bound(OPTIMAL_K);
+        assert!((at_opt - (4.0 + 2.0 * 2.0_f64.sqrt())).abs() < 1e-12);
+        for k in [1.1, 1.3, 1.5, 1.9, 2.5, 3.0] {
+            assert!(profit_bound(k) >= at_opt - 1e-12, "k={k} beats the optimum");
+        }
+    }
+
+    #[test]
+    fn pending_profitable_jobs_start_with_flag() {
+        // J0 deadline 5 (flag, p=2). J1 pending with p=3 ≤ k·2 for k=1.7.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 5.0, 2.0),
+            Job::adp(1.0, 30.0, 3.0),
+        ]);
+        let (out, flags) = run_profit(&inst, OPTIMAL_K);
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(5.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(5.0)), "profitable → same iteration");
+        assert_eq!(flags, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn unprofitable_pending_job_waits_for_its_own_deadline() {
+        // p(J1)=10 > k·p(J0)=k·1 → J1 not profitable; it flags its own
+        // iteration at d=30.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 5.0, 1.0),
+            Job::adp(1.0, 30.0, 10.0),
+        ]);
+        let (out, flags) = run_profit(&inst, OPTIMAL_K);
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(5.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(30.0)));
+        assert_eq!(flags, vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn arrival_during_flag_run_starts_if_profitable() {
+        // Flag J0 runs [0, 10). J1 arrives at 2 with p=5 ≤ k·(10−2).
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 10.0),
+            Job::adp(2.0, 50.0, 5.0),
+        ]);
+        let (out, flags) = run_profit(&inst, 1.5);
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(2.0)));
+        assert_eq!(flags, vec![JobId(0)]);
+    }
+
+    #[test]
+    fn arrival_near_flag_end_not_profitable() {
+        // Flag J0 runs [0, 10). J1 arrives at 9 with p=5 > k·(10−9)=1.5.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 10.0),
+            Job::adp(9.0, 50.0, 5.0),
+        ]);
+        let (out, flags) = run_profit(&inst, 1.5);
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(50.0)), "waits, flags its own iteration");
+        assert_eq!(flags, vec![JobId(0), JobId(1)]);
+    }
+
+    #[test]
+    fn same_deadline_tie_breaks_to_longest_job() {
+        // Both hit deadline 4; p=7 should be the flag, p=2 profitable to it.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 4.0, 2.0),
+            Job::adp(1.0, 4.0, 7.0),
+        ]);
+        let (out, flags) = run_profit(&inst, 1.2);
+        assert_eq!(flags, vec![JobId(1)], "longest job is the flag");
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(4.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(4.0)));
+    }
+
+    #[test]
+    fn concurrent_flags_possible() {
+        // J0 flags at 0 with p=100. J1 (p=300, not profitable) flags at 10
+        // while J0 still runs.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 100.0),
+            Job::adp(0.0, 10.0, 300.0),
+        ]);
+        let (out, flags) = run_profit(&inst, 1.5);
+        assert_eq!(flags, vec![JobId(0), JobId(1)]);
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(10.0)));
+        // Both flags ran concurrently during [10, 100).
+        assert_eq!(out.span, dur(310.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "clairvoyant")]
+    fn non_clairvoyant_run_panics() {
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
+        let _ = run_static(&inst, Clairvoyance::NonClairvoyant, Profit::optimal());
+    }
+
+    #[test]
+    #[should_panic(expected = "k > 1")]
+    fn k_must_exceed_one() {
+        let _ = Profit::new(1.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! A value-level registry of every scheduler in this crate, so experiment
+//! harnesses, CLIs and benches can enumerate, build and run schedulers
+//! uniformly.
+
+use fjs_core::job::Instance;
+use fjs_core::sim::{run_static, Clairvoyance, OnlineScheduler, SimOutcome};
+
+use crate::baseline::{Eager, Lazy};
+use crate::batch::Batch;
+use crate::batch_plus::BatchPlus;
+use crate::cdb::{optimal_alpha, ClassifyByDuration};
+use crate::doubler::Doubler;
+use crate::extensions::{RandomStart, Threshold};
+use crate::profit::{Profit, OPTIMAL_K};
+use crate::semi_cdb::SemiCdb;
+
+/// A buildable description of one scheduler configuration.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum SchedulerKind {
+    /// Start at arrival (baseline).
+    Eager,
+    /// Start at deadline (baseline).
+    Lazy,
+    /// Batch (Theorem 3.4).
+    Batch,
+    /// Batch+ (Theorem 3.5).
+    BatchPlus,
+    /// Classify-by-Duration Batch+ (Theorem 4.4).
+    Cdb {
+        /// Class ratio `α > 1`.
+        alpha: f64,
+        /// Base length `b > 0`.
+        base: f64,
+    },
+    /// Profit (Theorem 4.11).
+    Profit {
+        /// Profitability parameter `k > 1`.
+        k: f64,
+    },
+    /// Doubler baseline (Koehler–Khuller reconstruction).
+    Doubler {
+        /// Waiting budget factor `c > 0`.
+        c: f64,
+    },
+    /// Randomized feasible baseline (extension; seeded).
+    RandomStart {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Count-triggered batching ablation (extension).
+    Threshold {
+        /// Pending-count trigger `m >= 1`.
+        m: usize,
+    },
+    /// Semi-clairvoyant CDB: only length classes revealed (extension).
+    SemiCdb,
+}
+
+impl SchedulerKind {
+    /// CDB at its analytically optimal `α`.
+    pub fn cdb_optimal() -> Self {
+        SchedulerKind::Cdb { alpha: optimal_alpha(), base: 1.0 }
+    }
+
+    /// Profit at its analytically optimal `k`.
+    pub fn profit_optimal() -> Self {
+        SchedulerKind::Profit { k: OPTIMAL_K }
+    }
+
+    /// Builds a fresh scheduler instance.
+    pub fn build(&self) -> Box<dyn OnlineScheduler> {
+        match *self {
+            SchedulerKind::Eager => Box::new(Eager),
+            SchedulerKind::Lazy => Box::new(Lazy),
+            SchedulerKind::Batch => Box::new(Batch::new()),
+            SchedulerKind::BatchPlus => Box::new(BatchPlus::new()),
+            SchedulerKind::Cdb { alpha, base } => Box::new(ClassifyByDuration::new(alpha, base)),
+            SchedulerKind::Profit { k } => Box::new(Profit::new(k)),
+            SchedulerKind::Doubler { c } => Box::new(Doubler::new(c)),
+            SchedulerKind::RandomStart { seed } => Box::new(RandomStart::new(seed)),
+            SchedulerKind::Threshold { m } => Box::new(Threshold::new(m)),
+            SchedulerKind::SemiCdb => Box::new(SemiCdb::new()),
+        }
+    }
+
+    /// Whether the scheduler must be run fully clairvoyantly.
+    pub fn requires_clairvoyance(&self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::Cdb { .. } | SchedulerKind::Profit { .. } | SchedulerKind::Doubler { .. }
+        )
+    }
+
+    /// The weakest information model the scheduler supports.
+    pub fn information_model(&self) -> Clairvoyance {
+        if self.requires_clairvoyance() {
+            Clairvoyance::Clairvoyant
+        } else if matches!(self, SchedulerKind::SemiCdb) {
+            Clairvoyance::ClassOnly
+        } else {
+            Clairvoyance::NonClairvoyant
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        self.build().name()
+    }
+
+    /// Runs the scheduler on a static instance under the weakest
+    /// information model it supports (so Section 3 schedulers are
+    /// exercised exactly as analyzed, and SemiCdb runs class-only).
+    pub fn run_on(&self, inst: &Instance) -> SimOutcome {
+        run_static(inst, self.information_model(), self.build())
+    }
+
+    /// The schedulers analyzed for the non-clairvoyant setting (Section 3),
+    /// plus the prose baselines.
+    pub fn non_clairvoyant_set() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::Eager,
+            SchedulerKind::Lazy,
+            SchedulerKind::Batch,
+            SchedulerKind::BatchPlus,
+        ]
+    }
+
+    /// The schedulers analyzed for the clairvoyant setting (Section 4) with
+    /// their optimal parameters, plus the Doubler baseline.
+    pub fn clairvoyant_set() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::cdb_optimal(),
+            SchedulerKind::profit_optimal(),
+            SchedulerKind::Doubler { c: 1.0 },
+        ]
+    }
+
+    /// Every scheduler configuration used in head-to-head experiments.
+    pub fn full_set() -> Vec<SchedulerKind> {
+        let mut all = Self::non_clairvoyant_set();
+        all.extend(Self::clairvoyant_set());
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::Job;
+
+    fn small_instance() -> Instance {
+        Instance::new(vec![
+            Job::adp(0.0, 2.0, 1.0),
+            Job::adp(0.5, 4.0, 2.0),
+            Job::adp(3.0, 3.0, 1.5),
+        ])
+    }
+
+    #[test]
+    fn every_kind_builds_and_runs_feasibly() {
+        let inst = small_instance();
+        for kind in SchedulerKind::full_set() {
+            let out = kind.run_on(&inst);
+            assert!(out.is_feasible(), "{} produced violations", kind.label());
+            assert!(out.schedule.validate(&out.instance).is_ok(), "{}", kind.label());
+            assert!(out.span.is_positive(), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<String> =
+            SchedulerKind::full_set().iter().map(|k| k.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len(), "duplicate labels: {labels:?}");
+    }
+
+    #[test]
+    fn clairvoyance_requirements() {
+        assert!(!SchedulerKind::Batch.requires_clairvoyance());
+        assert!(!SchedulerKind::BatchPlus.requires_clairvoyance());
+        assert!(SchedulerKind::profit_optimal().requires_clairvoyance());
+        assert!(SchedulerKind::cdb_optimal().requires_clairvoyance());
+    }
+}

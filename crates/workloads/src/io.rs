@@ -1,0 +1,215 @@
+//! Trace import/export: a minimal CSV format so users can run the
+//! schedulers on their own job traces.
+//!
+//! Format: one job per line, `arrival,deadline,length` (header optional;
+//! lines starting with `#` and blank lines are ignored). A fourth optional
+//! column `size` is accepted and returned separately for DBP experiments.
+
+use fjs_core::job::{Instance, Job};
+use std::fmt::Write as _;
+
+/// A parsed trace: the instance plus optional per-job sizes (present iff
+/// every data line carried a fourth column).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Trace {
+    /// The jobs.
+    pub instance: Instance,
+    /// Per-job sizes, if the trace had them.
+    pub sizes: Option<Vec<f64>>,
+}
+
+/// Errors from trace parsing.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceError {
+    /// A line had the wrong number of columns.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+        /// Columns found.
+        cols: usize,
+    },
+    /// A field failed to parse as a finite number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// The offending field.
+        field: String,
+    },
+    /// A job's parameters are invalid (deadline < arrival, length ≤ 0, or
+    /// size outside `(0, 1]`).
+    BadJob {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadArity { line, cols } => {
+                write!(f, "line {line}: expected 3 or 4 columns, found {cols}")
+            }
+            TraceError::BadNumber { line, field } => {
+                write!(f, "line {line}: '{field}' is not a finite number")
+            }
+            TraceError::BadJob { line, reason } => write!(f, "line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a trace from CSV text.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
+    let mut jobs = Vec::new();
+    let mut sizes: Vec<f64> = Vec::new();
+    let mut any_without_size = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        // Skip a header line (no field parses as a number).
+        if idx == 0 && fields.iter().all(|f| f.parse::<f64>().is_err()) {
+            continue;
+        }
+        if fields.len() != 3 && fields.len() != 4 {
+            return Err(TraceError::BadArity { line: line_no, cols: fields.len() });
+        }
+        let mut nums = Vec::with_capacity(4);
+        for f in &fields {
+            let v: f64 = f.parse().map_err(|_| TraceError::BadNumber {
+                line: line_no,
+                field: f.to_string(),
+            })?;
+            if !v.is_finite() {
+                return Err(TraceError::BadNumber { line: line_no, field: f.to_string() });
+            }
+            nums.push(v);
+        }
+        let (a, d, p) = (nums[0], nums[1], nums[2]);
+        if d < a {
+            return Err(TraceError::BadJob {
+                line: line_no,
+                reason: format!("deadline {d} precedes arrival {a}"),
+            });
+        }
+        if p <= 0.0 {
+            return Err(TraceError::BadJob {
+                line: line_no,
+                reason: format!("non-positive length {p}"),
+            });
+        }
+        jobs.push(Job::adp(a, d, p));
+        if let Some(&s) = nums.get(3) {
+            if !(s > 0.0 && s <= 1.0) {
+                return Err(TraceError::BadJob {
+                    line: line_no,
+                    reason: format!("size {s} outside (0, 1]"),
+                });
+            }
+            sizes.push(s);
+        } else {
+            any_without_size = true;
+        }
+    }
+
+    let sizes = if any_without_size || sizes.is_empty() { None } else { Some(sizes) };
+    Ok(Trace { instance: Instance::new(jobs), sizes })
+}
+
+/// Serializes an instance (optionally with sizes) to the CSV trace format.
+pub fn write_trace(inst: &Instance, sizes: Option<&[f64]>) -> String {
+    if let Some(sz) = sizes {
+        assert_eq!(sz.len(), inst.len(), "one size per job");
+    }
+    let mut out = String::from("# arrival,deadline,length");
+    if sizes.is_some() {
+        out.push_str(",size");
+    }
+    out.push('\n');
+    for (id, job) in inst.iter() {
+        let _ = write!(out, "{},{},{}", job.arrival(), job.deadline(), job.length());
+        if let Some(sz) = sizes {
+            let _ = write!(out, ",{}", sz[id.index()]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::time::{dur, t};
+
+    #[test]
+    fn parses_basic_trace() {
+        let trace = parse_trace("0,5,2\n1.5,9,3\n").unwrap();
+        assert_eq!(trace.instance.len(), 2);
+        assert_eq!(trace.instance.jobs()[1].arrival(), t(1.5));
+        assert_eq!(trace.instance.jobs()[1].length(), dur(3.0));
+        assert!(trace.sizes.is_none());
+    }
+
+    #[test]
+    fn parses_sizes_comments_and_header() {
+        let text = "arrival,deadline,length,size\n# a comment\n0,5,2,0.5\n\n1,9,3,0.25\n";
+        let trace = parse_trace(text).unwrap();
+        assert_eq!(trace.instance.len(), 2);
+        assert_eq!(trace.sizes, Some(vec![0.5, 0.25]));
+    }
+
+    #[test]
+    fn mixed_size_columns_drop_sizes() {
+        let trace = parse_trace("0,5,2,0.5\n1,9,3\n").unwrap();
+        assert!(trace.sizes.is_none(), "sizes only returned when complete");
+        assert_eq!(trace.instance.len(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(matches!(parse_trace("0,5\n"), Err(TraceError::BadArity { line: 1, cols: 2 })));
+        assert!(matches!(
+            parse_trace("0,5,abc\n"),
+            Err(TraceError::BadNumber { line: 1, .. })
+        ));
+        assert!(matches!(parse_trace("5,1,2\n"), Err(TraceError::BadJob { line: 1, .. })));
+        assert!(matches!(parse_trace("0,5,0\n"), Err(TraceError::BadJob { .. })));
+        assert!(matches!(parse_trace("0,5,1,2.0\n"), Err(TraceError::BadJob { .. })));
+        assert!(matches!(parse_trace("0,5,inf\n"), Err(TraceError::BadNumber { .. })));
+    }
+
+    #[test]
+    fn roundtrip_without_sizes() {
+        let inst = Instance::new(vec![
+            fjs_core::job::Job::adp(0.0, 5.0, 2.0),
+            fjs_core::job::Job::adp(1.25, 9.5, 3.75),
+        ]);
+        let text = write_trace(&inst, None);
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back.instance, inst);
+        assert!(back.sizes.is_none());
+    }
+
+    #[test]
+    fn roundtrip_with_sizes() {
+        let inst = Instance::new(vec![fjs_core::job::Job::adp(0.0, 1.0, 1.0)]);
+        let sizes = vec![0.125];
+        let text = write_trace(&inst, Some(&sizes));
+        let back = parse_trace(&text).unwrap();
+        assert_eq!(back.instance, inst);
+        assert_eq!(back.sizes, Some(sizes));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let err = parse_trace("0,5\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}

@@ -1,0 +1,20 @@
+//! # fjs-workloads
+//!
+//! Seeded synthetic workload generation for flexible-job-scheduling
+//! experiments: arrival processes (Poisson, uniform, bursty), length laws
+//! (fixed, uniform, bounded Pareto, bimodal), laxity models (rigid,
+//! constant, proportional, uniform) and the named [`Scenario`] presets used
+//! by experiments E5/E7/E8/E9.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod distributions;
+pub mod generator;
+pub mod io;
+pub mod stats;
+
+pub use distributions::{ArrivalProcess, LaxityModel, LengthLaw};
+pub use io::{parse_trace, write_trace, Trace, TraceError};
+pub use stats::{workload_stats, WorkloadStats};
+pub use generator::{Scenario, WorkloadSpec};

@@ -1,0 +1,117 @@
+//! Workload statistics: the shape parameters that determine which of the
+//! paper's regimes an instance lives in (`μ`, laxity richness, load).
+
+use fjs_core::job::Instance;
+
+/// Summary of an instance's scheduling-relevant shape.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WorkloadStats {
+    /// Number of jobs.
+    pub n: usize,
+    /// Max/min processing-length ratio `μ` (1 for uniform lengths).
+    pub mu: f64,
+    /// Mean processing length.
+    pub mean_length: f64,
+    /// Mean laxity `d − a`.
+    pub mean_laxity: f64,
+    /// Mean laxity/length ratio (how much room jobs have relative to their
+    /// own cost; 0 for rigid workloads).
+    pub mean_laxity_ratio: f64,
+    /// Fraction of rigid jobs (`d == a`).
+    pub rigid_fraction: f64,
+    /// Offered load: total work divided by the arrival horizon (∞-guarded:
+    /// 0 when all jobs arrive at one instant).
+    pub load: f64,
+}
+
+/// Computes [`WorkloadStats`] for a non-empty instance.
+///
+/// # Panics
+/// Panics on an empty instance.
+pub fn workload_stats(inst: &Instance) -> WorkloadStats {
+    assert!(!inst.is_empty(), "stats need at least one job");
+    let n = inst.len();
+    let mu = inst.mu().expect("non-empty");
+    let total_work = inst.total_work().get();
+    let mean_length = total_work / n as f64;
+    let mean_laxity =
+        inst.jobs().iter().map(|j| j.laxity().get()).sum::<f64>() / n as f64;
+    let mean_laxity_ratio = inst
+        .jobs()
+        .iter()
+        .map(|j| j.laxity().get() / j.length().get())
+        .sum::<f64>()
+        / n as f64;
+    let rigid_fraction =
+        inst.jobs().iter().filter(|j| !j.laxity().is_positive()).count() as f64 / n as f64;
+    let first = inst.first_arrival().expect("non-empty").get();
+    let last = inst
+        .jobs()
+        .iter()
+        .map(|j| j.arrival().get())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let window = last - first;
+    let load = if window > 0.0 { total_work / window } else { 0.0 };
+    WorkloadStats {
+        n,
+        mu,
+        mean_length,
+        mean_laxity,
+        mean_laxity_ratio,
+        rigid_fraction,
+        load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scenario;
+    use fjs_core::job::Job;
+
+    #[test]
+    fn stats_on_a_known_instance() {
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 2.0),  // rigid
+            Job::adp(1.0, 5.0, 1.0),  // laxity 4, ratio 4
+            Job::adp(4.0, 6.0, 4.0),  // laxity 2, ratio 0.5
+        ]);
+        let s = workload_stats(&inst);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mu, 4.0);
+        assert!((s.mean_length - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.mean_laxity - 2.0).abs() < 1e-12);
+        assert!((s.mean_laxity_ratio - 1.5).abs() < 1e-12);
+        assert!((s.rigid_fraction - 1.0 / 3.0).abs() < 1e-12);
+        // total work 7 over arrival window 4.
+        assert!((s.load - 7.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rigid_scenario_is_all_rigid() {
+        let inst = Scenario::RigidLegacy.generate(80, 5);
+        let s = workload_stats(&inst);
+        assert_eq!(s.rigid_fraction, 1.0);
+        assert_eq!(s.mean_laxity, 0.0);
+    }
+
+    #[test]
+    fn slack_rich_has_large_laxity_ratio() {
+        let inst = Scenario::SlackRich.generate(80, 5);
+        let s = workload_stats(&inst);
+        assert!(s.mean_laxity_ratio > 10.0, "ratio {}", s.mean_laxity_ratio);
+        assert_eq!(s.rigid_fraction, 0.0);
+    }
+
+    #[test]
+    fn single_instant_arrivals_have_zero_load() {
+        let inst = Instance::new(vec![Job::adp(3.0, 5.0, 1.0), Job::adp(3.0, 9.0, 2.0)]);
+        assert_eq!(workload_stats(&inst).load, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one job")]
+    fn empty_rejected() {
+        let _ = workload_stats(&Instance::empty());
+    }
+}

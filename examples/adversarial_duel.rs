@@ -1,0 +1,76 @@
+//! Adversarial duels: replay the paper's two lower-bound games against a
+//! scheduler of your choice and watch the certified ratio emerge.
+//!
+//! ```sh
+//! cargo run --example adversarial_duel                  # Batch+ by default
+//! cargo run --example adversarial_duel -- profit        # or: eager, lazy,
+//!                                                       # batch, batch+,
+//!                                                       # cdb, doubler
+//! ```
+
+use fjs::adversary::{phi, CvAdversary, NcAdversary, NcAdversaryParams};
+use fjs::core::sim::run;
+use fjs::prelude::*;
+
+fn pick(name: &str) -> SchedulerKind {
+    match name {
+        "eager" => SchedulerKind::Eager,
+        "lazy" => SchedulerKind::Lazy,
+        "batch" => SchedulerKind::Batch,
+        "batch+" | "batchplus" => SchedulerKind::BatchPlus,
+        "cdb" => SchedulerKind::cdb_optimal(),
+        "profit" => SchedulerKind::profit_optimal(),
+        "doubler" => SchedulerKind::Doubler { c: 1.0 },
+        other => {
+            eprintln!("unknown scheduler '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "batch+".into());
+    let kind = pick(&name);
+
+    // Game 1: the golden-ratio adversary (Theorem 4.1). Works against any
+    // scheduler.
+    println!("=== Theorem 4.1 game: the φ-adversary ({}) ===", kind.label());
+    for n in [1usize, 5, 20, 100] {
+        let mut adv = CvAdversary::new(n);
+        let out = run(&mut adv, kind.build());
+        let prescribed = adv.prescribed_schedule(&out.instance);
+        let ratio = out.span.ratio(prescribed.span(&out.instance));
+        println!(
+            "  n = {n:>3}: {} rounds released, {} — online span {:>8.3}, OPT ≤ {:>8.3}, ratio {:.4} (φ = {:.4})",
+            adv.rounds_released(),
+            if adv.ran_full_course() { "full course " } else { "stopped early" },
+            out.span.get(),
+            prescribed.span(&out.instance).get(),
+            ratio,
+            phi(),
+        );
+    }
+
+    // Game 2: the non-clairvoyant adversary (Theorem 3.3). Only for
+    // schedulers that do not read lengths.
+    if kind.requires_clairvoyance() {
+        println!("\n(Theorem 3.3 game skipped: {} reads processing lengths.)", kind.label());
+        return;
+    }
+    println!("\n=== Theorem 3.3 game: the earmarking adversary ({}) ===", kind.label());
+    let mu = 6.0;
+    for k in [1usize, 4, 16] {
+        let mut adv = NcAdversary::new(NcAdversaryParams::uniform(mu, k, 64));
+        let out = run(&mut adv, kind.build());
+        let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2 check");
+        let ratio = out.span.ratio(prescribed.span(&out.instance));
+        println!(
+            "  μ = {mu}, k = {k:>2}: {} iterations, {} earmarks — online span {:>9.3}, OPT ≤ {:>8.3}, ratio {:.4} (→ μ = {mu})",
+            adv.iterations_released(),
+            adv.earmarks().len(),
+            out.span.get(),
+            prescribed.span(&out.instance).get(),
+            ratio,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: define jobs, run every scheduler, compare spans against the
+//! optimal-span bracket.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fjs::prelude::*;
+
+fn main() {
+    // Six flexible jobs: (arrival, starting deadline, processing length).
+    // A job must *start* inside [arrival, deadline] and then runs its full
+    // length without interruption; the objective is to minimize the span —
+    // the total time during which at least one job is running.
+    let inst = Instance::new(vec![
+        Job::adp(0.0, 4.0, 2.0),
+        Job::adp(0.5, 6.0, 1.0),
+        Job::adp(1.0, 1.0, 1.5), // rigid: zero laxity
+        Job::adp(3.0, 10.0, 4.0),
+        Job::adp(8.0, 14.0, 1.0),
+        Job::adp(9.0, 12.0, 2.0),
+    ]);
+
+    println!("instance: {} jobs, μ = {:.2}", inst.len(), inst.mu().unwrap());
+
+    // Bracket the offline optimum.
+    let lb = fjs::opt::best_lower_bound(&inst);
+    let ub = fjs::opt::upper_bound_span(&inst, 50);
+    println!("optimal span ∈ [{lb}, {}]\n", ub.span);
+
+    println!("{:<18} {:>8} {:>12}", "scheduler", "span", "span/OPT-LB");
+    for kind in SchedulerKind::full_set() {
+        let out = kind.run_on(&inst);
+        assert!(out.is_feasible(), "every scheduler must start jobs in time");
+        println!(
+            "{:<18} {:>8.3} {:>12.3}",
+            kind.label(),
+            out.span.get(),
+            out.span.get() / lb.get()
+        );
+    }
+
+    // Inspect one schedule in detail.
+    let out = SchedulerKind::BatchPlus.run_on(&inst);
+    println!("\nBatch+ schedule:");
+    for (id, job) in out.instance.iter() {
+        let s = out.schedule.start(id).unwrap();
+        println!(
+            "  {id}: window [{}, {}], p = {} → runs {}",
+            job.arrival(),
+            job.deadline(),
+            job.length(),
+            job.active_interval_at(s)
+        );
+    }
+    println!("busy set: {}", out.schedule.busy_set(&out.instance));
+}

@@ -1,0 +1,62 @@
+//! How much clairvoyance does span scheduling need? This example walks the
+//! information ladder (experiment E14) on one workload:
+//!
+//! * **none** — the scheduler never sees `p(J)` (Section 3 of the paper);
+//! * **class only** — only `⌈log₂ p⌉` is revealed
+//!   (`Clairvoyance::ClassOnly`, an extension of this crate);
+//! * **full** — `p(J)` revealed at arrival (Section 4).
+//!
+//! ```sh
+//! cargo run --release --example semi_clairvoyant
+//! ```
+
+use fjs::prelude::*;
+use fjs::schedulers::{BatchPlus, ClassifyByDuration, Profit, SemiCdb};
+use fjs::workloads::{ArrivalProcess, LaxityModel, LengthLaw, WorkloadSpec};
+
+fn main() {
+    // A workload where length information matters: bimodal 1-vs-32 lengths.
+    let spec = WorkloadSpec {
+        n: 600,
+        arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+        lengths: LengthLaw::Bimodal { short: 1.0, long: 32.0, p_long: 0.3 },
+        laxity: LaxityModel::Proportional { factor: 2.0 },
+    };
+    let inst = spec.generate(2026);
+    let lb = fjs::opt::best_lower_bound(&inst).get();
+    println!("600 jobs, μ = {:.0}, OPT span ≥ {lb:.1}\n", inst.mu().unwrap());
+
+    println!("{:<14} {:<18} {:>10} {:>10}", "information", "scheduler", "span", "vs LB");
+
+    // Rung 1: no length information at all.
+    let out = run_static(&inst, Clairvoyance::NonClairvoyant, BatchPlus::new());
+    report("none", "Batch+", &out, lb);
+
+    // Rung 2: only the geometric length class ⌈log₂ p⌉.
+    let out = run_static(&inst, Clairvoyance::ClassOnly, SemiCdb::new());
+    report("class only", "SemiCDB", &out, lb);
+
+    // Rung 3: full lengths.
+    let out = run_static(&inst, Clairvoyance::Clairvoyant, ClassifyByDuration::new(2.0, 1.0));
+    report("full", "CDB(α=2)", &out, lb);
+    let out = run_static(&inst, Clairvoyance::Clairvoyant, Profit::optimal());
+    report("full", "Profit(k*)", &out, lb);
+
+    println!(
+        "\nSemiCDB (class-only) matches CDB(α=2) exactly: classes are ALL the\n\
+         information CDB consumes, so O(log μ) bits already break the paper's\n\
+         non-clairvoyant μ barrier. Full clairvoyance buys Profit a further\n\
+         constant factor."
+    );
+}
+
+fn report(info: &str, name: &str, out: &SimOutcome, lb: f64) {
+    assert!(out.is_feasible());
+    println!(
+        "{:<14} {:<18} {:>10.1} {:>10.3}",
+        info,
+        name,
+        out.span.get(),
+        out.span.get() / lb
+    );
+}

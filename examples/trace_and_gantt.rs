@@ -1,0 +1,64 @@
+//! Bring-your-own-trace: parse a CSV job trace, run the paper's schedulers
+//! on it, and visualize the winning schedule as an ASCII Gantt chart.
+//!
+//! ```sh
+//! cargo run --example trace_and_gantt               # built-in demo trace
+//! cargo run --example trace_and_gantt -- jobs.csv   # your own trace
+//! ```
+//!
+//! Trace format: `arrival,deadline,length` per line (header, comments with
+//! `#`, and an optional fourth `size` column are accepted).
+
+use fjs::analysis::{render_busy_strip, render_gantt, GanttOptions};
+use fjs::prelude::*;
+use fjs::workloads::parse_trace;
+
+const DEMO: &str = "\
+# a small mixed trace: arrival,deadline,length
+0,6,2
+0.5,8,1
+1,1,1.5
+2,12,5
+6,18,1
+7,15,2
+9,9,1
+10,22,3
+";
+
+fn main() {
+    let text = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }),
+        None => DEMO.to_string(),
+    };
+    let trace = parse_trace(&text).expect("valid trace");
+    let inst = trace.instance;
+    println!("trace: {} jobs, μ = {:.2}", inst.len(), inst.mu().unwrap_or(1.0));
+
+    let lb = fjs::opt::best_lower_bound(&inst);
+    println!("optimal span ≥ {lb}\n");
+
+    let mut best: Option<(SchedulerKind, SimOutcome)> = None;
+    for kind in SchedulerKind::full_set() {
+        let out = kind.run_on(&inst);
+        assert!(out.is_feasible());
+        println!(
+            "{:<18} span {:>8.3}   busy |{}|",
+            kind.label(),
+            out.span.get(),
+            render_busy_strip(&out.instance, &out.schedule, 40)
+        );
+        if best.as_ref().is_none_or(|(_, b)| out.span < b.span) {
+            best = Some((kind, out));
+        }
+    }
+
+    let (kind, out) = best.unwrap();
+    println!("\nbest schedule — {} (span {:.3}):\n", kind.label(), out.span.get());
+    println!(
+        "{}",
+        render_gantt(&out.instance, &out.schedule, GanttOptions { width: 56, ..Default::default() })
+    );
+}

@@ -1,0 +1,54 @@
+//! # fjs — Online Flexible Job Scheduling for Minimum Span
+//!
+//! A faithful, tested reproduction of **Ren & Tang, SPAA 2017**: online
+//! schedulers for jobs with starting deadlines minimizing the span (the
+//! total time at least one job runs), together with the paper's adversarial
+//! lower-bound constructions, offline optimal baselines, synthetic
+//! workloads, and the Section 5 MinUsageTime Dynamic Bin Packing extension.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] — jobs, schedules, span, the event-driven online simulation
+//!   engine (adaptive environments, deferred length oracles);
+//! * [`schedulers`] — Eager, Lazy, Batch, Batch+, Classify-by-Duration
+//!   Batch+, Profit, Doubler, and the flag-job graph of §4.3;
+//! * [`adversary`] — the Theorem 3.3 and Theorem 4.1 adaptive adversaries
+//!   and the Figure 2/3 tightness instances;
+//! * [`opt`] — exact optima, certified lower bounds, descent upper bounds;
+//! * [`workloads`] — seeded synthetic workload generators;
+//! * [`dbp`] — First Fit dynamic bin packing on top of schedules;
+//! * [`analysis`] — parallel sweeps, statistics, table rendering.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fjs::prelude::*;
+//! use fjs::schedulers::BatchPlus;
+//!
+//! // Three flexible jobs: (arrival, starting deadline, length).
+//! let inst = Instance::new(vec![
+//!     Job::adp(0.0, 5.0, 2.0),
+//!     Job::adp(1.0, 9.0, 1.0),
+//!     Job::adp(2.0, 7.0, 3.0),
+//! ]);
+//! let out = run_static(&inst, Clairvoyance::NonClairvoyant, BatchPlus::new());
+//! assert!(out.is_feasible());
+//! // Batch+ waits until t=5 and starts everything together: span = 3.
+//! assert_eq!(out.span, dur(3.0));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use fjs_adversary as adversary;
+pub use fjs_analysis as analysis;
+pub use fjs_core as core;
+pub use fjs_dbp as dbp;
+pub use fjs_opt as opt;
+pub use fjs_schedulers as schedulers;
+pub use fjs_workloads as workloads;
+
+/// The everyday imports: core types plus the scheduler registry.
+pub mod prelude {
+    pub use fjs_core::prelude::*;
+    pub use fjs_schedulers::SchedulerKind;
+}

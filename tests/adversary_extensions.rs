@@ -1,0 +1,75 @@
+//! The lower-bound adversaries against the *extension* schedulers: the
+//! Theorem 4.1 bound is for every deterministic scheduler, and our
+//! extensions (seeded RandomStart, Threshold, SemiCdb) are deterministic —
+//! so the golden-ratio adversary must certify ≈φ against them too.
+
+use fjs::adversary::{phi, CvAdversary, NcAdversary, NcAdversaryParams};
+use fjs::core::sim::run;
+use fjs::prelude::*;
+
+fn cv_ratio(kind: SchedulerKind, n: usize) -> f64 {
+    let mut adv = CvAdversary::new(n);
+    let out = run(&mut adv, kind.build());
+    assert!(out.is_feasible(), "{}", kind.label());
+    let prescribed = adv.prescribed_schedule(&out.instance);
+    prescribed.validate(&out.instance).expect("prescribed feasible");
+    out.span.ratio(prescribed.span(&out.instance))
+}
+
+#[test]
+fn phi_adversary_beats_the_extension_schedulers_too() {
+    for kind in [
+        SchedulerKind::RandomStart { seed: 42 },
+        SchedulerKind::Threshold { m: 2 },
+        SchedulerKind::SemiCdb,
+    ] {
+        let ratio = cv_ratio(kind, 150);
+        assert!(
+            ratio >= phi() * 0.98,
+            "{}: certified ratio {ratio} below 0.98·φ",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn semicdb_declines_the_long_job_exactly_like_cdb() {
+    // Short (class 0) and long (φ → class 1) land in different categories,
+    // so SemiCdb buffers the long job and the game stops after round 1
+    // with ratio exactly φ — the same branch CDB takes in E4.
+    let mut adv = CvAdversary::new(20);
+    let out = run(&mut adv, SchedulerKind::SemiCdb.build());
+    assert!(out.is_feasible());
+    assert_eq!(adv.rounds_released(), 1);
+    let prescribed = adv.prescribed_schedule(&out.instance);
+    let ratio = out.span.ratio(prescribed.span(&out.instance));
+    assert!((ratio - phi()).abs() < 1e-9, "got {ratio}");
+}
+
+#[test]
+fn nc_adversary_handles_threshold_batching() {
+    // Threshold(m) is non-clairvoyant, so the Theorem 3.3 adversary
+    // applies. Its count trigger fires as soon as m jobs pend, driving
+    // concurrency over the √n threshold — earmarks follow.
+    let mut adv = NcAdversary::new(NcAdversaryParams::uniform(4.0, 4, 64));
+    let out = run(&mut adv, SchedulerKind::Threshold { m: 16 }.build());
+    assert!(out.is_feasible());
+    assert_eq!(adv.iterations_released(), 5, "all iterations triggered");
+    let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2 check");
+    let ratio = out.span.ratio(prescribed.span(&out.instance));
+    let target = (4.0 * 4.0 + 1.0) / (4.0 + 4.0);
+    assert!(ratio >= target * 0.9, "ratio {ratio} vs (kμ+1)/(μ+k) = {target}");
+}
+
+#[test]
+fn nc_adversary_vs_random_start_still_certifies_a_ratio() {
+    // RandomStart spreads starts across windows; whichever branch the
+    // adversary takes, the certified ratio must exceed 1 by a clear margin
+    // (either the Lemma 3.1 branch or the earmark branch).
+    let mut adv = NcAdversary::new(NcAdversaryParams::uniform(6.0, 2, 64));
+    let out = run(&mut adv, SchedulerKind::RandomStart { seed: 9 }.build());
+    assert!(out.is_feasible());
+    let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2 check");
+    let ratio = out.span.ratio(prescribed.span(&out.instance));
+    assert!(ratio > 1.5, "adversary should clearly beat random delays, got {ratio}");
+}

@@ -1,0 +1,90 @@
+//! End-to-end tests for the §5 pipeline: online scheduling → First Fit
+//! packing → usage-time accounting, with capacity verification.
+
+use fjs::dbp::{
+    deterministic_sizes, outcome_items, pack, usage_lower_bound, verify_capacity, Packer,
+};
+use fjs::prelude::*;
+use fjs::workloads::Scenario;
+use proptest::prelude::*;
+
+#[test]
+fn every_scheduler_packer_combination_is_capacity_safe() {
+    let inst = Scenario::CloudBatch.generate(300, 5);
+    let sizes = deterministic_sizes(300, 0.05, 0.8, 17);
+    for kind in SchedulerKind::full_set() {
+        let out = kind.run_on(&inst);
+        let items = outcome_items(&out, &sizes);
+        for packer in [Packer::FirstFit, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }] {
+            let packing = pack(&items, packer);
+            assert!(
+                verify_capacity(&items, &packing).is_none(),
+                "{} + {:?}: capacity violated",
+                kind.label(),
+                packer
+            );
+            assert!(packing.total_usage >= usage_lower_bound(&items) - dur(1e-9));
+            assert!(packing.total_usage >= out.span - dur(1e-9), "usage dominates span");
+            // Every item placed exactly once.
+            let placed: usize = packing.bins.iter().map(|b| b.items.len()).sum();
+            assert_eq!(placed, items.len());
+        }
+    }
+}
+
+#[test]
+fn classified_first_fit_respects_classes() {
+    let inst = Scenario::BurstyAnalytics.generate(200, 9);
+    let sizes = deterministic_sizes(200, 0.2, 0.5, 3);
+    let out = SchedulerKind::BatchPlus.run_on(&inst);
+    let items = outcome_items(&out, &sizes);
+    let packing = pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 });
+    for bin in &packing.bins {
+        assert!(bin.class.is_some());
+        // All durations in one bin within a factor 2 of each other (one
+        // geometric class).
+        let durs: Vec<f64> = bin.items.iter().map(|&i| items[i].interval.len().get()).collect();
+        let lo = durs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = durs.iter().cloned().fold(0.0, f64::max);
+        assert!(hi / lo <= 2.0 * (1.0 + 1e-6), "bin mixes classes: {lo}..{hi}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Usage is sandwiched: span ≤ usage ≤ total work (each bin's usage is
+    /// at most the sum of its items' durations), and items small enough to
+    /// all fit together collapse to a single bin with usage = span.
+    #[test]
+    fn usage_sandwich_and_tiny_items_share_one_bin(seed in 0u64..300, n in 10usize..80) {
+        let inst = Scenario::SlackRich.generate(n, seed);
+        let out = SchedulerKind::BatchPlus.run_on(&inst);
+
+        let sizes = deterministic_sizes(n, 0.1, 0.9, seed);
+        let items = outcome_items(&out, &sizes);
+        let packing = pack(&items, Packer::FirstFit);
+        prop_assert!(packing.total_usage >= out.span - dur(1e-9));
+        prop_assert!(packing.total_usage <= out.instance.total_work() + dur(1e-9));
+
+        let tiny = vec![1.0 / n as f64; n];
+        let tiny_items = outcome_items(&out, &tiny);
+        let tiny_packing = pack(&tiny_items, Packer::FirstFit);
+        prop_assert_eq!(tiny_packing.num_bins(), 1);
+        prop_assert_eq!(tiny_packing.total_usage, out.span);
+    }
+
+    /// Unit-size items can never share bins: usage equals total work.
+    #[test]
+    fn unit_sizes_force_one_job_per_bin(seed in 0u64..300) {
+        let inst = Scenario::RigidLegacy.generate(40, seed);
+        let out = SchedulerKind::Eager.run_on(&inst);
+        let sizes = vec![1.0; 40];
+        let items = outcome_items(&out, &sizes);
+        let packing = pack(&items, Packer::FirstFit);
+        // Summation order differs between per-bin accounting and total
+        // work, so compare with a tolerance.
+        let diff = (packing.total_usage - out.instance.total_work()).get().abs();
+        prop_assert!(diff < 1e-6, "usage {} vs work {}", packing.total_usage, out.instance.total_work());
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based cross-crate invariants: every scheduler on random
+//! workloads must produce feasible, deterministic schedules whose spans sit
+//! inside the certified optimal bracket, and the structural lemmas of §4.3
+//! must hold on real Profit runs.
+
+use fjs::prelude::*;
+use fjs::schedulers::{
+    audit_batch, audit_batch_plus, audit_profit, BatchPlus, FlagGraph, FlagRecorder, Profit,
+    OPTIMAL_K,
+};
+use fjs::workloads::{ArrivalProcess, LaxityModel, LengthLaw, WorkloadSpec};
+use proptest::prelude::*;
+
+/// Strategy: a workload spec with bounded parameters.
+fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        5usize..60,
+        prop_oneof![
+            (0.2f64..3.0).prop_map(|rate| ArrivalProcess::Poisson { rate }),
+            (0.0f64..4.0).prop_map(|gap| ArrivalProcess::Uniform { gap }),
+            (1usize..6, 0.1f64..1.0)
+                .prop_map(|(b, r)| ArrivalProcess::Bursty { burst_size: b, rate: r }),
+        ],
+        prop_oneof![
+            (1.0f64..4.0).prop_map(|v| LengthLaw::Fixed { value: v }),
+            (1.0f64..3.0, 0.0f64..9.0)
+                .prop_map(|(lo, extra)| LengthLaw::Uniform { min: lo, max: lo + extra }),
+            (1.0f64..2.0, 1.0f64..30.0, 0.05f64..0.95).prop_map(|(s, mult, p)| {
+                LengthLaw::Bimodal { short: s, long: s * (1.0 + mult), p_long: p }
+            }),
+        ],
+        prop_oneof![
+            Just(LaxityModel::Rigid),
+            (0.0f64..20.0).prop_map(|v| LaxityModel::Constant { value: v }),
+            (0.0f64..4.0).prop_map(|f| LaxityModel::Proportional { factor: f }),
+        ],
+    )
+        .prop_map(|(n, arrivals, lengths, laxity)| WorkloadSpec { n, arrivals, lengths, laxity })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Feasibility + validity + optimal-bracket sandwich for every scheduler.
+    #[test]
+    fn schedulers_feasible_and_bracketed(spec in spec_strategy(), seed in 0u64..1000) {
+        let inst = spec.generate(seed);
+        let lb = fjs::opt::best_lower_bound(&inst);
+        for kind in SchedulerKind::full_set() {
+            let out = kind.run_on(&inst);
+            prop_assert!(out.is_feasible(), "{} violated a deadline", kind.label());
+            prop_assert!(out.schedule.validate(&out.instance).is_ok(), "{}", kind.label());
+            // Tolerate f64 summation-order noise (different orders of
+            // interval accumulation) with a tiny relative epsilon.
+            let tol = 1e-9 * (1.0 + lb.get().abs());
+            prop_assert!(
+                out.span.get() >= lb.get() - tol,
+                "{}: span {} below the certified OPT lower bound {}",
+                kind.label(), out.span, lb
+            );
+        }
+    }
+
+    /// Runs are bit-for-bit deterministic.
+    #[test]
+    fn runs_are_deterministic(spec in spec_strategy(), seed in 0u64..1000) {
+        let inst = spec.generate(seed);
+        for kind in SchedulerKind::full_set() {
+            let a = kind.run_on(&inst);
+            let b = kind.run_on(&inst);
+            prop_assert_eq!(a.span, b.span, "{} span nondeterministic", kind.label());
+            prop_assert_eq!(a.schedule, b.schedule, "{} schedule nondeterministic", kind.label());
+        }
+    }
+
+    /// Real runs of Batch/Batch+/Profit pass their rule audits.
+    #[test]
+    fn runs_pass_their_audits(spec in spec_strategy(), seed in 0u64..1000) {
+        let inst = spec.generate(seed);
+
+        let mut batch = fjs::schedulers::Batch::new();
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut batch);
+        prop_assert!(audit_batch(&out.instance, &out.schedule, &batch.flag_jobs()).is_ok());
+
+        let mut plus = BatchPlus::new();
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut plus);
+        prop_assert!(audit_batch_plus(&out.instance, &out.schedule, &plus.flag_jobs()).is_ok());
+
+        let mut profit = Profit::new(OPTIMAL_K);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut profit);
+        prop_assert!(
+            audit_profit(&out.instance, &out.schedule, &profit.flag_jobs(), OPTIMAL_K).is_ok()
+        );
+    }
+
+    /// §4.3 structural lemmas on real Profit executions.
+    #[test]
+    fn profit_flag_graph_lemmas(spec in spec_strategy(), seed in 0u64..1000) {
+        let inst = spec.generate(seed);
+        let mut profit = Profit::new(OPTIMAL_K);
+        let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut profit);
+        prop_assert!(out.is_feasible());
+        let graph = FlagGraph::from_outcome(&out, &profit.flag_jobs());
+        prop_assert!(graph.is_forest(), "Lemma 4.7 violated");
+        prop_assert!(graph.check_lemma_4_6().is_ok(), "Lemma 4.6 violated");
+        prop_assert!(graph.check_lemma_4_9().is_ok(), "Lemma 4.9 violated");
+    }
+
+    /// Rigid workloads admit exactly one schedule: all schedulers tie, and
+    /// the span equals the mandatory-part bound exactly.
+    #[test]
+    fn rigid_instances_are_scheduler_independent(n in 3usize..40, seed in 0u64..500) {
+        let spec = WorkloadSpec {
+            n,
+            arrivals: ArrivalProcess::Poisson { rate: 1.0 },
+            lengths: LengthLaw::Uniform { min: 1.0, max: 5.0 },
+            laxity: LaxityModel::Rigid,
+        };
+        let inst = spec.generate(seed);
+        let expected = fjs::opt::lb_mandatory(&inst);
+        for kind in SchedulerKind::full_set() {
+            let out = kind.run_on(&inst);
+            let diff = (out.span - expected).get().abs();
+            prop_assert!(diff < 1e-9 * (1.0 + expected.get()), "{}: {} vs {}",
+                kind.label(), out.span, expected);
+        }
+    }
+
+    /// The span never exceeds the horizon-width bound nor undershoots
+    /// max-length, for any scheduler.
+    #[test]
+    fn span_within_global_envelope(spec in spec_strategy(), seed in 0u64..1000) {
+        let inst = spec.generate(seed);
+        let max_len = inst.max_length().unwrap();
+        let horizon = inst.horizon().unwrap() - inst.first_arrival().unwrap();
+        for kind in SchedulerKind::full_set() {
+            let out = kind.run_on(&inst);
+            let tol = 1e-9 * (1.0 + horizon.get().abs());
+            prop_assert!(out.span.get() >= max_len.get() - tol, "{}", kind.label());
+            prop_assert!(out.span.get() <= horizon.get() + tol, "{}", kind.label());
+        }
+    }
+}

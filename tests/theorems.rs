@@ -1,0 +1,161 @@
+//! Cross-crate integration tests: every headline theorem of the paper,
+//! checked end-to-end through the simulation engine, the adversaries and
+//! the optimal baselines.
+
+use fjs::adversary::{
+    fig2_batch_tightness, fig3_batch_plus_tightness, phi, CvAdversary, NcAdversary,
+    NcAdversaryParams,
+};
+use fjs::core::sim::run;
+use fjs::prelude::*;
+use fjs::schedulers::{cdb_bound, optimal_alpha, profit_bound, OPTIMAL_K};
+
+/// Theorem 3.4 (upper side): Batch's span never exceeds `(2μ+1)·OPT` on
+/// random small instances with exact OPT.
+#[test]
+fn theorem_3_4_upper_bound_holds_exactly() {
+    for seed in 0..200u64 {
+        let inst = random_small(seed);
+        let opt = fjs::opt::optimal_span_dp(&inst).unwrap();
+        let out = SchedulerKind::Batch.run_on(&inst);
+        let mu = inst.mu().unwrap();
+        assert!(
+            out.span.get() <= (2.0 * mu + 1.0) * opt.get() + 1e-9,
+            "seed {seed}: Batch {} vs (2μ+1)·OPT {}",
+            out.span,
+            (2.0 * mu + 1.0) * opt.get()
+        );
+    }
+}
+
+/// Theorem 3.4 (lower side): the Figure 2 family drives Batch's ratio
+/// arbitrarily close to 2μ.
+#[test]
+fn theorem_3_4_lower_bound_approached() {
+    let mu = 4.0;
+    let tight = fig2_batch_tightness(512, mu, 1e-3);
+    let out = run_static(&tight.instance, Clairvoyance::NonClairvoyant, fjs::schedulers::Batch::new());
+    let ratio = out.span.ratio(tight.prescribed_span);
+    assert!(ratio > 2.0 * mu * 0.97, "ratio {ratio} should be within 3% of 2μ = {}", 2.0 * mu);
+}
+
+/// Theorem 3.5 (tightness, both sides): Batch+ stays within `(μ+1)·OPT`
+/// everywhere and reaches it on the Figure 3 family.
+#[test]
+fn theorem_3_5_tightness() {
+    // Upper bound against exact OPT.
+    for seed in 0..200u64 {
+        let inst = random_small(seed);
+        let opt = fjs::opt::optimal_span_dp(&inst).unwrap();
+        let out = SchedulerKind::BatchPlus.run_on(&inst);
+        let mu = inst.mu().unwrap();
+        assert!(
+            out.span.get() <= (mu + 1.0) * opt.get() + 1e-9,
+            "seed {seed}: Batch+ exceeded (μ+1)·OPT"
+        );
+    }
+    // Lower bound on the tightness family.
+    let mu = 4.0;
+    let tight = fig3_batch_plus_tightness(512, mu, 1e-3);
+    let out =
+        run_static(&tight.instance, Clairvoyance::NonClairvoyant, fjs::schedulers::BatchPlus::new());
+    let ratio = out.span.ratio(tight.prescribed_span);
+    assert!(ratio > (mu + 1.0) * 0.97, "ratio {ratio} vs μ+1 = {}", mu + 1.0);
+    assert!(ratio <= mu + 1.0 + 1e-9);
+}
+
+/// Theorem 3.3: the adaptive adversary forces Batch/Batch+/Eager towards
+/// `(kμ+1)/(μ+k)`, which → μ in k.
+#[test]
+fn theorem_3_3_adversary_forces_mu() {
+    let mu = 8.0;
+    for kind in [SchedulerKind::Batch, SchedulerKind::BatchPlus, SchedulerKind::Eager] {
+        let mut adv = NcAdversary::new(NcAdversaryParams::uniform(mu, 32, 64));
+        let out = run(&mut adv, kind.build());
+        assert!(out.is_feasible());
+        let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2");
+        let ratio = out.span.ratio(prescribed.span(&out.instance));
+        let target = (32.0 * mu + 1.0) / (mu + 32.0);
+        assert!(
+            ratio >= target * 0.99,
+            "{}: ratio {ratio} below (kμ+1)/(μ+k) = {target}",
+            kind.label()
+        );
+    }
+}
+
+/// Theorem 4.1: the φ-adversary certifies a ratio ≥ φ(1 − O(1/n)) against
+/// every scheduler in the registry.
+#[test]
+fn theorem_4_1_phi_adversary_beats_everyone() {
+    for kind in SchedulerKind::full_set() {
+        let mut adv = CvAdversary::new(150);
+        let out = run(&mut adv, kind.build());
+        assert!(out.is_feasible(), "{}", kind.label());
+        let prescribed = adv.prescribed_schedule(&out.instance);
+        let ratio = out.span.ratio(prescribed.span(&out.instance));
+        assert!(
+            ratio >= phi() * 0.99,
+            "{}: ratio {ratio} below 0.99·φ",
+            kind.label()
+        );
+    }
+}
+
+/// Theorem 4.4: CDB within its proved constant against exact OPT.
+#[test]
+fn theorem_4_4_cdb_bound_holds() {
+    let bound = cdb_bound(optimal_alpha());
+    for seed in 0..200u64 {
+        let inst = random_small(seed);
+        let opt = fjs::opt::optimal_span_dp(&inst).unwrap();
+        let out = SchedulerKind::cdb_optimal().run_on(&inst);
+        assert!(
+            out.span.get() <= bound * opt.get() + 1e-9,
+            "seed {seed}: CDB ratio {} exceeds {bound}",
+            out.span.get() / opt.get()
+        );
+    }
+}
+
+/// Theorem 4.11: Profit within its proved constant against exact OPT, for
+/// several values of k.
+#[test]
+fn theorem_4_11_profit_bound_holds() {
+    for k in [1.2, OPTIMAL_K, 2.5] {
+        let bound = profit_bound(k);
+        for seed in 0..120u64 {
+            let inst = random_small(seed);
+            let opt = fjs::opt::optimal_span_dp(&inst).unwrap();
+            let out = SchedulerKind::Profit { k }.run_on(&inst);
+            assert!(
+                out.span.get() <= bound * opt.get() + 1e-9,
+                "seed {seed}, k {k}: Profit ratio {} exceeds {bound}",
+                out.span.get() / opt.get()
+            );
+        }
+    }
+}
+
+/// Deterministic small integer instance family (exactly solvable).
+fn random_small(seed: u64) -> Instance {
+    // splitmix64
+    let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let n = 2 + (next() % 4) as usize;
+    let jobs: Vec<Job> = (0..n)
+        .map(|_| {
+            let a = (next() % 7) as f64;
+            let lax = (next() % 5) as f64;
+            let p = 1.0 + (next() % 4) as f64;
+            Job::adp(a, a + lax, p)
+        })
+        .collect();
+    Instance::new(jobs)
+}
