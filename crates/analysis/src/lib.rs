@@ -1,7 +1,7 @@
 //! # fjs-analysis
 //!
 //! The experiment harness: per-instance scheduler evaluation with OPT
-//! bracketing ([`evaluate()`]), crossbeam-parallel parameter sweeps
+//! bracketing ([`evaluate()`]), thread-parallel parameter sweeps
 //! ([`sweep`]), summary statistics ([`stats`]) and text/CSV table rendering
 //! ([`table`]). The `fjs-cli` crate composes these into the experiments
 //! E1–E11 documented in DESIGN.md.

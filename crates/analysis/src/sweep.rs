@@ -1,10 +1,10 @@
 //! Parallel parameter sweeps.
 //!
 //! Experiments are embarrassingly parallel across `(instance, scheduler,
-//! seed)` cells; [`parallel_map`] fans the work out over a crossbeam scope
-//! with one worker per core, pulling indices from a shared atomic counter
-//! (work stealing without per-item channel traffic). Results come back in
-//! input order.
+//! seed)` cells; [`parallel_map`] fans the work out over a `std::thread`
+//! scope with one worker per core, pulling indices from a shared atomic
+//! counter (work stealing without per-item channel traffic). Results come
+//! back in input order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -41,12 +41,12 @@ where
     // per index via `UnsafeCell` alternative: simpler and fully safe —
     // collect per-worker (index, result) pairs and merge afterwards.
     let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let next = &next;
             let f = &f;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local: Vec<(usize, R)> = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
@@ -59,10 +59,12 @@ where
             }));
         }
         for h in handles {
-            buckets.push(h.join().expect("sweep worker panicked"));
+            match h.join() {
+                Ok(local) => buckets.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     for bucket in buckets {
         for (i, r) in bucket {

@@ -1,17 +1,13 @@
 //! Microbenches for the substrates: interval-set union, span lower bounds,
 //! the exact DP, coordinate descent and First Fit packing.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fjs_bench::bench_instance;
+use fjs_bench::{bench_instance, time_case};
 use fjs_core::interval::{Interval, IntervalSet};
 use fjs_core::job::{Instance, Job};
 use fjs_core::time::t;
 use fjs_dbp::{deterministic_sizes, pack, Item, Packer};
-use std::time::Duration;
 
-fn bench_interval_set(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interval-set");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+fn bench_interval_set() {
     for &n in &[1_000usize, 10_000] {
         // Deterministic pseudo-random interval soup.
         let intervals: Vec<Interval> = (0..n)
@@ -20,34 +16,22 @@ fn bench_interval_set(c: &mut Criterion) {
                 Interval::new(t(x), t(x + 3.0))
             })
             .collect();
-        group.bench_with_input(BenchmarkId::new("union-measure", n), &intervals, |b, ivs| {
-            b.iter(|| {
-                let set: IntervalSet = ivs.iter().copied().collect();
-                std::hint::black_box(set.measure())
-            })
+        time_case(&format!("interval-set/union-measure/{n}"), || {
+            let set: IntervalSet = intervals.iter().copied().collect();
+            set.measure()
         });
     }
-    group.finish();
 }
 
-fn bench_bounds(c: &mut Criterion) {
-    let mut group = c.benchmark_group("opt-bounds");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+fn bench_bounds() {
     for &n in &[1_000usize, 10_000] {
         let inst = bench_instance(n, 3);
-        group.bench_with_input(BenchmarkId::new("lb_chain", n), &inst, |b, inst| {
-            b.iter(|| std::hint::black_box(fjs_opt::lb_chain(inst)))
-        });
-        group.bench_with_input(BenchmarkId::new("lb_mandatory", n), &inst, |b, inst| {
-            b.iter(|| std::hint::black_box(fjs_opt::lb_mandatory(inst)))
-        });
+        time_case(&format!("opt-bounds/lb_chain/{n}"), || fjs_opt::lb_chain(&inst));
+        time_case(&format!("opt-bounds/lb_mandatory/{n}"), || fjs_opt::lb_mandatory(&inst));
     }
-    group.finish();
 }
 
-fn bench_exact(c: &mut Criterion) {
-    let mut group = c.benchmark_group("exact-optimal");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_exact() {
     let inst = Instance::new(vec![
         Job::adp(0.0, 3.0, 2.0),
         Job::adp(1.0, 5.0, 1.0),
@@ -56,19 +40,12 @@ fn bench_exact(c: &mut Criterion) {
         Job::adp(5.0, 9.0, 1.0),
         Job::adp(6.0, 10.0, 2.0),
     ]);
-    group.bench_function("dp-n6", |b| {
-        b.iter(|| std::hint::black_box(fjs_opt::optimal_span_dp(&inst).unwrap()))
-    });
-    group.bench_function("descent-n200", |b| {
-        let big = bench_instance(200, 5);
-        b.iter(|| std::hint::black_box(fjs_opt::upper_bound_span(&big, 5).span))
-    });
-    group.finish();
+    time_case("exact-optimal/dp-n6", || fjs_opt::optimal_span_dp(&inst).unwrap());
+    let big = bench_instance(200, 5);
+    time_case("exact-optimal/descent-n200", || fjs_opt::upper_bound_span(&big, 5).span);
 }
 
-fn bench_packing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dbp-packing");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+fn bench_packing() {
     for &n in &[1_000usize, 5_000] {
         let inst = bench_instance(n, 9);
         let sizes = deterministic_sizes(n, 0.1, 0.6, 11);
@@ -76,19 +53,18 @@ fn bench_packing(c: &mut Criterion) {
             .iter()
             .map(|(id, j)| Item::new(j.active_interval_at(j.deadline()), sizes[id.index()]))
             .collect();
-        group.bench_with_input(BenchmarkId::new("first-fit", n), &items, |b, items| {
-            b.iter(|| std::hint::black_box(pack(items, Packer::FirstFit).total_usage))
+        time_case(&format!("dbp-packing/first-fit/{n}"), || {
+            pack(&items, Packer::FirstFit).total_usage
         });
-        group.bench_with_input(BenchmarkId::new("cd-first-fit", n), &items, |b, items| {
-            b.iter(|| {
-                std::hint::black_box(
-                    pack(items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }).total_usage,
-                )
-            })
+        time_case(&format!("dbp-packing/cd-first-fit/{n}"), || {
+            pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }).total_usage
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_interval_set, bench_bounds, bench_exact, bench_packing);
-criterion_main!(benches);
+fn main() {
+    bench_interval_set();
+    bench_bounds();
+    bench_exact();
+    bench_packing();
+}

@@ -1,28 +1,16 @@
-//! One Criterion group per paper experiment (E1–E11). Each bench runs the
-//! exact experiment code path used by the `fjs` binary at quick profile, so
+//! One timing per paper experiment (E1–E11). Each bench runs the exact
+//! experiment code path used by the `fjs` binary at quick profile, so
 //! `cargo bench` both times the reproduction and regenerates its tables.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use fjs_bench::time_case;
 use fjs_cli::experiments::{all, Profile};
-use std::time::Duration;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("paper-experiments");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
+fn main() {
     for exp in all() {
-        group.bench_function(exp.id, |b| {
-            b.iter(|| {
-                let tables = (exp.run)(Profile::Quick);
-                assert!(!tables.is_empty());
-                std::hint::black_box(tables)
-            })
+        time_case(&format!("paper-experiments/{}", exp.id), || {
+            let tables = (exp.run)(Profile::Quick);
+            assert!(!tables.is_empty());
+            tables
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_experiments);
-criterion_main!(benches);

@@ -3,52 +3,33 @@
 //! complement to the paper's competitive analysis — it shows all schedulers
 //! run in near-linear time in the event count.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fjs_bench::time_case;
 use fjs_schedulers::SchedulerKind;
 use fjs_workloads::Scenario;
-use std::time::Duration;
 
-fn bench_schedulers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scheduler-throughput");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
-
+fn bench_schedulers() {
     for &n in &[100usize, 1_000, 10_000] {
         let inst = Scenario::CloudBatch.generate(n, 42);
-        group.throughput(Throughput::Elements(n as u64));
         for kind in SchedulerKind::full_set() {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| {
-                        let out = kind.run_on(inst);
-                        assert!(out.is_feasible());
-                        std::hint::black_box(out.span)
-                    })
-                },
-            );
+            time_case(&format!("scheduler-throughput/{}/{n}", kind.label()), || {
+                let out = kind.run_on(&inst);
+                assert!(out.is_feasible());
+                out.span
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_scenarios(c: &mut Criterion) {
-    let mut group = c.benchmark_group("batchplus-by-scenario");
-    group
-        .sample_size(10)
-        .measurement_time(Duration::from_secs(2))
-        .warm_up_time(Duration::from_millis(300));
+fn bench_scenarios() {
     for sc in Scenario::all() {
         let inst = sc.generate(2_000, 7);
-        group.bench_function(sc.name(), |b| {
-            b.iter(|| std::hint::black_box(SchedulerKind::BatchPlus.run_on(&inst).span))
+        time_case(&format!("batchplus-by-scenario/{}", sc.name()), || {
+            SchedulerKind::BatchPlus.run_on(&inst).span
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_schedulers, bench_scenarios);
-criterion_main!(benches);
+fn main() {
+    bench_schedulers();
+    bench_scenarios();
+}

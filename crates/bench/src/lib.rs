@@ -1,8 +1,9 @@
 //! # fjs-bench
 //!
-//! Criterion benchmark harnesses. Three targets:
+//! Self-contained benchmark harnesses (no external benching framework; the
+//! workspace builds offline). Three targets:
 //!
-//! * `benches/experiments.rs` — one group per paper experiment (E1–E11),
+//! * `benches/experiments.rs` — one timing per paper experiment (E1–E11),
 //!   running the same code paths as `fjs <id>` at quick profile;
 //! * `benches/schedulers.rs` — scheduler throughput (jobs/second) on the
 //!   workload families;
@@ -13,8 +14,80 @@
 
 #![warn(missing_docs)]
 
+use std::time::Instant;
+
 /// Standard quick instance used by several bench targets: the cloud-batch
 /// scenario at the given size.
 pub fn bench_instance(n: usize, seed: u64) -> fjs_core::job::Instance {
     fjs_workloads::Scenario::CloudBatch.generate(n, seed)
+}
+
+/// Times `f` over repeated samples and prints one aligned report line:
+/// median, minimum and mean time per iteration.
+///
+/// A tiny fixed-iteration harness (calibrated so each sample takes roughly
+/// `target_sample_ms`), good enough for the coarse regressions these
+/// targets guard; it deliberately trades Criterion's statistics for a
+/// dependency-free build.
+pub fn time_case<R>(name: &str, mut f: impl FnMut() -> R) {
+    const SAMPLES: usize = 12;
+    const TARGET_SAMPLE_MS: f64 = 80.0;
+
+    // Warm up and calibrate the per-sample iteration count.
+    let probe_start = Instant::now();
+    std::hint::black_box(f());
+    let probe = probe_start.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((TARGET_SAMPLE_MS / 1e3 / probe).ceil() as usize).clamp(1, 1_000_000);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        per_iter.push(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    println!(
+        "{name:<44} median {:>12}  min {:>12}  mean {:>12}  ({iters} it/sample)",
+        fmt_duration(median),
+        fmt_duration(min),
+        fmt_duration(mean),
+    );
+}
+
+/// Human-friendly seconds formatting (ns/µs/ms/s).
+fn fmt_duration(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.3} s", secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_picks_sane_units() {
+        assert!(fmt_duration(5e-9).ends_with("ns"));
+        assert!(fmt_duration(5e-6).ends_with("µs"));
+        assert!(fmt_duration(5e-3).ends_with("ms"));
+        assert!(fmt_duration(5.0).ends_with("s"));
+    }
+
+    #[test]
+    fn time_case_runs_the_closure() {
+        let mut calls = 0usize;
+        time_case("noop", || calls += 1);
+        assert!(calls > 0);
+    }
 }

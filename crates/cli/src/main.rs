@@ -9,43 +9,62 @@
 //! fjs gantt batch+         # visualize a scheduler on a demo workload
 //! fjs trace jobs.csv       # run every scheduler on your own CSV trace
 //! fjs audit profit         # run a scheduler and audit it against its rules
+//! fjs chaos                # fault-injection matrix over every scheduler
+//! fjs chaos batch+         # fault-injection matrix for one scheduler
 //! ```
+//!
+//! Exit codes: 0 success, 1 runtime failure (failed audit, unsound chaos
+//! cell, unreadable/unparseable input, I/O error), 2 usage error.
 
 use fjs_cli::experiments::{all, by_id, Experiment, Profile};
 use std::io::Write as _;
 use std::time::Instant;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: fjs <list | all | e1..e13> [--full] [--csv <dir>]\n\
-         \u{20}      fjs gantt [scheduler] [seed]\n\
-         \u{20}      fjs trace <file.csv>\n\
-         \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
-         Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md)."
-    );
-    std::process::exit(2);
+/// The single error path: every subcommand reports failures as one of
+/// these, and only `main` turns them into exit codes.
+enum CliError {
+    /// Bad invocation (unknown command, malformed flags): exit 2.
+    Usage(Option<String>),
+    /// The invocation was fine but the work failed: exit 1.
+    Runtime(String),
 }
 
-fn pick_scheduler(name: &str) -> fjs_schedulers::SchedulerKind {
-    use fjs_schedulers::SchedulerKind as K;
-    match name.to_ascii_lowercase().as_str() {
-        "eager" => K::Eager,
-        "lazy" => K::Lazy,
-        "batch" => K::Batch,
-        "batch+" | "batchplus" => K::BatchPlus,
-        "cdb" => K::cdb_optimal(),
-        "profit" => K::profit_optimal(),
-        "doubler" => K::Doubler { c: 1.0 },
-        "random" => K::RandomStart { seed: 1 },
-        other => {
-            eprintln!("unknown scheduler '{other}' (try eager/lazy/batch/batch+/cdb/profit/doubler/random)");
-            std::process::exit(2);
-        }
+impl CliError {
+    fn usage() -> Self {
+        CliError::Usage(None)
     }
 }
 
-fn cmd_gantt(args: &[String]) {
-    let kind = pick_scheduler(args.first().map(String::as_str).unwrap_or("batch+"));
+const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
+ \u{20}      fjs gantt [scheduler] [seed]\n\
+ \u{20}      fjs trace <file.csv>\n\
+ \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
+ \u{20}      fjs chaos [scheduler]\n\
+ Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
+ Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
+
+fn pick_scheduler(name: &str) -> Result<fjs_schedulers::SchedulerKind, CliError> {
+    use fjs_schedulers::SchedulerKind as K;
+    match name.to_ascii_lowercase().as_str() {
+        "eager" => Ok(K::Eager),
+        "lazy" => Ok(K::Lazy),
+        "batch" => Ok(K::Batch),
+        "batch+" | "batchplus" => Ok(K::BatchPlus),
+        "cdb" => Ok(K::cdb_optimal()),
+        "profit" => Ok(K::profit_optimal()),
+        "doubler" => Ok(K::Doubler { c: 1.0 }),
+        "random" => Ok(K::RandomStart { seed: 1 }),
+        "threshold" => Ok(K::Threshold { m: 4 }),
+        "semicdb" | "semi-cdb" => Ok(K::SemiCdb),
+        other => Err(CliError::Usage(Some(format!(
+            "unknown scheduler '{other}' (try eager/lazy/batch/batch+/cdb/profit/doubler/\
+             random/threshold/semicdb)"
+        )))),
+    }
+}
+
+fn cmd_gantt(args: &[String]) -> Result<(), CliError> {
+    let kind = pick_scheduler(args.first().map(String::as_str).unwrap_or("batch+"))?;
     let seed: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(42);
     let inst = fjs_workloads::Scenario::BurstyAnalytics.generate(24, seed);
     let out = kind.run_on(&inst);
@@ -66,9 +85,10 @@ fn cmd_gantt(args: &[String]) {
         metrics.mean_concurrency,
         100.0 * metrics.laxity_utilization
     );
+    Ok(())
 }
 
-fn cmd_audit(args: &[String]) {
+fn cmd_audit(args: &[String]) -> Result<(), CliError> {
     use fjs_core::sim::{run_static, Clairvoyance};
     use fjs_schedulers::FlagRecorder;
     let which = args.first().map(String::as_str).unwrap_or("batch+");
@@ -99,32 +119,29 @@ fn cmd_audit(args: &[String]) {
             .map(|()| (out.span, s.flag_jobs().len()))
         }
         other => {
-            eprintln!("cannot audit '{other}' (try batch, batch+, profit)");
-            std::process::exit(2);
+            return Err(CliError::Usage(Some(format!(
+                "cannot audit '{other}' (try batch, batch+, profit)"
+            ))));
         }
     };
     match verdict {
-        Ok((span, flags)) => println!(
-            "audit PASSED: {which} on cloud-batch (300 jobs, seed {seed}) — \
-             span {span}, {flags} flag jobs, every start justified by the paper's rules"
-        ),
-        Err(e) => {
-            eprintln!("audit FAILED: {e}");
-            std::process::exit(1);
+        Ok((span, flags)) => {
+            println!(
+                "audit PASSED: {which} on cloud-batch (300 jobs, seed {seed}) — \
+                 span {span}, {flags} flag jobs, every start justified by the paper's rules"
+            );
+            Ok(())
         }
+        Err(e) => Err(CliError::Runtime(format!("audit FAILED: {e}"))),
     }
 }
 
-fn cmd_trace(args: &[String]) {
-    let Some(path) = args.first() else { usage() };
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    let trace = fjs_workloads::parse_trace(&text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {path}: {e}");
-        std::process::exit(2);
-    });
+fn cmd_trace(args: &[String]) -> Result<(), CliError> {
+    let Some(path) = args.first() else { return Err(CliError::usage()) };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+    let trace = fjs_workloads::parse_trace(&text)
+        .map_err(|e| CliError::Runtime(format!("cannot parse {path}: {e}")))?;
     let inst = trace.instance;
     let lb = fjs_opt::best_lower_bound(&inst).get();
     let stats = fjs_workloads::workload_stats(&inst);
@@ -152,61 +169,160 @@ fn cmd_trace(args: &[String]) {
         ]);
     }
     println!("{}", table.render());
+    Ok(())
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
+    use fjs_schedulers::chaos::{run_chaos_matrix, Verdict};
+    use fjs_schedulers::SchedulerKind;
+
+    let kinds = match args.first() {
+        Some(name) => vec![pick_scheduler(name)?],
+        None => SchedulerKind::registered_set(),
+    };
+    let report = run_chaos_matrix(&kinds);
+
+    let env_total = fjs_core::faults::EnvFaultMode::ALL.len();
+    let sched_total = fjs_core::faults::SchedFaultMode::ALL.len();
+    println!(
+        "fault-injection matrix: {} scheduler(s) × ({env_total} environment + \
+         {sched_total} scheduler action) fault modes = {} cells\n",
+        kinds.len(),
+        report.cells.len(),
+    );
+
+    let mut table = fjs_analysis::Table::new(
+        "chaos verdicts",
+        &["scheduler", "env faults", "action faults", "verdict"],
+    );
+    for sched in report.scheduler_labels() {
+        let passed = |prefix: &str| {
+            report
+                .cells
+                .iter()
+                .filter(|c| c.scheduler == sched && c.fault.starts_with(prefix) && c.verdict.is_pass())
+                .count()
+        };
+        let clean = report
+            .cells
+            .iter()
+            .filter(|c| c.scheduler == sched)
+            .all(|c| c.verdict.is_pass());
+        table.push_row(vec![
+            sched.clone(),
+            format!("{}/{env_total}", passed("env:")),
+            format!("{}/{sched_total}", passed("sched:")),
+            (if clean { "pass" } else { "FAIL" }).to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!(
+            "all cells pass: no panics, every run completed with a valid full schedule."
+        );
+        Ok(())
+    } else {
+        let mut detail = fjs_analysis::Table::new(
+            "failing cells",
+            &["scheduler", "fault", "class", "detail"],
+        );
+        for c in &failures {
+            let msg = match &c.verdict {
+                Verdict::Pass => continue,
+                Verdict::Unsound(m) | Verdict::Panicked(m) => m.clone(),
+            };
+            detail.push_row(vec![
+                c.scheduler.clone(),
+                c.fault.clone(),
+                c.verdict.label().to_string(),
+                msg,
+            ]);
+        }
+        println!("{}", detail.render());
+        Err(CliError::Runtime(format!(
+            "chaos found {} failing cell(s) out of {}",
+            failures.len(),
+            report.cells.len()
+        )))
+    }
+}
+
+fn real_main(args: &[String]) -> Result<(), CliError> {
     if args.is_empty() {
-        usage();
+        return Err(CliError::usage());
     }
     let cmd = args[0].as_str();
     let full = args.iter().any(|a| a == "--full");
     let profile = if full { Profile::Full } else { Profile::Quick };
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+    let csv_dir = match args.iter().position(|a| a == "--csv") {
+        Some(i) => match args.get(i + 1) {
+            Some(dir) => Some(dir.clone()),
+            None => return Err(CliError::Usage(Some("--csv needs a directory".into()))),
+        },
+        None => None,
+    };
 
     match cmd {
-        "gantt" => {
-            cmd_gantt(&args[1..]);
-        }
-        "trace" => {
-            cmd_trace(&args[1..]);
-        }
-        "audit" => {
-            cmd_audit(&args[1..]);
-        }
+        "gantt" => cmd_gantt(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
+        "chaos" => cmd_chaos(&args[1..]),
         "list" => {
             for e in all() {
                 println!("{:4}  {}", e.id, e.title);
             }
+            Ok(())
         }
         "all" => {
             for e in all() {
-                run_one(&e, profile, csv_dir.as_deref());
+                run_one(&e, profile, csv_dir.as_deref())?;
             }
+            Ok(())
         }
         id => match by_id(id) {
             Some(e) => run_one(&e, profile, csv_dir.as_deref()),
-            None => usage(),
+            None => Err(CliError::usage()),
         },
     }
 }
 
-fn run_one(e: &Experiment, profile: Profile, csv_dir: Option<&str>) {
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match real_main(&args) {
+        Ok(()) => {}
+        Err(CliError::Usage(msg)) => {
+            if let Some(msg) = msg {
+                eprintln!("{msg}");
+            }
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_one(e: &Experiment, profile: Profile, csv_dir: Option<&str>) -> Result<(), CliError> {
     eprintln!("==> {} — {} [{:?}]", e.id, e.title, profile);
     let start = Instant::now();
     let tables = (e.run)(profile);
     for (i, t) in tables.iter().enumerate() {
         println!("{}", t.render());
         if let Some(dir) = csv_dir {
-            std::fs::create_dir_all(dir).expect("create csv dir");
+            std::fs::create_dir_all(dir)
+                .map_err(|e| CliError::Runtime(format!("cannot create {dir}: {e}")))?;
             let path = format!("{dir}/{}-{}.csv", e.id, i);
-            let mut f = std::fs::File::create(&path).expect("create csv file");
-            f.write_all(t.to_csv().as_bytes()).expect("write csv");
+            let mut f = std::fs::File::create(&path)
+                .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
+            f.write_all(t.to_csv().as_bytes())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
             eprintln!("    wrote {path}");
         }
     }
     eprintln!("<== {} done in {:.2}s", e.id, start.elapsed().as_secs_f64());
+    Ok(())
 }

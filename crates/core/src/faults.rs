@@ -1,0 +1,563 @@
+//! Fault injection for the simulation engine.
+//!
+//! Two composable wrappers stress the engine's degradation paths from both
+//! sides of the [`crate::sim::Environment`] / [`crate::sim::OnlineScheduler`]
+//! boundary:
+//!
+//! * [`FaultyEnvironment`] wraps an environment and injects *legal but
+//!   pathological* job streams — zero-laxity bursts, equal-timestamp storms,
+//!   extreme `μ` ratios, adaptive rulings that defer repeatedly, releases
+//!   packed one ulp apart, and timestamps large enough to lose `f64`
+//!   precision. Because every injected stream honors the environment
+//!   contract, a run against it must never end in
+//!   [`crate::sim::Termination::EnvironmentFault`].
+//! * [`ChaosScheduler`] wraps a scheduler and perturbs its actions — dropping
+//!   starts, delaying them past deadlines, duplicating them, starting bogus
+//!   jobs, ordering starts in the past, and flooding the queue with wakeups.
+//!   The engine must absorb all of it: invalid actions are rejected and the
+//!   deadline-alarm force-start still completes every job, so the run
+//!   terminates [`crate::sim::Termination::Completed`] with violations and
+//!   rejections *recorded*, never a panic.
+//!
+//! The `fjs chaos` CLI subcommand drives the full cross product of these
+//! modes against every registered scheduler.
+
+use crate::job::JobId;
+use crate::sim::env::{Environment, JobSpec, LengthRuling};
+use crate::sim::sched::{Action, Arrival, Ctx, OnlineScheduler};
+use crate::sim::world::World;
+use crate::time::{dur, Dur, Time};
+use std::collections::BTreeMap;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Environment faults
+// ---------------------------------------------------------------------------
+
+/// A pathological-but-legal job stream injected by [`FaultyEnvironment`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnvFaultMode {
+    /// A burst of jobs whose deadlines equal their arrival (zero laxity):
+    /// every one must start the instant it arrives.
+    ZeroLaxityBurst,
+    /// Many jobs sharing one arrival, one deadline and one length — every
+    /// comparator in a scheduler ties simultaneously.
+    EqualTimestampStorm,
+    /// Lengths spanning eighteen orders of magnitude (`μ = 10¹⁸`), probing
+    /// ratio arithmetic and class computations.
+    ExtremeMu,
+    /// Adaptive jobs whose length oracle defers repeatedly before ruling
+    /// (only meaningful non-clairvoyantly; degrades to fixed lengths when
+    /// the run reveals lengths or classes).
+    DeferredRulings,
+    /// Zero-laxity unit jobs released so each completion lands exactly on
+    /// the next release instant — maximal same-timestamp event collisions.
+    CompletionChained,
+    /// Releases packed one `f64` ulp apart, with one-ulp laxities.
+    DenseReleases,
+    /// Timestamps near `10¹⁵` with lengths below the local ulp, so
+    /// `start + length` rounds back to `start` (zero-width active
+    /// intervals).
+    PrecisionLoss,
+}
+
+impl EnvFaultMode {
+    /// Every environment fault mode, for matrix drivers.
+    pub const ALL: [EnvFaultMode; 7] = [
+        EnvFaultMode::ZeroLaxityBurst,
+        EnvFaultMode::EqualTimestampStorm,
+        EnvFaultMode::ExtremeMu,
+        EnvFaultMode::DeferredRulings,
+        EnvFaultMode::CompletionChained,
+        EnvFaultMode::DenseReleases,
+        EnvFaultMode::PrecisionLoss,
+    ];
+
+    /// Short stable label (used in verdict tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EnvFaultMode::ZeroLaxityBurst => "zero-laxity-burst",
+            EnvFaultMode::EqualTimestampStorm => "equal-timestamps",
+            EnvFaultMode::ExtremeMu => "extreme-mu",
+            EnvFaultMode::DeferredRulings => "deferred-rulings",
+            EnvFaultMode::CompletionChained => "completion-chained",
+            EnvFaultMode::DenseReleases => "dense-releases",
+            EnvFaultMode::PrecisionLoss => "precision-loss",
+        }
+    }
+
+    /// The injection wave instants for this mode, ascending.
+    fn wave_times(&self) -> Vec<Time> {
+        match self {
+            EnvFaultMode::ZeroLaxityBurst => vec![Time::new(1.0)],
+            EnvFaultMode::EqualTimestampStorm => vec![Time::new(2.0)],
+            EnvFaultMode::ExtremeMu => vec![Time::new(1.0)],
+            EnvFaultMode::DeferredRulings => vec![Time::new(1.0), Time::new(2.0)],
+            EnvFaultMode::CompletionChained => {
+                (1..=4).map(|k| Time::new(k as f64)).collect()
+            }
+            EnvFaultMode::DenseReleases => {
+                // 1.0 + k·ε are exactly representable (ulp(1.0) = ε).
+                (0..8).map(|k| Time::new(1.0 + k as f64 * f64::EPSILON)).collect()
+            }
+            EnvFaultMode::PrecisionLoss => vec![Time::new(1.0e15)],
+        }
+    }
+}
+
+impl fmt::Display for EnvFaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Wraps an environment and injects the pathological job stream selected by
+/// an [`EnvFaultMode`], interleaved with the inner environment's own
+/// releases. Adaptive-length rulings for injected jobs are answered by the
+/// wrapper; everything else is forwarded to the inner environment.
+#[derive(Debug)]
+pub struct FaultyEnvironment<E> {
+    inner: E,
+    mode: EnvFaultMode,
+    waves: Vec<Time>,
+    next_wave: usize,
+    /// Deferral count per injected adaptive job (DeferredRulings only).
+    deferrals: BTreeMap<JobId, u32>,
+}
+
+/// How many times a `DeferredRulings` oracle stalls before assigning.
+const MAX_DEFERRALS: u32 = 4;
+
+impl<E: Environment> FaultyEnvironment<E> {
+    /// Wraps `inner`, injecting the stream selected by `mode`.
+    pub fn new(inner: E, mode: EnvFaultMode) -> Self {
+        FaultyEnvironment {
+            inner,
+            mode,
+            waves: mode.wave_times(),
+            next_wave: 0,
+            deferrals: BTreeMap::new(),
+        }
+    }
+
+    fn own_next(&self) -> Option<Time> {
+        self.waves.get(self.next_wave).copied()
+    }
+
+    /// The specs injected at wave `wave` firing at `now`. `next_id` is the
+    /// id the first injected job will receive (used to route adaptive
+    /// rulings back to this wrapper).
+    fn inject(&mut self, wave: usize, now: Time, next_id: u32) -> Vec<JobSpec> {
+        // Adaptive lengths are only legal when nothing is revealed at
+        // arrival; degrade to fixed lengths otherwise.
+        let adaptive_ok = !self.inner.clairvoyance().reveals_class();
+        match self.mode {
+            EnvFaultMode::ZeroLaxityBurst => {
+                (0..8).map(|_| JobSpec::fixed(now, dur(1.0))).collect()
+            }
+            EnvFaultMode::EqualTimestampStorm => {
+                (0..16).map(|_| JobSpec::fixed(now + dur(1.0), dur(1.0))).collect()
+            }
+            EnvFaultMode::ExtremeMu => [1.0e-9, 1.0, 1.0e9]
+                .into_iter()
+                .map(|p| JobSpec::fixed(now + dur(0.5), dur(p)))
+                .collect(),
+            EnvFaultMode::DeferredRulings => (0..2)
+                .map(|k| {
+                    if adaptive_ok {
+                        self.deferrals.insert(JobId(next_id + k), 0);
+                        JobSpec::adaptive(now + dur(1.0))
+                    } else {
+                        JobSpec::fixed(now + dur(1.0), dur(0.5))
+                    }
+                })
+                .collect(),
+            EnvFaultMode::CompletionChained => {
+                // Unit length + unit release cadence: the completion of wave
+                // k's job lands exactly on wave k+1's release instant.
+                let _ = wave;
+                vec![JobSpec::fixed(now, dur(1.0))]
+            }
+            EnvFaultMode::DenseReleases => {
+                vec![JobSpec::fixed(now + dur(f64::EPSILON), dur(1.0))]
+            }
+            EnvFaultMode::PrecisionLoss => {
+                // At t = 10¹⁵ the ulp is 0.125, so adding 10⁻³ rounds back
+                // to t: completions collapse onto their starts.
+                (0..4).map(|_| JobSpec::fixed(now, dur(1.0e-3))).collect()
+            }
+        }
+    }
+}
+
+impl<E: Environment> Environment for FaultyEnvironment<E> {
+    fn clairvoyance(&self) -> crate::sim::env::Clairvoyance {
+        self.inner.clairvoyance()
+    }
+
+    fn next_release_time(&mut self, world: &World) -> Option<Time> {
+        match (self.own_next(), self.inner.next_release_time(world)) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
+        let mut specs = Vec::new();
+        if self.inner.next_release_time(world) == Some(now) {
+            specs.extend(self.inner.release_at(now, world));
+        }
+        if self.own_next() == Some(now) {
+            let wave = self.next_wave;
+            self.next_wave += 1;
+            let next_id = (world.num_jobs() + specs.len()) as u32;
+            specs.extend(self.inject(wave, now, next_id));
+        }
+        specs
+    }
+
+    fn rule_length(
+        &mut self,
+        id: JobId,
+        started_at: Time,
+        now: Time,
+        world: &World,
+    ) -> LengthRuling {
+        match self.deferrals.get_mut(&id) {
+            Some(count) if *count < MAX_DEFERRALS => {
+                *count += 1;
+                LengthRuling::AskAgainAt(now + dur(0.125))
+            }
+            Some(_) => LengthRuling::Assign(dur(0.5)),
+            None => self.inner.rule_length(id, started_at, now, world),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler faults
+// ---------------------------------------------------------------------------
+
+/// An action perturbation applied by [`ChaosScheduler`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SchedFaultMode {
+    /// Drop every start the inner scheduler requests (jobs only run via the
+    /// engine's deadline force-start).
+    DropStarts,
+    /// Rewrite every start into an ordered start *past* the job's deadline
+    /// (always rejected; force-start must still cover the job).
+    DelayPastDeadline,
+    /// Issue every start twice (the duplicate must be rejected, not
+    /// double-started).
+    DuplicateStarts,
+    /// Request a start for a job id that was never released, every callback.
+    StartNonPending,
+    /// Rewrite every start into an ordered start one unit in the past
+    /// (always rejected).
+    TimeTravelStart,
+    /// Flood the queue with same-instant wakeups carrying a sentinel token
+    /// the wrapper swallows (bounded by an internal budget).
+    WakeupStorm,
+}
+
+impl SchedFaultMode {
+    /// Every scheduler fault mode, for matrix drivers.
+    pub const ALL: [SchedFaultMode; 6] = [
+        SchedFaultMode::DropStarts,
+        SchedFaultMode::DelayPastDeadline,
+        SchedFaultMode::DuplicateStarts,
+        SchedFaultMode::StartNonPending,
+        SchedFaultMode::TimeTravelStart,
+        SchedFaultMode::WakeupStorm,
+    ];
+
+    /// Short stable label (used in verdict tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedFaultMode::DropStarts => "drop-starts",
+            SchedFaultMode::DelayPastDeadline => "delay-past-deadline",
+            SchedFaultMode::DuplicateStarts => "duplicate-starts",
+            SchedFaultMode::StartNonPending => "start-non-pending",
+            SchedFaultMode::TimeTravelStart => "time-travel-start",
+            SchedFaultMode::WakeupStorm => "wakeup-storm",
+        }
+    }
+}
+
+impl fmt::Display for SchedFaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Wakeup token reserved for [`SchedFaultMode::WakeupStorm`]; swallowed by
+/// the wrapper so the inner scheduler never sees a token it did not request.
+const STORM_TOKEN: u64 = u64::MAX;
+
+/// Total storm wakeups a single [`ChaosScheduler`] may inject.
+const STORM_BUDGET: u32 = 64;
+
+/// Wraps a scheduler and perturbs its actions according to a
+/// [`SchedFaultMode`] before the engine sees them.
+#[derive(Debug)]
+pub struct ChaosScheduler<S> {
+    inner: S,
+    mode: SchedFaultMode,
+    storm_budget: u32,
+}
+
+impl<S: OnlineScheduler> ChaosScheduler<S> {
+    /// Wraps `inner`, perturbing its actions per `mode`.
+    pub fn new(inner: S, mode: SchedFaultMode) -> Self {
+        ChaosScheduler { inner, mode, storm_budget: STORM_BUDGET }
+    }
+
+    /// Replays one unperturbed action into the sink.
+    fn replay(ctx: &mut Ctx<'_>, action: Action) {
+        match action {
+            Action::StartNow(id) => ctx.start(id),
+            Action::StartAt(id, at) => ctx.start_at(id, at),
+            Action::WakeAt(at, token) => ctx.wake_at(at, token),
+        }
+    }
+
+    /// Drains the inner scheduler's requested actions and re-emits them
+    /// perturbed.
+    fn perturb(&mut self, ctx: &mut Ctx<'_>) {
+        let actions = ctx.take_actions();
+        match self.mode {
+            SchedFaultMode::DropStarts => {
+                for action in actions {
+                    if let Action::WakeAt(at, token) = action {
+                        ctx.wake_at(at, token);
+                    }
+                }
+            }
+            SchedFaultMode::DelayPastDeadline => {
+                for action in actions {
+                    match action {
+                        Action::StartNow(id) | Action::StartAt(id, _) => {
+                            let late = ctx.deadline_of(id) + dur(1.0);
+                            ctx.start_at(id, late);
+                        }
+                        other => Self::replay(ctx, other),
+                    }
+                }
+            }
+            SchedFaultMode::DuplicateStarts => {
+                for action in actions {
+                    Self::replay(ctx, action);
+                    if !matches!(action, Action::WakeAt(..)) {
+                        Self::replay(ctx, action);
+                    }
+                }
+            }
+            SchedFaultMode::StartNonPending => {
+                for action in actions {
+                    Self::replay(ctx, action);
+                }
+                ctx.start(JobId(u32::MAX));
+            }
+            SchedFaultMode::TimeTravelStart => {
+                for action in actions {
+                    match action {
+                        Action::StartNow(id) | Action::StartAt(id, _) => {
+                            let past = ctx.now() - dur(1.0);
+                            ctx.start_at(id, past);
+                        }
+                        other => Self::replay(ctx, other),
+                    }
+                }
+            }
+            SchedFaultMode::WakeupStorm => {
+                for action in actions {
+                    Self::replay(ctx, action);
+                }
+                for _ in 0..4 {
+                    if self.storm_budget == 0 {
+                        break;
+                    }
+                    self.storm_budget -= 1;
+                    ctx.wake_at(ctx.now(), STORM_TOKEN);
+                }
+            }
+        }
+    }
+}
+
+impl<S: OnlineScheduler> OnlineScheduler for ChaosScheduler<S> {
+    fn name(&self) -> String {
+        format!("chaos[{}]({})", self.mode, self.inner.name())
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        self.inner.on_arrival(job, ctx);
+        self.perturb(ctx);
+    }
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        self.inner.on_deadline(id, ctx);
+        self.perturb(ctx);
+    }
+
+    fn on_completion(&mut self, id: JobId, length: Dur, ctx: &mut Ctx<'_>) {
+        self.inner.on_completion(id, length, ctx);
+        self.perturb(ctx);
+    }
+
+    fn on_wakeup(&mut self, token: u64, ctx: &mut Ctx<'_>) {
+        if token == STORM_TOKEN {
+            // Swallow our own storm so the inner scheduler never observes a
+            // token it did not request; keep storming while budget remains.
+            self.perturb(ctx);
+            return;
+        }
+        self.inner.on_wakeup(token, ctx);
+        self.perturb(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Instance, Job};
+    use crate::sim::env::StaticEnv;
+    use crate::sim::{run, Clairvoyance, Termination};
+    use crate::time::t;
+
+    /// Starts every job the moment it arrives.
+    struct EagerTest;
+    impl OnlineScheduler for EagerTest {
+        fn name(&self) -> String {
+            "eager-test".into()
+        }
+        fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+            ctx.start(job.id);
+        }
+        fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+            ctx.start(id);
+        }
+    }
+
+    fn base() -> Instance {
+        Instance::new(vec![Job::adp(0.0, 2.0, 1.0), Job::adp(0.5, 3.0, 2.0)])
+    }
+
+    fn faulty_env(mode: EnvFaultMode, clairvoyance: Clairvoyance) -> FaultyEnvironment<StaticEnv> {
+        FaultyEnvironment::new(StaticEnv::new(&base(), clairvoyance), mode)
+    }
+
+    #[test]
+    fn every_env_fault_mode_completes_without_env_fault() {
+        for mode in EnvFaultMode::ALL {
+            for cl in
+                [Clairvoyance::Clairvoyant, Clairvoyance::NonClairvoyant, Clairvoyance::ClassOnly]
+            {
+                let out = run(faulty_env(mode, cl), EagerTest);
+                assert_eq!(
+                    out.termination,
+                    Termination::Completed,
+                    "{mode} under {cl:?}: {}",
+                    out.termination
+                );
+                assert!(out.unresolved.is_empty(), "{mode} under {cl:?}");
+                assert!(
+                    out.schedule.validate(&out.instance).is_ok(),
+                    "{mode} under {cl:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_rulings_actually_defer() {
+        let out = run(
+            faulty_env(EnvFaultMode::DeferredRulings, Clairvoyance::NonClairvoyant),
+            EagerTest,
+        );
+        assert_eq!(out.termination, Termination::Completed);
+        // 2 base jobs + 2 waves × 2 adaptive jobs.
+        assert_eq!(out.instance.len(), 6);
+        // Each adaptive job burns MAX_DEFERRALS probe events on top of the
+        // usual release/start/completion traffic.
+        assert!(out.events_processed > 6 * 2);
+    }
+
+    #[test]
+    fn precision_loss_yields_zero_width_intervals() {
+        let out = run(faulty_env(EnvFaultMode::PrecisionLoss, Clairvoyance::Clairvoyant), EagerTest);
+        assert_eq!(out.termination, Termination::Completed);
+        // The injected jobs start at 10¹⁵ where their 10⁻³ lengths vanish
+        // below the ulp: completion == start, and the span contribution of
+        // those jobs is exactly zero.
+        let injected_start = t(1.0e15);
+        assert!(out
+            .instance
+            .iter()
+            .any(|(id, _)| out.schedule.start(id) == Some(injected_start)));
+    }
+
+    #[test]
+    fn every_sched_fault_mode_is_absorbed() {
+        for mode in SchedFaultMode::ALL {
+            let out = run(
+                StaticEnv::new(&base(), Clairvoyance::Clairvoyant),
+                ChaosScheduler::new(EagerTest, mode),
+            );
+            assert_eq!(out.termination, Termination::Completed, "{mode}");
+            assert!(out.schedule.is_complete(), "{mode}: every job still runs");
+            assert!(out.schedule.validate(&out.instance).is_ok(), "{mode}");
+            match mode {
+                SchedFaultMode::DropStarts
+                | SchedFaultMode::DelayPastDeadline
+                | SchedFaultMode::TimeTravelStart => {
+                    assert!(!out.violations.is_empty(), "{mode}: force-starts expected");
+                }
+                SchedFaultMode::DuplicateStarts | SchedFaultMode::StartNonPending => {
+                    assert!(!out.rejected_actions.is_empty(), "{mode}: rejections expected");
+                    assert!(out.violations.is_empty(), "{mode}: originals still honored");
+                }
+                SchedFaultMode::WakeupStorm => {
+                    assert!(out.violations.is_empty(), "{mode}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wakeup_storm_is_budget_bounded() {
+        let out = run(
+            StaticEnv::new(&base(), Clairvoyance::Clairvoyant),
+            ChaosScheduler::new(EagerTest, SchedFaultMode::WakeupStorm),
+        );
+        assert_eq!(out.termination, Termination::Completed);
+        // Budget caps the storm: well under the default event cap.
+        assert!(out.events_processed < 1_000, "storm not bounded: {}", out.events_processed);
+    }
+
+    #[test]
+    fn chaos_on_faulty_env_cross_product_is_sound() {
+        for env_mode in EnvFaultMode::ALL {
+            for sched_mode in SchedFaultMode::ALL {
+                let out = run(
+                    faulty_env(env_mode, Clairvoyance::Clairvoyant),
+                    ChaosScheduler::new(EagerTest, sched_mode),
+                );
+                assert!(
+                    !matches!(out.termination, Termination::EnvironmentFault(_)),
+                    "{env_mode} × {sched_mode}: legal env misreported: {}",
+                    out.termination
+                );
+                assert_eq!(
+                    out.termination,
+                    Termination::Completed,
+                    "{env_mode} × {sched_mode}"
+                );
+                assert!(
+                    out.schedule.validate(&out.instance).is_ok(),
+                    "{env_mode} × {sched_mode}"
+                );
+            }
+        }
+    }
+}

@@ -8,6 +8,66 @@ use crate::interval::Interval;
 use crate::time::{Dur, Time};
 use std::fmt;
 
+/// Why a job's parameters are invalid (the error side of [`Job::try_new`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum JobError {
+    /// A parameter is NaN or infinite.
+    NonFinite {
+        /// Which parameter (`"arrival"`, `"deadline"` or `"length"`).
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The starting deadline precedes the arrival.
+    DeadlineBeforeArrival {
+        /// Arrival time.
+        arrival: f64,
+        /// Starting deadline.
+        deadline: f64,
+    },
+    /// The processing length is zero or negative.
+    NonPositiveLength {
+        /// The offending length.
+        length: f64,
+    },
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            JobError::DeadlineBeforeArrival { arrival, deadline } => {
+                write!(f, "starting deadline {deadline} precedes arrival {arrival}")
+            }
+            JobError::NonPositiveLength { length } => {
+                write!(f, "processing length must be positive, got {length}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// A [`JobError`] located at a job index (the error side of
+/// [`Instance::try_new`]).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct InstanceError {
+    /// Index of the offending job in the input sequence.
+    pub index: usize,
+    /// What was wrong with it.
+    pub error: JobError,
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for InstanceError {}
+
 /// Dense job identifier: index into an [`Instance`] (or, during simulation,
 /// release order).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -61,10 +121,38 @@ impl Job {
         Job { arrival, deadline, length }
     }
 
+    /// Fallible constructor: like [`Job::new`] but returns a typed error
+    /// instead of panicking, for jobs built from untrusted data (trace
+    /// files, network input, fault injectors).
+    pub fn try_new(arrival: Time, deadline: Time, length: Dur) -> Result<Self, JobError> {
+        if deadline < arrival {
+            return Err(JobError::DeadlineBeforeArrival {
+                arrival: arrival.get(),
+                deadline: deadline.get(),
+            });
+        }
+        if !length.is_positive() {
+            return Err(JobError::NonPositiveLength { length: length.get() });
+        }
+        Ok(Job { arrival, deadline, length })
+    }
+
     /// Convenience constructor from raw `f64`s: `(a, d, p)`.
     #[track_caller]
     pub fn adp(arrival: f64, deadline: f64, length: f64) -> Self {
         Job::new(Time::new(arrival), Time::new(deadline), Dur::new(length))
+    }
+
+    /// Fallible twin of [`Job::adp`]: validates finiteness *before*
+    /// constructing [`Time`]/[`Dur`] values, so NaN or infinite fields from
+    /// untrusted sources surface as a [`JobError`] rather than a panic.
+    pub fn try_adp(arrival: f64, deadline: f64, length: f64) -> Result<Self, JobError> {
+        for (what, v) in [("arrival", arrival), ("deadline", deadline), ("length", length)] {
+            if !v.is_finite() {
+                return Err(JobError::NonFinite { what, value: v });
+            }
+        }
+        Job::try_new(Time::new(arrival), Time::new(deadline), Dur::new(length))
     }
 
     /// A *rigid* job (zero laxity: must start at its arrival).
@@ -182,6 +270,21 @@ impl Instance {
         Instance::default()
     }
 
+    /// Fallible constructor from raw `(arrival, deadline, length)` triples,
+    /// rejecting NaN/infinite fields, non-positive lengths and deadlines
+    /// before arrivals with the index of the first offending job. This is
+    /// the entry point for instances built from untrusted data.
+    pub fn try_new<I>(triples: I) -> Result<Self, InstanceError>
+    where
+        I: IntoIterator<Item = (f64, f64, f64)>,
+    {
+        let mut jobs = Vec::new();
+        for (index, (a, d, p)) in triples.into_iter().enumerate() {
+            jobs.push(Job::try_adp(a, d, p).map_err(|error| InstanceError { index, error })?);
+        }
+        Ok(Instance { jobs })
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()
@@ -231,7 +334,9 @@ impl Instance {
     pub fn mu(&self) -> Option<f64> {
         let max = self.jobs.iter().map(|j| j.length()).max()?;
         let min = self.jobs.iter().map(|j| j.length()).min()?;
-        Some(max.ratio(min))
+        // Lengths are strictly positive by construction, so the checked
+        // ratio only falls back for degenerate float underflow.
+        max.checked_ratio(min)
     }
 
     /// Total processing length `Σ p(J)`.
@@ -327,6 +432,41 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_length_rejected() {
         let _ = Job::adp(0.0, 1.0, 0.0);
+    }
+
+    #[test]
+    fn try_constructors_reject_invalid_jobs() {
+        assert!(Job::try_adp(1.0, 4.0, 2.0).is_ok());
+        assert!(matches!(
+            Job::try_adp(f64::NAN, 4.0, 2.0),
+            Err(JobError::NonFinite { what: "arrival", .. })
+        ));
+        assert!(matches!(
+            Job::try_adp(0.0, f64::INFINITY, 1.0),
+            Err(JobError::NonFinite { what: "deadline", .. })
+        ));
+        assert_eq!(
+            Job::try_adp(2.0, 1.0, 1.0),
+            Err(JobError::DeadlineBeforeArrival { arrival: 2.0, deadline: 1.0 })
+        );
+        assert_eq!(
+            Job::try_adp(0.0, 1.0, 0.0),
+            Err(JobError::NonPositiveLength { length: 0.0 })
+        );
+        assert_eq!(
+            Job::try_new(t(0.0), t(1.0), dur(-3.0)),
+            Err(JobError::NonPositiveLength { length: -3.0 })
+        );
+    }
+
+    #[test]
+    fn instance_try_new_locates_the_bad_job() {
+        let ok = Instance::try_new([(0.0, 2.0, 1.0), (1.0, 5.0, 2.0)]).unwrap();
+        assert_eq!(ok.len(), 2);
+        let err = Instance::try_new([(0.0, 2.0, 1.0), (3.0, 1.0, 1.0)]).unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.error, JobError::DeadlineBeforeArrival { .. }));
+        assert!(err.to_string().contains("job 1"));
     }
 
     #[test]

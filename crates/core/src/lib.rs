@@ -24,7 +24,11 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+// Shipped code degrades through typed errors, never through unwrap/expect;
+// tests are free to assert with them.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod faults;
 pub mod interval;
 pub mod job;
 pub mod metrics;
@@ -35,12 +39,13 @@ pub mod time;
 /// Convenience re-exports of the types used by virtually every consumer.
 pub mod prelude {
     pub use crate::interval::{Interval, IntervalSet};
-    pub use crate::job::{Instance, Job, JobId};
+    pub use crate::job::{Instance, InstanceError, Job, JobError, JobId};
     pub use crate::metrics::{concurrency_at, concurrency_profile, schedule_metrics, ScheduleMetrics};
     pub use crate::schedule::{Schedule, ScheduleError};
     pub use crate::sim::{
-        geometric_class, run, run_static, Arrival, Clairvoyance, Ctx, Environment, JobSpec,
-        LengthRuling, LengthSpec, OnlineScheduler, SimOutcome, StaticEnv, World,
+        geometric_class, run, run_static, ActionFault, Arrival, Clairvoyance, Ctx, EnvFault,
+        Environment, JobSpec, LengthRuling, LengthSpec, OnlineScheduler, RejectedAction,
+        SimOutcome, StaticEnv, Termination, World,
     };
     pub use crate::time::{dur, t, Dur, Time};
 }

@@ -44,7 +44,9 @@ pub fn schedule_metrics(inst: &Instance, schedule: &Schedule) -> ScheduleMetrics
     let mut max_wait = Dur::ZERO;
     let mut total_laxity = Dur::ZERO;
     for (id, job) in inst.iter() {
-        let s = schedule.start(id).expect("metrics need a complete schedule");
+        let Some(s) = schedule.start(id) else {
+            panic!("metrics need a complete schedule, but {id} has no start");
+        };
         let wait = s - job.arrival();
         total_wait += wait;
         max_wait = max_wait.max(wait);

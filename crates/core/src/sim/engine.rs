@@ -67,17 +67,232 @@ impl fmt::Display for Violation {
     }
 }
 
+/// How a simulation run ended.
+///
+/// Every run — even one driven by a hostile environment or a misbehaving
+/// scheduler — produces a [`SimOutcome`]; this status says whether the
+/// outcome covers the full instance or is a partial schedule cut short by a
+/// resource cap or an environment contract breach.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Termination {
+    /// All events drained; the schedule is complete.
+    Completed,
+    /// The [`SimConfig::max_events`] budget ran out (runaway environment or
+    /// scheduler wakeup loop). The outcome carries the partial schedule at
+    /// the moment the cap tripped.
+    EventCapExhausted {
+        /// Events processed (equals the configured cap).
+        events: usize,
+    },
+    /// The environment broke its contract; the run stopped at the breach
+    /// with the partial schedule accumulated so far.
+    EnvironmentFault(EnvFault),
+}
+
+impl Termination {
+    /// Whether the run drained naturally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Termination::Completed)
+    }
+}
+
+impl fmt::Display for Termination {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Termination::Completed => write!(f, "completed"),
+            Termination::EventCapExhausted { events } => {
+                write!(f, "event cap exhausted after {events} events")
+            }
+            Termination::EnvironmentFault(e) => write!(f, "environment fault: {e}"),
+        }
+    }
+}
+
+/// A breach of the [`Environment`] contract, detected and reported instead
+/// of aborting the process.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum EnvFault {
+    /// `next_release_time` returned a time before the current instant.
+    ReleaseInPast {
+        /// The time the environment asked for.
+        scheduled: Time,
+        /// The simulation clock when it asked.
+        now: Time,
+    },
+    /// A released job's starting deadline precedes its arrival.
+    DeadlineBeforeArrival {
+        /// The release instant (= arrival).
+        arrival: Time,
+        /// The offending deadline.
+        deadline: Time,
+    },
+    /// A released job has a zero or negative fixed length.
+    NonPositiveLength {
+        /// The offending length.
+        length: Dur,
+    },
+    /// An `Adaptive` length was released in a run that reveals lengths (or
+    /// length classes) at arrival — there is nothing coherent to reveal.
+    AdaptiveUnderClairvoyance,
+    /// `rule_length` assigned a zero or negative length.
+    RuledNonPositiveLength {
+        /// The job whose length was ruled.
+        id: JobId,
+        /// The offending length.
+        length: Dur,
+    },
+    /// `rule_length` assigned a length whose completion lies before the
+    /// ruling instant (the job would have to finish in the past).
+    RulingInPast {
+        /// The job whose length was ruled.
+        id: JobId,
+        /// The implied completion time.
+        completion: Time,
+        /// The ruling instant.
+        now: Time,
+    },
+    /// `rule_length` deferred to a time that is not in the future.
+    ProbeNotDeferred {
+        /// The job being probed.
+        id: JobId,
+        /// The non-advancing ask-again time.
+        at: Time,
+    },
+    /// A start or ruling pushed a completion time beyond the finite `f64`
+    /// range (degenerate timestamps on the order of `f64::MAX`).
+    HorizonOverflow {
+        /// The job whose completion overflowed.
+        id: JobId,
+    },
+}
+
+impl fmt::Display for EnvFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvFault::ReleaseInPast { scheduled, now } => {
+                write!(f, "release scheduled in the past: {scheduled} < {now}")
+            }
+            EnvFault::DeadlineBeforeArrival { arrival, deadline } => {
+                write!(f, "released job has deadline {deadline} before arrival {arrival}")
+            }
+            EnvFault::NonPositiveLength { length } => {
+                write!(f, "released job has non-positive length {length}")
+            }
+            EnvFault::AdaptiveUnderClairvoyance => {
+                write!(f, "adaptive lengths require a fully non-clairvoyant run")
+            }
+            EnvFault::RuledNonPositiveLength { id, length } => {
+                write!(f, "ruled non-positive length {length} for {id}")
+            }
+            EnvFault::RulingInPast { id, completion, now } => {
+                write!(f, "ruled length puts completion of {id} at {completion}, before {now}")
+            }
+            EnvFault::ProbeNotDeferred { id, at } => {
+                write!(f, "length probe for {id} re-asked at {at}, which is not in the future")
+            }
+            EnvFault::HorizonOverflow { id } => {
+                write!(f, "completion time of {id} overflows the finite time range")
+            }
+        }
+    }
+}
+
+/// A scheduler action the engine refused to apply. The action is dropped
+/// (the job in question remains pending and is force-started at its
+/// deadline if the scheduler never issues a valid start), the run continues,
+/// and the rejection is recorded in [`SimOutcome::rejected_actions`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RejectedAction {
+    /// When the action was requested.
+    pub at: Time,
+    /// Why it was refused.
+    pub fault: ActionFault,
+}
+
+impl fmt::Display for RejectedAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at {}: {}", self.at, self.fault)
+    }
+}
+
+/// Why a scheduler action was refused.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum ActionFault {
+    /// A start was requested for a job that is not pending (already started,
+    /// completed, or never released).
+    StartNonPending {
+        /// The requested job.
+        id: JobId,
+    },
+    /// An immediate start was requested outside the job's `[a, d]` window.
+    StartOutsideWindow {
+        /// The requested job.
+        id: JobId,
+        /// The attempted start time (the current instant).
+        at: Time,
+    },
+    /// A `start_at` was issued for a job that already has an ordered start.
+    DuplicateOrderedStart {
+        /// The requested job.
+        id: JobId,
+    },
+    /// A `start_at` time lies in the past or outside the job's window.
+    StartAtOutsideWindow {
+        /// The requested job.
+        id: JobId,
+        /// The attempted start time.
+        at: Time,
+    },
+    /// A wakeup was requested for a past instant.
+    WakeupInPast {
+        /// The requested wakeup time.
+        at: Time,
+    },
+}
+
+impl fmt::Display for ActionFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ActionFault::StartNonPending { id } => {
+                write!(f, "start of non-pending job {id}")
+            }
+            ActionFault::StartOutsideWindow { id, at } => {
+                write!(f, "start of {id} at {at} outside its window")
+            }
+            ActionFault::DuplicateOrderedStart { id } => {
+                write!(f, "duplicate ordered start for {id}")
+            }
+            ActionFault::StartAtOutsideWindow { id, at } => {
+                write!(f, "ordered start of {id} at {at} outside [max(now, a), d]")
+            }
+            ActionFault::WakeupInPast { at } => write!(f, "wakeup at past instant {at}"),
+        }
+    }
+}
+
 /// The result of a simulation run.
 #[derive(Clone, Debug)]
 pub struct SimOutcome {
-    /// All released jobs with their final lengths, in release order.
+    /// All released jobs with their final lengths, in release order. For a
+    /// run that did not complete ([`SimOutcome::termination`]), lengths of
+    /// jobs listed in [`SimOutcome::unresolved`] are placeholders.
     pub instance: Instance,
-    /// Start times chosen by the scheduler (complete by construction).
+    /// Start times chosen by the scheduler (complete when the run
+    /// completed; partial otherwise).
     pub schedule: Schedule,
     /// Span of the schedule (cached from [`Schedule::span`]).
     pub span: Dur,
     /// Feasibility violations (empty for a correct scheduler).
     pub violations: Vec<Violation>,
+    /// How the run ended.
+    pub termination: Termination,
+    /// Scheduler actions the engine refused to apply (empty for a correct
+    /// scheduler).
+    pub rejected_actions: Vec<RejectedAction>,
+    /// Jobs whose adaptive lengths were never ruled because the run was cut
+    /// short; their lengths in [`SimOutcome::instance`] are placeholders.
+    /// Always empty when the run completed.
+    pub unresolved: Vec<JobId>,
     /// Total events processed (diagnostics).
     pub events_processed: usize,
     /// Chronological event log (empty unless
@@ -89,6 +304,14 @@ impl SimOutcome {
     /// Whether the run finished without feasibility violations.
     pub fn is_feasible(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Whether the run completed with no violations and no rejected
+    /// actions — the strictest notion of a healthy run.
+    pub fn is_clean(&self) -> bool {
+        self.termination.is_completed()
+            && self.violations.is_empty()
+            && self.rejected_actions.is_empty()
     }
 }
 
@@ -138,6 +361,12 @@ impl PartialOrd for Event {
     }
 }
 
+/// How the drive loop ended (the non-fault half of [`Termination`]).
+enum DriveEnd {
+    Drained,
+    EventCap,
+}
+
 struct Engine<E, S> {
     world: World,
     env: E,
@@ -145,6 +374,7 @@ struct Engine<E, S> {
     queue: BinaryHeap<Reverse<Event>>,
     seq: u64,
     violations: Vec<Violation>,
+    rejected: Vec<RejectedAction>,
     events: usize,
     config: SimConfig,
     trace: Vec<TraceEvent>,
@@ -162,126 +392,158 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         self.seq += 1;
     }
 
-    /// Starts a pending job at `at`; consults the environment for adaptive
-    /// lengths and schedules the completion or probe.
-    fn start_job(&mut self, id: JobId, at: Time) {
-        assert!(self.world.is_pending(id), "starting non-pending job {id}");
+    fn reject(&mut self, fault: ActionFault) {
+        self.rejected.push(RejectedAction { at: self.world.now(), fault });
+    }
+
+    /// The completion instant `at + p`, guarding against `f64` overflow from
+    /// degenerate timestamps.
+    fn completion_time(&self, id: JobId, at: Time, p: Dur) -> Result<Time, EnvFault> {
+        let raw = at.get() + p.get();
+        if !raw.is_finite() {
+            return Err(EnvFault::HorizonOverflow { id });
+        }
+        Ok(Time::new(raw))
+    }
+
+    /// Starts a job at `at` and schedules its completion or length probe.
+    ///
+    /// Callers must have validated that the job is pending and `at` lies in
+    /// its start window; this method only reports *environment* misbehavior
+    /// (bad adaptive-length rulings).
+    fn start_job(&mut self, id: JobId, at: Time) -> Result<(), EnvFault> {
+        debug_assert!(self.world.is_pending(id), "starting non-pending job {id}");
         let rec = self.world.job(id);
-        assert!(
-            rec.arrival() <= at && at <= rec.deadline(),
-            "start of {id} at {at} outside its window [{}, {}]",
-            rec.arrival(),
-            rec.deadline()
-        );
+        debug_assert!(rec.arrival() <= at && at <= rec.deadline());
         let known = rec.length();
         self.world.mark_started(id, at);
         self.record(TraceKind::Started { id });
         match known {
-            Some(p) => self.push(at + p, EventKind::Completion(id)),
+            Some(p) => {
+                let completion = self.completion_time(id, at, p)?;
+                self.push(completion, EventKind::Completion(id));
+            }
             None => match self.env.rule_length(id, at, at, &self.world) {
                 LengthRuling::Assign(p) => {
-                    assert!(p.is_positive(), "ruled non-positive length {p} for {id}");
+                    if !p.is_positive() {
+                        return Err(EnvFault::RuledNonPositiveLength { id, length: p });
+                    }
+                    let completion = self.completion_time(id, at, p)?;
                     self.world.set_length(id, p);
                     self.record(TraceKind::LengthRuled { id, length: p });
-                    self.push(at + p, EventKind::Completion(id));
+                    self.push(completion, EventKind::Completion(id));
                 }
                 LengthRuling::AskAgainAt(t) => {
-                    assert!(t > at, "length probe for {id} must defer forward");
+                    if t <= at {
+                        return Err(EnvFault::ProbeNotDeferred { id, at: t });
+                    }
                     self.push(t, EventKind::LengthProbe(id));
                 }
             },
         }
+        Ok(())
     }
 
     /// Applies the actions a scheduler requested during one callback.
-    fn apply_actions(&mut self, actions: Vec<Action>) {
+    /// Invalid actions are rejected (recorded and dropped) rather than
+    /// aborting the run: a dropped start leaves the job pending, where the
+    /// deadline-alarm force-start guarantees it is eventually scheduled.
+    fn apply_actions(&mut self, actions: Vec<Action>) -> Result<(), EnvFault> {
         for action in actions {
             match action {
                 Action::StartNow(id) => {
                     let now = self.world.now();
-                    self.start_job(id, now);
+                    if !self.world.is_pending(id) {
+                        self.reject(ActionFault::StartNonPending { id });
+                        continue;
+                    }
+                    let rec = self.world.job(id);
+                    if now < rec.arrival() || now > rec.deadline() {
+                        self.reject(ActionFault::StartOutsideWindow { id, at: now });
+                        continue;
+                    }
+                    self.start_job(id, now)?;
                 }
                 Action::StartAt(id, at) => {
-                    assert!(self.world.is_pending(id), "start_at for non-pending job {id}");
                     let now = self.world.now();
+                    if !self.world.is_pending(id) {
+                        self.reject(ActionFault::StartNonPending { id });
+                        continue;
+                    }
                     let rec = self.world.job(id);
-                    assert!(
-                        rec.ordered_start().is_none(),
-                        "start_at for job {id} which already has an ordered start"
-                    );
-                    assert!(
-                        at >= now && at >= rec.arrival() && at <= rec.deadline(),
-                        "start_at({id}, {at}) outside [max(now,a), d] = [{}, {}]",
-                        now.max(rec.arrival()),
-                        rec.deadline()
-                    );
+                    if rec.ordered_start().is_some() {
+                        self.reject(ActionFault::DuplicateOrderedStart { id });
+                        continue;
+                    }
+                    if at < now || at < rec.arrival() || at > rec.deadline() {
+                        self.reject(ActionFault::StartAtOutsideWindow { id, at });
+                        continue;
+                    }
                     self.world.set_ordered_start(id, at);
                     self.push(at, EventKind::OrderedStart(id));
                 }
                 Action::WakeAt(at, token) => {
-                    assert!(
-                        at >= self.world.now(),
-                        "wake_at({at}) in the past (now = {})",
-                        self.world.now()
-                    );
+                    if at < self.world.now() {
+                        self.reject(ActionFault::WakeupInPast { at });
+                        continue;
+                    }
                     self.push(at, EventKind::Wakeup(token));
                 }
             }
         }
+        Ok(())
     }
 
-    fn dispatch_arrival(&mut self, arrival: Arrival) {
+    fn dispatch_arrival(&mut self, arrival: Arrival) -> Result<(), EnvFault> {
         let mut ctx = Ctx::new(&self.world);
         self.sched.on_arrival(arrival, &mut ctx);
         let actions = ctx.into_actions();
-        self.apply_actions(actions);
+        self.apply_actions(actions)
     }
 
-    fn run(mut self) -> SimOutcome {
+    /// The event loop. Returns how it stopped; environment contract
+    /// breaches bubble up as errors, scheduler misbehavior is absorbed.
+    fn drive(&mut self) -> Result<DriveEnd, EnvFault> {
         loop {
             let queued = self.queue.peek().map(|Reverse(e)| (e.time, e.order));
-            let release = self.env.next_release_time(&self.world).map(|rt| {
-                assert!(
-                    rt >= self.world.now(),
-                    "environment scheduled a release in the past: {rt} < {}",
-                    self.world.now()
-                );
-                (rt, RELEASE_ORDER)
-            });
-            let take_release = match (queued, release) {
-                (None, None) => break,
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (Some(q), Some(r)) => r < q,
+            let release = match self.env.next_release_time(&self.world) {
+                Some(rt) if rt < self.world.now() => {
+                    return Err(EnvFault::ReleaseInPast { scheduled: rt, now: self.world.now() })
+                }
+                Some(rt) => Some((rt, RELEASE_ORDER)),
+                None => None,
+            };
+            let release_due = match (queued, release) {
+                (None, None) => return Ok(DriveEnd::Drained),
+                (None, Some((rt, _))) => Some(rt),
+                (Some(_), None) => None,
+                (Some(q), Some(r)) => (r < q).then_some(r.0),
             };
 
+            if self.events >= self.config.max_events {
+                return Ok(DriveEnd::EventCap);
+            }
             self.events += 1;
-            assert!(
-                self.events <= self.config.max_events,
-                "simulation exceeded {} events (runaway environment or scheduler?)",
-                self.config.max_events
-            );
 
-            if take_release {
-                let now = release.expect("checked").0;
+            if let Some(now) = release_due {
                 self.world.advance_to(now);
                 let specs = self.env.release_at(now, &self.world);
                 let clairvoyance = self.world.clairvoyance();
                 for JobSpec { deadline, length } in specs {
-                    assert!(
-                        deadline >= now,
-                        "released job has deadline {deadline} before arrival {now}"
-                    );
+                    if deadline < now {
+                        return Err(EnvFault::DeadlineBeforeArrival { arrival: now, deadline });
+                    }
                     let fixed = match length {
                         LengthSpec::Fixed(p) => {
-                            assert!(p.is_positive(), "released job has non-positive length {p}");
+                            if !p.is_positive() {
+                                return Err(EnvFault::NonPositiveLength { length: p });
+                            }
                             Some(p)
                         }
                         LengthSpec::Adaptive => {
-                            assert!(
-                                !clairvoyance.reveals_class(),
-                                "adaptive lengths require a fully non-clairvoyant run"
-                            );
+                            if clairvoyance.reveals_class() {
+                                return Err(EnvFault::AdaptiveUnderClairvoyance);
+                            }
                             None
                         }
                     };
@@ -298,44 +560,63 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         } else {
                             None
                         },
-                    });
+                    })?;
                 }
                 continue;
             }
 
-            let Reverse(event) = self.queue.pop().expect("checked non-empty");
+            let Some(Reverse(event)) = self.queue.pop() else {
+                // Unreachable: release_due == None implies the queue was
+                // non-empty above; treat defensively as drained.
+                return Ok(DriveEnd::Drained);
+            };
             self.world.advance_to(event.time);
             match event.kind {
                 EventKind::Completion(id) => {
                     self.world.mark_completed(id);
                     self.record(TraceKind::Completed { id });
-                    let length = self.world.job(id).length().expect("completed job has length");
+                    let Some(length) = self.world.job(id).length() else {
+                        // Unreachable: completions are only scheduled once a
+                        // length is known (mark_completed checks too).
+                        continue;
+                    };
                     let mut ctx = Ctx::new(&self.world);
                     self.sched.on_completion(id, length, &mut ctx);
                     let actions = ctx.into_actions();
-                    self.apply_actions(actions);
+                    self.apply_actions(actions)?;
                 }
                 EventKind::OrderedStart(id) => {
                     if self.world.is_pending(id) {
-                        self.start_job(id, event.time);
+                        self.start_job(id, event.time)?;
                     }
                 }
                 EventKind::LengthProbe(id) => {
-                    let started_at = self.world.job(id).start().expect("probed job has started");
+                    let Some(started_at) = self.world.job(id).start() else {
+                        // Unreachable: probes are only scheduled after a
+                        // start; skip rather than abort.
+                        continue;
+                    };
                     match self.env.rule_length(id, started_at, event.time, &self.world) {
                         LengthRuling::Assign(p) => {
-                            assert!(p.is_positive(), "ruled non-positive length {p} for {id}");
-                            let completion = started_at + p;
-                            assert!(
-                                completion >= event.time,
-                                "ruled length puts completion of {id} in the past"
-                            );
+                            if !p.is_positive() {
+                                return Err(EnvFault::RuledNonPositiveLength { id, length: p });
+                            }
+                            let completion = self.completion_time(id, started_at, p)?;
+                            if completion < event.time {
+                                return Err(EnvFault::RulingInPast {
+                                    id,
+                                    completion,
+                                    now: event.time,
+                                });
+                            }
                             self.world.set_length(id, p);
                             self.record(TraceKind::LengthRuled { id, length: p });
                             self.push(completion, EventKind::Completion(id));
                         }
                         LengthRuling::AskAgainAt(at) => {
-                            assert!(at > event.time, "length probe for {id} must defer forward");
+                            if at <= event.time {
+                                return Err(EnvFault::ProbeNotDeferred { id, at });
+                            }
                             self.push(at, EventKind::LengthProbe(id));
                         }
                     }
@@ -350,17 +631,17 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         // OrderedStart event sorts before remaining alarms,
                         // so reaching here means it was issued during this
                         // instant. Honor it now.
-                        self.start_job(id, event.time);
+                        self.start_job(id, event.time)?;
                         continue;
                     }
                     let mut ctx = Ctx::new(&self.world);
                     self.sched.on_deadline(id, &mut ctx);
                     let actions = ctx.into_actions();
-                    self.apply_actions(actions);
+                    self.apply_actions(actions)?;
                     if self.world.is_pending(id) && self.world.job(id).ordered_start().is_none() {
                         self.violations.push(Violation { id, at: event.time });
                         self.record(TraceKind::ForcedStart { id });
-                        self.start_job(id, event.time);
+                        self.start_job(id, event.time)?;
                     }
                 }
                 EventKind::Wakeup(token) => {
@@ -368,19 +649,33 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                     let mut ctx = Ctx::new(&self.world);
                     self.sched.on_wakeup(token, &mut ctx);
                     let actions = ctx.into_actions();
-                    self.apply_actions(actions);
+                    self.apply_actions(actions)?;
                 }
             }
         }
+    }
 
-        debug_assert_eq!(self.world.num_running(), 0);
-        debug_assert_eq!(self.world.num_pending(), 0);
+    fn run(mut self) -> SimOutcome {
+        let termination = match self.drive() {
+            Ok(DriveEnd::Drained) => Termination::Completed,
+            Ok(DriveEnd::EventCap) => Termination::EventCapExhausted { events: self.events },
+            Err(fault) => Termination::EnvironmentFault(fault),
+        };
 
-        let instance = self.world.to_instance();
+        if termination.is_completed() {
+            debug_assert_eq!(self.world.num_running(), 0);
+            debug_assert_eq!(self.world.num_pending(), 0);
+        }
+
+        let (instance, unresolved) = self.world.to_partial_instance();
+        debug_assert!(unresolved.is_empty() || !termination.is_completed());
         let mut schedule = Schedule::with_len(instance.len());
         for (i, rec) in self.world.jobs().iter().enumerate() {
-            if let JobStatus::Completed { start, .. } = rec.status() {
-                schedule.set_start(JobId(i as u32), start);
+            match rec.status() {
+                JobStatus::Completed { start, .. } | JobStatus::Running { start } => {
+                    schedule.set_start(JobId(i as u32), start);
+                }
+                JobStatus::Pending => {}
             }
         }
         let span = schedule.span(&instance);
@@ -389,6 +684,9 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
             schedule,
             span,
             violations: self.violations,
+            termination,
+            rejected_actions: self.rejected,
+            unresolved,
             events_processed: self.events,
             trace: self.trace,
         }
@@ -413,6 +711,7 @@ pub fn run_with_config<E: Environment, S: OnlineScheduler>(
         queue: BinaryHeap::new(),
         seq: 0,
         violations: Vec::new(),
+        rejected: Vec::new(),
         events: 0,
         config,
         trace: Vec::new(),
@@ -642,8 +941,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeded")]
-    fn event_cap_trips() {
+    fn event_cap_yields_typed_termination_with_partial_schedule() {
         /// Wakes itself up forever.
         struct Spinner;
         impl OnlineScheduler for Spinner {
@@ -661,7 +959,113 @@ mod tests {
         }
         let single = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
         let env = crate::sim::env::StaticEnv::new(&single, Clairvoyance::Clairvoyant);
-        let _ = run_with_config(env, Spinner, SimConfig { max_events: 100, record_trace: false });
+        let out =
+            run_with_config(env, Spinner, SimConfig { max_events: 100, record_trace: false });
+        assert_eq!(out.termination, Termination::EventCapExhausted { events: 100 });
+        assert!(!out.is_clean());
+        // The partial schedule still carries everything that happened before
+        // the cap: the one real job was started (and completed).
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(0.0)));
+        assert_eq!(out.instance.len(), 1);
+        assert!(out.unresolved.is_empty());
+    }
+
+    #[test]
+    fn rejected_actions_are_dropped_and_job_force_started() {
+        /// Issues a barrage of invalid actions, never a valid start.
+        struct Hostile;
+        impl OnlineScheduler for Hostile {
+            fn name(&self) -> String {
+                "hostile".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                ctx.start(JobId(999)); // never released
+                ctx.start_at(job.id, job.deadline + dur(5.0)); // past deadline
+                ctx.wake_at(job.arrival - dur(1.0), 7); // in the past
+            }
+            fn on_deadline(&mut self, id: JobId, _ctx: &mut Ctx<'_>) {
+                let _ = id; // refuse to start
+            }
+        }
+        let single = Instance::new(vec![Job::adp(1.0, 3.0, 2.0)]);
+        let out = run_static(&single, Clairvoyance::Clairvoyant, Hostile);
+        assert!(out.termination.is_completed(), "run absorbs the abuse");
+        assert_eq!(out.rejected_actions.len(), 3);
+        assert!(matches!(
+            out.rejected_actions[0].fault,
+            ActionFault::StartNonPending { id: JobId(999) }
+        ));
+        assert!(matches!(
+            out.rejected_actions[1].fault,
+            ActionFault::StartAtOutsideWindow { .. }
+        ));
+        assert!(matches!(out.rejected_actions[2].fault, ActionFault::WakeupInPast { .. }));
+        // The job was force-started at its deadline, so the schedule is
+        // complete despite the scheduler never issuing a valid start.
+        assert_eq!(out.violations.len(), 1);
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(3.0)));
+        assert!(out.schedule.validate(&out.instance).is_ok());
+    }
+
+    #[test]
+    fn duplicate_ordered_start_rejected_but_first_honored() {
+        struct DoubleCommit;
+        impl OnlineScheduler for DoubleCommit {
+            fn name(&self) -> String {
+                "double-commit".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                ctx.start_at(job.id, job.deadline);
+                ctx.start_at(job.id, job.arrival); // duplicate → rejected
+            }
+            fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+        }
+        let single = Instance::new(vec![Job::adp(0.0, 2.0, 1.0)]);
+        let out = run_static(&single, Clairvoyance::Clairvoyant, DoubleCommit);
+        assert!(out.termination.is_completed());
+        assert_eq!(out.rejected_actions.len(), 1);
+        assert!(matches!(
+            out.rejected_actions[0].fault,
+            ActionFault::DuplicateOrderedStart { id: JobId(0) }
+        ));
+        assert!(out.is_feasible(), "first commitment still honored");
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(2.0)));
+    }
+
+    #[test]
+    fn environment_fault_terminates_with_partial_outcome() {
+        /// Releases one good job, then one whose deadline precedes arrival.
+        struct BadEnv {
+            step: u8,
+        }
+        impl Environment for BadEnv {
+            fn clairvoyance(&self) -> Clairvoyance {
+                Clairvoyance::Clairvoyant
+            }
+            fn next_release_time(&mut self, _world: &World) -> Option<Time> {
+                match self.step {
+                    0 => Some(t(0.0)),
+                    1 => Some(t(1.0)),
+                    _ => None,
+                }
+            }
+            fn release_at(&mut self, now: Time, _world: &World) -> Vec<JobSpec> {
+                self.step += 1;
+                match self.step {
+                    1 => vec![JobSpec::fixed(now + dur(4.0), dur(1.0))],
+                    _ => vec![JobSpec::fixed(now - dur(0.5), dur(1.0))],
+                }
+            }
+        }
+        let out = run(BadEnv { step: 0 }, EagerTest);
+        assert!(matches!(
+            out.termination,
+            Termination::EnvironmentFault(EnvFault::DeadlineBeforeArrival { .. })
+        ));
+        assert!(!out.is_clean());
+        // The first (legal) job made it into the partial outcome.
+        assert!(!out.instance.is_empty());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(0.0)));
     }
 
     #[test]

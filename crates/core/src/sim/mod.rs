@@ -10,7 +10,10 @@ pub mod sched;
 pub mod trace;
 pub mod world;
 
-pub use engine::{run, run_static, run_with_config, SimConfig, SimOutcome, Violation};
+pub use engine::{
+    run, run_static, run_with_config, ActionFault, EnvFault, RejectedAction, SimConfig,
+    SimOutcome, Termination, Violation,
+};
 pub use env::{geometric_class, Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec, StaticEnv};
 pub use sched::{Arrival, Ctx, OnlineScheduler};
 pub use trace::{render_trace, TraceEvent, TraceKind};

@@ -60,6 +60,13 @@ impl<'a> Ctx<'a> {
         self.actions
     }
 
+    /// Drains the actions requested so far, leaving the sink empty. Used by
+    /// [`crate::faults::ChaosScheduler`] to intercept and perturb an inner
+    /// scheduler's actions before the engine sees them.
+    pub(crate) fn take_actions(&mut self) -> Vec<Action> {
+        std::mem::take(&mut self.actions)
+    }
+
     /// Current simulation time.
     pub fn now(&self) -> Time {
         self.world.now()

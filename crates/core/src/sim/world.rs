@@ -207,24 +207,55 @@ impl World {
         let JobStatus::Running { start } = rec.status else {
             panic!("completing a job that is not running: {id}");
         };
-        let length = rec.length.expect("completed job must have a ruled length");
+        let Some(length) = rec.length else {
+            panic!("completed job {id} must have a ruled length");
+        };
         rec.status = JobStatus::Completed { start, length };
         self.running.remove(&id);
     }
 
     /// Materializes the final state as a static [`Instance`] (requires every
-    /// job's length to be known, which holds at the end of a run).
+    /// job's length to be known, which holds at the end of a completed run).
+    ///
+    /// # Panics
+    /// Panics if any job's length is still unruled; use
+    /// [`World::to_partial_instance`] for aborted runs.
     pub fn to_instance(&self) -> Instance {
-        self.jobs
+        let (inst, unresolved) = self.to_partial_instance();
+        if let Some(&id) = unresolved.first() {
+            panic!("length of {id} still unruled at end of run");
+        }
+        inst
+    }
+
+    /// Materializes the state as a static [`Instance`] even when some
+    /// adaptive lengths were never ruled (a run aborted by an event cap or
+    /// an environment fault). Jobs without a ruled length get a placeholder:
+    /// the time they have been observed running (for running jobs), or the
+    /// smallest positive duration (for jobs that never started). The second
+    /// return value lists the ids whose lengths are placeholders.
+    pub fn to_partial_instance(&self) -> (Instance, Vec<JobId>) {
+        let mut unresolved = Vec::new();
+        let inst = self
+            .jobs
             .iter()
-            .map(|r| {
-                Job::new(
-                    r.arrival,
-                    r.deadline,
-                    r.length.expect("all lengths ruled by end of run"),
-                )
+            .enumerate()
+            .map(|(i, r)| {
+                let length = match r.length {
+                    Some(p) => p,
+                    None => {
+                        unresolved.push(JobId(i as u32));
+                        let elapsed = match r.status {
+                            JobStatus::Running { start } => self.now - start,
+                            _ => Dur::ZERO,
+                        };
+                        elapsed.max(Dur::new(f64::MIN_POSITIVE))
+                    }
+                };
+                Job::new(r.arrival, r.deadline, length)
             })
-            .collect()
+            .collect();
+        (inst, unresolved)
     }
 }
 
@@ -273,6 +304,32 @@ mod tests {
         let mut w = World::new(Clairvoyance::NonClairvoyant);
         let a = w.release(t(0.0), t(2.0), Some(dur(1.0)));
         w.mark_completed(a);
+    }
+
+    #[test]
+    fn partial_instance_substitutes_unruled_lengths() {
+        let mut w = World::new(Clairvoyance::NonClairvoyant);
+        let a = w.release(t(0.0), t(2.0), Some(dur(1.0)));
+        let b = w.release(t(0.0), t(3.0), None); // adaptive, never ruled
+        let c = w.release(t(0.0), t(9.0), None); // adaptive, started
+        w.mark_started(a, t(0.0));
+        w.mark_started(c, t(1.0));
+        w.advance_to(t(4.0));
+        let (inst, unresolved) = w.to_partial_instance();
+        assert_eq!(inst.len(), 3);
+        assert_eq!(unresolved, vec![b, c]);
+        assert_eq!(inst.job(a).length(), dur(1.0));
+        // Running job: observed elapsed time is the best lower bound.
+        assert_eq!(inst.job(c).length(), dur(3.0));
+        assert!(inst.job(b).length().is_positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "still unruled")]
+    fn to_instance_rejects_unruled_lengths() {
+        let mut w = World::new(Clairvoyance::NonClairvoyant);
+        w.release(t(0.0), t(2.0), None);
+        let _ = w.to_instance();
     }
 
     #[test]

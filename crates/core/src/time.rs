@@ -66,8 +66,9 @@ macro_rules! impl_finite_newtype {
         impl Ord for $name {
             #[inline]
             fn cmp(&self, other: &Self) -> Ordering {
-                // Finiteness is enforced at construction, so partial_cmp is total.
-                self.0.partial_cmp(&other.0).expect("finite values always compare")
+                // Finiteness is enforced at construction, so partial_cmp is
+                // total; the fallback is unreachable but keeps this panic-free.
+                self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal)
             }
         }
 
@@ -134,13 +135,27 @@ impl Time {
 impl Dur {
     /// Ratio of two durations.
     ///
+    /// Prefer [`Dur::checked_ratio`] when `other` may legitimately be zero
+    /// (e.g. degenerate workloads with equal min/max lengths of zero laxity).
+    ///
     /// # Panics
     /// Panics if `other` is zero.
     #[inline]
     #[track_caller]
     pub fn ratio(self, other: Dur) -> f64 {
-        assert!(other.0 != 0.0, "division by zero duration");
-        self.0 / other.0
+        match self.checked_ratio(other) {
+            Some(r) => r,
+            None => panic!("division by zero duration"),
+        }
+    }
+
+    /// Ratio of two durations, or `None` when `other` is zero (the checked
+    /// companion of [`Dur::ratio`]). Use this wherever the denominator comes
+    /// from data — e.g. `μ = max/min` over a workload whose minimum length
+    /// could be arbitrarily small or a degenerate zero.
+    #[inline]
+    pub fn checked_ratio(self, other: Dur) -> Option<f64> {
+        (other.0 != 0.0).then(|| self.0 / other.0)
     }
 
     /// Whether this duration is strictly positive.
@@ -319,6 +334,13 @@ mod tests {
     #[should_panic(expected = "division by zero")]
     fn zero_ratio_panics() {
         let _ = dur(1.0).ratio(Dur::ZERO);
+    }
+
+    #[test]
+    fn checked_ratio_guards_zero() {
+        assert_eq!(dur(1.0).checked_ratio(Dur::ZERO), None);
+        assert_eq!(dur(6.0).checked_ratio(dur(3.0)), Some(2.0));
+        assert_eq!(Dur::ZERO.checked_ratio(dur(3.0)), Some(0.0));
     }
 
     #[test]

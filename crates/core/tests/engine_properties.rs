@@ -3,20 +3,21 @@
 //! representative scheduler behaviors.
 
 use fjs_core::prelude::*;
-use proptest::prelude::*;
+use fjs_prng::{check, SmallRng};
 
-/// Strategy: a static instance with bounded integer-ish parameters.
-fn instance_strategy() -> impl Strategy<Value = Instance> {
-    prop::collection::vec((0u32..50, 0u32..20, 1u32..10), 1..25).prop_map(|trips| {
-        Instance::new(
-            trips
-                .into_iter()
-                .map(|(a, lax, p)| {
-                    Job::adp(a as f64 * 0.5, (a + lax) as f64 * 0.5, p as f64 * 0.5)
-                })
-                .collect(),
-        )
-    })
+/// Random static instance with bounded integer-ish parameters.
+fn random_instance(rng: &mut SmallRng) -> Instance {
+    let n = rng.usize_range(1, 25);
+    Instance::new(
+        (0..n)
+            .map(|_| {
+                let a = rng.u64_below(50) as f64;
+                let lax = rng.u64_below(20) as f64;
+                let p = 1.0 + rng.u64_below(9) as f64;
+                Job::adp(a * 0.5, (a + lax) * 0.5, p * 0.5)
+            })
+            .collect(),
+    )
 }
 
 /// Starts each job at a deterministic fraction of its window (parameterized
@@ -43,55 +44,57 @@ impl OnlineScheduler for FractionStarter {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Any window fraction yields a feasible schedule; the reported span
-    /// equals the independently recomputed union measure.
-    #[test]
-    fn fraction_starters_are_feasible(inst in instance_strategy(), frac in 0.0f64..=1.0) {
+/// Any window fraction yields a feasible schedule; the reported span
+/// equals the independently recomputed union measure.
+#[test]
+fn fraction_starters_are_feasible() {
+    check::forall(128, |rng| {
+        let inst = random_instance(rng);
+        let frac = rng.f64_range_inclusive(0.0, 1.0);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, FractionStarter(frac));
-        prop_assert!(out.is_feasible());
-        prop_assert!(out.schedule.validate(&out.instance).is_ok());
-        prop_assert_eq!(out.span, out.schedule.span(&out.instance));
+        assert!(out.is_feasible());
+        assert!(out.schedule.validate(&out.instance).is_ok());
+        assert_eq!(out.span, out.schedule.span(&out.instance));
         // Start times respect the fraction (up to the window arithmetic).
         for (id, job) in out.instance.iter() {
             let s = out.schedule.start(id).unwrap();
-            prop_assert!(s >= job.arrival() && s <= job.deadline());
+            assert!(s >= job.arrival() && s <= job.deadline());
         }
-    }
+    });
+}
 
-    /// The engine's released instance is a permutation of the source
-    /// instance (by arrival sort), preserving total work and μ.
-    #[test]
-    fn materialized_instance_is_a_permutation(inst in instance_strategy()) {
+/// The engine's released instance is a permutation of the source
+/// instance (by arrival sort), preserving total work and μ.
+#[test]
+fn materialized_instance_is_a_permutation() {
+    check::forall(128, |rng| {
+        let inst = random_instance(rng);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, FractionStarter(0.0));
-        prop_assert_eq!(out.instance.len(), inst.len());
+        assert_eq!(out.instance.len(), inst.len());
         let tol = 1e-9 * (1.0 + inst.total_work().get());
-        prop_assert!((out.instance.total_work() - inst.total_work()).get().abs() < tol);
-        prop_assert_eq!(out.instance.mu(), inst.mu());
+        assert!((out.instance.total_work() - inst.total_work()).get().abs() < tol);
+        assert_eq!(out.instance.mu(), inst.mu());
         // Arrivals sorted.
         let arrivals: Vec<_> = out.instance.jobs().iter().map(|j| j.arrival()).collect();
-        prop_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
-    }
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+    });
+}
 
-    /// Eager's span equals the measure of arrival-anchored intervals, and
-    /// Lazy's the deadline-anchored ones — engine agrees with direct
-    /// schedule construction.
-    #[test]
-    fn engine_matches_direct_schedule_construction(inst in instance_strategy()) {
+/// Eager's span equals the measure of arrival-anchored intervals, and
+/// Lazy's the deadline-anchored ones — engine agrees with direct
+/// schedule construction.
+#[test]
+fn engine_matches_direct_schedule_construction() {
+    check::forall(128, |rng| {
+        let inst = random_instance(rng);
         let eager = run_static(&inst, Clairvoyance::NonClairvoyant, FractionStarter(0.0));
-        let direct_eager = Schedule::from_starts(
-            inst.len(),
-            inst.iter().map(|(id, j)| (id, j.arrival())),
-        );
-        prop_assert_eq!(eager.span, direct_eager.span(&inst));
+        let direct_eager =
+            Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.arrival())));
+        assert_eq!(eager.span, direct_eager.span(&inst));
 
         let lazy = run_static(&inst, Clairvoyance::NonClairvoyant, FractionStarter(1.0));
-        let direct_lazy = Schedule::from_starts(
-            inst.len(),
-            inst.iter().map(|(id, j)| (id, j.deadline())),
-        );
-        prop_assert_eq!(lazy.span, direct_lazy.span(&inst));
-    }
+        let direct_lazy =
+            Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
+        assert_eq!(lazy.span, direct_lazy.span(&inst));
+    });
 }

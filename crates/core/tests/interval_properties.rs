@@ -3,13 +3,19 @@
 
 use fjs_core::interval::{Interval, IntervalSet};
 use fjs_core::time::{t, Dur};
-use proptest::prelude::*;
+use fjs_prng::{check, SmallRng};
 
-/// Strategy: intervals with integer-quarter endpoints in [0, 100).
-fn interval_strategy() -> impl Strategy<Value = Interval> {
-    (0u32..400, 1u32..80).prop_map(|(lo, len)| {
-        Interval::new(t(lo as f64 / 4.0), t((lo + len) as f64 / 4.0))
-    })
+/// Random interval with integer-quarter endpoints in [0, 100).
+fn random_interval(rng: &mut SmallRng) -> Interval {
+    let lo = rng.u64_below(400) as u32;
+    let len = 1 + rng.u64_below(79) as u32;
+    Interval::new(t(lo as f64 / 4.0), t((lo + len) as f64 / 4.0))
+}
+
+/// A vec of up to `max` random intervals (may be empty when `min` is 0).
+fn random_intervals(rng: &mut SmallRng, min: usize, max: usize) -> Vec<Interval> {
+    let n = rng.usize_range(min, max + 1);
+    (0..n).map(|_| random_interval(rng)).collect()
 }
 
 /// Naive measure: scanline over quarter-unit cells.
@@ -25,79 +31,90 @@ fn naive_measure(ivs: &[Interval]) -> f64 {
     covered as f64 / 4.0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn measure_matches_naive_scanline(ivs in prop::collection::vec(interval_strategy(), 0..30)) {
+#[test]
+fn measure_matches_naive_scanline() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 29);
         let set: IntervalSet = ivs.iter().copied().collect();
         let expected = naive_measure(&ivs);
-        prop_assert!(
+        assert!(
             (set.measure().get() - expected).abs() < 1e-9,
-            "set {} measure {} vs naive {}", set, set.measure(), expected
+            "set {} measure {} vs naive {}",
+            set,
+            set.measure(),
+            expected
         );
-    }
+    });
+}
 
-    #[test]
-    fn segments_are_sorted_disjoint_nonempty(ivs in prop::collection::vec(interval_strategy(), 0..30)) {
+#[test]
+fn segments_are_sorted_disjoint_nonempty() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 29);
         let set: IntervalSet = ivs.iter().copied().collect();
         let segs = set.segments();
         for s in segs {
-            prop_assert!(!s.is_empty());
+            assert!(!s.is_empty());
         }
         for w in segs.windows(2) {
             // Strict gap between consecutive segments (touching merges).
-            prop_assert!(w[0].hi() < w[1].lo(), "{} then {}", w[0], w[1]);
+            assert!(w[0].hi() < w[1].lo(), "{} then {}", w[0], w[1]);
         }
-    }
+    });
+}
 
-    #[test]
-    fn insertion_order_is_irrelevant(ivs in prop::collection::vec(interval_strategy(), 0..20)) {
+#[test]
+fn insertion_order_is_irrelevant() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 19);
         let forward: IntervalSet = ivs.iter().copied().collect();
         let backward: IntervalSet = ivs.iter().rev().copied().collect();
-        prop_assert_eq!(forward, backward);
-    }
+        assert_eq!(forward, backward);
+    });
+}
 
-    #[test]
-    fn union_is_monotone_and_subadditive(
-        a in prop::collection::vec(interval_strategy(), 0..15),
-        b in prop::collection::vec(interval_strategy(), 0..15),
-    ) {
+#[test]
+fn union_is_monotone_and_subadditive() {
+    check::forall(256, |rng| {
+        let a = random_intervals(rng, 0, 14);
+        let b = random_intervals(rng, 0, 14);
         let sa: IntervalSet = a.iter().copied().collect();
         let sb: IntervalSet = b.iter().copied().collect();
         let mut su = sa.clone();
         su.union_with(&sb);
-        prop_assert!(su.measure() >= sa.measure());
-        prop_assert!(su.measure() >= sb.measure());
-        prop_assert!(su.measure() <= sa.measure() + sb.measure() + Dur::new(1e-12));
+        assert!(su.measure() >= sa.measure());
+        assert!(su.measure() >= sb.measure());
+        assert!(su.measure() <= sa.measure() + sb.measure() + Dur::new(1e-12));
         // Idempotence.
         let mut twice = su.clone();
         twice.union_with(&sb);
-        prop_assert_eq!(twice, su);
-    }
+        assert_eq!(twice, su);
+    });
+}
 
-    #[test]
-    fn contains_agrees_with_membership(
-        ivs in prop::collection::vec(interval_strategy(), 0..20),
-        probe in 0u32..500,
-    ) {
+#[test]
+fn contains_agrees_with_membership() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 19);
+        let probe = rng.u64_below(500) as u32;
         let set: IntervalSet = ivs.iter().copied().collect();
         let point = t(probe as f64 / 4.0 + 0.125);
         let direct = ivs.iter().any(|iv| iv.contains(point));
-        prop_assert_eq!(set.contains(point), direct);
-        prop_assert_eq!(set.segment_containing(point).is_some(), direct);
-    }
+        assert_eq!(set.contains(point), direct);
+        assert_eq!(set.segment_containing(point).is_some(), direct);
+    });
+}
 
-    #[test]
-    fn measure_within_partitions(
-        ivs in prop::collection::vec(interval_strategy(), 0..20),
-        cut in 1u32..499,
-    ) {
+#[test]
+fn measure_within_partitions() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 19);
+        let cut = 1 + rng.u64_below(498) as u32;
         // Splitting the axis at `cut` partitions the measure.
         let set: IntervalSet = ivs.iter().copied().collect();
         let left = Interval::new(t(0.0), t(cut as f64 / 4.0));
         let right = Interval::new(t(cut as f64 / 4.0), t(1000.0));
         let total = set.measure_within(&left) + set.measure_within(&right);
-        prop_assert!((total - set.measure()).get().abs() < 1e-9);
-    }
+        assert!((total - set.measure()).get().abs() < 1e-9);
+    });
 }

@@ -29,47 +29,63 @@ pub use improve::{coordinate_descent, upper_bound_span, upper_bound_span_randomi
 mod proptests {
     use super::*;
     use fjs_core::job::{Instance, Job};
-    use proptest::prelude::*;
+    use fjs_prng::{check, SmallRng};
 
     /// Random small integer instance: n ≤ 5 jobs, horizon ≤ ~14.
-    fn small_int_instance() -> impl Strategy<Value = Instance> {
-        prop::collection::vec((0i64..8, 0i64..5, 1i64..5), 1..=5).prop_map(|trips| {
-            Instance::new(
-                trips
-                    .into_iter()
-                    .map(|(a, lax, p)| Job::adp(a as f64, (a + lax) as f64, p as f64))
-                    .collect(),
-            )
-        })
+    fn small_int_instance(rng: &mut SmallRng) -> Instance {
+        let n = rng.usize_range(1, 6);
+        Instance::new(
+            (0..n)
+                .map(|_| {
+                    let a = rng.u64_below(8) as f64;
+                    let lax = rng.u64_below(5) as f64;
+                    let p = 1.0 + rng.u64_below(4) as f64;
+                    Job::adp(a, a + lax, p)
+                })
+                .collect(),
+        )
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn dp_matches_exhaustive(inst in small_int_instance()) {
+    #[test]
+    fn dp_matches_exhaustive() {
+        check::forall(64, |rng| {
+            let inst = small_int_instance(rng);
             let dp = optimal_span_dp(&inst).unwrap();
             let ex = optimal_span_exhaustive(&inst).unwrap();
-            prop_assert_eq!(dp, ex);
-        }
+            assert_eq!(dp, ex);
+        });
+    }
 
-        #[test]
-        fn lower_bounds_never_exceed_optimum(inst in small_int_instance()) {
+    #[test]
+    fn lower_bounds_never_exceed_optimum() {
+        check::forall(64, |rng| {
+            let inst = small_int_instance(rng);
             let opt = optimal_span_dp(&inst).unwrap();
-            prop_assert!(best_lower_bound(&inst) <= opt,
-                "LB {} > OPT {} on {:?}", best_lower_bound(&inst), opt, inst);
-        }
+            assert!(
+                best_lower_bound(&inst) <= opt,
+                "LB {} > OPT {} on {:?}",
+                best_lower_bound(&inst),
+                opt,
+                inst
+            );
+        });
+    }
 
-        #[test]
-        fn upper_bounds_never_undershoot_optimum(inst in small_int_instance()) {
+    #[test]
+    fn upper_bounds_never_undershoot_optimum() {
+        check::forall(64, |rng| {
+            let inst = small_int_instance(rng);
             let opt = optimal_span_dp(&inst).unwrap();
             let ub = upper_bound_span(&inst, 50);
-            prop_assert!(ub.span >= opt);
-            prop_assert!(ub.schedule.validate(&inst).is_ok());
-        }
+            assert!(ub.span >= opt);
+            assert!(ub.schedule.validate(&inst).is_ok());
+        });
+    }
 
-        #[test]
-        fn chain_bound_is_monotone_under_job_removal(inst in small_int_instance()) {
+    #[test]
+    fn chain_bound_is_monotone_under_job_removal() {
+        check::forall(64, |rng| {
+            let inst = small_int_instance(rng);
             // Removing a job cannot increase the chain bound.
             let full = lb_chain(&inst);
             for skip in 0..inst.len() {
@@ -80,8 +96,8 @@ mod proptests {
                     .filter(|(i, _)| *i != skip)
                     .map(|(_, j)| *j)
                     .collect();
-                prop_assert!(lb_chain(&reduced) <= full);
+                assert!(lb_chain(&reduced) <= full);
             }
-        }
+        });
     }
 }

@@ -1,0 +1,79 @@
+//! Minimal `forall`-style property harness.
+//!
+//! Each case gets its own [`SmallRng`] derived from a base
+//! seed and the case index, so a failing case is reproducible in isolation:
+//! rerun with [`forall_seeded`] passing the printed base seed and start at
+//! the printed case index.
+//!
+//! Properties signal failure by panicking (use `assert!`/`assert_eq!` as in
+//! any test); the harness wraps each case so the panic message is prefixed
+//! with the case number and seed before propagating.
+
+use crate::SmallRng;
+
+/// Default base seed for [`forall`]. Fixed so test runs are deterministic.
+pub const DEFAULT_BASE_SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// Runs `f` for `cases` independently-seeded cases with the default base
+/// seed. Panics (propagating the property's own panic) on the first failing
+/// case, after printing the case index and seed for reproduction.
+pub fn forall(cases: usize, f: impl FnMut(&mut SmallRng)) {
+    forall_seeded(DEFAULT_BASE_SEED, cases, f);
+}
+
+/// [`forall`] with an explicit base seed.
+pub fn forall_seeded(base_seed: u64, cases: usize, mut f: impl FnMut(&mut SmallRng)) {
+    for case in 0..cases {
+        let seed = case_seed(base_seed, case);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "property failed at case {case}/{cases} \
+                 (base_seed={base_seed:#x}, case_seed={seed:#x})"
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Derives the per-case seed: a SplitMix64-style mix of base seed and index,
+/// so neighbouring cases get unrelated streams.
+pub fn case_seed(base_seed: u64, case: usize) -> u64 {
+    let mut z = base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forall_runs_every_case() {
+        let mut count = 0;
+        forall(50, |_| count += 1);
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn cases_get_distinct_seeds() {
+        let seeds: Vec<u64> = (0..100).map(|c| case_seed(DEFAULT_BASE_SEED, c)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
+    }
+
+    #[test]
+    fn failing_case_propagates_panic() {
+        let result = std::panic::catch_unwind(|| {
+            forall(10, |rng| {
+                // Fails eventually: a u64 below 4 hits 3 within 10 cases.
+                assert_ne!(rng.u64_below(4), 3);
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -22,6 +22,11 @@ use std::fmt;
 /// Why an audit rejected a schedule.
 #[derive(Clone, Debug, PartialEq)]
 pub enum AuditError {
+    /// A designated flag is not a job of the instance at all.
+    UnknownFlag {
+        /// The unknown id.
+        flag: JobId,
+    },
     /// A designated flag job does not start at its own deadline.
     FlagNotAtDeadline {
         /// The flag.
@@ -56,6 +61,9 @@ pub enum AuditError {
 impl fmt::Display for AuditError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            AuditError::UnknownFlag { flag } => {
+                write!(f, "flag {flag} is not a job of the instance")
+            }
             AuditError::FlagNotAtDeadline { flag } => {
                 write!(f, "flag {flag} does not start at its deadline")
             }
@@ -82,6 +90,12 @@ fn check_basics(
 ) -> Result<(), AuditError> {
     schedule.validate(inst).map_err(AuditError::Infeasible)?;
     for &flag in flags {
+        // Reject ids outside the instance before any indexed access, so
+        // audits degrade to a typed error on corrupt flag lists instead of
+        // panicking.
+        if flag.index() >= inst.len() {
+            return Err(AuditError::UnknownFlag { flag });
+        }
         if schedule.start(flag) != Some(inst.job(flag).deadline()) {
             return Err(AuditError::FlagNotAtDeadline { flag });
         }

@@ -24,6 +24,7 @@
 pub mod audit;
 pub mod baseline;
 pub mod batch;
+pub mod chaos;
 pub mod batch_plus;
 pub mod cdb;
 pub mod doubler;

@@ -141,6 +141,20 @@ impl SchedulerKind {
         all.extend(Self::clairvoyant_set());
         all
     }
+
+    /// Every registered scheduler configuration, including the extension
+    /// schedulers that head-to-head experiments omit. This is the population
+    /// the fault-injection harness exercises: anything buildable must
+    /// survive chaos.
+    pub fn registered_set() -> Vec<SchedulerKind> {
+        let mut all = Self::full_set();
+        all.extend([
+            SchedulerKind::RandomStart { seed: 42 },
+            SchedulerKind::Threshold { m: 4 },
+            SchedulerKind::SemiCdb,
+        ]);
+        all
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,83 @@
+//! Robustness properties of the audit layer: audits must return a typed
+//! [`AuditError`] — never panic — on arbitrary schedules and arbitrary
+//! (possibly out-of-range) flag lists. This is the audit-side analogue of
+//! the engine's panic-free degradation contract: auditors are run on
+//! untrusted scheduler output, so a corrupt schedule or flag list has to
+//! surface as a verdict, not a crash.
+
+use fjs_core::job::{Instance, Job, JobId};
+use fjs_core::schedule::Schedule;
+use fjs_core::time::t;
+use fjs_prng::{check, SmallRng};
+use fjs_schedulers::{audit_batch, audit_batch_plus, audit_profit, AuditError};
+
+fn random_instance(rng: &mut SmallRng) -> Instance {
+    let n = rng.usize_range(1, 10);
+    let jobs: Vec<Job> = (0..n)
+        .map(|_| {
+            let a = rng.u64_below(12) as f64 * 0.5;
+            let lax = rng.u64_below(8) as f64 * 0.5;
+            let p = 0.5 + rng.u64_below(6) as f64 * 0.5;
+            Job::adp(a, a + lax, p)
+        })
+        .collect();
+    Instance::new(jobs)
+}
+
+/// An arbitrary schedule: possibly wrongly sized, possibly incomplete,
+/// starts at arbitrary times with no regard for job windows.
+fn random_schedule(rng: &mut SmallRng, n: usize) -> Schedule {
+    let m = if rng.bool_with(0.2) { rng.usize_range(0, n + 3) } else { n };
+    let starts = (0..m).filter_map(|i| {
+        if rng.bool_with(0.85) {
+            Some((JobId(i as u32), t(rng.u64_below(40) as f64 * 0.5)))
+        } else {
+            None
+        }
+    });
+    // Collect before from_starts so the rng borrow ends first.
+    let starts: Vec<_> = starts.collect();
+    Schedule::from_starts(m, starts)
+}
+
+/// An arbitrary flag list: duplicates allowed, ids may exceed the instance.
+fn random_flags(rng: &mut SmallRng, n: usize) -> Vec<JobId> {
+    let k = rng.usize_range(0, 5);
+    (0..k).map(|_| JobId(rng.u64_below(n as u64 + 3) as u32)).collect()
+}
+
+/// Audits return `Result`, never panic, on arbitrary inputs.
+#[test]
+fn audits_never_panic_on_arbitrary_schedules_and_flags() {
+    check::forall(256, |rng| {
+        let inst = random_instance(rng);
+        let schedule = random_schedule(rng, inst.len());
+        let flags = random_flags(rng, inst.len());
+        let k = 1.0 + rng.f64_range(0.1, 4.0);
+        // The verdicts themselves are unconstrained; the property is that
+        // every call returns instead of unwinding.
+        let _ = audit_batch(&inst, &schedule, &flags);
+        let _ = audit_batch_plus(&inst, &schedule, &flags);
+        let _ = audit_profit(&inst, &schedule, &flags, k);
+    });
+}
+
+/// Out-of-range flags are reported as `UnknownFlag`, not an index panic —
+/// even when the schedule itself validates.
+#[test]
+fn out_of_range_flags_yield_unknown_flag() {
+    check::forall(64, |rng| {
+        let inst = random_instance(rng);
+        // A valid complete schedule: every job starts at its deadline.
+        let schedule =
+            Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
+        let bogus = JobId((inst.len() + rng.u64_below(4) as usize) as u32);
+        for res in [
+            audit_batch(&inst, &schedule, &[bogus]),
+            audit_batch_plus(&inst, &schedule, &[bogus]),
+            audit_profit(&inst, &schedule, &[bogus], 1.5),
+        ] {
+            assert_eq!(res, Err(AuditError::UnknownFlag { flag: bogus }));
+        }
+    });
+}

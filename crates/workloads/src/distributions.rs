@@ -5,7 +5,7 @@
 //! yields the same instance, which keeps experiments reproducible and lets
 //! parallel sweeps shard by seed.
 
-use rand::Rng;
+use fjs_prng::SmallRng;
 
 /// How job arrival times are produced.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -43,7 +43,7 @@ pub enum ArrivalProcess {
 
 impl ArrivalProcess {
     /// Generates `n` nondecreasing arrival times starting at 0.
-    pub fn sample<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<f64> {
+    pub fn sample(&self, n: usize, rng: &mut SmallRng) -> Vec<f64> {
         let mut out = Vec::with_capacity(n);
         match *self {
             ArrivalProcess::Poisson { rate } => {
@@ -51,7 +51,7 @@ impl ArrivalProcess {
                 let mut t = 0.0;
                 for _ in 0..n {
                     // Inverse-CDF exponential; guard the log away from 0.
-                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u: f64 = rng.f64_range(f64::EPSILON, 1.0);
                     t += -u.ln() / rate;
                     out.push(t);
                 }
@@ -67,7 +67,7 @@ impl ArrivalProcess {
                 assert!(rate > 0.0, "burst rate must be positive");
                 let mut t = 0.0;
                 while out.len() < n {
-                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u: f64 = rng.f64_range(f64::EPSILON, 1.0);
                     t += -u.ln() / rate;
                     for _ in 0..burst_size.min(n - out.len()) {
                         out.push(t);
@@ -82,11 +82,11 @@ impl ArrivalProcess {
                 let envelope = base_rate * (1.0 + amplitude);
                 let mut t = 0.0;
                 while out.len() < n {
-                    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u: f64 = rng.f64_range(f64::EPSILON, 1.0);
                     t += -u.ln() / envelope;
                     let rate =
                         base_rate * (1.0 + amplitude * (std::f64::consts::TAU * t / period).sin());
-                    if rng.gen_range(0.0..1.0) * envelope <= rate {
+                    if rng.f64_range(0.0, 1.0) * envelope <= rate {
                         out.push(t);
                     }
                 }
@@ -135,7 +135,7 @@ pub enum LengthLaw {
 
 impl LengthLaw {
     /// Draws one length.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
         match *self {
             LengthLaw::Fixed { value } => {
                 assert!(value > 0.0, "length must be positive");
@@ -146,13 +146,13 @@ impl LengthLaw {
                 if min == max {
                     min
                 } else {
-                    rng.gen_range(min..=max)
+                    rng.f64_range_inclusive(min, max)
                 }
             }
             LengthLaw::BoundedPareto { min, max, shape } => {
                 assert!(min > 0.0 && max > min && shape > 0.0, "invalid bounded Pareto");
                 // Inverse CDF of the bounded Pareto.
-                let u: f64 = rng.gen_range(0.0..1.0);
+                let u: f64 = rng.f64_range(0.0, 1.0);
                 let lo_a = min.powf(-shape);
                 let hi_a = max.powf(-shape);
                 (lo_a - u * (lo_a - hi_a)).powf(-1.0 / shape)
@@ -160,7 +160,7 @@ impl LengthLaw {
             LengthLaw::Bimodal { short, long, p_long } => {
                 assert!(short > 0.0 && long >= short, "need 0 < short <= long");
                 assert!((0.0..=1.0).contains(&p_long), "p_long must be a probability");
-                if rng.gen_bool(p_long) {
+                if rng.bool_with(p_long) {
                     long
                 } else {
                     short
@@ -206,7 +206,7 @@ pub enum LaxityModel {
 
 impl LaxityModel {
     /// Draws one laxity for a job of length `p`.
-    pub fn sample<R: Rng>(&self, p: f64, rng: &mut R) -> f64 {
+    pub fn sample(&self, p: f64, rng: &mut SmallRng) -> f64 {
         match *self {
             LaxityModel::Rigid => 0.0,
             LaxityModel::Constant { value } => {
@@ -222,7 +222,7 @@ impl LaxityModel {
                 if min == max {
                     min
                 } else {
-                    rng.gen_range(min..=max)
+                    rng.f64_range_inclusive(min, max)
                 }
             }
         }
@@ -232,8 +232,7 @@ impl LaxityModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use fjs_prng::SmallRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(42)

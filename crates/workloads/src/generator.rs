@@ -2,8 +2,7 @@
 
 use crate::distributions::{ArrivalProcess, LaxityModel, LengthLaw};
 use fjs_core::job::{Instance, Job};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use fjs_prng::SmallRng;
 
 /// A complete description of a synthetic workload.
 ///

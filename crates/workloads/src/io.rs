@@ -66,7 +66,10 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
     let mut jobs = Vec::new();
     let mut sizes: Vec<f64> = Vec::new();
     let mut any_without_size = false;
+    let mut seen_data = false;
 
+    // `str::lines` splits on both `\n` and `\r\n`, and `trim` removes any
+    // stray `\r`, so CRLF traces parse identically to LF ones.
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
         let line = raw.trim();
@@ -74,10 +77,12 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
             continue;
         }
         let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        // Skip a header line (no field parses as a number).
-        if idx == 0 && fields.iter().all(|f| f.parse::<f64>().is_err()) {
+        // Skip a header line: the first content line, no field numeric.
+        if !seen_data && fields.iter().all(|f| f.parse::<f64>().is_err()) {
+            seen_data = true;
             continue;
         }
+        seen_data = true;
         if fields.len() != 3 && fields.len() != 4 {
             return Err(TraceError::BadArity { line: line_no, cols: fields.len() });
         }
@@ -93,19 +98,12 @@ pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
             nums.push(v);
         }
         let (a, d, p) = (nums[0], nums[1], nums[2]);
-        if d < a {
-            return Err(TraceError::BadJob {
-                line: line_no,
-                reason: format!("deadline {d} precedes arrival {a}"),
-            });
-        }
-        if p <= 0.0 {
-            return Err(TraceError::BadJob {
-                line: line_no,
-                reason: format!("non-positive length {p}"),
-            });
-        }
-        jobs.push(Job::adp(a, d, p));
+        // The fallible job constructor owns the semantic checks (deadline
+        // ordering, positive finite length), so the CLI and the library
+        // agree on what a valid job is.
+        let job = Job::try_adp(a, d, p)
+            .map_err(|e| TraceError::BadJob { line: line_no, reason: e.to_string() })?;
+        jobs.push(job);
         if let Some(&s) = nums.get(3) {
             if !(s > 0.0 && s <= 1.0) {
                 return Err(TraceError::BadJob {
@@ -155,6 +153,33 @@ mod tests {
         assert_eq!(trace.instance.jobs()[1].arrival(), t(1.5));
         assert_eq!(trace.instance.jobs()[1].length(), dur(3.0));
         assert!(trace.sizes.is_none());
+    }
+
+    #[test]
+    fn parses_crlf_traces() {
+        let trace = parse_trace("arrival,deadline,length\r\n0,5,2\r\n\r\n# c\r\n1.5,9,3\r\n").unwrap();
+        assert_eq!(trace.instance.len(), 2);
+        assert_eq!(trace.instance.jobs()[1].arrival(), t(1.5));
+    }
+
+    #[test]
+    fn header_after_comments_is_still_skipped() {
+        let trace = parse_trace("# exported trace\n\narrival,deadline,length\n0,5,2\n").unwrap();
+        assert_eq!(trace.instance.len(), 1);
+    }
+
+    #[test]
+    fn header_not_skipped_after_data() {
+        // A non-numeric line after real data is an error, not a header.
+        assert!(matches!(parse_trace("0,5,2\na,b,c\n"), Err(TraceError::BadNumber { line: 2, .. })));
+    }
+
+    #[test]
+    fn errors_carry_job_constructor_reasons() {
+        let err = parse_trace("5,1,2\n").unwrap_err();
+        assert!(err.to_string().contains("precedes arrival"), "{err}");
+        let err = parse_trace("0,5,-1\n").unwrap_err();
+        assert!(err.to_string().contains("must be positive"), "{err}");
     }
 
     #[test]

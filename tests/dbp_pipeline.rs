@@ -6,7 +6,7 @@ use fjs::dbp::{
 };
 use fjs::prelude::*;
 use fjs::workloads::Scenario;
-use proptest::prelude::*;
+use fjs_prng::check;
 
 #[test]
 fn every_scheduler_packer_combination_is_capacity_safe() {
@@ -50,33 +50,36 @@ fn classified_first_fit_respects_classes() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Usage is sandwiched: span ≤ usage ≤ total work (each bin's usage is
-    /// at most the sum of its items' durations), and items small enough to
-    /// all fit together collapse to a single bin with usage = span.
-    #[test]
-    fn usage_sandwich_and_tiny_items_share_one_bin(seed in 0u64..300, n in 10usize..80) {
+/// Usage is sandwiched: span ≤ usage ≤ total work (each bin's usage is
+/// at most the sum of its items' durations), and items small enough to
+/// all fit together collapse to a single bin with usage = span.
+#[test]
+fn usage_sandwich_and_tiny_items_share_one_bin() {
+    check::forall(32, |rng| {
+        let seed = rng.u64_below(300);
+        let n = rng.usize_range(10, 80);
         let inst = Scenario::SlackRich.generate(n, seed);
         let out = SchedulerKind::BatchPlus.run_on(&inst);
 
         let sizes = deterministic_sizes(n, 0.1, 0.9, seed);
         let items = outcome_items(&out, &sizes);
         let packing = pack(&items, Packer::FirstFit);
-        prop_assert!(packing.total_usage >= out.span - dur(1e-9));
-        prop_assert!(packing.total_usage <= out.instance.total_work() + dur(1e-9));
+        assert!(packing.total_usage >= out.span - dur(1e-9));
+        assert!(packing.total_usage <= out.instance.total_work() + dur(1e-9));
 
         let tiny = vec![1.0 / n as f64; n];
         let tiny_items = outcome_items(&out, &tiny);
         let tiny_packing = pack(&tiny_items, Packer::FirstFit);
-        prop_assert_eq!(tiny_packing.num_bins(), 1);
-        prop_assert_eq!(tiny_packing.total_usage, out.span);
-    }
+        assert_eq!(tiny_packing.num_bins(), 1);
+        assert_eq!(tiny_packing.total_usage, out.span);
+    });
+}
 
-    /// Unit-size items can never share bins: usage equals total work.
-    #[test]
-    fn unit_sizes_force_one_job_per_bin(seed in 0u64..300) {
+/// Unit-size items can never share bins: usage equals total work.
+#[test]
+fn unit_sizes_force_one_job_per_bin() {
+    check::forall(32, |rng| {
+        let seed = rng.u64_below(300);
         let inst = Scenario::RigidLegacy.generate(40, seed);
         let out = SchedulerKind::Eager.run_on(&inst);
         let sizes = vec![1.0; 40];
@@ -85,6 +88,11 @@ proptest! {
         // Summation order differs between per-bin accounting and total
         // work, so compare with a tolerance.
         let diff = (packing.total_usage - out.instance.total_work()).get().abs();
-        prop_assert!(diff < 1e-6, "usage {} vs work {}", packing.total_usage, out.instance.total_work());
-    }
+        assert!(
+            diff < 1e-6,
+            "usage {} vs work {}",
+            packing.total_usage,
+            out.instance.total_work()
+        );
+    });
 }

@@ -9,107 +9,161 @@ use fjs::schedulers::{
     OPTIMAL_K,
 };
 use fjs::workloads::{ArrivalProcess, LaxityModel, LengthLaw, WorkloadSpec};
-use proptest::prelude::*;
+use fjs_prng::{check, SmallRng};
 
-/// Strategy: a workload spec with bounded parameters.
-fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        5usize..60,
-        prop_oneof![
-            (0.2f64..3.0).prop_map(|rate| ArrivalProcess::Poisson { rate }),
-            (0.0f64..4.0).prop_map(|gap| ArrivalProcess::Uniform { gap }),
-            (1usize..6, 0.1f64..1.0)
-                .prop_map(|(b, r)| ArrivalProcess::Bursty { burst_size: b, rate: r }),
-        ],
-        prop_oneof![
-            (1.0f64..4.0).prop_map(|v| LengthLaw::Fixed { value: v }),
-            (1.0f64..3.0, 0.0f64..9.0)
-                .prop_map(|(lo, extra)| LengthLaw::Uniform { min: lo, max: lo + extra }),
-            (1.0f64..2.0, 1.0f64..30.0, 0.05f64..0.95).prop_map(|(s, mult, p)| {
-                LengthLaw::Bimodal { short: s, long: s * (1.0 + mult), p_long: p }
-            }),
-        ],
-        prop_oneof![
-            Just(LaxityModel::Rigid),
-            (0.0f64..20.0).prop_map(|v| LaxityModel::Constant { value: v }),
-            (0.0f64..4.0).prop_map(|f| LaxityModel::Proportional { factor: f }),
-        ],
-    )
-        .prop_map(|(n, arrivals, lengths, laxity)| WorkloadSpec { n, arrivals, lengths, laxity })
+/// Random workload spec with bounded parameters.
+fn random_spec(rng: &mut SmallRng) -> WorkloadSpec {
+    let n = rng.usize_range(5, 60);
+    let arrivals = match rng.u64_below(3) {
+        0 => ArrivalProcess::Poisson { rate: rng.f64_range(0.2, 3.0) },
+        1 => ArrivalProcess::Uniform { gap: rng.f64_range(0.0, 4.0) },
+        _ => ArrivalProcess::Bursty {
+            burst_size: rng.usize_range(1, 6),
+            rate: rng.f64_range(0.1, 1.0),
+        },
+    };
+    let lengths = match rng.u64_below(3) {
+        0 => LengthLaw::Fixed { value: rng.f64_range(1.0, 4.0) },
+        1 => {
+            let lo = rng.f64_range(1.0, 3.0);
+            LengthLaw::Uniform { min: lo, max: lo + rng.f64_range(0.0, 9.0) }
+        }
+        _ => {
+            let s = rng.f64_range(1.0, 2.0);
+            LengthLaw::Bimodal {
+                short: s,
+                long: s * (1.0 + rng.f64_range(1.0, 30.0)),
+                p_long: rng.f64_range(0.05, 0.95),
+            }
+        }
+    };
+    let laxity = match rng.u64_below(3) {
+        0 => LaxityModel::Rigid,
+        1 => LaxityModel::Constant { value: rng.f64_range(0.0, 20.0) },
+        _ => LaxityModel::Proportional { factor: rng.f64_range(0.0, 4.0) },
+    };
+    WorkloadSpec { n, arrivals, lengths, laxity }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Random spec materialized with a random seed.
+fn random_instance(rng: &mut SmallRng) -> Instance {
+    let spec = random_spec(rng);
+    spec.generate(rng.u64_below(1000))
+}
 
-    /// Feasibility + validity + optimal-bracket sandwich for every scheduler.
-    #[test]
-    fn schedulers_feasible_and_bracketed(spec in spec_strategy(), seed in 0u64..1000) {
-        let inst = spec.generate(seed);
+/// Feasibility + validity + optimal-bracket sandwich for every scheduler.
+#[test]
+fn schedulers_feasible_and_bracketed() {
+    check::forall(48, |rng| {
+        let inst = random_instance(rng);
         let lb = fjs::opt::best_lower_bound(&inst);
         for kind in SchedulerKind::full_set() {
             let out = kind.run_on(&inst);
-            prop_assert!(out.is_feasible(), "{} violated a deadline", kind.label());
-            prop_assert!(out.schedule.validate(&out.instance).is_ok(), "{}", kind.label());
+            assert!(out.is_feasible(), "{} violated a deadline", kind.label());
+            assert!(out.schedule.validate(&out.instance).is_ok(), "{}", kind.label());
             // Tolerate f64 summation-order noise (different orders of
             // interval accumulation) with a tiny relative epsilon.
             let tol = 1e-9 * (1.0 + lb.get().abs());
-            prop_assert!(
+            assert!(
                 out.span.get() >= lb.get() - tol,
                 "{}: span {} below the certified OPT lower bound {}",
-                kind.label(), out.span, lb
+                kind.label(),
+                out.span,
+                lb
             );
         }
-    }
+    });
+}
 
-    /// Runs are bit-for-bit deterministic.
-    #[test]
-    fn runs_are_deterministic(spec in spec_strategy(), seed in 0u64..1000) {
-        let inst = spec.generate(seed);
+/// Runs are bit-for-bit deterministic.
+#[test]
+fn runs_are_deterministic() {
+    check::forall(48, |rng| {
+        let inst = random_instance(rng);
         for kind in SchedulerKind::full_set() {
             let a = kind.run_on(&inst);
             let b = kind.run_on(&inst);
-            prop_assert_eq!(a.span, b.span, "{} span nondeterministic", kind.label());
-            prop_assert_eq!(a.schedule, b.schedule, "{} schedule nondeterministic", kind.label());
+            assert_eq!(a.span, b.span, "{} span nondeterministic", kind.label());
+            assert_eq!(a.schedule, b.schedule, "{} schedule nondeterministic", kind.label());
         }
-    }
+    });
+}
 
-    /// Real runs of Batch/Batch+/Profit pass their rule audits.
-    #[test]
-    fn runs_pass_their_audits(spec in spec_strategy(), seed in 0u64..1000) {
-        let inst = spec.generate(seed);
+/// Determinism survives tied timestamps. Quantized workloads make equal
+/// arrivals, equal deadlines, and arrival==deadline collisions the common
+/// case, so any ordering left to hash/iteration nondeterminism in the event
+/// queue would show up here as diverging schedules between two runs.
+#[test]
+fn tied_timestamps_keep_runs_deterministic() {
+    check::forall(48, |rng| {
+        let n = rng.usize_range(4, 30);
+        let jobs: Vec<Job> = (0..n)
+            .map(|_| {
+                // Coarse 0.5-step grid: with ≤6 arrival slots and ≤4 laxity
+                // slots, most instances have many exact ties.
+                let a = rng.u64_below(6) as f64 * 0.5;
+                let lax = rng.u64_below(4) as f64 * 0.5;
+                let p = 0.5 + rng.u64_below(4) as f64 * 0.5;
+                Job::adp(a, a + lax, p)
+            })
+            .collect();
+        let inst = Instance::new(jobs);
+        for kind in SchedulerKind::registered_set() {
+            let a = kind.run_on(&inst);
+            let b = kind.run_on(&inst);
+            assert_eq!(
+                a.schedule,
+                b.schedule,
+                "{} nondeterministic under tied timestamps",
+                kind.label()
+            );
+            assert_eq!(a.span, b.span, "{} span diverged", kind.label());
+        }
+    });
+}
+
+/// Real runs of Batch/Batch+/Profit pass their rule audits.
+#[test]
+fn runs_pass_their_audits() {
+    check::forall(48, |rng| {
+        let inst = random_instance(rng);
 
         let mut batch = fjs::schedulers::Batch::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut batch);
-        prop_assert!(audit_batch(&out.instance, &out.schedule, &batch.flag_jobs()).is_ok());
+        assert!(audit_batch(&out.instance, &out.schedule, &batch.flag_jobs()).is_ok());
 
         let mut plus = BatchPlus::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut plus);
-        prop_assert!(audit_batch_plus(&out.instance, &out.schedule, &plus.flag_jobs()).is_ok());
+        assert!(audit_batch_plus(&out.instance, &out.schedule, &plus.flag_jobs()).is_ok());
 
         let mut profit = Profit::new(OPTIMAL_K);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut profit);
-        prop_assert!(
-            audit_profit(&out.instance, &out.schedule, &profit.flag_jobs(), OPTIMAL_K).is_ok()
-        );
-    }
+        assert!(audit_profit(&out.instance, &out.schedule, &profit.flag_jobs(), OPTIMAL_K).is_ok());
+    });
+}
 
-    /// §4.3 structural lemmas on real Profit executions.
-    #[test]
-    fn profit_flag_graph_lemmas(spec in spec_strategy(), seed in 0u64..1000) {
-        let inst = spec.generate(seed);
+/// §4.3 structural lemmas on real Profit executions.
+#[test]
+fn profit_flag_graph_lemmas() {
+    check::forall(48, |rng| {
+        let inst = random_instance(rng);
         let mut profit = Profit::new(OPTIMAL_K);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut profit);
-        prop_assert!(out.is_feasible());
+        assert!(out.is_feasible());
         let graph = FlagGraph::from_outcome(&out, &profit.flag_jobs());
-        prop_assert!(graph.is_forest(), "Lemma 4.7 violated");
-        prop_assert!(graph.check_lemma_4_6().is_ok(), "Lemma 4.6 violated");
-        prop_assert!(graph.check_lemma_4_9().is_ok(), "Lemma 4.9 violated");
-    }
+        assert!(graph.is_forest(), "Lemma 4.7 violated");
+        assert!(graph.check_lemma_4_6().is_ok(), "Lemma 4.6 violated");
+        assert!(graph.check_lemma_4_9().is_ok(), "Lemma 4.9 violated");
+    });
+}
 
-    /// Rigid workloads admit exactly one schedule: all schedulers tie, and
-    /// the span equals the mandatory-part bound exactly.
-    #[test]
-    fn rigid_instances_are_scheduler_independent(n in 3usize..40, seed in 0u64..500) {
+/// Rigid workloads admit exactly one schedule: all schedulers tie, and
+/// the span equals the mandatory-part bound exactly.
+#[test]
+fn rigid_instances_are_scheduler_independent() {
+    check::forall(48, |rng| {
+        let n = rng.usize_range(3, 40);
+        let seed = rng.u64_below(500);
         let spec = WorkloadSpec {
             n,
             arrivals: ArrivalProcess::Poisson { rate: 1.0 },
@@ -121,23 +175,30 @@ proptest! {
         for kind in SchedulerKind::full_set() {
             let out = kind.run_on(&inst);
             let diff = (out.span - expected).get().abs();
-            prop_assert!(diff < 1e-9 * (1.0 + expected.get()), "{}: {} vs {}",
-                kind.label(), out.span, expected);
+            assert!(
+                diff < 1e-9 * (1.0 + expected.get()),
+                "{}: {} vs {}",
+                kind.label(),
+                out.span,
+                expected
+            );
         }
-    }
+    });
+}
 
-    /// The span never exceeds the horizon-width bound nor undershoots
-    /// max-length, for any scheduler.
-    #[test]
-    fn span_within_global_envelope(spec in spec_strategy(), seed in 0u64..1000) {
-        let inst = spec.generate(seed);
+/// The span never exceeds the horizon-width bound nor undershoots
+/// max-length, for any scheduler.
+#[test]
+fn span_within_global_envelope() {
+    check::forall(48, |rng| {
+        let inst = random_instance(rng);
         let max_len = inst.max_length().unwrap();
         let horizon = inst.horizon().unwrap() - inst.first_arrival().unwrap();
         for kind in SchedulerKind::full_set() {
             let out = kind.run_on(&inst);
             let tol = 1e-9 * (1.0 + horizon.get().abs());
-            prop_assert!(out.span.get() >= max_len.get() - tol, "{}", kind.label());
-            prop_assert!(out.span.get() <= horizon.get() + tol, "{}", kind.label());
+            assert!(out.span.get() >= max_len.get() - tol, "{}", kind.label());
+            assert!(out.span.get() <= horizon.get() + tol, "{}", kind.label());
         }
-    }
+    });
 }
