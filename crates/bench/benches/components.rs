@@ -1,14 +1,15 @@
 //! Microbenches for the substrates: interval-set union, span lower bounds,
 //! the exact DP, coordinate descent and First Fit packing.
 
-use fjs_bench::{bench_instance, time_case};
+use fjs_bench::{bench_instance, quick, Collector};
 use fjs_core::interval::{Interval, IntervalSet};
 use fjs_core::job::{Instance, Job};
 use fjs_core::time::t;
 use fjs_dbp::{deterministic_sizes, pack, Item, Packer};
 
-fn bench_interval_set() {
-    for &n in &[1_000usize, 10_000] {
+fn bench_interval_set(c: &mut Collector) {
+    let sizes: &[usize] = if quick() { &[500] } else { &[1_000, 10_000] };
+    for &n in sizes {
         // Deterministic pseudo-random interval soup.
         let intervals: Vec<Interval> = (0..n)
             .map(|i| {
@@ -16,22 +17,23 @@ fn bench_interval_set() {
                 Interval::new(t(x), t(x + 3.0))
             })
             .collect();
-        time_case(&format!("interval-set/union-measure/{n}"), || {
+        c.case(&format!("interval-set/union-measure/{n}"), || {
             let set: IntervalSet = intervals.iter().copied().collect();
             set.measure()
         });
     }
 }
 
-fn bench_bounds() {
-    for &n in &[1_000usize, 10_000] {
+fn bench_bounds(c: &mut Collector) {
+    let sizes: &[usize] = if quick() { &[500] } else { &[1_000, 10_000] };
+    for &n in sizes {
         let inst = bench_instance(n, 3);
-        time_case(&format!("opt-bounds/lb_chain/{n}"), || fjs_opt::lb_chain(&inst));
-        time_case(&format!("opt-bounds/lb_mandatory/{n}"), || fjs_opt::lb_mandatory(&inst));
+        c.case(&format!("opt-bounds/lb_chain/{n}"), || fjs_opt::lb_chain(&inst));
+        c.case(&format!("opt-bounds/lb_mandatory/{n}"), || fjs_opt::lb_mandatory(&inst));
     }
 }
 
-fn bench_exact() {
+fn bench_exact(c: &mut Collector) {
     let inst = Instance::new(vec![
         Job::adp(0.0, 3.0, 2.0),
         Job::adp(1.0, 5.0, 1.0),
@@ -40,31 +42,37 @@ fn bench_exact() {
         Job::adp(5.0, 9.0, 1.0),
         Job::adp(6.0, 10.0, 2.0),
     ]);
-    time_case("exact-optimal/dp-n6", || fjs_opt::optimal_span_dp(&inst).unwrap());
-    let big = bench_instance(200, 5);
-    time_case("exact-optimal/descent-n200", || fjs_opt::upper_bound_span(&big, 5).span);
+    c.case("exact-optimal/dp-n6", || fjs_opt::optimal_span_dp(&inst).unwrap());
+    let n = if quick() { 50 } else { 200 };
+    let big = bench_instance(n, 5);
+    c.case(&format!("exact-optimal/descent-n{n}"), || {
+        fjs_opt::upper_bound_span(&big, 5).span
+    });
 }
 
-fn bench_packing() {
-    for &n in &[1_000usize, 5_000] {
+fn bench_packing(c: &mut Collector) {
+    let sizes: &[usize] = if quick() { &[500] } else { &[1_000, 5_000] };
+    for &n in sizes {
         let inst = bench_instance(n, 9);
-        let sizes = deterministic_sizes(n, 0.1, 0.6, 11);
+        let item_sizes = deterministic_sizes(n, 0.1, 0.6, 11);
         let items: Vec<Item> = inst
             .iter()
-            .map(|(id, j)| Item::new(j.active_interval_at(j.deadline()), sizes[id.index()]))
+            .map(|(id, j)| Item::new(j.active_interval_at(j.deadline()), item_sizes[id.index()]))
             .collect();
-        time_case(&format!("dbp-packing/first-fit/{n}"), || {
+        c.case(&format!("dbp-packing/first-fit/{n}"), || {
             pack(&items, Packer::FirstFit).total_usage
         });
-        time_case(&format!("dbp-packing/cd-first-fit/{n}"), || {
+        c.case(&format!("dbp-packing/cd-first-fit/{n}"), || {
             pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }).total_usage
         });
     }
 }
 
 fn main() {
-    bench_interval_set();
-    bench_bounds();
-    bench_exact();
-    bench_packing();
+    let mut c = Collector::new();
+    bench_interval_set(&mut c);
+    bench_bounds(&mut c);
+    bench_exact(&mut c);
+    bench_packing(&mut c);
+    c.write();
 }

@@ -2,15 +2,23 @@
 //! experiment code path used by the `fjs` binary at quick profile, so
 //! `cargo bench` both times the reproduction and regenerates its tables.
 
-use fjs_bench::time_case;
+use fjs_bench::{quick, Collector};
 use fjs_cli::experiments::{all, Profile};
 
 fn main() {
-    for exp in all() {
-        time_case(&format!("paper-experiments/{}", exp.id), || {
+    let mut c = Collector::new();
+    let exps = all();
+    // Quick mode smokes the pipeline on the first two experiments only.
+    let take = if quick() { 2.min(exps.len()) } else { exps.len() };
+    if take < exps.len() {
+        println!("quick mode: timing {take} of {} experiments", exps.len());
+    }
+    for exp in exps.into_iter().take(take) {
+        c.case(&format!("paper-experiments/{}", exp.id), || {
             let tables = (exp.run)(Profile::Quick);
             assert!(!tables.is_empty());
             tables
         });
     }
+    c.write();
 }

@@ -3,15 +3,16 @@
 //! complement to the paper's competitive analysis — it shows all schedulers
 //! run in near-linear time in the event count.
 
-use fjs_bench::time_case;
+use fjs_bench::{quick, Collector};
 use fjs_schedulers::SchedulerKind;
 use fjs_workloads::Scenario;
 
-fn bench_schedulers() {
-    for &n in &[100usize, 1_000, 10_000] {
+fn bench_schedulers(c: &mut Collector) {
+    let sizes: &[usize] = if quick() { &[100] } else { &[100, 1_000, 10_000] };
+    for &n in sizes {
         let inst = Scenario::CloudBatch.generate(n, 42);
         for kind in SchedulerKind::full_set() {
-            time_case(&format!("scheduler-throughput/{}/{n}", kind.label()), || {
+            c.case(&format!("scheduler-throughput/{}/{n}", kind.label()), || {
                 let out = kind.run_on(&inst);
                 assert!(out.is_feasible());
                 out.span
@@ -20,16 +21,19 @@ fn bench_schedulers() {
     }
 }
 
-fn bench_scenarios() {
+fn bench_scenarios(c: &mut Collector) {
+    let n = if quick() { 200 } else { 2_000 };
     for sc in Scenario::all() {
-        let inst = sc.generate(2_000, 7);
-        time_case(&format!("batchplus-by-scenario/{}", sc.name()), || {
+        let inst = sc.generate(n, 7);
+        c.case(&format!("batchplus-by-scenario/{}/{n}", sc.name()), || {
             SchedulerKind::BatchPlus.run_on(&inst).span
         });
     }
 }
 
 fn main() {
-    bench_schedulers();
-    bench_scenarios();
+    let mut c = Collector::new();
+    bench_schedulers(&mut c);
+    bench_scenarios(&mut c);
+    c.write();
 }

@@ -10,11 +10,20 @@
 //! * `benches/components.rs` — microbenches for the interval-set algebra,
 //!   lower bounds, exact DP and First Fit packing.
 //!
-//! Run with `cargo bench --workspace`.
+//! Run with `cargo bench --workspace`. Besides the human-readable report
+//! lines, every target records its measurements through [`Collector`] into
+//! `BENCH_results.json` at the workspace root (override the path with
+//! `FJS_BENCH_OUT`), in the schema defined by
+//! [`fjs_analysis::benchjson`]. Compare two such files with
+//! `fjs bench-diff old.json new.json`. Set `FJS_BENCH_QUICK=1` to shrink
+//! sample counts and input sizes for CI smoke runs.
 
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::Instant;
+
+pub use fjs_analysis::benchjson::{BenchReport, BenchSample};
 
 /// Standard quick instance used by several bench targets: the cloud-batch
 /// scenario at the given size.
@@ -22,25 +31,44 @@ pub fn bench_instance(n: usize, seed: u64) -> fjs_core::job::Instance {
     fjs_workloads::Scenario::CloudBatch.generate(n, seed)
 }
 
-/// Times `f` over repeated samples and prints one aligned report line:
-/// median, minimum and mean time per iteration.
+/// Whether quick mode is on (`FJS_BENCH_QUICK` set non-empty, not `0`):
+/// bench targets shrink their input sizes and this crate shrinks sample
+/// counts, so CI can smoke the full pipeline in seconds.
+pub fn quick() -> bool {
+    std::env::var("FJS_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
+}
+
+/// Times `f` and returns the measurement as a [`BenchSample`] record.
 ///
-/// A tiny fixed-iteration harness (calibrated so each sample takes roughly
-/// `target_sample_ms`), good enough for the coarse regressions these
-/// targets guard; it deliberately trades Criterion's statistics for a
-/// dependency-free build.
-pub fn time_case<R>(name: &str, mut f: impl FnMut() -> R) {
-    const SAMPLES: usize = 12;
-    const TARGET_SAMPLE_MS: f64 = 80.0;
+/// Calibration: the closure is first *warmed up* (population of caches,
+/// branch predictors, lazy allocations), then the per-sample iteration
+/// count is derived from the **minimum of ≥3 post-warm-up probes** — a
+/// single cold probe runs slow and would overshoot `iters`, inflating
+/// sample times on short cases. The chosen `iters` is surfaced in the
+/// returned record.
+///
+/// A tiny fixed-iteration harness, good enough for the coarse regressions
+/// these targets guard; it deliberately trades Criterion's statistics for
+/// a dependency-free build.
+pub fn time_case_sample<R>(name: &str, mut f: impl FnMut() -> R) -> BenchSample {
+    let (samples, target_sample_ms, probes) =
+        if quick() { (4, 5.0, 3) } else { (12, 80.0, 3) };
 
-    // Warm up and calibrate the per-sample iteration count.
-    let probe_start = Instant::now();
+    // Warm up: one untimed call, discarded.
     std::hint::black_box(f());
-    let probe = probe_start.elapsed().as_secs_f64().max(1e-9);
-    let iters = ((TARGET_SAMPLE_MS / 1e3 / probe).ceil() as usize).clamp(1, 1_000_000);
 
-    let mut per_iter: Vec<f64> = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
+    // Calibrate from the fastest of several post-warm-up probes.
+    let mut probe_min = f64::INFINITY;
+    for _ in 0..probes {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        probe_min = probe_min.min(t0.elapsed().as_secs_f64());
+    }
+    let probe_min = probe_min.max(1e-9);
+    let iters = ((target_sample_ms / 1e3 / probe_min).ceil() as usize).clamp(1, 1_000_000);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
         let start = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());
@@ -51,12 +79,102 @@ pub fn time_case<R>(name: &str, mut f: impl FnMut() -> R) {
     let median = per_iter[per_iter.len() / 2];
     let min = per_iter[0];
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    BenchSample {
+        name: name.to_string(),
+        median_s: median,
+        min_s: min,
+        mean_s: mean,
+        iters,
+        samples,
+    }
+}
+
+/// Times `f`, prints one aligned report line (median / min / mean per
+/// iteration) and returns the record. Convenience wrapper over
+/// [`time_case_sample`] used by all bench targets.
+pub fn time_case<R>(name: &str, f: impl FnMut() -> R) -> BenchSample {
+    let sample = time_case_sample(name, f);
     println!(
-        "{name:<44} median {:>12}  min {:>12}  mean {:>12}  ({iters} it/sample)",
-        fmt_duration(median),
-        fmt_duration(min),
-        fmt_duration(mean),
+        "{name:<44} median {:>12}  min {:>12}  mean {:>12}  ({} it/sample)",
+        fmt_duration(sample.median_s),
+        fmt_duration(sample.min_s),
+        fmt_duration(sample.mean_s),
+        sample.iters,
     );
+    sample
+}
+
+/// Accumulates [`BenchSample`] records for one bench target and merges them
+/// into the shared `BENCH_results.json` on [`Collector::write`].
+///
+/// The three bench binaries run sequentially under `cargo bench`, so each
+/// loads whatever file the previous one wrote, upserts its own cases by
+/// name, and rewrites the file — the final JSON holds the union.
+pub struct Collector {
+    samples: Vec<BenchSample>,
+}
+
+impl Collector {
+    /// A new, empty collector.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Collector { samples: Vec::new() }
+    }
+
+    /// Times `f` via [`time_case`] (prints the report line) and records the
+    /// sample.
+    pub fn case<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        let sample = time_case(name, f);
+        self.samples.push(sample);
+    }
+
+    /// Merges the recorded samples into `BENCH_results.json` (or
+    /// `FJS_BENCH_OUT`) and prints where they went. An unreadable or
+    /// schema-incompatible existing file is replaced rather than merged;
+    /// I/O failures are reported on stderr, never panicked on, so a
+    /// read-only checkout still benches.
+    pub fn write(self) {
+        let path = out_path();
+        let mut report = std::fs::read_to_string(&path)
+            .ok()
+            .and_then(|text| BenchReport::parse(&text).ok())
+            .unwrap_or_else(|| BenchReport::new(git_describe()));
+        // Stamp the revision of *this* run; merged older cases keep their
+        // numbers but the file describes the tree that last wrote it.
+        report.git_describe = git_describe();
+        let count = self.samples.len();
+        for sample in self.samples {
+            report.upsert(sample);
+        }
+        match std::fs::write(&path, report.to_json()) {
+            Ok(()) => println!("wrote {count} case(s) to {}", path.display()),
+            Err(err) => eprintln!("warning: could not write {}: {err}", path.display()),
+        }
+    }
+}
+
+/// Resolves the output path: `FJS_BENCH_OUT` if set, else
+/// `BENCH_results.json` at the workspace root. Bench binaries run with the
+/// package directory (`crates/bench`) as cwd, hence the `../..`.
+pub fn out_path() -> PathBuf {
+    match std::env::var_os("FJS_BENCH_OUT") {
+        Some(p) => PathBuf::from(p),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_results.json"),
+    }
+}
+
+/// `git describe --always --dirty` of the current checkout, or `"unknown"`
+/// when git is unavailable (e.g. a source tarball).
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Human-friendly seconds formatting (ns/µs/ms/s).
@@ -85,9 +203,37 @@ mod tests {
     }
 
     #[test]
-    fn time_case_runs_the_closure() {
+    fn time_case_runs_the_closure_and_surfaces_calibration() {
         let mut calls = 0usize;
-        time_case("noop", || calls += 1);
-        assert!(calls > 0);
+        let sample = time_case("noop", || calls += 1);
+        // 1 warm-up + ≥3 probes + samples×iters timed calls.
+        assert!(calls >= 1 + 3 + sample.samples * sample.iters);
+        assert_eq!(sample.name, "noop");
+        assert!(sample.iters >= 1);
+        assert!(sample.samples >= 1);
+        assert!(sample.min_s <= sample.median_s);
+        assert!(sample.min_s >= 0.0 && sample.median_s.is_finite());
+    }
+
+    #[test]
+    fn collector_writes_schema_valid_json() {
+        let dir = std::env::temp_dir().join(format!("fjs-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.json");
+
+        // First write: one case.
+        let mut report = BenchReport::new(git_describe());
+        report.upsert(time_case_sample("case-a", || 1 + 1));
+        std::fs::write(&path, report.to_json()).unwrap();
+
+        // Merge a second case the way Collector does.
+        let mut merged = BenchReport::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        merged.upsert(time_case_sample("case-b", || 2 + 2));
+        std::fs::write(&path, merged.to_json()).unwrap();
+
+        let back = BenchReport::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        back.validate().unwrap();
+        assert!(back.case("case-a").is_some() && back.case("case-b").is_some());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

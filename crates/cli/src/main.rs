@@ -11,10 +11,14 @@
 //! fjs audit profit         # run a scheduler and audit it against its rules
 //! fjs chaos                # fault-injection matrix over every scheduler
 //! fjs chaos batch+         # fault-injection matrix for one scheduler
+//! fjs stats batch+         # engine RunStats counters for one scheduler
+//! fjs stats all --log-jsonl runs.jsonl   # counters for all, logged as JSONL
+//! fjs bench-diff old.json new.json       # compare two BENCH_results.json
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (failed audit, unsound chaos
-//! cell, unreadable/unparseable input, I/O error), 2 usage error.
+//! cell, bench regression past threshold, unreadable/unparseable input,
+//! I/O error), 2 usage error.
 
 use fjs_cli::experiments::{all, by_id, Experiment, Profile};
 use std::io::Write as _;
@@ -40,6 +44,8 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs trace <file.csv>\n\
  \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
  \u{20}      fjs chaos [scheduler]\n\
+ \u{20}      fjs stats <scheduler|all> [--n <jobs>] [--seed <s>] [--log-jsonl <file>]\n\
+ \u{20}      fjs bench-diff <old.json> <new.json> [--threshold <frac>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
@@ -249,6 +255,241 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+/// Pulls the value of `--flag <value>` out of `args`, removing both tokens.
+fn take_flag_value(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(CliError::Usage(Some(format!("{flag} needs a value"))));
+            }
+            let value = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(value))
+        }
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
+    use fjs_core::sim::{run_with_config, SimConfig, StaticEnv};
+    use fjs_schedulers::SchedulerKind;
+    use fjs_workloads::Scenario;
+
+    let mut args = args.to_vec();
+    let n: usize = match take_flag_value(&mut args, "--n")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(Some(format!("--n: '{v}' is not a job count"))))?,
+        None => 500,
+    };
+    let seed: u64 = match take_flag_value(&mut args, "--seed")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(Some(format!("--seed: '{v}' is not a seed"))))?,
+        None => 42,
+    };
+    let jsonl_path = take_flag_value(&mut args, "--log-jsonl")?;
+
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let kinds = match which {
+        "all" => SchedulerKind::full_set(),
+        name => vec![pick_scheduler(name)?],
+    };
+
+    let mut table = fjs_analysis::Table::new(
+        format!("engine run stats ({n} jobs, seed {seed})"),
+        &[
+            "scheduler",
+            "scenario",
+            "events",
+            "peak queue",
+            "applied",
+            "rejected",
+            "force-starts",
+            "wakeups",
+            "wall",
+            "sched%",
+            "env%",
+        ],
+    );
+    let mut jsonl = String::new();
+    for kind in &kinds {
+        for sc in Scenario::all() {
+            let inst = sc.generate(n, seed);
+            let out = run_with_config(
+                StaticEnv::new(&inst, kind.information_model()),
+                kind.build(),
+                SimConfig { time_phases: true, ..SimConfig::default() },
+            );
+            let s = out.stats;
+            debug_assert!(s.is_consistent());
+            let pct = |part: f64| {
+                if s.wall_total_s > 0.0 { 100.0 * part / s.wall_total_s } else { 0.0 }
+            };
+            table.push_row(vec![
+                kind.label(),
+                sc.name().to_string(),
+                format!("{}", s.events_total),
+                format!("{}", s.peak_queue),
+                format!("{}", s.actions_applied),
+                format!("{}", s.actions_rejected),
+                format!("{}", s.force_starts),
+                format!("{}", s.wakeups),
+                format!("{:.2} ms", s.wall_total_s * 1e3),
+                format!("{:.0}", pct(s.wall_scheduler_s)),
+                format!("{:.0}", pct(s.wall_environment_s)),
+            ]);
+            if jsonl_path.is_some() {
+                jsonl.push_str(&run_stats_jsonl_record(
+                    &kind.label(),
+                    sc.name(),
+                    n,
+                    seed,
+                    out.span.get(),
+                    &s,
+                ));
+            }
+        }
+    }
+    println!("{}", table.render());
+    if let Some(path) = jsonl_path {
+        use std::fs::OpenOptions;
+        let mut f = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+        f.write_all(jsonl.as_bytes())
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+        println!("appended {} JSONL record(s) to {path}", kinds.len() * Scenario::all().len());
+    }
+    Ok(())
+}
+
+/// One JSONL line per run: identifying fields plus every
+/// [`fjs_core::sim::RunStats`] counter, for downstream sweep tooling.
+fn run_stats_jsonl_record(
+    scheduler: &str,
+    scenario: &str,
+    n: usize,
+    seed: u64,
+    span: f64,
+    s: &fjs_core::sim::RunStats,
+) -> String {
+    use fjs_analysis::benchjson::{escape, fmt_f64};
+    format!(
+        "{{\"scheduler\": \"{}\", \"scenario\": \"{}\", \"n\": {n}, \"seed\": {seed}, \
+         \"span\": {}, \"release_events\": {}, \"jobs_released\": {}, \"completions\": {}, \
+         \"ordered_starts\": {}, \"length_probes\": {}, \"deadline_alarms\": {}, \
+         \"wakeups\": {}, \"events_total\": {}, \"peak_queue\": {}, \"actions_applied\": {}, \
+         \"actions_rejected\": {}, \"force_starts\": {}, \"jobs_completed\": {}, \
+         \"wall_total_s\": {}, \"wall_scheduler_s\": {}, \"wall_environment_s\": {}}}\n",
+        escape(scheduler),
+        escape(scenario),
+        fmt_f64(span),
+        s.release_events,
+        s.jobs_released,
+        s.completions,
+        s.ordered_starts,
+        s.length_probes,
+        s.deadline_alarms,
+        s.wakeups,
+        s.events_total,
+        s.peak_queue,
+        s.actions_applied,
+        s.actions_rejected,
+        s.force_starts,
+        s.jobs_completed,
+        fmt_f64(s.wall_total_s),
+        fmt_f64(s.wall_scheduler_s),
+        fmt_f64(s.wall_environment_s),
+    )
+}
+
+fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
+    use fjs_analysis::benchjson::{diff_reports, BenchReport};
+
+    let mut args = args.to_vec();
+    let threshold: f64 = match take_flag_value(&mut args, "--threshold")? {
+        Some(v) => {
+            let t: f64 = v.parse().map_err(|_| {
+                CliError::Usage(Some(format!("--threshold: '{v}' is not a number")))
+            })?;
+            if !(t.is_finite() && t >= 0.0) {
+                return Err(CliError::Usage(Some(format!(
+                    "--threshold must be a non-negative fraction, got {v}"
+                ))));
+            }
+            t
+        }
+        None => 0.2,
+    };
+    let [old_path, new_path] = args.as_slice() else {
+        return Err(CliError::Usage(Some(
+            "bench-diff needs exactly two files: <old.json> <new.json>".into(),
+        )));
+    };
+    let load = |path: &str| -> Result<BenchReport, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+        BenchReport::parse(&text)
+            .map_err(|e| CliError::Runtime(format!("cannot parse {path}: {e}")))
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    println!(
+        "old: {old_path} ({}, {} cases)\nnew: {new_path} ({}, {} cases)\n",
+        old.git_describe,
+        old.cases.len(),
+        new.git_describe,
+        new.cases.len(),
+    );
+
+    let diff = diff_reports(&old, &new);
+    let mut table = fjs_analysis::Table::new(
+        format!("bench deltas (regression threshold +{:.0}%)", threshold * 100.0),
+        &["case", "old median", "new median", "ratio", "delta"],
+    );
+    for d in &diff.aligned {
+        let flag = if d.relative_change() > threshold { "  <-- REGRESSION" } else { "" };
+        table.push_row(vec![
+            d.name.clone(),
+            format!("{:.3e} s", d.old_median_s),
+            format!("{:.3e} s", d.new_median_s),
+            format!("{:.3}", d.ratio()),
+            format!("{:+.1}%{flag}", d.relative_change() * 100.0),
+        ]);
+    }
+    println!("{}", table.render());
+    for name in &diff.only_old {
+        println!("only in old: {name}");
+    }
+    for name in &diff.only_new {
+        println!("only in new: {name}");
+    }
+    if diff.aligned.is_empty() {
+        return Err(CliError::Runtime(
+            "no cases align by name; nothing was compared".into(),
+        ));
+    }
+
+    let regressions = diff.regressions(threshold);
+    if regressions.is_empty() {
+        println!(
+            "\nok: no case regressed by more than {:.0}% ({} compared)",
+            threshold * 100.0,
+            diff.aligned.len()
+        );
+        Ok(())
+    } else {
+        Err(CliError::Runtime(format!(
+            "{} case(s) regressed by more than {:.0}%",
+            regressions.len(),
+            threshold * 100.0
+        )))
+    }
+}
+
 fn real_main(args: &[String]) -> Result<(), CliError> {
     if args.is_empty() {
         return Err(CliError::usage());
@@ -269,6 +510,8 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "trace" => cmd_trace(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "bench-diff" => cmd_bench_diff(&args[1..]),
         "list" => {
             for e in all() {
                 println!("{:4}  {}", e.id, e.title);

@@ -73,7 +73,10 @@ pub fn schedule_metrics(inst: &Instance, schedule: &Schedule) -> ScheduleMetrics
 }
 
 /// The stepwise concurrency profile: `(time, running count)` at every
-/// change point, sorted by time. The count applies on `[time, next time)`.
+/// *strict* change point, sorted by time. The count applies on
+/// `[time, next time)`; consecutive entries always carry different counts.
+/// Instants where paired ±1 events cancel (one job ends exactly as another
+/// begins) are no change and are suppressed.
 pub fn concurrency_profile(inst: &Instance, schedule: &Schedule) -> Vec<(Time, usize)> {
     let mut events: Vec<(Time, i32)> = Vec::with_capacity(2 * inst.len());
     for (id, job) in inst.iter() {
@@ -84,17 +87,20 @@ pub fn concurrency_profile(inst: &Instance, schedule: &Schedule) -> Vec<(Time, u
     }
     // Departures before arrivals at equal times (half-open intervals).
     events.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
-    let mut profile = Vec::new();
+    let mut profile: Vec<(Time, usize)> = Vec::new();
     let mut count: i32 = 0;
     let mut i = 0;
     while i < events.len() {
         let t = events[i].0;
+        let before = count;
         while i < events.len() && events[i].0 == t {
             count += events[i].1;
             i += 1;
         }
         debug_assert!(count >= 0);
-        profile.push((t, count as usize));
+        if count != before {
+            profile.push((t, count as usize));
+        }
     }
     profile
 }
@@ -189,7 +195,23 @@ mod tests {
         let m = schedule_metrics(&inst, &s);
         assert_eq!(m.peak_concurrency, 1);
         let profile = concurrency_profile(&inst, &s);
-        assert_eq!(profile, vec![(t(0.0), 1), (t(2.0), 1), (t(4.0), 0)]);
+        // t = 2.0 is a handoff (−1 then +1): the count never changes, so
+        // the profile must not emit a no-op change point there.
+        assert_eq!(profile, vec![(t(0.0), 1), (t(4.0), 0)]);
+    }
+
+    #[test]
+    fn profile_entries_are_strict_changes() {
+        let (inst, s) = setup();
+        let profile = concurrency_profile(&inst, &s);
+        assert!(
+            profile.windows(2).all(|w| w[0].1 != w[1].1 && w[0].0 < w[1].0),
+            "consecutive entries must differ in count and ascend in time: {profile:?}"
+        );
+        // Each entry agrees with the instantaneous oracle.
+        for &(time, count) in &profile {
+            assert_eq!(concurrency_at(&inst, &s, time), count);
+        }
     }
 
     #[test]

@@ -27,12 +27,14 @@ use crate::job::{Instance, JobId};
 use crate::schedule::Schedule;
 use crate::sim::env::{Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec};
 use crate::sim::sched::{Action, Arrival, Ctx, OnlineScheduler};
+use crate::sim::stats::RunStats;
 use crate::sim::trace::{TraceEvent, TraceKind};
 use crate::sim::world::{JobStatus, World};
 use crate::time::{Dur, Time};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::time::Instant;
 
 /// Engine limits and options.
 #[derive(Clone, Copy, Debug)]
@@ -42,11 +44,16 @@ pub struct SimConfig {
     pub max_events: usize,
     /// Record a chronological [`TraceEvent`] log in the outcome.
     pub record_trace: bool,
+    /// Measure wall-clock time spent inside scheduler callbacks and
+    /// environment oracles ([`RunStats::wall_scheduler_s`] /
+    /// [`RunStats::wall_environment_s`]). Costs two monotonic-clock reads
+    /// per event, so it is off by default; counters are always collected.
+    pub time_phases: bool,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_events: 50_000_000, record_trace: false }
+        SimConfig { max_events: 50_000_000, record_trace: false, time_phases: false }
     }
 }
 
@@ -293,8 +300,12 @@ pub struct SimOutcome {
     /// short; their lengths in [`SimOutcome::instance`] are placeholders.
     /// Always empty when the run completed.
     pub unresolved: Vec<JobId>,
-    /// Total events processed (diagnostics).
+    /// Total events processed (diagnostics; equals
+    /// [`RunStats::events_total`]).
     pub events_processed: usize,
+    /// Engine counters for the run: events by kind, peak event-heap size,
+    /// applied/rejected actions, force-starts and wall-clock phases.
+    pub stats: RunStats,
     /// Chronological event log (empty unless
     /// [`SimConfig::record_trace`] was set).
     pub trace: Vec<TraceEvent>,
@@ -375,7 +386,7 @@ struct Engine<E, S> {
     seq: u64,
     violations: Vec<Violation>,
     rejected: Vec<RejectedAction>,
-    events: usize,
+    stats: RunStats,
     config: SimConfig,
     trace: Vec<TraceEvent>,
 }
@@ -390,10 +401,24 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     fn push(&mut self, time: Time, kind: EventKind) {
         self.queue.push(Reverse(Event { time, order: kind.order(), seq: self.seq, kind }));
         self.seq += 1;
+        self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
     }
 
     fn reject(&mut self, fault: ActionFault) {
+        self.stats.actions_rejected += 1;
         self.rejected.push(RejectedAction { at: self.world.now(), fault });
+    }
+
+    /// Starts a phase-timing measurement when [`SimConfig::time_phases`]
+    /// is set; [`Engine::phase_done`] accumulates it.
+    fn phase_start(&self) -> Option<Instant> {
+        self.config.time_phases.then(Instant::now)
+    }
+
+    fn phase_done(t0: Option<Instant>, acc: &mut f64) {
+        if let Some(t0) = t0 {
+            *acc += t0.elapsed().as_secs_f64();
+        }
     }
 
     /// The completion instant `at + p`, guarding against `f64` overflow from
@@ -423,23 +448,28 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                 let completion = self.completion_time(id, at, p)?;
                 self.push(completion, EventKind::Completion(id));
             }
-            None => match self.env.rule_length(id, at, at, &self.world) {
-                LengthRuling::Assign(p) => {
-                    if !p.is_positive() {
-                        return Err(EnvFault::RuledNonPositiveLength { id, length: p });
+            None => {
+                let t0 = self.phase_start();
+                let ruling = self.env.rule_length(id, at, at, &self.world);
+                Self::phase_done(t0, &mut self.stats.wall_environment_s);
+                match ruling {
+                    LengthRuling::Assign(p) => {
+                        if !p.is_positive() {
+                            return Err(EnvFault::RuledNonPositiveLength { id, length: p });
+                        }
+                        let completion = self.completion_time(id, at, p)?;
+                        self.world.set_length(id, p);
+                        self.record(TraceKind::LengthRuled { id, length: p });
+                        self.push(completion, EventKind::Completion(id));
                     }
-                    let completion = self.completion_time(id, at, p)?;
-                    self.world.set_length(id, p);
-                    self.record(TraceKind::LengthRuled { id, length: p });
-                    self.push(completion, EventKind::Completion(id));
-                }
-                LengthRuling::AskAgainAt(t) => {
-                    if t <= at {
-                        return Err(EnvFault::ProbeNotDeferred { id, at: t });
+                    LengthRuling::AskAgainAt(t) => {
+                        if t <= at {
+                            return Err(EnvFault::ProbeNotDeferred { id, at: t });
+                        }
+                        self.push(t, EventKind::LengthProbe(id));
                     }
-                    self.push(t, EventKind::LengthProbe(id));
                 }
-            },
+            }
         }
         Ok(())
     }
@@ -462,6 +492,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         self.reject(ActionFault::StartOutsideWindow { id, at: now });
                         continue;
                     }
+                    self.stats.actions_applied += 1;
                     self.start_job(id, now)?;
                 }
                 Action::StartAt(id, at) => {
@@ -479,6 +510,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         self.reject(ActionFault::StartAtOutsideWindow { id, at });
                         continue;
                     }
+                    self.stats.actions_applied += 1;
                     self.world.set_ordered_start(id, at);
                     self.push(at, EventKind::OrderedStart(id));
                 }
@@ -487,6 +519,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         self.reject(ActionFault::WakeupInPast { at });
                         continue;
                     }
+                    self.stats.actions_applied += 1;
                     self.push(at, EventKind::Wakeup(token));
                 }
             }
@@ -496,7 +529,9 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
 
     fn dispatch_arrival(&mut self, arrival: Arrival) -> Result<(), EnvFault> {
         let mut ctx = Ctx::new(&self.world);
+        let t0 = self.phase_start();
         self.sched.on_arrival(arrival, &mut ctx);
+        Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
         let actions = ctx.into_actions();
         self.apply_actions(actions)
     }
@@ -506,7 +541,10 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     fn drive(&mut self) -> Result<DriveEnd, EnvFault> {
         loop {
             let queued = self.queue.peek().map(|Reverse(e)| (e.time, e.order));
-            let release = match self.env.next_release_time(&self.world) {
+            let t0 = self.phase_start();
+            let next_release = self.env.next_release_time(&self.world);
+            Self::phase_done(t0, &mut self.stats.wall_environment_s);
+            let release = match next_release {
                 Some(rt) if rt < self.world.now() => {
                     return Err(EnvFault::ReleaseInPast { scheduled: rt, now: self.world.now() })
                 }
@@ -520,14 +558,17 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                 (Some(q), Some(r)) => (r < q).then_some(r.0),
             };
 
-            if self.events >= self.config.max_events {
+            if self.stats.events_total >= self.config.max_events {
                 return Ok(DriveEnd::EventCap);
             }
-            self.events += 1;
+            self.stats.events_total += 1;
 
             if let Some(now) = release_due {
+                self.stats.release_events += 1;
                 self.world.advance_to(now);
+                let t0 = self.phase_start();
                 let specs = self.env.release_at(now, &self.world);
+                Self::phase_done(t0, &mut self.stats.wall_environment_s);
                 let clairvoyance = self.world.clairvoyance();
                 for JobSpec { deadline, length } in specs {
                     if deadline < now {
@@ -548,6 +589,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         }
                     };
                     let id = self.world.release(now, deadline, fixed);
+                    self.stats.jobs_released += 1;
                     self.record(TraceKind::Released { id, deadline });
                     self.push(deadline, EventKind::DeadlineAlarm(id));
                     self.dispatch_arrival(Arrival {
@@ -573,6 +615,8 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
             self.world.advance_to(event.time);
             match event.kind {
                 EventKind::Completion(id) => {
+                    self.stats.completions += 1;
+                    self.stats.jobs_completed += 1;
                     self.world.mark_completed(id);
                     self.record(TraceKind::Completed { id });
                     let Some(length) = self.world.job(id).length() else {
@@ -581,22 +625,29 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         continue;
                     };
                     let mut ctx = Ctx::new(&self.world);
+                    let t0 = self.phase_start();
                     self.sched.on_completion(id, length, &mut ctx);
+                    Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
                     let actions = ctx.into_actions();
                     self.apply_actions(actions)?;
                 }
                 EventKind::OrderedStart(id) => {
+                    self.stats.ordered_starts += 1;
                     if self.world.is_pending(id) {
                         self.start_job(id, event.time)?;
                     }
                 }
                 EventKind::LengthProbe(id) => {
+                    self.stats.length_probes += 1;
                     let Some(started_at) = self.world.job(id).start() else {
                         // Unreachable: probes are only scheduled after a
                         // start; skip rather than abort.
                         continue;
                     };
-                    match self.env.rule_length(id, started_at, event.time, &self.world) {
+                    let t0 = self.phase_start();
+                    let ruling = self.env.rule_length(id, started_at, event.time, &self.world);
+                    Self::phase_done(t0, &mut self.stats.wall_environment_s);
+                    match ruling {
                         LengthRuling::Assign(p) => {
                             if !p.is_positive() {
                                 return Err(EnvFault::RuledNonPositiveLength { id, length: p });
@@ -622,6 +673,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                     }
                 }
                 EventKind::DeadlineAlarm(id) => {
+                    self.stats.deadline_alarms += 1;
                     if !self.world.is_pending(id) {
                         continue; // already started
                     }
@@ -635,19 +687,25 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         continue;
                     }
                     let mut ctx = Ctx::new(&self.world);
+                    let t0 = self.phase_start();
                     self.sched.on_deadline(id, &mut ctx);
+                    Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
                     let actions = ctx.into_actions();
                     self.apply_actions(actions)?;
                     if self.world.is_pending(id) && self.world.job(id).ordered_start().is_none() {
+                        self.stats.force_starts += 1;
                         self.violations.push(Violation { id, at: event.time });
                         self.record(TraceKind::ForcedStart { id });
                         self.start_job(id, event.time)?;
                     }
                 }
                 EventKind::Wakeup(token) => {
+                    self.stats.wakeups += 1;
                     self.record(TraceKind::Wakeup { token });
                     let mut ctx = Ctx::new(&self.world);
+                    let t0 = self.phase_start();
                     self.sched.on_wakeup(token, &mut ctx);
+                    Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
                     let actions = ctx.into_actions();
                     self.apply_actions(actions)?;
                 }
@@ -656,9 +714,14 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     }
 
     fn run(mut self) -> SimOutcome {
-        let termination = match self.drive() {
+        let run_start = Instant::now();
+        let drive_end = self.drive();
+        self.stats.wall_total_s = run_start.elapsed().as_secs_f64();
+        let termination = match drive_end {
             Ok(DriveEnd::Drained) => Termination::Completed,
-            Ok(DriveEnd::EventCap) => Termination::EventCapExhausted { events: self.events },
+            Ok(DriveEnd::EventCap) => {
+                Termination::EventCapExhausted { events: self.stats.events_total }
+            }
             Err(fault) => Termination::EnvironmentFault(fault),
         };
 
@@ -687,7 +750,8 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
             termination,
             rejected_actions: self.rejected,
             unresolved,
-            events_processed: self.events,
+            events_processed: self.stats.events_total,
+            stats: self.stats,
             trace: self.trace,
         }
     }
@@ -712,7 +776,7 @@ pub fn run_with_config<E: Environment, S: OnlineScheduler>(
         seq: 0,
         violations: Vec::new(),
         rejected: Vec::new(),
-        events: 0,
+        stats: RunStats::default(),
         config,
         trace: Vec::new(),
     }
@@ -960,7 +1024,7 @@ mod tests {
         let single = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
         let env = crate::sim::env::StaticEnv::new(&single, Clairvoyance::Clairvoyant);
         let out =
-            run_with_config(env, Spinner, SimConfig { max_events: 100, record_trace: false });
+            run_with_config(env, Spinner, SimConfig { max_events: 100, ..SimConfig::default() });
         assert_eq!(out.termination, Termination::EventCapExhausted { events: 100 });
         assert!(!out.is_clean());
         // The partial schedule still carries everything that happened before
@@ -1103,6 +1167,84 @@ mod tests {
     fn trace_empty_when_disabled() {
         let out = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
         assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn run_stats_count_events_exactly() {
+        // Eager on the 3-job instance: every event is accounted for.
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
+        let s = out.stats;
+        assert_eq!(s.release_events, 3, "one release instant per arrival");
+        assert_eq!(s.jobs_released, 3);
+        assert_eq!(s.completions, 3);
+        assert_eq!(s.jobs_completed, 3);
+        assert_eq!(s.deadline_alarms, 3, "alarms fire even for started jobs");
+        assert_eq!(s.ordered_starts, 0);
+        assert_eq!(s.length_probes, 0);
+        assert_eq!(s.wakeups, 0);
+        assert_eq!(s.events_total, 9);
+        assert!(s.is_consistent());
+        assert_eq!(s.events_total, out.events_processed);
+        // J0 and J1 overlap in time: alarm0 + completion0 + alarm1 +
+        // completion1 are all queued at once before anything pops.
+        assert_eq!(s.peak_queue, 4);
+        assert_eq!(s.actions_applied, 3, "three StartNow actions");
+        assert_eq!(s.actions_rejected, 0);
+        assert_eq!(s.force_starts, 0);
+        assert!(s.wall_total_s >= 0.0 && s.wall_total_s.is_finite());
+        // Phase timing is off by default.
+        assert_eq!(s.wall_scheduler_s, 0.0);
+        assert_eq!(s.wall_environment_s, 0.0);
+    }
+
+    #[test]
+    fn run_stats_track_force_starts_and_rejections() {
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, Broken);
+        assert_eq!(out.stats.force_starts, 3);
+        assert_eq!(out.stats.force_starts, out.violations.len());
+        assert_eq!(out.stats.actions_applied, 0);
+        assert_eq!(out.stats.jobs_completed, 3, "force-started jobs still complete");
+    }
+
+    #[test]
+    fn time_phases_populates_wall_splits_without_changing_counts() {
+        let env = crate::sim::env::StaticEnv::new(&inst(), Clairvoyance::Clairvoyant);
+        let timed = run_with_config(
+            env,
+            EagerTest,
+            SimConfig { time_phases: true, ..SimConfig::default() },
+        );
+        let untimed = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
+        // Same deterministic counters either way; only wall clocks differ.
+        assert_eq!(
+            { let mut s = timed.stats; s.wall_total_s = 0.0; s.wall_scheduler_s = 0.0; s.wall_environment_s = 0.0; s },
+            { let mut s = untimed.stats; s.wall_total_s = 0.0; s },
+        );
+        assert!(timed.stats.wall_scheduler_s >= 0.0);
+        assert!(timed.stats.wall_environment_s >= 0.0);
+        assert!(timed.stats.wall_total_s >= timed.stats.wall_scheduler_s);
+    }
+
+    #[test]
+    fn run_stats_count_wakeups_and_ordered_starts() {
+        /// Commits each arrival to its deadline and also asks for a wakeup.
+        struct CommitAndWake;
+        impl OnlineScheduler for CommitAndWake {
+            fn name(&self) -> String {
+                "commit-and-wake".into()
+            }
+            fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+                ctx.start_at(job.id, job.deadline);
+                ctx.wake_at(job.deadline, u64::from(job.id.0));
+            }
+            fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+        }
+        let out = run_static(&inst(), Clairvoyance::Clairvoyant, CommitAndWake);
+        assert!(out.is_feasible());
+        assert_eq!(out.stats.ordered_starts, 3);
+        assert_eq!(out.stats.wakeups, 3);
+        assert_eq!(out.stats.actions_applied, 6, "3 start_at + 3 wake_at");
+        assert!(out.stats.is_consistent());
     }
 
     #[test]

@@ -186,6 +186,11 @@ impl<'a> Ctx<'a> {
 /// for each still-pending job; failing to start the job in that callback is
 /// recorded as a feasibility violation (and the engine force-starts the job
 /// to keep the run meaningful).
+///
+/// Everything a scheduler does is observable after the run: the engine
+/// counts delivered callbacks, applied and rejected actions, and deadline
+/// force-starts in [`RunStats`](crate::sim::RunStats), returned on every
+/// [`SimOutcome`](crate::sim::SimOutcome).
 pub trait OnlineScheduler {
     /// Human-readable name (used in reports).
     fn name(&self) -> String;

@@ -105,6 +105,79 @@ fn contains_agrees_with_membership() {
     });
 }
 
+/// Naive sort-and-merge oracle: sorts by `lo` and merges overlapping or
+/// touching neighbours, yielding the canonical segment list.
+fn naive_merge(ivs: &[Interval]) -> Vec<Interval> {
+    let mut sorted: Vec<Interval> = ivs.iter().copied().filter(|iv| !iv.is_empty()).collect();
+    sorted.sort_by_key(|a| a.lo());
+    let mut merged: Vec<Interval> = Vec::new();
+    for iv in sorted {
+        match merged.last_mut() {
+            Some(last) if iv.lo() <= last.hi() => {
+                if iv.hi() > last.hi() {
+                    *last = Interval::new(last.lo(), iv.hi());
+                }
+            }
+            _ => merged.push(iv),
+        }
+    }
+    merged
+}
+
+#[test]
+fn insert_matches_sort_and_merge_oracle() {
+    check::forall(512, |rng| {
+        let ivs = random_intervals(rng, 0, 29);
+        // Incremental inserts (exercising every splice path in `insert`)
+        // must land on exactly the segments the oracle computes.
+        let mut set = IntervalSet::new();
+        for iv in &ivs {
+            set.insert(*iv);
+        }
+        assert_eq!(set.segments(), naive_merge(&ivs).as_slice(), "inputs {ivs:?}");
+    });
+}
+
+#[test]
+fn measure_within_matches_naive_scanline() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 19);
+        let probe = random_interval(rng);
+        let set: IntervalSet = ivs.iter().copied().collect();
+        // Quarter-cell scanline restricted to the probe window.
+        let mut expected = 0.0;
+        for cell in 0..500u32 {
+            let mid = t(cell as f64 / 4.0 + 0.125);
+            if probe.contains(mid) && ivs.iter().any(|iv| iv.contains(mid)) {
+                expected += 0.25;
+            }
+        }
+        let got = set.measure_within(&probe).get();
+        assert!(
+            (got - expected).abs() < 1e-9,
+            "measure_within({probe}) = {got} vs naive {expected} on {set}"
+        );
+    });
+}
+
+#[test]
+fn segment_containing_matches_oracle() {
+    check::forall(256, |rng| {
+        let ivs = random_intervals(rng, 0, 19);
+        let set: IntervalSet = ivs.iter().copied().collect();
+        let merged = naive_merge(&ivs);
+        // Probe both cell midpoints and exact endpoints (boundary cases:
+        // `hi` is exclusive, `lo` inclusive).
+        let probe = if rng.u64_below(2) == 0 {
+            t(rng.u64_below(500) as f64 / 4.0 + 0.125)
+        } else {
+            t(rng.u64_below(500) as f64 / 4.0)
+        };
+        let expected = merged.iter().find(|seg| seg.contains(probe)).copied();
+        assert_eq!(set.segment_containing(probe), expected, "probe {probe} on {set}");
+    });
+}
+
 #[test]
 fn measure_within_partitions() {
     check::forall(256, |rng| {

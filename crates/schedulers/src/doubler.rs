@@ -17,8 +17,9 @@
 use fjs_core::job::JobId;
 use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
 
-/// The Doubler baseline. Requires a clairvoyant run (the delay budget is
-/// `c·p(J)`).
+/// The Doubler baseline. Intended for clairvoyant runs (the delay budget
+/// is `c·p(J)`); when lengths are masked it degrades to deadline starts
+/// (see [`OnlineScheduler::on_arrival`]) rather than panicking.
 #[derive(Clone, Copy, Debug)]
 pub struct Doubler {
     c: f64,
@@ -52,11 +53,15 @@ impl OnlineScheduler for Doubler {
     }
 
     fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
-        let p = job
-            .length
-            .expect("Doubler is a clairvoyant scheduler: run it with Clairvoyance::Clairvoyant");
-        let budget_start = job.arrival + p * self.c;
-        let start = budget_start.min(job.deadline);
+        // The delay budget is c·p(J), so Doubler wants a clairvoyant run.
+        // When the length is masked (non-clairvoyant or class-only runs —
+        // e.g. under the chaos harness), degrade gracefully instead of
+        // panicking: with no budget to gamble, wait the full laxity and
+        // start at the deadline, Batch-style.
+        let start = match job.length {
+            Some(p) => (job.arrival + p * self.c).min(job.deadline),
+            None => job.deadline,
+        };
         if start <= job.arrival {
             ctx.start(job.id);
         } else {
@@ -117,5 +122,22 @@ mod tests {
     #[should_panic(expected = "positive budget")]
     fn non_positive_budget_rejected() {
         let _ = Doubler::new(0.0);
+    }
+
+    #[test]
+    fn non_clairvoyant_run_degrades_to_deadline_starts() {
+        // Regression: this used to panic on the masked length. With p(J)
+        // hidden there is no budget, so every job waits its full laxity.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 7.0, 3.0),
+            Job::adp(1.0, 1.0, 2.0), // rigid: starts at arrival
+            Job::adp(2.0, 9.0, 1.0),
+        ]);
+        let out = run_static(&inst, Clairvoyance::NonClairvoyant, Doubler::default());
+        assert!(out.is_feasible());
+        assert_eq!(out.schedule.start(JobId(0)), Some(t(7.0)));
+        assert_eq!(out.schedule.start(JobId(1)), Some(t(1.0)));
+        assert_eq!(out.schedule.start(JobId(2)), Some(t(9.0)));
+        assert_eq!(out.stats.force_starts, 0, "no violations under degradation");
     }
 }
