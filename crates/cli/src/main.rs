@@ -14,11 +14,14 @@
 //! fjs stats batch+         # engine RunStats counters for one scheduler
 //! fjs stats all --log-jsonl runs.jsonl   # counters for all, logged as JSONL
 //! fjs bench-diff old.json new.json       # compare two BENCH_results.json
+//! fjs conform all          # property-based conformance: every scheduler × oracle
+//! fjs conform batch+ --cases 256 --seed 7    # one scheduler, deeper run
+//! fjs conform chaos        # harness self-test: must fail and shrink
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (failed audit, unsound chaos
-//! cell, bench regression past threshold, unreadable/unparseable input,
-//! I/O error), 2 usage error.
+//! cell, conformance oracle violation, bench regression past threshold,
+//! unreadable/unparseable input, I/O error), 2 usage error.
 
 use fjs_cli::experiments::{all, by_id, Experiment, Profile};
 use std::io::Write as _;
@@ -46,27 +49,19 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs chaos [scheduler]\n\
  \u{20}      fjs stats <scheduler|all> [--n <jobs>] [--seed <s>] [--log-jsonl <file>]\n\
  \u{20}      fjs bench-diff <old.json> <new.json> [--threshold <frac>]\n\
+ \u{20}      fjs conform <scheduler|all|chaos> [--cases <n>] [--seed <s>] [--quick] [--corpus <dir>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
 fn pick_scheduler(name: &str) -> Result<fjs_schedulers::SchedulerKind, CliError> {
-    use fjs_schedulers::SchedulerKind as K;
-    match name.to_ascii_lowercase().as_str() {
-        "eager" => Ok(K::Eager),
-        "lazy" => Ok(K::Lazy),
-        "batch" => Ok(K::Batch),
-        "batch+" | "batchplus" => Ok(K::BatchPlus),
-        "cdb" => Ok(K::cdb_optimal()),
-        "profit" => Ok(K::profit_optimal()),
-        "doubler" => Ok(K::Doubler { c: 1.0 }),
-        "random" => Ok(K::RandomStart { seed: 1 }),
-        "threshold" => Ok(K::Threshold { m: 4 }),
-        "semicdb" | "semi-cdb" => Ok(K::SemiCdb),
-        other => Err(CliError::Usage(Some(format!(
-            "unknown scheduler '{other}' (try eager/lazy/batch/batch+/cdb/profit/doubler/\
+    let lower = name.to_ascii_lowercase();
+    let canonical = if lower == "semi-cdb" { "semicdb" } else { lower.as_str() };
+    fjs_schedulers::SchedulerKind::from_short_name(canonical).ok_or_else(|| {
+        CliError::Usage(Some(format!(
+            "unknown scheduler '{name}' (try eager/lazy/batch/batch+/cdb/profit/doubler/\
              random/threshold/semicdb)"
-        )))),
-    }
+        )))
+    })
 }
 
 fn cmd_gantt(args: &[String]) -> Result<(), CliError> {
@@ -252,6 +247,17 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
             failures.len(),
             report.cells.len()
         )))
+    }
+}
+
+/// Removes a boolean `--flag` from `args`, returning whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
     }
 }
 
@@ -490,6 +496,112 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
     }
 }
 
+fn cmd_conform(args: &[String]) -> Result<(), CliError> {
+    use fjs_testkit::{
+        all_targets, row, run_conformance, save_entry, ConformConfig, CorpusEntry, Expectation,
+        Target,
+    };
+
+    let mut args = args.to_vec();
+    let cases: usize = match take_flag_value(&mut args, "--cases")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(Some(format!("--cases: '{v}' is not a count"))))?,
+        None => ConformConfig::default().cases,
+    };
+    let base_seed: u64 = match take_flag_value(&mut args, "--seed")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(Some(format!("--seed: '{v}' is not a seed"))))?,
+        None => ConformConfig::default().base_seed,
+    };
+    let quick = take_switch(&mut args, "--quick");
+    let corpus_dir =
+        take_flag_value(&mut args, "--corpus")?.unwrap_or_else(|| "tests/corpus".into());
+
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let targets: Vec<Target> = match which {
+        "all" => all_targets(),
+        "chaos" => vec![Target::default_chaos()],
+        name => vec![Target::from_name(name).ok_or_else(|| {
+            CliError::Usage(Some(format!(
+                "unknown conformance target '{name}' (a scheduler short name, 'all', \
+                 'chaos', or 'chaos:<mode>:<scheduler>')"
+            )))
+        })?],
+    };
+
+    let config = ConformConfig { cases, base_seed, quick, ..ConformConfig::default() };
+    let report = run_conformance(&targets, &config);
+    println!(
+        "conformance: {} case(s) × {} target(s) = {} oracle checks \
+         ({} mode, base seed {base_seed})\n",
+        report.cases,
+        targets.len(),
+        report.checks,
+        if quick { "quick" } else { "full" },
+    );
+
+    let mut table =
+        fjs_analysis::Table::new("guarantee table", &["target", "oracles", "verdict"]);
+    for t in &targets {
+        let oracle_ids: Vec<&str> = row(t).iter().map(|o| o.id()).collect();
+        let fails = report.failures.iter().filter(|f| f.target == *t).count();
+        table.push_row(vec![
+            t.name(),
+            oracle_ids.join(", "),
+            if fails == 0 { "pass".into() } else { format!("FAIL ({fails} oracle(s))") },
+        ]);
+    }
+    println!("{}", table.render());
+
+    if report.is_clean() {
+        println!("all conformance oracles hold across {} check(s).", report.checks);
+        return Ok(());
+    }
+
+    let mut detail = fjs_analysis::Table::new(
+        "violations (minimized by the shrinker)",
+        &["target", "oracle", "family", "seed", "hits", "jobs", "shrunk", "detail"],
+    );
+    for f in &report.failures {
+        detail.push_row(vec![
+            f.target.name(),
+            f.oracle.id().to_string(),
+            f.family.clone(),
+            format!("{}", f.seed),
+            format!("{}", f.occurrences),
+            format!("{}", f.instance.len()),
+            format!("{}", f.shrunk.len()),
+            f.detail.clone(),
+        ]);
+    }
+    println!("{}", detail.render());
+
+    let dir = std::path::Path::new(&corpus_dir);
+    for f in &report.failures {
+        let entry = CorpusEntry {
+            target: f.target.name(),
+            oracle: f.oracle,
+            expect: Expectation::Violate,
+            note: format!(
+                "shrunk from {} seed {} in {} evaluation(s)",
+                f.family, f.seed, f.shrink_stats.evaluations
+            ),
+            instance: f.shrunk.clone(),
+        };
+        match save_entry(dir, &entry) {
+            Ok(path) => println!("counterexample written: {}", path.display()),
+            Err(e) => eprintln!("warning: could not save counterexample: {e}"),
+        }
+    }
+    Err(CliError::Runtime(format!(
+        "conform: {} distinct oracle violation(s) across {} check(s)",
+        report.failures.len(),
+        report.checks
+    )))
+}
+
 fn real_main(args: &[String]) -> Result<(), CliError> {
     if args.is_empty() {
         return Err(CliError::usage());
@@ -512,6 +624,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "chaos" => cmd_chaos(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
         "bench-diff" => cmd_bench_diff(&args[1..]),
+        "conform" => cmd_conform(&args[1..]),
         "list" => {
             for e in all() {
                 println!("{:4}  {}", e.id, e.title);

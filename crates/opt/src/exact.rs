@@ -66,6 +66,29 @@ pub const DP_JOB_LIMIT: usize = 16;
 /// Maximum jobs accepted by [`optimal_span_exhaustive`].
 pub const EXHAUSTIVE_JOB_LIMIT: usize = 6;
 
+/// Whether every arrival, deadline and length of the instance is integral,
+/// i.e. the precondition of the integrality lemma holds.
+pub fn is_integral(inst: &Instance) -> bool {
+    inst.jobs().iter().all(|j| {
+        j.arrival().get().fract() == 0.0
+            && j.deadline().get().fract() == 0.0
+            && j.length().get().fract() == 0.0
+    })
+}
+
+/// Whether [`optimal_span_dp`] accepts this instance (integral and at most
+/// [`DP_JOB_LIMIT`] jobs) — a cheap pre-check so callers can decide whether
+/// an exact-optimum oracle applies without paying for a failed solve.
+pub fn fits_dp(inst: &Instance) -> bool {
+    inst.len() <= DP_JOB_LIMIT && is_integral(inst)
+}
+
+/// Whether [`optimal_span_exhaustive`] accepts this instance (integral and
+/// at most [`EXHAUSTIVE_JOB_LIMIT`] jobs).
+pub fn fits_exhaustive(inst: &Instance) -> bool {
+    inst.len() <= EXHAUSTIVE_JOB_LIMIT && is_integral(inst)
+}
+
 #[derive(Clone, Copy, Debug)]
 struct IntJob {
     a: i64,
@@ -345,6 +368,18 @@ mod tests {
         let inst = Instance::new(vec![Job::adp(0.0, 1.5, 1.0)]);
         assert_eq!(optimal_span_dp(&inst), Err(ExactError::NonIntegral));
         assert_eq!(optimal_span_exhaustive(&inst), Err(ExactError::NonIntegral));
+    }
+
+    #[test]
+    fn applicability_predicates_mirror_solver_acceptance() {
+        let ok = Instance::new(vec![Job::adp(0.0, 2.0, 1.0)]);
+        assert!(is_integral(&ok) && fits_dp(&ok) && fits_exhaustive(&ok));
+        let frac = Instance::new(vec![Job::adp(0.0, 1.5, 1.0)]);
+        assert!(!is_integral(&frac) && !fits_dp(&frac) && !fits_exhaustive(&frac));
+        let big = Instance::new((0..7).map(|i| Job::adp(i as f64, i as f64, 1.0)).collect());
+        assert!(fits_dp(&big) && !fits_exhaustive(&big));
+        assert!(optimal_span_dp(&big).is_ok());
+        assert!(optimal_span_exhaustive(&big).is_err());
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub mod exact;
 pub mod improve;
 
 pub use bounds::{best_lower_bound, lb_chain, lb_mandatory, lb_max_length};
-pub use exact::{optimal_schedule_dp, optimal_span_dp, optimal_span_exhaustive, ExactError};
+pub use exact::{
+    fits_dp, fits_exhaustive, is_integral, optimal_schedule_dp, optimal_span_dp,
+    optimal_span_exhaustive, ExactError,
+};
 pub use improve::{coordinate_descent, upper_bound_span, upper_bound_span_randomized, DescentResult};
 
 #[cfg(test)]

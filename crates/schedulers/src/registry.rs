@@ -8,10 +8,10 @@ use fjs_core::sim::{run_static, Clairvoyance, OnlineScheduler, SimOutcome};
 use crate::baseline::{Eager, Lazy};
 use crate::batch::Batch;
 use crate::batch_plus::BatchPlus;
-use crate::cdb::{optimal_alpha, ClassifyByDuration};
+use crate::cdb::{cdb_bound, optimal_alpha, ClassifyByDuration};
 use crate::doubler::Doubler;
 use crate::extensions::{RandomStart, Threshold};
-use crate::profit::{Profit, OPTIMAL_K};
+use crate::profit::{profit_bound, Profit, OPTIMAL_K};
 use crate::semi_cdb::SemiCdb;
 
 /// A buildable description of one scheduler configuration.
@@ -107,6 +107,77 @@ impl SchedulerKind {
         self.build().name()
     }
 
+    /// The canonical CLI short name for this configuration.
+    pub fn short_name(&self) -> &'static str {
+        match self {
+            SchedulerKind::Eager => "eager",
+            SchedulerKind::Lazy => "lazy",
+            SchedulerKind::Batch => "batch",
+            SchedulerKind::BatchPlus => "batch+",
+            SchedulerKind::Cdb { .. } => "cdb",
+            SchedulerKind::Profit { .. } => "profit",
+            SchedulerKind::Doubler { .. } => "doubler",
+            SchedulerKind::RandomStart { .. } => "random",
+            SchedulerKind::Threshold { .. } => "threshold",
+            SchedulerKind::SemiCdb => "semicdb",
+        }
+    }
+
+    /// Parses a CLI short name into the canonical configuration of that
+    /// scheduler (optimal parameters where the paper prescribes them, the
+    /// registered defaults for the extensions). Inverse of
+    /// [`SchedulerKind::short_name`] on every registered kind.
+    pub fn from_short_name(name: &str) -> Option<SchedulerKind> {
+        Some(match name {
+            "eager" => SchedulerKind::Eager,
+            "lazy" => SchedulerKind::Lazy,
+            "batch" => SchedulerKind::Batch,
+            "batch+" | "batchplus" => SchedulerKind::BatchPlus,
+            "cdb" => SchedulerKind::cdb_optimal(),
+            "profit" => SchedulerKind::profit_optimal(),
+            "doubler" => SchedulerKind::Doubler { c: 1.0 },
+            "random" => SchedulerKind::RandomStart { seed: 42 },
+            "threshold" => SchedulerKind::Threshold { m: 4 },
+            "semicdb" => SchedulerKind::SemiCdb,
+            _ => return None,
+        })
+    }
+
+    /// The proven worst-case competitive ratio for an instance with length
+    /// ratio `μ`, or `None` if the scheduler has no span guarantee (the
+    /// baselines and extensions are all unboundedly bad in the worst case).
+    ///
+    /// The returned bound is a *contract*: on any instance with length
+    /// ratio at most `μ`, the scheduler's span must be within this factor
+    /// of the optimal span (Theorems 3.4, 3.5, 4.4 and 4.11).
+    pub fn ratio_bound(&self, mu: f64) -> Option<f64> {
+        match *self {
+            SchedulerKind::Batch => Some(2.0 * mu + 1.0),
+            SchedulerKind::BatchPlus => Some(mu + 1.0),
+            SchedulerKind::Cdb { alpha, .. } => Some(cdb_bound(alpha)),
+            SchedulerKind::Profit { k } => Some(profit_bound(k)),
+            _ => None,
+        }
+    }
+
+    /// Whether the scheduler's decisions are invariant under translating
+    /// every time field (arrivals and deadlines) by a common offset: a
+    /// shifted instance must yield the same schedule shifted by the same
+    /// offset, hence an identical span. True for every registered
+    /// scheduler — none consults absolute time.
+    pub fn translation_invariant(&self) -> bool {
+        true
+    }
+
+    /// Whether the scheduler's decisions are invariant under scaling every
+    /// time field by a common positive factor. False for the class-based
+    /// schedulers (CDB, SemiCdb): their geometric length classes are
+    /// anchored at an absolute base length, so scaling moves jobs across
+    /// class boundaries and legitimately changes the schedule shape.
+    pub fn scale_invariant(&self) -> bool {
+        !matches!(self, SchedulerKind::Cdb { .. } | SchedulerKind::SemiCdb)
+    }
+
     /// Runs the scheduler on a static instance under the weakest
     /// information model it supports (so Section 3 schedulers are
     /// exercised exactly as analyzed, and SemiCdb runs class-only).
@@ -189,6 +260,40 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), labels.len(), "duplicate labels: {labels:?}");
+    }
+
+    #[test]
+    fn short_names_round_trip() {
+        for kind in SchedulerKind::registered_set() {
+            let parsed = SchedulerKind::from_short_name(kind.short_name())
+                .unwrap_or_else(|| panic!("{} did not parse", kind.short_name()));
+            assert_eq!(parsed, kind, "{} did not round-trip", kind.short_name());
+        }
+        assert_eq!(SchedulerKind::from_short_name("batchplus"), Some(SchedulerKind::BatchPlus));
+        assert_eq!(SchedulerKind::from_short_name("nope"), None);
+    }
+
+    #[test]
+    fn ratio_bounds_match_theorems() {
+        let mu = 3.0;
+        assert_eq!(SchedulerKind::Batch.ratio_bound(mu), Some(7.0));
+        assert_eq!(SchedulerKind::BatchPlus.ratio_bound(mu), Some(4.0));
+        assert!(SchedulerKind::cdb_optimal().ratio_bound(mu).is_some());
+        assert!(SchedulerKind::profit_optimal().ratio_bound(mu).is_some());
+        assert_eq!(SchedulerKind::Eager.ratio_bound(mu), None);
+        assert_eq!(SchedulerKind::Lazy.ratio_bound(mu), None);
+        assert_eq!(SchedulerKind::Doubler { c: 1.0 }.ratio_bound(mu), None);
+    }
+
+    #[test]
+    fn scale_invariance_excludes_class_schedulers() {
+        assert!(!SchedulerKind::cdb_optimal().scale_invariant());
+        assert!(!SchedulerKind::SemiCdb.scale_invariant());
+        for kind in SchedulerKind::registered_set() {
+            assert!(kind.translation_invariant());
+        }
+        assert!(SchedulerKind::Batch.scale_invariant());
+        assert!(SchedulerKind::profit_optimal().scale_invariant());
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! The conformance loop: seeded deck cases fanned out through
+//! [`fjs_analysis::parallel_map`], every applicable oracle checked per
+//! target, and each distinct failure minimized by the shrinker.
+
+use crate::oracles::{self, OracleKind, OracleViolation};
+use crate::shrink::{shrink, ShrinkStats, DEFAULT_SHRINK_BUDGET};
+use crate::target::Target;
+use fjs_analysis::parallel_map;
+use fjs_core::job::Instance;
+use fjs_prng::check::case_seed;
+use fjs_workloads::{conformance_deck, Family};
+
+/// Configuration for one conformance run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct ConformConfig {
+    /// Number of cases; case `i` draws deck member `i % deck.len()` with
+    /// seed `case_seed(base_seed, i)`.
+    pub cases: usize,
+    /// Base seed; the whole run is a pure function of `(targets, config)`.
+    pub base_seed: u64,
+    /// Quick mode (CI): only deck members with at most 8 jobs, so every
+    /// case stays microseconds-cheap.
+    pub quick: bool,
+    /// Shrinker evaluation budget per distinct failure.
+    pub shrink_budget: usize,
+}
+
+impl Default for ConformConfig {
+    fn default() -> Self {
+        ConformConfig {
+            cases: 64,
+            base_seed: 1,
+            quick: false,
+            shrink_budget: DEFAULT_SHRINK_BUDGET,
+        }
+    }
+}
+
+/// One distinct `(target, oracle)` failure, minimized.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The failing target.
+    pub target: Target,
+    /// The violated oracle.
+    pub oracle: OracleKind,
+    /// Diagnosis from the first occurrence.
+    pub detail: String,
+    /// Deck family label of the first occurrence.
+    pub family: String,
+    /// Case seed of the first occurrence.
+    pub seed: u64,
+    /// How many cases hit this `(target, oracle)` pair.
+    pub occurrences: usize,
+    /// The original (un-shrunk) failing instance.
+    pub instance: Instance,
+    /// The minimized instance (still fails the same oracle).
+    pub shrunk: Instance,
+    /// Shrinker effort spent.
+    pub shrink_stats: ShrinkStats,
+}
+
+/// The result of a conformance run.
+#[derive(Clone, Debug, Default)]
+pub struct ConformReport {
+    /// Cases executed.
+    pub cases: usize,
+    /// Total oracle checks executed across all cases and targets.
+    pub checks: usize,
+    /// Distinct minimized failures (empty for conforming schedulers).
+    pub failures: Vec<Failure>,
+}
+
+impl ConformReport {
+    /// `true` when no oracle failed.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+struct RawFailure {
+    target_index: usize,
+    violation: OracleViolation,
+    family: String,
+    seed: u64,
+    instance: Instance,
+}
+
+/// Runs the conformance suite for `targets`.
+///
+/// Deterministic: the report (including shrunk instances) is a pure
+/// function of `(targets, config)` — `parallel_map` preserves input order
+/// and every oracle and the shrinker are deterministic.
+pub fn run_conformance(targets: &[Target], config: &ConformConfig) -> ConformReport {
+    let mut deck: Vec<Family> = conformance_deck();
+    if config.quick {
+        deck.retain(|f| f.n() <= 8);
+    }
+    let ratio_possible = targets
+        .iter()
+        .any(|t| oracles::row(t).contains(&OracleKind::RatioBound));
+
+    let cases: Vec<(usize, Family, u64)> = (0..config.cases)
+        .map(|i| (i, deck[i % deck.len()], case_seed(config.base_seed, i)))
+        .collect();
+
+    let per_case: Vec<(usize, Vec<RawFailure>)> = parallel_map(&cases, |&(_, family, seed)| {
+        let inst = family.generate(seed);
+        // The exact optimum is per-instance, not per-target: compute it
+        // once and share it across every ratio-bound check.
+        let opt = if ratio_possible { oracles::exact_opt(&inst) } else { None };
+        let mut checks = 0;
+        let mut raw = Vec::new();
+        for (target_index, target) in targets.iter().enumerate() {
+            let (n, violations) = oracles::check_all(target, &inst, opt);
+            checks += n;
+            for violation in violations {
+                raw.push(RawFailure {
+                    target_index,
+                    violation,
+                    family: family.label(),
+                    seed,
+                    instance: inst.clone(),
+                });
+            }
+        }
+        (checks, raw)
+    });
+
+    let mut report = ConformReport { cases: config.cases, ..ConformReport::default() };
+    let mut failures: Vec<Failure> = Vec::new();
+    for (checks, raw) in per_case {
+        report.checks += checks;
+        for rf in raw {
+            let target = targets[rf.target_index];
+            if let Some(existing) = failures
+                .iter_mut()
+                .find(|f| f.target == target && f.oracle == rf.violation.oracle)
+            {
+                existing.occurrences += 1;
+                continue;
+            }
+            failures.push(Failure {
+                target,
+                oracle: rf.violation.oracle,
+                detail: rf.violation.detail,
+                family: rf.family,
+                seed: rf.seed,
+                occurrences: 1,
+                instance: rf.instance,
+                shrunk: Instance::empty(),
+                shrink_stats: ShrinkStats::default(),
+            });
+        }
+    }
+
+    // Minimize each distinct failure, preserving the failing oracle.
+    for failure in &mut failures {
+        let target = failure.target;
+        let oracle = failure.oracle;
+        let (shrunk, stats) = shrink(&failure.instance, config.shrink_budget, |cand| {
+            oracles::still_fails(&target, oracle, cand)
+        });
+        failure.shrunk = shrunk;
+        failure.shrink_stats = stats;
+    }
+
+    report.failures = failures;
+    report
+}
+
+/// All real registered schedulers as conformance targets.
+pub fn all_targets() -> Vec<Target> {
+    fjs_schedulers::SchedulerKind::registered_set()
+        .into_iter()
+        .map(Target::Kind)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(cases: usize) -> ConformConfig {
+        ConformConfig { cases, base_seed: 1, quick: true, ..ConformConfig::default() }
+    }
+
+    #[test]
+    fn real_schedulers_conform() {
+        let report = run_conformance(&all_targets(), &quick_config(24));
+        let details: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| format!("{} / {}: {}", f.target.name(), f.oracle.id(), f.detail))
+            .collect();
+        assert!(report.is_clean(), "conformance failures:\n{}", details.join("\n"));
+        assert_eq!(report.cases, 24);
+        assert!(report.checks > 24 * all_targets().len(), "several oracles per target-case");
+    }
+
+    #[test]
+    fn chaos_is_caught_and_shrunk_small() {
+        let report = run_conformance(&[Target::default_chaos()], &quick_config(16));
+        assert!(!report.is_clean(), "the harness must catch injected chaos");
+        let f = &report.failures[0];
+        assert_eq!(f.oracle, OracleKind::Window);
+        assert!(f.shrunk.len() <= 6, "shrunk to {} jobs: {:?}", f.shrunk.len(), f.shrunk);
+        assert!(f.shrink_stats.evaluations > 0);
+        assert!(
+            oracles::still_fails(&f.target, f.oracle, &f.shrunk),
+            "the minimized instance must preserve the failure"
+        );
+    }
+
+    #[test]
+    fn reports_are_bit_stable() {
+        let a = run_conformance(&[Target::default_chaos()], &quick_config(8));
+        let b = run_conformance(&[Target::default_chaos()], &quick_config(8));
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.failures.len(), b.failures.len());
+        for (fa, fb) in a.failures.iter().zip(&b.failures) {
+            assert_eq!(fa.shrunk, fb.shrunk);
+            assert_eq!(fa.seed, fb.seed);
+            assert_eq!(fa.occurrences, fb.occurrences);
+        }
+    }
+}

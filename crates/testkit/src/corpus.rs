@@ -1,0 +1,317 @@
+//! The counterexample **corpus**: minimized violating (or fixed) instances
+//! persisted as annotated CSV trace files and replayed by tests.
+//!
+//! A corpus file is a regular `fjs-workloads` CSV trace whose leading `#!`
+//! comment lines carry the conformance metadata — [`parse_trace`] ignores
+//! every `#` line, so corpus files remain loadable by any trace consumer:
+//!
+//! ```text
+//! #! conform-corpus: v1
+//! #! target: chaos:drop-starts:batch
+//! #! oracle: window
+//! #! expect: violate
+//! #! note: shrunk from int[n=6,mu=2,tight,burst] seed 0xc0ffee
+//! # arrival,deadline,length
+//! 0,2,1
+//! ```
+//!
+//! `expect: violate` entries are harness self-tests — replay asserts the
+//! oracle *still fails* (the harness can still catch the bug). `expect:
+//! pass` entries are regression tests for fixed scheduler bugs — replay
+//! asserts the oracle *no longer fails*.
+
+use crate::oracles::{still_fails, OracleKind};
+use crate::target::Target;
+use fjs_core::job::Instance;
+use fjs_workloads::{parse_trace, write_trace};
+use std::path::{Path, PathBuf};
+
+/// The corpus format version tag written and required by this module.
+pub const CORPUS_VERSION: &str = "v1";
+
+/// What replaying an entry must observe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// The oracle passes (regression entry for a fixed bug).
+    Pass,
+    /// The oracle fails (harness self-test entry).
+    Violate,
+}
+
+impl Expectation {
+    fn id(&self) -> &'static str {
+        match self {
+            Expectation::Pass => "pass",
+            Expectation::Violate => "violate",
+        }
+    }
+
+    fn from_id(id: &str) -> Option<Expectation> {
+        match id {
+            "pass" => Some(Expectation::Pass),
+            "violate" => Some(Expectation::Violate),
+            _ => None,
+        }
+    }
+}
+
+/// One corpus entry.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Target name ([`Target::from_name`] syntax).
+    pub target: String,
+    /// The oracle the entry exercises.
+    pub oracle: OracleKind,
+    /// What replay must observe.
+    pub expect: Expectation,
+    /// Free-form provenance note.
+    pub note: String,
+    /// The (minimized) instance.
+    pub instance: Instance,
+}
+
+/// Errors from corpus parsing or replay.
+#[derive(Clone, Debug)]
+pub enum CorpusError {
+    /// Malformed or missing `#!` metadata.
+    Meta(String),
+    /// The trace body failed to parse.
+    Trace(String),
+}
+
+impl std::fmt::Display for CorpusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusError::Meta(m) => write!(f, "corpus metadata: {m}"),
+            CorpusError::Trace(m) => write!(f, "corpus trace: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusError {}
+
+/// Serializes an entry to the corpus file format.
+pub fn render_entry(entry: &CorpusEntry) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("#! conform-corpus: {CORPUS_VERSION}\n"));
+    out.push_str(&format!("#! target: {}\n", entry.target));
+    out.push_str(&format!("#! oracle: {}\n", entry.oracle.id()));
+    out.push_str(&format!("#! expect: {}\n", entry.expect.id()));
+    if !entry.note.is_empty() {
+        out.push_str(&format!("#! note: {}\n", entry.note.replace('\n', " ")));
+    }
+    out.push_str(&write_trace(&entry.instance, None));
+    out
+}
+
+/// Parses a corpus file.
+pub fn parse_entry(text: &str) -> Result<CorpusEntry, CorpusError> {
+    let mut version = None;
+    let mut target = None;
+    let mut oracle = None;
+    let mut expect = None;
+    let mut note = String::new();
+    for line in text.lines() {
+        let Some(meta) = line.trim().strip_prefix("#!") else { continue };
+        let Some((key, value)) = meta.split_once(':') else {
+            return Err(CorpusError::Meta(format!("malformed line: {line:?}")));
+        };
+        let value = value.trim().to_string();
+        match key.trim() {
+            "conform-corpus" => version = Some(value),
+            "target" => target = Some(value),
+            "oracle" => {
+                oracle = Some(OracleKind::from_id(&value).ok_or_else(|| {
+                    CorpusError::Meta(format!("unknown oracle id {value:?}"))
+                })?);
+            }
+            "expect" => {
+                expect = Some(Expectation::from_id(&value).ok_or_else(|| {
+                    CorpusError::Meta(format!("unknown expectation {value:?}"))
+                })?);
+            }
+            "note" => note = value,
+            other => return Err(CorpusError::Meta(format!("unknown key {other:?}"))),
+        }
+    }
+    match version {
+        Some(v) if v == CORPUS_VERSION => {}
+        Some(v) => return Err(CorpusError::Meta(format!("unsupported version {v:?}"))),
+        None => return Err(CorpusError::Meta("missing '#! conform-corpus:' header".into())),
+    }
+    let target = target.ok_or_else(|| CorpusError::Meta("missing target".into()))?;
+    // Validate the target name now so replay errors point at the metadata.
+    if Target::from_name(&target).is_none() {
+        return Err(CorpusError::Meta(format!("unknown target {target:?}")));
+    }
+    let oracle = oracle.ok_or_else(|| CorpusError::Meta("missing oracle".into()))?;
+    let expect = expect.ok_or_else(|| CorpusError::Meta("missing expect".into()))?;
+    let trace = parse_trace(text).map_err(|e| CorpusError::Trace(e.to_string()))?;
+    Ok(CorpusEntry { target, oracle, expect, note, instance: trace.instance })
+}
+
+/// Replays one entry: checks that the recorded expectation still holds.
+pub fn replay(entry: &CorpusEntry) -> Result<(), String> {
+    let target = Target::from_name(&entry.target)
+        .ok_or_else(|| format!("unknown target {:?}", entry.target))?;
+    let fails = still_fails(&target, entry.oracle, &entry.instance);
+    match (entry.expect, fails) {
+        (Expectation::Violate, true) | (Expectation::Pass, false) => Ok(()),
+        (Expectation::Violate, false) => Err(format!(
+            "{} / {}: expected a violation but the oracle now passes — if this \
+             bug was just fixed, flip the entry to 'expect: pass'",
+            entry.target,
+            entry.oracle.id()
+        )),
+        (Expectation::Pass, true) => Err(format!(
+            "{} / {}: regression — the fixed bug is back",
+            entry.target,
+            entry.oracle.id()
+        )),
+    }
+}
+
+fn content_fingerprint(s: &str) -> u64 {
+    // splitmix64 over bytes: stable across platforms, good enough to keep
+    // distinct instances in distinct files.
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 29;
+    }
+    h
+}
+
+/// The deterministic file name for an entry:
+/// `<target>.<oracle>.<fingerprint>.csv` with `:` made path-safe.
+pub fn entry_filename(entry: &CorpusEntry) -> String {
+    let safe_target = entry.target.replace(':', "-");
+    let body = write_trace(&entry.instance, None);
+    format!("{safe_target}.{}.{:08x}.csv", entry.oracle.id(), content_fingerprint(&body) as u32)
+}
+
+/// Writes an entry into `dir` (created if missing) under its deterministic
+/// name. Returns the path. Overwrites an existing identical-named file —
+/// the name fingerprints the instance, so this is idempotent.
+pub fn save_entry(dir: &Path, entry: &CorpusEntry) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let path = dir.join(entry_filename(entry));
+    std::fs::write(&path, render_entry(entry))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Loads every `*.csv` corpus entry in `dir`, sorted by file name for
+/// deterministic replay order. A missing directory is an empty corpus.
+pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "csv"))
+            .collect(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(format!("reading {}: {e}", dir.display())),
+    };
+    paths.sort();
+    let mut entries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let entry =
+            parse_entry(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        entries.push((path, entry));
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::job::Job;
+
+    fn sample_entry() -> CorpusEntry {
+        CorpusEntry {
+            target: "chaos:drop-starts:batch".into(),
+            oracle: OracleKind::Window,
+            expect: Expectation::Violate,
+            note: "shrunk from int[n=6,mu=2,tight,burst] seed 7".into(),
+            instance: Instance::new(vec![Job::adp(0.0, 2.0, 1.0)]),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let entry = sample_entry();
+        let text = render_entry(&entry);
+        let parsed = parse_entry(&text).unwrap();
+        assert_eq!(parsed.target, entry.target);
+        assert_eq!(parsed.oracle, entry.oracle);
+        assert_eq!(parsed.expect, entry.expect);
+        assert_eq!(parsed.note, entry.note);
+        assert_eq!(parsed.instance, entry.instance);
+    }
+
+    #[test]
+    fn corpus_files_are_plain_traces() {
+        let text = render_entry(&sample_entry());
+        let trace = parse_trace(&text).unwrap();
+        assert_eq!(trace.instance.len(), 1);
+    }
+
+    #[test]
+    fn replay_validates_expectations() {
+        // The chaos self-test entry must still violate.
+        assert!(replay(&sample_entry()).is_ok());
+        // A real scheduler passes the window oracle on the same instance.
+        let mut pass = sample_entry();
+        pass.target = "batch".into();
+        pass.expect = Expectation::Pass;
+        assert!(replay(&pass).is_ok());
+        // And the mismatched expectations both fail with useful messages.
+        let mut stale = sample_entry();
+        stale.target = "batch".into();
+        assert!(replay(&stale).unwrap_err().contains("expected a violation"));
+        let mut regressed = sample_entry();
+        regressed.expect = Expectation::Pass;
+        assert!(replay(&regressed).unwrap_err().contains("regression"));
+    }
+
+    #[test]
+    fn rejects_malformed_metadata() {
+        assert!(parse_entry("0,1,1\n").is_err(), "missing header");
+        let bad_oracle = "#! conform-corpus: v1\n#! target: batch\n#! oracle: nope\n\
+                          #! expect: pass\n0,1,1\n";
+        assert!(matches!(parse_entry(bad_oracle), Err(CorpusError::Meta(_))));
+        let bad_target = "#! conform-corpus: v1\n#! target: bogus\n#! oracle: window\n\
+                          #! expect: pass\n0,1,1\n";
+        assert!(matches!(parse_entry(bad_target), Err(CorpusError::Meta(_))));
+    }
+
+    #[test]
+    fn filenames_are_deterministic_and_path_safe() {
+        let entry = sample_entry();
+        let name = entry_filename(&entry);
+        assert_eq!(name, entry_filename(&entry));
+        assert!(!name.contains(':'), "{name}");
+        assert!(name.ends_with(".csv"));
+        assert!(name.starts_with("chaos-drop-starts-batch.window."));
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "fjs-corpus-test-{}-{}",
+            std::process::id(),
+            content_fingerprint("save_and_load_round_trip")
+        ));
+        let entry = sample_entry();
+        let path = save_entry(&dir, &entry).unwrap();
+        assert!(path.exists());
+        let loaded = load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].1.instance, entry.instance);
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(load_dir(&dir).unwrap().len(), 0, "missing dir is an empty corpus");
+    }
+}

@@ -1,0 +1,546 @@
+//! The per-scheduler **guarantee table**: invariant oracles that every run
+//! must satisfy, plus metamorphic oracles comparing runs on transformed
+//! instances.
+//!
+//! Structural oracles (always applicable):
+//!
+//! * [`OracleKind::Window`] — the run is clean (completed, no violations, no
+//!   rejected actions) and every start lies in `[a(J), d(J)]`;
+//! * [`OracleKind::SpanMeasure`] — the reported span equals the measure of
+//!   the union of busy intervals, recomputed from the schedule.
+//!
+//! Contract oracles (per the theorems, when an exact optimum is available):
+//!
+//! * [`OracleKind::RatioBound`] — `span ≤ bound(μ) · OPT` with `bound` from
+//!   [`fjs_schedulers::SchedulerKind::ratio_bound`] and `OPT` from
+//!   `optimal_span_dp`.
+//!
+//! Metamorphic oracles (when the registry declares the invariance):
+//!
+//! * [`OracleKind::Translation`] — shifting all times by an integer offset
+//!   shifts the schedule, leaving the span unchanged;
+//! * [`OracleKind::Scaling`] — scaling all times by a power of two scales
+//!   the span by the same factor;
+//! * [`OracleKind::Permutation`] — when arrivals are pairwise distinct, the
+//!   presentation order of jobs in the instance is irrelevant;
+//! * [`OracleKind::MaskedLengths`] — a non-clairvoyant scheduler's decisions
+//!   before the first completion cannot depend on the hidden lengths.
+
+use crate::target::Target;
+use fjs_core::job::{Instance, Job, JobId};
+use fjs_core::sim::{Clairvoyance, SimOutcome, TraceEvent, TraceKind};
+use fjs_core::time::Dur;
+use fjs_opt::{fits_dp, optimal_span_dp};
+
+/// The integer offset used by the translation oracle (exact in `f64` for
+/// the integer deck instances).
+pub const TRANSLATION_OFFSET: f64 = 97.0;
+
+/// The scale factor used by the scaling oracle: a power of two, so scaling
+/// every time field is exact in `f64`.
+pub const SCALE_FACTOR: f64 = 4.0;
+
+/// Horizon-width cap for invoking the exact DP inside the conformance loop
+/// (the DP's state space grows with the time horizon, not just the job
+/// count).
+pub const DP_WIDTH_LIMIT: f64 = 96.0;
+
+/// One invariant oracle of the guarantee table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleKind {
+    /// Clean run; every start within `[a(J), d(J)]`.
+    Window,
+    /// Reported span equals the recomputed interval-union measure.
+    SpanMeasure,
+    /// Span within the proven competitive-ratio bound of the exact optimum.
+    RatioBound,
+    /// Span invariant under integer time translation.
+    Translation,
+    /// Span scales linearly under a power-of-two time scaling.
+    Scaling,
+    /// Instance presentation order is irrelevant (distinct arrivals).
+    Permutation,
+    /// Pre-completion decisions are independent of masked lengths.
+    MaskedLengths,
+}
+
+impl OracleKind {
+    /// Every oracle, in guarantee-table order.
+    pub const ALL: [OracleKind; 7] = [
+        OracleKind::Window,
+        OracleKind::SpanMeasure,
+        OracleKind::RatioBound,
+        OracleKind::Translation,
+        OracleKind::Scaling,
+        OracleKind::Permutation,
+        OracleKind::MaskedLengths,
+    ];
+
+    /// Stable string id (used in corpus metadata and CLI output).
+    pub fn id(&self) -> &'static str {
+        match self {
+            OracleKind::Window => "window",
+            OracleKind::SpanMeasure => "span-measure",
+            OracleKind::RatioBound => "ratio-bound",
+            OracleKind::Translation => "translation",
+            OracleKind::Scaling => "scaling",
+            OracleKind::Permutation => "permutation",
+            OracleKind::MaskedLengths => "masked-lengths",
+        }
+    }
+
+    /// Parses a stable id back into the oracle.
+    pub fn from_id(id: &str) -> Option<OracleKind> {
+        OracleKind::ALL.iter().copied().find(|o| o.id() == id)
+    }
+
+    /// One-line description for tables and docs.
+    pub fn description(&self) -> &'static str {
+        match self {
+            OracleKind::Window => "clean run, every start in [a(J), d(J)]",
+            OracleKind::SpanMeasure => "span = measure of busy-interval union",
+            OracleKind::RatioBound => "span <= bound(mu) * OPT (exact DP)",
+            OracleKind::Translation => "span invariant under time translation",
+            OracleKind::Scaling => "span scales under power-of-two scaling",
+            OracleKind::Permutation => "job presentation order irrelevant",
+            OracleKind::MaskedLengths => "pre-completion decisions ignore masked lengths",
+        }
+    }
+}
+
+impl std::fmt::Display for OracleKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A concrete oracle failure on a concrete instance.
+#[derive(Clone, Debug)]
+pub struct OracleViolation {
+    /// Which oracle failed.
+    pub oracle: OracleKind,
+    /// Human-readable diagnosis.
+    pub detail: String,
+}
+
+impl std::fmt::Display for OracleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.oracle.id(), self.detail)
+    }
+}
+
+/// The scheduler-level row of the guarantee table: which oracles this
+/// target is subject to at all (instance-independent part). Chaos targets
+/// are only subject to the structural oracles — their whole point is to
+/// violate them.
+pub fn row(target: &Target) -> Vec<OracleKind> {
+    let mut row = vec![OracleKind::Window, OracleKind::SpanMeasure];
+    if target.is_chaos() {
+        return row;
+    }
+    let kind = target.kind();
+    if kind.ratio_bound(1.0).is_some() {
+        row.push(OracleKind::RatioBound);
+    }
+    if kind.translation_invariant() {
+        row.push(OracleKind::Translation);
+    }
+    if kind.scale_invariant() {
+        row.push(OracleKind::Scaling);
+    }
+    row.push(OracleKind::Permutation);
+    if target.information_model() == Clairvoyance::NonClairvoyant {
+        row.push(OracleKind::MaskedLengths);
+    }
+    row
+}
+
+/// Whether the exact DP optimum is worth computing for this instance
+/// inside the conformance loop.
+pub fn dp_applicable(inst: &Instance) -> bool {
+    if !fits_dp(inst) || inst.is_empty() {
+        return false;
+    }
+    let lo = inst.first_arrival().map(|t| t.get()).unwrap_or(0.0);
+    let hi = inst
+        .jobs()
+        .iter()
+        .map(|j| j.deadline().get() + j.length().get())
+        .fold(0.0_f64, f64::max);
+    hi - lo <= DP_WIDTH_LIMIT
+}
+
+/// The exact optimum when [`dp_applicable`], else `None`.
+pub fn exact_opt(inst: &Instance) -> Option<Dur> {
+    if dp_applicable(inst) {
+        optimal_span_dp(inst).ok()
+    } else {
+        None
+    }
+}
+
+/// The instance-level guarantee table: [`row`] filtered by the conditions
+/// the instance must meet for each oracle to be sound.
+pub fn applicable(target: &Target, inst: &Instance) -> Vec<OracleKind> {
+    row(target)
+        .into_iter()
+        .filter(|oracle| match oracle {
+            OracleKind::RatioBound => dp_applicable(inst),
+            OracleKind::Permutation => inst.len() >= 2 && arrivals_distinct(inst),
+            OracleKind::MaskedLengths => !inst.is_empty(),
+            _ => true,
+        })
+        .collect()
+}
+
+fn arrivals_distinct(inst: &Instance) -> bool {
+    let mut arrivals: Vec<f64> = inst.jobs().iter().map(|j| j.arrival().get()).collect();
+    arrivals.sort_by(f64::total_cmp);
+    arrivals.windows(2).all(|w| w[0] != w[1])
+}
+
+/// Shifts every arrival and deadline by `delta` (lengths unchanged).
+pub fn translated(inst: &Instance, delta: f64) -> Instance {
+    Instance::new(
+        inst.jobs()
+            .iter()
+            .map(|j| {
+                Job::adp(
+                    j.arrival().get() + delta,
+                    j.deadline().get() + delta,
+                    j.length().get(),
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Scales every arrival, deadline and length by `factor`.
+pub fn scaled(inst: &Instance, factor: f64) -> Instance {
+    Instance::new(
+        inst.jobs()
+            .iter()
+            .map(|j| {
+                Job::adp(
+                    j.arrival().get() * factor,
+                    j.deadline().get() * factor,
+                    j.length().get() * factor,
+                )
+            })
+            .collect(),
+    )
+}
+
+/// Reverses the presentation order of jobs.
+pub fn reversed(inst: &Instance) -> Instance {
+    Instance::new(inst.jobs().iter().rev().copied().collect())
+}
+
+/// Replaces every length with 1 (windows unchanged) — the hidden-length
+/// variant for the masked-lengths oracle.
+pub fn unit_lengths(inst: &Instance) -> Instance {
+    Instance::new(
+        inst.jobs()
+            .iter()
+            .map(|j| Job::adp(j.arrival().get(), j.deadline().get(), 1.0))
+            .collect(),
+    )
+}
+
+fn span_tol(reference: f64) -> f64 {
+    1e-9 * (1.0 + reference.abs())
+}
+
+fn check_window(out: &SimOutcome) -> Result<(), String> {
+    if !out.termination.is_completed() {
+        return Err(format!("run did not complete: {:?}", out.termination));
+    }
+    if !out.unresolved.is_empty() {
+        return Err(format!("{} job lengths left unruled", out.unresolved.len()));
+    }
+    if let Some(v) = out.violations.first() {
+        return Err(format!(
+            "{} deadline violation(s); first: {} force-started at {}",
+            out.violations.len(),
+            v.id,
+            v.at
+        ));
+    }
+    if let Some(r) = out.rejected_actions.first() {
+        return Err(format!(
+            "{} rejected action(s); first at t={}: {}",
+            out.rejected_actions.len(),
+            r.at,
+            r.fault
+        ));
+    }
+    if !out.schedule.is_complete() {
+        return Err("schedule is missing job starts".into());
+    }
+    if let Err(e) = out.schedule.validate(&out.instance) {
+        return Err(format!("schedule validation failed: {e}"));
+    }
+    Ok(())
+}
+
+fn check_span_measure(out: &SimOutcome) -> Result<(), String> {
+    if !out.schedule.is_complete() {
+        // Window already reports incompleteness; nothing to measure here.
+        return Ok(());
+    }
+    let recomputed = out.schedule.busy_set(&out.instance).measure();
+    if recomputed != out.span {
+        return Err(format!(
+            "reported span {} != recomputed interval-union measure {}",
+            out.span, recomputed
+        ));
+    }
+    Ok(())
+}
+
+fn check_ratio(target: &Target, out: &SimOutcome, opt: Dur) -> Result<(), String> {
+    let mu = match out.instance.mu() {
+        Some(mu) => mu,
+        None => return Ok(()),
+    };
+    let bound = match target.kind().ratio_bound(mu) {
+        Some(b) => b,
+        None => return Ok(()),
+    };
+    let limit = bound * opt.get();
+    if out.span.get() > limit + span_tol(limit) {
+        return Err(format!(
+            "span {} exceeds {:.4} * OPT = {:.4} (mu = {:.3}, OPT = {})",
+            out.span,
+            bound,
+            limit,
+            mu,
+            opt
+        ));
+    }
+    Ok(())
+}
+
+fn check_translation(target: &Target, base: &SimOutcome, inst: &Instance) -> Result<(), String> {
+    let shifted = target.run_on(&translated(inst, TRANSLATION_OFFSET), false);
+    let diff = (shifted.span.get() - base.span.get()).abs();
+    if diff > span_tol(base.span.get()) {
+        return Err(format!(
+            "span changed under +{TRANSLATION_OFFSET} translation: {} -> {}",
+            base.span, shifted.span
+        ));
+    }
+    Ok(())
+}
+
+fn check_scaling(target: &Target, base: &SimOutcome, inst: &Instance) -> Result<(), String> {
+    let scaled_out = target.run_on(&scaled(inst, SCALE_FACTOR), false);
+    let expected = base.span.get() * SCALE_FACTOR;
+    let diff = (scaled_out.span.get() - expected).abs();
+    if diff > span_tol(expected) {
+        return Err(format!(
+            "span did not scale by {SCALE_FACTOR}: {} -> {} (expected {expected})",
+            base.span, scaled_out.span
+        ));
+    }
+    Ok(())
+}
+
+fn check_permutation(target: &Target, base: &SimOutcome, inst: &Instance) -> Result<(), String> {
+    let rev = target.run_on(&reversed(inst), false);
+    // With pairwise-distinct arrivals, the environment releases the same
+    // job sequence either way, so outcomes must agree bit for bit.
+    if rev.span != base.span {
+        return Err(format!(
+            "span depends on presentation order: {} vs {} (reversed)",
+            base.span, rev.span
+        ));
+    }
+    if rev.schedule != base.schedule {
+        return Err("schedule depends on presentation order".into());
+    }
+    Ok(())
+}
+
+/// The decision events (releases, starts, force-starts) strictly before
+/// `cutoff`, as comparable tuples.
+fn decisions_before(trace: &[TraceEvent], cutoff: f64) -> Vec<(u64, u8, JobId)> {
+    trace
+        .iter()
+        .filter(|e| e.time.get() < cutoff)
+        .filter_map(|e| match e.kind {
+            TraceKind::Released { id, .. } => Some((e.time.get().to_bits(), 0u8, id)),
+            TraceKind::Started { id } => Some((e.time.get().to_bits(), 1u8, id)),
+            TraceKind::ForcedStart { id } => Some((e.time.get().to_bits(), 2u8, id)),
+            _ => None,
+        })
+        .collect()
+}
+
+fn first_completion(trace: &[TraceEvent]) -> f64 {
+    trace
+        .iter()
+        .find(|e| matches!(e.kind, TraceKind::Completed { .. }))
+        .map(|e| e.time.get())
+        .unwrap_or(f64::INFINITY)
+}
+
+fn check_masked_lengths(
+    target: &Target,
+    base: &SimOutcome,
+    inst: &Instance,
+) -> Result<(), String> {
+    // Re-run on an instance whose hidden lengths all differ (set to 1).
+    // Until the first completion, a non-clairvoyant scheduler has received
+    // no length information, so its decisions must be identical.
+    let variant = target.run_on(&unit_lengths(inst), true);
+    let cutoff = first_completion(&base.trace).min(first_completion(&variant.trace));
+    let a = decisions_before(&base.trace, cutoff);
+    let b = decisions_before(&variant.trace, cutoff);
+    if a != b {
+        return Err(format!(
+            "pre-completion decisions depend on masked lengths \
+             ({} vs {} decision events before t={cutoff})",
+            a.len(),
+            b.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Runs every applicable oracle for `target` on `inst`. `opt` is the
+/// precomputed exact optimum (shared across targets by the conformance
+/// loop); when `None` the ratio oracle recomputes it if applicable.
+///
+/// Returns `(checks_run, violations)`.
+pub fn check_all(
+    target: &Target,
+    inst: &Instance,
+    opt: Option<Dur>,
+) -> (usize, Vec<OracleViolation>) {
+    let oracles = applicable(target, inst);
+    let base = target.run_on(inst, true);
+    let mut violations = Vec::new();
+    let mut checks = 0;
+    for oracle in &oracles {
+        let result = match oracle {
+            OracleKind::Window => check_window(&base),
+            OracleKind::SpanMeasure => check_span_measure(&base),
+            OracleKind::RatioBound => match opt.or_else(|| exact_opt(inst)) {
+                Some(opt) => check_ratio(target, &base, opt),
+                None => continue,
+            },
+            OracleKind::Translation => check_translation(target, &base, inst),
+            OracleKind::Scaling => check_scaling(target, &base, inst),
+            OracleKind::Permutation => check_permutation(target, &base, inst),
+            OracleKind::MaskedLengths => check_masked_lengths(target, &base, inst),
+        };
+        checks += 1;
+        if let Err(detail) = result {
+            violations.push(OracleViolation { oracle: *oracle, detail });
+        }
+    }
+    (checks, violations)
+}
+
+/// Re-checks one specific oracle on a candidate instance — the failure
+/// predicate the shrinker preserves. Returns `true` when the oracle still
+/// fails with the same [`OracleKind`].
+pub fn still_fails(target: &Target, oracle: OracleKind, inst: &Instance) -> bool {
+    if inst.is_empty() || !applicable(target, inst).contains(&oracle) {
+        return false;
+    }
+    let base = target.run_on(inst, true);
+    let result = match oracle {
+        OracleKind::Window => check_window(&base),
+        OracleKind::SpanMeasure => check_span_measure(&base),
+        OracleKind::RatioBound => match exact_opt(inst) {
+            Some(opt) => check_ratio(target, &base, opt),
+            None => return false,
+        },
+        OracleKind::Translation => check_translation(target, &base, inst),
+        OracleKind::Scaling => check_scaling(target, &base, inst),
+        OracleKind::Permutation => check_permutation(target, &base, inst),
+        OracleKind::MaskedLengths => check_masked_lengths(target, &base, inst),
+    };
+    result.is_err()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_schedulers::SchedulerKind;
+
+    fn mixed_instance() -> Instance {
+        Instance::new(vec![
+            Job::adp(0.0, 2.0, 1.0),
+            Job::adp(1.0, 4.0, 2.0),
+            Job::adp(3.0, 3.0, 1.0),
+            Job::adp(5.0, 9.0, 3.0),
+        ])
+    }
+
+    #[test]
+    fn real_schedulers_pass_all_oracles_on_a_mixed_instance() {
+        let inst = mixed_instance();
+        let opt = exact_opt(&inst);
+        assert!(opt.is_some(), "small integer instance must be DP-solvable");
+        for kind in SchedulerKind::registered_set() {
+            let target = Target::Kind(kind);
+            let (checks, violations) = check_all(&target, &inst, opt);
+            assert!(checks >= 4, "{}: only {checks} checks ran", target.name());
+            assert!(
+                violations.is_empty(),
+                "{}: {}",
+                target.name(),
+                violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_target_fails_the_window_oracle() {
+        let inst = mixed_instance();
+        let (_, violations) = check_all(&Target::default_chaos(), &inst, None);
+        assert!(
+            violations.iter().any(|v| v.oracle == OracleKind::Window),
+            "injected drop-starts must violate the window oracle: {violations:?}"
+        );
+        assert!(still_fails(&Target::default_chaos(), OracleKind::Window, &inst));
+    }
+
+    #[test]
+    fn oracle_ids_round_trip() {
+        for o in OracleKind::ALL {
+            assert_eq!(OracleKind::from_id(o.id()), Some(o));
+        }
+        assert_eq!(OracleKind::from_id("nope"), None);
+    }
+
+    #[test]
+    fn guarantee_rows_match_registry_flags() {
+        let batch = row(&Target::Kind(SchedulerKind::Batch));
+        assert!(batch.contains(&OracleKind::RatioBound));
+        assert!(batch.contains(&OracleKind::MaskedLengths));
+        assert!(batch.contains(&OracleKind::Scaling));
+
+        let cdb = row(&Target::Kind(SchedulerKind::cdb_optimal()));
+        assert!(cdb.contains(&OracleKind::RatioBound));
+        assert!(!cdb.contains(&OracleKind::Scaling), "CDB classes are base-anchored");
+        assert!(!cdb.contains(&OracleKind::MaskedLengths), "CDB is clairvoyant");
+
+        let chaos = row(&Target::default_chaos());
+        assert_eq!(chaos, vec![OracleKind::Window, OracleKind::SpanMeasure]);
+    }
+
+    #[test]
+    fn transforms_preserve_job_count_and_validity() {
+        let inst = mixed_instance();
+        assert_eq!(translated(&inst, TRANSLATION_OFFSET).len(), inst.len());
+        assert_eq!(scaled(&inst, SCALE_FACTOR).len(), inst.len());
+        assert_eq!(reversed(&inst).len(), inst.len());
+        for (_, j) in unit_lengths(&inst).iter() {
+            assert_eq!(j.length().get(), 1.0);
+        }
+    }
+}

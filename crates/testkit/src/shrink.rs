@@ -1,0 +1,256 @@
+//! Delta-debugging shrinker: minimizes a violating instance while
+//! preserving the failure.
+//!
+//! Passes, iterated to a fixpoint under an evaluation budget:
+//!
+//! 1. **ddmin job removal** — try deleting chunks of jobs (half, quarters,
+//!    …, singles), keeping any deletion that still fails;
+//! 2. **field simplification** — per job: round times to integers, shorten
+//!    the length (halve, then to 1), tighten the deadline toward the
+//!    arrival (halve the slack, then rigid);
+//! 3. **global shift** — translate the whole instance so the first arrival
+//!    is 0.
+//!
+//! Every candidate is validated by re-running the caller's failure
+//! predicate, so the minimized instance fails *the same oracle* as the
+//! original. The shrinker never invents values: candidates only remove
+//! jobs or move fields toward 0/1, so integral instances stay integral.
+
+use fjs_core::job::{Instance, Job};
+
+/// Default cap on failure-predicate evaluations per shrink.
+pub const DEFAULT_SHRINK_BUDGET: usize = 4096;
+
+/// What a shrink run did.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShrinkStats {
+    /// Failure-predicate evaluations spent.
+    pub evaluations: usize,
+    /// Candidates accepted (each strictly simplified the instance).
+    pub accepted: usize,
+}
+
+struct Shrinker<'a> {
+    fails: &'a dyn Fn(&Instance) -> bool,
+    budget: usize,
+    stats: ShrinkStats,
+}
+
+impl Shrinker<'_> {
+    fn exhausted(&self) -> bool {
+        self.stats.evaluations >= self.budget
+    }
+
+    /// Evaluates a candidate; returns `true` (and counts an acceptance)
+    /// when it still fails.
+    fn accept(&mut self, candidate: &Instance) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.stats.evaluations += 1;
+        if (self.fails)(candidate) {
+            self.stats.accepted += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+fn without_range(inst: &Instance, lo: usize, hi: usize) -> Instance {
+    Instance::new(
+        inst.jobs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i < lo || *i >= hi)
+            .map(|(_, j)| *j)
+            .collect(),
+    )
+}
+
+fn with_job(inst: &Instance, idx: usize, job: Job) -> Instance {
+    Instance::new(
+        inst.jobs()
+            .iter()
+            .enumerate()
+            .map(|(i, j)| if i == idx { job } else { *j })
+            .collect(),
+    )
+}
+
+/// ddmin pass: removes as many jobs as the failure allows.
+fn ddmin_jobs(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
+    let mut progress = false;
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    loop {
+        let mut i = 0;
+        while i < cur.len() && cur.len() > 1 && !sh.exhausted() {
+            let hi = (i + chunk).min(cur.len());
+            let candidate = without_range(cur, i, hi);
+            if !candidate.is_empty() && sh.accept(&candidate) {
+                *cur = candidate;
+                progress = true;
+                // Same index now holds the next chunk; retry in place.
+            } else {
+                i += chunk;
+            }
+        }
+        if chunk == 1 || sh.exhausted() {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    progress
+}
+
+/// Simplification candidates for one job, most aggressive first.
+fn job_candidates(j: &Job) -> Vec<Job> {
+    let (a, d, p) = (j.arrival().get(), j.deadline().get(), j.length().get());
+    let mut out = Vec::new();
+    let mut push = |a2: f64, d2: f64, p2: f64| {
+        let d2 = d2.max(a2);
+        let p2 = p2.max(1.0_f64.min(p));
+        if p2 > 0.0 && (a2, d2, p2) != (a, d, p) {
+            out.push(Job::adp(a2, d2, p2));
+        }
+    };
+    // Round times to integers (floor keeps d >= a; length rounds up so it
+    // stays positive).
+    push(a.floor(), d.floor(), p.ceil());
+    // Shorten the length.
+    push(a, d, (p / 2.0).floor().max(1.0));
+    push(a, d, 1.0);
+    // Tighten the deadline toward the arrival.
+    push(a, a + ((d - a) / 2.0).floor(), p);
+    push(a, a, p);
+    out
+}
+
+/// Field pass: simplify each job in place.
+fn simplify_fields(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
+    let mut progress = false;
+    let mut idx = 0;
+    while idx < cur.len() && !sh.exhausted() {
+        let candidates = job_candidates(&cur.jobs()[idx]);
+        for job in candidates {
+            let candidate = with_job(cur, idx, job);
+            if sh.accept(&candidate) {
+                *cur = candidate;
+                progress = true;
+                break; // re-derive candidates from the simplified job
+            }
+        }
+        idx += 1;
+    }
+    progress
+}
+
+/// Shift pass: move the first arrival to 0.
+fn shift_to_zero(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
+    let t0 = match cur.first_arrival() {
+        Some(t) if t.get() > 0.0 => t.get(),
+        _ => return false,
+    };
+    let candidate = crate::oracles::translated(cur, -t0);
+    if sh.accept(&candidate) {
+        *cur = candidate;
+        true
+    } else {
+        false
+    }
+}
+
+/// Minimizes `inst` under `fails`, which must return `true` for `inst`
+/// itself (the shrinker asserts nothing about it and simply returns the
+/// input unchanged if every simplification loses the failure).
+///
+/// Deterministic: same input and predicate, same minimized instance.
+pub fn shrink(
+    inst: &Instance,
+    budget: usize,
+    fails: impl Fn(&Instance) -> bool,
+) -> (Instance, ShrinkStats) {
+    let mut sh = Shrinker { fails: &fails, budget, stats: ShrinkStats::default() };
+    let mut cur = inst.clone();
+    loop {
+        let mut progress = false;
+        progress |= ddmin_jobs(&mut sh, &mut cur);
+        progress |= simplify_fields(&mut sh, &mut cur);
+        progress |= shift_to_zero(&mut sh, &mut cur);
+        if !progress || sh.exhausted() {
+            break;
+        }
+    }
+    (cur, sh.stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(a: f64, d: f64, p: f64) -> Job {
+        Job::adp(a, d, p)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_relevant_job() {
+        // Failure: "some job has length >= 4".
+        let inst = Instance::new(vec![
+            job(0.0, 2.0, 1.0),
+            job(3.0, 8.0, 5.0),
+            job(4.0, 6.0, 2.0),
+            job(9.0, 12.0, 1.0),
+        ]);
+        let fails =
+            |i: &Instance| i.jobs().iter().any(|j| j.length().get() >= 4.0);
+        let (min, stats) = shrink(&inst, DEFAULT_SHRINK_BUDGET, fails);
+        assert_eq!(min.len(), 1, "only the long job is needed: {min:?}");
+        // Halving 5 → 2 loses the failure, so the length survives at 5;
+        // the window collapses to rigid and the arrival shifts to 0.
+        assert_eq!(min.jobs()[0].length().get(), 5.0);
+        assert_eq!(min.jobs()[0].arrival().get(), 0.0, "shifted to the origin");
+        assert_eq!(min.jobs()[0].deadline().get(), 0.0, "deadline tightened to arrival");
+        assert!(stats.accepted >= 2);
+        assert!(stats.evaluations <= DEFAULT_SHRINK_BUDGET);
+    }
+
+    #[test]
+    fn preserves_failure_when_nothing_simplifies() {
+        let inst = Instance::new(vec![job(0.0, 0.0, 1.0)]);
+        let (min, _) = shrink(&inst, DEFAULT_SHRINK_BUDGET, |_| true);
+        assert_eq!(min.len(), 1);
+    }
+
+    #[test]
+    fn returns_input_when_predicate_is_fragile() {
+        // Predicate only holds for the exact original: nothing shrinks.
+        let inst = Instance::new(vec![job(1.0, 3.0, 2.0), job(2.0, 5.0, 3.0)]);
+        let orig = inst.clone();
+        let (min, stats) = shrink(&inst, DEFAULT_SHRINK_BUDGET, move |i| *i == orig);
+        assert_eq!(min, inst);
+        assert_eq!(stats.accepted, 0);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let inst = Instance::new(vec![
+            job(0.5, 2.5, 1.5),
+            job(1.0, 7.0, 4.0),
+            job(2.0, 2.0, 1.0),
+        ]);
+        let fails = |i: &Instance| i.len() >= 2;
+        let (a, _) = shrink(&inst, DEFAULT_SHRINK_BUDGET, fails);
+        let (b, _) = shrink(&inst, DEFAULT_SHRINK_BUDGET, fails);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let inst = Instance::new(
+            (0..30).map(|i| job(i as f64, i as f64 + 3.0, 2.0)).collect(),
+        );
+        let (_, stats) = shrink(&inst, 10, |_| true);
+        assert!(stats.evaluations <= 10);
+    }
+}

@@ -1,0 +1,308 @@
+//! Seeded *integer* instance families for conformance testing.
+//!
+//! The exact solvers in `fjs-opt` are only available on small instances with
+//! integral arrivals/deadlines/lengths (the integrality lemma), so the
+//! conformance harness draws its cases from families that are integral *by
+//! construction*: every arrival, deadline and length is a small non-negative
+//! integer stored exactly in an `f64`. This also makes the metamorphic
+//! oracles exact — translating by an integer offset or scaling by a power of
+//! two keeps all derived times bit-exact.
+//!
+//! A family is parameterized by the maximum length ratio `μ`, a deadline
+//! slack regime, and an arrival-load regime; a dedicated *uniform-lengths*
+//! family (all jobs the same length, μ = 1) prepares the uniform-jobs
+//! special case of Liu, Khuller & Tang, *Online Span Minimization for
+//! Flexible Uniform Jobs*.
+
+use fjs_core::job::{Instance, Job};
+use fjs_prng::SmallRng;
+
+/// How much room a job's starting deadline leaves after its arrival.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SlackRegime {
+    /// `d = a`: the schedule is forced, every scheduler ties.
+    Rigid,
+    /// `d − a ∈ {0, 1, 2}`: little room, near-rigid.
+    Tight,
+    /// `d − a ∈ [0, p]`: slack scales with the job's own length.
+    Proportional,
+    /// `d − a ∈ [0, 4μ]`: ample stacking room.
+    Generous,
+}
+
+/// How densely arrivals pack on the integer time line.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadRegime {
+    /// Inter-arrival gaps in `{0, 0, 1}`: many simultaneous releases.
+    Burst,
+    /// Gaps in `{0, 1, 2}`.
+    Moderate,
+    /// Gaps in `[1, 2μ]`: arrivals are pairwise distinct (gap ≥ 1), which
+    /// the arrival-order permutation oracle requires.
+    Sparse,
+}
+
+/// A seeded integer instance family.
+///
+/// ```
+/// use fjs_workloads::{IntFamily, LoadRegime, SlackRegime};
+///
+/// let fam = IntFamily { n: 8, mu: 4, slack: SlackRegime::Generous, load: LoadRegime::Moderate };
+/// let a = fam.generate(3);
+/// assert_eq!(a, fam.generate(3), "same seed → identical instance");
+/// assert!(a.mu().unwrap() <= 4.0);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IntFamily {
+    /// Number of jobs.
+    pub n: usize,
+    /// Length bound: lengths are drawn uniformly from `1..=mu`, so the
+    /// realized max/min ratio is at most `mu`.
+    pub mu: u64,
+    /// Deadline slack regime.
+    pub slack: SlackRegime,
+    /// Arrival density regime.
+    pub load: LoadRegime,
+}
+
+impl IntFamily {
+    /// Materializes the family with the given seed; every field of every
+    /// job is a small non-negative integer. Same `(family, seed)` → same
+    /// instance, bit for bit.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mu = self.mu.max(1);
+        let mut t: u64 = 0;
+        let jobs: Vec<Job> = (0..self.n.max(1))
+            .map(|_| {
+                t += match self.load {
+                    LoadRegime::Burst => [0, 0, 1][rng.u64_below(3) as usize],
+                    LoadRegime::Moderate => rng.u64_below(3),
+                    LoadRegime::Sparse => 1 + rng.u64_below(2 * mu),
+                };
+                let p = 1 + rng.u64_below(mu);
+                let slack = match self.slack {
+                    SlackRegime::Rigid => 0,
+                    SlackRegime::Tight => rng.u64_below(3),
+                    SlackRegime::Proportional => rng.u64_below(p + 1),
+                    SlackRegime::Generous => rng.u64_below(4 * mu + 1),
+                };
+                Job::adp(t as f64, (t + slack) as f64, p as f64)
+            })
+            .collect();
+        Instance::new(jobs)
+    }
+
+    /// Short display label, e.g. `int[n=8,mu=4,generous,moderate]`.
+    pub fn label(&self) -> String {
+        let slack = match self.slack {
+            SlackRegime::Rigid => "rigid",
+            SlackRegime::Tight => "tight",
+            SlackRegime::Proportional => "prop",
+            SlackRegime::Generous => "generous",
+        };
+        let load = match self.load {
+            LoadRegime::Burst => "burst",
+            LoadRegime::Moderate => "moderate",
+            LoadRegime::Sparse => "sparse",
+        };
+        format!("int[n={},mu={},{slack},{load}]", self.n, self.mu)
+    }
+}
+
+/// The uniform-lengths family: all jobs share one integer length `p`
+/// (μ = 1 exactly), integer arrivals and slacks. This is the workload
+/// model of the uniform-jobs follow-up paper.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UniformFamily {
+    /// Number of jobs.
+    pub n: usize,
+    /// The common job length (≥ 1).
+    pub p: u64,
+    /// Maximum deadline slack; slack is uniform in `0..=max_slack`.
+    pub max_slack: u64,
+    /// Arrival density regime.
+    pub load: LoadRegime,
+}
+
+impl UniformFamily {
+    /// Materializes the family with the given seed.
+    pub fn generate(&self, seed: u64) -> Instance {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let p = self.p.max(1);
+        let mut t: u64 = 0;
+        let jobs: Vec<Job> = (0..self.n.max(1))
+            .map(|_| {
+                t += match self.load {
+                    LoadRegime::Burst => [0, 0, 1][rng.u64_below(3) as usize],
+                    LoadRegime::Moderate => rng.u64_below(3),
+                    LoadRegime::Sparse => 1 + rng.u64_below(2 * p),
+                };
+                let slack = rng.u64_below(self.max_slack + 1);
+                Job::adp(t as f64, (t + slack) as f64, p as f64)
+            })
+            .collect();
+        Instance::new(jobs)
+    }
+
+    /// Short display label, e.g. `uniform[n=8,p=3,slack<=6,burst]`.
+    pub fn label(&self) -> String {
+        let load = match self.load {
+            LoadRegime::Burst => "burst",
+            LoadRegime::Moderate => "moderate",
+            LoadRegime::Sparse => "sparse",
+        };
+        format!("uniform[n={},p={},slack<={},{load}]", self.n, self.p, self.max_slack)
+    }
+}
+
+/// A member of the conformance deck: either a general integer family or a
+/// uniform-lengths family.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Family {
+    /// General integer family.
+    Int(IntFamily),
+    /// Uniform-lengths family (μ = 1).
+    Uniform(UniformFamily),
+}
+
+impl Family {
+    /// Materializes the family with the given seed.
+    pub fn generate(&self, seed: u64) -> Instance {
+        match self {
+            Family::Int(f) => f.generate(seed),
+            Family::Uniform(f) => f.generate(seed),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Family::Int(f) => f.label(),
+            Family::Uniform(f) => f.label(),
+        }
+    }
+
+    /// Number of jobs the family generates.
+    pub fn n(&self) -> usize {
+        match self {
+            Family::Int(f) => f.n.max(1),
+            Family::Uniform(f) => f.n.max(1),
+        }
+    }
+}
+
+/// The canonical conformance deck: a grid over `μ`, slack and load, the
+/// uniform-lengths family at several lengths, and a few larger stress
+/// members. Families early in the deck are small enough for the exact DP,
+/// so the competitive-ratio oracles get coverage on every run. The deck
+/// shape is part of the conformance contract: case `i` of a run always
+/// draws from deck member `i % deck.len()`.
+pub fn conformance_deck() -> Vec<Family> {
+    let mut deck = Vec::new();
+    // Small DP-sized members: every (μ, slack, load) combination at n ≤ 7.
+    for &mu in &[1, 2, 4, 8] {
+        for &slack in &[
+            SlackRegime::Rigid,
+            SlackRegime::Tight,
+            SlackRegime::Proportional,
+            SlackRegime::Generous,
+        ] {
+            for &load in &[LoadRegime::Burst, LoadRegime::Moderate, LoadRegime::Sparse] {
+                deck.push(Family::Int(IntFamily { n: 6, mu, slack, load }));
+            }
+        }
+    }
+    // Uniform-jobs members (μ = 1 by construction).
+    for &(p, max_slack) in &[(1, 2), (3, 6), (5, 0)] {
+        for &load in &[LoadRegime::Burst, LoadRegime::Sparse] {
+            deck.push(Family::Uniform(UniformFamily { n: 6, p, max_slack, load }));
+        }
+    }
+    // Larger members: beyond the DP limit, exercising the structural and
+    // metamorphic oracles at scale.
+    for &(n, mu) in &[(24, 4), (40, 8), (64, 16)] {
+        deck.push(Family::Int(IntFamily {
+            n,
+            mu,
+            slack: SlackRegime::Generous,
+            load: LoadRegime::Moderate,
+        }));
+        deck.push(Family::Int(IntFamily {
+            n,
+            mu,
+            slack: SlackRegime::Proportional,
+            load: LoadRegime::Burst,
+        }));
+    }
+    deck
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_small_integer(x: f64) -> bool {
+        x >= 0.0 && x.fract() == 0.0 && x < 1e9
+    }
+
+    #[test]
+    fn families_are_integral_and_deterministic() {
+        for (i, fam) in conformance_deck().iter().enumerate() {
+            let a = fam.generate(i as u64);
+            assert_eq!(a, fam.generate(i as u64), "{} not deterministic", fam.label());
+            for (_, j) in a.iter() {
+                assert!(is_small_integer(j.arrival().get()), "{}", fam.label());
+                assert!(is_small_integer(j.deadline().get()), "{}", fam.label());
+                assert!(is_small_integer(j.length().get()), "{}", fam.label());
+                assert!(j.length().get() >= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mu_bound_is_respected() {
+        let fam = IntFamily {
+            n: 50,
+            mu: 4,
+            slack: SlackRegime::Generous,
+            load: LoadRegime::Moderate,
+        };
+        let inst = fam.generate(9);
+        assert!(inst.mu().unwrap() <= 4.0 + 1e-12);
+    }
+
+    #[test]
+    fn uniform_family_has_mu_one() {
+        let fam = UniformFamily { n: 30, p: 3, max_slack: 5, load: LoadRegime::Burst };
+        let inst = fam.generate(2);
+        assert_eq!(inst.mu().unwrap(), 1.0);
+        for (_, j) in inst.iter() {
+            assert_eq!(j.length().get(), 3.0);
+        }
+    }
+
+    #[test]
+    fn sparse_load_gives_distinct_arrivals() {
+        let fam = IntFamily {
+            n: 40,
+            mu: 3,
+            slack: SlackRegime::Tight,
+            load: LoadRegime::Sparse,
+        };
+        let inst = fam.generate(5);
+        let mut arrivals: Vec<f64> = inst.iter().map(|(_, j)| j.arrival().get()).collect();
+        arrivals.sort_by(f64::total_cmp);
+        arrivals.dedup();
+        assert_eq!(arrivals.len(), inst.len());
+    }
+
+    #[test]
+    fn deck_labels_are_unique() {
+        let labels: Vec<String> = conformance_deck().iter().map(Family::label).collect();
+        let mut d = labels.clone();
+        d.sort();
+        d.dedup();
+        assert_eq!(d.len(), labels.len(), "duplicate deck labels");
+    }
+}

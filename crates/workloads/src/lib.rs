@@ -4,17 +4,20 @@
 //! experiments: arrival processes (Poisson, uniform, bursty), length laws
 //! (fixed, uniform, bounded Pareto, bimodal), laxity models (rigid,
 //! constant, proportional, uniform) and the named [`Scenario`] presets used
-//! by experiments E5/E7/E8/E9.
+//! by experiments E5/E7/E8/E9, plus the integer conformance families
+//! ([`families`]) that the `fjs-testkit` oracles draw cases from.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod distributions;
+pub mod families;
 pub mod generator;
 pub mod io;
 pub mod stats;
 
 pub use distributions::{ArrivalProcess, LaxityModel, LengthLaw};
+pub use families::{conformance_deck, Family, IntFamily, LoadRegime, SlackRegime, UniformFamily};
 pub use io::{parse_trace, write_trace, Trace, TraceError};
 pub use stats::{workload_stats, WorkloadStats};
 pub use generator::{Scenario, WorkloadSpec};

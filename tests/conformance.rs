@@ -1,0 +1,166 @@
+//! Conformance-layer integration tests: the counterexample corpus replays
+//! clean, the two exact solvers agree on a differential sweep, the Figure
+//! 2/3 tightness families match their analytic optimal spans across a
+//! `μ × m` grid, and the parallel conformance pipeline is deterministic.
+
+use fjs::adversary::{fig2_batch_tightness, fig3_batch_plus_tightness};
+use fjs::prelude::*;
+use fjs::workloads::{IntFamily, LoadRegime, SlackRegime};
+use fjs_prng::check::case_seed;
+use fjs_testkit::{all_targets, load_dir, replay, run_conformance, ConformConfig, Expectation};
+use std::path::Path;
+
+/// Every committed corpus entry must still replay with its recorded
+/// expectation: `violate` entries prove the harness still catches the
+/// injected bug, `pass` entries guard fixed scheduler bugs against
+/// regression.
+#[test]
+fn corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let entries = load_dir(&dir).expect("corpus must load");
+    assert!(!entries.is_empty(), "the corpus ships at least the chaos self-test entry");
+    for (path, entry) in &entries {
+        replay(entry).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        if entry.expect == Expectation::Violate {
+            assert!(
+                entry.instance.len() <= 6,
+                "{}: violate entries are committed minimized (got {} jobs)",
+                path.display(),
+                entry.instance.len()
+            );
+        }
+    }
+}
+
+/// Differential test of the exact solvers: the interval DP and the
+/// brute-force enumeration must agree on every small integral instance
+/// across the full `(μ, slack, load)` family grid.
+#[test]
+fn dp_and_exhaustive_agree_on_small_instances() {
+    let mut cases = 0usize;
+    for &mu in &[1u64, 2, 4] {
+        for &slack in &[
+            SlackRegime::Rigid,
+            SlackRegime::Tight,
+            SlackRegime::Proportional,
+            SlackRegime::Generous,
+        ] {
+            for &load in &[LoadRegime::Burst, LoadRegime::Moderate, LoadRegime::Sparse] {
+                let fam = IntFamily { n: 5, mu, slack, load };
+                for _ in 0..6 {
+                    let inst = fam.generate(case_seed(11, cases));
+                    let dp = fjs::opt::optimal_span_dp(&inst).unwrap();
+                    let ex = fjs::opt::optimal_span_exhaustive(&inst).unwrap();
+                    assert!(
+                        (dp.get() - ex.get()).abs() < 1e-9,
+                        "{} case {cases}: dp {dp:?} vs exhaustive {ex:?}",
+                        fam.label()
+                    );
+                    cases += 1;
+                }
+            }
+        }
+    }
+    assert!(cases >= 200, "differential sweep covers at least 200 instances, got {cases}");
+}
+
+/// Figure 2 across a `μ × m` grid: the prescribed schedule's span equals
+/// the analytic optimum `m(1+ε) + μ`, and Batch is driven to the induced
+/// span `2mμ` (the Theorem 3.4 lower-bound construction) while staying
+/// under the `(2μ+1)·OPT` upper bound.
+#[test]
+fn fig2_matches_analytic_optimum_across_grid() {
+    let eps = 1e-3;
+    for &mu in &[2.0, 4.0, 8.0] {
+        for &m in &[1usize, 2, 4, 8, 16] {
+            let t = fig2_batch_tightness(m, mu, eps);
+            let analytic = m as f64 * (1.0 + eps) + mu;
+            assert!(
+                (t.prescribed_span.get() - analytic).abs() < 1e-9,
+                "m={m} μ={mu}: prescribed {} vs analytic {analytic}",
+                t.prescribed_span.get()
+            );
+            assert!(fjs::opt::best_lower_bound(&t.instance).get() <= analytic + 1e-9);
+            let out = run_static(
+                &t.instance,
+                Clairvoyance::NonClairvoyant,
+                fjs::schedulers::Batch::new(),
+            );
+            let induced = 2.0 * m as f64 * mu;
+            assert!(
+                out.span.get() >= induced - 1e-6,
+                "m={m} μ={mu}: Batch span {} below induced {induced}",
+                out.span.get()
+            );
+            assert!(out.span.get() <= (2.0 * mu + 1.0) * analytic + 1e-9);
+        }
+    }
+}
+
+/// Figure 3 across a `μ × m` grid: the prescribed schedule's span equals
+/// the analytic optimum `m + μ`, and Batch+ is driven to the induced span
+/// `m(μ+1−ε)` (the Theorem 3.5 tightness construction) while staying
+/// under the `(μ+1)·OPT` upper bound.
+#[test]
+fn fig3_matches_analytic_optimum_across_grid() {
+    let eps = 1e-3;
+    for &mu in &[2.0, 4.0, 8.0] {
+        for &m in &[1usize, 2, 4, 8, 16] {
+            let t = fig3_batch_plus_tightness(m, mu, eps);
+            let analytic = m as f64 + mu;
+            assert!(
+                (t.prescribed_span.get() - analytic).abs() < 1e-9,
+                "m={m} μ={mu}: prescribed {} vs analytic {analytic}",
+                t.prescribed_span.get()
+            );
+            assert!(fjs::opt::best_lower_bound(&t.instance).get() <= analytic + 1e-9);
+            let out = run_static(
+                &t.instance,
+                Clairvoyance::NonClairvoyant,
+                fjs::schedulers::BatchPlus::new(),
+            );
+            let induced = m as f64 * (mu + 1.0 - eps);
+            assert!(
+                out.span.get() >= induced - 1e-6,
+                "m={m} μ={mu}: Batch+ span {} below induced {induced}",
+                out.span.get()
+            );
+            assert!(out.span.get() <= (mu + 1.0) * analytic + 1e-9);
+        }
+    }
+}
+
+/// The conformance fan-out relies on `parallel_map` being a drop-in for a
+/// serial map: same inputs, bit-identical outputs, input order preserved.
+#[test]
+fn parallel_map_matches_serial_evaluation() {
+    let inputs: Vec<u64> = (0..48).collect();
+    let eval = |seed: &u64| {
+        let fam =
+            IntFamily { n: 24, mu: 6, slack: SlackRegime::Generous, load: LoadRegime::Moderate };
+        let inst = fam.generate(*seed);
+        SchedulerKind::Batch.run_on(&inst).span.get().to_bits()
+    };
+    let par = fjs::analysis::parallel_map(&inputs, eval);
+    let ser: Vec<u64> = inputs.iter().map(eval).collect();
+    assert_eq!(par, ser, "parallel_map must equal the serial map bit-for-bit");
+}
+
+/// `fjs conform` with a fixed seed is a pure function: two runs over every
+/// registered scheduler produce identical clean reports.
+#[test]
+fn conformance_run_is_deterministic_and_clean() {
+    let config = ConformConfig { cases: 16, base_seed: 1, quick: true, ..ConformConfig::default() };
+    let targets = all_targets();
+    let a = run_conformance(&targets, &config);
+    let b = run_conformance(&targets, &config);
+    let details: Vec<String> = a
+        .failures
+        .iter()
+        .map(|f| format!("{} / {}: {}", f.target.name(), f.oracle.id(), f.detail))
+        .collect();
+    assert!(a.is_clean(), "conformance failures:\n{}", details.join("\n"));
+    assert_eq!(a.cases, b.cases);
+    assert_eq!(a.checks, b.checks);
+    assert_eq!(a.failures.len(), b.failures.len());
+}
