@@ -4,11 +4,15 @@
 //! Each experiment regenerates one figure/theorem of Ren & Tang (SPAA 2017)
 //! as a table; `fjs all --full > EXPERIMENTS-raw.md` reproduces the data
 //! behind EXPERIMENTS.md. The `fjs-bench` crate calls the same experiment
-//! functions at `Profile::Quick`.
+//! functions at `Profile::Quick`. The [`soak`] module is the engine behind
+//! `fjs soak`: supervised long-running sweeps with a crash-safe checkpoint
+//! journal and `SIGINT`-graceful shutdown.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod soak;
 
 pub use experiments::{all, by_id, Experiment, Profile};
+pub use soak::{run_soak, SoakOptions, SoakSummary};

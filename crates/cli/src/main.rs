@@ -17,6 +17,11 @@
 //! fjs conform all          # property-based conformance: every scheduler × oracle
 //! fjs conform batch+ --cases 256 --seed 7    # one scheduler, deeper run
 //! fjs conform chaos        # harness self-test: must fail and shrink
+//! fjs conform all --journal c.jsonl          # checkpoint every finished cell
+//! fjs conform all --journal c.jsonl --resume # skip journalled cells after a kill
+//! fjs soak all --cells 256 --journal s.jsonl # supervised long-running sweep
+//! fjs soak batch --minutes 10 --journal s.jsonl --resume  # continue after Ctrl-C
+//! fjs soak batch --poison hang --watchdog-events 20000 --journal p.jsonl
 //! ```
 //!
 //! Exit codes: 0 success, 1 runtime failure (failed audit, unsound chaos
@@ -46,16 +51,24 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs gantt [scheduler] [seed]\n\
  \u{20}      fjs trace <file.csv>\n\
  \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
- \u{20}      fjs chaos [scheduler]\n\
+ \u{20}      fjs chaos [scheduler] [--watchdog-events <n>]\n\
  \u{20}      fjs stats <scheduler|all> [--n <jobs>] [--seed <s>] [--log-jsonl <file>]\n\
  \u{20}      fjs bench-diff <old.json> <new.json> [--threshold <frac>]\n\
  \u{20}      fjs conform <scheduler|all|chaos> [--cases <n>] [--seed <s>] [--quick] [--corpus <dir>]\n\
+ \u{20}                  [--journal <file>] [--resume] [--watchdog-events <n>]\n\
+ \u{20}      fjs soak <scheduler|all|chaos> --journal <file> [--cells <n>] [--seed <s>]\n\
+ \u{20}               [--seconds <s> | --minutes <m>] [--resume] [--watchdog-events <n>]\n\
+ \u{20}               [--poison panic|hang] [--trace <file.csv>] [--throttle-ms <n>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
 fn pick_scheduler(name: &str) -> Result<fjs_schedulers::SchedulerKind, CliError> {
     let lower = name.to_ascii_lowercase();
-    let canonical = if lower == "semi-cdb" { "semicdb" } else { lower.as_str() };
+    let canonical = if lower == "semi-cdb" {
+        "semicdb"
+    } else {
+        lower.as_str()
+    };
     fjs_schedulers::SchedulerKind::from_short_name(canonical).ok_or_else(|| {
         CliError::Usage(Some(format!(
             "unknown scheduler '{name}' (try eager/lazy/batch/batch+/cdb/profit/doubler/\
@@ -70,7 +83,10 @@ fn cmd_gantt(args: &[String]) -> Result<(), CliError> {
     let inst = fjs_workloads::Scenario::BurstyAnalytics.generate(24, seed);
     let out = kind.run_on(&inst);
     let metrics = fjs_core::metrics::schedule_metrics(&out.instance, &out.schedule);
-    println!("{} on bursty-analytics (24 jobs, seed {seed}):\n", kind.label());
+    println!(
+        "{} on bursty-analytics (24 jobs, seed {seed}):\n",
+        kind.label()
+    );
     println!(
         "{}",
         fjs_analysis::render_gantt(
@@ -138,7 +154,9 @@ fn cmd_audit(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_trace(args: &[String]) -> Result<(), CliError> {
-    let Some(path) = args.first() else { return Err(CliError::usage()) };
+    let Some(path) = args.first() else {
+        return Err(CliError::usage());
+    };
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
     let trace = fjs_workloads::parse_trace(&text)
@@ -174,14 +192,23 @@ fn cmd_trace(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
-    use fjs_schedulers::chaos::{run_chaos_matrix, Verdict};
+    use fjs_schedulers::chaos::{run_chaos_matrix_with, Verdict, CHAOS_MAX_EVENTS};
     use fjs_schedulers::SchedulerKind;
 
+    let mut args = args.to_vec();
+    let watchdog: usize = match take_flag_value(&mut args, "--watchdog-events")? {
+        Some(v) => v.parse().map_err(|_| {
+            CliError::Usage(Some(format!(
+                "--watchdog-events: '{v}' is not an event count"
+            )))
+        })?,
+        None => CHAOS_MAX_EVENTS,
+    };
     let kinds = match args.first() {
         Some(name) => vec![pick_scheduler(name)?],
         None => SchedulerKind::registered_set(),
     };
-    let report = run_chaos_matrix(&kinds);
+    let report = run_chaos_matrix_with(&kinds, watchdog);
 
     let env_total = fjs_core::faults::EnvFaultMode::ALL.len();
     let sched_total = fjs_core::faults::SchedFaultMode::ALL.len();
@@ -201,7 +228,9 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
             report
                 .cells
                 .iter()
-                .filter(|c| c.scheduler == sched && c.fault.starts_with(prefix) && c.verdict.is_pass())
+                .filter(|c| {
+                    c.scheduler == sched && c.fault.starts_with(prefix) && c.verdict.is_pass()
+                })
                 .count()
         };
         let clean = report
@@ -218,34 +247,55 @@ fn cmd_chaos(args: &[String]) -> Result<(), CliError> {
     }
     println!("{}", table.render());
 
+    // The ingestion side of the chaos matrix: every IO fault mode against
+    // every TraceReader quarantine policy.
+    let io_cells = fjs_workloads::run_io_chaos(1);
+    let mut io_table = fjs_analysis::Table::new(
+        "ingestion fault matrix (TraceReader quarantine)",
+        &["io fault", "policy", "verdict", "detail"],
+    );
+    for c in &io_cells {
+        io_table.push_row(vec![
+            c.mode.label().to_string(),
+            c.policy.label().to_string(),
+            (if c.passed { "pass" } else { "FAIL" }).to_string(),
+            c.detail.clone(),
+        ]);
+    }
+    println!("{}", io_table.render());
+
     let failures = report.failures();
-    if failures.is_empty() {
+    let io_failures = io_cells.iter().filter(|c| !c.passed).count();
+    if failures.is_empty() && io_failures == 0 {
         println!(
-            "all cells pass: no panics, every run completed with a valid full schedule."
+            "all cells pass: no panics, every run completed with a valid full schedule, \
+             every malformed trace was quarantined per policy."
         );
         Ok(())
     } else {
-        let mut detail = fjs_analysis::Table::new(
-            "failing cells",
-            &["scheduler", "fault", "class", "detail"],
-        );
-        for c in &failures {
-            let msg = match &c.verdict {
-                Verdict::Pass => continue,
-                Verdict::Unsound(m) | Verdict::Panicked(m) => m.clone(),
-            };
-            detail.push_row(vec![
-                c.scheduler.clone(),
-                c.fault.clone(),
-                c.verdict.label().to_string(),
-                msg,
-            ]);
+        if !failures.is_empty() {
+            let mut detail = fjs_analysis::Table::new(
+                "failing cells",
+                &["scheduler", "fault", "class", "detail"],
+            );
+            for c in &failures {
+                let msg = match &c.verdict {
+                    Verdict::Pass => continue,
+                    Verdict::Unsound(m) | Verdict::Panicked(m) => m.clone(),
+                };
+                detail.push_row(vec![
+                    c.scheduler.clone(),
+                    c.fault.clone(),
+                    c.verdict.label().to_string(),
+                    msg,
+                ]);
+            }
+            println!("{}", detail.render());
         }
-        println!("{}", detail.render());
         Err(CliError::Runtime(format!(
             "chaos found {} failing cell(s) out of {}",
-            failures.len(),
-            report.cells.len()
+            failures.len() + io_failures,
+            report.cells.len() + io_cells.len()
         )))
     }
 }
@@ -325,12 +375,19 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
             let out = run_with_config(
                 StaticEnv::new(&inst, kind.information_model()),
                 kind.build(),
-                SimConfig { time_phases: true, ..SimConfig::default() },
+                SimConfig {
+                    time_phases: true,
+                    ..SimConfig::default()
+                },
             );
             let s = out.stats;
             debug_assert!(s.is_consistent());
             let pct = |part: f64| {
-                if s.wall_total_s > 0.0 { 100.0 * part / s.wall_total_s } else { 0.0 }
+                if s.wall_total_s > 0.0 {
+                    100.0 * part / s.wall_total_s
+                } else {
+                    0.0
+                }
             };
             table.push_row(vec![
                 kind.label(),
@@ -367,7 +424,10 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
             .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
         f.write_all(jsonl.as_bytes())
             .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
-        println!("appended {} JSONL record(s) to {path}", kinds.len() * Scenario::all().len());
+        println!(
+            "appended {} JSONL record(s) to {path}",
+            kinds.len() * Scenario::all().len()
+        );
     }
     Ok(())
 }
@@ -453,11 +513,18 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
 
     let diff = diff_reports(&old, &new);
     let mut table = fjs_analysis::Table::new(
-        format!("bench deltas (regression threshold +{:.0}%)", threshold * 100.0),
+        format!(
+            "bench deltas (regression threshold +{:.0}%)",
+            threshold * 100.0
+        ),
         &["case", "old median", "new median", "ratio", "delta"],
     );
     for d in &diff.aligned {
-        let flag = if d.relative_change() > threshold { "  <-- REGRESSION" } else { "" };
+        let flag = if d.relative_change() > threshold {
+            "  <-- REGRESSION"
+        } else {
+            ""
+        };
         table.push_row(vec![
             d.name.clone(),
             format!("{:.3e} s", d.old_median_s),
@@ -497,10 +564,12 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_conform(args: &[String]) -> Result<(), CliError> {
+    use fjs_core::supervise::Journal;
     use fjs_testkit::{
-        all_targets, row, run_conformance, save_entry, ConformConfig, CorpusEntry, Expectation,
-        Target,
+        all_targets, row, run_conformance_with, save_entry, set_watchdog_events, ConformConfig,
+        ConformHooks, CorpusEntry, Expectation, Failure, Target,
     };
+    use std::sync::Mutex;
 
     let mut args = args.to_vec();
     let cases: usize = match take_flag_value(&mut args, "--cases")? {
@@ -518,6 +587,21 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
     let quick = take_switch(&mut args, "--quick");
     let corpus_dir =
         take_flag_value(&mut args, "--corpus")?.unwrap_or_else(|| "tests/corpus".into());
+    if let Some(v) = take_flag_value(&mut args, "--watchdog-events")? {
+        let n: usize = v.parse().map_err(|_| {
+            CliError::Usage(Some(format!(
+                "--watchdog-events: '{v}' is not an event count"
+            )))
+        })?;
+        set_watchdog_events(n);
+    }
+    let journal_path = take_flag_value(&mut args, "--journal")?;
+    let resume = take_switch(&mut args, "--resume");
+    if resume && journal_path.is_none() {
+        return Err(CliError::Usage(Some(
+            "--resume needs --journal <file>".into(),
+        )));
+    }
 
     let which = args.first().map(String::as_str).unwrap_or("all");
     let targets: Vec<Target> = match which {
@@ -531,8 +615,48 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
         })?],
     };
 
-    let config = ConformConfig { cases, base_seed, quick, ..ConformConfig::default() };
-    let report = run_conformance(&targets, &config);
+    let config = ConformConfig {
+        cases,
+        base_seed,
+        quick,
+        ..ConformConfig::default()
+    };
+    let journal = match &journal_path {
+        None => None,
+        Some(p) => {
+            let j = if resume {
+                Journal::resume(p)
+            } else {
+                Journal::create(p)
+            }
+            .map_err(|e| CliError::Runtime(format!("journal: {e}")))?;
+            Some(Mutex::new(j))
+        }
+    };
+    // Flush each counterexample to the corpus the moment it is shrunk, so
+    // a killed sweep keeps everything found up to that point.
+    let dir = std::path::PathBuf::from(&corpus_dir);
+    let mut on_failure = |f: &Failure| {
+        let entry = CorpusEntry {
+            target: f.target.name(),
+            oracle: f.oracle,
+            expect: Expectation::Violate,
+            note: format!(
+                "shrunk from {} seed {} in {} evaluation(s)",
+                f.family, f.seed, f.shrink_stats.evaluations
+            ),
+            instance: f.shrunk.clone(),
+        };
+        match save_entry(&dir, &entry) {
+            Ok(path) => println!("counterexample written: {}", path.display()),
+            Err(e) => eprintln!("warning: could not save counterexample: {e}"),
+        }
+    };
+    let hooks = ConformHooks {
+        journal: journal.as_ref(),
+        on_failure: Some(&mut on_failure),
+    };
+    let report = run_conformance_with(&targets, &config, hooks);
     println!(
         "conformance: {} case(s) × {} target(s) = {} oracle checks \
          ({} mode, base seed {base_seed})\n",
@@ -541,28 +665,42 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
         report.checks,
         if quick { "quick" } else { "full" },
     );
+    if report.skipped > 0 {
+        println!(
+            "resume: skipped {} already-journalled cell(s)\n",
+            report.skipped
+        );
+    }
 
-    let mut table =
-        fjs_analysis::Table::new("guarantee table", &["target", "oracles", "verdict"]);
+    let mut table = fjs_analysis::Table::new("guarantee table", &["target", "oracles", "verdict"]);
     for t in &targets {
         let oracle_ids: Vec<&str> = row(t).iter().map(|o| o.id()).collect();
         let fails = report.failures.iter().filter(|f| f.target == *t).count();
         table.push_row(vec![
             t.name(),
             oracle_ids.join(", "),
-            if fails == 0 { "pass".into() } else { format!("FAIL ({fails} oracle(s))") },
+            if fails == 0 {
+                "pass".into()
+            } else {
+                format!("FAIL ({fails} oracle(s))")
+            },
         ]);
     }
     println!("{}", table.render());
 
     if report.is_clean() {
-        println!("all conformance oracles hold across {} check(s).", report.checks);
+        println!(
+            "all conformance oracles hold across {} check(s).",
+            report.checks
+        );
         return Ok(());
     }
 
     let mut detail = fjs_analysis::Table::new(
         "violations (minimized by the shrinker)",
-        &["target", "oracle", "family", "seed", "hits", "jobs", "shrunk", "detail"],
+        &[
+            "target", "oracle", "family", "seed", "hits", "jobs", "shrunk", "detail",
+        ],
     );
     for f in &report.failures {
         detail.push_row(vec![
@@ -578,28 +716,107 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
     }
     println!("{}", detail.render());
 
-    let dir = std::path::Path::new(&corpus_dir);
-    for f in &report.failures {
-        let entry = CorpusEntry {
-            target: f.target.name(),
-            oracle: f.oracle,
-            expect: Expectation::Violate,
-            note: format!(
-                "shrunk from {} seed {} in {} evaluation(s)",
-                f.family, f.seed, f.shrink_stats.evaluations
-            ),
-            instance: f.shrunk.clone(),
-        };
-        match save_entry(dir, &entry) {
-            Ok(path) => println!("counterexample written: {}", path.display()),
-            Err(e) => eprintln!("warning: could not save counterexample: {e}"),
-        }
-    }
     Err(CliError::Runtime(format!(
         "conform: {} distinct oracle violation(s) across {} check(s)",
         report.failures.len(),
         report.checks
     )))
+}
+
+fn cmd_soak(args: &[String]) -> Result<(), CliError> {
+    use fjs_cli::soak::{install_sigint_handler, run_soak, SoakOptions};
+    use fjs_core::supervise::{PoisonMode, DEFAULT_WATCHDOG_EVENTS};
+    use fjs_testkit::{all_targets, Target};
+    use std::time::Duration;
+
+    let mut args = args.to_vec();
+    let parse_num = |flag: &str, v: String| -> Result<u64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(Some(format!("{flag}: '{v}' is not a number"))))
+    };
+    let cells: usize = match take_flag_value(&mut args, "--cells")? {
+        Some(v) => parse_num("--cells", v)? as usize,
+        None => 64,
+    };
+    let base_seed: u64 = match take_flag_value(&mut args, "--seed")? {
+        Some(v) => parse_num("--seed", v)?,
+        None => 1,
+    };
+    let watchdog_events: usize = match take_flag_value(&mut args, "--watchdog-events")? {
+        Some(v) => parse_num("--watchdog-events", v)? as usize,
+        None => DEFAULT_WATCHDOG_EVENTS,
+    };
+    let seconds = take_flag_value(&mut args, "--seconds")?
+        .map(|v| parse_num("--seconds", v))
+        .transpose()?;
+    let minutes = take_flag_value(&mut args, "--minutes")?
+        .map(|v| parse_num("--minutes", v))
+        .transpose()?;
+    let time_budget = match (seconds, minutes) {
+        (None, None) => None,
+        (s, m) => Some(Duration::from_secs(s.unwrap_or(0) + 60 * m.unwrap_or(0))),
+    };
+    let throttle = Duration::from_millis(match take_flag_value(&mut args, "--throttle-ms")? {
+        Some(v) => parse_num("--throttle-ms", v)?,
+        None => 0,
+    });
+    let stop_after = take_flag_value(&mut args, "--stop-after")?
+        .map(|v| parse_num("--stop-after", v).map(|n| n as usize))
+        .transpose()?;
+    let poison = match take_flag_value(&mut args, "--poison")? {
+        None => None,
+        Some(v) => Some(PoisonMode::from_label(&v).ok_or_else(|| {
+            CliError::Usage(Some(format!("--poison: '{v}' is not a mode (panic, hang)")))
+        })?),
+    };
+    let trace = take_flag_value(&mut args, "--trace")?.map(std::path::PathBuf::from);
+    let resume = take_switch(&mut args, "--resume");
+    let Some(journal) = take_flag_value(&mut args, "--journal")? else {
+        return Err(CliError::Usage(Some("soak needs --journal <file>".into())));
+    };
+
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let targets: Vec<Target> = match which {
+        "all" => all_targets(),
+        "chaos" => vec![Target::default_chaos()],
+        name => vec![Target::from_name(name).ok_or_else(|| {
+            CliError::Usage(Some(format!(
+                "unknown soak target '{name}' (a scheduler short name, 'all', 'chaos', \
+                 or 'chaos:<mode>:<scheduler>')"
+            )))
+        })?],
+    };
+
+    install_sigint_handler();
+    let opts = SoakOptions {
+        cells,
+        base_seed,
+        watchdog_events,
+        poison,
+        time_budget,
+        resume,
+        trace,
+        throttle,
+        stop_after,
+        ..SoakOptions::new(targets, &journal)
+    };
+    let summary = run_soak(&opts).map_err(CliError::Runtime)?;
+    print!("{}", summary.report);
+    eprintln!(
+        "soak: ran {} cell(s), skipped {} already-journalled, journal {} now holds {}",
+        summary.ran, summary.skipped, journal, summary.journal_cells
+    );
+    if summary.interrupted {
+        eprintln!("soak: interrupted — journal is flushed; rerun with --resume to finish");
+        return Ok(());
+    }
+    if summary.degraded > 0 {
+        return Err(CliError::Runtime(format!(
+            "soak: {} of {} cell(s) did not complete cleanly",
+            summary.degraded, summary.journal_cells
+        )));
+    }
+    Ok(())
 }
 
 fn real_main(args: &[String]) -> Result<(), CliError> {
@@ -625,6 +842,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "stats" => cmd_stats(&args[1..]),
         "bench-diff" => cmd_bench_diff(&args[1..]),
         "conform" => cmd_conform(&args[1..]),
+        "soak" => cmd_soak(&args[1..]),
         "list" => {
             for e in all() {
                 println!("{:4}  {}", e.id, e.title);

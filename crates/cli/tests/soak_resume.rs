@@ -1,0 +1,228 @@
+//! Kill/resume discipline for `fjs soak`: a sweep stopped mid-run and
+//! resumed must replay exactly the uncompleted cells and converge to a
+//! journal — and a report — bit-identical to an uninterrupted run.
+
+use fjs_cli::soak::{run_soak, SoakOptions};
+use fjs_prng::check::forall;
+use fjs_schedulers::SchedulerKind;
+use fjs_testkit::Target;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique temp path per call so proptest cases don't collide.
+fn scratch(tag: &str) -> PathBuf {
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!("fjs-soak-{tag}-{}-{n}", std::process::id()));
+    p
+}
+
+fn targets() -> Vec<Target> {
+    vec![
+        Target::Kind(SchedulerKind::Batch),
+        Target::Kind(SchedulerKind::Eager),
+    ]
+}
+
+#[test]
+fn prop_stop_and_resume_matches_uninterrupted() {
+    forall(10, |rng| {
+        let base_seed = rng.next_u64();
+        let cells = 3 + rng.u64_below(5) as usize;
+        let total = cells * targets().len();
+        let stop_after = rng.u64_below(total as u64) as usize;
+
+        // Reference: one uninterrupted run.
+        let ja = scratch("ref");
+        let mut opts = SoakOptions::new(targets(), &ja);
+        opts.cells = cells;
+        opts.base_seed = base_seed;
+        let full = run_soak(&opts).expect("reference soak");
+        assert!(!full.interrupted);
+        assert_eq!(full.ran, total);
+
+        // Same sweep, "killed" after `stop_after` cells, then resumed.
+        let jb = scratch("cut");
+        let mut cut = SoakOptions::new(targets(), &jb);
+        cut.cells = cells;
+        cut.base_seed = base_seed;
+        cut.stop_after = Some(stop_after);
+        let first = run_soak(&cut).expect("interrupted soak");
+        assert!(
+            first.interrupted,
+            "stop_after {stop_after} < total {total} must interrupt"
+        );
+        assert_eq!(first.ran, stop_after);
+
+        cut.stop_after = None;
+        cut.resume = true;
+        let second = run_soak(&cut).expect("resumed soak");
+        assert!(!second.interrupted);
+        assert_eq!(
+            second.skipped, stop_after,
+            "resume must skip exactly the finished cells"
+        );
+        assert_eq!(
+            second.ran,
+            total - stop_after,
+            "resume must replay exactly the rest"
+        );
+
+        // Bit-identity: the journal bytes and the rendered report.
+        let bytes_a = std::fs::read(&ja).expect("read reference journal");
+        let bytes_b = std::fs::read(&jb).expect("read resumed journal");
+        assert_eq!(
+            bytes_a, bytes_b,
+            "resumed journal must equal uninterrupted journal"
+        );
+        assert_eq!(
+            second.report, full.report,
+            "resumed report must equal uninterrupted report"
+        );
+
+        let _ = std::fs::remove_file(&ja);
+        let _ = std::fs::remove_file(&jb);
+    });
+}
+
+#[test]
+fn two_interruptions_still_converge() {
+    let cells = 6;
+    let total = cells * targets().len();
+
+    let ja = scratch("ref2");
+    let mut opts = SoakOptions::new(targets(), &ja);
+    opts.cells = cells;
+    let full = run_soak(&opts).expect("reference soak");
+
+    let jb = scratch("cut2");
+    let mut cut = SoakOptions::new(targets(), &jb);
+    cut.cells = cells;
+    cut.stop_after = Some(3);
+    run_soak(&cut).expect("first fragment");
+    cut.resume = true;
+    cut.stop_after = Some(4);
+    let mid = run_soak(&cut).expect("second fragment");
+    assert!(mid.interrupted);
+    cut.stop_after = None;
+    let last = run_soak(&cut).expect("final fragment");
+    assert!(!last.interrupted);
+    assert_eq!(last.journal_cells, total);
+
+    assert_eq!(
+        std::fs::read(&ja).expect("ref"),
+        std::fs::read(&jb).expect("cut"),
+        "three fragments must converge to the uninterrupted journal"
+    );
+    assert_eq!(last.report, full.report);
+    let _ = std::fs::remove_file(&ja);
+    let _ = std::fs::remove_file(&jb);
+}
+
+#[test]
+fn poisoned_sweep_is_contained_and_degraded() {
+    use fjs_core::supervise::PoisonMode;
+    let j = scratch("poison");
+    let mut opts = SoakOptions::new(vec![Target::Kind(SchedulerKind::Batch)], &j);
+    opts.cells = 3;
+    opts.poison = Some(PoisonMode::HangWakeups);
+    opts.watchdog_events = 2_000;
+    let summary = run_soak(&opts).expect("poisoned soak must not propagate");
+    assert_eq!(
+        summary.degraded, 3,
+        "every poisoned cell is degraded, none kill the sweep"
+    );
+    assert!(summary.report.contains("timed-out"));
+    let _ = std::fs::remove_file(&j);
+}
+
+#[test]
+fn trace_soak_surfaces_ingest_stats() {
+    let inst = fjs_core::job::Instance::new(vec![
+        fjs_core::job::Job::adp(0.0, 2.0, 1.0),
+        fjs_core::job::Job::adp(1.0, 3.0, 1.0),
+    ]);
+    let mut text = fjs_workloads::write_trace(&inst, None);
+    text.push_str("this,line,is,not,a,record\n");
+    let csv = scratch("trace").with_extension("csv");
+    std::fs::write(&csv, text).expect("write trace");
+
+    let j = scratch("trace-journal");
+    let mut opts = SoakOptions::new(vec![Target::Kind(SchedulerKind::Batch)], &j);
+    opts.trace = Some(csv.clone());
+    let summary = run_soak(&opts).expect("trace soak");
+    let ingest = summary.ingest.expect("trace mode reports ingest stats");
+    assert_eq!(ingest.records, 2);
+    assert_eq!(
+        ingest.quarantined, 1,
+        "the malformed line is quarantined, not fatal"
+    );
+    assert_eq!(summary.journal_cells, 1);
+    assert_eq!(summary.degraded, 0);
+    assert!(summary.report.contains("quarantined"));
+    let _ = std::fs::remove_file(&csv);
+    let _ = std::fs::remove_file(&j);
+}
+
+/// End-to-end: the real binary, a real `SIGINT` mid-sweep, exit 0, then
+/// `--resume` converging to the uninterrupted journal bytes.
+#[cfg(unix)]
+#[test]
+fn binary_survives_sigint_and_resumes() {
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_fjs");
+    let j_cut = scratch("bin-cut");
+    let j_ref = scratch("bin-ref");
+
+    let mut child = Command::new(bin)
+        .args([
+            "soak",
+            "batch",
+            "--cells",
+            "400",
+            "--throttle-ms",
+            "25",
+            "--journal",
+        ])
+        .arg(&j_cut)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn fjs soak");
+    std::thread::sleep(std::time::Duration::from_millis(900));
+    let _ = Command::new("kill")
+        .arg("-INT")
+        .arg(child.id().to_string())
+        .status();
+    let status = child.wait().expect("wait for interrupted soak");
+    assert!(status.success(), "SIGINT must exit 0, got {status}");
+
+    let resume = Command::new(bin)
+        .args(["soak", "batch", "--cells", "400", "--resume", "--journal"])
+        .arg(&j_cut)
+        .output()
+        .expect("resume run");
+    assert!(resume.status.success(), "resume must complete cleanly");
+
+    let reference = Command::new(bin)
+        .args(["soak", "batch", "--cells", "400", "--journal"])
+        .arg(&j_ref)
+        .output()
+        .expect("reference run");
+    assert!(reference.status.success());
+
+    assert_eq!(
+        std::fs::read(&j_cut).expect("cut journal"),
+        std::fs::read(&j_ref).expect("ref journal"),
+        "killed+resumed journal must equal the uninterrupted one"
+    );
+    assert_eq!(
+        resume.stdout, reference.stdout,
+        "reports must be bit-identical"
+    );
+    let _ = std::fs::remove_file(&j_cut);
+    let _ = std::fs::remove_file(&j_ref);
+}

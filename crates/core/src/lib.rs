@@ -17,7 +17,10 @@
 //! * a deterministic event-driven simulation engine for online schedulers,
 //!   expressive enough for the paper's *adaptive adversaries* — job sources
 //!   that react to the scheduler and length oracles that defer their
-//!   decisions ([`sim`]).
+//!   decisions ([`sim`]);
+//! * a supervision layer for long-running sweeps — watchdog event budgets
+//!   with panic isolation, deterministic retry with exponential backoff,
+//!   and a crash-safe checkpoint journal ([`supervise`]).
 //!
 //! Schedulers themselves live in the `fjs-schedulers` crate; adversarial
 //! constructions in `fjs-adversary`; optimal baselines in `fjs-opt`.
@@ -34,13 +37,16 @@ pub mod job;
 pub mod metrics;
 pub mod schedule;
 pub mod sim;
+pub mod supervise;
 pub mod time;
 
 /// Convenience re-exports of the types used by virtually every consumer.
 pub mod prelude {
     pub use crate::interval::{Interval, IntervalSet};
     pub use crate::job::{Instance, InstanceError, Job, JobError, JobId};
-    pub use crate::metrics::{concurrency_at, concurrency_profile, schedule_metrics, ScheduleMetrics};
+    pub use crate::metrics::{
+        concurrency_at, concurrency_profile, schedule_metrics, ScheduleMetrics,
+    };
     pub use crate::schedule::{Schedule, ScheduleError};
     pub use crate::sim::{
         geometric_class, run, run_static, ActionFault, Arrival, Clairvoyance, Ctx, EnvFault,

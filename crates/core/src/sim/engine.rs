@@ -53,7 +53,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_events: 50_000_000, record_trace: false, time_phases: false }
+        SimConfig {
+            max_events: 50_000_000,
+            record_trace: false,
+            time_phases: false,
+        }
     }
 }
 
@@ -70,7 +74,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "job {} missed its starting deadline at {}", self.id, self.at)
+        write!(
+            f,
+            "job {} missed its starting deadline at {}",
+            self.id, self.at
+        )
     }
 }
 
@@ -173,6 +181,25 @@ pub enum EnvFault {
     },
 }
 
+impl EnvFault {
+    /// Whether a retry with a fresh environment could plausibly succeed.
+    ///
+    /// Transient faults are the clock-skew-shaped ones — a release or
+    /// ruling that landed "in the past", or a probe that failed to advance —
+    /// which an external job source can produce under load and which a
+    /// re-run may not reproduce. Structural faults (bad deadlines, bad
+    /// lengths, incoherent clairvoyance) are properties of the workload
+    /// itself and will recur on every attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            EnvFault::ReleaseInPast { .. }
+                | EnvFault::RulingInPast { .. }
+                | EnvFault::ProbeNotDeferred { .. }
+        )
+    }
+}
+
 impl fmt::Display for EnvFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -180,7 +207,10 @@ impl fmt::Display for EnvFault {
                 write!(f, "release scheduled in the past: {scheduled} < {now}")
             }
             EnvFault::DeadlineBeforeArrival { arrival, deadline } => {
-                write!(f, "released job has deadline {deadline} before arrival {arrival}")
+                write!(
+                    f,
+                    "released job has deadline {deadline} before arrival {arrival}"
+                )
             }
             EnvFault::NonPositiveLength { length } => {
                 write!(f, "released job has non-positive length {length}")
@@ -191,11 +221,21 @@ impl fmt::Display for EnvFault {
             EnvFault::RuledNonPositiveLength { id, length } => {
                 write!(f, "ruled non-positive length {length} for {id}")
             }
-            EnvFault::RulingInPast { id, completion, now } => {
-                write!(f, "ruled length puts completion of {id} at {completion}, before {now}")
+            EnvFault::RulingInPast {
+                id,
+                completion,
+                now,
+            } => {
+                write!(
+                    f,
+                    "ruled length puts completion of {id} at {completion}, before {now}"
+                )
             }
             EnvFault::ProbeNotDeferred { id, at } => {
-                write!(f, "length probe for {id} re-asked at {at}, which is not in the future")
+                write!(
+                    f,
+                    "length probe for {id} re-asked at {at}, which is not in the future"
+                )
             }
             EnvFault::HorizonOverflow { id } => {
                 write!(f, "completion time of {id} overflows the finite time range")
@@ -394,19 +434,30 @@ struct Engine<E, S> {
 impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     fn record(&mut self, kind: TraceKind) {
         if self.config.record_trace {
-            self.trace.push(TraceEvent { time: self.world.now(), kind });
+            self.trace.push(TraceEvent {
+                time: self.world.now(),
+                kind,
+            });
         }
     }
 
     fn push(&mut self, time: Time, kind: EventKind) {
-        self.queue.push(Reverse(Event { time, order: kind.order(), seq: self.seq, kind }));
+        self.queue.push(Reverse(Event {
+            time,
+            order: kind.order(),
+            seq: self.seq,
+            kind,
+        }));
         self.seq += 1;
         self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
     }
 
     fn reject(&mut self, fault: ActionFault) {
         self.stats.actions_rejected += 1;
-        self.rejected.push(RejectedAction { at: self.world.now(), fault });
+        self.rejected.push(RejectedAction {
+            at: self.world.now(),
+            fault,
+        });
     }
 
     /// Starts a phase-timing measurement when [`SimConfig::time_phases`]
@@ -546,7 +597,10 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
             Self::phase_done(t0, &mut self.stats.wall_environment_s);
             let release = match next_release {
                 Some(rt) if rt < self.world.now() => {
-                    return Err(EnvFault::ReleaseInPast { scheduled: rt, now: self.world.now() })
+                    return Err(EnvFault::ReleaseInPast {
+                        scheduled: rt,
+                        now: self.world.now(),
+                    })
                 }
                 Some(rt) => Some((rt, RELEASE_ORDER)),
                 None => None,
@@ -572,7 +626,10 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                 let clairvoyance = self.world.clairvoyance();
                 for JobSpec { deadline, length } in specs {
                     if deadline < now {
-                        return Err(EnvFault::DeadlineBeforeArrival { arrival: now, deadline });
+                        return Err(EnvFault::DeadlineBeforeArrival {
+                            arrival: now,
+                            deadline,
+                        });
                     }
                     let fixed = match length {
                         LengthSpec::Fixed(p) => {
@@ -596,7 +653,11 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         id,
                         arrival: now,
                         deadline,
-                        length: if clairvoyance.is_clairvoyant() { fixed } else { None },
+                        length: if clairvoyance.is_clairvoyant() {
+                            fixed
+                        } else {
+                            None
+                        },
                         length_class: if clairvoyance.reveals_class() {
                             fixed.map(|p| crate::sim::env::geometric_class(p, 2.0, 1.0))
                         } else {
@@ -645,7 +706,9 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         continue;
                     };
                     let t0 = self.phase_start();
-                    let ruling = self.env.rule_length(id, started_at, event.time, &self.world);
+                    let ruling = self
+                        .env
+                        .rule_length(id, started_at, event.time, &self.world);
                     Self::phase_done(t0, &mut self.stats.wall_environment_s);
                     match ruling {
                         LengthRuling::Assign(p) => {
@@ -719,9 +782,9 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         self.stats.wall_total_s = run_start.elapsed().as_secs_f64();
         let termination = match drive_end {
             Ok(DriveEnd::Drained) => Termination::Completed,
-            Ok(DriveEnd::EventCap) => {
-                Termination::EventCapExhausted { events: self.stats.events_total }
-            }
+            Ok(DriveEnd::EventCap) => Termination::EventCapExhausted {
+                events: self.stats.events_total,
+            },
             Err(fault) => Termination::EnvironmentFault(fault),
         };
 
@@ -944,7 +1007,10 @@ mod tests {
                 self.completion_lengths.push(length);
             }
         }
-        let mut obs = Observer { saw_length_at_arrival: false, completion_lengths: vec![] };
+        let mut obs = Observer {
+            saw_length_at_arrival: false,
+            completion_lengths: vec![],
+        };
         {
             let env = crate::sim::env::StaticEnv::new(&inst(), Clairvoyance::NonClairvoyant);
             let out = run_with_config(env, &mut obs, SimConfig::default());
@@ -1023,9 +1089,18 @@ mod tests {
         }
         let single = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
         let env = crate::sim::env::StaticEnv::new(&single, Clairvoyance::Clairvoyant);
-        let out =
-            run_with_config(env, Spinner, SimConfig { max_events: 100, ..SimConfig::default() });
-        assert_eq!(out.termination, Termination::EventCapExhausted { events: 100 });
+        let out = run_with_config(
+            env,
+            Spinner,
+            SimConfig {
+                max_events: 100,
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(
+            out.termination,
+            Termination::EventCapExhausted { events: 100 }
+        );
         assert!(!out.is_clean());
         // The partial schedule still carries everything that happened before
         // the cap: the one real job was started (and completed).
@@ -1063,7 +1138,10 @@ mod tests {
             out.rejected_actions[1].fault,
             ActionFault::StartAtOutsideWindow { .. }
         ));
-        assert!(matches!(out.rejected_actions[2].fault, ActionFault::WakeupInPast { .. }));
+        assert!(matches!(
+            out.rejected_actions[2].fault,
+            ActionFault::WakeupInPast { .. }
+        ));
         // The job was force-started at its deadline, so the schedule is
         // complete despite the scheduler never issuing a valid start.
         assert_eq!(out.violations.len(), 1);
@@ -1147,14 +1225,20 @@ mod tests {
         let out = run_with_config(
             env,
             LazyTest,
-            SimConfig { record_trace: true, ..Default::default() },
+            SimConfig {
+                record_trace: true,
+                ..Default::default()
+            },
         );
         use crate::sim::trace::TraceKind;
         let kinds: Vec<_> = out.trace.iter().map(|e| e.kind).collect();
         assert_eq!(
             kinds,
             vec![
-                TraceKind::Released { id: JobId(0), deadline: t(2.0) },
+                TraceKind::Released {
+                    id: JobId(0),
+                    deadline: t(2.0)
+                },
                 TraceKind::Started { id: JobId(0) },
                 TraceKind::Completed { id: JobId(0) },
             ]
@@ -1203,7 +1287,10 @@ mod tests {
         assert_eq!(out.stats.force_starts, 3);
         assert_eq!(out.stats.force_starts, out.violations.len());
         assert_eq!(out.stats.actions_applied, 0);
-        assert_eq!(out.stats.jobs_completed, 3, "force-started jobs still complete");
+        assert_eq!(
+            out.stats.jobs_completed, 3,
+            "force-started jobs still complete"
+        );
     }
 
     #[test]
@@ -1212,13 +1299,26 @@ mod tests {
         let timed = run_with_config(
             env,
             EagerTest,
-            SimConfig { time_phases: true, ..SimConfig::default() },
+            SimConfig {
+                time_phases: true,
+                ..SimConfig::default()
+            },
         );
         let untimed = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
         // Same deterministic counters either way; only wall clocks differ.
         assert_eq!(
-            { let mut s = timed.stats; s.wall_total_s = 0.0; s.wall_scheduler_s = 0.0; s.wall_environment_s = 0.0; s },
-            { let mut s = untimed.stats; s.wall_total_s = 0.0; s },
+            {
+                let mut s = timed.stats;
+                s.wall_total_s = 0.0;
+                s.wall_scheduler_s = 0.0;
+                s.wall_environment_s = 0.0;
+                s
+            },
+            {
+                let mut s = untimed.stats;
+                s.wall_total_s = 0.0;
+                s
+            },
         );
         assert!(timed.stats.wall_scheduler_s >= 0.0);
         assert!(timed.stats.wall_environment_s >= 0.0);

@@ -1,0 +1,552 @@
+//! Crash-safe checkpoint journal for long sweeps (journal format v1).
+//!
+//! A [`Journal`] records one JSONL line per completed sweep **cell** — a
+//! `(target, family, seed)` triple plus the cell's result. Writers follow
+//! an atomic write-rename discipline: every [`Journal::record`] serializes
+//! the full *sorted* entry set to `<path>.tmp` and renames it over
+//! `<path>`, so a crash — even `SIGKILL` between syscalls — leaves either
+//! the previous journal or the new one on disk, never a torn file.
+//!
+//! Loading is additionally tolerant of a torn *trailing* line (a journal
+//! written by a plain appender, or a filesystem that lost the tail of the
+//! final sector): the damaged tail is dropped and reported through
+//! [`Journal::torn_tail`]. Garbage in the *interior* of the file is a hard
+//! error — that is corruption, not a crash artifact.
+//!
+//! Because the serialized form is the sorted entry set, the journal bytes
+//! are a pure function of the *set* of completed cells: a sweep killed and
+//! resumed any number of times converges to a journal byte-identical to an
+//! uninterrupted run's, which is what makes resumed reports bit-stable.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{ErrorKind, Write as _};
+use std::path::{Path, PathBuf};
+
+/// The journal format version stamped on every line.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// One unit of sweep work: a target run on one seeded family member.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Cell {
+    /// Target name (e.g. a registry short name or `chaos:<mode>:<inner>`).
+    pub target: String,
+    /// Family label (e.g. `int[n=6,mu=2,tight,burst]`) or `trace:<file>`.
+    pub family: String,
+    /// The cell's case seed.
+    pub seed: u64,
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} / {} / seed {:#x}",
+            self.target, self.family, self.seed
+        )
+    }
+}
+
+/// The recorded outcome of one completed cell.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CellResult {
+    /// The cell this result belongs to.
+    pub cell: Cell,
+    /// Supervision verdict label (`completed`, `timed-out`, `panicked`,
+    /// `faulted`, or a harness-defined label such as `clean`).
+    pub verdict: String,
+    /// Span achieved by the run (0 when not applicable).
+    pub span: f64,
+    /// Events the run processed (0 when not applicable).
+    pub events: usize,
+    /// Retries the supervisor spent on the cell.
+    pub retries: u32,
+}
+
+/// Errors from journal IO and decoding.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem error.
+    Io {
+        /// The journal path involved.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// A malformed line in the interior of the journal (not a torn tail).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io { path, source } => {
+                write!(f, "journal {}: {source}", path.display())
+            }
+            JournalError::Corrupt { line, detail } => {
+                write!(f, "journal line {line}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// A checkpoint journal bound to a path on disk.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    entries: BTreeMap<Cell, CellResult>,
+    torn_tail: bool,
+}
+
+impl Journal {
+    /// Starts a fresh journal at `path`, discarding any existing file. The
+    /// empty journal is persisted immediately so an early kill still leaves
+    /// a well-formed (empty) file behind.
+    pub fn create(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let journal = Journal {
+            path: path.into(),
+            entries: BTreeMap::new(),
+            torn_tail: false,
+        };
+        journal.persist()?;
+        Ok(journal)
+    }
+
+    /// Opens the journal at `path` for resumption. A missing file is an
+    /// empty journal; a torn trailing line is dropped (see
+    /// [`Journal::torn_tail`]); interior garbage is a [`JournalError::Corrupt`].
+    pub fn resume(path: impl Into<PathBuf>) -> Result<Journal, JournalError> {
+        let path = path.into();
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(JournalError::Io { path, source: e }),
+        };
+        let mut entries = BTreeMap::new();
+        let mut torn_tail = false;
+        let lines: Vec<&str> = text.split('\n').collect();
+        for (idx, raw) in lines.iter().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match parse_line(line) {
+                Ok(result) => {
+                    entries.insert(result.cell.clone(), result);
+                }
+                Err(detail) => {
+                    // Only the final non-empty chunk may be torn; anything
+                    // earlier is interior corruption.
+                    let is_tail = lines[idx + 1..].iter().all(|l| l.trim().is_empty());
+                    if is_tail {
+                        torn_tail = true;
+                        break;
+                    }
+                    return Err(JournalError::Corrupt {
+                        line: idx + 1,
+                        detail,
+                    });
+                }
+            }
+        }
+        Ok(Journal {
+            path,
+            entries,
+            torn_tail,
+        })
+    }
+
+    /// The path this journal persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether loading dropped a torn trailing line.
+    pub fn torn_tail(&self) -> bool {
+        self.torn_tail
+    }
+
+    /// Whether `cell` is already recorded as completed.
+    pub fn contains(&self, cell: &Cell) -> bool {
+        self.entries.contains_key(cell)
+    }
+
+    /// Number of recorded cells.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no cell has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The recorded results in sorted cell order.
+    pub fn entries(&self) -> impl Iterator<Item = &CellResult> {
+        self.entries.values()
+    }
+
+    /// Records a completed cell and persists the whole journal atomically.
+    /// Re-recording a cell overwrites its previous result.
+    pub fn record(&mut self, result: CellResult) -> Result<(), JournalError> {
+        self.entries.insert(result.cell.clone(), result);
+        self.persist()
+    }
+
+    /// Serializes the sorted entry set (the exact bytes [`Journal::persist`]
+    /// writes). Exposed so reports and tests can compare journal content
+    /// without re-reading the file.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for result in self.entries.values() {
+            out.push_str(&serialize_line(result));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the sorted entry set to `<path>.tmp`, then renames it over
+    /// the journal path — the atomic write-rename discipline.
+    pub fn persist(&self) -> Result<(), JournalError> {
+        let mut tmp = self.path.clone().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let io_err = |source| JournalError::Io {
+            path: self.path.clone(),
+            source,
+        };
+        let mut file = fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(self.render().as_bytes()).map_err(io_err)?;
+        // Flush file content before the rename makes it visible under the
+        // journal name; rename itself is atomic on POSIX filesystems.
+        file.sync_all().map_err(io_err)?;
+        drop(file);
+        fs::rename(&tmp, &self.path).map_err(io_err)
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err("truncated \\u escape".to_string());
+                }
+                let code =
+                    u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u escape {hex}"))?;
+                match char::from_u32(code) {
+                    Some(c) => out.push(c),
+                    None => return Err(format!("bad \\u escape {hex}")),
+                }
+            }
+            other => {
+                return Err(format!(
+                    "bad escape \\{}",
+                    other.map_or_else(String::new, String::from)
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn serialize_line(r: &CellResult) -> String {
+    format!(
+        "{{\"v\":{},\"target\":\"{}\",\"family\":\"{}\",\"seed\":{},\"verdict\":\"{}\",\"span\":{},\"events\":{},\"retries\":{}}}",
+        JOURNAL_VERSION,
+        escape(&r.cell.target),
+        escape(&r.cell.family),
+        r.cell.seed,
+        escape(&r.verdict),
+        r.span,
+        r.events,
+        r.retries,
+    )
+}
+
+/// A minimal flat-object JSON scanner for journal lines: one `{...}` object
+/// of scalar fields. Strings may contain the escapes [`escape`] emits.
+fn parse_fields(line: &str) -> Result<Vec<(String, String)>, String> {
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "not a JSON object".to_string())?;
+    let mut fields = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches([',', ' ']);
+        if rest.is_empty() {
+            break;
+        }
+        // Key: a quoted string with no escapes (our keys are plain).
+        let rest2 = rest
+            .strip_prefix('"')
+            .ok_or_else(|| "expected quoted key".to_string())?;
+        let key_end = rest2
+            .find('"')
+            .ok_or_else(|| "unterminated key".to_string())?;
+        let key = &rest2[..key_end];
+        let rest3 = rest2[key_end + 1..]
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or_else(|| "expected ':'".to_string())?;
+        let rest3 = rest3.trim_start();
+        if let Some(val_rest) = rest3.strip_prefix('"') {
+            // String value: scan to the closing quote, honouring escapes.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in val_rest.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end.ok_or_else(|| "unterminated string value".to_string())?;
+            fields.push((key.to_string(), unescape(&val_rest[..end])?));
+            rest = &val_rest[end + 1..];
+        } else {
+            // Scalar value: runs to the next comma or the end.
+            let end = rest3.find(',').unwrap_or(rest3.len());
+            fields.push((key.to_string(), rest3[..end].trim().to_string()));
+            rest = &rest3[end..];
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_line(line: &str) -> Result<CellResult, String> {
+    let fields = parse_fields(line)?;
+    let get = |key: &str| -> Result<&str, String> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or_else(|| format!("missing field '{key}'"))
+    };
+    let version: u32 = get("v")?.parse().map_err(|_| "bad version".to_string())?;
+    if version != JOURNAL_VERSION {
+        return Err(format!("unsupported journal version {version}"));
+    }
+    let seed: u64 = get("seed")?.parse().map_err(|_| "bad seed".to_string())?;
+    let span: f64 = get("span")?.parse().map_err(|_| "bad span".to_string())?;
+    let events: usize = get("events")?
+        .parse()
+        .map_err(|_| "bad events".to_string())?;
+    let retries: u32 = get("retries")?
+        .parse()
+        .map_err(|_| "bad retries".to_string())?;
+    Ok(CellResult {
+        cell: Cell {
+            target: get("target")?.to_string(),
+            family: get("family")?.to_string(),
+            seed,
+        },
+        verdict: get("verdict")?.to_string(),
+        span,
+        events,
+        retries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_prng::check::forall;
+    use fjs_prng::SmallRng;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("fjs-journal-{tag}-{}", std::process::id()));
+        p
+    }
+
+    fn sample(i: u64) -> CellResult {
+        CellResult {
+            cell: Cell {
+                target: format!("t{}", i % 3),
+                family: format!("int[n=6,mu={},tight,burst]", i % 5),
+                seed: i.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            },
+            verdict: ["completed", "timed-out", "panicked", "faulted"][(i % 4) as usize]
+                .to_string(),
+            span: i as f64 * 0.5,
+            events: (i * 7) as usize,
+            retries: (i % 3) as u32,
+        }
+    }
+
+    #[test]
+    fn line_round_trip() {
+        for i in 0..32 {
+            let r = sample(i);
+            let line = serialize_line(&r);
+            assert_eq!(parse_line(&line).unwrap(), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let r = CellResult {
+            cell: Cell {
+                target: "we\"ird\\name\nwith\tcontrol".to_string(),
+                family: "fam{},=[]".to_string(),
+                seed: 7,
+            },
+            verdict: "completed".to_string(),
+            span: 1.25,
+            events: 3,
+            retries: 0,
+        };
+        let line = serialize_line(&r);
+        assert_eq!(parse_line(&line).unwrap(), r, "{line}");
+    }
+
+    #[test]
+    fn create_record_resume() {
+        let path = tmp_path("crr");
+        let mut j = Journal::create(&path).unwrap();
+        for i in 0..10 {
+            j.record(sample(i)).unwrap();
+        }
+        let back = Journal::resume(&path).unwrap();
+        assert_eq!(back.len(), j.len());
+        assert!(!back.torn_tail());
+        for r in j.entries() {
+            assert!(back.contains(&r.cell));
+        }
+        assert_eq!(back.render(), j.render());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_resumes_empty() {
+        let j = Journal::resume(tmp_path("missing-nonexistent")).unwrap();
+        assert!(j.is_empty());
+        assert!(!j.torn_tail());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_interior_garbage_rejected() {
+        let path = tmp_path("torn");
+        let mut j = Journal::create(&path).unwrap();
+        for i in 0..5 {
+            j.record(sample(i)).unwrap();
+        }
+        let full = fs::read_to_string(&path).unwrap();
+
+        // Truncate mid-final-line: the tail is dropped, the rest loads.
+        fs::write(&path, &full[..full.len() - 8]).unwrap();
+        let back = Journal::resume(&path).unwrap();
+        assert!(back.torn_tail());
+        assert_eq!(back.len(), 4);
+
+        // Garbage in the interior is corruption, not a torn tail.
+        let mut lines: Vec<&str> = full.lines().collect();
+        lines[1] = "{\"v\":1,garbage";
+        fs::write(&path, lines.join("\n")).unwrap();
+        assert!(matches!(
+            Journal::resume(&path),
+            Err(JournalError::Corrupt { line: 2, .. })
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_bytes_are_order_independent() {
+        let a_path = tmp_path("order-a");
+        let b_path = tmp_path("order-b");
+        let mut a = Journal::create(&a_path).unwrap();
+        let mut b = Journal::create(&b_path).unwrap();
+        for i in 0..12 {
+            a.record(sample(i)).unwrap();
+        }
+        for i in (0..12).rev() {
+            b.record(sample(i)).unwrap();
+        }
+        assert_eq!(
+            fs::read(&a_path).unwrap(),
+            fs::read(&b_path).unwrap(),
+            "sorted rewrite must make bytes a pure function of the entry set"
+        );
+        let _ = fs::remove_file(&a_path);
+        let _ = fs::remove_file(&b_path);
+    }
+
+    /// The satellite proptest: write a journal, truncate it at a random
+    /// byte (simulating a kill mid-write of an appender-style tail), resume,
+    /// re-record whatever is missing, and require byte-identity with the
+    /// uninterrupted journal.
+    #[test]
+    fn prop_truncate_resume_converges() {
+        let path = tmp_path("prop");
+        forall(40, |rng: &mut SmallRng| {
+            let n = 1 + rng.u64_below(10);
+            let results: Vec<CellResult> = (0..n).map(sample).collect();
+
+            let mut uninterrupted = Journal::create(&path).unwrap();
+            for r in &results {
+                uninterrupted.record(r.clone()).unwrap();
+            }
+            let full_bytes = fs::read(&path).unwrap();
+
+            // Kill: keep a random prefix of the file.
+            let cut = rng.u64_below(full_bytes.len() as u64 + 1) as usize;
+            fs::write(&path, &full_bytes[..cut]).unwrap();
+
+            // Resume and replay exactly the cells the journal lost.
+            let mut resumed = Journal::resume(&path).unwrap();
+            let missing: Vec<&CellResult> = results
+                .iter()
+                .filter(|r| !resumed.contains(&r.cell))
+                .collect();
+            assert_eq!(
+                missing.len() + resumed.len(),
+                results.len(),
+                "recovered + missing must partition the cells"
+            );
+            for r in missing {
+                resumed.record(r.clone()).unwrap();
+            }
+            assert_eq!(fs::read(&path).unwrap(), full_bytes, "cut at byte {cut}");
+        });
+        let _ = fs::remove_file(&path);
+    }
+}

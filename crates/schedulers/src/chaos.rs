@@ -29,10 +29,11 @@ use fjs_core::sim::{run_with_config, SimConfig, SimOutcome, StaticEnv, Terminati
 
 use crate::registry::SchedulerKind;
 
-/// Event budget per cell. Generous for these tiny instances — hundreds of
-/// events are typical — so hitting it means a runaway feedback loop, which
-/// the harness reports as unsound rather than looping for minutes.
-const CHAOS_MAX_EVENTS: usize = 1_000_000;
+/// Default event budget per cell. Generous for these tiny instances —
+/// hundreds of events are typical — so hitting it means a runaway feedback
+/// loop, which the harness reports as unsound rather than looping for
+/// minutes. Override with [`run_chaos_matrix_with`] (`--watchdog-events`).
+pub const CHAOS_MAX_EVENTS: usize = 1_000_000;
 
 /// How one (scheduler, fault) cell ended.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -141,7 +142,10 @@ fn classify(outcome: &SimOutcome) -> Verdict {
         }
     }
     if !outcome.unresolved.is_empty() {
-        return Verdict::Unsound(format!("{} job lengths left unruled", outcome.unresolved.len()));
+        return Verdict::Unsound(format!(
+            "{} job lengths left unruled",
+            outcome.unresolved.len()
+        ));
     }
     if !outcome.schedule.is_complete() {
         return Verdict::Unsound("schedule is missing job starts".into());
@@ -170,11 +174,20 @@ fn run_cell(f: impl FnOnce() -> SimOutcome + std::panic::UnwindSafe) -> Verdict 
 }
 
 /// Runs the full fault matrix for one scheduler kind: all
-/// [`EnvFaultMode`]s, then all [`SchedFaultMode`]s.
+/// [`EnvFaultMode`]s, then all [`SchedFaultMode`]s, at the default
+/// [`CHAOS_MAX_EVENTS`] watchdog budget.
 pub fn run_chaos_for(kind: SchedulerKind) -> Vec<ChaosCell> {
+    run_chaos_for_with(kind, CHAOS_MAX_EVENTS)
+}
+
+/// [`run_chaos_for`] with an explicit watchdog event budget per cell.
+pub fn run_chaos_for_with(kind: SchedulerKind, max_events: usize) -> Vec<ChaosCell> {
     let base = chaos_base_instance();
     let model = kind.information_model();
-    let config = SimConfig { max_events: CHAOS_MAX_EVENTS, ..SimConfig::default() };
+    let config = SimConfig {
+        max_events,
+        ..SimConfig::default()
+    };
     let scheduler = kind.label();
     let mut cells = Vec::with_capacity(EnvFaultMode::ALL.len() + SchedFaultMode::ALL.len());
 
@@ -206,11 +219,16 @@ pub fn run_chaos_for(kind: SchedulerKind) -> Vec<ChaosCell> {
 }
 
 /// Runs the matrix for the given kinds (typically
-/// [`SchedulerKind::registered_set`]).
+/// [`SchedulerKind::registered_set`]) at the default watchdog budget.
 pub fn run_chaos_matrix(kinds: &[SchedulerKind]) -> ChaosReport {
+    run_chaos_matrix_with(kinds, CHAOS_MAX_EVENTS)
+}
+
+/// [`run_chaos_matrix`] with an explicit watchdog event budget per cell.
+pub fn run_chaos_matrix_with(kinds: &[SchedulerKind], max_events: usize) -> ChaosReport {
     let mut report = ChaosReport::default();
     for &kind in kinds {
-        report.cells.extend(run_chaos_for(kind));
+        report.cells.extend(run_chaos_for_with(kind, max_events));
     }
     report
 }
@@ -231,15 +249,19 @@ mod tests {
     #[test]
     fn full_matrix_is_clean() {
         let report = run_chaos_matrix(&SchedulerKind::registered_set());
-        let expected =
-            SchedulerKind::registered_set().len() * (EnvFaultMode::ALL.len() + SchedFaultMode::ALL.len());
+        let expected = SchedulerKind::registered_set().len()
+            * (EnvFaultMode::ALL.len() + SchedFaultMode::ALL.len());
         assert_eq!(report.cells.len(), expected);
         let failures: Vec<String> = report
             .failures()
             .iter()
             .map(|c| format!("{} × {} → {:?}", c.scheduler, c.fault, c.verdict))
             .collect();
-        assert!(report.is_clean(), "chaos failures:\n{}", failures.join("\n"));
+        assert!(
+            report.is_clean(),
+            "chaos failures:\n{}",
+            failures.join("\n")
+        );
     }
 
     #[test]
@@ -276,7 +298,14 @@ mod tests {
         let base = chaos_base_instance();
         let verdict = run_cell(|| {
             let env = StaticEnv::new(&base, fjs_core::sim::Clairvoyance::NonClairvoyant);
-            run_with_config(env, Exploder, SimConfig { max_events: CHAOS_MAX_EVENTS, ..SimConfig::default() })
+            run_with_config(
+                env,
+                Exploder,
+                SimConfig {
+                    max_events: CHAOS_MAX_EVENTS,
+                    ..SimConfig::default()
+                },
+            )
         });
         match verdict {
             Verdict::Panicked(msg) => assert!(msg.contains("exploded")),

@@ -7,8 +7,10 @@ use crate::shrink::{shrink, ShrinkStats, DEFAULT_SHRINK_BUDGET};
 use crate::target::Target;
 use fjs_analysis::parallel_map;
 use fjs_core::job::Instance;
+use fjs_core::supervise::{Cell, CellResult, Journal};
 use fjs_prng::check::case_seed;
 use fjs_workloads::{conformance_deck, Family};
+use std::sync::Mutex;
 
 /// Configuration for one conformance run.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -66,6 +68,9 @@ pub struct ConformReport {
     pub cases: usize,
     /// Total oracle checks executed across all cases and targets.
     pub checks: usize,
+    /// `(target, case)` cells skipped because a resume journal already
+    /// recorded them as completed.
+    pub skipped: usize,
     /// Distinct minimized failures (empty for conforming schedulers).
     pub failures: Vec<Failure>,
 }
@@ -85,12 +90,39 @@ struct RawFailure {
     instance: Instance,
 }
 
+/// Side-channels for a supervised conformance run. The default hooks do
+/// nothing, reproducing the plain [`run_conformance`] behaviour.
+#[derive(Default)]
+pub struct ConformHooks<'a> {
+    /// Checkpoint journal: `(target, family, seed)` cells it already
+    /// records are skipped (counted in [`ConformReport::skipped`]), and
+    /// every newly finished cell is recorded — the `--resume` machinery.
+    pub journal: Option<&'a Mutex<Journal>>,
+    /// Called once per distinct failure *immediately after it is shrunk*,
+    /// so counterexamples reach disk even if the sweep is later killed.
+    pub on_failure: Option<&'a mut dyn FnMut(&Failure)>,
+}
+
 /// Runs the conformance suite for `targets`.
 ///
 /// Deterministic: the report (including shrunk instances) is a pure
 /// function of `(targets, config)` — `parallel_map` preserves input order
 /// and every oracle and the shrinker are deterministic.
 pub fn run_conformance(targets: &[Target], config: &ConformConfig) -> ConformReport {
+    run_conformance_with(targets, config, ConformHooks::default())
+}
+
+/// [`run_conformance`] with resume/flush [`ConformHooks`].
+///
+/// With a journal, the report covers only the cells run *this* time
+/// (journalled cells are skipped), but the journal itself converges to the
+/// same sorted byte content as an uninterrupted run — which is what
+/// `--resume` needs.
+pub fn run_conformance_with(
+    targets: &[Target],
+    config: &ConformConfig,
+    mut hooks: ConformHooks<'_>,
+) -> ConformReport {
     let mut deck: Vec<Family> = conformance_deck();
     if config.quick {
         deck.retain(|f| f.n() <= 8);
@@ -103,33 +135,87 @@ pub fn run_conformance(targets: &[Target], config: &ConformConfig) -> ConformRep
         .map(|i| (i, deck[i % deck.len()], case_seed(config.base_seed, i)))
         .collect();
 
-    let per_case: Vec<(usize, Vec<RawFailure>)> = parallel_map(&cases, |&(_, family, seed)| {
-        let inst = family.generate(seed);
-        // The exact optimum is per-instance, not per-target: compute it
-        // once and share it across every ratio-bound check.
-        let opt = if ratio_possible { oracles::exact_opt(&inst) } else { None };
-        let mut checks = 0;
-        let mut raw = Vec::new();
-        for (target_index, target) in targets.iter().enumerate() {
-            let (n, violations) = oracles::check_all(target, &inst, opt);
-            checks += n;
-            for violation in violations {
-                raw.push(RawFailure {
-                    target_index,
-                    violation,
-                    family: family.label(),
-                    seed,
-                    instance: inst.clone(),
-                });
+    let journal = hooks.journal;
+    let per_case: Vec<(usize, usize, Vec<RawFailure>)> =
+        parallel_map(&cases, |&(_, family, seed)| {
+            // Resolve the whole case's skip set up front (one lock), so an
+            // instance is never generated for fully-journalled cases.
+            let todo: Vec<(usize, &Target)> = match journal {
+                None => targets.iter().enumerate().collect(),
+                Some(j) => {
+                    let j = j.lock().unwrap_or_else(|e| e.into_inner());
+                    targets
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, t)| {
+                            !j.contains(&Cell {
+                                target: t.name(),
+                                family: family.label(),
+                                seed,
+                            })
+                        })
+                        .collect()
+                }
+            };
+            let skipped = targets.len() - todo.len();
+            if todo.is_empty() {
+                return (0, skipped, Vec::new());
             }
-        }
-        (checks, raw)
-    });
+            let inst = family.generate(seed);
+            // The exact optimum is per-instance, not per-target: compute it
+            // once and share it across every ratio-bound check.
+            let opt = if ratio_possible {
+                oracles::exact_opt(&inst)
+            } else {
+                None
+            };
+            let mut checks = 0;
+            let mut raw = Vec::new();
+            for (target_index, target) in todo {
+                let (n, violations) = oracles::check_all(target, &inst, opt);
+                checks += n;
+                let clean = violations.is_empty();
+                for violation in violations {
+                    raw.push(RawFailure {
+                        target_index,
+                        violation,
+                        family: family.label(),
+                        seed,
+                        instance: inst.clone(),
+                    });
+                }
+                if let Some(j) = journal {
+                    let mut j = j.lock().unwrap_or_else(|e| e.into_inner());
+                    // Journal IO failures must not abort the sweep; the
+                    // worst case is redoing this cell after a resume.
+                    let _ = j.record(CellResult {
+                        cell: Cell {
+                            target: target.name(),
+                            family: family.label(),
+                            seed,
+                        },
+                        verdict: if clean {
+                            "clean".into()
+                        } else {
+                            "failed".into()
+                        },
+                        span: 0.0,
+                        events: 0,
+                        retries: 0,
+                    });
+                }
+            }
+            (checks, skipped, raw)
+        });
 
-    let mut report = ConformReport { cases: config.cases, ..ConformReport::default() };
+    let mut report = ConformReport {
+        cases: config.cases,
+        ..ConformReport::default()
+    };
     let mut failures: Vec<Failure> = Vec::new();
-    for (checks, raw) in per_case {
+    for (checks, skipped, raw) in per_case {
         report.checks += checks;
+        report.skipped += skipped;
         for rf in raw {
             let target = targets[rf.target_index];
             if let Some(existing) = failures
@@ -153,7 +239,9 @@ pub fn run_conformance(targets: &[Target], config: &ConformConfig) -> ConformRep
         }
     }
 
-    // Minimize each distinct failure, preserving the failing oracle.
+    // Minimize each distinct failure, preserving the failing oracle, and
+    // flush it through the hook the moment it is minimized — a later kill
+    // must not lose already-shrunk counterexamples.
     for failure in &mut failures {
         let target = failure.target;
         let oracle = failure.oracle;
@@ -162,6 +250,9 @@ pub fn run_conformance(targets: &[Target], config: &ConformConfig) -> ConformRep
         });
         failure.shrunk = shrunk;
         failure.shrink_stats = stats;
+        if let Some(on_failure) = hooks.on_failure.as_mut() {
+            on_failure(failure);
+        }
     }
 
     report.failures = failures;
@@ -181,7 +272,12 @@ mod tests {
     use super::*;
 
     fn quick_config(cases: usize) -> ConformConfig {
-        ConformConfig { cases, base_seed: 1, quick: true, ..ConformConfig::default() }
+        ConformConfig {
+            cases,
+            base_seed: 1,
+            quick: true,
+            ..ConformConfig::default()
+        }
     }
 
     #[test]
@@ -192,9 +288,16 @@ mod tests {
             .iter()
             .map(|f| format!("{} / {}: {}", f.target.name(), f.oracle.id(), f.detail))
             .collect();
-        assert!(report.is_clean(), "conformance failures:\n{}", details.join("\n"));
+        assert!(
+            report.is_clean(),
+            "conformance failures:\n{}",
+            details.join("\n")
+        );
         assert_eq!(report.cases, 24);
-        assert!(report.checks > 24 * all_targets().len(), "several oracles per target-case");
+        assert!(
+            report.checks > 24 * all_targets().len(),
+            "several oracles per target-case"
+        );
     }
 
     #[test]
@@ -203,12 +306,84 @@ mod tests {
         assert!(!report.is_clean(), "the harness must catch injected chaos");
         let f = &report.failures[0];
         assert_eq!(f.oracle, OracleKind::Window);
-        assert!(f.shrunk.len() <= 6, "shrunk to {} jobs: {:?}", f.shrunk.len(), f.shrunk);
+        assert!(
+            f.shrunk.len() <= 6,
+            "shrunk to {} jobs: {:?}",
+            f.shrunk.len(),
+            f.shrunk
+        );
         assert!(f.shrink_stats.evaluations > 0);
         assert!(
             oracles::still_fails(&f.target, f.oracle, &f.shrunk),
             "the minimized instance must preserve the failure"
         );
+    }
+
+    #[test]
+    fn journal_hook_skips_completed_cells() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("fjs-conform-journal-{}", std::process::id()));
+        let targets = [Target::Kind(fjs_schedulers::SchedulerKind::Batch)];
+        let config = quick_config(6);
+
+        let journal = Mutex::new(Journal::create(&path).unwrap());
+        let first = run_conformance_with(
+            &targets,
+            &config,
+            ConformHooks {
+                journal: Some(&journal),
+                ..ConformHooks::default()
+            },
+        );
+        assert_eq!(first.skipped, 0);
+        assert!(first.checks > 0);
+        assert_eq!(
+            journal.lock().unwrap().len(),
+            6,
+            "one cell per (target, case)"
+        );
+
+        // Resume against the same journal: everything is already done.
+        let journal = Mutex::new(Journal::resume(&path).unwrap());
+        let second = run_conformance_with(
+            &targets,
+            &config,
+            ConformHooks {
+                journal: Some(&journal),
+                ..ConformHooks::default()
+            },
+        );
+        assert_eq!(second.skipped, 6);
+        assert_eq!(second.checks, 0, "skipped cells run no oracles");
+        assert!(second.is_clean());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn on_failure_hook_fires_per_shrunk_failure() {
+        let mut seen: Vec<String> = Vec::new();
+        let mut on_failure = |f: &Failure| {
+            assert!(
+                oracles::still_fails(&f.target, f.oracle, &f.shrunk),
+                "hook must see the already-shrunk failure"
+            );
+            seen.push(format!("{}/{}", f.target.name(), f.oracle.id()));
+        };
+        let report = run_conformance_with(
+            &[Target::default_chaos()],
+            &quick_config(8),
+            ConformHooks {
+                on_failure: Some(&mut on_failure),
+                ..ConformHooks::default()
+            },
+        );
+        assert!(!report.is_clean());
+        let expected: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| format!("{}/{}", f.target.name(), f.oracle.id()))
+            .collect();
+        assert_eq!(seen, expected, "exactly one hook call per distinct failure");
     }
 
     #[test]

@@ -31,11 +31,16 @@ pub mod oracles;
 pub mod shrink;
 pub mod target;
 
-pub use conform::{all_targets, run_conformance, ConformConfig, ConformReport, Failure};
+pub use conform::{
+    all_targets, run_conformance, run_conformance_with, ConformConfig, ConformHooks, ConformReport,
+    Failure,
+};
 pub use corpus::{
     entry_filename, load_dir, parse_entry, render_entry, replay, save_entry, CorpusEntry,
     CorpusError, Expectation,
 };
-pub use oracles::{applicable, check_all, exact_opt, row, still_fails, OracleKind, OracleViolation};
+pub use oracles::{
+    applicable, check_all, exact_opt, row, still_fails, OracleKind, OracleViolation,
+};
 pub use shrink::{shrink, ShrinkStats, DEFAULT_SHRINK_BUDGET};
-pub use target::Target;
+pub use target::{set_watchdog_events, watchdog_events, Target, CONFORM_MAX_EVENTS};

@@ -6,11 +6,28 @@ use fjs_core::faults::{ChaosScheduler, SchedFaultMode};
 use fjs_core::job::Instance;
 use fjs_core::sim::{run_with_config, Clairvoyance, SimConfig, SimOutcome, StaticEnv};
 use fjs_schedulers::SchedulerKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Event budget per conformance run. The deck instances are tiny, so
-/// hitting this means a runaway wakeup loop — reported as a violation, not
-/// a hang.
+/// Default event budget per conformance run. The deck instances are tiny,
+/// so hitting this means a runaway wakeup loop — reported as a violation,
+/// not a hang.
 pub const CONFORM_MAX_EVENTS: usize = 1_000_000;
+
+/// The process-wide watchdog budget [`Target::run_on`] applies.
+static WATCHDOG_EVENTS: AtomicUsize = AtomicUsize::new(CONFORM_MAX_EVENTS);
+
+/// Overrides the watchdog event budget for every subsequent
+/// [`Target::run_on`] in this process (the CLI's `--watchdog-events`).
+/// Process-global because the budget threads through every oracle and
+/// shrinker re-run; set it once before a sweep, not concurrently with one.
+pub fn set_watchdog_events(max_events: usize) {
+    WATCHDOG_EVENTS.store(max_events.max(1), Ordering::Relaxed);
+}
+
+/// The watchdog event budget currently in force.
+pub fn watchdog_events() -> usize {
+    WATCHDOG_EVENTS.load(Ordering::Relaxed)
+}
 
 /// What the conformance harness runs and checks.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -34,7 +51,9 @@ impl Target {
     pub fn from_name(name: &str) -> Option<Target> {
         if let Some(rest) = name.strip_prefix("chaos:") {
             let (mode_name, inner_name) = rest.split_once(':')?;
-            let mode = *SchedFaultMode::ALL.iter().find(|m| m.label() == mode_name)?;
+            let mode = *SchedFaultMode::ALL
+                .iter()
+                .find(|m| m.label() == mode_name)?;
             let inner = SchedulerKind::from_short_name(inner_name)?;
             return Some(Target::Chaos { inner, mode });
         }
@@ -69,10 +88,14 @@ impl Target {
         self.kind().information_model()
     }
 
-    /// Runs the target on `inst`, optionally recording the event trace.
+    /// Runs the target on `inst`, optionally recording the event trace,
+    /// under the [`watchdog_events`] budget.
     pub fn run_on(&self, inst: &Instance, record_trace: bool) -> SimOutcome {
-        let config =
-            SimConfig { max_events: CONFORM_MAX_EVENTS, record_trace, ..SimConfig::default() };
+        let config = SimConfig {
+            max_events: watchdog_events(),
+            record_trace,
+            ..SimConfig::default()
+        };
         let env = StaticEnv::new(inst, self.information_model());
         match *self {
             Target::Kind(kind) => run_with_config(env, kind.build(), config),
@@ -86,7 +109,10 @@ impl Target {
     /// chaos layer, which forces deadline starts the engine records as
     /// violations.
     pub fn default_chaos() -> Target {
-        Target::Chaos { inner: SchedulerKind::Batch, mode: SchedFaultMode::DropStarts }
+        Target::Chaos {
+            inner: SchedulerKind::Batch,
+            mode: SchedFaultMode::DropStarts,
+        }
     }
 }
 

@@ -14,10 +14,14 @@ pub mod distributions;
 pub mod families;
 pub mod generator;
 pub mod io;
+pub mod io_faults;
 pub mod stats;
 
 pub use distributions::{ArrivalProcess, LaxityModel, LengthLaw};
 pub use families::{conformance_deck, Family, IntFamily, LoadRegime, SlackRegime, UniformFamily};
-pub use io::{parse_trace, write_trace, Trace, TraceError};
-pub use stats::{workload_stats, WorkloadStats};
 pub use generator::{Scenario, WorkloadSpec};
+pub use io::{
+    parse_trace, write_trace, IngestStats, Quarantine, Trace, TraceError, TraceReader, TraceRecord,
+};
+pub use io_faults::{run_io_chaos, IoChaosCell, IoFaultMode};
+pub use stats::{workload_stats, WorkloadStats};
