@@ -17,11 +17,13 @@ pub mod gantt;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+pub mod timing;
 
 pub use benchjson::{diff_reports, BenchDiff, BenchReport, BenchSample, CaseDelta};
 pub use evaluate::{evaluate, Evaluation};
 pub use fit::{convergence_limit, fit_affine, AffineFit};
 pub use gantt::{render_busy_strip, render_gantt, GanttOptions};
 pub use stats::Summary;
-pub use sweep::{grid2, parallel_map};
+pub use sweep::{grid2, parallel_map, sharded_map, ShardPlan};
 pub use table::{f2, f3, Table};
+pub use timing::{time_case, time_case_sample};

@@ -1,23 +1,84 @@
 //! Parallel parameter sweeps.
 //!
 //! Experiments are embarrassingly parallel across `(instance, scheduler,
-//! seed)` cells; [`parallel_map`] fans the work out over a `std::thread`
-//! scope with one worker per core, pulling indices from a shared atomic
-//! counter (work stealing without per-item channel traffic). Results come
-//! back in input order.
+//! seed)` cells; [`sharded_map`] fans the work out over a `std::thread`
+//! scope with a configurable shard count ([`ShardPlan`]), each shard
+//! claiming cell indices from a shared atomic counter (work stealing
+//! without per-item channel traffic). Results come back in input order, so
+//! the output is **bit-identical for every shard count** — 1, 2, 8 or
+//! one-per-core all produce the serial answer. [`parallel_map`] is the
+//! auto-sharded convenience wrapper the experiments use;
+//! [`sharded_map_rng`] adds a per-cell `fjs-prng` stream derived from the
+//! plan's base seed, again independent of the shard count.
 
+use fjs_prng::check::case_seed;
+use fjs_prng::SmallRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Applies `f` to every item on a worker pool and returns the results in
-/// input order. `f` must be `Sync` (shared read-only across workers).
+/// How a sweep's cells are spread over worker shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ShardPlan {
+    /// Number of worker shards; `0` means one per available core. The
+    /// result of a sharded sweep never depends on this — it only trades
+    /// wall-clock for cores.
+    pub shards: usize,
+    /// Base seed for the per-cell PRNG streams handed out by
+    /// [`sharded_map_rng`]; unused by [`sharded_map`].
+    pub seed: u64,
+}
+
+impl Default for ShardPlan {
+    fn default() -> Self {
+        ShardPlan::auto()
+    }
+}
+
+impl ShardPlan {
+    /// One shard per available core (the `parallel_map` behaviour).
+    pub fn auto() -> Self {
+        ShardPlan { shards: 0, seed: 0 }
+    }
+
+    /// An explicit shard count (`0` = auto). `1` is guaranteed to run the
+    /// plain serial loop on the calling thread.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardPlan { shards, seed: 0 }
+    }
+
+    /// Sets the base seed for [`sharded_map_rng`] streams.
+    pub fn seeded(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The concrete worker count for `n` items.
+    fn resolve(&self, n: usize) -> usize {
+        let shards = match self.shards {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1),
+            s => s,
+        };
+        shards.min(n)
+    }
+}
+
+/// Applies `f` to every item over `plan.shards` work-stealing shards and
+/// returns the results in input order. `f` must be `Sync` (shared
+/// read-only across shards).
+///
+/// Each shard pulls the next unclaimed item index from a shared atomic
+/// counter, so an expensive cell never stalls the whole sweep behind one
+/// shard; the merge reassembles results by input index, making the output
+/// a pure function of `(items, f)` regardless of the shard count.
 ///
 /// ```
-/// use fjs_analysis::parallel_map;
+/// use fjs_analysis::{sharded_map, ShardPlan};
 ///
-/// let squares = parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// let squares = sharded_map(&[1u64, 2, 3, 4], ShardPlan::with_shards(2), |&x| x * x);
 /// assert_eq!(squares, vec![1, 4, 9, 16]);
 /// ```
-pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+pub fn sharded_map<T, R, F>(items: &[T], plan: ShardPlan, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -27,19 +88,16 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(n);
+    let workers = plan.resolve(n);
     if workers <= 1 {
         return items.iter().map(&f).collect();
     }
 
     let next = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    // Hand each worker a disjoint view of the result slots. We give every
-    // worker the whole slice through a raw pointer wrapper and rely on the
-    // atomic counter for disjointness; this is the classic index-claiming
-    // pattern, kept safe here by routing writes through a Mutex-free cell
-    // per index via `UnsafeCell` alternative: simpler and fully safe —
-    // collect per-worker (index, result) pairs and merge afterwards.
+    // Classic index-claiming, kept fully safe: each shard collects
+    // (index, result) pairs locally and the merge writes them back into
+    // input-order slots afterwards.
     let mut buckets: Vec<Vec<(usize, R)>> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
@@ -71,7 +129,52 @@ where
             results[i] = Some(r);
         }
     }
-    results.into_iter().map(|r| r.expect("every index claimed exactly once")).collect()
+    results
+        .into_iter()
+        .map(|r| r.expect("every index claimed exactly once"))
+        .collect()
+}
+
+/// [`sharded_map`] where every cell additionally receives its own
+/// [`SmallRng`] stream.
+///
+/// The stream for item `i` is seeded `case_seed(plan.seed, i)` — a function
+/// of the *item index*, never of the shard that happens to run it — so any
+/// randomized work inside a cell is reproducible and bit-identical across
+/// shard counts. Each shard reuses one `SmallRng` object and reseeds it per
+/// claimed cell.
+pub fn sharded_map_rng<T, R, F>(items: &[T], plan: ShardPlan, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T, &mut SmallRng) -> R + Sync,
+{
+    let seed = plan.seed;
+    let indexed: Vec<(usize, &T)> = items.iter().enumerate().collect();
+    sharded_map(&indexed, plan, move |&(i, item)| {
+        let mut rng = SmallRng::seed_from_u64(case_seed(seed, i));
+        f(item, &mut rng)
+    })
+}
+
+/// Applies `f` to every item on a worker pool (one shard per core) and
+/// returns the results in input order. `f` must be `Sync` (shared
+/// read-only across workers). Equivalent to [`sharded_map`] with
+/// [`ShardPlan::auto`].
+///
+/// ```
+/// use fjs_analysis::parallel_map;
+///
+/// let squares = parallel_map(&[1u64, 2, 3, 4], |&x| x * x);
+/// assert_eq!(squares, vec![1, 4, 9, 16]);
+/// ```
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    sharded_map(items, ShardPlan::auto(), f)
 }
 
 /// Cartesian product helper for two parameter axes.
@@ -124,5 +227,39 @@ mod tests {
         assert_eq!(g.len(), 6);
         assert_eq!(g[0], (1, "a"));
         assert_eq!(g[5], (2, "c"));
+    }
+
+    #[test]
+    fn sharded_map_is_shard_count_invariant() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial = sharded_map(&items, ShardPlan::with_shards(1), |&x| {
+            x.wrapping_mul(x) ^ 7
+        });
+        for shards in [0usize, 2, 3, 8, 64] {
+            let out = sharded_map(&items, ShardPlan::with_shards(shards), |&x| {
+                x.wrapping_mul(x) ^ 7
+            });
+            assert_eq!(out, serial, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_map_rng_streams_are_per_item_not_per_shard() {
+        let items: Vec<u64> = (0..64).collect();
+        let draw = |&x: &u64, rng: &mut fjs_prng::SmallRng| x ^ rng.next_u64();
+        let serial = sharded_map_rng(&items, ShardPlan::with_shards(1).seeded(9), draw);
+        for shards in [2usize, 8] {
+            let out = sharded_map_rng(&items, ShardPlan::with_shards(shards).seeded(9), draw);
+            assert_eq!(out, serial, "shards={shards}");
+        }
+        // A different base seed must change the streams.
+        let other = sharded_map_rng(&items, ShardPlan::with_shards(2).seeded(10), draw);
+        assert_ne!(other, serial);
+    }
+
+    #[test]
+    fn oversubscribed_shard_counts_clamp_to_items() {
+        let out = sharded_map(&[1u32, 2], ShardPlan::with_shards(16), |&x| x + 1);
+        assert_eq!(out, vec![2, 3]);
     }
 }

@@ -21,87 +21,17 @@
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
-use std::time::Instant;
 
 pub use fjs_analysis::benchjson::{BenchReport, BenchSample};
+// The measurement loops live in `fjs_analysis::timing` so the `fjs bench`
+// subcommand (which this crate depends on, transitively) shares the exact
+// same calibration; re-exported here to keep the bench targets' imports.
+pub use fjs_analysis::timing::{quick, time_case, time_case_sample};
 
 /// Standard quick instance used by several bench targets: the cloud-batch
 /// scenario at the given size.
 pub fn bench_instance(n: usize, seed: u64) -> fjs_core::job::Instance {
     fjs_workloads::Scenario::CloudBatch.generate(n, seed)
-}
-
-/// Whether quick mode is on (`FJS_BENCH_QUICK` set non-empty, not `0`):
-/// bench targets shrink their input sizes and this crate shrinks sample
-/// counts, so CI can smoke the full pipeline in seconds.
-pub fn quick() -> bool {
-    std::env::var("FJS_BENCH_QUICK").map(|v| !v.is_empty() && v != "0").unwrap_or(false)
-}
-
-/// Times `f` and returns the measurement as a [`BenchSample`] record.
-///
-/// Calibration: the closure is first *warmed up* (population of caches,
-/// branch predictors, lazy allocations), then the per-sample iteration
-/// count is derived from the **minimum of ≥3 post-warm-up probes** — a
-/// single cold probe runs slow and would overshoot `iters`, inflating
-/// sample times on short cases. The chosen `iters` is surfaced in the
-/// returned record.
-///
-/// A tiny fixed-iteration harness, good enough for the coarse regressions
-/// these targets guard; it deliberately trades Criterion's statistics for
-/// a dependency-free build.
-pub fn time_case_sample<R>(name: &str, mut f: impl FnMut() -> R) -> BenchSample {
-    let (samples, target_sample_ms, probes) =
-        if quick() { (4, 5.0, 3) } else { (12, 80.0, 3) };
-
-    // Warm up: one untimed call, discarded.
-    std::hint::black_box(f());
-
-    // Calibrate from the fastest of several post-warm-up probes.
-    let mut probe_min = f64::INFINITY;
-    for _ in 0..probes {
-        let t0 = Instant::now();
-        std::hint::black_box(f());
-        probe_min = probe_min.min(t0.elapsed().as_secs_f64());
-    }
-    let probe_min = probe_min.max(1e-9);
-    let iters = ((target_sample_ms / 1e3 / probe_min).ceil() as usize).clamp(1, 1_000_000);
-
-    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
-    for _ in 0..samples {
-        let start = Instant::now();
-        for _ in 0..iters {
-            std::hint::black_box(f());
-        }
-        per_iter.push(start.elapsed().as_secs_f64() / iters as f64);
-    }
-    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let median = per_iter[per_iter.len() / 2];
-    let min = per_iter[0];
-    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
-    BenchSample {
-        name: name.to_string(),
-        median_s: median,
-        min_s: min,
-        mean_s: mean,
-        iters,
-        samples,
-    }
-}
-
-/// Times `f`, prints one aligned report line (median / min / mean per
-/// iteration) and returns the record. Convenience wrapper over
-/// [`time_case_sample`] used by all bench targets.
-pub fn time_case<R>(name: &str, f: impl FnMut() -> R) -> BenchSample {
-    let sample = time_case_sample(name, f);
-    println!(
-        "{name:<44} median {:>12}  min {:>12}  mean {:>12}  ({} it/sample)",
-        fmt_duration(sample.median_s),
-        fmt_duration(sample.min_s),
-        fmt_duration(sample.mean_s),
-        sample.iters,
-    );
-    sample
 }
 
 /// Accumulates [`BenchSample`] records for one bench target and merges them
@@ -118,7 +48,9 @@ impl Collector {
     /// A new, empty collector.
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
-        Collector { samples: Vec::new() }
+        Collector {
+            samples: Vec::new(),
+        }
     }
 
     /// Times `f` via [`time_case`] (prints the report line) and records the
@@ -177,43 +109,9 @@ pub fn git_describe() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
-/// Human-friendly seconds formatting (ns/µs/ms/s).
-fn fmt_duration(secs: f64) -> String {
-    if secs < 1e-6 {
-        format!("{:.1} ns", secs * 1e9)
-    } else if secs < 1e-3 {
-        format!("{:.2} µs", secs * 1e6)
-    } else if secs < 1.0 {
-        format!("{:.2} ms", secs * 1e3)
-    } else {
-        format!("{:.3} s", secs)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn fmt_picks_sane_units() {
-        assert!(fmt_duration(5e-9).ends_with("ns"));
-        assert!(fmt_duration(5e-6).ends_with("µs"));
-        assert!(fmt_duration(5e-3).ends_with("ms"));
-        assert!(fmt_duration(5.0).ends_with("s"));
-    }
-
-    #[test]
-    fn time_case_runs_the_closure_and_surfaces_calibration() {
-        let mut calls = 0usize;
-        let sample = time_case("noop", || calls += 1);
-        // 1 warm-up + ≥3 probes + samples×iters timed calls.
-        assert!(calls >= 1 + 3 + sample.samples * sample.iters);
-        assert_eq!(sample.name, "noop");
-        assert!(sample.iters >= 1);
-        assert!(sample.samples >= 1);
-        assert!(sample.min_s <= sample.median_s);
-        assert!(sample.min_s >= 0.0 && sample.median_s.is_finite());
-    }
 
     #[test]
     fn collector_writes_schema_valid_json() {

@@ -15,7 +15,7 @@
 use super::Profile;
 use fjs_analysis::{f3, parallel_map, Table};
 use fjs_core::job::{Instance, Job};
-use fjs_opt::optimal_span_dp;
+use fjs_opt::cached_optimal_span_dp;
 use fjs_schedulers::{cdb_bound, optimal_alpha, profit_bound, SchedulerKind, OPTIMAL_K};
 
 /// Deterministic splitmix64 stream (keeps this crate free of `rand`).
@@ -79,7 +79,9 @@ pub fn validate(kind: SchedulerKind, count: usize, jobs_max: usize) -> WorstCase
     let seeds: Vec<u64> = (0..count as u64).collect();
     let per_instance = parallel_map(&seeds, |&seed| {
         let inst = sample_instance(seed, jobs_max);
-        let opt = optimal_span_dp(&inst).expect("small integer instance").get();
+        let opt = cached_optimal_span_dp(&inst)
+            .expect("small integer instance")
+            .get();
         let out = kind.run_on(&inst);
         assert!(out.is_feasible(), "{} violated feasibility", kind.label());
         let ratio = out.span.get() / opt;
@@ -87,24 +89,26 @@ pub fn validate(kind: SchedulerKind, count: usize, jobs_max: usize) -> WorstCase
         (ratio, per_instance_bound(kind, mu) - ratio)
     });
     let max_ratio = per_instance.iter().map(|r| r.0).fold(0.0, f64::max);
-    let min_margin = per_instance.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
-    WorstCase { scheduler: kind.label(), max_ratio, min_margin, instances: count }
+    let min_margin = per_instance
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::INFINITY, f64::min);
+    WorstCase {
+        scheduler: kind.label(),
+        max_ratio,
+        min_margin,
+        instances: count,
+    }
 }
 
 /// Enumerates **every** instance on a small grid: `n` jobs, arrivals in
 /// `0..arrival_max`, laxities in `0..=lax_max`, lengths in `1..=p_max`
 /// (ordered tuples; `(arrival_max·(lax_max+1)·p_max)^n` instances).
-pub fn enumerate_instances(
-    n: usize,
-    arrival_max: u64,
-    lax_max: u64,
-    p_max: u64,
-) -> Vec<Instance> {
+pub fn enumerate_instances(n: usize, arrival_max: u64, lax_max: u64, p_max: u64) -> Vec<Instance> {
     let per_job: Vec<(f64, f64, f64)> = (0..arrival_max)
         .flat_map(|a| {
-            (0..=lax_max).flat_map(move |lax| {
-                (1..=p_max).map(move |p| (a as f64, lax as f64, p as f64))
-            })
+            (0..=lax_max)
+                .flat_map(move |lax| (1..=p_max).map(move |p| (a as f64, lax as f64, p as f64)))
         })
         .collect();
     let mut out = Vec::new();
@@ -137,7 +141,9 @@ pub fn enumerate_instances(
 /// Validates one scheduler over a list of instances (exact OPT each).
 pub fn validate_on(kind: SchedulerKind, instances: &[Instance]) -> WorstCase {
     let per_instance = parallel_map(instances, |inst| {
-        let opt = optimal_span_dp(inst).expect("small integer instance").get();
+        let opt = cached_optimal_span_dp(inst)
+            .expect("small integer instance")
+            .get();
         let out = kind.run_on(inst);
         assert!(out.is_feasible(), "{} violated feasibility", kind.label());
         let ratio = out.span.get() / opt;
@@ -145,8 +151,16 @@ pub fn validate_on(kind: SchedulerKind, instances: &[Instance]) -> WorstCase {
         (ratio, per_instance_bound(kind, mu) - ratio)
     });
     let max_ratio = per_instance.iter().map(|r| r.0).fold(0.0, f64::max);
-    let min_margin = per_instance.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
-    WorstCase { scheduler: kind.label(), max_ratio, min_margin, instances: instances.len() }
+    let min_margin = per_instance
+        .iter()
+        .map(|r| r.1)
+        .fold(f64::INFINITY, f64::min);
+    WorstCase {
+        scheduler: kind.label(),
+        max_ratio,
+        min_margin,
+        instances: instances.len(),
+    }
 }
 
 /// Experiment runner.
@@ -156,7 +170,10 @@ pub fn run(profile: Profile) -> Vec<Table> {
     let kinds = [
         SchedulerKind::Batch,
         SchedulerKind::BatchPlus,
-        SchedulerKind::Cdb { alpha: optimal_alpha(), base: 1.0 },
+        SchedulerKind::Cdb {
+            alpha: optimal_alpha(),
+            base: 1.0,
+        },
         SchedulerKind::Profit { k: OPTIMAL_K },
         SchedulerKind::Doubler { c: 1.0 },
         SchedulerKind::Eager,
@@ -164,8 +181,16 @@ pub fn run(profile: Profile) -> Vec<Table> {
     ];
 
     let mut t = Table::new(
-        format!("E10a: max observed span/OPT over {count} random small integer instances (exact OPT)"),
-        &["scheduler", "instances", "max ratio", "min bound margin", "bound violated?"],
+        format!(
+            "E10a: max observed span/OPT over {count} random small integer instances (exact OPT)"
+        ),
+        &[
+            "scheduler",
+            "instances",
+            "max ratio",
+            "min bound margin",
+            "bound violated?",
+        ],
     );
     for &kind in &kinds {
         let w = validate(kind, count, jobs_max);
@@ -173,14 +198,23 @@ pub fn run(profile: Profile) -> Vec<Table> {
             w.scheduler.clone(),
             format!("{}", w.instances),
             f3(w.max_ratio),
-            if w.min_margin.is_finite() { f3(w.min_margin) } else { "n/a".into() },
-            if w.min_margin < -1e-9 { "YES (bug!)".into() } else { "no".into() },
+            if w.min_margin.is_finite() {
+                f3(w.min_margin)
+            } else {
+                "n/a".into()
+            },
+            if w.min_margin < -1e-9 {
+                "YES (bug!)".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
 
     // Part 2: truly exhaustive — EVERY ordered 2-job (quick) or 3-job
     // (full) instance on a small grid.
-    let (n, amax, lmax, pmax) = profile.pick((2usize, 3u64, 2u64, 2u64), (3usize, 3u64, 2u64, 2u64));
+    let (n, amax, lmax, pmax) =
+        profile.pick((2usize, 3u64, 2u64, 2u64), (3usize, 3u64, 2u64, 2u64));
     let grid = enumerate_instances(n, amax, lmax, pmax);
     let mut t2 = Table::new(
         format!(
@@ -195,8 +229,16 @@ pub fn run(profile: Profile) -> Vec<Table> {
             w.scheduler.clone(),
             format!("{}", w.instances),
             f3(w.max_ratio),
-            if w.min_margin.is_finite() { f3(w.min_margin) } else { "n/a".into() },
-            if w.min_margin < -1e-9 { "YES (bug!)".into() } else { "no".into() },
+            if w.min_margin.is_finite() {
+                f3(w.min_margin)
+            } else {
+                "n/a".into()
+            },
+            if w.min_margin < -1e-9 {
+                "YES (bug!)".into()
+            } else {
+                "no".into()
+            },
         ]);
     }
     vec![t, t2]
@@ -226,7 +268,7 @@ mod tests {
         for seed in 0..50 {
             let inst = sample_instance(seed, 6);
             assert!(inst.len() >= 2 && inst.len() <= 6);
-            assert!(optimal_span_dp(&inst).is_ok());
+            assert!(cached_optimal_span_dp(&inst).is_ok());
         }
     }
 
@@ -250,11 +292,19 @@ mod tests {
     #[test]
     fn clairvoyant_schedulers_respect_their_constants() {
         for kind in [
-            SchedulerKind::Cdb { alpha: optimal_alpha(), base: 1.0 },
+            SchedulerKind::Cdb {
+                alpha: optimal_alpha(),
+                base: 1.0,
+            },
             SchedulerKind::Profit { k: OPTIMAL_K },
         ] {
             let w = validate(kind, 120, 5);
-            assert!(w.min_margin >= -1e-9, "{}: margin {}", w.scheduler, w.min_margin);
+            assert!(
+                w.min_margin >= -1e-9,
+                "{}: margin {}",
+                w.scheduler,
+                w.min_margin
+            );
         }
     }
 }

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bench;
 pub mod experiments;
 pub mod soak;
 

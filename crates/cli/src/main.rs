@@ -53,12 +53,13 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
  \u{20}      fjs chaos [scheduler] [--watchdog-events <n>]\n\
  \u{20}      fjs stats <scheduler|all> [--n <jobs>] [--seed <s>] [--log-jsonl <file>]\n\
- \u{20}      fjs bench-diff <old.json> <new.json> [--threshold <frac>]\n\
+ \u{20}      fjs bench [--json <file>] [--quick]\n\
+ \u{20}      fjs bench-diff <old.json> <new.json> [--threshold <frac> | --max-regress <pct>]\n\
  \u{20}      fjs conform <scheduler|all|chaos> [--cases <n>] [--seed <s>] [--quick] [--corpus <dir>]\n\
- \u{20}                  [--journal <file>] [--resume] [--watchdog-events <n>]\n\
+ \u{20}                  [--journal <file>] [--resume] [--watchdog-events <n>] [--shards <n>]\n\
  \u{20}      fjs soak <scheduler|all|chaos> --journal <file> [--cells <n>] [--seed <s>]\n\
  \u{20}               [--seconds <s> | --minutes <m>] [--resume] [--watchdog-events <n>]\n\
- \u{20}               [--poison panic|hang] [--trace <file.csv>] [--throttle-ms <n>]\n\
+ \u{20}               [--poison panic|hang] [--trace <file.csv>] [--throttle-ms <n>] [--shards <n>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
@@ -372,6 +373,7 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     for kind in &kinds {
         for sc in Scenario::all() {
             let inst = sc.generate(n, seed);
+            let cache_before = fjs_opt::cache::stats();
             let out = run_with_config(
                 StaticEnv::new(&inst, kind.information_model()),
                 kind.build(),
@@ -380,7 +382,13 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
                     ..SimConfig::default()
                 },
             );
-            let s = out.stats;
+            let mut s = out.stats;
+            // The engine never touches the exact-optimum memo itself; copy
+            // the process-wide cache movement observed during this run in,
+            // as `RunStats` documents harnesses should.
+            let cache_after = fjs_opt::cache::stats();
+            s.opt_cache_hits = cache_after.hits - cache_before.hits;
+            s.opt_cache_misses = cache_after.misses - cache_before.misses;
             debug_assert!(s.is_consistent());
             let pct = |part: f64| {
                 if s.wall_total_s > 0.0 {
@@ -449,6 +457,7 @@ fn run_stats_jsonl_record(
          \"ordered_starts\": {}, \"length_probes\": {}, \"deadline_alarms\": {}, \
          \"wakeups\": {}, \"events_total\": {}, \"peak_queue\": {}, \"actions_applied\": {}, \
          \"actions_rejected\": {}, \"force_starts\": {}, \"jobs_completed\": {}, \
+         \"opt_cache_hits\": {}, \"opt_cache_misses\": {}, \
          \"wall_total_s\": {}, \"wall_scheduler_s\": {}, \"wall_environment_s\": {}}}\n",
         escape(scheduler),
         escape(scenario),
@@ -466,17 +475,58 @@ fn run_stats_jsonl_record(
         s.actions_rejected,
         s.force_starts,
         s.jobs_completed,
+        s.opt_cache_hits,
+        s.opt_cache_misses,
         fmt_f64(s.wall_total_s),
         fmt_f64(s.wall_scheduler_s),
         fmt_f64(s.wall_environment_s),
     )
 }
 
+/// Runs the in-process bench suite, prints the per-case report lines and
+/// optionally writes the schema-v1 JSON (`--json <file>`, `-` for stdout).
+/// `--quick` forces the harness's quick calibration (same as setting
+/// `FJS_BENCH_QUICK=1`).
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
+    let mut args = args.to_vec();
+    let json_path = take_flag_value(&mut args, "--json")?;
+    if take_switch(&mut args, "--quick") {
+        std::env::set_var("FJS_BENCH_QUICK", "1");
+    }
+    if let Some(extra) = args.first() {
+        return Err(CliError::Usage(Some(format!(
+            "bench: unexpected argument '{extra}'"
+        ))));
+    }
+    fjs_opt::cache::reset();
+    let report = fjs_cli::bench::run_bench_suite();
+    let cache = fjs_opt::cache::stats();
+    if cache.hits + cache.misses > 0 {
+        eprintln!(
+            "opt-cache: {}/{} lookups hit ({:.1}%), {} entries",
+            cache.hits,
+            cache.hits + cache.misses,
+            100.0 * cache.hit_rate(),
+            cache.entries,
+        );
+    }
+    match json_path.as_deref() {
+        None => {}
+        Some("-") => print!("{}", report.to_json()),
+        Some(path) => {
+            std::fs::write(path, report.to_json())
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            println!("wrote {} case(s) to {path}", report.cases.len());
+        }
+    }
+    Ok(())
+}
+
 fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
     use fjs_analysis::benchjson::{diff_reports, BenchReport};
 
     let mut args = args.to_vec();
-    let threshold: f64 = match take_flag_value(&mut args, "--threshold")? {
+    let explicit_threshold = match take_flag_value(&mut args, "--threshold")? {
         Some(v) => {
             let t: f64 = v.parse().map_err(|_| {
                 CliError::Usage(Some(format!("--threshold: '{v}' is not a number")))
@@ -486,9 +536,35 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
                     "--threshold must be a non-negative fraction, got {v}"
                 ))));
             }
-            t
+            Some(t)
         }
-        None => 0.2,
+        None => None,
+    };
+    // `--max-regress <pct>` is the CI-facing spelling: a percentage rather
+    // than a fraction (`--max-regress 15` ≡ `--threshold 0.15`).
+    let max_regress = match take_flag_value(&mut args, "--max-regress")? {
+        Some(v) => {
+            let p: f64 = v.parse().map_err(|_| {
+                CliError::Usage(Some(format!("--max-regress: '{v}' is not a number")))
+            })?;
+            if !(p.is_finite() && p >= 0.0) {
+                return Err(CliError::Usage(Some(format!(
+                    "--max-regress must be a non-negative percentage, got {v}"
+                ))));
+            }
+            Some(p / 100.0)
+        }
+        None => None,
+    };
+    let threshold = match (explicit_threshold, max_regress) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(Some(
+                "bench-diff takes --threshold or --max-regress, not both".into(),
+            )));
+        }
+        (Some(t), None) => t,
+        (None, Some(t)) => t,
+        (None, None) => 0.2,
     };
     let [old_path, new_path] = args.as_slice() else {
         return Err(CliError::Usage(Some(
@@ -595,6 +671,12 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
         })?;
         set_watchdog_events(n);
     }
+    let shards: usize = match take_flag_value(&mut args, "--shards")? {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::Usage(Some(format!("--shards: '{v}' is not a count"))))?,
+        None => 0,
+    };
     let journal_path = take_flag_value(&mut args, "--journal")?;
     let resume = take_switch(&mut args, "--resume");
     if resume && journal_path.is_none() {
@@ -619,6 +701,7 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
         cases,
         base_seed,
         quick,
+        shards,
         ..ConformConfig::default()
     };
     let journal = match &journal_path {
@@ -763,6 +846,10 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
     let stop_after = take_flag_value(&mut args, "--stop-after")?
         .map(|v| parse_num("--stop-after", v).map(|n| n as usize))
         .transpose()?;
+    let shards: usize = match take_flag_value(&mut args, "--shards")? {
+        Some(v) => parse_num("--shards", v)? as usize,
+        None => 1,
+    };
     let poison = match take_flag_value(&mut args, "--poison")? {
         None => None,
         Some(v) => Some(PoisonMode::from_label(&v).ok_or_else(|| {
@@ -798,6 +885,7 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
         trace,
         throttle,
         stop_after,
+        shards,
         ..SoakOptions::new(targets, &journal)
     };
     let summary = run_soak(&opts).map_err(CliError::Runtime)?;
@@ -840,6 +928,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "audit" => cmd_audit(&args[1..]),
         "chaos" => cmd_chaos(&args[1..]),
         "stats" => cmd_stats(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
         "bench-diff" => cmd_bench_diff(&args[1..]),
         "conform" => cmd_conform(&args[1..]),
         "soak" => cmd_soak(&args[1..]),

@@ -14,8 +14,13 @@
 //! The final report is rendered *purely* from the sorted journal entry set
 //! (plus the trace ingest stats, themselves a pure function of the input
 //! file), never from in-memory sweep state. That is what makes
-//! "interrupted + resumed" and "uninterrupted" bit-identical on stdout.
+//! "interrupted + resumed" and "uninterrupted" bit-identical on stdout —
+//! and, because the journal bytes are a pure function of the completed
+//! cell *set*, it also makes `--shards` a pure wall-clock knob: the cells
+//! fan out through [`fjs_analysis::sharded_map`], and every shard count
+//! converges to the same journal and report.
 
+use fjs_analysis::{sharded_map, ShardPlan};
 use fjs_core::faults::ChaosScheduler;
 use fjs_core::job::Instance;
 use fjs_core::sim::OnlineScheduler;
@@ -29,7 +34,8 @@ use fjs_testkit::Target;
 use fjs_workloads::{conformance_deck, Family, IngestStats, Quarantine, TraceReader};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Set by the `SIGINT` handler (or [`request_stop`]); polled between cells.
@@ -109,6 +115,12 @@ pub struct SoakOptions {
     /// cells don't count). A deterministic stand-in for a mid-sweep kill in
     /// tests.
     pub stop_after: Option<usize>,
+    /// Worker shards for the cell sweep ([`fjs_analysis::ShardPlan`]): `1`
+    /// (the default) keeps the classic serial loop, `0` spreads cells over
+    /// one shard per core, any other value is an explicit count. The journal
+    /// serializes its *sorted* entry set, so completed sweeps produce
+    /// bit-identical journal bytes — and reports — at every shard count.
+    pub shards: usize,
 }
 
 impl SoakOptions {
@@ -126,6 +138,7 @@ impl SoakOptions {
             trace: None,
             throttle: Duration::ZERO,
             stop_after: None,
+            shards: 1,
         }
     }
 }
@@ -262,7 +275,7 @@ fn run_cell(target: &Target, inst: &Instance, cell: Cell, opts: &SoakOptions) ->
 /// the journal's entry set.
 pub fn run_soak(opts: &SoakOptions) -> Result<SoakSummary, String> {
     let start = Instant::now();
-    let mut journal = if opts.resume {
+    let journal = if opts.resume {
         Journal::resume(&opts.journal)
     } else {
         Journal::create(&opts.journal)
@@ -271,49 +284,79 @@ pub fn run_soak(opts: &SoakOptions) -> Result<SoakSummary, String> {
 
     let (specs, ingest) = enumerate_cases(opts)?;
 
-    let mut ran = 0usize;
-    let mut skipped = 0usize;
-    let mut stopped = false;
-    let mut sweep = |journal: &mut Journal| -> Result<(), String> {
-        'cases: for spec in &specs {
-            let mut inst: Option<Instance> = None;
-            for target in &opts.targets {
-                let over_time = opts.time_budget.is_some_and(|b| start.elapsed() >= b);
-                let over_cells = opts.stop_after.is_some_and(|n| ran >= n);
-                if stop_requested() || over_time || over_cells {
-                    stopped = true;
-                    break 'cases;
-                }
-                let cell = Cell {
-                    target: target.name(),
-                    family: spec.label.clone(),
-                    seed: spec.seed,
-                };
-                if journal.contains(&cell) {
-                    skipped += 1;
-                    continue;
-                }
-                let instance = inst.get_or_insert_with(|| spec.materialize());
-                let result = run_cell(target, instance, cell, opts);
-                journal
-                    .record(result)
-                    .map_err(|e| format!("journal: {e}"))?;
-                ran += 1;
-                if !opts.throttle.is_zero() {
-                    std::thread::sleep(opts.throttle);
-                }
+    // Flat cell list in the classic specs × targets order; with `shards: 1`
+    // the sharded executor runs it serially on this thread, exactly like
+    // the historical nested loop.
+    let cells: Vec<(usize, usize)> = (0..specs.len())
+        .flat_map(|si| (0..opts.targets.len()).map(move |ti| (si, ti)))
+        .collect();
+    // Each deck instance is materialized at most once no matter how many
+    // targets (or shards) consume it.
+    let insts: Vec<OnceLock<Instance>> = specs.iter().map(|_| OnceLock::new()).collect();
+
+    let journal = Mutex::new(journal);
+    let ran = AtomicUsize::new(0);
+    let skipped = AtomicUsize::new(0);
+    let stopped = AtomicBool::new(false);
+    let lock_journal = || journal.lock().unwrap_or_else(|e| e.into_inner());
+
+    let run_one = |&(si, ti): &(usize, usize)| -> Result<(), String> {
+        let spec = &specs[si];
+        let target = &opts.targets[ti];
+        let over_time = opts.time_budget.is_some_and(|b| start.elapsed() >= b);
+        if stop_requested() || over_time || stopped.load(Ordering::SeqCst) {
+            stopped.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+        let cell = Cell {
+            target: target.name(),
+            family: spec.label.clone(),
+            seed: spec.seed,
+        };
+        if lock_journal().contains(&cell) {
+            skipped.fetch_add(1, Ordering::SeqCst);
+            return Ok(());
+        }
+        // Reserve an execution slot *before* running so `stop_after` bounds
+        // the number of executed cells exactly even when shards race.
+        let reserved = match opts.stop_after {
+            Some(n) => ran
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |r| {
+                    (r < n).then_some(r + 1)
+                })
+                .is_ok(),
+            None => {
+                ran.fetch_add(1, Ordering::SeqCst);
+                true
             }
+        };
+        if !reserved {
+            stopped.store(true, Ordering::SeqCst);
+            return Ok(());
+        }
+        let instance = insts[si].get_or_init(|| spec.materialize());
+        let result = run_cell(target, instance, cell, opts);
+        lock_journal()
+            .record(result)
+            .map_err(|e| format!("journal: {e}"))?;
+        if !opts.throttle.is_zero() {
+            std::thread::sleep(opts.throttle);
         }
         Ok(())
+    };
+    let sweep = || -> Result<(), String> {
+        let plan = ShardPlan::with_shards(opts.shards).seeded(opts.base_seed);
+        sharded_map(&cells, plan, run_one).into_iter().collect()
     };
     // Poison sweeps panic on purpose in every cell; silence the global
     // panic hook so the report is the only output.
     if opts.poison.is_some() {
-        with_quiet_panics(|| sweep(&mut journal))?;
+        with_quiet_panics(sweep)?;
     } else {
-        sweep(&mut journal)?;
+        sweep()?;
     }
 
+    let journal = journal.into_inner().unwrap_or_else(|e| e.into_inner());
     let degraded = journal
         .entries()
         .filter(|r| r.verdict != "completed")
@@ -321,11 +364,11 @@ pub fn run_soak(opts: &SoakOptions) -> Result<SoakSummary, String> {
     let report = render_report(&journal, ingest.as_ref());
     Ok(SoakSummary {
         report,
-        ran,
-        skipped,
+        ran: ran.load(Ordering::SeqCst),
+        skipped: skipped.load(Ordering::SeqCst),
         journal_cells: journal.len(),
         degraded,
-        interrupted: stopped,
+        interrupted: stopped.load(Ordering::SeqCst),
         ingest,
     })
 }

@@ -226,3 +226,76 @@ fn binary_survives_sigint_and_resumes() {
     let _ = std::fs::remove_file(&j_cut);
     let _ = std::fs::remove_file(&j_ref);
 }
+
+/// Same SIGINT discipline under the sharded executor: a `--shards 4` sweep
+/// interrupted by a real signal, resumed at `--shards 8`, must converge to
+/// the byte-identical journal (and report) of a serial uninterrupted run.
+#[cfg(unix)]
+#[test]
+fn binary_sharded_soak_survives_sigint_and_resumes() {
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_fjs");
+    let j_cut = scratch("bin-shard-cut");
+    let j_ref = scratch("bin-shard-ref");
+
+    let mut child = Command::new(bin)
+        .args([
+            "soak",
+            "batch",
+            "--cells",
+            "300",
+            "--shards",
+            "4",
+            "--throttle-ms",
+            "10",
+            "--journal",
+        ])
+        .arg(&j_cut)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn sharded fjs soak");
+    std::thread::sleep(std::time::Duration::from_millis(700));
+    let _ = Command::new("kill")
+        .arg("-INT")
+        .arg(child.id().to_string())
+        .status();
+    let status = child.wait().expect("wait for interrupted sharded soak");
+    assert!(status.success(), "SIGINT must exit 0, got {status}");
+
+    let resume = Command::new(bin)
+        .args([
+            "soak",
+            "batch",
+            "--cells",
+            "300",
+            "--shards",
+            "8",
+            "--resume",
+            "--journal",
+        ])
+        .arg(&j_cut)
+        .output()
+        .expect("sharded resume run");
+    assert!(resume.status.success(), "resume must complete cleanly");
+
+    let reference = Command::new(bin)
+        .args(["soak", "batch", "--cells", "300", "--journal"])
+        .arg(&j_ref)
+        .output()
+        .expect("serial reference run");
+    assert!(reference.status.success());
+
+    assert_eq!(
+        std::fs::read(&j_cut).expect("cut journal"),
+        std::fs::read(&j_ref).expect("ref journal"),
+        "sharded killed+resumed journal must equal the serial uninterrupted one"
+    );
+    assert_eq!(
+        resume.stdout, reference.stdout,
+        "reports must be bit-identical across shard counts and interruptions"
+    );
+    let _ = std::fs::remove_file(&j_cut);
+    let _ = std::fs::remove_file(&j_ref);
+}

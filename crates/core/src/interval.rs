@@ -151,10 +151,56 @@ impl IntervalSet {
     }
 
     /// Unions another set into this one.
+    ///
+    /// Bulk two-pointer merge over the two sorted segment lists: `O(n + m)`
+    /// total, versus `O(m · (log n + k))` for inserting `other`'s segments
+    /// one at a time (each insert may shift the tail of the vector).
     pub fn union_with(&mut self, other: &IntervalSet) {
-        for seg in &other.segs {
-            self.insert(*seg);
+        if other.segs.is_empty() {
+            return;
         }
+        if self.segs.is_empty() {
+            self.segs.clone_from(&other.segs);
+            return;
+        }
+        // Disjoint fast paths: one set lies strictly past the other (no
+        // touching), so the result is plain concatenation.
+        if self.segs[self.segs.len() - 1].hi < other.segs[0].lo {
+            self.segs.extend_from_slice(&other.segs);
+            return;
+        }
+        if other.segs[other.segs.len() - 1].hi < self.segs[0].lo {
+            self.segs.splice(0..0, other.segs.iter().copied());
+            return;
+        }
+        let old = std::mem::take(&mut self.segs);
+        let mut merged = Vec::with_capacity(old.len() + other.segs.len());
+        let (mut i, mut j) = (0, 0);
+        let mut cur: Option<Interval> = None;
+        while i < old.len() || j < other.segs.len() {
+            let next = if j >= other.segs.len() || (i < old.len() && old[i].lo <= other.segs[j].lo)
+            {
+                i += 1;
+                old[i - 1]
+            } else {
+                j += 1;
+                other.segs[j - 1]
+            };
+            match cur {
+                None => cur = Some(next),
+                // Touching segments merge, matching `insert`'s invariant
+                // that stored segments have strict gaps between them.
+                Some(ref mut c) if next.lo <= c.hi => c.hi = c.hi.max(next.hi),
+                Some(c) => {
+                    merged.push(c);
+                    cur = Some(next);
+                }
+            }
+        }
+        if let Some(c) = cur {
+            merged.push(c);
+        }
+        self.segs = merged;
     }
 
     /// Total measure of the set (`span` when segments are active intervals).
@@ -202,8 +248,20 @@ impl IntervalSet {
     }
 
     /// Measure of the intersection of `self` with `iv`.
+    ///
+    /// `O(log n + k)` where `k` is the number of segments overlapping the
+    /// window: binary-search to the first candidate, stop at the first
+    /// segment past the window.
     pub fn measure_within(&self, iv: &Interval) -> Dur {
-        self.segs.iter().map(|s| s.overlap_len(iv)).sum()
+        if iv.is_empty() {
+            return Dur::ZERO;
+        }
+        let start = self.segs.partition_point(|s| s.hi <= iv.lo);
+        self.segs[start..]
+            .iter()
+            .take_while(|s| s.lo < iv.hi)
+            .map(|s| s.overlap_len(iv))
+            .sum()
     }
 
     /// Leftmost point of the set, if non-empty.
@@ -331,7 +389,11 @@ mod tests {
         let s = IntervalSet::from_intervals([iv(0.0, 1.0), iv(2.0, 5.0)]);
         assert_eq!(s.segment_containing(t(3.0)), Some(iv(2.0, 5.0)));
         assert_eq!(s.segment_containing(t(1.5)), None);
-        assert_eq!(s.segment_containing(t(1.0)), None, "right endpoint excluded");
+        assert_eq!(
+            s.segment_containing(t(1.0)),
+            None,
+            "right endpoint excluded"
+        );
         assert_eq!(s.segment_containing(t(2.0)), Some(iv(2.0, 5.0)));
     }
 
@@ -341,7 +403,10 @@ mod tests {
         assert!(s.contains_interval(&iv(3.5, 5.0)));
         assert!(s.contains_interval(&iv(0.0, 2.0)));
         assert!(!s.contains_interval(&iv(1.0, 4.0)), "spans a gap");
-        assert!(s.contains_interval(&iv(9.0, 9.0)), "empty interval always contained");
+        assert!(
+            s.contains_interval(&iv(9.0, 9.0)),
+            "empty interval always contained"
+        );
     }
 
     #[test]
@@ -349,6 +414,52 @@ mod tests {
         let s = IntervalSet::from_intervals([iv(0.0, 2.0), iv(3.0, 6.0)]);
         assert_eq!(s.measure_within(&iv(1.0, 4.0)), dur(2.0));
         assert_eq!(s.measure_within(&iv(10.0, 20.0)), Dur::ZERO);
+    }
+
+    #[test]
+    fn union_with_edge_shapes() {
+        // Into empty / with empty.
+        let mut a = IntervalSet::new();
+        a.union_with(&IntervalSet::from_intervals([iv(1.0, 2.0)]));
+        assert_eq!(a.segments(), &[iv(1.0, 2.0)]);
+        a.union_with(&IntervalSet::new());
+        assert_eq!(a.segments(), &[iv(1.0, 2.0)]);
+
+        // Disjoint fast paths: append and prepend.
+        let mut b = IntervalSet::from_intervals([iv(0.0, 1.0)]);
+        b.union_with(&IntervalSet::from_intervals([iv(5.0, 6.0), iv(8.0, 9.0)]));
+        assert_eq!(b.num_segments(), 3);
+        let mut c = IntervalSet::from_intervals([iv(10.0, 11.0)]);
+        c.union_with(&IntervalSet::from_intervals([iv(0.0, 1.0), iv(2.0, 3.0)]));
+        assert_eq!(c.segments(), &[iv(0.0, 1.0), iv(2.0, 3.0), iv(10.0, 11.0)]);
+
+        // Touching across the two sets must merge (same rule as insert).
+        let mut d = IntervalSet::from_intervals([iv(0.0, 1.0), iv(3.0, 4.0)]);
+        d.union_with(&IntervalSet::from_intervals([iv(1.0, 3.0)]));
+        assert_eq!(d.segments(), &[iv(0.0, 4.0)]);
+
+        // Interleaved with containment and bridging.
+        let mut e = IntervalSet::from_intervals([iv(0.0, 2.0), iv(4.0, 6.0), iv(9.0, 10.0)]);
+        e.union_with(&IntervalSet::from_intervals([iv(1.0, 5.0), iv(6.5, 7.0)]));
+        assert_eq!(e.segments(), &[iv(0.0, 6.0), iv(6.5, 7.0), iv(9.0, 10.0)]);
+        assert_eq!(e.measure(), dur(7.5));
+    }
+
+    #[test]
+    fn measure_within_matches_full_scan() {
+        let s =
+            IntervalSet::from_intervals((0..40).map(|k| iv(k as f64 * 3.0, k as f64 * 3.0 + 1.5)));
+        for (lo, hi) in [
+            (0.0, 0.0),
+            (2.0, 2.5),
+            (0.75, 50.25),
+            (119.0, 300.0),
+            (-5.0, 500.0),
+        ] {
+            let w = iv(lo, hi);
+            let naive: Dur = s.segments().iter().map(|g| g.overlap_len(&w)).sum();
+            assert_eq!(s.measure_within(&w), naive, "window [{lo}, {hi})");
+        }
     }
 
     #[test]

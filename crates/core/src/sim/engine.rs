@@ -28,7 +28,7 @@ use crate::schedule::Schedule;
 use crate::sim::env::{Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec};
 use crate::sim::sched::{Action, Arrival, Ctx, OnlineScheduler};
 use crate::sim::stats::RunStats;
-use crate::sim::trace::{TraceEvent, TraceKind};
+use crate::sim::trace::{TraceEvent, TraceKind, TraceMode};
 use crate::sim::world::{JobStatus, World};
 use crate::time::{Dur, Time};
 use std::cmp::Reverse;
@@ -42,8 +42,10 @@ pub struct SimConfig {
     /// Hard cap on processed events (guards against runaway adaptive
     /// environments or scheduler wakeup loops).
     pub max_events: usize,
-    /// Record a chronological [`TraceEvent`] log in the outcome.
-    pub record_trace: bool,
+    /// What to record into the outcome's [`TraceEvent`] log: nothing (the
+    /// default), the full chronology, or a bounded ring of the most recent
+    /// events. See [`TraceMode`].
+    pub trace: TraceMode,
     /// Measure wall-clock time spent inside scheduler callbacks and
     /// environment oracles ([`RunStats::wall_scheduler_s`] /
     /// [`RunStats::wall_environment_s`]). Costs two monotonic-clock reads
@@ -55,7 +57,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             max_events: 50_000_000,
-            record_trace: false,
+            trace: TraceMode::Off,
             time_phases: false,
         }
     }
@@ -346,8 +348,9 @@ pub struct SimOutcome {
     /// Engine counters for the run: events by kind, peak event-heap size,
     /// applied/rejected actions, force-starts and wall-clock phases.
     pub stats: RunStats,
-    /// Chronological event log (empty unless
-    /// [`SimConfig::record_trace`] was set).
+    /// Chronological event log (empty unless [`SimConfig::trace`] asked
+    /// for recording; bounded to the most recent events under
+    /// [`TraceMode::Ring`]).
     pub trace: Vec<TraceEvent>,
 }
 
@@ -429,15 +432,34 @@ struct Engine<E, S> {
     stats: RunStats,
     config: SimConfig,
     trace: Vec<TraceEvent>,
+    /// Next overwrite slot when the trace is a full [`TraceMode::Ring`];
+    /// the trace is un-rotated back to chronological order at run end.
+    trace_next: usize,
+    /// Reused action buffer handed to each [`Ctx`] (one allocation per run,
+    /// not per callback).
+    scratch: Vec<Action>,
 }
 
 impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     fn record(&mut self, kind: TraceKind) {
-        if self.config.record_trace {
-            self.trace.push(TraceEvent {
+        match self.config.trace {
+            TraceMode::Off | TraceMode::Ring(0) => {}
+            TraceMode::Full => self.trace.push(TraceEvent {
                 time: self.world.now(),
                 kind,
-            });
+            }),
+            TraceMode::Ring(n) => {
+                let ev = TraceEvent {
+                    time: self.world.now(),
+                    kind,
+                };
+                if self.trace.len() < n {
+                    self.trace.push(ev);
+                } else {
+                    self.trace[self.trace_next] = ev;
+                    self.trace_next = (self.trace_next + 1) % n;
+                }
+            }
         }
     }
 
@@ -525,12 +547,29 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         Ok(())
     }
 
-    /// Applies the actions a scheduler requested during one callback.
-    /// Invalid actions are rejected (recorded and dropped) rather than
-    /// aborting the run: a dropped start leaves the job pending, where the
-    /// deadline-alarm force-start guarantees it is eventually scheduled.
-    fn apply_actions(&mut self, actions: Vec<Action>) -> Result<(), EnvFault> {
-        for action in actions {
+    /// Runs one scheduler callback against a fresh [`Ctx`] (backed by the
+    /// reusable scratch buffer) and applies the actions it requested.
+    fn dispatch_callback(
+        &mut self,
+        call: impl FnOnce(&mut S, &mut Ctx<'_>),
+    ) -> Result<(), EnvFault> {
+        let mut ctx = Ctx::with_scratch(&self.world, std::mem::take(&mut self.scratch));
+        let t0 = self.phase_start();
+        call(&mut self.sched, &mut ctx);
+        Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
+        let mut actions = ctx.into_actions();
+        let applied = self.apply_actions(&mut actions);
+        actions.clear();
+        self.scratch = actions;
+        applied
+    }
+
+    /// Applies (by draining) the actions a scheduler requested during one
+    /// callback. Invalid actions are rejected (recorded and dropped) rather
+    /// than aborting the run: a dropped start leaves the job pending, where
+    /// the deadline-alarm force-start guarantees it is eventually scheduled.
+    fn apply_actions(&mut self, actions: &mut Vec<Action>) -> Result<(), EnvFault> {
+        for action in actions.drain(..) {
             match action {
                 Action::StartNow(id) => {
                     let now = self.world.now();
@@ -579,12 +618,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     }
 
     fn dispatch_arrival(&mut self, arrival: Arrival) -> Result<(), EnvFault> {
-        let mut ctx = Ctx::new(&self.world);
-        let t0 = self.phase_start();
-        self.sched.on_arrival(arrival, &mut ctx);
-        Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
-        let actions = ctx.into_actions();
-        self.apply_actions(actions)
+        self.dispatch_callback(|sched, ctx| sched.on_arrival(arrival, ctx))
     }
 
     /// The event loop. Returns how it stopped; environment contract
@@ -685,12 +719,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         // length is known (mark_completed checks too).
                         continue;
                     };
-                    let mut ctx = Ctx::new(&self.world);
-                    let t0 = self.phase_start();
-                    self.sched.on_completion(id, length, &mut ctx);
-                    Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
-                    let actions = ctx.into_actions();
-                    self.apply_actions(actions)?;
+                    self.dispatch_callback(|sched, ctx| sched.on_completion(id, length, ctx))?;
                 }
                 EventKind::OrderedStart(id) => {
                     self.stats.ordered_starts += 1;
@@ -749,12 +778,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         self.start_job(id, event.time)?;
                         continue;
                     }
-                    let mut ctx = Ctx::new(&self.world);
-                    let t0 = self.phase_start();
-                    self.sched.on_deadline(id, &mut ctx);
-                    Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
-                    let actions = ctx.into_actions();
-                    self.apply_actions(actions)?;
+                    self.dispatch_callback(|sched, ctx| sched.on_deadline(id, ctx))?;
                     if self.world.is_pending(id) && self.world.job(id).ordered_start().is_none() {
                         self.stats.force_starts += 1;
                         self.violations.push(Violation { id, at: event.time });
@@ -765,12 +789,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                 EventKind::Wakeup(token) => {
                     self.stats.wakeups += 1;
                     self.record(TraceKind::Wakeup { token });
-                    let mut ctx = Ctx::new(&self.world);
-                    let t0 = self.phase_start();
-                    self.sched.on_wakeup(token, &mut ctx);
-                    Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
-                    let actions = ctx.into_actions();
-                    self.apply_actions(actions)?;
+                    self.dispatch_callback(|sched, ctx| sched.on_wakeup(token, ctx))?;
                 }
             }
         }
@@ -780,6 +799,13 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         let run_start = Instant::now();
         let drive_end = self.drive();
         self.stats.wall_total_s = run_start.elapsed().as_secs_f64();
+        // A full ring holds the newest events wrapped around `trace_next`;
+        // rotate back so the outcome's trace is chronological.
+        if let TraceMode::Ring(n) = self.config.trace {
+            if n > 0 && self.trace.len() == n {
+                self.trace.rotate_left(self.trace_next);
+            }
+        }
         let termination = match drive_end {
             Ok(DriveEnd::Drained) => Termination::Completed,
             Ok(DriveEnd::EventCap) => Termination::EventCapExhausted {
@@ -835,16 +861,24 @@ pub fn run_with_config<E: Environment, S: OnlineScheduler>(
         world: World::new(env.clairvoyance()),
         env,
         sched,
-        queue: BinaryHeap::new(),
+        // Pre-sized: a typical run keeps a deadline alarm plus a completion
+        // in flight per overlapping job, so starting at a few hundred slots
+        // removes every early regrowth without costing small runs anything.
+        queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY.min(config.max_events)),
         seq: 0,
         violations: Vec::new(),
         rejected: Vec::new(),
         stats: RunStats::default(),
         config,
         trace: Vec::new(),
+        trace_next: 0,
+        scratch: Vec::new(),
     }
     .run()
 }
+
+/// Initial event-heap capacity (clamped to `max_events` for micro runs).
+const INITIAL_QUEUE_CAPACITY: usize = 256;
 
 /// Convenience: runs a scheduler on a static instance.
 ///
@@ -1226,7 +1260,7 @@ mod tests {
             env,
             LazyTest,
             SimConfig {
-                record_trace: true,
+                trace: TraceMode::Full,
                 ..Default::default()
             },
         );
@@ -1250,6 +1284,53 @@ mod tests {
     #[test]
     fn trace_empty_when_disabled() {
         let out = run_static(&inst(), Clairvoyance::Clairvoyant, EagerTest);
+        assert!(out.trace.is_empty());
+    }
+
+    #[test]
+    fn ring_trace_keeps_newest_events_in_order() {
+        let full = {
+            let env = crate::sim::env::StaticEnv::new(&inst(), Clairvoyance::Clairvoyant);
+            run_with_config(
+                env,
+                EagerTest,
+                SimConfig {
+                    trace: TraceMode::Full,
+                    ..Default::default()
+                },
+            )
+        };
+        assert!(full.trace.len() > 4, "need enough events to wrap the ring");
+        for n in [1, 4, full.trace.len(), full.trace.len() + 10] {
+            let env = crate::sim::env::StaticEnv::new(&inst(), Clairvoyance::Clairvoyant);
+            let ringed = run_with_config(
+                env,
+                EagerTest,
+                SimConfig {
+                    trace: TraceMode::Ring(n),
+                    ..Default::default()
+                },
+            );
+            let keep = full.trace.len().min(n);
+            assert_eq!(
+                ringed.trace,
+                full.trace[full.trace.len() - keep..],
+                "Ring({n}) must equal the chronological tail of the full trace"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_zero_records_nothing() {
+        let env = crate::sim::env::StaticEnv::new(&inst(), Clairvoyance::Clairvoyant);
+        let out = run_with_config(
+            env,
+            EagerTest,
+            SimConfig {
+                trace: TraceMode::Ring(0),
+                ..Default::default()
+            },
+        );
         assert!(out.trace.is_empty());
     }
 

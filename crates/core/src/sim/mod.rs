@@ -13,11 +13,13 @@ pub mod trace;
 pub mod world;
 
 pub use engine::{
-    run, run_static, run_with_config, ActionFault, EnvFault, RejectedAction, SimConfig,
-    SimOutcome, Termination, Violation,
+    run, run_static, run_with_config, ActionFault, EnvFault, RejectedAction, SimConfig, SimOutcome,
+    Termination, Violation,
 };
-pub use stats::RunStats;
-pub use env::{geometric_class, Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec, StaticEnv};
+pub use env::{
+    geometric_class, Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec, StaticEnv,
+};
 pub use sched::{Arrival, Ctx, OnlineScheduler};
-pub use trace::{render_trace, TraceEvent, TraceKind};
+pub use stats::RunStats;
+pub use trace::{render_trace, TraceEvent, TraceKind, TraceMode};
 pub use world::{JobRecord, JobStatus, World};

@@ -52,8 +52,24 @@ pub struct Ctx<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    /// Test-only convenience; the engine goes through [`Ctx::with_scratch`].
+    #[cfg(test)]
     pub(crate) fn new(world: &'a World) -> Self {
-        Ctx { world, actions: Vec::new() }
+        Ctx {
+            world,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Like [`Ctx::new`], but reusing a caller-owned action buffer so the
+    /// engine's dispatch loop allocates once per run instead of once per
+    /// callback. The buffer must be empty.
+    pub(crate) fn with_scratch(world: &'a World, scratch: Vec<Action>) -> Self {
+        debug_assert!(scratch.is_empty());
+        Ctx {
+            world,
+            actions: scratch,
+        }
     }
 
     pub(crate) fn into_actions(self) -> Vec<Action> {
@@ -325,7 +341,11 @@ mod tests {
         let id = world.release(t(0.0), t(1.0), Some(dur(3.0)));
         let ctx = Ctx::new(&world);
         assert_eq!(ctx.length_of(id), None, "exact length hidden");
-        assert_eq!(ctx.length_class_of(id), Some(2), "class ⌈log₂ 3⌉ = 2 revealed");
+        assert_eq!(
+            ctx.length_class_of(id),
+            Some(2),
+            "class ⌈log₂ 3⌉ = 2 revealed"
+        );
 
         let world_nc = {
             let mut w = World::new(Clairvoyance::NonClairvoyant);
@@ -333,6 +353,10 @@ mod tests {
             w
         };
         let ctx = Ctx::new(&world_nc);
-        assert_eq!(ctx.length_class_of(JobId(0)), None, "hidden non-clairvoyantly");
+        assert_eq!(
+            ctx.length_class_of(JobId(0)),
+            None,
+            "hidden non-clairvoyantly"
+        );
     }
 }

@@ -68,6 +68,15 @@ pub struct RunStats {
     /// (`next_release_time`, `release_at`, `rule_length`). Zero unless the
     /// run set [`SimConfig::time_phases`](crate::sim::SimConfig).
     pub wall_environment_s: f64,
+    /// Exact-optimum cache hits attributed to the sweep that produced this
+    /// record. The engine itself never consults the optimum cache and
+    /// leaves this at zero; harnesses that do (conformance runs, the bench
+    /// suite, exhaustive validation) copy the `fjs-opt` cache counters in
+    /// before reporting, so the stats JSONL carries them alongside the
+    /// event counts.
+    pub opt_cache_hits: u64,
+    /// Exact-optimum cache misses (see [`RunStats::opt_cache_hits`]).
+    pub opt_cache_misses: u64,
 }
 
 impl RunStats {
@@ -111,7 +120,16 @@ impl fmt::Display for RunStats {
             self.actions_rejected,
             self.force_starts,
             self.jobs_completed,
-        )
+        )?;
+        if self.opt_cache_hits + self.opt_cache_misses > 0 {
+            write!(
+                f,
+                ", opt-cache {}/{} hits",
+                self.opt_cache_hits,
+                self.opt_cache_hits + self.opt_cache_misses,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -142,5 +160,16 @@ mod tests {
         assert!(s.is_consistent());
         let display = s.to_string();
         assert!(display.contains("16 events"), "{display}");
+        assert!(!display.contains("opt-cache"), "hidden when untouched");
+    }
+
+    #[test]
+    fn display_includes_cache_counters_when_populated() {
+        let s = RunStats {
+            opt_cache_hits: 7,
+            opt_cache_misses: 3,
+            ..RunStats::default()
+        };
+        assert!(s.to_string().contains("opt-cache 7/10 hits"));
     }
 }

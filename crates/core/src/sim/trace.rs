@@ -1,10 +1,41 @@
 //! Event traces: an optional chronological record of everything that
 //! happened in a simulation, for debugging, visualization and replay
-//! verification. Enable with [`crate::sim::SimConfig::record_trace`].
+//! verification. Select a [`TraceMode`] via [`crate::sim::SimConfig::trace`].
 
 use crate::job::JobId;
 use crate::time::{Dur, Time};
 use std::fmt;
+
+/// How much of the event history a run records into
+/// [`SimOutcome::trace`](crate::sim::SimOutcome::trace).
+///
+/// The default is [`TraceMode::Off`]: long simulations would otherwise
+/// accumulate an unbounded `Vec<TraceEvent>` (one entry per release, start,
+/// ruling, completion, …), which dominates memory on soak-scale runs.
+/// [`TraceMode::Ring`] bounds the cost while keeping the most recent events
+/// for post-mortem debugging of a failure at the end of a long run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum TraceMode {
+    /// Record nothing (the default). The outcome's trace is empty and the
+    /// engine's record path is a single branch.
+    #[default]
+    Off,
+    /// Record every event, unbounded. What `record_trace: true` used to do;
+    /// required by oracles that replay the full lifecycle (e.g. the
+    /// masked-lengths check).
+    Full,
+    /// Keep only the most recent `n` events, overwriting the oldest once
+    /// full. The outcome's trace is still chronological. `Ring(0)` records
+    /// nothing, like [`TraceMode::Off`].
+    Ring(usize),
+}
+
+impl TraceMode {
+    /// Whether this mode records any events at all.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, TraceMode::Off | TraceMode::Ring(0))
+    }
+}
 
 /// One recorded simulation event.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -93,18 +124,45 @@ mod tests {
     fn display_formats() {
         let e = TraceEvent {
             time: t(2.5),
-            kind: TraceKind::Released { id: JobId(3), deadline: t(7.0) },
+            kind: TraceKind::Released {
+                id: JobId(3),
+                deadline: t(7.0),
+            },
         };
         assert_eq!(e.to_string(), "[t=2.5] released J3 (deadline 7)");
-        let e = TraceEvent { time: t(3.0), kind: TraceKind::LengthRuled { id: JobId(0), length: dur(1.5) } };
+        let e = TraceEvent {
+            time: t(3.0),
+            kind: TraceKind::LengthRuled {
+                id: JobId(0),
+                length: dur(1.5),
+            },
+        };
         assert!(e.to_string().contains("ruled: 1.5"));
+    }
+
+    #[test]
+    fn trace_mode_enablement() {
+        assert_eq!(TraceMode::default(), TraceMode::Off);
+        assert!(!TraceMode::Off.is_enabled());
+        assert!(TraceMode::Full.is_enabled());
+        assert!(TraceMode::Ring(4).is_enabled());
+        assert!(
+            !TraceMode::Ring(0).is_enabled(),
+            "zero-capacity ring records nothing"
+        );
     }
 
     #[test]
     fn render_joins_lines() {
         let events = vec![
-            TraceEvent { time: t(0.0), kind: TraceKind::Started { id: JobId(0) } },
-            TraceEvent { time: t(1.0), kind: TraceKind::Completed { id: JobId(0) } },
+            TraceEvent {
+                time: t(0.0),
+                kind: TraceKind::Started { id: JobId(0) },
+            },
+            TraceEvent {
+                time: t(1.0),
+                kind: TraceKind::Completed { id: JobId(0) },
+            },
         ];
         let r = render_trace(&events);
         assert_eq!(r.lines().count(), 2);

@@ -8,7 +8,6 @@
 use crate::job::{Instance, Job, JobId};
 use crate::sim::env::Clairvoyance;
 use crate::time::{Dur, Time};
-use std::collections::BTreeSet;
 
 /// Lifecycle of a job inside a simulation.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -83,8 +82,11 @@ pub struct World {
     clairvoyance: Clairvoyance,
     now: Time,
     jobs: Vec<JobRecord>,
-    pending: BTreeSet<JobId>,
-    running: BTreeSet<JobId>,
+    /// Sorted ascending; deck-sized runs make a flat vector cheaper than a
+    /// tree (releases arrive in id order, so inserts are pushes).
+    pending: Vec<JobId>,
+    /// Sorted ascending (starts may interleave, so inserts keep order).
+    running: Vec<JobId>,
 }
 
 impl World {
@@ -94,8 +96,8 @@ impl World {
             clairvoyance,
             now: Time::ZERO,
             jobs: Vec::new(),
-            pending: BTreeSet::new(),
-            running: BTreeSet::new(),
+            pending: Vec::new(),
+            running: Vec::new(),
         }
     }
 
@@ -155,12 +157,12 @@ impl World {
 
     /// Whether the id refers to a pending job.
     pub fn is_pending(&self, id: JobId) -> bool {
-        self.pending.contains(&id)
+        self.pending.binary_search(&id).is_ok()
     }
 
     /// Whether the id refers to a running job.
     pub fn is_running(&self, id: JobId) -> bool {
-        self.running.contains(&id)
+        self.running.binary_search(&id).is_ok()
     }
 
     // ---- engine-internal mutators ------------------------------------
@@ -179,7 +181,8 @@ impl World {
             status: JobStatus::Pending,
             ordered_start: None,
         });
-        self.pending.insert(id);
+        // Ids are consecutive, so each release is the new maximum.
+        self.pending.push(id);
         id
     }
 
@@ -188,8 +191,12 @@ impl World {
         debug_assert!(matches!(rec.status, JobStatus::Pending));
         rec.status = JobStatus::Running { start };
         rec.ordered_start = None;
-        self.pending.remove(&id);
-        self.running.insert(id);
+        if let Ok(i) = self.pending.binary_search(&id) {
+            self.pending.remove(i);
+        }
+        if let Err(i) = self.running.binary_search(&id) {
+            self.running.insert(i, id);
+        }
     }
 
     pub(crate) fn set_length(&mut self, id: JobId, length: Dur) {
@@ -211,7 +218,9 @@ impl World {
             panic!("completed job {id} must have a ruled length");
         };
         rec.status = JobStatus::Completed { start, length };
-        self.running.remove(&id);
+        if let Ok(i) = self.running.binary_search(&id) {
+            self.running.remove(i);
+        }
     }
 
     /// Materializes the final state as a static [`Instance`] (requires every
@@ -287,7 +296,10 @@ mod tests {
         assert_eq!(w.num_running(), 0);
         assert_eq!(
             w.job(a).status(),
-            JobStatus::Completed { start: t(1.0), length: dur(1.0) }
+            JobStatus::Completed {
+                start: t(1.0),
+                length: dur(1.0)
+            }
         );
 
         w.mark_started(b, t(2.0));

@@ -5,7 +5,7 @@
 //! releasing a new iteration exactly at the earmarked job's completion).
 
 use fjs_core::prelude::*;
-use fjs_core::sim::{run_with_config, SimConfig, StaticEnv, TraceKind};
+use fjs_core::sim::{run_with_config, SimConfig, StaticEnv, TraceKind, TraceMode};
 
 /// Scheduler driving the torture instance: J0/J1 start at arrival, J2 waits
 /// for its deadline alarm, J3 commits via `start_at`.
@@ -50,8 +50,14 @@ fn same_instant_events_follow_the_documented_order() {
 
     let out = run_with_config(
         env,
-        TortureRemapped { inner: Torture, source: source.clone() },
-        SimConfig { record_trace: true, ..Default::default() },
+        TortureRemapped {
+            inner: Torture,
+            source: source.clone(),
+        },
+        SimConfig {
+            trace: TraceMode::Full,
+            ..Default::default()
+        },
     );
     assert!(out.is_feasible());
 
@@ -68,7 +74,10 @@ fn same_instant_events_follow_the_documented_order() {
         at_two,
         vec![
             TraceKind::Completed { id: JobId(0) },
-            TraceKind::Released { id: JobId(3), deadline: t(9.0) },
+            TraceKind::Released {
+                id: JobId(3),
+                deadline: t(9.0)
+            },
             TraceKind::Started { id: JobId(3) }, // arrival-start during release
             TraceKind::Started { id: JobId(2) }, // ordered start (kind 2)
             TraceKind::Started { id: JobId(1) }, // deadline alarm (kind 4)
@@ -128,7 +137,9 @@ fn completions_precede_releases_for_adversary_semantics() {
         Job::adp(0.0, 0.0, 1.0), // runs [0,1)
         Job::adp(1.0, 5.0, 1.0), // arrives exactly at the completion instant
     ]);
-    let mut obs = Observer { running_at_arrival_of_j1: None };
+    let mut obs = Observer {
+        running_at_arrival_of_j1: None,
+    };
     let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut obs);
     assert!(out.is_feasible());
     assert_eq!(

@@ -8,7 +8,10 @@
 //!   span (never-overlappable chains, mandatory parts), used whenever exact
 //!   optimization is infeasible;
 //! * [`improve`] — coordinate-descent upper bounds (feasible schedules),
-//!   bracketing OPT from above.
+//!   bracketing OPT from above;
+//! * [`cache`] — a process-wide memo table fronting the exact DP, keyed by
+//!   a translation/scale/permutation-canonical fingerprint, shared by the
+//!   conformance oracles and the exhaustive validation sweeps.
 //!
 //! For any instance: `bounds::best_lower_bound ≤ span_min ≤
 //! improve::upper_bound_span`, with equality of the outer two on many easy
@@ -18,15 +21,19 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bounds;
+pub mod cache;
 pub mod exact;
 pub mod improve;
 
 pub use bounds::{best_lower_bound, lb_chain, lb_mandatory, lb_max_length};
+pub use cache::{cached_optimal_span_dp, CacheStats};
 pub use exact::{
     fits_dp, fits_exhaustive, is_integral, optimal_schedule_dp, optimal_span_dp,
     optimal_span_exhaustive, ExactError,
 };
-pub use improve::{coordinate_descent, upper_bound_span, upper_bound_span_randomized, DescentResult};
+pub use improve::{
+    coordinate_descent, upper_bound_span, upper_bound_span_randomized, DescentResult,
+};
 
 #[cfg(test)]
 mod proptests {

@@ -1,11 +1,12 @@
-//! The conformance loop: seeded deck cases fanned out through
-//! [`fjs_analysis::parallel_map`], every applicable oracle checked per
-//! target, and each distinct failure minimized by the shrinker.
+//! The conformance loop: seeded deck cases fanned out through the
+//! work-stealing [`fjs_analysis::sharded_map`] executor, every applicable
+//! oracle checked per target, and each distinct failure minimized by the
+//! shrinker. The report is bit-identical for every shard count.
 
 use crate::oracles::{self, OracleKind, OracleViolation};
 use crate::shrink::{shrink, ShrinkStats, DEFAULT_SHRINK_BUDGET};
 use crate::target::Target;
-use fjs_analysis::parallel_map;
+use fjs_analysis::{sharded_map, ShardPlan};
 use fjs_core::job::Instance;
 use fjs_core::supervise::{Cell, CellResult, Journal};
 use fjs_prng::check::case_seed;
@@ -25,6 +26,10 @@ pub struct ConformConfig {
     pub quick: bool,
     /// Shrinker evaluation budget per distinct failure.
     pub shrink_budget: usize,
+    /// Worker shards for the case fan-out: `0` = one per core (the
+    /// default), `1` = serial on the calling thread. Any value yields the
+    /// same report bit for bit.
+    pub shards: usize,
 }
 
 impl Default for ConformConfig {
@@ -34,6 +39,7 @@ impl Default for ConformConfig {
             base_seed: 1,
             quick: false,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
+            shards: 0,
         }
     }
 }
@@ -106,8 +112,9 @@ pub struct ConformHooks<'a> {
 /// Runs the conformance suite for `targets`.
 ///
 /// Deterministic: the report (including shrunk instances) is a pure
-/// function of `(targets, config)` — `parallel_map` preserves input order
-/// and every oracle and the shrinker are deterministic.
+/// function of `(targets, config)` — `sharded_map` merges results back
+/// into input order regardless of the shard count or which worker claimed
+/// which case, and every oracle and the shrinker are deterministic.
 pub fn run_conformance(targets: &[Target], config: &ConformConfig) -> ConformReport {
     run_conformance_with(targets, config, ConformHooks::default())
 }
@@ -136,8 +143,9 @@ pub fn run_conformance_with(
         .collect();
 
     let journal = hooks.journal;
+    let plan = ShardPlan::with_shards(config.shards).seeded(config.base_seed);
     let per_case: Vec<(usize, usize, Vec<RawFailure>)> =
-        parallel_map(&cases, |&(_, family, seed)| {
+        sharded_map(&cases, plan, |&(_, family, seed)| {
             // Resolve the whole case's skip set up front (one lock), so an
             // instance is never generated for fully-journalled cases.
             let todo: Vec<(usize, &Target)> = match journal {

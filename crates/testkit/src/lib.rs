@@ -15,7 +15,8 @@
 //! * [`corpus`] — counterexamples persisted as annotated CSV traces under
 //!   `tests/corpus/` and replayed by unit tests;
 //! * [`conform`] — the seeded conformance loop (`fjs conform`), fanning
-//!   deck cases out through `fjs_analysis::parallel_map`.
+//!   deck cases out through the deterministic `fjs_analysis::sharded_map`
+//!   executor and sharing exact optima via the `fjs_opt::cache` memo.
 //!
 //! The deck cases come from [`fjs_workloads::families`]: integer instance
 //! families parameterized by `μ`, deadline slack and load, plus a

@@ -12,8 +12,9 @@
 //! Contract oracles (per the theorems, when an exact optimum is available):
 //!
 //! * [`OracleKind::RatioBound`] — `span ≤ bound(μ) · OPT` with `bound` from
-//!   [`fjs_schedulers::SchedulerKind::ratio_bound`] and `OPT` from
-//!   `optimal_span_dp`.
+//!   [`fjs_schedulers::SchedulerKind::ratio_bound`] and `OPT` from the
+//!   memoized exact DP ([`fjs_opt::cache`]), so re-checks of the same (or a
+//!   translated/scaled/permuted) instance share one solve.
 //!
 //! Metamorphic oracles (when the registry declares the invariance):
 //!
@@ -30,7 +31,7 @@ use crate::target::Target;
 use fjs_core::job::{Instance, Job, JobId};
 use fjs_core::sim::{Clairvoyance, SimOutcome, TraceEvent, TraceKind};
 use fjs_core::time::Dur;
-use fjs_opt::{fits_dp, optimal_span_dp};
+use fjs_opt::{cached_optimal_span_dp, fits_dp};
 
 /// The integer offset used by the translation oracle (exact in `f64` for
 /// the integer deck instances).
@@ -170,10 +171,12 @@ pub fn dp_applicable(inst: &Instance) -> bool {
     hi - lo <= DP_WIDTH_LIMIT
 }
 
-/// The exact optimum when [`dp_applicable`], else `None`.
+/// The exact optimum when [`dp_applicable`], else `None`. Served through
+/// the process-wide [`fjs_opt::cache`] — bit-identical to an uncached
+/// solve, but shared across targets, metamorphic transforms and sweeps.
 pub fn exact_opt(inst: &Instance) -> Option<Dur> {
     if dp_applicable(inst) {
-        optimal_span_dp(inst).ok()
+        cached_optimal_span_dp(inst).ok()
     } else {
         None
     }
@@ -311,11 +314,7 @@ fn check_ratio(target: &Target, out: &SimOutcome, opt: Dur) -> Result<(), String
     if out.span.get() > limit + span_tol(limit) {
         return Err(format!(
             "span {} exceeds {:.4} * OPT = {:.4} (mu = {:.3}, OPT = {})",
-            out.span,
-            bound,
-            limit,
-            mu,
-            opt
+            out.span, bound, limit, mu, opt
         ));
     }
     Ok(())
@@ -385,11 +384,7 @@ fn first_completion(trace: &[TraceEvent]) -> f64 {
         .unwrap_or(f64::INFINITY)
 }
 
-fn check_masked_lengths(
-    target: &Target,
-    base: &SimOutcome,
-    inst: &Instance,
-) -> Result<(), String> {
+fn check_masked_lengths(target: &Target, base: &SimOutcome, inst: &Instance) -> Result<(), String> {
     // Re-run on an instance whose hidden lengths all differ (set to 1).
     // Until the first completion, a non-clairvoyant scheduler has received
     // no length information, so its decisions must be identical.
@@ -419,7 +414,9 @@ pub fn check_all(
     opt: Option<Dur>,
 ) -> (usize, Vec<OracleViolation>) {
     let oracles = applicable(target, inst);
-    let base = target.run_on(inst, true);
+    // Only the masked-lengths oracle reads the base trace; every other
+    // oracle works off the outcome, so clairvoyant targets run untraced.
+    let base = target.run_on(inst, oracles.contains(&OracleKind::MaskedLengths));
     let mut violations = Vec::new();
     let mut checks = 0;
     for oracle in &oracles {
@@ -437,7 +434,10 @@ pub fn check_all(
         };
         checks += 1;
         if let Err(detail) = result {
-            violations.push(OracleViolation { oracle: *oracle, detail });
+            violations.push(OracleViolation {
+                oracle: *oracle,
+                detail,
+            });
         }
     }
     (checks, violations)
@@ -450,7 +450,7 @@ pub fn still_fails(target: &Target, oracle: OracleKind, inst: &Instance) -> bool
     if inst.is_empty() || !applicable(target, inst).contains(&oracle) {
         return false;
     }
-    let base = target.run_on(inst, true);
+    let base = target.run_on(inst, oracle == OracleKind::MaskedLengths);
     let result = match oracle {
         OracleKind::Window => check_window(&base),
         OracleKind::SpanMeasure => check_span_measure(&base),
@@ -493,7 +493,11 @@ mod tests {
                 violations.is_empty(),
                 "{}: {}",
                 target.name(),
-                violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("; ")
+                violations
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ")
             );
         }
     }
@@ -506,7 +510,11 @@ mod tests {
             violations.iter().any(|v| v.oracle == OracleKind::Window),
             "injected drop-starts must violate the window oracle: {violations:?}"
         );
-        assert!(still_fails(&Target::default_chaos(), OracleKind::Window, &inst));
+        assert!(still_fails(
+            &Target::default_chaos(),
+            OracleKind::Window,
+            &inst
+        ));
     }
 
     #[test]
@@ -526,8 +534,14 @@ mod tests {
 
         let cdb = row(&Target::Kind(SchedulerKind::cdb_optimal()));
         assert!(cdb.contains(&OracleKind::RatioBound));
-        assert!(!cdb.contains(&OracleKind::Scaling), "CDB classes are base-anchored");
-        assert!(!cdb.contains(&OracleKind::MaskedLengths), "CDB is clairvoyant");
+        assert!(
+            !cdb.contains(&OracleKind::Scaling),
+            "CDB classes are base-anchored"
+        );
+        assert!(
+            !cdb.contains(&OracleKind::MaskedLengths),
+            "CDB is clairvoyant"
+        );
 
         let chaos = row(&Target::default_chaos());
         assert_eq!(chaos, vec![OracleKind::Window, OracleKind::SpanMeasure]);

@@ -4,7 +4,7 @@
 
 use fjs_core::faults::{ChaosScheduler, SchedFaultMode};
 use fjs_core::job::Instance;
-use fjs_core::sim::{run_with_config, Clairvoyance, SimConfig, SimOutcome, StaticEnv};
+use fjs_core::sim::{run_with_config, Clairvoyance, SimConfig, SimOutcome, StaticEnv, TraceMode};
 use fjs_schedulers::SchedulerKind;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -88,12 +88,16 @@ impl Target {
         self.kind().information_model()
     }
 
-    /// Runs the target on `inst`, optionally recording the event trace,
-    /// under the [`watchdog_events`] budget.
+    /// Runs the target on `inst`, optionally recording the full event
+    /// trace, under the [`watchdog_events`] budget.
     pub fn run_on(&self, inst: &Instance, record_trace: bool) -> SimOutcome {
         let config = SimConfig {
             max_events: watchdog_events(),
-            record_trace,
+            trace: if record_trace {
+                TraceMode::Full
+            } else {
+                TraceMode::Off
+            },
             ..SimConfig::default()
         };
         let env = StaticEnv::new(inst, self.information_model());
