@@ -6,9 +6,10 @@
 //! repository root: CI re-runs `fjs bench --json` and gates the result with
 //! `fjs bench-diff --max-regress 15`. The two sweep-shaped cases
 //! (`conform-deck`, `exhaustive-sweep`) exercise the sharded executor and
-//! the memoized exact-optimum cache; the two component cases
+//! the memoized exact-optimum cache; the component cases
 //! (`engine-static-1k`, `interval-union-bulk`) watch the engine hot-path
-//! diet and the bulk interval merge.
+//! diet and the bulk interval merge; `serve-throughput-1k` times the
+//! resident daemon's whole service path over an in-memory loadgen script.
 
 use crate::experiments::e10_exhaustive::{enumerate_instances, sample_instance, validate_on};
 use fjs_analysis::benchjson::BenchReport;
@@ -111,6 +112,26 @@ fn interval_union_case() -> BenchSample {
     })
 }
 
+/// The `serve-throughput-1k` workload: the resident daemon's whole
+/// service path — protocol parsing, session multiplexing, incremental
+/// span accounting, decision-log rendering — over a deterministic
+/// 1000-job, 4-session loadgen script, no I/O beyond an in-memory log.
+fn serve_throughput_case() -> BenchSample {
+    let script = crate::loadgen::emit_script(&crate::loadgen::LoadgenOptions {
+        jobs: 1000,
+        sessions: 4,
+        seed: 0x5eed_10ad,
+        ..crate::loadgen::LoadgenOptions::default()
+    });
+    time_case("serve-throughput-1k", || {
+        let out = crate::serve::run_script(&script, crate::serve::ServeOptions::default())
+            .expect("bench script must run");
+        assert_eq!(out.summary.jobs, 1000, "bench script must admit every job");
+        assert!(out.summary.halted.is_none());
+        out.summary.decision_lines as f64
+    })
+}
+
 /// Runs the whole suite and returns the schema-v1 report.
 pub fn run_bench_suite() -> BenchReport {
     let mut report = BenchReport::new(git_describe());
@@ -118,11 +139,12 @@ pub fn run_bench_suite() -> BenchReport {
     report.upsert(exhaustive_sweep_case());
     report.upsert(engine_case());
     report.upsert(interval_union_case());
+    report.upsert(serve_throughput_case());
     report
 }
 
 /// `git describe --always --dirty` of the checkout, or `"unknown"`.
-fn git_describe() -> String {
+pub fn git_describe() -> String {
     std::process::Command::new("git")
         .args(["describe", "--always", "--dirty"])
         .current_dir(env!("CARGO_MANIFEST_DIR"))

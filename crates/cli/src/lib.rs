@@ -13,7 +13,11 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod loadgen;
+pub mod serve;
 pub mod soak;
 
 pub use experiments::{all, by_id, Experiment, Profile};
+pub use loadgen::{emit_script, DriveReport, LoadgenOptions};
+pub use serve::{run_script, ScriptOutcome, ServeOptions, ServeSummary, Server};
 pub use soak::{run_soak, SoakOptions, SoakSummary};

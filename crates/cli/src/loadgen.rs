@@ -1,0 +1,346 @@
+//! `fjs loadgen` — a seeded load generator for the `fjs serve` daemon.
+//!
+//! Two modes share one deterministic workload model (open-loop
+//! Poisson-ish arrivals from [`fjs_prng::SmallRng`]):
+//!
+//! - **emit** — write the protocol script to a file, so serve runs,
+//!   kill/resume comparisons and benches all consume byte-identical
+//!   input for a given seed.
+//! - **drive** — connect to a running daemon's unix socket, send the
+//!   same script paced in real time at a target request rate, and report
+//!   reply-latency percentiles in the benchjson schema (`fjs bench-diff`
+//!   can gate them).
+
+use std::io::{BufRead, BufReader, Write};
+
+use fjs_analysis::benchjson::{BenchReport, BenchSample};
+use fjs_prng::SmallRng;
+
+/// Workload shape shared by both modes.
+#[derive(Clone, Debug)]
+pub struct LoadgenOptions {
+    /// Concurrent sessions (jobs are dealt round-robin).
+    pub sessions: usize,
+    /// Total jobs across all sessions.
+    pub jobs: usize,
+    /// Target arrival rate in jobs per unit of simulated time (emit) and
+    /// requests per wall-clock second (drive).
+    pub rate: f64,
+    /// PRNG seed; same seed ⇒ byte-identical script.
+    pub seed: u64,
+    /// Scheduler spec for every `open` line.
+    pub scheduler: String,
+    /// Mean job length (lengths are uniform in `(0, 2·mean]`).
+    pub mean_length: f64,
+    /// Laxity factor: slack is uniform in `[0, laxity · length]`.
+    pub laxity: f64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> Self {
+        LoadgenOptions {
+            sessions: 4,
+            jobs: 1000,
+            rate: 100.0,
+            seed: 0x5eed_10ad,
+            scheduler: "eager".into(),
+            mean_length: 1.0,
+            laxity: 2.0,
+        }
+    }
+}
+
+/// Renders the deterministic protocol script: `open` lines for every
+/// session, `job` lines with exponential inter-arrival gaps dealt
+/// round-robin, then `close` lines. Arrivals are globally non-decreasing,
+/// so every session accepts its stream.
+pub fn emit_script(opts: &LoadgenOptions) -> String {
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let sessions = opts.sessions.max(1);
+    let rate = if opts.rate > 0.0 { opts.rate } else { 100.0 };
+    let mut out = String::new();
+    out.push_str("# fjs loadgen script\n");
+    for s in 0..sessions {
+        out.push_str(&format!("open s{s} {}\n", opts.scheduler));
+    }
+    let mut now = 0.0f64;
+    for i in 0..opts.jobs {
+        // Exponential gap with mean 1/rate; 1 - u is in (0, 1] so the log
+        // is finite.
+        let u = rng.f64_unit();
+        now += -(1.0 - u).ln() / rate;
+        let length = (opts.mean_length * 2.0 * rng.f64_unit()).max(opts.mean_length * 1e-3);
+        let slack = opts.laxity * length * rng.f64_unit();
+        let arrival = round6(now);
+        let length = round6(length).max(1e-6);
+        let deadline = round6(now + slack).max(arrival);
+        out.push_str(&format!(
+            "job s{} {arrival},{deadline},{length}\n",
+            i % sessions
+        ));
+    }
+    for s in 0..sessions {
+        out.push_str(&format!("close s{s}\n"));
+    }
+    out
+}
+
+/// Rounds to 6 decimals so script lines stay short; the rounding is part
+/// of the deterministic contract (same seed ⇒ same bytes).
+fn round6(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+/// Reply-latency report from a drive run.
+#[derive(Clone, Debug)]
+pub struct DriveReport {
+    /// Request lines sent.
+    pub sent: usize,
+    /// Replies received.
+    pub replies: usize,
+    /// Replies that were `busy` sheds.
+    pub busy: usize,
+    /// Replies that were `err`.
+    pub errs: usize,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+    /// Achieved request rate (sent / elapsed).
+    pub achieved_rate: f64,
+    /// Latency percentiles in seconds (p50, p90, p99).
+    pub p50_s: f64,
+    /// 90th percentile reply latency in seconds.
+    pub p90_s: f64,
+    /// 99th percentile reply latency in seconds.
+    pub p99_s: f64,
+}
+
+impl DriveReport {
+    /// Renders the report as benchjson, one case per percentile, so
+    /// `fjs bench-diff` can compare drive runs.
+    pub fn to_benchjson(&self, git: &str) -> String {
+        let mut report = BenchReport::new(git);
+        for (name, v) in [
+            ("serve-latency/p50", self.p50_s),
+            ("serve-latency/p90", self.p90_s),
+            ("serve-latency/p99", self.p99_s),
+        ] {
+            report.upsert(BenchSample {
+                name: name.into(),
+                median_s: v,
+                min_s: v,
+                mean_s: v,
+                iters: 1,
+                samples: self.replies.max(1),
+            });
+        }
+        report.to_json()
+    }
+}
+
+impl std::fmt::Display for DriveReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "loadgen: sent {} requests in {:.3}s ({:.1} req/s), {} replies \
+             ({} busy, {} err)",
+            self.sent, self.elapsed_s, self.achieved_rate, self.replies, self.busy, self.errs
+        )?;
+        write!(
+            f,
+            "loadgen: reply latency p50={:.6}s p90={:.6}s p99={:.6}s",
+            self.p50_s, self.p90_s, self.p99_s
+        )
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives a running daemon over its unix socket: sends the script's
+/// request lines open-loop at `opts.rate` requests per wall-clock second
+/// (comment lines are skipped) and measures per-reply latency.
+///
+/// The protocol replies exactly once per request line in order, so the
+/// k-th reply is matched with the k-th send time.
+#[cfg(unix)]
+pub fn drive_socket(path: &std::path::Path, opts: &LoadgenOptions) -> Result<DriveReport, String> {
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    let script = emit_script(opts);
+    let requests: Vec<&str> = script
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.trim_start().starts_with('#'))
+        .collect();
+
+    let stream =
+        UnixStream::connect(path).map_err(|e| format!("connecting {}: {e}", path.display()))?;
+    let reader = stream
+        .try_clone()
+        .map_err(|e| format!("socket: {e}"))?;
+    let mut writer = stream;
+
+    /// What a reply line was, classified by its first word.
+    enum ReplyClass {
+        Ok,
+        Busy,
+        Err,
+    }
+    let total = requests.len();
+    let reader_handle =
+        std::thread::spawn(move || -> Result<Vec<(Instant, ReplyClass)>, String> {
+            let mut replies = Vec::with_capacity(total);
+            let mut lines = BufReader::new(reader).lines();
+            while replies.len() < total {
+                match lines.next() {
+                    Some(Ok(line)) => {
+                        let class = if line.starts_with("busy") {
+                            ReplyClass::Busy
+                        } else if line.starts_with("err") {
+                            ReplyClass::Err
+                        } else {
+                            ReplyClass::Ok
+                        };
+                        replies.push((Instant::now(), class));
+                    }
+                    Some(Err(e)) => return Err(format!("socket read: {e}")),
+                    None => break,
+                }
+            }
+            Ok(replies)
+        });
+
+    let gap_s = if opts.rate > 0.0 { 1.0 / opts.rate } else { 0.0 };
+    let start = Instant::now();
+    let mut send_times = Vec::with_capacity(total);
+    for (i, line) in requests.iter().enumerate() {
+        // Open loop: pace against the schedule, not the replies.
+        let due = start + Duration::from_secs_f64(gap_s * i as f64);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        send_times.push(Instant::now());
+        writeln!(writer, "{line}").map_err(|e| format!("socket write: {e}"))?;
+    }
+    writer.flush().map_err(|e| format!("socket write: {e}"))?;
+
+    let replies = reader_handle
+        .join()
+        .map_err(|_| "reader thread panicked".to_string())??;
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let busy = replies
+        .iter()
+        .filter(|(_, c)| matches!(c, ReplyClass::Busy))
+        .count();
+    let errs = replies
+        .iter()
+        .filter(|(_, c)| matches!(c, ReplyClass::Err))
+        .count();
+    let mut latencies: Vec<f64> = replies
+        .iter()
+        .zip(send_times.iter())
+        .map(|((r, _), s)| r.duration_since(*s).as_secs_f64())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+
+    Ok(DriveReport {
+        sent: send_times.len(),
+        replies: replies.len(),
+        busy,
+        errs,
+        elapsed_s,
+        achieved_rate: if elapsed_s > 0.0 {
+            send_times.len() as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        p50_s: percentile(&latencies, 0.50),
+        p90_s: percentile(&latencies, 0.90),
+        p99_s: percentile(&latencies, 0.99),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_is_deterministic_and_well_formed() {
+        let opts = LoadgenOptions {
+            sessions: 3,
+            jobs: 50,
+            ..LoadgenOptions::default()
+        };
+        let a = emit_script(&opts);
+        let b = emit_script(&opts);
+        assert_eq!(a, b, "same seed must emit byte-identical scripts");
+
+        let mut opens = 0;
+        let mut jobs = 0;
+        let mut closes = 0;
+        let mut last_arrival = f64::NEG_INFINITY;
+        for line in a.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let req = crate::serve::protocol::parse_request(line)
+                .unwrap_or_else(|e| panic!("bad emitted line '{line}': {e}"))
+                .unwrap_or_else(|| panic!("emitted blank request '{line}'"));
+            match req {
+                crate::serve::protocol::Request::Open { .. } => opens += 1,
+                crate::serve::protocol::Request::Job { arrival, .. } => {
+                    jobs += 1;
+                    assert!(arrival >= last_arrival, "arrivals must be non-decreasing");
+                    last_arrival = arrival;
+                }
+                crate::serve::protocol::Request::Close { .. } => closes += 1,
+                crate::serve::protocol::Request::Stats { .. } => panic!("unexpected stats"),
+            }
+        }
+        assert_eq!((opens, jobs, closes), (3, 50, 3));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = emit_script(&LoadgenOptions::default());
+        let b = emit_script(&LoadgenOptions {
+            seed: 7,
+            ..LoadgenOptions::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn percentiles_pick_order_statistics() {
+        let xs = [0.1, 0.2, 0.3, 0.4, 1.0];
+        assert_eq!(percentile(&xs, 0.5), 0.3);
+        assert_eq!(percentile(&xs, 0.99), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn drive_report_renders_benchjson() {
+        let report = DriveReport {
+            sent: 10,
+            replies: 10,
+            busy: 0,
+            errs: 0,
+            elapsed_s: 1.0,
+            achieved_rate: 10.0,
+            p50_s: 0.001,
+            p90_s: 0.002,
+            p99_s: 0.003,
+        };
+        let json = report.to_benchjson("test");
+        let parsed = BenchReport::parse(&json).expect("benchjson roundtrip");
+        assert!(parsed.case("serve-latency/p50").is_some());
+        assert!(parsed.case("serve-latency/p99").is_some());
+    }
+}

@@ -60,6 +60,12 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs soak <scheduler|all|chaos> --journal <file> [--cells <n>] [--seed <s>]\n\
  \u{20}               [--seconds <s> | --minutes <m>] [--resume] [--watchdog-events <n>]\n\
  \u{20}               [--poison panic|hang] [--trace <file.csv>] [--throttle-ms <n>] [--shards <n>]\n\
+ \u{20}      fjs serve [--input <file> | --socket <path>] [--log <file>] [--journal <file>]\n\
+ \u{20}                [--resume] [--max-sessions <n>] [--max-pending <n>] [--watchdog-events <n>]\n\
+ \u{20}                [--quarantine halt|skip|dead-letter] [--checkpoint-every <n>] [--throttle-ms <n>]\n\
+ \u{20}      fjs loadgen (--emit <file|-> | --socket <path>) [--sessions <n>] [--jobs <n>]\n\
+ \u{20}                [--rate <r>] [--seed <s>] [--scheduler <spec>] [--mean-length <x>]\n\
+ \u{20}                [--laxity <x>] [--json <file>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
@@ -861,6 +867,20 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
     let Some(journal) = take_flag_value(&mut args, "--journal")? else {
         return Err(CliError::Usage(Some("soak needs --journal <file>".into())));
     };
+    if resume {
+        // A --resume against a missing or empty journal would silently run
+        // fresh; that is always an operator mistake (typo'd path, wrong
+        // directory), so fail loudly as a usage error instead.
+        let has_cells = std::fs::metadata(&journal)
+            .map(|m| m.len() > 0)
+            .unwrap_or(false);
+        if !has_cells {
+            return Err(CliError::Usage(Some(format!(
+                "--resume: journal '{journal}' is missing or empty; nothing to resume \
+                 (start without --resume to begin a fresh run)"
+            ))));
+        }
+    }
 
     let which = args.first().map(String::as_str).unwrap_or("all");
     let targets: Vec<Target> = match which {
@@ -907,6 +927,233 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use fjs_cli::serve::{
+        install_drain_handlers, run_stream, ServeOptions, Server, Sink,
+    };
+    use fjs_core::service::ServeJournal;
+    use std::io::BufWriter;
+
+    let mut args = args.to_vec();
+    let parse_num = |flag: &str, v: String| -> Result<u64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(Some(format!("{flag}: '{v}' is not a number"))))
+    };
+    let input = take_flag_value(&mut args, "--input")?;
+    let socket = take_flag_value(&mut args, "--socket")?.map(std::path::PathBuf::from);
+    let log_path = take_flag_value(&mut args, "--log")?;
+    let journal_path = take_flag_value(&mut args, "--journal")?;
+    let resume = take_switch(&mut args, "--resume");
+    let mut opts = ServeOptions::default();
+    if let Some(v) = take_flag_value(&mut args, "--max-sessions")? {
+        opts.max_sessions = parse_num("--max-sessions", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--max-pending")? {
+        opts.max_pending = parse_num("--max-pending", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--watchdog-events")? {
+        opts.watchdog_events = parse_num("--watchdog-events", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--checkpoint-every")? {
+        opts.checkpoint_every = parse_num("--checkpoint-every", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--throttle-ms")? {
+        opts.throttle_ms = parse_num("--throttle-ms", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--quarantine")? {
+        opts.quarantine = fjs_workloads::Quarantine::ALL
+            .iter()
+            .copied()
+            .find(|q| q.label() == v)
+            .ok_or_else(|| {
+                CliError::Usage(Some(format!(
+                    "--quarantine: '{v}' is not a policy (halt, skip, dead-letter)"
+                )))
+            })?;
+    }
+    if let Some(extra) = args.first() {
+        return Err(CliError::Usage(Some(format!(
+            "serve: unexpected argument '{extra}'"
+        ))));
+    }
+    if input.is_some() && socket.is_some() {
+        return Err(CliError::Usage(Some(
+            "serve: --input and --socket are mutually exclusive".into(),
+        )));
+    }
+    if resume && journal_path.is_none() {
+        return Err(CliError::Usage(Some(
+            "serve: --resume needs --journal <file>".into(),
+        )));
+    }
+
+    // Load journaled events before (re)opening the journal for append.
+    let journaled = match (&journal_path, resume) {
+        (Some(path), true) => {
+            if !std::path::Path::new(path).exists() {
+                return Err(CliError::Usage(Some(format!(
+                    "--resume: journal '{path}' is missing; nothing to resume \
+                     (start without --resume to begin a fresh run)"
+                ))));
+            }
+            ServeJournal::load(path).map_err(|e| CliError::Runtime(format!("journal: {e}")))?
+        }
+        _ => Vec::new(),
+    };
+
+    let log = match &log_path {
+        Some(p) => {
+            // Truncated even on resume: the journal replay rewrites the
+            // prefix so the final log matches an uninterrupted run byte
+            // for byte.
+            let f = std::fs::File::create(p)
+                .map_err(|e| CliError::Runtime(format!("cannot create {p}: {e}")))?;
+            Sink::File(BufWriter::new(f))
+        }
+        None => Sink::Stdout(std::io::stdout()),
+    };
+    let journal = match &journal_path {
+        Some(p) => {
+            let j = if resume {
+                ServeJournal::open_append(p)
+            } else {
+                ServeJournal::create(p)
+            }
+            .map_err(|e| CliError::Runtime(format!("journal: {e}")))?;
+            Some(j.with_sync_every(opts.checkpoint_every))
+        }
+        None => None,
+    };
+
+    let mut server = Server::new(opts, log, journal);
+    if resume {
+        server.resume(&journaled).map_err(CliError::Runtime)?;
+        eprintln!(
+            "serve: resumed {} journaled event(s); input lines <= {} will be skipped",
+            journaled.len(),
+            server.cursor()
+        );
+    }
+
+    fjs_cli::soak::clear_stop();
+    install_drain_handlers();
+
+    if let Some(sock) = socket {
+        #[cfg(unix)]
+        fjs_cli::serve::run_socket(&mut server, &sock).map_err(CliError::Runtime)?;
+        #[cfg(not(unix))]
+        {
+            let _ = sock;
+            return Err(CliError::Runtime(
+                "serve: --socket needs unix domain sockets".into(),
+            ));
+        }
+    } else if let Some(path) = input {
+        let f = std::fs::File::open(&path)
+            .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
+        let mut replies = std::io::stdout();
+        run_stream(&mut server, std::io::BufReader::new(f), Some(&mut replies))
+            .map_err(CliError::Runtime)?;
+    } else {
+        fjs_cli::serve::run_stdin(&mut server).map_err(CliError::Runtime)?;
+    }
+
+    let (summary, _log) = server.finish().map_err(CliError::Runtime)?;
+    eprint!("{summary}");
+    if let Some(why) = summary.halted {
+        return Err(CliError::Runtime(format!("serve: halted: {why}")));
+    }
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    use fjs_cli::loadgen::{emit_script, LoadgenOptions};
+
+    let mut args = args.to_vec();
+    let parse_num = |flag: &str, v: String| -> Result<u64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(Some(format!("{flag}: '{v}' is not a number"))))
+    };
+    let parse_f64 = |flag: &str, v: String| -> Result<f64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(Some(format!("{flag}: '{v}' is not a number"))))
+    };
+    let mut opts = LoadgenOptions::default();
+    if let Some(v) = take_flag_value(&mut args, "--sessions")? {
+        opts.sessions = parse_num("--sessions", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--jobs")? {
+        opts.jobs = parse_num("--jobs", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--rate")? {
+        opts.rate = parse_f64("--rate", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--seed")? {
+        opts.seed = parse_num("--seed", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--scheduler")? {
+        opts.scheduler = v;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--mean-length")? {
+        opts.mean_length = parse_f64("--mean-length", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--laxity")? {
+        opts.laxity = parse_f64("--laxity", v)?;
+    }
+    let emit = take_flag_value(&mut args, "--emit")?;
+    let socket = take_flag_value(&mut args, "--socket")?;
+    let json = take_flag_value(&mut args, "--json")?;
+    if let Some(extra) = args.first() {
+        return Err(CliError::Usage(Some(format!(
+            "loadgen: unexpected argument '{extra}'"
+        ))));
+    }
+
+    if let Some(path) = emit {
+        let script = emit_script(&opts);
+        if path == "-" {
+            print!("{script}");
+        } else {
+            std::fs::write(&path, &script)
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+            eprintln!(
+                "loadgen: wrote {} line(s) to {path} (seed {})",
+                script.lines().count(),
+                opts.seed
+            );
+        }
+        return Ok(());
+    }
+
+    if let Some(sock) = socket {
+        #[cfg(unix)]
+        {
+            let report =
+                fjs_cli::loadgen::drive_socket(std::path::Path::new(&sock), &opts)
+                    .map_err(CliError::Runtime)?;
+            println!("{report}");
+            if let Some(json_path) = json {
+                let text = report.to_benchjson(&fjs_cli::bench::git_describe());
+                std::fs::write(&json_path, text)
+                    .map_err(|e| CliError::Runtime(format!("cannot write {json_path}: {e}")))?;
+                eprintln!("loadgen: wrote {json_path}");
+            }
+            return Ok(());
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = (sock, json);
+            return Err(CliError::Runtime(
+                "loadgen: --socket needs unix domain sockets".into(),
+            ));
+        }
+    }
+
+    Err(CliError::Usage(Some(
+        "loadgen needs --emit <file|-> or --socket <path>".into(),
+    )))
+}
+
 fn real_main(args: &[String]) -> Result<(), CliError> {
     if args.is_empty() {
         return Err(CliError::usage());
@@ -932,6 +1179,8 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "bench-diff" => cmd_bench_diff(&args[1..]),
         "conform" => cmd_conform(&args[1..]),
         "soak" => cmd_soak(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
+        "loadgen" => cmd_loadgen(&args[1..]),
         "list" => {
             for e in all() {
                 println!("{:4}  {}", e.id, e.title);

@@ -1,0 +1,1101 @@
+//! `fjs serve` — a resident scheduling daemon.
+//!
+//! Multiplexes many concurrent scheduling sessions (one [`Session`] each,
+//! built from the scheduler
+//! registry) over a line protocol ([`protocol`]) read from a file, stdin
+//! or a unix socket. Decisions stream out incrementally — `start`/`done`
+//! deltas plus a running span — and full history is never materialized:
+//! per-session state is O(pending jobs) thanks to the span accountant and
+//! completed-prefix compaction inside the service layer.
+//!
+//! Robustness properties:
+//!
+//! - **Isolation** — a panicking or hung scheduler poisons only its own
+//!   session (typed [`SessionVerdict`](fjs_core::service::SessionVerdict));
+//!   every other session keeps its
+//!   byte-identical decision stream.
+//! - **Backpressure** — `--max-sessions` bounds resident sessions and
+//!   `--max-pending` bounds per-session resident jobs; excess load is shed
+//!   with a structured `busy` reply rather than absorbed.
+//! - **Crash safety** — admitted requests are appended to a
+//!   [`ServeJournal`]; after `SIGKILL`, `--resume` replays the journal and
+//!   re-reads the input past the last journaled line, reproducing the
+//!   decision log byte for byte.
+//! - **Graceful drain** — `SIGINT`/`SIGTERM` stop admission, close every
+//!   session, flush all deltas and exit 0.
+
+pub mod protocol;
+
+use std::collections::BTreeMap;
+use std::io::{self, BufRead, Write};
+
+use fjs_core::service::{ServeEvent, ServeJournal, Session, SessionError};
+use fjs_core::supervise::{PoisonMode, PoisonedScheduler, DEFAULT_WATCHDOG_EVENTS};
+use fjs_core::time::{dur, t};
+use fjs_schedulers::SchedulerKind;
+use fjs_workloads::{DeadLetter, Quarantine};
+
+use crate::soak::stop_requested;
+use protocol::{parse_request, Request};
+
+/// Default cap on concurrently open sessions.
+pub const DEFAULT_MAX_SESSIONS: usize = 64;
+
+/// Default cap on resident (pending + running) jobs per session.
+pub const DEFAULT_MAX_PENDING: usize = 4096;
+
+/// Tunables for a [`Server`].
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// Cap on concurrently open sessions; `open` beyond it is shed `busy`.
+    pub max_sessions: usize,
+    /// Cap on resident (pending + running) jobs per session; `job` beyond
+    /// it is shed `busy`.
+    pub max_pending: usize,
+    /// Watchdog event budget per session (contains hung schedulers).
+    pub watchdog_events: usize,
+    /// What to do with malformed protocol lines.
+    pub quarantine: Quarantine,
+    /// Journal fsync cadence (records between `fsync` calls).
+    pub checkpoint_every: usize,
+    /// Artificial per-request delay in milliseconds — a test hook so
+    /// kill/resume tests can reliably interrupt a run mid-stream.
+    pub throttle_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            max_sessions: DEFAULT_MAX_SESSIONS,
+            max_pending: DEFAULT_MAX_PENDING,
+            watchdog_events: DEFAULT_WATCHDOG_EVENTS,
+            quarantine: Quarantine::DeadLetter,
+            checkpoint_every: fjs_core::service::DEFAULT_SYNC_EVERY,
+            throttle_ms: 0,
+        }
+    }
+}
+
+/// Where decision-log lines go.
+pub enum Sink {
+    /// Discard.
+    Null,
+    /// Collect in memory (bench / in-process tests).
+    Mem(Vec<u8>),
+    /// Buffered file.
+    File(io::BufWriter<std::fs::File>),
+    /// Standard output.
+    Stdout(io::Stdout),
+}
+
+impl Sink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        match self {
+            Sink::Null => Ok(()),
+            Sink::Mem(buf) => {
+                buf.extend_from_slice(line.as_bytes());
+                buf.push(b'\n');
+                Ok(())
+            }
+            Sink::File(w) => writeln!(w, "{line}"),
+            Sink::Stdout(w) => writeln!(w, "{line}"),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Sink::Null | Sink::Mem(_) => Ok(()),
+            Sink::File(w) => w.flush(),
+            Sink::Stdout(w) => w.flush(),
+        }
+    }
+
+    /// The collected bytes of a [`Sink::Mem`] sink.
+    pub fn mem(&self) -> Option<&[u8]> {
+        match self {
+            Sink::Mem(buf) => Some(buf),
+            _ => None,
+        }
+    }
+}
+
+/// One resident session plus its serve-side bookkeeping.
+struct Slot {
+    session: Session,
+    jobs: u64,
+}
+
+/// End-of-run accounting: admission, shedding, quarantine and the
+/// bounded-memory evidence (peak resident records / live span segments
+/// across all sessions).
+#[derive(Clone, Debug, Default)]
+pub struct ServeSummary {
+    /// Physical input lines consumed (including skipped resume prefix).
+    pub lines: u64,
+    /// Well-formed requests dispatched.
+    pub requests: u64,
+    /// Jobs admitted into sessions.
+    pub jobs: u64,
+    /// Requests shed with a `busy` reply (admission control).
+    pub shed: u64,
+    /// Sessions opened.
+    pub opened: u64,
+    /// Sessions closed (explicitly or by drain).
+    pub closed: u64,
+    /// Decision-log lines written.
+    pub decision_lines: u64,
+    /// Malformed lines quarantined (skipped or dead-lettered).
+    pub quarantined: usize,
+    /// Quarantined lines retained under [`Quarantine::DeadLetter`].
+    pub dead: Vec<DeadLetter>,
+    /// Peak concurrently open sessions.
+    pub peak_sessions: usize,
+    /// Peak resident job records in any single session — the O(pending)
+    /// memory bound: this stays flat no matter how many jobs stream
+    /// through.
+    pub peak_retained: usize,
+    /// Peak live (unretired) span segments in any single session.
+    pub peak_live_segments: usize,
+    /// Set when a `halt`-policy quarantine or an I/O failure stopped the
+    /// stream early.
+    pub halted: Option<String>,
+}
+
+impl std::fmt::Display for ServeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "serve: {} lines, {} requests, {} jobs admitted, {} shed, \
+             {} sessions opened, {} closed, {} decision lines",
+            self.lines,
+            self.requests,
+            self.jobs,
+            self.shed,
+            self.opened,
+            self.closed,
+            self.decision_lines
+        )?;
+        writeln!(
+            f,
+            "serve: peak {} sessions, {} resident records/session, \
+             {} live span segments/session",
+            self.peak_sessions, self.peak_retained, self.peak_live_segments
+        )?;
+        if self.quarantined > 0 {
+            writeln!(f, "serve: {} malformed lines quarantined", self.quarantined)?;
+        }
+        for d in &self.dead {
+            writeln!(f, "serve: dead-letter {d}")?;
+        }
+        if let Some(why) = &self.halted {
+            writeln!(f, "serve: halted: {why}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The resident daemon core: protocol dispatch, session multiplexing,
+/// admission control, journaling and decision-log emission. Frontends
+/// ([`run_stream`], [`run_socket`]) feed it one line at a time.
+pub struct Server {
+    opts: ServeOptions,
+    sessions: BTreeMap<String, Slot>,
+    journal: Option<ServeJournal>,
+    log: Sink,
+    line_no: u64,
+    /// Input lines `<= cursor` were already replayed from the journal and
+    /// are skipped on re-read.
+    cursor: u64,
+    replaying: bool,
+    summary: ServeSummary,
+}
+
+impl Server {
+    /// Creates a server writing decisions to `log`, journaling admitted
+    /// requests to `journal` (if any).
+    pub fn new(opts: ServeOptions, log: Sink, journal: Option<ServeJournal>) -> Server {
+        Server {
+            opts,
+            sessions: BTreeMap::new(),
+            journal,
+            log,
+            line_no: 0,
+            cursor: 0,
+            replaying: false,
+            summary: ServeSummary::default(),
+        }
+    }
+
+    /// Replays journal events recorded by a previous (killed) run: rebuilds
+    /// every session to its exact pre-crash state, re-emitting the same
+    /// decision-log lines, then arranges for input lines at or before the
+    /// last journaled line to be skipped.
+    pub fn resume(&mut self, events: &[ServeEvent]) -> Result<(), String> {
+        self.replaying = true;
+        for ev in events {
+            match ev {
+                ServeEvent::Open {
+                    session, scheduler, ..
+                } => {
+                    self.apply_open(session, scheduler)
+                        .map_err(|e| format!("resume: replaying open {session}: {e}"))?;
+                }
+                ServeEvent::Job {
+                    session,
+                    arrival,
+                    deadline,
+                    length,
+                    ..
+                } => {
+                    // The journal only holds admitted offers; the replayed
+                    // result (including a poisoning panic) matches the
+                    // original run by the determinism contract.
+                    let _ = self.apply_job(session, *arrival, *deadline, *length);
+                }
+                ServeEvent::Close { session, .. } => {
+                    let _ = self.apply_close(session);
+                }
+            }
+            self.cursor = self.cursor.max(ev.line());
+        }
+        self.replaying = false;
+        self.line_no = 0;
+        Ok(())
+    }
+
+    /// The resume cursor: input lines `<= cursor` are skipped.
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// `true` once the stream must stop (halt-policy quarantine or fatal
+    /// I/O error); frontends poll this after every line.
+    pub fn halted(&self) -> bool {
+        self.summary.halted.is_some()
+    }
+
+    /// Number of currently open sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn journal_append(&mut self, ev: &ServeEvent) -> Result<(), String> {
+        if self.replaying {
+            return Ok(());
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.append(ev).map_err(|e| format!("journal: {e}"))?;
+        }
+        Ok(())
+    }
+
+    fn log_line(&mut self, line: &str) -> Result<(), String> {
+        self.log
+            .write_line(line)
+            .map_err(|e| format!("decision log: {e}"))?;
+        self.summary.decision_lines += 1;
+        Ok(())
+    }
+
+    fn note_peaks(&mut self, session: &Session) {
+        let s = &mut self.summary;
+        s.peak_retained = s.peak_retained.max(session.peak_retained_records());
+        s.peak_live_segments = s.peak_live_segments.max(session.peak_live_segments());
+    }
+
+    /// Drains `sid`'s freshly produced decisions into the log.
+    fn flush_decisions(&mut self, sid: &str) -> Result<(), String> {
+        let Some(slot) = self.sessions.get_mut(sid) else {
+            return Ok(());
+        };
+        let decisions = slot.session.take_decisions();
+        let mut lines = Vec::with_capacity(decisions.len());
+        for d in &decisions {
+            lines.push(format!("{sid} {d}"));
+        }
+        for line in &lines {
+            self.log_line(line)?;
+        }
+        if let Some(slot) = self.sessions.get(sid) {
+            let peak_retained = slot.session.peak_retained_records();
+            let peak_live = slot.session.peak_live_segments();
+            let s = &mut self.summary;
+            s.peak_retained = s.peak_retained.max(peak_retained);
+            s.peak_live_segments = s.peak_live_segments.max(peak_live);
+        }
+        Ok(())
+    }
+
+    fn apply_open(&mut self, sid: &str, spec: &str) -> Result<String, String> {
+        if self.sessions.contains_key(sid) {
+            return Err("session already open".into());
+        }
+        let session = build_session(spec, self.opts.watchdog_events)?;
+        let name = session.scheduler_name();
+        self.sessions.insert(sid.to_string(), Slot { session, jobs: 0 });
+        self.summary.opened += 1;
+        self.summary.peak_sessions = self.summary.peak_sessions.max(self.sessions.len());
+        Ok(name)
+    }
+
+    fn apply_job(
+        &mut self,
+        sid: &str,
+        arrival: f64,
+        deadline: f64,
+        length: f64,
+    ) -> Result<Result<fjs_core::job::JobId, SessionError>, String> {
+        let Some(slot) = self.sessions.get_mut(sid) else {
+            return Err("no such session".into());
+        };
+        let offer = fjs_core::service::JobOffer {
+            arrival: t(arrival),
+            deadline: t(deadline),
+            length: dur(length),
+        };
+        let outcome = slot.session.offer(offer);
+        if outcome.is_ok() {
+            slot.jobs += 1;
+        }
+        self.flush_decisions(sid)?;
+        Ok(outcome)
+    }
+
+    fn apply_close(&mut self, sid: &str) -> Result<(String, fjs_core::time::Dur, u64), String> {
+        let Some(mut slot) = self.sessions.remove(sid) else {
+            return Err("no such session".into());
+        };
+        let verdict = slot.session.close();
+        let span = slot.session.span();
+        let decisions = slot.session.take_decisions();
+        for d in &decisions {
+            let line = format!("{sid} {d}");
+            self.log_line(&line)?;
+        }
+        self.note_peaks(&slot.session);
+        self.log_line(&format!(
+            "{sid} close span={span} verdict={}",
+            verdict.label()
+        ))?;
+        self.summary.closed += 1;
+        Ok((verdict.label().to_string(), span, slot.jobs))
+    }
+
+    /// Handles one raw input line starting at byte `offset` in its stream.
+    ///
+    /// Returns the reply to send back, or `None` for blank/comment lines
+    /// and lines skipped by the resume cursor. `offset` and the internal
+    /// line counter attribute quarantined lines exactly (same provenance
+    /// contract as the batch trace reader's dead letters).
+    pub fn handle_line(&mut self, offset: u64, raw: &str) -> Option<String> {
+        self.line_no += 1;
+        self.summary.lines += 1;
+        if self.line_no <= self.cursor {
+            return None;
+        }
+        if self.halted() {
+            return Some("err halted".into());
+        }
+        let raw = raw.trim_end_matches('\n').trim_end_matches('\r');
+        let req = match parse_request(raw) {
+            Ok(None) => return None,
+            Ok(Some(req)) => req,
+            Err(reason) => return Some(self.quarantine_line(offset, raw, reason)),
+        };
+        self.summary.requests += 1;
+        let reply = self.dispatch(offset, req);
+        match reply {
+            Ok(text) => Some(text),
+            Err(fatal) => {
+                self.summary.halted = Some(fatal.clone());
+                Some(format!("err fatal: {fatal}"))
+            }
+        }
+    }
+
+    fn quarantine_line(&mut self, offset: u64, raw: &str, reason: String) -> String {
+        let line = self.line_no;
+        let reply = format!("err line={line} offset={offset}: {reason}");
+        match self.opts.quarantine {
+            Quarantine::Halt => {
+                self.summary.halted = Some(format!("line {line} (byte {offset}): {reason}"));
+            }
+            Quarantine::Skip => self.summary.quarantined += 1,
+            Quarantine::DeadLetter => {
+                self.summary.quarantined += 1;
+                self.summary.dead.push(DeadLetter {
+                    line: self.line_no as usize,
+                    offset,
+                    raw: raw.to_string(),
+                });
+            }
+        }
+        reply
+    }
+
+    /// Dispatches a parsed request. `Ok` is the reply line; `Err` is a
+    /// fatal server condition (journal or log I/O failure) that halts the
+    /// stream.
+    fn dispatch(&mut self, offset: u64, req: Request) -> Result<String, String> {
+        let line = self.line_no;
+        match req {
+            Request::Open { sid, spec } => {
+                if !self.sessions.contains_key(&sid) && self.sessions.len() >= self.opts.max_sessions
+                {
+                    self.summary.shed += 1;
+                    return Ok(format!(
+                        "busy open {sid} sessions={} max-sessions={}",
+                        self.sessions.len(),
+                        self.opts.max_sessions
+                    ));
+                }
+                match self.apply_open(&sid, &spec) {
+                    Ok(name) => {
+                        self.journal_append(&ServeEvent::Open {
+                            session: sid.clone(),
+                            scheduler: spec,
+                            line,
+                        })?;
+                        Ok(format!("ok open {sid} scheduler={name}"))
+                    }
+                    Err(e) => Ok(format!("err open {sid}: {e}")),
+                }
+            }
+            Request::Job {
+                sid,
+                arrival,
+                deadline,
+                length,
+            } => {
+                match self.sessions.get(&sid) {
+                    None => return Ok(format!("err job {sid}: no such session")),
+                    Some(slot) => {
+                        if let Some(v) = slot.session.verdict() {
+                            return Ok(format!(
+                                "err job {sid} verdict={}: session is terminal",
+                                v.label()
+                            ));
+                        }
+                        let resident = slot.session.num_pending() + slot.session.num_running();
+                        if resident >= self.opts.max_pending {
+                            self.summary.shed += 1;
+                            return Ok(format!(
+                                "busy job {sid} pending={resident} max-pending={}",
+                                self.opts.max_pending
+                            ));
+                        }
+                    }
+                }
+                match self.apply_job(&sid, arrival, deadline, length)? {
+                    Ok(id) => {
+                        self.journal_append(&ServeEvent::Job {
+                            session: sid.clone(),
+                            line,
+                            arrival,
+                            deadline,
+                            length,
+                        })?;
+                        self.summary.jobs += 1;
+                        let span = self
+                            .sessions
+                            .get(&sid)
+                            .map(|s| s.session.span())
+                            .unwrap_or(fjs_core::time::Dur::ZERO);
+                        Ok(format!("ok job {sid} id={id} span={span}"))
+                    }
+                    Err(SessionError::Terminal(v)) => {
+                        // This offer itself poisoned the session: the
+                        // mutation happened, so it must be journaled for
+                        // replay to reproduce the same terminal state.
+                        self.journal_append(&ServeEvent::Job {
+                            session: sid.clone(),
+                            line,
+                            arrival,
+                            deadline,
+                            length,
+                        })?;
+                        self.summary.jobs += 1;
+                        Ok(format!("err job {sid} verdict={}: {v}", v.label()))
+                    }
+                    Err(e) => Ok(format!("err job {sid} line={line} offset={offset}: {e}")),
+                }
+            }
+            Request::Close { sid } => match self.apply_close(&sid) {
+                Ok((verdict, span, jobs)) => {
+                    self.journal_append(&ServeEvent::Close {
+                        session: sid.clone(),
+                        line,
+                    })?;
+                    Ok(format!(
+                        "ok close {sid} span={span} jobs={jobs} verdict={verdict}"
+                    ))
+                }
+                Err(e) => Ok(format!("err close {sid}: {e}")),
+            },
+            Request::Stats { sid } => match self.sessions.get(&sid) {
+                None => Ok(format!("err stats {sid}: no such session")),
+                Some(slot) => {
+                    let s = &slot.session;
+                    Ok(format!(
+                        "ok stats {sid} span={} pending={} running={} retained={} \
+                         peak-retained={} events={}",
+                        s.span(),
+                        s.num_pending(),
+                        s.num_running(),
+                        s.retained_records(),
+                        s.peak_retained_records(),
+                        s.stats().events_total
+                    ))
+                }
+            },
+        }
+    }
+
+    /// Graceful drain: closes every remaining session (alphabetical order,
+    /// so drains are deterministic), flushes the decision log and syncs
+    /// the journal. Called on end-of-input and on `SIGINT`/`SIGTERM`.
+    pub fn drain(&mut self) -> Result<(), String> {
+        let line = self.line_no;
+        let sids: Vec<String> = self.sessions.keys().cloned().collect();
+        for sid in sids {
+            self.apply_close(&sid)?;
+            self.journal_append(&ServeEvent::Close {
+                session: sid,
+                line,
+            })?;
+        }
+        self.log.flush().map_err(|e| format!("decision log: {e}"))?;
+        if let Some(j) = self.journal.as_mut() {
+            j.sync().map_err(|e| format!("journal: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Drains and consumes the server, returning the final accounting and
+    /// the decision-log sink (so in-memory logs can be inspected).
+    pub fn finish(mut self) -> Result<(ServeSummary, Sink), String> {
+        self.drain()?;
+        Ok((self.summary, self.log))
+    }
+}
+
+/// Builds a session from a scheduler spec: a registry short name
+/// (`eager`, `batch+`, `cdb`, ...) optionally wrapped as
+/// `poison:<panic|hang>:<name>` to inject a misbehaving subject (the
+/// supervision test double).
+fn build_session(spec: &str, watchdog: usize) -> Result<Session, String> {
+    if let Some(rest) = spec.strip_prefix("poison:") {
+        let (mode_label, inner) = rest
+            .split_once(':')
+            .ok_or_else(|| format!("bad poison spec '{spec}' (want poison:<panic|hang>:<name>)"))?;
+        let mode = PoisonMode::from_label(mode_label)
+            .ok_or_else(|| format!("unknown poison mode '{mode_label}' (want panic|hang)"))?;
+        let kind = lookup_kind(inner)?;
+        let sched = Box::new(PoisonedScheduler::new(kind.build(), mode));
+        return Ok(Session::new(sched, kind.information_model()).with_watchdog(watchdog));
+    }
+    let kind = lookup_kind(spec)?;
+    Ok(Session::new(kind.build(), kind.information_model()).with_watchdog(watchdog))
+}
+
+fn lookup_kind(name: &str) -> Result<SchedulerKind, String> {
+    let lower = name.to_ascii_lowercase();
+    let canonical = if lower == "semi-cdb" {
+        "semicdb"
+    } else {
+        lower.as_str()
+    };
+    SchedulerKind::from_short_name(canonical)
+        .ok_or_else(|| format!("unknown scheduler '{name}'"))
+}
+
+/// Installs `SIGINT` + `SIGTERM` handlers that request a graceful drain
+/// (same stop flag as `fjs soak`, so either command can be supervised the
+/// same way). Non-Unix targets get a no-op; the journal survives a hard
+/// kill anyway.
+#[cfg(unix)]
+#[allow(clippy::fn_to_numeric_cast)] // signal(2) takes the handler as an address
+pub fn install_drain_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    extern "C" fn on_term(_signum: i32) {
+        crate::soak::request_stop();
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+    }
+}
+
+/// No-op on non-Unix targets (see the Unix version).
+#[cfg(not(unix))]
+pub fn install_drain_handlers() {}
+
+/// Feeds a buffered reader to the server line by line, writing replies to
+/// `replies` (if given) and stopping on end-of-input, a requested stop
+/// (signal) or a server halt. Byte offsets are tracked exactly as the
+/// batch trace reader does, so quarantine attribution matches.
+pub fn run_stream<R: BufRead>(
+    server: &mut Server,
+    mut src: R,
+    mut replies: Option<&mut dyn Write>,
+) -> Result<(), String> {
+    let mut offset = 0u64;
+    let mut buf = String::new();
+    loop {
+        if stop_requested() || server.halted() {
+            break;
+        }
+        buf.clear();
+        let n = src
+            .read_line(&mut buf)
+            .map_err(|e| format!("reading input: {e}"))?;
+        if n == 0 {
+            break;
+        }
+        let line_offset = offset;
+        offset += n as u64;
+        if server.opts.throttle_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(server.opts.throttle_ms));
+        }
+        if let Some(reply) = server.handle_line(line_offset, &buf) {
+            if let Some(w) = replies.as_deref_mut() {
+                writeln!(w, "{reply}").map_err(|e| format!("writing reply: {e}"))?;
+                w.flush().map_err(|e| format!("writing reply: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serves the process's stdin, replying on stdout. Reads happen on a
+/// helper thread feeding a channel, so a `SIGINT`/`SIGTERM` drain request
+/// is honoured within ~100ms even while blocked waiting for input (a
+/// blocking `read_line` would swallow the signal until the next line).
+pub fn run_stdin(server: &mut Server) -> Result<(), String> {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let (tx, rx) = mpsc::channel::<(u64, String)>();
+    std::thread::spawn(move || {
+        let stdin = io::stdin();
+        let mut src = stdin.lock();
+        let mut offset = 0u64;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            match src.read_line(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => {
+                    if tx.send((offset, buf.clone())).is_err() {
+                        break;
+                    }
+                    offset += n as u64;
+                }
+            }
+        }
+    });
+
+    let mut replies = io::stdout();
+    loop {
+        if stop_requested() || server.halted() {
+            break;
+        }
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok((offset, line)) => {
+                if server.opts.throttle_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(server.opts.throttle_ms));
+                }
+                if let Some(reply) = server.handle_line(offset, &line) {
+                    writeln!(replies, "{reply}").map_err(|e| format!("writing reply: {e}"))?;
+                    replies.flush().map_err(|e| format!("writing reply: {e}"))?;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    Ok(())
+}
+
+/// Serves connections on a unix socket, one at a time, until a stop is
+/// requested. Each connection gets its own byte-offset space; the protocol
+/// line counter is global, so journal resume cursors only apply to
+/// file/stdin frontends (socket input is not re-readable).
+#[cfg(unix)]
+pub fn run_socket(server: &mut Server, path: &std::path::Path) -> Result<(), String> {
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(path);
+    let listener =
+        UnixListener::bind(path).map_err(|e| format!("binding {}: {e}", path.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("socket: {e}"))?;
+    while !stop_requested() && !server.halted() {
+        match listener.accept() {
+            Ok((stream, _addr)) => serve_connection(server, stream)?,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => return Err(format!("accept: {e}")),
+        }
+    }
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_connection(
+    server: &mut Server,
+    stream: std::os::unix::net::UnixStream,
+) -> Result<(), String> {
+    use std::io::Read;
+
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
+        .map_err(|e| format!("socket: {e}"))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| format!("socket: {e}"))?;
+    let mut reader = stream;
+    let mut acc: Vec<u8> = Vec::new();
+    let mut consumed = 0u64;
+    let mut chunk = [0u8; 4096];
+    loop {
+        if stop_requested() || server.halted() {
+            break;
+        }
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(format!("socket read: {e}")),
+        };
+        acc.extend_from_slice(&chunk[..n]);
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let line_bytes: Vec<u8> = acc.drain(..=pos).collect();
+            let line_offset = consumed;
+            consumed += line_bytes.len() as u64;
+            let line = String::from_utf8_lossy(&line_bytes).into_owned();
+            if server.opts.throttle_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(server.opts.throttle_ms));
+            }
+            if let Some(reply) = server.handle_line(line_offset, &line) {
+                writeln!(writer, "{reply}").map_err(|e| format!("socket write: {e}"))?;
+                writer.flush().map_err(|e| format!("socket write: {e}"))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Outcome of an in-process [`run_script`] call.
+pub struct ScriptOutcome {
+    /// One reply per non-blank request line, in order.
+    pub replies: Vec<String>,
+    /// The decision log, as written.
+    pub log: String,
+    /// Final accounting.
+    pub summary: ServeSummary,
+}
+
+/// Runs a protocol script through an in-memory server — the entry point
+/// used by benches and tests (no files, no sockets, no journal unless the
+/// caller wires one in via [`Server`] directly).
+pub fn run_script(script: &str, opts: ServeOptions) -> Result<ScriptOutcome, String> {
+    let mut server = Server::new(opts, Sink::Mem(Vec::new()), None);
+    let mut replies = Vec::new();
+    let mut offset = 0u64;
+    for line in script.split_inclusive('\n') {
+        if let Some(reply) = server.handle_line(offset, line) {
+            replies.push(reply);
+        }
+        offset += line.len() as u64;
+        if server.halted() {
+            break;
+        }
+    }
+    let (summary, log) = server.finish()?;
+    let log = String::from_utf8_lossy(log.mem().unwrap_or_default()).into_owned();
+    Ok(ScriptOutcome {
+        replies,
+        log,
+        summary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::supervise::with_quiet_panics;
+
+    fn script_outcome(script: &str) -> ScriptOutcome {
+        run_script(script, ServeOptions::default()).expect("script runs")
+    }
+
+    #[test]
+    fn multiplexes_sessions_and_streams_decisions() {
+        let out = script_outcome(
+            "# demo\n\
+             open a eager\n\
+             open b lazy\n\
+             job a 0,0,2\n\
+             job b 0,5,1\n\
+             job a 1,3,1\n\
+             stats a\n\
+             close a\n\
+             close b\n",
+        );
+        assert!(out.replies[0].starts_with("ok open a scheduler="));
+        assert!(out.replies[1].starts_with("ok open b scheduler="));
+        assert!(out.replies[2].starts_with("ok job a "));
+        assert!(out.replies[5].starts_with("ok stats a "));
+        assert!(out.replies[6].starts_with("ok close a "));
+        assert_eq!(out.summary.opened, 2);
+        assert_eq!(out.summary.closed, 2);
+        assert_eq!(out.summary.jobs, 3);
+        // Every session's stream appears in the log, prefixed by its sid,
+        // and ends with a close line carrying the final span.
+        assert!(out.log.lines().any(|l| l.starts_with("a start ")));
+        assert!(out.log.lines().any(|l| l.starts_with("b start ")));
+        assert!(out.log.lines().any(|l| l.starts_with("a close span=")));
+        assert!(out.log.lines().any(|l| l.starts_with("b close span=")));
+    }
+
+    #[test]
+    fn session_cap_sheds_with_structured_busy() {
+        let opts = ServeOptions {
+            max_sessions: 1,
+            ..ServeOptions::default()
+        };
+        let out = run_script("open a eager\nopen b eager\nclose a\n", opts).unwrap();
+        assert_eq!(out.replies[1], "busy open b sessions=1 max-sessions=1");
+        assert_eq!(out.summary.shed, 1);
+        assert_eq!(out.summary.opened, 1);
+    }
+
+    #[test]
+    fn pending_cap_sheds_jobs_but_keeps_session_alive() {
+        let opts = ServeOptions {
+            max_pending: 2,
+            ..ServeOptions::default()
+        };
+        // The lazy scheduler keeps jobs pending until their deadline, so
+        // same-instant offers accumulate residents.
+        let out = run_script(
+            "open a lazy\n\
+             job a 0,100,1\n\
+             job a 0,100,1\n\
+             job a 0,100,1\n\
+             close a\n",
+            opts,
+        )
+        .unwrap();
+        assert!(out.replies[1].starts_with("ok job a "));
+        assert!(out.replies[2].starts_with("ok job a "));
+        assert_eq!(out.replies[3], "busy job a pending=2 max-pending=2");
+        assert_eq!(out.summary.shed, 1);
+        assert_eq!(out.summary.jobs, 2);
+        // The shed job is gone but the session still closes cleanly.
+        assert!(out.replies[4].contains("verdict=completed"));
+    }
+
+    #[test]
+    fn poisoned_session_is_contained_and_neighbours_unaffected() {
+        let out = with_quiet_panics(|| {
+            script_outcome(
+                "open good eager\n\
+                 open bad poison:panic:eager\n\
+                 job good 0,0,1\n\
+                 job bad 0,0,1\n\
+                 job bad 1,1,1\n\
+                 job good 1,1,1\n\
+                 close bad\n\
+                 close good\n",
+            )
+        });
+        // The poisoning offer gets a typed verdict in a structured reply...
+        assert!(
+            out.replies[3].starts_with("err job bad verdict=panicked:"),
+            "{}",
+            out.replies[3]
+        );
+        // ...further offers are refused with the terminal verdict...
+        assert!(
+            out.replies[4].starts_with("err job bad verdict=panicked"),
+            "{}",
+            out.replies[4]
+        );
+        // ...and the close line reports it.
+        assert!(out.replies[6].contains("verdict=panicked"), "{}", out.replies[6]);
+        // The healthy neighbour is untouched: same decisions as running alone.
+        let alone = script_outcome(
+            "open good eager\n\
+             job good 0,0,1\n\
+             job good 1,1,1\n\
+             close good\n",
+        );
+        let good_lines = |log: &str| {
+            log.lines()
+                .filter(|l| l.starts_with("good "))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(good_lines(&out.log), good_lines(&alone.log));
+    }
+
+    #[test]
+    fn hung_scheduler_is_contained_by_the_watchdog() {
+        let opts = ServeOptions {
+            watchdog_events: 200,
+            ..ServeOptions::default()
+        };
+        let out = run_script(
+            "open spin poison:hang:eager\n\
+             job spin 0,5,1\n\
+             job spin 1,6,1\n\
+             close spin\n",
+            opts,
+        )
+        .unwrap();
+        assert!(
+            out.replies.iter().any(|r| r.contains("verdict=timed-out")),
+            "{:?}",
+            out.replies
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_dead_lettered_with_provenance() {
+        let script = "open a eager\njob a bogus\njob a 0,5,1\nclose a\n";
+        let out = script_outcome(script);
+        assert_eq!(out.summary.quarantined, 1);
+        assert_eq!(out.summary.dead.len(), 1);
+        let d = &out.summary.dead[0];
+        assert_eq!((d.line, d.offset), (2, 13));
+        assert_eq!(d.raw, "job a bogus");
+        assert_eq!(
+            d.to_string(),
+            "line 2 (byte 13): job a bogus",
+            "dead-letter rendering is the golden trace-reader format"
+        );
+        assert!(out.replies[1].starts_with("err line=2 offset=13: "));
+        // The well-formed remainder of the stream still ran.
+        assert_eq!(out.summary.jobs, 1);
+        assert_eq!(out.summary.closed, 1);
+    }
+
+    #[test]
+    fn halt_policy_stops_the_stream() {
+        let opts = ServeOptions {
+            quarantine: Quarantine::Halt,
+            ..ServeOptions::default()
+        };
+        let out = run_script("open a eager\nnonsense\njob a 0,5,1\n", opts).unwrap();
+        assert!(out.summary.halted.is_some());
+        // Nothing after the halt line was processed.
+        assert_eq!(out.summary.jobs, 0);
+    }
+
+    #[test]
+    fn validation_errors_carry_line_and_offset() {
+        let out = script_outcome(
+            "open a eager\n\
+             job a 0,5,1\n\
+             job a 5,9,1\n\
+             job a 2,9,1\n\
+             close a\n",
+        );
+        // Arrival regression is a session-level reject attributed to the
+        // protocol stream position (line 4 starts at byte 37).
+        assert!(
+            out.replies[3].starts_with("err job a line=4 offset=37: "),
+            "{}",
+            out.replies[3]
+        );
+        assert!(out.replies[3].contains("arrival"), "{}", out.replies[3]);
+        // The reject did not damage the session.
+        assert!(out.replies[4].contains("verdict=completed"));
+    }
+
+    #[test]
+    fn resume_replays_to_byte_identical_log() {
+        let dir = std::env::temp_dir().join(format!(
+            "fjs-serve-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("serve.journal");
+        let script = "open a eager\n\
+                      open b lazy\n\
+                      job a 0,0,2\n\
+                      job b 0,4,1\n\
+                      job a 1,3,1\n\
+                      job b 2,6,2\n\
+                      close a\n\
+                      close b\n";
+
+        // Reference: one uninterrupted run, journaled.
+        let journal = fjs_core::service::ServeJournal::create(&journal_path)
+            .unwrap()
+            .with_sync_every(1);
+        let mut server = Server::new(ServeOptions::default(), Sink::Mem(Vec::new()), Some(journal));
+        let mut offset = 0u64;
+        for line in script.split_inclusive('\n') {
+            server.handle_line(offset, line);
+            offset += line.len() as u64;
+        }
+        let (_, sink) = server.finish().unwrap();
+        let reference = String::from_utf8(sink.mem().unwrap().to_vec()).unwrap();
+
+        // Crash simulation: replay the journal as written after only the
+        // first 5 protocol lines, then feed the rest of the input past the
+        // cursor — the resumed log must equal the reference byte for byte.
+        let journal2_path = dir.join("serve2.journal");
+        let journal2 = fjs_core::service::ServeJournal::create(&journal2_path)
+            .unwrap()
+            .with_sync_every(1);
+        let mut first = Server::new(ServeOptions::default(), Sink::Null, Some(journal2));
+        let mut offset = 0u64;
+        for line in script.split_inclusive('\n').take(5) {
+            first.handle_line(offset, line);
+            offset += line.len() as u64;
+        }
+        drop(first); // SIGKILL stand-in: no drain, no close events.
+
+        let events = fjs_core::service::ServeJournal::load(&journal2_path).unwrap();
+        let mut resumed = Server::new(ServeOptions::default(), Sink::Mem(Vec::new()), None);
+        resumed.resume(&events).unwrap();
+        assert_eq!(resumed.cursor(), 5);
+        let mut offset = 0u64;
+        for line in script.split_inclusive('\n') {
+            resumed.handle_line(offset, line);
+            offset += line.len() as u64;
+        }
+        let (_, sink) = resumed.finish().unwrap();
+        let resumed_log = String::from_utf8(sink.mem().unwrap().to_vec()).unwrap();
+        assert_eq!(resumed_log, reference, "resume must be byte-identical");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn build_session_understands_specs() {
+        assert!(build_session("eager", 1000).is_ok());
+        assert!(build_session("batch+", 1000).is_ok());
+        assert!(build_session("poison:panic:eager", 1000).is_ok());
+        assert!(build_session("poison:hang:lazy", 1000).is_ok());
+        assert!(build_session("poison:frogs:eager", 1000).is_err());
+        assert!(build_session("nonesuch", 1000).is_err());
+    }
+}

@@ -1,0 +1,237 @@
+//! Line protocol for the resident scheduling daemon.
+//!
+//! One request per line, space-delimited verb first:
+//!
+//! ```text
+//! open <sid> <scheduler-spec>     # create a session
+//! job <sid> <arrival>,<deadline>,<length>
+//! close <sid>                     # finish the session, flush its deltas
+//! stats <sid>                     # read-only probe
+//! ```
+//!
+//! Blank lines and `#` comments are ignored (no reply). Every other line
+//! gets exactly one reply line: `ok ...`, `busy ...` (admission shed) or
+//! `err ...` (malformed or rejected). The job payload is the same
+//! 3-column CSV the batch trace reader ingests, and is parsed through the
+//! same hardened [`TraceReader`] so serve inherits its numeric and window
+//! validation verbatim.
+
+use fjs_workloads::TraceReader;
+
+/// A parsed protocol request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// `open <sid> <spec>` — create a session running the given scheduler.
+    Open {
+        /// Session name.
+        sid: String,
+        /// Scheduler spec (registry short name, optionally `poison:`-wrapped).
+        spec: String,
+    },
+    /// `job <sid> <a>,<d>,<p>` — offer one job to a session.
+    Job {
+        /// Session name.
+        sid: String,
+        /// Arrival time `a(J)`.
+        arrival: f64,
+        /// Starting deadline `d(J)`.
+        deadline: f64,
+        /// Processing length `p(J)`.
+        length: f64,
+    },
+    /// `close <sid>` — finish the session and emit its final span.
+    Close {
+        /// Session name.
+        sid: String,
+    },
+    /// `stats <sid>` — read-only session probe.
+    Stats {
+        /// Session name.
+        sid: String,
+    },
+}
+
+impl Request {
+    /// The session the request addresses.
+    pub fn sid(&self) -> &str {
+        match self {
+            Request::Open { sid, .. }
+            | Request::Job { sid, .. }
+            | Request::Close { sid }
+            | Request::Stats { sid } => sid,
+        }
+    }
+}
+
+/// `true` for names safe to echo in space-delimited replies and logs.
+fn valid_sid(sid: &str) -> bool {
+    !sid.is_empty()
+        && sid.len() <= 64
+        && sid
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+}
+
+/// Parses one protocol line.
+///
+/// Returns `Ok(None)` for blank lines and `#` comments, `Ok(Some(_))` for a
+/// well-formed request, and `Err(reason)` for anything else. The reason is
+/// a short human-readable phrase without positional information — the
+/// server attributes it to a line number and byte offset.
+pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.splitn(3, char::is_whitespace);
+    let verb = parts.next().unwrap_or_default();
+    let sid = parts.next().map(str::trim).unwrap_or_default();
+    let rest = parts.next().map(str::trim).unwrap_or_default();
+    if verb != "open" && verb != "job" && verb != "close" && verb != "stats" {
+        return Err(format!(
+            "unknown verb '{verb}' (expected open/job/close/stats)"
+        ));
+    }
+    if !valid_sid(sid) {
+        return Err(format!(
+            "bad session name '{sid}' (want 1-64 chars of [A-Za-z0-9._-])"
+        ));
+    }
+    match verb {
+        "open" => {
+            if rest.is_empty() {
+                return Err("open needs a scheduler spec".into());
+            }
+            Ok(Some(Request::Open {
+                sid: sid.into(),
+                spec: rest.into(),
+            }))
+        }
+        "job" => {
+            if rest.is_empty() {
+                return Err("job needs an <arrival>,<deadline>,<length> payload".into());
+            }
+            let (arrival, deadline, length) = parse_job_payload(rest)?;
+            Ok(Some(Request::Job {
+                sid: sid.into(),
+                arrival,
+                deadline,
+                length,
+            }))
+        }
+        "close" | "stats" => {
+            if !rest.is_empty() {
+                return Err(format!("{verb} takes no payload (got '{rest}')"));
+            }
+            if verb == "close" {
+                Ok(Some(Request::Close { sid: sid.into() }))
+            } else {
+                Ok(Some(Request::Stats { sid: sid.into() }))
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Parses a job payload through the hardened batch-trace reader, so the
+/// daemon enforces exactly the file-ingestion validation (finite numbers,
+/// `arrival <= deadline`, positive length).
+fn parse_job_payload(payload: &str) -> Result<(f64, f64, f64), String> {
+    let mut reader = TraceReader::new(payload.as_bytes());
+    match reader.next() {
+        Some(Ok(rec)) => {
+            let job = rec.job;
+            Ok((
+                job.arrival().get(),
+                job.deadline().get(),
+                job.length().get(),
+            ))
+        }
+        Some(Err(e)) => {
+            // The payload is a synthetic one-line stream; strip the
+            // reader's "line 1: " prefix — the server re-attributes the
+            // error to the protocol stream position.
+            let text = e.to_string();
+            Err(text
+                .strip_prefix("line 1: ")
+                .map(str::to_string)
+                .unwrap_or(text))
+        }
+        None => Err("job payload is empty".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request("open alpha eager").unwrap(),
+            Some(Request::Open {
+                sid: "alpha".into(),
+                spec: "eager".into()
+            })
+        );
+        assert_eq!(
+            parse_request("  job alpha 0,5,2  ").unwrap(),
+            Some(Request::Job {
+                sid: "alpha".into(),
+                arrival: 0.0,
+                deadline: 5.0,
+                length: 2.0
+            })
+        );
+        assert_eq!(
+            parse_request("close alpha").unwrap(),
+            Some(Request::Close {
+                sid: "alpha".into()
+            })
+        );
+        assert_eq!(
+            parse_request("stats alpha").unwrap(),
+            Some(Request::Stats {
+                sid: "alpha".into()
+            })
+        );
+    }
+
+    #[test]
+    fn blank_and_comment_lines_are_silent() {
+        assert_eq!(parse_request("").unwrap(), None);
+        assert_eq!(parse_request("   ").unwrap(), None);
+        assert_eq!(parse_request("# a comment").unwrap(), None);
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_reasons() {
+        assert!(parse_request("launch alpha").unwrap_err().contains("verb"));
+        assert!(parse_request("open").unwrap_err().contains("session name"));
+        assert!(parse_request("open bad!name eager")
+            .unwrap_err()
+            .contains("bad session name"));
+        assert!(parse_request("job alpha").unwrap_err().contains("payload"));
+        assert!(parse_request("close alpha extra")
+            .unwrap_err()
+            .contains("no payload"));
+    }
+
+    #[test]
+    fn job_payload_inherits_trace_reader_validation() {
+        // Non-finite number.
+        let e = parse_request("job a 0,inf,2").unwrap_err();
+        assert!(e.contains("not a finite number"), "{e}");
+        // Window inverted.
+        let e = parse_request("job a 5,1,2").unwrap_err();
+        assert!(e.contains("deadline"), "{e}");
+        // Non-positive length.
+        let e = parse_request("job a 0,5,0").unwrap_err();
+        assert!(e.contains("length"), "{e}");
+        // Wrong arity.
+        let e = parse_request("job a 0,5").unwrap_err();
+        assert!(e.contains("columns"), "{e}");
+        // No stale "line 1:" prefix leaks through.
+        assert!(!parse_request("job a 0,5").unwrap_err().starts_with("line"));
+    }
+}

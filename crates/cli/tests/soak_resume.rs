@@ -166,6 +166,45 @@ fn trace_soak_surfaces_ingest_stats() {
     let _ = std::fs::remove_file(&j);
 }
 
+/// `--resume` against a missing or empty journal must be a loud usage
+/// error (exit 2), never a silent fresh run.
+#[test]
+fn binary_resume_with_missing_or_empty_journal_is_a_usage_error() {
+    use std::process::Command;
+
+    let bin = env!("CARGO_BIN_EXE_fjs");
+
+    // Missing journal file.
+    let missing = scratch("missing");
+    let out = Command::new(bin)
+        .args(["soak", "batch", "--resume", "--journal"])
+        .arg(&missing)
+        .output()
+        .expect("run fjs soak --resume");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nothing to resume"), "{stderr}");
+    assert!(
+        stderr.contains("start without --resume"),
+        "the error must say how to recover: {stderr}"
+    );
+
+    // Present but zero-length journal file.
+    let empty = scratch("empty");
+    std::fs::write(&empty, b"").expect("create empty journal");
+    let out = Command::new(bin)
+        .args(["soak", "batch", "--resume", "--journal"])
+        .arg(&empty)
+        .output()
+        .expect("run fjs soak --resume on empty journal");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("nothing to resume"),
+        "empty journal must be as loud as a missing one"
+    );
+    let _ = std::fs::remove_file(&empty);
+}
+
 /// End-to-end: the real binary, a real `SIGINT` mid-sweep, exit 0, then
 /// `--resume` converging to the uninterrupted journal bytes.
 #[cfg(unix)]

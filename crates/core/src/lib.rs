@@ -20,7 +20,10 @@
 //!   decisions ([`sim`]);
 //! * a supervision layer for long-running sweeps — watchdog event budgets
 //!   with panic isolation, deterministic retry with exponential backoff,
-//!   and a crash-safe checkpoint journal ([`supervise`]).
+//!   and a crash-safe checkpoint journal ([`supervise`]);
+//! * a resident-service layer for `fjs serve` — isolated long-lived
+//!   scheduling sessions with O(pending) memory, incremental span
+//!   accounting and crash-safe checkpointing ([`service`]).
 //!
 //! Schedulers themselves live in the `fjs-schedulers` crate; adversarial
 //! constructions in `fjs-adversary`; optimal baselines in `fjs-opt`.
@@ -36,6 +39,7 @@ pub mod interval;
 pub mod job;
 pub mod metrics;
 pub mod schedule;
+pub mod service;
 pub mod sim;
 pub mod supervise;
 pub mod time;

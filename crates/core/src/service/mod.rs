@@ -1,0 +1,28 @@
+//! The resident-service layer behind `fjs serve`.
+//!
+//! Batch runs ([`crate::sim::run_static`]) materialize a whole trace, run
+//! it, and report once. A *service* instead holds many concurrent
+//! [`Session`]s — one scheduler instance each — that consume unbounded
+//! arrival streams with O(pending) memory, emit decisions incrementally,
+//! and fail independently:
+//!
+//! * [`session`] — the per-session drive loop: a verbatim mirror of the
+//!   batch engine's event ordering and action validation, plus panic
+//!   containment ([`SessionVerdict`]), a cumulative watchdog budget, span
+//!   accounting via [`crate::interval::SpanAccountant`], and completed-
+//!   record compaction;
+//! * [`checkpoint`] — the crash-safe [`ServeJournal`] that makes a killed
+//!   daemon resumable to a byte-identical decision log.
+//!
+//! The protocol frontend (line parsing, admission control, sockets,
+//! signals) lives in the `fjs` CLI; this module is deliberately free of
+//! any I/O beyond the journal so it can be driven in-process by tests and
+//! benches.
+
+pub mod checkpoint;
+pub mod session;
+
+pub use checkpoint::{
+    ServeEvent, ServeJournal, ServeJournalError, DEFAULT_SYNC_EVERY, SERVE_JOURNAL_VERSION,
+};
+pub use session::{Decision, DecisionKind, JobOffer, Session, SessionError, SessionVerdict};

@@ -81,7 +81,13 @@ impl JobRecord {
 pub struct World {
     clairvoyance: Clairvoyance,
     now: Time,
+    /// Records for ids `[compacted, compacted + jobs.len())`; earlier ids
+    /// were completed and compacted away (resident services only — the
+    /// batch engine never compacts, so its base stays 0).
     jobs: Vec<JobRecord>,
+    /// Number of leading completed records dropped by
+    /// [`World::compact_completed_prefix`]; the id of `jobs[0]`.
+    compacted: u32,
     /// Sorted ascending; deck-sized runs make a flat vector cheaper than a
     /// tree (releases arrive in id order, so inserts are pushes).
     pending: Vec<JobId>,
@@ -96,9 +102,26 @@ impl World {
             clairvoyance,
             now: Time::ZERO,
             jobs: Vec::new(),
+            compacted: 0,
             pending: Vec::new(),
             running: Vec::new(),
         }
+    }
+
+    /// Index of `id` into the retained record vector.
+    ///
+    /// # Panics
+    /// Panics if the id was compacted away — a long-lived consumer (e.g. a
+    /// scheduler inside a resident session) asked about ancient history the
+    /// world no longer materializes.
+    #[track_caller]
+    fn idx(&self, id: JobId) -> usize {
+        let base = self.compacted as usize;
+        assert!(
+            id.index() >= base,
+            "job {id} was completed and compacted away"
+        );
+        id.index() - base
     }
 
     /// The information model of this run.
@@ -118,19 +141,35 @@ impl World {
 
     /// Number of jobs released so far (the next release gets this id).
     pub fn num_jobs(&self) -> usize {
+        self.compacted as usize + self.jobs.len()
+    }
+
+    /// Number of job records still materialized (jobs released minus jobs
+    /// compacted away). This is what bounds resident memory.
+    pub fn num_retained(&self) -> usize {
         self.jobs.len()
+    }
+
+    /// Number of leading completed records dropped by prefix compaction
+    /// (`compact_completed_prefix`). Retained records cover ids
+    /// `[compacted, num_jobs)`. Always 0 for batch-engine runs.
+    pub fn compacted(&self) -> usize {
+        self.compacted as usize
     }
 
     /// The record for a job.
     ///
     /// # Panics
-    /// Panics if the id has not been released.
+    /// Panics if the id has not been released, or if its record was
+    /// compacted away.
     #[track_caller]
     pub fn job(&self, id: JobId) -> &JobRecord {
-        &self.jobs[id.index()]
+        &self.jobs[self.idx(id)]
     }
 
-    /// All released jobs in id (= release) order.
+    /// All *retained* jobs in id (= release) order; `jobs()[i]` is the
+    /// record of id `compacted() + i`. For batch runs (no compaction) this
+    /// is simply every released job.
     pub fn jobs(&self) -> &[JobRecord] {
         &self.jobs
     }
@@ -173,7 +212,7 @@ impl World {
     }
 
     pub(crate) fn release(&mut self, arrival: Time, deadline: Time, length: Option<Dur>) -> JobId {
-        let id = JobId(self.jobs.len() as u32);
+        let id = JobId(self.compacted + self.jobs.len() as u32);
         self.jobs.push(JobRecord {
             arrival,
             deadline,
@@ -187,7 +226,8 @@ impl World {
     }
 
     pub(crate) fn mark_started(&mut self, id: JobId, start: Time) {
-        let rec = &mut self.jobs[id.index()];
+        let i = self.idx(id);
+        let rec = &mut self.jobs[i];
         debug_assert!(matches!(rec.status, JobStatus::Pending));
         rec.status = JobStatus::Running { start };
         rec.ordered_start = None;
@@ -200,17 +240,20 @@ impl World {
     }
 
     pub(crate) fn set_length(&mut self, id: JobId, length: Dur) {
-        let rec = &mut self.jobs[id.index()];
+        let i = self.idx(id);
+        let rec = &mut self.jobs[i];
         debug_assert!(rec.length.is_none());
         rec.length = Some(length);
     }
 
     pub(crate) fn set_ordered_start(&mut self, id: JobId, t: Time) {
-        self.jobs[id.index()].ordered_start = Some(t);
+        let i = self.idx(id);
+        self.jobs[i].ordered_start = Some(t);
     }
 
     pub(crate) fn mark_completed(&mut self, id: JobId) {
-        let rec = &mut self.jobs[id.index()];
+        let i = self.idx(id);
+        let rec = &mut self.jobs[i];
         let JobStatus::Running { start } = rec.status else {
             panic!("completing a job that is not running: {id}");
         };
@@ -221,6 +264,29 @@ impl World {
         if let Ok(i) = self.running.binary_search(&id) {
             self.running.remove(i);
         }
+    }
+
+    /// Drops the leading run of completed records so resident memory stays
+    /// proportional to the jobs still in flight, returning how many records
+    /// were dropped.
+    ///
+    /// Only compacts when the completed prefix is at least half of the
+    /// retained records, so the `Vec::drain` shift amortizes to O(1) per
+    /// job while memory stays within 2x of the live set. Pending/running
+    /// indices are unaffected: a completed job is in neither list, and
+    /// surviving ids keep their values (`compacted` becomes the new base).
+    pub(crate) fn compact_completed_prefix(&mut self) -> usize {
+        let drop = self
+            .jobs
+            .iter()
+            .take_while(|r| matches!(r.status, JobStatus::Completed { .. }))
+            .count();
+        if drop == 0 || drop * 2 < self.jobs.len() {
+            return 0;
+        }
+        self.jobs.drain(..drop);
+        self.compacted += drop as u32;
+        drop
     }
 
     /// Materializes the final state as a static [`Instance`] (requires every
@@ -243,6 +309,10 @@ impl World {
     /// the time they have been observed running (for running jobs), or the
     /// smallest positive duration (for jobs that never started). The second
     /// return value lists the ids whose lengths are placeholders.
+    ///
+    /// Covers *retained* records only; after compaction (resident services)
+    /// the instance holds the tail of the history and unresolved ids are
+    /// world ids (offset by [`World::compacted`]).
     pub fn to_partial_instance(&self) -> (Instance, Vec<JobId>) {
         let mut unresolved = Vec::new();
         let inst = self
@@ -253,7 +323,7 @@ impl World {
                 let length = match r.length {
                     Some(p) => p,
                     None => {
-                        unresolved.push(JobId(i as u32));
+                        unresolved.push(JobId(self.compacted + i as u32));
                         let elapsed = match r.status {
                             JobStatus::Running { start } => self.now - start,
                             _ => Dur::ZERO,
@@ -342,6 +412,62 @@ mod tests {
         let mut w = World::new(Clairvoyance::NonClairvoyant);
         w.release(t(0.0), t(2.0), None);
         let _ = w.to_instance();
+    }
+
+    #[test]
+    fn compaction_retires_completed_prefix_and_preserves_ids() {
+        let mut w = World::new(Clairvoyance::Clairvoyant);
+        let ids: Vec<JobId> = (0..6)
+            .map(|i| w.release(t(i as f64), t(i as f64 + 5.0), Some(dur(1.0))))
+            .collect();
+        // Complete the first four; the last two stay pending.
+        for &id in &ids[..4] {
+            w.mark_started(id, w.job(id).arrival());
+            w.mark_completed(id);
+        }
+        assert_eq!(w.compact_completed_prefix(), 4);
+        assert_eq!(w.compacted(), 4);
+        assert_eq!(w.num_jobs(), 6, "released count is unchanged");
+        assert_eq!(w.num_retained(), 2);
+        // Surviving ids keep their values and records.
+        assert_eq!(w.job(ids[4]).arrival(), t(4.0));
+        assert!(w.is_pending(ids[5]));
+        // New releases continue the global id sequence.
+        let next = w.release(t(9.0), t(12.0), Some(dur(1.0)));
+        assert_eq!(next, JobId(6));
+        assert_eq!(w.job(next).deadline(), t(12.0));
+    }
+
+    #[test]
+    fn compaction_waits_for_a_majority_prefix() {
+        let mut w = World::new(Clairvoyance::Clairvoyant);
+        let ids: Vec<JobId> = (0..5)
+            .map(|_| w.release(t(0.0), t(9.0), Some(dur(1.0))))
+            .collect();
+        w.mark_started(ids[0], t(0.0));
+        w.mark_completed(ids[0]);
+        // 1 of 5 completed: below the half threshold, nothing moves.
+        assert_eq!(w.compact_completed_prefix(), 0);
+        assert_eq!(w.compacted(), 0);
+        for &id in &ids[1..3] {
+            w.mark_started(id, t(0.0));
+            w.mark_completed(id);
+        }
+        // 3 of 5: compacts the whole completed prefix at once.
+        assert_eq!(w.compact_completed_prefix(), 3);
+        assert_eq!(w.num_retained(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "compacted away")]
+    fn compacted_id_lookup_panics() {
+        let mut w = World::new(Clairvoyance::Clairvoyant);
+        let a = w.release(t(0.0), t(5.0), Some(dur(1.0)));
+        let _b = w.release(t(0.0), t(5.0), Some(dur(1.0)));
+        w.mark_started(a, t(0.0));
+        w.mark_completed(a);
+        w.compact_completed_prefix();
+        let _ = w.job(a);
     }
 
     #[test]

@@ -233,7 +233,7 @@ impl Journal {
     }
 }
 
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -249,7 +249,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> Result<String, String> {
+pub(crate) fn unescape(s: &str) -> Result<String, String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -300,7 +300,7 @@ fn serialize_line(r: &CellResult) -> String {
 
 /// A minimal flat-object JSON scanner for journal lines: one `{...}` object
 /// of scalar fields. Strings may contain the escapes [`escape`] emits.
-fn parse_fields(line: &str) -> Result<Vec<(String, String)>, String> {
+pub(crate) fn parse_fields(line: &str) -> Result<Vec<(String, String)>, String> {
     let inner = line
         .strip_prefix('{')
         .and_then(|s| s.strip_suffix('}'))

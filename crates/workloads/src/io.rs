@@ -119,8 +119,9 @@ pub enum Quarantine {
     Halt,
     /// Skip malformed records, counting them in [`IngestStats::quarantined`].
     Skip,
-    /// Skip malformed records but keep `(line, raw_text)` dead letters for
-    /// later inspection ([`TraceReader::dead_letters`]).
+    /// Skip malformed records but keep them as [`DeadLetter`]s (original
+    /// line number, byte offset and raw text) for later inspection
+    /// ([`TraceReader::dead_letters`]).
     DeadLetter,
 }
 
@@ -148,6 +149,27 @@ pub struct IngestStats {
     /// Malformed records quarantined (skipped or dead-lettered). Always 0
     /// under [`Quarantine::Halt`] — the first one ends the stream.
     pub quarantined: usize,
+}
+
+/// A quarantined record retained under [`Quarantine::DeadLetter`]: enough
+/// provenance to attribute the reject back to its exact place in the
+/// source — the 1-based line number *and* the byte offset of the line's
+/// first byte — plus the raw text (line terminator stripped).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DeadLetter {
+    /// 1-based line number in the source stream.
+    pub line: usize,
+    /// Byte offset of the start of the line in the source stream.
+    pub offset: u64,
+    /// The rejected line, without its terminator.
+    pub raw: String,
+}
+
+impl std::fmt::Display for DeadLetter {
+    /// The stable attribution format: `line 2 (byte 6): mangled`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {} (byte {}): {}", self.line, self.offset, self.raw)
+    }
 }
 
 /// One well-formed record from a streaming trace.
@@ -179,11 +201,14 @@ pub struct TraceReader<R> {
     require_order: bool,
     buf: String,
     line_no: usize,
+    /// Byte offset of the first unconsumed byte (= offset of the next
+    /// line's first byte).
+    byte_offset: u64,
     seen_data: bool,
     last_arrival: Option<f64>,
     halted: bool,
     stats: IngestStats,
-    dead: Vec<(usize, String)>,
+    dead: Vec<DeadLetter>,
 }
 
 impl<R: BufRead> TraceReader<R> {
@@ -196,6 +221,7 @@ impl<R: BufRead> TraceReader<R> {
             require_order: false,
             buf: String::new(),
             line_no: 0,
+            byte_offset: 0,
             seen_data: false,
             last_arrival: None,
             halted: false,
@@ -224,9 +250,9 @@ impl<R: BufRead> TraceReader<R> {
         self.stats
     }
 
-    /// Quarantined `(line, raw_text)` pairs (non-empty only under
+    /// Quarantined records with full provenance (non-empty only under
     /// [`Quarantine::DeadLetter`]).
-    pub fn dead_letters(&self) -> &[(usize, String)] {
+    pub fn dead_letters(&self) -> &[DeadLetter] {
         &self.dead
     }
 
@@ -314,6 +340,7 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                 return None;
             }
             self.buf.clear();
+            let line_offset = self.byte_offset;
             match self.src.read_line(&mut self.buf) {
                 // A broken reader can't be skipped past: always halt.
                 Err(e) => {
@@ -324,7 +351,7 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                     }));
                 }
                 Ok(0) => return None,
-                Ok(_) => {}
+                Ok(n) => self.byte_offset += n as u64,
             }
             self.line_no += 1;
             self.stats.lines += 1;
@@ -346,7 +373,11 @@ impl<R: BufRead> Iterator for TraceReader<R> {
                     Quarantine::DeadLetter => {
                         self.stats.quarantined += 1;
                         let raw = self.buf.trim_end_matches(['\n', '\r']).to_string();
-                        self.dead.push((self.line_no, raw));
+                        self.dead.push(DeadLetter {
+                            line: self.line_no,
+                            offset: line_offset,
+                            raw,
+                        });
                         continue;
                     }
                 },
@@ -569,8 +600,42 @@ mod tests {
         let mut reader = TraceReader::new(text.as_bytes()).with_policy(Quarantine::DeadLetter);
         let n = reader.by_ref().filter(Result::is_ok).count();
         assert_eq!(n, 2);
-        assert_eq!(reader.dead_letters(), &[(2, "mangled".to_string())]);
+        assert_eq!(
+            reader.dead_letters(),
+            &[DeadLetter {
+                line: 2,
+                offset: 6,
+                raw: "mangled".to_string(),
+            }]
+        );
         assert_eq!(reader.stats().quarantined, 1);
+    }
+
+    /// The satellite guard: dead letters carry the original line number
+    /// AND the byte offset of the line's first byte, and render in the
+    /// stable attribution format `fjs serve` replies quote.
+    #[test]
+    fn dead_letters_carry_offsets_and_golden_format() {
+        // CRLF first line (7 bytes), then a comment (4), then the two
+        // rejects at known offsets.
+        let text = "0,5,2\r\n# c\nbad one\n1,9,3\n0,5\n";
+        let mut reader = TraceReader::new(text.as_bytes()).with_policy(Quarantine::DeadLetter);
+        let n = reader.by_ref().filter(Result::is_ok).count();
+        assert_eq!(n, 2);
+        let dead = reader.dead_letters();
+        assert_eq!(dead.len(), 2);
+        assert_eq!((dead[0].line, dead[0].offset), (3, 11));
+        assert_eq!((dead[1].line, dead[1].offset), (5, 25));
+        // Offsets point at the exact source bytes.
+        assert_eq!(&text.as_bytes()[11..11 + dead[0].raw.len()], b"bad one");
+        assert_eq!(&text.as_bytes()[25..25 + dead[1].raw.len()], b"0,5");
+        let golden = [
+            "line 3 (byte 11): bad one",
+            "line 5 (byte 25): 0,5",
+        ];
+        for (d, want) in dead.iter().zip(golden) {
+            assert_eq!(d.to_string(), want);
+        }
     }
 
     #[test]

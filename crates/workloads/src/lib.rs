@@ -21,7 +21,8 @@ pub use distributions::{ArrivalProcess, LaxityModel, LengthLaw};
 pub use families::{conformance_deck, Family, IntFamily, LoadRegime, SlackRegime, UniformFamily};
 pub use generator::{Scenario, WorkloadSpec};
 pub use io::{
-    parse_trace, write_trace, IngestStats, Quarantine, Trace, TraceError, TraceReader, TraceRecord,
+    parse_trace, write_trace, DeadLetter, IngestStats, Quarantine, Trace, TraceError, TraceReader,
+    TraceRecord,
 };
 pub use io_faults::{run_io_chaos, IoChaosCell, IoFaultMode};
 pub use stats::{workload_stats, WorkloadStats};
