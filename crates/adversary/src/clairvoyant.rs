@@ -46,7 +46,11 @@ impl CvAdversary {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n >= 1, "need at least one round");
-        CvAdversary { max_rounds: n, rounds: Vec::new(), declined: false }
+        CvAdversary {
+            max_rounds: n,
+            rounds: Vec::new(),
+            declined: false,
+        }
     }
 
     /// Rounds released so far.
@@ -177,7 +181,12 @@ mod tests {
         assert_eq!(out.instance.len(), 2 * n);
         // Each round costs φ (long started with the short at T_i).
         let expect = n as f64 * phi();
-        assert!((out.span.get() - expect).abs() < 1e-9, "span {} vs {}", out.span, expect);
+        assert!(
+            (out.span.get() - expect).abs() < 1e-9,
+            "span {} vs {}",
+            out.span,
+            expect
+        );
         // Prescribed: all longs at T_n → span φ + (n−1).
         let presc = adv.prescribed_schedule(&out.instance);
         assert!(presc.validate(&out.instance).is_ok());
@@ -201,7 +210,10 @@ mod tests {
         // OPT: start both at 0 → φ. Ratio = (φ+1)/φ = φ.
         let presc = adv.prescribed_schedule(&out.instance);
         let ratio = out.span.ratio(presc.span(&out.instance));
-        assert!((ratio - phi()).abs() < 1e-9, "golden-ratio branch, got {ratio}");
+        assert!(
+            (ratio - phi()).abs() < 1e-9,
+            "golden-ratio branch, got {ratio}"
+        );
     }
 
     #[test]
@@ -215,7 +227,10 @@ mod tests {
             assert!(ratio >= prev - 1e-12, "ratio should be nondecreasing in n");
             prev = ratio;
         }
-        assert!((prev - phi()).abs() < 0.02, "n=100 should be within 2% of φ, got {prev}");
+        assert!(
+            (prev - phi()).abs() < 0.02,
+            "n=100 should be within 2% of φ, got {prev}"
+        );
     }
 
     #[test]

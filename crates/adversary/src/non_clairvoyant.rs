@@ -88,10 +88,17 @@ impl NcAdversaryParams {
     /// Panics if `k > 1` (counts overflow anything reasonable) or `mu <= 1`.
     pub fn literal(mu: f64, k: usize) -> Self {
         assert!(mu > 1.0, "μ must exceed 1, got {mu}");
-        assert!(k == 1, "the literal construction is only materializable for k = 1");
-        let counts: Vec<usize> =
-            (1..=k + 1).map(|i| 1usize << (1usize << (2 * k - i + 1))).collect();
-        let thresholds: Vec<usize> = counts[..k].iter().map(|&n| (n as f64).sqrt() as usize).collect();
+        assert!(
+            k == 1,
+            "the literal construction is only materializable for k = 1"
+        );
+        let counts: Vec<usize> = (1..=k + 1)
+            .map(|i| 1usize << (1usize << (2 * k - i + 1)))
+            .collect();
+        let thresholds: Vec<usize> = counts[..k]
+            .iter()
+            .map(|&n| (n as f64).sqrt() as usize)
+            .collect();
         NcAdversaryParams {
             mu,
             iterations: k,
@@ -104,12 +111,29 @@ impl NcAdversaryParams {
 
     fn validate(&self) {
         assert!(self.mu > 1.0, "μ must exceed 1");
-        assert!(self.alpha > self.mu + 1.0, "need α > μ + 1 (paper requirement)");
-        assert_eq!(self.counts.len(), self.iterations + 1, "counts: one per iteration plus final");
-        assert_eq!(self.thresholds.len(), self.iterations, "thresholds: one per earmarking iteration");
-        assert!(self.counts.iter().all(|&n| n >= 2), "each iteration needs ≥ 2 jobs");
         assert!(
-            self.thresholds.iter().zip(&self.counts).all(|(&c, &n)| c >= 1 && c < n),
+            self.alpha > self.mu + 1.0,
+            "need α > μ + 1 (paper requirement)"
+        );
+        assert_eq!(
+            self.counts.len(),
+            self.iterations + 1,
+            "counts: one per iteration plus final"
+        );
+        assert_eq!(
+            self.thresholds.len(),
+            self.iterations,
+            "thresholds: one per earmarking iteration"
+        );
+        assert!(
+            self.counts.iter().all(|&n| n >= 2),
+            "each iteration needs ≥ 2 jobs"
+        );
+        assert!(
+            self.thresholds
+                .iter()
+                .zip(&self.counts)
+                .all(|(&c, &n)| c >= 1 && c < n),
             "thresholds must satisfy 1 ≤ c_i < n_i"
         );
     }
@@ -117,7 +141,9 @@ impl NcAdversaryParams {
 
 /// Largest exponent keeping `alpha^cap` at or below ~10¹².
 fn cap_for(alpha: f64) -> u32 {
-    ((12.0 * std::f64::consts::LN_10) / alpha.ln()).floor().max(2.0) as u32
+    ((12.0 * std::f64::consts::LN_10) / alpha.ln())
+        .floor()
+        .max(2.0) as u32
 }
 
 /// Progress of one adversary iteration.
@@ -155,7 +181,12 @@ impl NcAdversary {
     /// [`NcAdversaryParams`] field docs).
     pub fn new(params: NcAdversaryParams) -> Self {
         params.validate();
-        NcAdversary { params, iters: Vec::new(), next_release: Some(Time::ZERO), next_iter: 0 }
+        NcAdversary {
+            params,
+            iters: Vec::new(),
+            next_release: Some(Time::ZERO),
+            next_iter: 0,
+        }
     }
 
     /// The parameters.
@@ -274,7 +305,13 @@ impl Environment for NcAdversary {
             .collect()
     }
 
-    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+    fn rule_length(
+        &mut self,
+        id: JobId,
+        started_at: Time,
+        now: Time,
+        world: &World,
+    ) -> LengthRuling {
         let it_idx = self.iteration_of(id).expect("ruling on a job we released");
 
         if now == started_at {
@@ -374,14 +411,21 @@ mod tests {
         for em in adv.earmarks() {
             assert_eq!(out.instance.job(em).length(), dur(4.0));
         }
-        let ones =
-            out.instance.jobs().iter().filter(|j| j.length() == dur(1.0)).count();
+        let ones = out
+            .instance
+            .jobs()
+            .iter()
+            .filter(|j| j.length() == dur(1.0))
+            .count();
         assert_eq!(ones, out.instance.len() - 2);
         // Prescribed counter-schedule is feasible and far cheaper.
         let presc = adv.prescribed_schedule(&out.instance).expect("feasible");
         assert!(presc.validate(&out.instance).is_ok());
         let ratio = out.span.ratio(presc.span(&out.instance));
-        assert!(ratio > 1.0, "adversary must beat the eager scheduler, ratio {ratio}");
+        assert!(
+            ratio > 1.0,
+            "adversary must beat the eager scheduler, ratio {ratio}"
+        );
     }
 
     #[test]

@@ -31,7 +31,11 @@ impl TightnessInstance {
             .validate(&instance)
             .expect("prescribed schedule must be feasible by construction");
         let prescribed_span = prescribed.span(&instance);
-        TightnessInstance { instance, prescribed, prescribed_span }
+        TightnessInstance {
+            instance,
+            prescribed,
+            prescribed_span,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ impl TightnessInstance {
 pub fn fig2_batch_tightness(m: usize, mu: f64, eps: f64) -> TightnessInstance {
     assert!(m >= 1, "need at least one round");
     assert!(mu > 1.0, "μ must exceed 1, got {mu}");
-    assert!(eps > 0.0 && eps < 1.0 && eps < mu, "need 0 < ε < min(1, μ), got {eps}");
+    assert!(
+        eps > 0.0 && eps < 1.0 && eps < mu,
+        "need 0 < ε < min(1, μ), got {eps}"
+    );
 
     let mut jobs = Vec::with_capacity(4 * m);
     // Group 1: rigid shorts.

@@ -105,10 +105,16 @@ impl BenchReport {
             if let Some(()) = seen.insert(c.name.clone(), ()) {
                 return Err(format!("duplicate case name '{}'", c.name));
             }
-            for (label, v) in [("median_s", c.median_s), ("min_s", c.min_s), ("mean_s", c.mean_s)]
-            {
+            for (label, v) in [
+                ("median_s", c.median_s),
+                ("min_s", c.min_s),
+                ("mean_s", c.mean_s),
+            ] {
                 if !v.is_finite() || v < 0.0 {
-                    return Err(format!("case '{}': {label} = {v} is not a valid time", c.name));
+                    return Err(format!(
+                        "case '{}': {label} = {v} is not a valid time",
+                        c.name
+                    ));
                 }
             }
             if c.iters == 0 || c.samples == 0 {
@@ -123,7 +129,11 @@ impl BenchReport {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema_version\": {},", self.schema_version);
-        let _ = writeln!(out, "  \"git_describe\": \"{}\",", escape(&self.git_describe));
+        let _ = writeln!(
+            out,
+            "  \"git_describe\": \"{}\",",
+            escape(&self.git_describe)
+        );
         out.push_str("  \"cases\": [");
         for (i, c) in self.cases.iter().enumerate() {
             if i > 0 {
@@ -153,7 +163,9 @@ impl BenchReport {
         let value = Json::parse(text)?;
         let obj = value.as_object("report")?;
         let schema_version = get(obj, "schema_version")?.as_u64("schema_version")?;
-        let git_describe = get(obj, "git_describe")?.as_str("git_describe")?.to_string();
+        let git_describe = get(obj, "git_describe")?
+            .as_str("git_describe")?
+            .to_string();
         let mut cases = Vec::new();
         for (i, item) in get(obj, "cases")?.as_array("cases")?.iter().enumerate() {
             let c = item.as_object(&format!("cases[{i}]"))?;
@@ -166,7 +178,11 @@ impl BenchReport {
                 samples: get(c, "samples")?.as_u64("samples")? as usize,
             });
         }
-        let report = BenchReport { schema_version, git_describe, cases };
+        let report = BenchReport {
+            schema_version,
+            git_describe,
+            cases,
+        };
         report.validate()?;
         Ok(report)
     }
@@ -219,7 +235,10 @@ impl BenchDiff {
     /// Aligned cases whose median regressed by more than `threshold`
     /// (e.g. `0.2` flags ratios above 1.2).
     pub fn regressions(&self, threshold: f64) -> Vec<&CaseDelta> {
-        self.aligned.iter().filter(|d| d.relative_change() > threshold).collect()
+        self.aligned
+            .iter()
+            .filter(|d| d.relative_change() > threshold)
+            .collect()
     }
 }
 
@@ -248,7 +267,11 @@ pub fn diff_reports(old: &BenchReport, new: &BenchReport) -> BenchDiff {
         .filter(|n| old.case(&n.name).is_none())
         .map(|n| n.name.clone())
         .collect();
-    BenchDiff { aligned, only_old, only_new }
+    BenchDiff {
+        aligned,
+        only_old,
+        only_new,
+    }
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -301,7 +324,10 @@ pub enum Json {
 impl Json {
     /// Parses a complete JSON document (trailing whitespace allowed).
     pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
@@ -577,7 +603,10 @@ mod tests {
 
         let mut wrong_version = report.clone();
         wrong_version.schema_version = 99;
-        assert!(wrong_version.validate().unwrap_err().contains("schema_version"));
+        assert!(wrong_version
+            .validate()
+            .unwrap_err()
+            .contains("schema_version"));
 
         let mut dup = report.clone();
         dup.cases.push(sample("a", 2.0)); // bypasses upsert
@@ -595,7 +624,9 @@ mod tests {
     #[test]
     fn parse_rejects_malformed_input() {
         assert!(BenchReport::parse("not json").is_err());
-        assert!(BenchReport::parse("{}").unwrap_err().contains("schema_version"));
+        assert!(BenchReport::parse("{}")
+            .unwrap_err()
+            .contains("schema_version"));
         assert!(BenchReport::parse("{\"schema_version\": 1}").is_err());
         // Trailing garbage is an error, not silently ignored.
         let good = BenchReport::new("x").to_json();
@@ -641,8 +672,7 @@ mod tests {
 
     #[test]
     fn json_parser_handles_escapes_and_unicode() {
-        let v = Json::parse(r#"{"k": "a\"b\\c\ndAµ", "n": [1, -2.5e3, true, null]}"#)
-            .unwrap();
+        let v = Json::parse(r#"{"k": "a\"b\\c\ndAµ", "n": [1, -2.5e3, true, null]}"#).unwrap();
         let obj = v.as_object("v").unwrap();
         assert_eq!(get(obj, "k").unwrap().as_str("k").unwrap(), "a\"b\\c\ndAµ");
         let arr = get(obj, "n").unwrap().as_array("n").unwrap();

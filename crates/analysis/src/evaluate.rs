@@ -44,7 +44,12 @@ pub fn evaluate(kind: SchedulerKind, inst: &Instance, descent_passes: usize) -> 
     let out = kind.run_on(inst);
     let opt_lb = fjs_opt::best_lower_bound(inst);
     let opt_ub = fjs_opt::upper_bound_span(inst, descent_passes).span;
-    Evaluation { span: out.span, opt_lb, opt_ub, feasible: out.is_feasible() }
+    Evaluation {
+        span: out.span,
+        opt_lb,
+        opt_ub,
+        feasible: out.is_feasible(),
+    }
 }
 
 #[cfg(test)]
@@ -63,7 +68,11 @@ mod tests {
             let ev = evaluate(kind, &inst, 20);
             assert!(ev.feasible, "{}", kind.label());
             assert!(ev.opt_lb <= ev.opt_ub, "{}", kind.label());
-            assert!(ev.span >= ev.opt_lb, "{}: online below OPT lower bound?!", kind.label());
+            assert!(
+                ev.span >= ev.opt_lb,
+                "{}: online below OPT lower bound?!",
+                kind.label()
+            );
             assert!(ev.ratio_vs_ub() <= ev.ratio_vs_lb() + 1e-12);
             assert!(ev.ratio_vs_ub() >= 1.0 - 1e-9, "{}", kind.label());
         }

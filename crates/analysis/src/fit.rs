@@ -35,9 +35,16 @@ pub fn fit_affine(xs: &[f64], ys: &[f64]) -> AffineFit {
     let b = sxy / sxx;
     let a = my - b * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let ss_res: f64 =
-        xs.iter().zip(ys).map(|(x, y)| (y - (a + b * x)) * (y - (a + b * x))).sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a + b * x)) * (y - (a + b * x)))
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     AffineFit { a, b, r2 }
 }
 

@@ -26,7 +26,11 @@ pub struct GanttOptions {
 
 impl Default for GanttOptions {
     fn default() -> Self {
-        GanttOptions { width: 64, annotate: true, max_jobs: 40 }
+        GanttOptions {
+            width: 64,
+            annotate: true,
+            max_jobs: 40,
+        }
     }
 }
 
@@ -43,7 +47,11 @@ pub fn render_gantt(inst: &Instance, schedule: &Schedule, opts: GanttOptions) ->
         .iter()
         .filter_map(|(id, job)| schedule.start(id).map(|s| (s + job.length()).get()))
         .fold(inst.horizon().expect("non-empty").get(), f64::max);
-    let scale = if t1 > t0 { (opts.width - 1) as f64 / (t1 - t0) } else { 1.0 };
+    let scale = if t1 > t0 {
+        (opts.width - 1) as f64 / (t1 - t0)
+    } else {
+        1.0
+    };
     let col = |t: f64| -> usize { (((t - t0) * scale).round() as usize).min(opts.width - 1) };
 
     let shown = inst.len().min(opts.max_jobs);
@@ -96,7 +104,14 @@ pub fn render_gantt(inst: &Instance, schedule: &Schedule, opts: GanttOptions) ->
     let left = trim(t0);
     let right = trim(t1);
     let pad = opts.width.saturating_sub(left.len() + right.len());
-    let _ = writeln!(out, "{:>label_w$}  {}{}{}", "", left, " ".repeat(pad), right);
+    let _ = writeln!(
+        out,
+        "{:>label_w$}  {}{}{}",
+        "",
+        left,
+        " ".repeat(pad),
+        right
+    );
     out
 }
 
@@ -109,7 +124,11 @@ pub fn render_busy_strip(inst: &Instance, schedule: &Schedule, width: usize) -> 
     let busy = schedule.busy_set(inst);
     let t0 = inst.first_arrival().expect("non-empty").get();
     let t1 = busy.hi().map_or(t0 + 1.0, |h| h.get());
-    let scale = if t1 > t0 { (t1 - t0) / width as f64 } else { 1.0 };
+    let scale = if t1 > t0 {
+        (t1 - t0) / width as f64
+    } else {
+        1.0
+    };
     (0..width)
         .map(|i| {
             let mid = t0 + (i as f64 + 0.5) * scale;
@@ -137,10 +156,7 @@ mod tests {
     use fjs_core::time::t;
 
     fn setup() -> (Instance, Schedule) {
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 5.0, 2.0),
-            Job::adp(1.0, 9.0, 3.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 5.0, 2.0), Job::adp(1.0, 9.0, 3.0)]);
         let s = Schedule::from_starts(2, [(JobId(0), t(3.0)), (JobId(1), t(3.0))]);
         (inst, s)
     }
@@ -178,17 +194,25 @@ mod tests {
     fn truncates_many_jobs() {
         let jobs: Vec<Job> = (0..50).map(|i| Job::adp(i as f64, i as f64, 1.0)).collect();
         let inst = Instance::new(jobs);
-        let sched = Schedule::from_starts(
-            50,
-            (0..50u32).map(|i| (JobId(i), t(i as f64))),
+        let sched = Schedule::from_starts(50, (0..50u32).map(|i| (JobId(i), t(i as f64))));
+        let g = render_gantt(
+            &inst,
+            &sched,
+            GanttOptions {
+                max_jobs: 10,
+                ..Default::default()
+            },
         );
-        let g = render_gantt(&inst, &sched, GanttOptions { max_jobs: 10, ..Default::default() });
         assert!(g.contains("40 more jobs"));
     }
 
     #[test]
     fn empty_instance() {
-        let g = render_gantt(&Instance::empty(), &Schedule::with_len(0), GanttOptions::default());
+        let g = render_gantt(
+            &Instance::empty(),
+            &Schedule::with_len(0),
+            GanttOptions::default(),
+        );
         assert!(g.contains("empty"));
     }
 }

@@ -29,11 +29,16 @@ impl Summary {
         let std = if n <= 1 {
             0.0
         } else {
-            let var =
-                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
             var.sqrt()
         };
-        Summary { n, mean, min, max, std }
+        Summary {
+            n,
+            mean,
+            min,
+            max,
+            std,
+        }
     }
 
     /// `mean ± std` rendering.

@@ -28,8 +28,12 @@ fn bench_bounds(c: &mut Collector) {
     let sizes: &[usize] = if quick() { &[500] } else { &[1_000, 10_000] };
     for &n in sizes {
         let inst = bench_instance(n, 3);
-        c.case(&format!("opt-bounds/lb_chain/{n}"), || fjs_opt::lb_chain(&inst));
-        c.case(&format!("opt-bounds/lb_mandatory/{n}"), || fjs_opt::lb_mandatory(&inst));
+        c.case(&format!("opt-bounds/lb_chain/{n}"), || {
+            fjs_opt::lb_chain(&inst)
+        });
+        c.case(&format!("opt-bounds/lb_mandatory/{n}"), || {
+            fjs_opt::lb_mandatory(&inst)
+        });
     }
 }
 
@@ -42,7 +46,9 @@ fn bench_exact(c: &mut Collector) {
         Job::adp(5.0, 9.0, 1.0),
         Job::adp(6.0, 10.0, 2.0),
     ]);
-    c.case("exact-optimal/dp-n6", || fjs_opt::optimal_span_dp(&inst).unwrap());
+    c.case("exact-optimal/dp-n6", || {
+        fjs_opt::optimal_span_dp(&inst).unwrap()
+    });
     let n = if quick() { 50 } else { 200 };
     let big = bench_instance(n, 5);
     c.case(&format!("exact-optimal/descent-n{n}"), || {
@@ -63,7 +69,14 @@ fn bench_packing(c: &mut Collector) {
             pack(&items, Packer::FirstFit).total_usage
         });
         c.case(&format!("dbp-packing/cd-first-fit/{n}"), || {
-            pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }).total_usage
+            pack(
+                &items,
+                Packer::ClassifiedFirstFit {
+                    alpha: 2.0,
+                    base: 1.0,
+                },
+            )
+            .total_usage
         });
     }
 }

@@ -9,7 +9,11 @@ fn main() {
     let mut c = Collector::new();
     let exps = all();
     // Quick mode smokes the pipeline on the first two experiments only.
-    let take = if quick() { 2.min(exps.len()) } else { exps.len() };
+    let take = if quick() {
+        2.min(exps.len())
+    } else {
+        exps.len()
+    };
     if take < exps.len() {
         println!("quick mode: timing {take} of {} experiments", exps.len());
     }

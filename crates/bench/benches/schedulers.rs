@@ -8,15 +8,22 @@ use fjs_schedulers::SchedulerKind;
 use fjs_workloads::Scenario;
 
 fn bench_schedulers(c: &mut Collector) {
-    let sizes: &[usize] = if quick() { &[100] } else { &[100, 1_000, 10_000] };
+    let sizes: &[usize] = if quick() {
+        &[100]
+    } else {
+        &[100, 1_000, 10_000]
+    };
     for &n in sizes {
         let inst = Scenario::CloudBatch.generate(n, 42);
         for kind in SchedulerKind::full_set() {
-            c.case(&format!("scheduler-throughput/{}/{n}", kind.label()), || {
-                let out = kind.run_on(&inst);
-                assert!(out.is_feasible());
-                out.span
-            });
+            c.case(
+                &format!("scheduler-throughput/{}/{n}", kind.label()),
+                || {
+                    let out = kind.run_on(&inst);
+                    assert!(out.is_feasible());
+                    out.span
+                },
+            );
         }
     }
 }

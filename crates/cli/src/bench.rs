@@ -132,6 +132,31 @@ fn serve_throughput_case() -> BenchSample {
     })
 }
 
+/// The `serve-throughput-1k-w4` workload: the same service path as
+/// `serve-throughput-1k` but through the pooled backend with 4 worker
+/// threads and 8 sessions, so the per-session work shards across
+/// workers. On a multi-core runner this should beat the serial case by
+/// roughly the worker count; on one core it measures pool overhead.
+fn serve_throughput_pooled_case() -> BenchSample {
+    let script = crate::loadgen::emit_script(&crate::loadgen::LoadgenOptions {
+        jobs: 1000,
+        sessions: 8,
+        seed: 0x5eed_10ad,
+        ..crate::loadgen::LoadgenOptions::default()
+    });
+    let opts = crate::serve::ServeOptions {
+        workers: 4,
+        ..crate::serve::ServeOptions::default()
+    };
+    time_case("serve-throughput-1k-w4", || {
+        let out =
+            crate::serve::run_script_pooled(&script, opts.clone()).expect("bench script must run");
+        assert_eq!(out.summary.jobs, 1000, "bench script must admit every job");
+        assert!(out.summary.halted.is_none());
+        out.summary.decision_lines as f64
+    })
+}
+
 /// Runs the whole suite and returns the schema-v1 report.
 pub fn run_bench_suite() -> BenchReport {
     let mut report = BenchReport::new(git_describe());
@@ -140,6 +165,7 @@ pub fn run_bench_suite() -> BenchReport {
     report.upsert(engine_case());
     report.upsert(interval_union_case());
     report.upsert(serve_throughput_case());
+    report.upsert(serve_throughput_pooled_case());
     report
 }
 

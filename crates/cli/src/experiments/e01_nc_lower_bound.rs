@@ -50,7 +50,9 @@ pub fn duel(kind: SchedulerKind, mu: f64, k: usize, n_per_iter: usize) -> DuelRe
     let prescribed = adv
         .prescribed_schedule(&out.instance)
         .expect("Lemma 3.2 runtime check: earmarks startable at the final release");
-    prescribed.validate(&out.instance).expect("prescribed schedule feasible");
+    prescribed
+        .validate(&out.instance)
+        .expect("prescribed schedule feasible");
     let prescribed_span = prescribed.span(&out.instance).get();
     DuelResult {
         scheduler: kind.label(),
@@ -79,7 +81,8 @@ pub fn run_experiment(profile: Profile) -> Vec<Table> {
     let cells: Vec<(SchedulerKind, f64, usize)> = kinds
         .iter()
         .flat_map(|&kind| {
-            mus.iter().flat_map(move |&mu| ks.iter().map(move |&k| (kind, mu, k)))
+            mus.iter()
+                .flat_map(move |&mu| ks.iter().map(move |&k| (kind, mu, k)))
         })
         .collect();
     let results = parallel_map(&cells, |&(kind, mu, k)| duel(kind, mu, k, n));
@@ -127,7 +130,12 @@ mod tests {
         assert_eq!(r.released, 5, "Batch crosses every threshold");
         // The certified ratio should be at least the full-course value
         // (the online span also pays the last iteration's unit jobs).
-        assert!(r.ratio >= r.full_course_ratio * 0.9, "ratio {} vs {}", r.ratio, r.full_course_ratio);
+        assert!(
+            r.ratio >= r.full_course_ratio * 0.9,
+            "ratio {} vs {}",
+            r.ratio,
+            r.full_course_ratio
+        );
     }
 
     #[test]
@@ -135,7 +143,10 @@ mod tests {
         let r1 = duel(SchedulerKind::BatchPlus, 4.0, 1, 64);
         let r8 = duel(SchedulerKind::BatchPlus, 4.0, 8, 64);
         assert!(r8.ratio > r1.ratio, "{} vs {}", r8.ratio, r1.ratio);
-        assert!(r8.ratio < 4.0 + 1.0 + 1e-9, "cannot exceed Batch+'s bound μ+1");
+        assert!(
+            r8.ratio < 4.0 + 1.0 + 1e-9,
+            "cannot exceed Batch+'s bound μ+1"
+        );
     }
 
     #[test]

@@ -41,16 +41,29 @@ pub fn measure(m: usize, mu: f64, eps: f64) -> Fig2Result {
 /// Experiment runner.
 pub fn run(profile: Profile) -> Vec<Table> {
     let eps = 1e-3;
-    let ms: &[usize] = profile.pick(&[1, 8, 64][..], &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..]);
+    let ms: &[usize] = profile.pick(
+        &[1, 8, 64][..],
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..],
+    );
     let mus: &[f64] = profile.pick(&[4.0][..], &[2.0, 4.0, 8.0][..]);
 
-    let cells: Vec<(usize, f64)> =
-        mus.iter().flat_map(|&mu| ms.iter().map(move |&m| (m, mu))).collect();
+    let cells: Vec<(usize, f64)> = mus
+        .iter()
+        .flat_map(|&mu| ms.iter().map(move |&m| (m, mu)))
+        .collect();
     let results = parallel_map(&cells, |&(m, mu)| measure(m, mu, eps));
 
     let mut t = Table::new(
         "E2 (Thm 3.4 / Fig 2): Batch on the 2μ tightness instance",
-        &["mu", "m", "Batch span", "prescribed span", "ratio", "2mu target", "2mu+1 bound"],
+        &[
+            "mu",
+            "m",
+            "Batch span",
+            "prescribed span",
+            "ratio",
+            "2mu target",
+            "2mu+1 bound",
+        ],
     );
     for r in &results {
         t.push_row(vec![

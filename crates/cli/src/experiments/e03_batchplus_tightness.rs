@@ -30,7 +30,11 @@ pub struct Fig3Result {
 /// Runs Batch+ (and Batch) on one Figure 3 instance.
 pub fn measure(m: usize, mu: f64, eps: f64) -> Fig3Result {
     let tight = fig3_batch_plus_tightness(m, mu, eps);
-    let plus = run_static(&tight.instance, Clairvoyance::NonClairvoyant, BatchPlus::new());
+    let plus = run_static(
+        &tight.instance,
+        Clairvoyance::NonClairvoyant,
+        BatchPlus::new(),
+    );
     let plain = run_static(&tight.instance, Clairvoyance::NonClairvoyant, Batch::new());
     assert!(plus.is_feasible() && plain.is_feasible());
     Fig3Result {
@@ -46,16 +50,29 @@ pub fn measure(m: usize, mu: f64, eps: f64) -> Fig3Result {
 /// Experiment runner.
 pub fn run(profile: Profile) -> Vec<Table> {
     let eps = 1e-3;
-    let ms: &[usize] = profile.pick(&[1, 8, 64][..], &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..]);
+    let ms: &[usize] = profile.pick(
+        &[1, 8, 64][..],
+        &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512][..],
+    );
     let mus: &[f64] = profile.pick(&[4.0][..], &[2.0, 4.0, 8.0][..]);
 
-    let cells: Vec<(usize, f64)> =
-        mus.iter().flat_map(|&mu| ms.iter().map(move |&m| (m, mu))).collect();
+    let cells: Vec<(usize, f64)> = mus
+        .iter()
+        .flat_map(|&mu| ms.iter().map(move |&m| (m, mu)))
+        .collect();
     let results = parallel_map(&cells, |&(m, mu)| measure(m, mu, eps));
 
     let mut t = Table::new(
         "E3 (Thm 3.5 / Fig 3): Batch+ on the μ+1 tightness instance",
-        &["mu", "m", "Batch+ span", "Batch span", "prescribed span", "ratio", "mu+1 bound"],
+        &[
+            "mu",
+            "m",
+            "Batch+ span",
+            "Batch span",
+            "prescribed span",
+            "ratio",
+            "mu+1 bound",
+        ],
     );
     for r in &results {
         t.push_row(vec![
@@ -116,7 +133,10 @@ mod tests {
             assert!(r.ratio <= mu + 1.0 + 1e-9, "Theorem 3.5 upper bound");
             prev = r.ratio;
         }
-        assert!(prev > (mu + 1.0) * 0.97, "m=256 within 3% of μ+1, got {prev}");
+        assert!(
+            prev > (mu + 1.0) * 0.97,
+            "m=256 within 3% of μ+1, got {prev}"
+        );
     }
 
     #[test]

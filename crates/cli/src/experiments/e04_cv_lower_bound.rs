@@ -39,7 +39,9 @@ pub fn duel(kind: SchedulerKind, n: usize) -> CvDuelResult {
     let out = simulate(&mut adv, kind.build());
     assert!(out.is_feasible(), "{} violated feasibility", kind.label());
     let prescribed = adv.prescribed_schedule(&out.instance);
-    prescribed.validate(&out.instance).expect("prescribed schedule feasible");
+    prescribed
+        .validate(&out.instance)
+        .expect("prescribed schedule feasible");
     let prescribed_span = prescribed.span(&out.instance).get();
     CvDuelResult {
         scheduler: kind.label(),
@@ -133,15 +135,25 @@ mod tests {
     #[test]
     fn cdb_declines_and_pays_phi_exactly() {
         let r = duel(SchedulerKind::cdb_optimal(), 20);
-        assert!(!r.full_course, "CDB buffers the long job in its own category");
+        assert!(
+            !r.full_course,
+            "CDB buffers the long job in its own category"
+        );
         assert_eq!(r.released, 1);
-        assert!((r.ratio - phi()).abs() < 1e-9, "exact φ branch, got {}", r.ratio);
+        assert!(
+            (r.ratio - phi()).abs() < 1e-9,
+            "exact φ branch, got {}",
+            r.ratio
+        );
     }
 
     #[test]
     fn doubler_declines_and_pays_phi() {
         let r = duel(SchedulerKind::Doubler { c: 1.0 }, 10);
-        assert!(!r.full_course, "Doubler waits φ > 1 before starting the long job");
+        assert!(
+            !r.full_course,
+            "Doubler waits φ > 1 before starting the long job"
+        );
         assert!((r.ratio - phi()).abs() < 1e-9, "got {}", r.ratio);
     }
 

@@ -46,9 +46,8 @@ pub fn analyze(scenario: Scenario, n: usize, seed: u64) -> FlagGraphResult {
     let flags = profit.flag_jobs();
     let graph = FlagGraph::from_outcome(&out, &flags);
     let stats = graph.tree_stats();
-    let lemmas_hold = graph.is_forest()
-        && graph.check_lemma_4_6().is_ok()
-        && graph.check_lemma_4_9().is_ok();
+    let lemmas_hold =
+        graph.is_forest() && graph.check_lemma_4_6().is_ok() && graph.check_lemma_4_9().is_ok();
     FlagGraphResult {
         scenario: scenario.name(),
         seed,
@@ -94,7 +93,11 @@ pub fn run(profile: Profile) -> Vec<Table> {
             format!("{}", r.trees),
             format!("{}", r.max_height),
             format!("{}", r.max_size),
-            if r.lemmas_hold { "hold".into() } else { "VIOLATED".into() },
+            if r.lemmas_hold {
+                "hold".into()
+            } else {
+                "VIOLATED".into()
+            },
         ]);
     }
     vec![t]

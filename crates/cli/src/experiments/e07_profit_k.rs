@@ -32,14 +32,21 @@ pub fn sweep_k(k: f64, scenario: Scenario, n: usize, seeds: &[u64]) -> KResult {
     });
     let lb: Vec<f64> = evals.iter().map(|e| e.ratio_vs_lb()).collect();
     let ub: Vec<f64> = evals.iter().map(|e| e.ratio_vs_ub()).collect();
-    KResult { k, ratio_vs_lb: Summary::of(&lb), ratio_vs_ub: Summary::of(&ub), bound: profit_bound(k) }
+    KResult {
+        k,
+        ratio_vs_lb: Summary::of(&lb),
+        ratio_vs_ub: Summary::of(&ub),
+        bound: profit_bound(k),
+    }
 }
 
 /// Experiment runner.
 pub fn run(profile: Profile) -> Vec<Table> {
     let ks: &[f64] = profile.pick(
         &[1.2, OPTIMAL_K, 3.0][..],
-        &[1.05, 1.1, 1.2, 1.4, 1.6, OPTIMAL_K, 1.9, 2.2, 2.6, 3.0, 4.0, 6.0][..],
+        &[
+            1.05, 1.1, 1.2, 1.4, 1.6, OPTIMAL_K, 1.9, 2.2, 2.6, 3.0, 4.0, 6.0,
+        ][..],
     );
     let n = profile.pick(120, 400);
     let seeds: Vec<u64> = (1..=profile.pick(4u64, 12u64)).collect();

@@ -47,7 +47,11 @@ pub fn mu_sweep_spec(n: usize, mu: f64) -> WorkloadSpec {
     WorkloadSpec {
         n,
         arrivals: ArrivalProcess::Poisson { rate: 1.0 },
-        lengths: LengthLaw::Bimodal { short: 1.0, long: mu, p_long: 0.3 },
+        lengths: LengthLaw::Bimodal {
+            short: 1.0,
+            long: mu,
+            p_long: 0.3,
+        },
         laxity: LaxityModel::Proportional { factor: 2.0 },
     }
 }
@@ -72,7 +76,13 @@ pub fn run(profile: Profile) -> Vec<Table> {
     // Part 1: scenario grid.
     let mut t = Table::new(
         format!("E8a: scheduler × scenario (n={n}, {} seeds)", seeds.len()),
-        &["scenario", "scheduler", "span (mean±std)", "ratio vs LB", "ratio vs UB"],
+        &[
+            "scenario",
+            "scheduler",
+            "span (mean±std)",
+            "ratio vs LB",
+            "ratio vs UB",
+        ],
     );
     for scenario in Scenario::all() {
         let spec = scenario.spec(n);
@@ -112,14 +122,27 @@ pub fn run(profile: Profile) -> Vec<Table> {
     // Part 3: laxity sweep.
     let factors: &[f64] = profile.pick(&[0.0, 2.0][..], &[0.0, 0.5, 1.0, 2.0, 5.0, 20.0][..]);
     let mut t = Table::new(
-        format!("E8c: laxity-sweep (proportional factor; n={n}, {} seeds)", seeds.len()),
-        &["laxity factor", "scheduler", "span (mean±std)", "ratio vs LB"],
+        format!(
+            "E8c: laxity-sweep (proportional factor; n={n}, {} seeds)",
+            seeds.len()
+        ),
+        &[
+            "laxity factor",
+            "scheduler",
+            "span (mean±std)",
+            "ratio vs LB",
+        ],
     );
     for &f in factors {
         let spec = laxity_sweep_spec(n, f);
         for &kind in &kinds {
             let c = eval_cell(kind, &spec, &seeds);
-            t.push_row(vec![format!("{f}"), c.scheduler, c.span.pm(), c.ratio_vs_lb.pm()]);
+            t.push_row(vec![
+                format!("{f}"),
+                c.scheduler,
+                c.span.pm(),
+                c.ratio_vs_lb.pm(),
+            ]);
         }
     }
     tables.push(t);
@@ -142,7 +165,10 @@ mod tests {
             .map(|&k| eval_cell(k, &spec, &seeds).span.mean)
             .collect();
         for s in &spans {
-            assert!((s - spans[0]).abs() < 1e-9, "spans differ on rigid jobs: {spans:?}");
+            assert!(
+                (s - spans[0]).abs() < 1e-9,
+                "spans differ on rigid jobs: {spans:?}"
+            );
         }
     }
 

@@ -86,11 +86,18 @@ pub fn run(profile: Profile) -> Vec<Table> {
         Packer::FirstFit,
         Packer::BestFit,
         Packer::NextFit,
-        Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 },
+        Packer::ClassifiedFirstFit {
+            alpha: 2.0,
+            base: 1.0,
+        },
     ];
 
     let mut tables = Vec::new();
-    for scenario in [Scenario::CloudBatch, Scenario::SlackRich, Scenario::BurstyAnalytics] {
+    for scenario in [
+        Scenario::CloudBatch,
+        Scenario::SlackRich,
+        Scenario::BurstyAnalytics,
+    ] {
         let mut t = Table::new(
             format!(
                 "E9 (§5): generalized MinUsageTime DBP on {} (n={n}, {} seeds)",
@@ -133,9 +140,20 @@ mod tests {
     #[test]
     fn span_schedulers_cut_usage_on_slack_rich() {
         let seeds = [1, 2, 3];
-        let eager = eval_cell(SchedulerKind::Eager, Packer::FirstFit, Scenario::SlackRich, 150, &seeds);
-        let plus =
-            eval_cell(SchedulerKind::BatchPlus, Packer::FirstFit, Scenario::SlackRich, 150, &seeds);
+        let eager = eval_cell(
+            SchedulerKind::Eager,
+            Packer::FirstFit,
+            Scenario::SlackRich,
+            150,
+            &seeds,
+        );
+        let plus = eval_cell(
+            SchedulerKind::BatchPlus,
+            Packer::FirstFit,
+            Scenario::SlackRich,
+            150,
+            &seeds,
+        );
         assert!(
             plus.usage.mean < eager.usage.mean,
             "Batch+ usage {} should beat rigid Eager {}",
@@ -146,7 +164,13 @@ mod tests {
 
     #[test]
     fn usage_always_at_least_lower_bound() {
-        for &packer in &[Packer::FirstFit, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }] {
+        for &packer in &[
+            Packer::FirstFit,
+            Packer::ClassifiedFirstFit {
+                alpha: 2.0,
+                base: 1.0,
+            },
+        ] {
             let c = eval_cell(
                 SchedulerKind::profit_optimal(),
                 packer,

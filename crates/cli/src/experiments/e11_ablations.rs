@@ -29,10 +29,22 @@ pub struct PlusAblation {
 
 /// Runs both Batch variants on one static instance.
 pub fn batch_vs_plus(label: &str, inst: &fjs_core::job::Instance) -> PlusAblation {
-    let b = run_static(inst, Clairvoyance::NonClairvoyant, fjs_schedulers::Batch::new());
-    let bp = run_static(inst, Clairvoyance::NonClairvoyant, fjs_schedulers::BatchPlus::new());
+    let b = run_static(
+        inst,
+        Clairvoyance::NonClairvoyant,
+        fjs_schedulers::Batch::new(),
+    );
+    let bp = run_static(
+        inst,
+        Clairvoyance::NonClairvoyant,
+        fjs_schedulers::BatchPlus::new(),
+    );
     assert!(b.is_feasible() && bp.is_feasible());
-    PlusAblation { instance: label.to_string(), batch: b.span.get(), batch_plus: bp.span.get() }
+    PlusAblation {
+        instance: label.to_string(),
+        batch: b.span.get(),
+        batch_plus: bp.span.get(),
+    }
 }
 
 /// Mean pessimistic ratio of a parameterized scheduler over seeds.
@@ -62,8 +74,14 @@ pub fn run(profile: Profile) -> Vec<Table> {
     for (label, inst) in [
         (format!("Fig2(m={m}, μ={mu})"), &fig2.instance),
         (format!("Fig3(m={m}, μ={mu})"), &fig3.instance),
-        ("cloud-batch(seed=1)".to_string(), &Scenario::CloudBatch.generate(n, 1)),
-        ("slack-rich(seed=1)".to_string(), &Scenario::SlackRich.generate(n, 1)),
+        (
+            "cloud-batch(seed=1)".to_string(),
+            &Scenario::CloudBatch.generate(n, 1),
+        ),
+        (
+            "slack-rich(seed=1)".to_string(),
+            &Scenario::SlackRich.generate(n, 1),
+        ),
     ] {
         let r = batch_vs_plus(&label, inst);
         t.push_row(vec![
@@ -77,11 +95,21 @@ pub fn run(profile: Profile) -> Vec<Table> {
 
     // Part 2: CDB base offset.
     let mut t = Table::new(
-        format!("E11b: CDB base-offset sensitivity (α*={:.4}, n={n})", optimal_alpha()),
-        &["base b", "ratio vs LB (cloud-batch)", "ratio vs LB (bursty)"],
+        format!(
+            "E11b: CDB base-offset sensitivity (α*={:.4}, n={n})",
+            optimal_alpha()
+        ),
+        &[
+            "base b",
+            "ratio vs LB (cloud-batch)",
+            "ratio vs LB (bursty)",
+        ],
     );
     for &base in profile.pick(&[0.5, 1.0, 2.0][..], &[0.25, 0.5, 1.0, 1.5, 2.0, 4.0][..]) {
-        let kind = SchedulerKind::Cdb { alpha: optimal_alpha(), base };
+        let kind = SchedulerKind::Cdb {
+            alpha: optimal_alpha(),
+            base,
+        };
         let cb = mean_ratio(kind, Scenario::CloudBatch, n, &seeds);
         let ba = mean_ratio(kind, Scenario::BurstyAnalytics, n, &seeds);
         t.push_row(vec![format!("{base}"), cb.pm(), ba.pm()]);
@@ -133,13 +161,19 @@ mod tests {
     fn cdb_base_sensitivity_is_mild() {
         let seeds = [1, 2, 3];
         let r1 = mean_ratio(
-            SchedulerKind::Cdb { alpha: optimal_alpha(), base: 0.5 },
+            SchedulerKind::Cdb {
+                alpha: optimal_alpha(),
+                base: 0.5,
+            },
             Scenario::CloudBatch,
             120,
             &seeds,
         );
         let r2 = mean_ratio(
-            SchedulerKind::Cdb { alpha: optimal_alpha(), base: 2.0 },
+            SchedulerKind::Cdb {
+                alpha: optimal_alpha(),
+                base: 2.0,
+            },
             Scenario::CloudBatch,
             120,
             &seeds,

@@ -42,7 +42,11 @@ pub fn eval_cell(
         let out = kind.run_on(&inst);
         assert!(out.is_feasible());
         let bt = assign_busy_time(&out.instance, &out.schedule, g);
-        (bt.total_busy_time.get(), bt.machines as f64, bt.lower_bound.get())
+        (
+            bt.total_busy_time.get(),
+            bt.machines as f64,
+            bt.lower_bound.get(),
+        )
     });
     BusyCell {
         scheduler: kind.label(),
@@ -72,13 +76,24 @@ pub fn run(profile: Profile) -> Vec<Table> {
                 scenario.name(),
                 seeds.len()
             ),
-            &["g", "scheduler", "busy time (mean)", "machines (mean)", "LB (mean)", "busy/LB"],
+            &[
+                "g",
+                "scheduler",
+                "busy time (mean)",
+                "machines (mean)",
+                "LB (mean)",
+                "busy/LB",
+            ],
         );
         for &g in gs {
             for &kind in &kinds {
                 let c = eval_cell(kind, g, scenario, n, &seeds);
                 t.push_row(vec![
-                    if g >= 1_000_000 { "inf".into() } else { format!("{g}") },
+                    if g >= 1_000_000 {
+                        "inf".into()
+                    } else {
+                        format!("{g}")
+                    },
                     c.scheduler.clone(),
                     f3(c.busy.mean),
                     f3(c.machines.mean),
@@ -100,27 +115,59 @@ mod tests {
     fn g_one_equalizes_all_schedulers() {
         let seeds = [1, 2];
         let a = eval_cell(SchedulerKind::Eager, 1, Scenario::CloudBatch, 100, &seeds);
-        let b = eval_cell(SchedulerKind::BatchPlus, 1, Scenario::CloudBatch, 100, &seeds);
+        let b = eval_cell(
+            SchedulerKind::BatchPlus,
+            1,
+            Scenario::CloudBatch,
+            100,
+            &seeds,
+        );
         // With unit capacity, busy time = total work regardless of starts.
-        assert!((a.busy.mean - b.busy.mean).abs() < 1e-6, "{} vs {}", a.busy.mean, b.busy.mean);
+        assert!(
+            (a.busy.mean - b.busy.mean).abs() < 1e-6,
+            "{} vs {}",
+            a.busy.mean,
+            b.busy.mean
+        );
     }
 
     #[test]
     fn huge_g_reduces_to_span_ranking() {
         let seeds = [3, 4];
-        let eager = eval_cell(SchedulerKind::Eager, 1_000_000, Scenario::SlackRich, 120, &seeds);
-        let plus = eval_cell(SchedulerKind::BatchPlus, 1_000_000, Scenario::SlackRich, 120, &seeds);
+        let eager = eval_cell(
+            SchedulerKind::Eager,
+            1_000_000,
+            Scenario::SlackRich,
+            120,
+            &seeds,
+        );
+        let plus = eval_cell(
+            SchedulerKind::BatchPlus,
+            1_000_000,
+            Scenario::SlackRich,
+            120,
+            &seeds,
+        );
         assert!(
             plus.busy.mean < eager.busy.mean,
             "span-minimizing scheduler must win at unbounded capacity"
         );
-        assert!((eager.machines.mean - 1.0).abs() < 1e-9, "one machine suffices");
+        assert!(
+            (eager.machines.mean - 1.0).abs() < 1e-9,
+            "one machine suffices"
+        );
     }
 
     #[test]
     fn busy_time_never_below_lb() {
         for g in [1, 3, 10] {
-            let c = eval_cell(SchedulerKind::profit_optimal(), g, Scenario::CloudBatch, 100, &[5]);
+            let c = eval_cell(
+                SchedulerKind::profit_optimal(),
+                g,
+                Scenario::CloudBatch,
+                100,
+                &[5],
+            );
             assert!(c.busy.mean >= c.lb.mean - 1e-9);
         }
     }

@@ -36,12 +36,22 @@ pub fn run(profile: Profile) -> Vec<Table> {
         format!("E13a: is uncoordinated random delay enough? (ratio vs OPT-LB, n={n})"),
         &["scenario", "RandomStart", "Eager", "Batch+", "Profit"],
     );
-    for scenario in [Scenario::CloudBatch, Scenario::SlackRich, Scenario::BurstyAnalytics] {
+    for scenario in [
+        Scenario::CloudBatch,
+        Scenario::SlackRich,
+        Scenario::BurstyAnalytics,
+    ] {
         let rs = mean_ratio(SchedulerKind::RandomStart { seed: 99 }, scenario, n, &seeds);
         let eager = mean_ratio(SchedulerKind::Eager, scenario, n, &seeds);
         let bp = mean_ratio(SchedulerKind::BatchPlus, scenario, n, &seeds);
         let pr = mean_ratio(SchedulerKind::profit_optimal(), scenario, n, &seeds);
-        t.push_row(vec![scenario.name().into(), rs.pm(), eager.pm(), bp.pm(), pr.pm()]);
+        t.push_row(vec![
+            scenario.name().into(),
+            rs.pm(),
+            eager.pm(),
+            bp.pm(),
+            pr.pm(),
+        ]);
     }
     tables.push(t);
 
@@ -54,9 +64,25 @@ pub fn run(profile: Profile) -> Vec<Table> {
     let bp_cb = mean_ratio(SchedulerKind::BatchPlus, Scenario::CloudBatch, n, &seeds);
     let bp_sr = mean_ratio(SchedulerKind::BatchPlus, Scenario::SlackRich, n, &seeds);
     for &m in ms {
-        let th_cb = mean_ratio(SchedulerKind::Threshold { m }, Scenario::CloudBatch, n, &seeds);
-        let th_sr = mean_ratio(SchedulerKind::Threshold { m }, Scenario::SlackRich, n, &seeds);
-        t.push_row(vec![format!("{m}"), th_cb.pm(), th_sr.pm(), bp_cb.pm(), bp_sr.pm()]);
+        let th_cb = mean_ratio(
+            SchedulerKind::Threshold { m },
+            Scenario::CloudBatch,
+            n,
+            &seeds,
+        );
+        let th_sr = mean_ratio(
+            SchedulerKind::Threshold { m },
+            Scenario::SlackRich,
+            n,
+            &seeds,
+        );
+        t.push_row(vec![
+            format!("{m}"),
+            th_cb.pm(),
+            th_sr.pm(),
+            bp_cb.pm(),
+            bp_sr.pm(),
+        ]);
     }
     tables.push(t);
 
@@ -70,7 +96,12 @@ mod tests {
     #[test]
     fn random_delay_does_not_beat_batching_on_slack_rich() {
         let seeds = [1, 2, 3, 4];
-        let rs = mean_ratio(SchedulerKind::RandomStart { seed: 5 }, Scenario::SlackRich, 150, &seeds);
+        let rs = mean_ratio(
+            SchedulerKind::RandomStart { seed: 5 },
+            Scenario::SlackRich,
+            150,
+            &seeds,
+        );
         let bp = mean_ratio(SchedulerKind::BatchPlus, Scenario::SlackRich, 150, &seeds);
         assert!(
             bp.mean <= rs.mean + 1e-9,
@@ -83,7 +114,12 @@ mod tests {
     #[test]
     fn threshold_one_matches_eager() {
         let seeds = [7];
-        let th = mean_ratio(SchedulerKind::Threshold { m: 1 }, Scenario::CloudBatch, 100, &seeds);
+        let th = mean_ratio(
+            SchedulerKind::Threshold { m: 1 },
+            Scenario::CloudBatch,
+            100,
+            &seeds,
+        );
         let eager = mean_ratio(SchedulerKind::Eager, Scenario::CloudBatch, 100, &seeds);
         assert!((th.mean - eager.mean).abs() < 1e-9);
     }

@@ -24,7 +24,11 @@ pub fn spec(n: usize, mu: f64) -> WorkloadSpec {
     WorkloadSpec {
         n,
         arrivals: ArrivalProcess::Poisson { rate: 1.0 },
-        lengths: LengthLaw::Bimodal { short: 1.0, long: mu, p_long: 0.3 },
+        lengths: LengthLaw::Bimodal {
+            short: 1.0,
+            long: mu,
+            p_long: 0.3,
+        },
         laxity: LaxityModel::Proportional { factor: 2.0 },
     }
 }
@@ -47,7 +51,13 @@ pub fn run(profile: Profile) -> Vec<Table> {
     let ladder = [
         ("none (Batch+)", SchedulerKind::BatchPlus),
         ("class only (SemiCDB)", SchedulerKind::SemiCdb),
-        ("full (CDB α=2)", SchedulerKind::Cdb { alpha: 2.0, base: 1.0 }),
+        (
+            "full (CDB α=2)",
+            SchedulerKind::Cdb {
+                alpha: 2.0,
+                base: 1.0,
+            },
+        ),
         ("full (Profit k*)", SchedulerKind::profit_optimal()),
     ];
 
@@ -57,7 +67,13 @@ pub fn run(profile: Profile) -> Vec<Table> {
              ratio vs OPT-LB",
             seeds.len()
         ),
-        &["mu", "none (Batch+)", "class only (SemiCDB)", "full (CDB α=2)", "full (Profit k*)"],
+        &[
+            "mu",
+            "none (Batch+)",
+            "class only (SemiCDB)",
+            "full (CDB α=2)",
+            "full (Profit k*)",
+        ],
     );
     for &mu in mus {
         let cells: Vec<String> = ladder
@@ -80,8 +96,21 @@ mod tests {
         // The class-only rung must coincide with CDB(2,1) exactly.
         let seeds = [1, 2, 3];
         let semi = ratio_at(SchedulerKind::SemiCdb, 120, 8.0, &seeds);
-        let full = ratio_at(SchedulerKind::Cdb { alpha: 2.0, base: 1.0 }, 120, 8.0, &seeds);
-        assert!((semi.mean - full.mean).abs() < 1e-12, "{} vs {}", semi.mean, full.mean);
+        let full = ratio_at(
+            SchedulerKind::Cdb {
+                alpha: 2.0,
+                base: 1.0,
+            },
+            120,
+            8.0,
+            &seeds,
+        );
+        assert!(
+            (semi.mean - full.mean).abs() < 1e-12,
+            "{} vs {}",
+            semi.mean,
+            full.mean
+        );
     }
 
     #[test]

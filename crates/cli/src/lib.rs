@@ -18,6 +18,6 @@ pub mod serve;
 pub mod soak;
 
 pub use experiments::{all, by_id, Experiment, Profile};
-pub use loadgen::{emit_script, DriveReport, LoadgenOptions};
+pub use loadgen::{drive, emit_script, DriveReport, DriveTarget, LatencyHistogram, LoadgenOptions};
 pub use serve::{run_script, ScriptOutcome, ServeOptions, ServeSummary, Server};
 pub use soak::{run_soak, SoakOptions, SoakSummary};

@@ -60,12 +60,13 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs soak <scheduler|all|chaos> --journal <file> [--cells <n>] [--seed <s>]\n\
  \u{20}               [--seconds <s> | --minutes <m>] [--resume] [--watchdog-events <n>]\n\
  \u{20}               [--poison panic|hang] [--trace <file.csv>] [--throttle-ms <n>] [--shards <n>]\n\
- \u{20}      fjs serve [--input <file> | --socket <path>] [--log <file>] [--journal <file>]\n\
- \u{20}                [--resume] [--max-sessions <n>] [--max-pending <n>] [--watchdog-events <n>]\n\
- \u{20}                [--quarantine halt|skip|dead-letter] [--checkpoint-every <n>] [--throttle-ms <n>]\n\
- \u{20}      fjs loadgen (--emit <file|-> | --socket <path>) [--sessions <n>] [--jobs <n>]\n\
- \u{20}                [--rate <r>] [--seed <s>] [--scheduler <spec>] [--mean-length <x>]\n\
- \u{20}                [--laxity <x>] [--json <file>]\n\
+ \u{20}      fjs serve [--input <file> | --socket <path> and/or --tcp <addr>] [--log <file>]\n\
+ \u{20}                [--journal <file>] [--resume] [--workers <n>] [--max-sessions <n>]\n\
+ \u{20}                [--max-pending <n>] [--watchdog-events <n>] [--quarantine halt|skip|dead-letter]\n\
+ \u{20}                [--checkpoint-every <n>] [--throttle-ms <n>]\n\
+ \u{20}      fjs loadgen (--emit <file|-> | --socket <path> | --tcp <addr>) [--sessions <n>]\n\
+ \u{20}                [--jobs <n>] [--rate <r>] [--seed <s>] [--scheduler <spec>] [--mean-length <x>]\n\
+ \u{20}                [--laxity <x>] [--concurrency <k>] [--json <file>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
@@ -928,9 +929,7 @@ fn cmd_soak(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
-    use fjs_cli::serve::{
-        install_drain_handlers, run_stream, ServeOptions, Server, Sink,
-    };
+    use fjs_cli::serve::{install_drain_handlers, net, run_stream, Backend, ServeOptions, Sink};
     use fjs_core::service::ServeJournal;
     use std::io::BufWriter;
 
@@ -941,10 +940,22 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     };
     let input = take_flag_value(&mut args, "--input")?;
     let socket = take_flag_value(&mut args, "--socket")?.map(std::path::PathBuf::from);
+    let tcp = take_flag_value(&mut args, "--tcp")?;
     let log_path = take_flag_value(&mut args, "--log")?;
     let journal_path = take_flag_value(&mut args, "--journal")?;
     let resume = take_switch(&mut args, "--resume");
     let mut opts = ServeOptions::default();
+    if let Some(v) = take_flag_value(&mut args, "--workers")? {
+        let n = parse_num("--workers", v)? as usize;
+        // `--workers 0` means "one per core".
+        opts.workers = if n == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            n
+        };
+    }
     if let Some(v) = take_flag_value(&mut args, "--max-sessions")? {
         opts.max_sessions = parse_num("--max-sessions", v)? as usize;
     }
@@ -976,9 +987,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             "serve: unexpected argument '{extra}'"
         ))));
     }
-    if input.is_some() && socket.is_some() {
+    if input.is_some() && (socket.is_some() || tcp.is_some()) {
         return Err(CliError::Usage(Some(
-            "serve: --input and --socket are mutually exclusive".into(),
+            "serve: --input and --socket/--tcp are mutually exclusive".into(),
         )));
     }
     if resume && journal_path.is_none() {
@@ -1025,40 +1036,55 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         None => None,
     };
 
-    let mut server = Server::new(opts, log, journal);
+    let mut backend = Backend::new(opts, log, journal);
     if resume {
-        server.resume(&journaled).map_err(CliError::Runtime)?;
+        backend.resume(&journaled).map_err(CliError::Runtime)?;
         eprintln!(
             "serve: resumed {} journaled event(s); input lines <= {} will be skipped",
             journaled.len(),
-            server.cursor()
+            backend.cursor()
         );
     }
 
     fjs_cli::soak::clear_stop();
     install_drain_handlers();
 
-    if let Some(sock) = socket {
-        #[cfg(unix)]
-        fjs_cli::serve::run_socket(&mut server, &sock).map_err(CliError::Runtime)?;
-        #[cfg(not(unix))]
-        {
-            let _ = sock;
-            return Err(CliError::Runtime(
-                "serve: --socket needs unix domain sockets".into(),
-            ));
+    if socket.is_some() || tcp.is_some() {
+        let mut listeners = Vec::new();
+        if let Some(sock) = &socket {
+            #[cfg(unix)]
+            match net::bind_unix(sock) {
+                Ok(l) => listeners.push(l),
+                Err(net::SocketClaimError::Live(msg)) => {
+                    return Err(CliError::Usage(Some(format!("serve: {msg}"))));
+                }
+                Err(net::SocketClaimError::Io(msg)) => {
+                    return Err(CliError::Runtime(format!("serve: {msg}")));
+                }
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = sock;
+                return Err(CliError::Runtime(
+                    "serve: --socket needs unix domain sockets".into(),
+                ));
+            }
         }
+        if let Some(addr) = &tcp {
+            listeners.push(net::bind_tcp(addr).map_err(CliError::Runtime)?);
+        }
+        net::run_connections(&mut backend, listeners).map_err(CliError::Runtime)?;
     } else if let Some(path) = input {
         let f = std::fs::File::open(&path)
             .map_err(|e| CliError::Runtime(format!("cannot open {path}: {e}")))?;
         let mut replies = std::io::stdout();
-        run_stream(&mut server, std::io::BufReader::new(f), Some(&mut replies))
+        run_stream(&mut backend, std::io::BufReader::new(f), Some(&mut replies))
             .map_err(CliError::Runtime)?;
     } else {
-        fjs_cli::serve::run_stdin(&mut server).map_err(CliError::Runtime)?;
+        fjs_cli::serve::run_stdin(&mut backend).map_err(CliError::Runtime)?;
     }
 
-    let (summary, _log) = server.finish().map_err(CliError::Runtime)?;
+    let (summary, _log) = backend.finish().map_err(CliError::Runtime)?;
     eprint!("{summary}");
     if let Some(why) = summary.halted {
         return Err(CliError::Runtime(format!("serve: halted: {why}")));
@@ -1102,7 +1128,20 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     }
     let emit = take_flag_value(&mut args, "--emit")?;
     let socket = take_flag_value(&mut args, "--socket")?;
+    let tcp = take_flag_value(&mut args, "--tcp")?;
     let json = take_flag_value(&mut args, "--json")?;
+    let concurrency = match take_flag_value(&mut args, "--concurrency")? {
+        Some(v) => {
+            let k = parse_num("--concurrency", v)? as usize;
+            if k == 0 {
+                return Err(CliError::Usage(Some(
+                    "--concurrency must be at least 1".into(),
+                )));
+            }
+            k
+        }
+        None => 1,
+    };
     if let Some(extra) = args.first() {
         return Err(CliError::Usage(Some(format!(
             "loadgen: unexpected argument '{extra}'"
@@ -1125,32 +1164,44 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         return Ok(());
     }
 
-    if let Some(sock) = socket {
-        #[cfg(unix)]
-        {
-            let report =
-                fjs_cli::loadgen::drive_socket(std::path::Path::new(&sock), &opts)
-                    .map_err(CliError::Runtime)?;
-            println!("{report}");
-            if let Some(json_path) = json {
-                let text = report.to_benchjson(&fjs_cli::bench::git_describe());
-                std::fs::write(&json_path, text)
-                    .map_err(|e| CliError::Runtime(format!("cannot write {json_path}: {e}")))?;
-                eprintln!("loadgen: wrote {json_path}");
+    let target = match (socket, tcp) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::Usage(Some(
+                "loadgen: --socket and --tcp are mutually exclusive".into(),
+            )));
+        }
+        (Some(sock), None) => {
+            #[cfg(unix)]
+            {
+                Some(fjs_cli::loadgen::DriveTarget::Unix(sock.into()))
             }
-            return Ok(());
+            #[cfg(not(unix))]
+            {
+                let _ = sock;
+                return Err(CliError::Runtime(
+                    "loadgen: --socket needs unix domain sockets".into(),
+                ));
+            }
         }
-        #[cfg(not(unix))]
-        {
-            let _ = (sock, json);
-            return Err(CliError::Runtime(
-                "loadgen: --socket needs unix domain sockets".into(),
-            ));
+        (None, Some(addr)) => Some(fjs_cli::loadgen::DriveTarget::Tcp(addr)),
+        (None, None) => None,
+    };
+
+    if let Some(target) = target {
+        let report =
+            fjs_cli::loadgen::drive(&target, &opts, concurrency).map_err(CliError::Runtime)?;
+        println!("{report}");
+        if let Some(json_path) = json {
+            let text = report.to_benchjson(&fjs_cli::bench::git_describe());
+            std::fs::write(&json_path, text)
+                .map_err(|e| CliError::Runtime(format!("cannot write {json_path}: {e}")))?;
+            eprintln!("loadgen: wrote {json_path}");
         }
+        return Ok(());
     }
 
     Err(CliError::Usage(Some(
-        "loadgen needs --emit <file|-> or --socket <path>".into(),
+        "loadgen needs --emit <file|->, --socket <path> or --tcp <addr>".into(),
     )))
 }
 

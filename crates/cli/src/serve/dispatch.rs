@@ -1,0 +1,804 @@
+//! The worker-pool dispatcher behind `fjs serve --workers N`.
+//!
+//! [`PooledServer`] is the multi-core counterpart of the single-threaded
+//! [`Server`](super::Server). It keeps the protocol-facing state machine
+//! (line numbering, resume cursor, quarantine, admission control) on the
+//! dispatching thread — where requests are still seen in input order —
+//! and ships session work to a [`SessionPool`] sharded by stable
+//! session-id hash. Three ordering domains make this deterministic
+//! without serializing the actual scheduling work:
+//!
+//! 1. **Per-session order** — all requests of one session go to one
+//!    worker over a FIFO channel, so each session evolves exactly as it
+//!    would under a single thread (simulation time advances with offers,
+//!    never with wall clock).
+//! 2. **Global sequence order** — every dispatched request gets a
+//!    sequence number; completed results are parked until contiguous and
+//!    then emitted, so decision-log and journal lines appear in input
+//!    order: byte-identical to `--workers 1` (the same index-ordered
+//!    merge discipline as the sharded sweep executor).
+//! 3. **Per-connection order** — replies are released as soon as all of
+//!    the *same connection's* earlier requests have completed. One
+//!    tenant's slow offer (a hung scheduler burning its watchdog budget)
+//!    delays only its own connection's replies; siblings keep flowing
+//!    even while the global log emission waits for the straggler.
+//!
+//! Admission control that needs the *global* open-session set
+//! (`--max-sessions`, duplicate opens, unknown sids) runs on the
+//! dispatcher against a session→worker directory maintained
+//! synchronously in input order; spec validation also happens here (via
+//! the same constructor the workers use) so directory membership never
+//! depends on an asynchronous worker outcome. Per-session checks
+//! (`--max-pending`, terminal verdicts) run on the owning worker, which
+//! sees the session's exact state after all prior requests — the same
+//! answer a single-threaded server would give. The dispatch window
+//! (requests in flight across all workers) is capped at `--max-pending`
+//! globally; hitting it blocks the frontend instead of shedding, because
+//! shedding on a timing-dependent condition would break determinism.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Duration;
+
+use fjs_core::service::{
+    stable_shard, PoolReply, PoolRequest, ServeEvent, ServeJournal, SessionPool,
+};
+use fjs_core::time::{dur, t};
+use fjs_workloads::{DeadLetter, Quarantine};
+
+use super::protocol::{parse_request, Request};
+use super::{build_session, wire, ServeOptions, ServeSummary, Sink};
+
+/// How long one blocking wait on the results channel lasts before the
+/// pool is re-checked (requests always finish — watchdogs bound even
+/// hung schedulers — so this only shapes shutdown latency).
+const PUMP_TICK: Duration = Duration::from_millis(100);
+
+/// What was asked of the pool, kept dispatcher-side until the worker's
+/// reply comes back and the request can be rendered.
+enum InKind {
+    Open {
+        /// The scheduler spec, echoed into the journal record.
+        spec: String,
+    },
+    Job {
+        arrival: f64,
+        deadline: f64,
+        length: f64,
+    },
+    Close,
+    Stats,
+    /// A drain-initiated close: journaled and logged, but no reply.
+    DrainClose,
+}
+
+struct Inflight {
+    sid: String,
+    line: u64,
+    offset: u64,
+    /// `(conn, conn_seq)` to route the reply, `None` for replay/drain.
+    reply_to: Option<(u64, u64)>,
+    kind: InKind,
+    replay: bool,
+}
+
+/// A completed request, parked until the global sequence reaches it.
+#[derive(Default)]
+struct Block {
+    log_lines: Vec<String>,
+    journal: Option<ServeEvent>,
+}
+
+/// The pooled server: see the module docs for the ordering contract.
+pub struct PooledServer {
+    opts: ServeOptions,
+    pool: SessionPool,
+    /// sid → owning worker, maintained synchronously in input order.
+    directory: BTreeMap<String, usize>,
+    journal: Option<ServeJournal>,
+    log: Sink,
+    summary: ServeSummary,
+    line_no: u64,
+    cursor: u64,
+    replaying: bool,
+    /// Next global sequence number to assign / to emit.
+    next_seq: u64,
+    next_emit: u64,
+    inflight: HashMap<u64, Inflight>,
+    done: BTreeMap<u64, Block>,
+    /// Per-connection reply ordering: next conn_seq to assign, next to
+    /// release, and the parked out-of-order replies.
+    conn_next: HashMap<u64, u64>,
+    conn_emit: HashMap<u64, u64>,
+    conn_parked: HashMap<u64, BTreeMap<u64, String>>,
+}
+
+impl PooledServer {
+    /// Builds the dispatcher and spawns `opts.workers` session workers.
+    pub fn new(opts: ServeOptions, log: Sink, journal: Option<ServeJournal>) -> PooledServer {
+        let watchdog = opts.watchdog_events;
+        let factory = Arc::new(move |spec: &str| build_session(spec, watchdog));
+        let pool = SessionPool::new(opts.workers, opts.max_pending, factory);
+        PooledServer {
+            opts,
+            pool,
+            directory: BTreeMap::new(),
+            journal,
+            log,
+            summary: ServeSummary::default(),
+            line_no: 0,
+            cursor: 0,
+            replaying: false,
+            next_seq: 0,
+            next_emit: 0,
+            inflight: HashMap::new(),
+            done: BTreeMap::new(),
+            conn_next: HashMap::new(),
+            conn_emit: HashMap::new(),
+            conn_parked: HashMap::new(),
+        }
+    }
+
+    /// See [`super::Server::halted`].
+    pub fn halted(&self) -> bool {
+        self.summary.halted.is_some()
+    }
+
+    /// See [`super::Server::cursor`].
+    pub fn cursor(&self) -> u64 {
+        self.cursor
+    }
+
+    /// The configured per-request throttle (test hook).
+    pub fn throttle_ms(&self) -> u64 {
+        self.opts.throttle_ms
+    }
+
+    pub(crate) fn summary_mut(&mut self) -> &mut ServeSummary {
+        &mut self.summary
+    }
+
+    fn inflight_len(&self) -> u64 {
+        self.next_seq - self.next_emit
+    }
+
+    /// True while any dispatched request has not yet been emitted — the
+    /// frontend should poll the pool eagerly instead of idling.
+    pub fn busy(&self) -> bool {
+        self.inflight_len() > 0
+    }
+
+    fn halt(&mut self, why: String) {
+        if self.summary.halted.is_none() {
+            self.summary.halted = Some(why);
+        }
+    }
+
+    fn log_line(&mut self, line: &str) {
+        if let Err(e) = self.log.write_line(line) {
+            self.halt(format!("decision log: {e}"));
+            return;
+        }
+        self.summary.decision_lines += 1;
+    }
+
+    fn journal_append(&mut self, ev: &ServeEvent) {
+        if let Some(j) = self.journal.as_mut() {
+            if let Err(e) = j.append(ev) {
+                self.halt(format!("journal: {e}"));
+            }
+        }
+    }
+
+    /// Parks a completed reply for per-connection ordered release.
+    fn park_reply(&mut self, conn: u64, conn_seq: u64, reply: String) {
+        // A forgotten (disconnected) connection has no conn_next entry;
+        // its undeliverable replies are dropped.
+        if self.conn_next.contains_key(&conn) {
+            self.conn_parked
+                .entry(conn)
+                .or_default()
+                .insert(conn_seq, reply);
+        }
+    }
+
+    /// Releases contiguous per-connection replies into `out`.
+    fn flush_replies(&mut self, out: &mut Vec<(u64, String)>) {
+        let conns: Vec<u64> = self.conn_parked.keys().copied().collect();
+        for conn in conns {
+            let mut emit = *self.conn_emit.entry(conn).or_insert(0);
+            let mut exhausted = false;
+            if let Some(parked) = self.conn_parked.get_mut(&conn) {
+                while let Some(reply) = parked.remove(&emit) {
+                    out.push((conn, reply));
+                    emit += 1;
+                }
+                exhausted = parked.is_empty();
+            }
+            if exhausted {
+                self.conn_parked.remove(&conn);
+            }
+            self.conn_emit.insert(conn, emit);
+        }
+    }
+
+    /// Emits globally contiguous completed blocks: decision-log lines
+    /// first, then the journal record — the same within-request order as
+    /// the serial server.
+    fn flush_blocks(&mut self) {
+        while let Some(block) = self.done.remove(&self.next_emit) {
+            self.next_emit += 1;
+            for line in &block.log_lines {
+                self.log_line(line);
+            }
+            if let Some(ev) = &block.journal {
+                self.journal_append(ev);
+            }
+        }
+    }
+
+    /// Records a completed request at `seq` (no reply routing).
+    fn complete(&mut self, seq: u64, block: Block) {
+        self.done.insert(seq, block);
+    }
+
+    /// Assigns the next global sequence number and, when `reply_to` a
+    /// live connection, the connection's next reply slot.
+    fn assign_seq(&mut self, conn: Option<u64>) -> (u64, Option<(u64, u64)>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let reply_to = conn.map(|c| {
+            let n = self.conn_next.entry(c).or_insert(0);
+            let slot = *n;
+            *n += 1;
+            (c, slot)
+        });
+        (seq, reply_to)
+    }
+
+    /// An immediately-answerable request (admission shed, unknown sid,
+    /// parse error): completes at its sequence slot without pool work.
+    fn complete_immediate(&mut self, conn: u64, reply: String) {
+        let (seq, reply_to) = self.assign_seq(Some(conn));
+        self.complete(seq, Block::default());
+        if let Some((c, cs)) = reply_to {
+            self.park_reply(c, cs, reply);
+        }
+    }
+
+    /// Waits for one worker result and processes it. `Err` only for an
+    /// unrecoverable pool failure (a worker thread died).
+    fn pump_one_blocking(&mut self) -> Result<(), String> {
+        loop {
+            if let Some((seq, reply)) = self.pool.recv_timeout(PUMP_TICK) {
+                self.render(seq, reply);
+                return Ok(());
+            }
+            if self.inflight.is_empty() {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Drains ready worker results and releases ordered output into
+    /// `out` as `(conn, reply)` pairs.
+    pub fn pump(&mut self, out: &mut Vec<(u64, String)>) -> Result<(), String> {
+        while let Some((seq, reply)) = self.pool.try_recv() {
+            self.render(seq, reply);
+        }
+        self.flush_blocks();
+        self.flush_replies(out);
+        Ok(())
+    }
+
+    /// Blocks until every submitted request has completed, then releases
+    /// all ordered output.
+    pub fn settle(&mut self, out: &mut Vec<(u64, String)>) -> Result<(), String> {
+        while !self.inflight.is_empty() {
+            self.pump_one_blocking()?;
+            self.flush_blocks();
+            self.flush_replies(out);
+        }
+        self.flush_blocks();
+        self.flush_replies(out);
+        Ok(())
+    }
+
+    /// Drops a disconnected connection's reply state; replies already
+    /// inflight for it will be discarded on arrival.
+    pub fn forget_conn(&mut self, conn: u64) {
+        self.conn_next.remove(&conn);
+        self.conn_emit.remove(&conn);
+        self.conn_parked.remove(&conn);
+    }
+
+    /// Renders a worker reply into its parked block + routed reply,
+    /// using the dispatcher-side metadata captured at submission.
+    fn render(&mut self, seq: u64, reply: PoolReply) {
+        let Some(meta) = self.inflight.remove(&seq) else {
+            return;
+        };
+        let sid = meta.sid.as_str();
+        let mut block = Block::default();
+        let mut reply_text: Option<String> = None;
+        match (&meta.kind, reply) {
+            (InKind::Open { spec }, PoolReply::Opened { name }) => {
+                self.summary.opened += 1;
+                if !meta.replay {
+                    block.journal = Some(ServeEvent::Open {
+                        session: meta.sid.clone(),
+                        scheduler: spec.clone(),
+                        line: meta.line,
+                    });
+                }
+                reply_text = Some(wire::open_ok(sid, &name));
+            }
+            (InKind::Open { .. }, PoolReply::OpenFailed { error }) => {
+                // Can't happen post-validation; keep the directory honest.
+                self.directory.remove(sid);
+                reply_text = Some(wire::open_err(sid, &error));
+            }
+            (
+                InKind::Job {
+                    arrival,
+                    deadline,
+                    length,
+                },
+                PoolReply::OfferAdmitted {
+                    id,
+                    span,
+                    decisions,
+                },
+            ) => {
+                for d in &decisions {
+                    block.log_lines.push(wire::decision_line(sid, d));
+                }
+                if !meta.replay {
+                    block.journal = Some(ServeEvent::Job {
+                        session: meta.sid.clone(),
+                        line: meta.line,
+                        arrival: *arrival,
+                        deadline: *deadline,
+                        length: *length,
+                    });
+                    self.summary.jobs += 1;
+                }
+                reply_text = Some(wire::job_ok(sid, id, span));
+            }
+            (
+                InKind::Job {
+                    arrival,
+                    deadline,
+                    length,
+                },
+                PoolReply::OfferPoisoned { verdict, decisions },
+            ) => {
+                // The offer mutated the session before poisoning it, so
+                // it is journaled exactly like an admitted job.
+                for d in &decisions {
+                    block.log_lines.push(wire::decision_line(sid, d));
+                }
+                if !meta.replay {
+                    block.journal = Some(ServeEvent::Job {
+                        session: meta.sid.clone(),
+                        line: meta.line,
+                        arrival: *arrival,
+                        deadline: *deadline,
+                        length: *length,
+                    });
+                    self.summary.jobs += 1;
+                }
+                reply_text = Some(wire::job_poisoned(sid, &verdict));
+            }
+            (InKind::Job { .. }, PoolReply::OfferTerminal { verdict }) => {
+                reply_text = Some(wire::job_terminal(sid, &verdict));
+            }
+            (InKind::Job { .. }, PoolReply::OfferShed { resident }) => {
+                self.summary.shed += 1;
+                reply_text = Some(wire::job_busy(sid, resident, self.opts.max_pending));
+            }
+            (InKind::Job { .. }, PoolReply::OfferRejected { error, decisions }) => {
+                for d in &decisions {
+                    block.log_lines.push(wire::decision_line(sid, d));
+                }
+                reply_text = Some(wire::job_rejected(sid, meta.line, meta.offset, &error));
+            }
+            (InKind::Job { .. }, PoolReply::NoSession) => {
+                reply_text = Some(wire::no_session("job", sid));
+            }
+            (
+                InKind::Close | InKind::DrainClose,
+                PoolReply::Closed {
+                    verdict,
+                    span,
+                    jobs,
+                    decisions,
+                },
+            ) => {
+                for d in &decisions {
+                    block.log_lines.push(wire::decision_line(sid, d));
+                }
+                block
+                    .log_lines
+                    .push(wire::close_line(sid, span, verdict.label()));
+                if !meta.replay {
+                    block.journal = Some(ServeEvent::Close {
+                        session: meta.sid.clone(),
+                        line: meta.line,
+                    });
+                }
+                self.summary.closed += 1;
+                if matches!(meta.kind, InKind::Close) {
+                    reply_text = Some(wire::close_ok(sid, span, jobs, verdict.label()));
+                }
+            }
+            (InKind::Close | InKind::DrainClose, PoolReply::NoSession) => {
+                reply_text = Some(format!("err close {sid}: no such session"));
+            }
+            (InKind::Stats, PoolReply::Stats(s)) => {
+                reply_text = Some(wire::stats_ok(
+                    sid,
+                    s.span,
+                    s.pending,
+                    s.running,
+                    s.retained,
+                    s.peak_retained,
+                    s.events_total,
+                ));
+            }
+            (InKind::Stats, PoolReply::NoSession) => {
+                reply_text = Some(wire::no_session("stats", sid));
+            }
+            (_, other) => {
+                // A worker answered out of protocol — unrecoverable.
+                self.halt(format!("worker protocol violation for {sid}: {other:?}"));
+            }
+        }
+        self.complete(seq, block);
+        if let (Some((conn, conn_seq)), Some(text)) = (meta.reply_to, reply_text) {
+            self.park_reply(conn, conn_seq, text);
+        }
+    }
+
+    /// Enforces the global dispatch window before admitting more work.
+    fn ensure_window(&mut self) -> Result<(), String> {
+        let window = self.opts.max_pending.max(1) as u64;
+        while self.inflight_len() >= window && !self.inflight.is_empty() {
+            self.pump_one_blocking()?;
+            self.flush_blocks();
+        }
+        Ok(())
+    }
+
+    /// Submits a request to the pool under an assigned sequence slot.
+    fn submit_pool(
+        &mut self,
+        worker: usize,
+        req: PoolRequest,
+        meta: Inflight,
+    ) -> Result<(), String> {
+        self.ensure_window()?;
+        let (seq, reply_to) = match meta.reply_to {
+            // Replay/drain submissions have no connection.
+            None => (self.assign_seq(None).0, None),
+            Some((conn, _)) => {
+                let (seq, rt) = self.assign_seq(Some(conn));
+                (seq, rt)
+            }
+        };
+        self.inflight.insert(seq, Inflight { reply_to, ..meta });
+        self.pool
+            .submit(worker, seq, req)
+            .map_err(|e| format!("worker pool: {e}"))
+    }
+
+    /// Handles one raw input line from `conn` — the pooled counterpart of
+    /// [`super::Server::handle_line`]. Completed replies are appended to
+    /// `out` (possibly for other connections).
+    pub fn submit(
+        &mut self,
+        conn: u64,
+        offset: u64,
+        raw: &str,
+        out: &mut Vec<(u64, String)>,
+    ) -> Result<(), String> {
+        self.line_no += 1;
+        self.summary.lines += 1;
+        if self.line_no <= self.cursor {
+            return self.pump(out);
+        }
+        if self.halted() {
+            self.complete_immediate(conn, "err halted".into());
+            return self.pump(out);
+        }
+        let raw = raw.trim_end_matches('\n').trim_end_matches('\r');
+        match parse_request(raw) {
+            Ok(None) => return self.pump(out),
+            Ok(Some(req)) => {
+                self.summary.requests += 1;
+                self.dispatch(conn, offset, req)?;
+            }
+            Err(reason) => {
+                let reply = self.quarantine_line(offset, raw, reason);
+                self.complete_immediate(conn, reply);
+            }
+        }
+        self.pump(out)
+    }
+
+    fn quarantine_line(&mut self, offset: u64, raw: &str, reason: String) -> String {
+        let line = self.line_no;
+        let reply = format!("err line={line} offset={offset}: {reason}");
+        match self.opts.quarantine {
+            Quarantine::Halt => {
+                self.summary.halted = Some(format!("line {line} (byte {offset}): {reason}"));
+            }
+            Quarantine::Skip => self.summary.quarantined += 1,
+            Quarantine::DeadLetter => {
+                self.summary.quarantined += 1;
+                self.summary.dead.push(DeadLetter {
+                    line: self.line_no as usize,
+                    offset,
+                    raw: raw.to_string(),
+                });
+            }
+        }
+        reply
+    }
+
+    fn dispatch(&mut self, conn: u64, offset: u64, req: Request) -> Result<(), String> {
+        let line = self.line_no;
+        match req {
+            Request::Open { sid, spec } => {
+                if self.directory.contains_key(&sid) {
+                    self.complete_immediate(conn, wire::open_err(&sid, "session already open"));
+                    return Ok(());
+                }
+                if self.directory.len() >= self.opts.max_sessions {
+                    self.summary.shed += 1;
+                    self.complete_immediate(
+                        conn,
+                        wire::open_busy(&sid, self.directory.len(), self.opts.max_sessions),
+                    );
+                    return Ok(());
+                }
+                // Validate here (same constructor the worker uses) so the
+                // directory never holds a sid whose open will fail.
+                if let Err(e) = build_session(&spec, self.opts.watchdog_events) {
+                    self.complete_immediate(conn, wire::open_err(&sid, &e));
+                    return Ok(());
+                }
+                let worker = stable_shard(&sid, self.pool.workers());
+                self.directory.insert(sid.clone(), worker);
+                self.summary.peak_sessions = self.summary.peak_sessions.max(self.directory.len());
+                self.submit_pool(
+                    worker,
+                    PoolRequest::Open {
+                        sid: sid.clone(),
+                        spec: spec.clone(),
+                    },
+                    Inflight {
+                        sid,
+                        line,
+                        offset,
+                        reply_to: Some((conn, 0)),
+                        kind: InKind::Open { spec },
+                        replay: false,
+                    },
+                )
+            }
+            Request::Job {
+                sid,
+                arrival,
+                deadline,
+                length,
+            } => {
+                let Some(&worker) = self.directory.get(&sid) else {
+                    self.complete_immediate(conn, wire::no_session("job", &sid));
+                    return Ok(());
+                };
+                self.submit_pool(
+                    worker,
+                    PoolRequest::Offer {
+                        sid: sid.clone(),
+                        offer: fjs_core::service::JobOffer {
+                            arrival: t(arrival),
+                            deadline: t(deadline),
+                            length: dur(length),
+                        },
+                    },
+                    Inflight {
+                        sid,
+                        line,
+                        offset,
+                        reply_to: Some((conn, 0)),
+                        kind: InKind::Job {
+                            arrival,
+                            deadline,
+                            length,
+                        },
+                        replay: false,
+                    },
+                )
+            }
+            Request::Close { sid } => {
+                let Some(worker) = self.directory.remove(&sid) else {
+                    self.complete_immediate(conn, format!("err close {sid}: no such session"));
+                    return Ok(());
+                };
+                self.submit_pool(
+                    worker,
+                    PoolRequest::Close { sid: sid.clone() },
+                    Inflight {
+                        sid,
+                        line,
+                        offset,
+                        reply_to: Some((conn, 0)),
+                        kind: InKind::Close,
+                        replay: false,
+                    },
+                )
+            }
+            Request::Stats { sid } => {
+                let Some(&worker) = self.directory.get(&sid) else {
+                    self.complete_immediate(conn, wire::no_session("stats", &sid));
+                    return Ok(());
+                };
+                self.submit_pool(
+                    worker,
+                    PoolRequest::Stats { sid: sid.clone() },
+                    Inflight {
+                        sid,
+                        line,
+                        offset,
+                        reply_to: Some((conn, 0)),
+                        kind: InKind::Stats,
+                        replay: false,
+                    },
+                )
+            }
+        }
+    }
+
+    /// See [`super::Server::resume`]: replays journal events through the
+    /// pool in order (decision lines re-emitted, journal appends and
+    /// replies suppressed), then arranges for input lines at or before
+    /// the last journaled line to be skipped.
+    pub fn resume(&mut self, events: &[ServeEvent]) -> Result<(), String> {
+        self.replaying = true;
+        for ev in events {
+            match ev {
+                ServeEvent::Open {
+                    session, scheduler, ..
+                } => {
+                    let worker = stable_shard(session, self.pool.workers());
+                    self.directory.insert(session.clone(), worker);
+                    self.summary.peak_sessions =
+                        self.summary.peak_sessions.max(self.directory.len());
+                    self.submit_pool(
+                        worker,
+                        PoolRequest::Open {
+                            sid: session.clone(),
+                            spec: scheduler.clone(),
+                        },
+                        Inflight {
+                            sid: session.clone(),
+                            line: ev.line(),
+                            offset: 0,
+                            reply_to: None,
+                            kind: InKind::Open {
+                                spec: scheduler.clone(),
+                            },
+                            replay: true,
+                        },
+                    )
+                    .map_err(|e| format!("resume: replaying open {session}: {e}"))?;
+                }
+                ServeEvent::Job {
+                    session,
+                    arrival,
+                    deadline,
+                    length,
+                    ..
+                } => {
+                    if let Some(&worker) = self.directory.get(session) {
+                        self.submit_pool(
+                            worker,
+                            PoolRequest::Offer {
+                                sid: session.clone(),
+                                offer: fjs_core::service::JobOffer {
+                                    arrival: t(*arrival),
+                                    deadline: t(*deadline),
+                                    length: dur(*length),
+                                },
+                            },
+                            Inflight {
+                                sid: session.clone(),
+                                line: ev.line(),
+                                offset: 0,
+                                reply_to: None,
+                                kind: InKind::Job {
+                                    arrival: *arrival,
+                                    deadline: *deadline,
+                                    length: *length,
+                                },
+                                replay: true,
+                            },
+                        )?;
+                    }
+                }
+                ServeEvent::Close { session, .. } => {
+                    if let Some(worker) = self.directory.remove(session) {
+                        self.submit_pool(
+                            worker,
+                            PoolRequest::Close {
+                                sid: session.clone(),
+                            },
+                            Inflight {
+                                sid: session.clone(),
+                                line: ev.line(),
+                                offset: 0,
+                                reply_to: None,
+                                kind: InKind::DrainClose,
+                                replay: true,
+                            },
+                        )?;
+                    }
+                }
+            }
+            self.cursor = self.cursor.max(ev.line());
+        }
+        let mut scratch = Vec::new();
+        self.settle(&mut scratch)?;
+        self.replaying = false;
+        self.line_no = 0;
+        Ok(())
+    }
+
+    /// Graceful drain: closes every remaining session in alphabetical
+    /// order (byte-identical to the serial drain), waits for all workers,
+    /// flushes the log and syncs the journal.
+    pub fn drain(&mut self) -> Result<(), String> {
+        let line = self.line_no;
+        let sids: Vec<(String, usize)> = self
+            .directory
+            .iter()
+            .map(|(s, &w)| (s.clone(), w))
+            .collect();
+        for (sid, worker) in sids {
+            self.directory.remove(&sid);
+            self.submit_pool(
+                worker,
+                PoolRequest::Close { sid: sid.clone() },
+                Inflight {
+                    sid,
+                    line,
+                    offset: 0,
+                    reply_to: None,
+                    kind: InKind::DrainClose,
+                    replay: false,
+                },
+            )?;
+        }
+        let mut scratch = Vec::new();
+        self.settle(&mut scratch)?;
+        self.log.flush().map_err(|e| format!("decision log: {e}"))?;
+        if let Some(j) = self.journal.as_mut() {
+            j.sync().map_err(|e| format!("journal: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Drains, shuts the pool down (folding worker peak reports into the
+    /// summary), and returns the final accounting and the log sink.
+    pub fn finish(mut self) -> Result<(ServeSummary, Sink), String> {
+        self.drain()?;
+        let report = self.pool.shutdown();
+        self.summary.peak_retained = self.summary.peak_retained.max(report.peak_retained);
+        self.summary.peak_live_segments = self
+            .summary
+            .peak_live_segments
+            .max(report.peak_live_segments);
+        Ok((self.summary, self.log))
+    }
+}

@@ -23,7 +23,14 @@
 //!   decision log byte for byte.
 //! - **Graceful drain** — `SIGINT`/`SIGTERM` stop admission, close every
 //!   session, flush all deltas and exit 0.
+//! - **Scale-out** — `--workers N` shards sessions across a resident
+//!   worker pool ([`dispatch`]) with a sequence-numbered merge that keeps
+//!   the decision log and journal byte-identical to a single-threaded
+//!   run; the socket frontends ([`net`]) serve many connections
+//!   concurrently (unix and TCP) and survive per-connection failures.
 
+pub mod dispatch;
+pub mod net;
 pub mod protocol;
 
 use std::collections::BTreeMap;
@@ -50,7 +57,8 @@ pub struct ServeOptions {
     /// Cap on concurrently open sessions; `open` beyond it is shed `busy`.
     pub max_sessions: usize,
     /// Cap on resident (pending + running) jobs per session; `job` beyond
-    /// it is shed `busy`.
+    /// it is shed `busy`. With a worker pool this also bounds the global
+    /// dispatch window (requests in flight across all workers).
     pub max_pending: usize,
     /// Watchdog event budget per session (contains hung schedulers).
     pub watchdog_events: usize,
@@ -61,6 +69,10 @@ pub struct ServeOptions {
     /// Artificial per-request delay in milliseconds — a test hook so
     /// kill/resume tests can reliably interrupt a run mid-stream.
     pub throttle_ms: u64,
+    /// Session worker threads. `1` keeps the single-threaded [`Server`];
+    /// above that, sessions shard across a
+    /// [`SessionPool`](fjs_core::service::SessionPool) by stable sid hash.
+    pub workers: usize,
 }
 
 impl Default for ServeOptions {
@@ -72,6 +84,7 @@ impl Default for ServeOptions {
             quarantine: Quarantine::DeadLetter,
             checkpoint_every: fjs_core::service::DEFAULT_SYNC_EVERY,
             throttle_ms: 0,
+            workers: 1,
         }
     }
 }
@@ -156,6 +169,13 @@ pub struct ServeSummary {
     pub peak_retained: usize,
     /// Peak live (unretired) span segments in any single session.
     pub peak_live_segments: usize,
+    /// Socket connections accepted over the run.
+    pub connections: u64,
+    /// Connections dropped by a read/write error (`ECONNRESET`, `EPIPE`,
+    /// a client killed mid-line); the daemon keeps serving the rest.
+    pub disconnects: u64,
+    /// Transient `accept()` failures retried instead of treated as fatal.
+    pub accept_retries: u64,
     /// Set when a `halt`-policy quarantine or an I/O failure stopped the
     /// stream early.
     pub halted: Option<String>,
@@ -181,6 +201,13 @@ impl std::fmt::Display for ServeSummary {
              {} live span segments/session",
             self.peak_sessions, self.peak_retained, self.peak_live_segments
         )?;
+        if self.connections > 0 || self.disconnects > 0 || self.accept_retries > 0 {
+            writeln!(
+                f,
+                "serve: {} connections, {} dropped by I/O errors, {} accept retries",
+                self.connections, self.disconnects, self.accept_retries
+            )?;
+        }
         if self.quarantined > 0 {
             writeln!(f, "serve: {} malformed lines quarantined", self.quarantined)?;
         }
@@ -194,9 +221,70 @@ impl std::fmt::Display for ServeSummary {
     }
 }
 
+/// Reply and decision-log line formats, shared verbatim by the serial
+/// [`Server`] and the pooled [`dispatch::PooledServer`] so the two
+/// backends are byte-identical by construction, not by convention.
+pub(crate) mod wire {
+    use fjs_core::job::JobId;
+    use fjs_core::service::{Decision, SessionError, SessionVerdict};
+    use fjs_core::time::Dur;
+
+    pub fn open_ok(sid: &str, name: &str) -> String {
+        format!("ok open {sid} scheduler={name}")
+    }
+    pub fn open_err(sid: &str, e: &str) -> String {
+        format!("err open {sid}: {e}")
+    }
+    pub fn open_busy(sid: &str, sessions: usize, max_sessions: usize) -> String {
+        format!("busy open {sid} sessions={sessions} max-sessions={max_sessions}")
+    }
+    pub fn job_ok(sid: &str, id: JobId, span: Dur) -> String {
+        format!("ok job {sid} id={id} span={span}")
+    }
+    pub fn job_busy(sid: &str, resident: usize, max_pending: usize) -> String {
+        format!("busy job {sid} pending={resident} max-pending={max_pending}")
+    }
+    pub fn job_terminal(sid: &str, v: &SessionVerdict) -> String {
+        format!("err job {sid} verdict={}: session is terminal", v.label())
+    }
+    pub fn job_poisoned(sid: &str, v: &SessionVerdict) -> String {
+        format!("err job {sid} verdict={}: {v}", v.label())
+    }
+    pub fn job_rejected(sid: &str, line: u64, offset: u64, e: &SessionError) -> String {
+        format!("err job {sid} line={line} offset={offset}: {e}")
+    }
+    pub fn no_session(verb: &str, sid: &str) -> String {
+        format!("err {verb} {sid}: no such session")
+    }
+    pub fn close_ok(sid: &str, span: Dur, jobs: u64, verdict: &str) -> String {
+        format!("ok close {sid} span={span} jobs={jobs} verdict={verdict}")
+    }
+    #[allow(clippy::too_many_arguments)]
+    pub fn stats_ok(
+        sid: &str,
+        span: Dur,
+        pending: usize,
+        running: usize,
+        retained: usize,
+        peak_retained: usize,
+        events: usize,
+    ) -> String {
+        format!(
+            "ok stats {sid} span={span} pending={pending} running={running} \
+             retained={retained} peak-retained={peak_retained} events={events}"
+        )
+    }
+    pub fn decision_line(sid: &str, d: &Decision) -> String {
+        format!("{sid} {d}")
+    }
+    pub fn close_line(sid: &str, span: Dur, verdict_label: &str) -> String {
+        format!("{sid} close span={span} verdict={verdict_label}")
+    }
+}
+
 /// The resident daemon core: protocol dispatch, session multiplexing,
 /// admission control, journaling and decision-log emission. Frontends
-/// ([`run_stream`], [`run_socket`]) feed it one line at a time.
+/// ([`run_stream`], [`net::run_connections`]) feed it one line at a time.
 pub struct Server {
     opts: ServeOptions,
     sessions: BTreeMap<String, Slot>,
@@ -311,7 +399,7 @@ impl Server {
         let decisions = slot.session.take_decisions();
         let mut lines = Vec::with_capacity(decisions.len());
         for d in &decisions {
-            lines.push(format!("{sid} {d}"));
+            lines.push(wire::decision_line(sid, d));
         }
         for line in &lines {
             self.log_line(line)?;
@@ -332,7 +420,8 @@ impl Server {
         }
         let session = build_session(spec, self.opts.watchdog_events)?;
         let name = session.scheduler_name();
-        self.sessions.insert(sid.to_string(), Slot { session, jobs: 0 });
+        self.sessions
+            .insert(sid.to_string(), Slot { session, jobs: 0 });
         self.summary.opened += 1;
         self.summary.peak_sessions = self.summary.peak_sessions.max(self.sessions.len());
         Ok(name)
@@ -369,14 +458,11 @@ impl Server {
         let span = slot.session.span();
         let decisions = slot.session.take_decisions();
         for d in &decisions {
-            let line = format!("{sid} {d}");
+            let line = wire::decision_line(sid, d);
             self.log_line(&line)?;
         }
         self.note_peaks(&slot.session);
-        self.log_line(&format!(
-            "{sid} close span={span} verdict={}",
-            verdict.label()
-        ))?;
+        self.log_line(&wire::close_line(sid, span, verdict.label()))?;
         self.summary.closed += 1;
         Ok((verdict.label().to_string(), span, slot.jobs))
     }
@@ -440,13 +526,14 @@ impl Server {
         let line = self.line_no;
         match req {
             Request::Open { sid, spec } => {
-                if !self.sessions.contains_key(&sid) && self.sessions.len() >= self.opts.max_sessions
+                if !self.sessions.contains_key(&sid)
+                    && self.sessions.len() >= self.opts.max_sessions
                 {
                     self.summary.shed += 1;
-                    return Ok(format!(
-                        "busy open {sid} sessions={} max-sessions={}",
+                    return Ok(wire::open_busy(
+                        &sid,
                         self.sessions.len(),
-                        self.opts.max_sessions
+                        self.opts.max_sessions,
                     ));
                 }
                 match self.apply_open(&sid, &spec) {
@@ -456,9 +543,9 @@ impl Server {
                             scheduler: spec,
                             line,
                         })?;
-                        Ok(format!("ok open {sid} scheduler={name}"))
+                        Ok(wire::open_ok(&sid, &name))
                     }
-                    Err(e) => Ok(format!("err open {sid}: {e}")),
+                    Err(e) => Ok(wire::open_err(&sid, &e)),
                 }
             }
             Request::Job {
@@ -468,21 +555,15 @@ impl Server {
                 length,
             } => {
                 match self.sessions.get(&sid) {
-                    None => return Ok(format!("err job {sid}: no such session")),
+                    None => return Ok(wire::no_session("job", &sid)),
                     Some(slot) => {
                         if let Some(v) = slot.session.verdict() {
-                            return Ok(format!(
-                                "err job {sid} verdict={}: session is terminal",
-                                v.label()
-                            ));
+                            return Ok(wire::job_terminal(&sid, v));
                         }
                         let resident = slot.session.num_pending() + slot.session.num_running();
                         if resident >= self.opts.max_pending {
                             self.summary.shed += 1;
-                            return Ok(format!(
-                                "busy job {sid} pending={resident} max-pending={}",
-                                self.opts.max_pending
-                            ));
+                            return Ok(wire::job_busy(&sid, resident, self.opts.max_pending));
                         }
                     }
                 }
@@ -501,7 +582,7 @@ impl Server {
                             .get(&sid)
                             .map(|s| s.session.span())
                             .unwrap_or(fjs_core::time::Dur::ZERO);
-                        Ok(format!("ok job {sid} id={id} span={span}"))
+                        Ok(wire::job_ok(&sid, id, span))
                     }
                     Err(SessionError::Terminal(v)) => {
                         // This offer itself poisoned the session: the
@@ -515,9 +596,9 @@ impl Server {
                             length,
                         })?;
                         self.summary.jobs += 1;
-                        Ok(format!("err job {sid} verdict={}: {v}", v.label()))
+                        Ok(wire::job_poisoned(&sid, &v))
                     }
-                    Err(e) => Ok(format!("err job {sid} line={line} offset={offset}: {e}")),
+                    Err(e) => Ok(wire::job_rejected(&sid, line, offset, &e)),
                 }
             }
             Request::Close { sid } => match self.apply_close(&sid) {
@@ -526,25 +607,22 @@ impl Server {
                         session: sid.clone(),
                         line,
                     })?;
-                    Ok(format!(
-                        "ok close {sid} span={span} jobs={jobs} verdict={verdict}"
-                    ))
+                    Ok(wire::close_ok(&sid, span, jobs, &verdict))
                 }
                 Err(e) => Ok(format!("err close {sid}: {e}")),
             },
             Request::Stats { sid } => match self.sessions.get(&sid) {
-                None => Ok(format!("err stats {sid}: no such session")),
+                None => Ok(wire::no_session("stats", &sid)),
                 Some(slot) => {
                     let s = &slot.session;
-                    Ok(format!(
-                        "ok stats {sid} span={} pending={} running={} retained={} \
-                         peak-retained={} events={}",
+                    Ok(wire::stats_ok(
+                        &sid,
                         s.span(),
                         s.num_pending(),
                         s.num_running(),
                         s.retained_records(),
                         s.peak_retained_records(),
-                        s.stats().events_total
+                        s.stats().events_total,
                     ))
                 }
             },
@@ -559,10 +637,7 @@ impl Server {
         let sids: Vec<String> = self.sessions.keys().cloned().collect();
         for sid in sids {
             self.apply_close(&sid)?;
-            self.journal_append(&ServeEvent::Close {
-                session: sid,
-                line,
-            })?;
+            self.journal_append(&ServeEvent::Close { session: sid, line })?;
         }
         self.log.flush().map_err(|e| format!("decision log: {e}"))?;
         if let Some(j) = self.journal.as_mut() {
@@ -579,11 +654,140 @@ impl Server {
     }
 }
 
+/// Unified driver over the two server backends, so frontends (file,
+/// stdin, sockets) are written once. `Serial` replies synchronously;
+/// `Pooled` replies arrive asynchronously through [`Backend::pump`],
+/// tagged with the submitting connection and released in per-connection
+/// order.
+pub enum Backend {
+    /// The single-threaded [`Server`] (`--workers 1`, the default).
+    /// Both variants are boxed: each embeds its whole session/dispatch
+    /// state inline, and the enum is moved around by the frontends.
+    Serial(Box<Server>),
+    /// The worker-pool dispatcher (`--workers N`).
+    Pooled(Box<dispatch::PooledServer>),
+}
+
+impl Backend {
+    /// Builds the backend selected by `opts.workers`.
+    pub fn new(opts: ServeOptions, log: Sink, journal: Option<ServeJournal>) -> Backend {
+        if opts.workers <= 1 {
+            Backend::Serial(Box::new(Server::new(opts, log, journal)))
+        } else {
+            Backend::Pooled(Box::new(dispatch::PooledServer::new(opts, log, journal)))
+        }
+    }
+
+    /// Submits one raw input line from `conn` starting at byte `offset`
+    /// in that connection's stream; completed replies (possibly for other
+    /// connections) are appended to `out` as `(conn, reply)` pairs.
+    pub fn submit(
+        &mut self,
+        conn: u64,
+        offset: u64,
+        raw: &str,
+        out: &mut Vec<(u64, String)>,
+    ) -> Result<(), String> {
+        match self {
+            Backend::Serial(s) => {
+                if let Some(reply) = s.handle_line(offset, raw) {
+                    out.push((conn, reply));
+                }
+                Ok(())
+            }
+            Backend::Pooled(p) => p.submit(conn, offset, raw, out),
+        }
+    }
+
+    /// Collects replies that completed since the last call (no-op for the
+    /// serial backend, which replies inside [`Backend::submit`]).
+    pub fn pump(&mut self, out: &mut Vec<(u64, String)>) -> Result<(), String> {
+        match self {
+            Backend::Serial(_) => Ok(()),
+            Backend::Pooled(p) => p.pump(out),
+        }
+    }
+
+    /// Blocks until every submitted request has completed and its reply
+    /// was appended to `out`. Call before [`Backend::finish`] when the
+    /// replies matter (file/stdin frontends).
+    pub fn settle(&mut self, out: &mut Vec<(u64, String)>) -> Result<(), String> {
+        match self {
+            Backend::Serial(_) => Ok(()),
+            Backend::Pooled(p) => p.settle(out),
+        }
+    }
+
+    /// Drops per-connection reply state after a disconnect; undelivered
+    /// replies for that connection are discarded.
+    pub fn forget_conn(&mut self, conn: u64) {
+        if let Backend::Pooled(p) = self {
+            p.forget_conn(conn);
+        }
+    }
+
+    /// See [`Server::resume`].
+    pub fn resume(&mut self, events: &[ServeEvent]) -> Result<(), String> {
+        match self {
+            Backend::Serial(s) => s.resume(events),
+            Backend::Pooled(p) => p.resume(events),
+        }
+    }
+
+    /// See [`Server::cursor`].
+    pub fn cursor(&self) -> u64 {
+        match self {
+            Backend::Serial(s) => s.cursor(),
+            Backend::Pooled(p) => p.cursor(),
+        }
+    }
+
+    /// See [`Server::halted`].
+    pub fn halted(&self) -> bool {
+        match self {
+            Backend::Serial(s) => s.halted(),
+            Backend::Pooled(p) => p.halted(),
+        }
+    }
+
+    /// True while worker results are still outstanding. The serial
+    /// backend answers every request synchronously, so it is never busy.
+    pub fn busy(&self) -> bool {
+        match self {
+            Backend::Serial(_) => false,
+            Backend::Pooled(p) => p.busy(),
+        }
+    }
+
+    /// The configured per-request throttle (test hook).
+    pub fn throttle_ms(&self) -> u64 {
+        match self {
+            Backend::Serial(s) => s.opts.throttle_ms,
+            Backend::Pooled(p) => p.throttle_ms(),
+        }
+    }
+
+    pub(crate) fn summary_mut(&mut self) -> &mut ServeSummary {
+        match self {
+            Backend::Serial(s) => &mut s.summary,
+            Backend::Pooled(p) => p.summary_mut(),
+        }
+    }
+
+    /// Drains every session and returns the final accounting and log sink.
+    pub fn finish(self) -> Result<(ServeSummary, Sink), String> {
+        match self {
+            Backend::Serial(s) => s.finish(),
+            Backend::Pooled(p) => p.finish(),
+        }
+    }
+}
+
 /// Builds a session from a scheduler spec: a registry short name
 /// (`eager`, `batch+`, `cdb`, ...) optionally wrapped as
 /// `poison:<panic|hang>:<name>` to inject a misbehaving subject (the
 /// supervision test double).
-fn build_session(spec: &str, watchdog: usize) -> Result<Session, String> {
+pub(crate) fn build_session(spec: &str, watchdog: usize) -> Result<Session, String> {
     if let Some(rest) = spec.strip_prefix("poison:") {
         let (mode_label, inner) = rest
             .split_once(':')
@@ -605,8 +809,7 @@ fn lookup_kind(name: &str) -> Result<SchedulerKind, String> {
     } else {
         lower.as_str()
     };
-    SchedulerKind::from_short_name(canonical)
-        .ok_or_else(|| format!("unknown scheduler '{name}'"))
+    SchedulerKind::from_short_name(canonical).ok_or_else(|| format!("unknown scheduler '{name}'"))
 }
 
 /// Installs `SIGINT` + `SIGTERM` handlers that request a graceful drain
@@ -634,19 +837,23 @@ pub fn install_drain_handlers() {
 #[cfg(not(unix))]
 pub fn install_drain_handlers() {}
 
-/// Feeds a buffered reader to the server line by line, writing replies to
-/// `replies` (if given) and stopping on end-of-input, a requested stop
+/// Feeds a buffered reader to the backend line by line, writing replies
+/// to `replies` (if given) and stopping on end-of-input, a requested stop
 /// (signal) or a server halt. Byte offsets are tracked exactly as the
-/// batch trace reader does, so quarantine attribution matches.
+/// batch trace reader does, so quarantine attribution matches. All lines
+/// belong to one logical connection, so pooled replies come back in
+/// submission order.
 pub fn run_stream<R: BufRead>(
-    server: &mut Server,
+    backend: &mut Backend,
     mut src: R,
     mut replies: Option<&mut dyn Write>,
 ) -> Result<(), String> {
     let mut offset = 0u64;
     let mut buf = String::new();
+    let mut out: Vec<(u64, String)> = Vec::new();
+    let throttle = backend.throttle_ms();
     loop {
-        if stop_requested() || server.halted() {
+        if stop_requested() || backend.halted() {
             break;
         }
         buf.clear();
@@ -658,16 +865,30 @@ pub fn run_stream<R: BufRead>(
         }
         let line_offset = offset;
         offset += n as u64;
-        if server.opts.throttle_ms > 0 {
-            std::thread::sleep(std::time::Duration::from_millis(server.opts.throttle_ms));
+        if throttle > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(throttle));
         }
-        if let Some(reply) = server.handle_line(line_offset, &buf) {
-            if let Some(w) = replies.as_deref_mut() {
-                writeln!(w, "{reply}").map_err(|e| format!("writing reply: {e}"))?;
-                w.flush().map_err(|e| format!("writing reply: {e}"))?;
-            }
+        backend.submit(0, line_offset, &buf, &mut out)?;
+        write_replies(&mut out, &mut replies)?;
+    }
+    backend.settle(&mut out)?;
+    write_replies(&mut out, &mut replies)?;
+    Ok(())
+}
+
+fn write_replies(
+    out: &mut Vec<(u64, String)>,
+    replies: &mut Option<&mut dyn Write>,
+) -> Result<(), String> {
+    if let Some(w) = replies.as_deref_mut() {
+        for (_conn, reply) in out.iter() {
+            writeln!(w, "{reply}").map_err(|e| format!("writing reply: {e}"))?;
+        }
+        if !out.is_empty() {
+            w.flush().map_err(|e| format!("writing reply: {e}"))?;
         }
     }
+    out.clear();
     Ok(())
 }
 
@@ -675,7 +896,7 @@ pub fn run_stream<R: BufRead>(
 /// helper thread feeding a channel, so a `SIGINT`/`SIGTERM` drain request
 /// is honoured within ~100ms even while blocked waiting for input (a
 /// blocking `read_line` would swallow the signal until the next line).
-pub fn run_stdin(server: &mut Server) -> Result<(), String> {
+pub fn run_stdin(backend: &mut Backend) -> Result<(), String> {
     use std::sync::mpsc;
     use std::time::Duration;
 
@@ -699,102 +920,31 @@ pub fn run_stdin(server: &mut Server) -> Result<(), String> {
         }
     });
 
-    let mut replies = io::stdout();
+    let stdout = io::stdout();
+    let mut stdout = stdout.lock();
+    let mut replies: Option<&mut dyn Write> = Some(&mut stdout);
+    let mut out: Vec<(u64, String)> = Vec::new();
+    let throttle = backend.throttle_ms();
     loop {
-        if stop_requested() || server.halted() {
+        if stop_requested() || backend.halted() {
             break;
         }
         match rx.recv_timeout(Duration::from_millis(100)) {
             Ok((offset, line)) => {
-                if server.opts.throttle_ms > 0 {
-                    std::thread::sleep(Duration::from_millis(server.opts.throttle_ms));
+                if throttle > 0 {
+                    std::thread::sleep(Duration::from_millis(throttle));
                 }
-                if let Some(reply) = server.handle_line(offset, &line) {
-                    writeln!(replies, "{reply}").map_err(|e| format!("writing reply: {e}"))?;
-                    replies.flush().map_err(|e| format!("writing reply: {e}"))?;
-                }
+                backend.submit(0, offset, &line, &mut out)?;
             }
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                backend.pump(&mut out)?;
+            }
             Err(mpsc::RecvTimeoutError::Disconnected) => break,
         }
+        write_replies(&mut out, &mut replies)?;
     }
-    Ok(())
-}
-
-/// Serves connections on a unix socket, one at a time, until a stop is
-/// requested. Each connection gets its own byte-offset space; the protocol
-/// line counter is global, so journal resume cursors only apply to
-/// file/stdin frontends (socket input is not re-readable).
-#[cfg(unix)]
-pub fn run_socket(server: &mut Server, path: &std::path::Path) -> Result<(), String> {
-    use std::os::unix::net::UnixListener;
-
-    let _ = std::fs::remove_file(path);
-    let listener =
-        UnixListener::bind(path).map_err(|e| format!("binding {}: {e}", path.display()))?;
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| format!("socket: {e}"))?;
-    while !stop_requested() && !server.halted() {
-        match listener.accept() {
-            Ok((stream, _addr)) => serve_connection(server, stream)?,
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            Err(e) => return Err(format!("accept: {e}")),
-        }
-    }
-    let _ = std::fs::remove_file(path);
-    Ok(())
-}
-
-#[cfg(unix)]
-fn serve_connection(
-    server: &mut Server,
-    stream: std::os::unix::net::UnixStream,
-) -> Result<(), String> {
-    use std::io::Read;
-
-    stream
-        .set_read_timeout(Some(std::time::Duration::from_millis(100)))
-        .map_err(|e| format!("socket: {e}"))?;
-    let mut writer = stream
-        .try_clone()
-        .map_err(|e| format!("socket: {e}"))?;
-    let mut reader = stream;
-    let mut acc: Vec<u8> = Vec::new();
-    let mut consumed = 0u64;
-    let mut chunk = [0u8; 4096];
-    loop {
-        if stop_requested() || server.halted() {
-            break;
-        }
-        let n = match reader.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(e) => return Err(format!("socket read: {e}")),
-        };
-        acc.extend_from_slice(&chunk[..n]);
-        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
-            let line_bytes: Vec<u8> = acc.drain(..=pos).collect();
-            let line_offset = consumed;
-            consumed += line_bytes.len() as u64;
-            let line = String::from_utf8_lossy(&line_bytes).into_owned();
-            if server.opts.throttle_ms > 0 {
-                std::thread::sleep(std::time::Duration::from_millis(server.opts.throttle_ms));
-            }
-            if let Some(reply) = server.handle_line(line_offset, &line) {
-                writeln!(writer, "{reply}").map_err(|e| format!("socket write: {e}"))?;
-                writer.flush().map_err(|e| format!("socket write: {e}"))?;
-            }
-        }
-    }
+    backend.settle(&mut out)?;
+    write_replies(&mut out, &mut replies)?;
     Ok(())
 }
 
@@ -825,6 +975,32 @@ pub fn run_script(script: &str, opts: ServeOptions) -> Result<ScriptOutcome, Str
         }
     }
     let (summary, log) = server.finish()?;
+    let log = String::from_utf8_lossy(log.mem().unwrap_or_default()).into_owned();
+    Ok(ScriptOutcome {
+        replies,
+        log,
+        summary,
+    })
+}
+
+/// Like [`run_script`] but through whichever backend `opts.workers`
+/// selects — the entry point for the pooled bench case and the
+/// worker-count determinism tests (which assert the log is byte-identical
+/// to [`run_script`]'s).
+pub fn run_script_pooled(script: &str, opts: ServeOptions) -> Result<ScriptOutcome, String> {
+    let mut backend = Backend::new(opts, Sink::Mem(Vec::new()), None);
+    let mut out: Vec<(u64, String)> = Vec::new();
+    let mut offset = 0u64;
+    for line in script.split_inclusive('\n') {
+        backend.submit(0, offset, line, &mut out)?;
+        offset += line.len() as u64;
+        if backend.halted() {
+            break;
+        }
+    }
+    backend.settle(&mut out)?;
+    let replies = out.into_iter().map(|(_, reply)| reply).collect();
+    let (summary, log) = backend.finish()?;
     let log = String::from_utf8_lossy(log.mem().unwrap_or_default()).into_owned();
     Ok(ScriptOutcome {
         replies,
@@ -936,7 +1112,11 @@ mod tests {
             out.replies[4]
         );
         // ...and the close line reports it.
-        assert!(out.replies[6].contains("verdict=panicked"), "{}", out.replies[6]);
+        assert!(
+            out.replies[6].contains("verdict=panicked"),
+            "{}",
+            out.replies[6]
+        );
         // The healthy neighbour is untouched: same decisions as running alone.
         let alone = script_outcome(
             "open good eager\n\
@@ -1049,7 +1229,11 @@ mod tests {
         let journal = fjs_core::service::ServeJournal::create(&journal_path)
             .unwrap()
             .with_sync_every(1);
-        let mut server = Server::new(ServeOptions::default(), Sink::Mem(Vec::new()), Some(journal));
+        let mut server = Server::new(
+            ServeOptions::default(),
+            Sink::Mem(Vec::new()),
+            Some(journal),
+        );
         let mut offset = 0u64;
         for line in script.split_inclusive('\n') {
             server.handle_line(offset, line);

@@ -1,0 +1,415 @@
+//! Multi-core `fjs serve` end to end against the real binary: worker
+//! count must never change observable bytes (decision log, journal,
+//! replies), SIGKILL+`--resume` must hold at 8 workers, and the
+//! connection layer must survive the failure modes that used to kill
+//! the daemon — mid-line client disconnects, transient accept errors,
+//! and a live socket path that a second daemon must refuse to clobber.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique temp path per call so tests don't collide.
+fn scratch(tag: &str) -> PathBuf {
+    let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+    let mut p = std::env::temp_dir();
+    p.push(format!("fjs-pool-{tag}-{}-{n}", std::process::id()));
+    p
+}
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_fjs")
+}
+
+/// Emits the shared deterministic load script via `fjs loadgen --emit`.
+fn emit_script(path: &Path, sessions: u32, jobs: u32) {
+    let out = Command::new(bin())
+        .args(["loadgen", "--emit"])
+        .arg(path)
+        .args(["--sessions", &sessions.to_string()])
+        .args(["--jobs", &jobs.to_string()])
+        .args(["--seed", "23", "--scheduler", "batch"])
+        .output()
+        .expect("run fjs loadgen --emit");
+    assert!(out.status.success(), "loadgen must succeed: {out:?}");
+}
+
+/// Runs `serve --input` at a given worker count, returning (replies,
+/// status) with the log/journal left at the given paths.
+fn serve_input(script: &Path, workers: u32, log: &Path, journal: &Path) -> (Vec<u8>, bool) {
+    let out = Command::new(bin())
+        .args(["serve", "--input"])
+        .arg(script)
+        .args(["--workers", &workers.to_string()])
+        .args(["--log"])
+        .arg(log)
+        .args(["--journal"])
+        .arg(journal)
+        .output()
+        .expect("serve --input run");
+    (out.stdout, out.status.success())
+}
+
+/// Polls until the daemon's unix socket accepts a connection.
+fn await_socket(path: &Path) -> UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match UnixStream::connect(path) {
+            Ok(s) => return s,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("daemon socket {} never came up: {e}", path.display()),
+        }
+    }
+}
+
+fn terminate(child: &mut Child) -> std::process::Output {
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        match child.try_wait().expect("try_wait") {
+            Some(_) => break,
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    let mut stderr = Vec::new();
+    if let Some(mut pipe) = child.stderr.take() {
+        let _ = pipe.read_to_end(&mut stderr);
+    }
+    let status = child.wait().expect("wait for daemon");
+    std::process::Output {
+        status,
+        stdout: Vec::new(),
+        stderr,
+    }
+}
+
+/// The tentpole determinism contract at the binary level: decision log,
+/// journal and replies are byte-identical at 1, 2 and 8 workers.
+#[test]
+fn worker_count_never_changes_observable_bytes() {
+    let script = scratch("det-script");
+    emit_script(&script, 8, 240);
+
+    let mut outputs = Vec::new();
+    for workers in [1u32, 2, 8] {
+        let log = scratch(&format!("det-log-w{workers}"));
+        let journal = scratch(&format!("det-journal-w{workers}"));
+        let (replies, ok) = serve_input(&script, workers, &log, &journal);
+        assert!(ok, "workers={workers} run must succeed");
+        outputs.push((
+            workers,
+            std::fs::read(&log).expect("log"),
+            std::fs::read(&journal).expect("journal"),
+            replies,
+            log,
+            journal,
+        ));
+    }
+
+    let (_, ref_log, ref_journal, ref_replies, ..) = &outputs[0];
+    for (workers, log, journal, replies, ..) in &outputs[1..] {
+        assert_eq!(log, ref_log, "workers={workers}: decision log diverged");
+        assert_eq!(journal, ref_journal, "workers={workers}: journal diverged");
+        assert_eq!(replies, ref_replies, "workers={workers}: replies diverged");
+    }
+
+    let _ = std::fs::remove_file(&script);
+    for (.., log, journal) in &outputs {
+        let _ = std::fs::remove_file(log);
+        let _ = std::fs::remove_file(journal);
+    }
+}
+
+/// SIGKILL mid-load at 8 workers, then `--resume` at 8 workers, must
+/// converge to the uninterrupted single-worker decision log.
+#[test]
+fn sigkill_and_resume_at_8_workers_matches_serial_log() {
+    let script = scratch("kill8-script");
+    emit_script(&script, 8, 200);
+
+    let ref_log = scratch("kill8-ref-log");
+    let ref_journal = scratch("kill8-ref-journal");
+    let (_, ok) = serve_input(&script, 1, &ref_log, &ref_journal);
+    assert!(ok, "reference run must succeed");
+
+    let cut_log = scratch("kill8-cut-log");
+    let cut_journal = scratch("kill8-cut-journal");
+    let mut child = Command::new(bin())
+        .args(["serve", "--workers", "8", "--throttle-ms", "5"])
+        .args(["--checkpoint-every", "1", "--input"])
+        .arg(&script)
+        .args(["--log"])
+        .arg(&cut_log)
+        .args(["--journal"])
+        .arg(&cut_journal)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn throttled 8-worker serve");
+    std::thread::sleep(Duration::from_millis(400));
+    let _ = Command::new("kill")
+        .args(["-KILL", &child.id().to_string()])
+        .status();
+    let status = child.wait().expect("wait for killed serve");
+    assert!(!status.success(), "SIGKILL must not exit cleanly");
+
+    let resumed = Command::new(bin())
+        .args(["serve", "--workers", "8", "--resume", "--input"])
+        .arg(&script)
+        .args(["--log"])
+        .arg(&cut_log)
+        .args(["--journal"])
+        .arg(&cut_journal)
+        .output()
+        .expect("resumed 8-worker serve");
+    assert!(resumed.status.success(), "{resumed:?}");
+
+    assert_eq!(
+        std::fs::read(&ref_log).expect("reference log"),
+        std::fs::read(&cut_log).expect("resumed log"),
+        "killed+resumed 8-worker log must equal the uninterrupted serial one"
+    );
+
+    for p in [&script, &ref_log, &ref_journal, &cut_log, &cut_journal] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+/// The daemon-killing bug, pinned: a client dropping its connection
+/// mid-line must cost exactly that connection. A second client keeps
+/// scheduling and closing sessions, and the drain still exits 0 with
+/// the disconnect counted.
+#[test]
+fn midline_disconnect_keeps_daemon_serving() {
+    let sock = scratch("dc-sock");
+    let mut child = Command::new(bin())
+        .args(["serve", "--workers", "2", "--socket"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn socket daemon");
+
+    // Client A: half a request line, then a hard drop.
+    let mut a = await_socket(&sock);
+    a.write_all(b"open a eager\n").expect("client A open");
+    let mut a_reader = BufReader::new(a.try_clone().expect("clone A"));
+    let mut reply = String::new();
+    a_reader.read_line(&mut reply).expect("client A reply");
+    assert!(reply.starts_with("ok open a "), "{reply}");
+    a.write_all(b"job a 0,5,").expect("client A partial line");
+    a.flush().expect("flush A");
+    let _ = a.shutdown(std::net::Shutdown::Both);
+    drop(a);
+
+    // Client B: a full session lifecycle, after A is gone.
+    let b = await_socket(&sock);
+    let mut b_reader = BufReader::new(b.try_clone().expect("clone B"));
+    let mut b = b;
+    let ask = |req: &str, reader: &mut BufReader<UnixStream>, w: &mut UnixStream| {
+        writeln!(w, "{req}").expect("client B write");
+        w.flush().expect("client B flush");
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("client B read");
+        line.trim_end().to_string()
+    };
+    for (req, want) in [
+        ("open b eager", "ok open b "),
+        ("job b 0,5,1", "ok job b id=J0"),
+        ("job b 1,9,2", "ok job b id=J1"),
+        ("close b", "ok close b"),
+    ] {
+        let reply = ask(req, &mut b_reader, &mut b);
+        assert!(reply.starts_with(want), "'{req}' got '{reply}'");
+    }
+    drop(b_reader);
+    drop(b);
+
+    let out = terminate(&mut child);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "daemon must drain cleanly after a mid-line disconnect: {:?} (stderr: {stderr})",
+        out.status
+    );
+    assert!(
+        stderr.contains("1 dropped by I/O errors"),
+        "summary must count the mid-line disconnect: {stderr}"
+    );
+    let _ = std::fs::remove_file(&sock);
+}
+
+/// Socket-path claiming: a second daemon must refuse a live socket with
+/// exit 2, and a stale path (previous daemon SIGKILLed) must be swept
+/// and rebound.
+#[test]
+fn live_socket_refused_stale_socket_reclaimed() {
+    let sock = scratch("claim-sock");
+    let mut first = Command::new(bin())
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn first daemon");
+    drop(await_socket(&sock));
+
+    let second = Command::new(bin())
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .output()
+        .expect("second daemon");
+    assert_eq!(
+        second.status.code(),
+        Some(2),
+        "live socket must be refused as a usage error: {second:?}"
+    );
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("live daemon"),
+        "{second:?}"
+    );
+
+    // SIGKILL the first daemon so the path goes stale…
+    let _ = Command::new("kill")
+        .args(["-KILL", &first.id().to_string()])
+        .status();
+    let _ = first.wait();
+    assert!(sock.exists(), "SIGKILL must leave the socket path behind");
+
+    // …and a fresh daemon must sweep it and serve.
+    let mut third = Command::new(bin())
+        .args(["serve", "--socket"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn third daemon");
+    let mut c = await_socket(&sock);
+    let mut reader = BufReader::new(c.try_clone().expect("clone"));
+    writeln!(c, "open x eager").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.trim_end().starts_with("ok open x "), "{line}");
+    drop(reader);
+    drop(c);
+    let out = terminate(&mut third);
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_file(&sock);
+}
+
+/// Picks a free TCP port by binding to :0 and releasing it.
+fn free_port() -> u16 {
+    std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind :0")
+        .local_addr()
+        .expect("local addr")
+        .port()
+}
+
+/// TCP frontend end to end: closed-loop loadgen over TCP against a
+/// 4-worker daemon, every request answered, none errored.
+#[test]
+fn tcp_frontend_serves_closed_loop_loadgen() {
+    let addr = format!("127.0.0.1:{}", free_port());
+    let mut child = Command::new(bin())
+        .args(["serve", "--workers", "4", "--tcp", &addr])
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn tcp daemon");
+
+    // Wait for the listener, then drive it closed-loop with 4 clients.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match std::net::TcpStream::connect(&addr) {
+            Ok(_) => break,
+            Err(_) if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => panic!("tcp daemon never came up: {e}"),
+        }
+    }
+    let drive = Command::new(bin())
+        .args(["loadgen", "--tcp", &addr])
+        .args(["--sessions", "8", "--jobs", "160", "--concurrency", "4"])
+        .output()
+        .expect("closed-loop loadgen over tcp");
+    assert!(drive.status.success(), "{drive:?}");
+    let report = String::from_utf8_lossy(&drive.stdout);
+    // 160 jobs + 8 opens + 8 closes, all answered, none err.
+    assert!(report.contains("sent 176 requests"), "{report}");
+    assert!(report.contains("176 replies"), "{report}");
+    assert!(report.contains("0 err"), "{report}");
+    assert!(report.contains("latency histogram le"), "{report}");
+
+    let out = terminate(&mut child);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{:?} (stderr: {stderr})", out.status);
+    // 4 loadgen clients + this test's readiness probe.
+    assert!(stderr.contains("5 connections"), "{stderr}");
+}
+
+/// Concurrent unix-socket clients: two interleaved sessions on separate
+/// connections both complete with correct, in-order replies.
+#[test]
+fn concurrent_socket_clients_interleave() {
+    let sock = scratch("conc-sock");
+    let mut child = Command::new(bin())
+        .args(["serve", "--workers", "2", "--socket"])
+        .arg(&sock)
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn socket daemon");
+
+    let sock_a = sock.clone();
+    let sock_b = sock.clone();
+    let run_client = move |path: PathBuf, sid: &'static str| -> Vec<String> {
+        let mut s = await_socket(&path);
+        let mut reader = BufReader::new(s.try_clone().expect("clone"));
+        let mut replies = Vec::new();
+        let mut ask = |req: String| {
+            writeln!(s, "{req}").expect("write");
+            s.flush().expect("flush");
+            let mut line = String::new();
+            reader.read_line(&mut line).expect("read");
+            replies_push(&mut replies, line);
+        };
+        fn replies_push(v: &mut Vec<String>, line: String) {
+            v.push(line.trim_end().to_string());
+        }
+        ask(format!("open {sid} eager"));
+        for j in 0..20 {
+            ask(format!("job {sid} {j},{},1", j + 5));
+        }
+        ask(format!("close {sid}"));
+        replies
+    };
+    let ta = std::thread::spawn(move || run_client(sock_a, "alpha"));
+    let tb = std::thread::spawn(move || run_client(sock_b, "beta"));
+    let ra = ta.join().expect("client alpha");
+    let rb = tb.join().expect("client beta");
+
+    for (sid, replies) in [("alpha", &ra), ("beta", &rb)] {
+        assert_eq!(replies.len(), 22, "{sid}");
+        assert!(replies[0].starts_with(&format!("ok open {sid} ")), "{sid}");
+        for (j, r) in replies[1..21].iter().enumerate() {
+            assert!(
+                r.starts_with(&format!("ok job {sid} id=J{j} ")),
+                "{sid} job {j}: {r}"
+            );
+        }
+        assert!(replies[21].starts_with(&format!("ok close {sid}")), "{sid}");
+    }
+
+    let out = terminate(&mut child);
+    assert!(out.status.success(), "{out:?}");
+    let _ = std::fs::remove_file(&sock);
+}

@@ -84,7 +84,14 @@ fn sigkill_and_resume_reproduce_the_decision_log() {
     let cut_log = scratch("kill-cut-log");
     let cut_journal = scratch("kill-cut-journal");
     let mut child = Command::new(bin())
-        .args(["serve", "--throttle-ms", "5", "--checkpoint-every", "1", "--input"])
+        .args([
+            "serve",
+            "--throttle-ms",
+            "5",
+            "--checkpoint-every",
+            "1",
+            "--input",
+        ])
         .arg(&script)
         .args(["--log"])
         .arg(&cut_log)

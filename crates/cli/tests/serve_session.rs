@@ -4,7 +4,7 @@
 //! the spans the batch engine computes for the same instance, and a
 //! poisoned session must never leak into its neighbours.
 
-use fjs_cli::serve::{run_script, ServeOptions};
+use fjs_cli::serve::{run_script, run_script_pooled, ServeOptions};
 use fjs_core::job::{Instance, Job};
 use fjs_core::supervise::with_quiet_panics;
 use fjs_schedulers::SchedulerKind;
@@ -29,7 +29,12 @@ fn deck() -> Vec<(f64, f64, f64)> {
 }
 
 fn instance() -> Instance {
-    Instance::new(deck().into_iter().map(|(a, d, p)| Job::adp(a, d, p)).collect())
+    Instance::new(
+        deck()
+            .into_iter()
+            .map(|(a, d, p)| Job::adp(a, d, p))
+            .collect(),
+    )
 }
 
 fn script_for(kind: SchedulerKind) -> String {
@@ -78,7 +83,12 @@ fn every_registered_scheduler_matches_its_batch_span() {
         // Start decisions stream one per job.
         let starts = out.log.lines().filter(|l| l.contains(" start ")).count();
         let dones = out.log.lines().filter(|l| l.contains(" done ")).count();
-        assert_eq!((starts, dones), (deck().len(), deck().len()), "{}", kind.label());
+        assert_eq!(
+            (starts, dones),
+            (deck().len(), deck().len()),
+            "{}",
+            kind.label()
+        );
     }
 }
 
@@ -94,6 +104,124 @@ fn serve_decision_stream_is_deterministic_per_scheduler() {
             kind.label()
         );
         assert_eq!(a.replies, b.replies, "{}", kind.label());
+    }
+}
+
+/// The worker pool's determinism contract: for a script interleaving
+/// every registered scheduler across concurrent sessions, the pooled
+/// backend must produce the serial backend's decision log and replies
+/// byte for byte, at every worker count.
+#[test]
+fn pooled_backend_is_byte_identical_to_serial() {
+    let kinds = SchedulerKind::registered_set();
+    let mut script = String::new();
+    for (i, kind) in kinds.iter().enumerate() {
+        script.push_str(&format!("open n{i} {}\n", kind.short_name()));
+    }
+    for (a, d, p) in deck() {
+        for i in 0..kinds.len() {
+            script.push_str(&format!("job n{i} {a},{d},{p}\n"));
+        }
+    }
+    for i in 0..kinds.len() {
+        script.push_str(&format!("stats n{i}\n"));
+        script.push_str(&format!("close n{i}\n"));
+    }
+
+    let serial = run_script(&script, ServeOptions::default()).expect("serial run");
+    assert!(serial.summary.halted.is_none());
+    for workers in [1, 2, 3, 8] {
+        let opts = ServeOptions {
+            workers,
+            ..ServeOptions::default()
+        };
+        let pooled = run_script_pooled(&script, opts).expect("pooled run");
+        assert_eq!(
+            serial.log, pooled.log,
+            "workers={workers}: decision log must match the serial backend"
+        );
+        assert_eq!(
+            serial.replies, pooled.replies,
+            "workers={workers}: replies must match the serial backend"
+        );
+        assert_eq!(
+            serial.summary.jobs, pooled.summary.jobs,
+            "workers={workers}"
+        );
+        assert_eq!(
+            serial.summary.shed, pooled.summary.shed,
+            "workers={workers}"
+        );
+    }
+}
+
+/// A poisoned session sharded onto one worker must not stall its
+/// sibling workers' sessions: the pooled run completes, the poisoned
+/// session gets a typed verdict, and every healthy session's log equals
+/// its clean serial run.
+#[test]
+fn pooled_poison_session_does_not_stall_siblings() {
+    let kinds = SchedulerKind::registered_set();
+    let clean: Vec<(SchedulerKind, String)> = kinds
+        .iter()
+        .map(|&kind| {
+            let out = run_script(&script_for(kind), ServeOptions::default()).unwrap();
+            (kind, out.log)
+        })
+        .collect();
+
+    for poison in ["poison:panic:eager", "poison:hang:eager"] {
+        let mut script = format!("open bad {poison}\n");
+        for (i, (kind, _)) in clean.iter().enumerate() {
+            script.push_str(&format!("open n{i} {}\n", kind.short_name()));
+        }
+        for (j, (a, d, p)) in deck().into_iter().enumerate() {
+            if j == 1 {
+                script.push_str(&format!("job bad {a},{d},{p}\n"));
+            }
+            for i in 0..clean.len() {
+                script.push_str(&format!("job n{i} {a},{d},{p}\n"));
+            }
+        }
+        script.push_str("close bad\n");
+        for i in 0..clean.len() {
+            script.push_str(&format!("close n{i}\n"));
+        }
+
+        let opts = ServeOptions {
+            workers: 4,
+            watchdog_events: 5_000,
+            ..ServeOptions::default()
+        };
+        let out = with_quiet_panics(|| run_script_pooled(&script, opts).unwrap());
+        let bad_close = out
+            .log
+            .lines()
+            .find(|l| l.starts_with("bad close"))
+            .unwrap_or_else(|| panic!("{poison}: no close line for the poisoned session"));
+        assert!(
+            bad_close.contains("verdict=panicked") || bad_close.contains("verdict=timed-out"),
+            "{poison}: poisoned session must end with a typed verdict: {bad_close}"
+        );
+
+        for (i, (kind, clean_log)) in clean.iter().enumerate() {
+            let prefix = format!("n{i} ");
+            let mine: Vec<&str> = out
+                .log
+                .lines()
+                .filter_map(|l| l.strip_prefix(&prefix))
+                .collect();
+            let reference: Vec<&str> = clean_log
+                .lines()
+                .filter_map(|l| l.strip_prefix("x "))
+                .collect();
+            assert_eq!(
+                mine,
+                reference,
+                "{poison}: pooled session n{i} ({}) diverged from its clean run",
+                kind.label()
+            );
+        }
     }
 }
 

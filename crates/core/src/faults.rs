@@ -93,12 +93,12 @@ impl EnvFaultMode {
             EnvFaultMode::EqualTimestampStorm => vec![Time::new(2.0)],
             EnvFaultMode::ExtremeMu => vec![Time::new(1.0)],
             EnvFaultMode::DeferredRulings => vec![Time::new(1.0), Time::new(2.0)],
-            EnvFaultMode::CompletionChained => {
-                (1..=4).map(|k| Time::new(k as f64)).collect()
-            }
+            EnvFaultMode::CompletionChained => (1..=4).map(|k| Time::new(k as f64)).collect(),
             EnvFaultMode::DenseReleases => {
                 // 1.0 + k·ε are exactly representable (ulp(1.0) = ε).
-                (0..8).map(|k| Time::new(1.0 + k as f64 * f64::EPSILON)).collect()
+                (0..8)
+                    .map(|k| Time::new(1.0 + k as f64 * f64::EPSILON))
+                    .collect()
             }
             EnvFaultMode::PrecisionLoss => vec![Time::new(1.0e15)],
         }
@@ -155,9 +155,9 @@ impl<E: Environment> FaultyEnvironment<E> {
             EnvFaultMode::ZeroLaxityBurst => {
                 (0..8).map(|_| JobSpec::fixed(now, dur(1.0))).collect()
             }
-            EnvFaultMode::EqualTimestampStorm => {
-                (0..16).map(|_| JobSpec::fixed(now + dur(1.0), dur(1.0))).collect()
-            }
+            EnvFaultMode::EqualTimestampStorm => (0..16)
+                .map(|_| JobSpec::fixed(now + dur(1.0), dur(1.0)))
+                .collect(),
             EnvFaultMode::ExtremeMu => [1.0e-9, 1.0, 1.0e9]
                 .into_iter()
                 .map(|p| JobSpec::fixed(now + dur(0.5), dur(p)))
@@ -309,7 +309,11 @@ pub struct ChaosScheduler<S> {
 impl<S: OnlineScheduler> ChaosScheduler<S> {
     /// Wraps `inner`, perturbing its actions per `mode`.
     pub fn new(inner: S, mode: SchedFaultMode) -> Self {
-        ChaosScheduler { inner, mode, storm_budget: STORM_BUDGET }
+        ChaosScheduler {
+            inner,
+            mode,
+            storm_budget: STORM_BUDGET,
+        }
     }
 
     /// Replays one unperturbed action into the sink.
@@ -450,9 +454,11 @@ mod tests {
     #[test]
     fn every_env_fault_mode_completes_without_env_fault() {
         for mode in EnvFaultMode::ALL {
-            for cl in
-                [Clairvoyance::Clairvoyant, Clairvoyance::NonClairvoyant, Clairvoyance::ClassOnly]
-            {
+            for cl in [
+                Clairvoyance::Clairvoyant,
+                Clairvoyance::NonClairvoyant,
+                Clairvoyance::ClassOnly,
+            ] {
                 let out = run(faulty_env(mode, cl), EagerTest);
                 assert_eq!(
                     out.termination,
@@ -485,7 +491,10 @@ mod tests {
 
     #[test]
     fn precision_loss_yields_zero_width_intervals() {
-        let out = run(faulty_env(EnvFaultMode::PrecisionLoss, Clairvoyance::Clairvoyant), EagerTest);
+        let out = run(
+            faulty_env(EnvFaultMode::PrecisionLoss, Clairvoyance::Clairvoyant),
+            EagerTest,
+        );
         assert_eq!(out.termination, Termination::Completed);
         // The injected jobs start at 10¹⁵ where their 10⁻³ lengths vanish
         // below the ulp: completion == start, and the span contribution of
@@ -514,7 +523,10 @@ mod tests {
                     assert!(!out.violations.is_empty(), "{mode}: force-starts expected");
                 }
                 SchedFaultMode::DuplicateStarts | SchedFaultMode::StartNonPending => {
-                    assert!(!out.rejected_actions.is_empty(), "{mode}: rejections expected");
+                    assert!(
+                        !out.rejected_actions.is_empty(),
+                        "{mode}: rejections expected"
+                    );
                     assert!(out.violations.is_empty(), "{mode}: originals still honored");
                 }
                 SchedFaultMode::WakeupStorm => {
@@ -532,7 +544,11 @@ mod tests {
         );
         assert_eq!(out.termination, Termination::Completed);
         // Budget caps the storm: well under the default event cap.
-        assert!(out.events_processed < 1_000, "storm not bounded: {}", out.events_processed);
+        assert!(
+            out.events_processed < 1_000,
+            "storm not bounded: {}",
+            out.events_processed
+        );
     }
 
     #[test]

@@ -676,11 +676,7 @@ mod tests {
                     acc.record(iv);
                     reference.insert(iv);
                 }
-                assert_eq!(
-                    acc.total(),
-                    reference.measure(),
-                    "divergence at now={now}"
-                );
+                assert_eq!(acc.total(), reference.measure(), "divergence at now={now}");
                 assert!(
                     acc.live_segments()
                         <= reference

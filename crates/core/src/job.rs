@@ -117,8 +117,15 @@ impl Job {
             arrival <= deadline,
             "starting deadline {deadline} precedes arrival {arrival}"
         );
-        assert!(length.is_positive(), "processing length must be positive, got {length}");
-        Job { arrival, deadline, length }
+        assert!(
+            length.is_positive(),
+            "processing length must be positive, got {length}"
+        );
+        Job {
+            arrival,
+            deadline,
+            length,
+        }
     }
 
     /// Fallible constructor: like [`Job::new`] but returns a typed error
@@ -132,9 +139,15 @@ impl Job {
             });
         }
         if !length.is_positive() {
-            return Err(JobError::NonPositiveLength { length: length.get() });
+            return Err(JobError::NonPositiveLength {
+                length: length.get(),
+            });
         }
-        Ok(Job { arrival, deadline, length })
+        Ok(Job {
+            arrival,
+            deadline,
+            length,
+        })
     }
 
     /// Convenience constructor from raw `f64`s: `(a, d, p)`.
@@ -147,7 +160,11 @@ impl Job {
     /// constructing [`Time`]/[`Dur`] values, so NaN or infinite fields from
     /// untrusted sources surface as a [`JobError`] rather than a panic.
     pub fn try_adp(arrival: f64, deadline: f64, length: f64) -> Result<Self, JobError> {
-        for (what, v) in [("arrival", arrival), ("deadline", deadline), ("length", length)] {
+        for (what, v) in [
+            ("arrival", arrival),
+            ("deadline", deadline),
+            ("length", length),
+        ] {
             if !v.is_finite() {
                 return Err(JobError::NonFinite { what, value: v });
             }
@@ -245,7 +262,11 @@ impl Job {
 
 impl fmt::Display for Job {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "(a={}, d={}, p={})", self.arrival, self.deadline, self.length)
+        write!(
+            f,
+            "(a={}, d={}, p={})",
+            self.arrival, self.deadline, self.length
+        )
     }
 }
 
@@ -311,7 +332,10 @@ impl Instance {
 
     /// `(id, job)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (JobId, &Job)> {
-        self.jobs.iter().enumerate().map(|(i, j)| (JobId(i as u32), j))
+        self.jobs
+            .iter()
+            .enumerate()
+            .map(|(i, j)| (JobId(i as u32), j))
     }
 
     /// Job ids sorted by `(arrival, id)`.
@@ -439,15 +463,24 @@ mod tests {
         assert!(Job::try_adp(1.0, 4.0, 2.0).is_ok());
         assert!(matches!(
             Job::try_adp(f64::NAN, 4.0, 2.0),
-            Err(JobError::NonFinite { what: "arrival", .. })
+            Err(JobError::NonFinite {
+                what: "arrival",
+                ..
+            })
         ));
         assert!(matches!(
             Job::try_adp(0.0, f64::INFINITY, 1.0),
-            Err(JobError::NonFinite { what: "deadline", .. })
+            Err(JobError::NonFinite {
+                what: "deadline",
+                ..
+            })
         ));
         assert_eq!(
             Job::try_adp(2.0, 1.0, 1.0),
-            Err(JobError::DeadlineBeforeArrival { arrival: 2.0, deadline: 1.0 })
+            Err(JobError::DeadlineBeforeArrival {
+                arrival: 2.0,
+                deadline: 1.0
+            })
         );
         assert_eq!(
             Job::try_adp(0.0, 1.0, 0.0),
@@ -489,7 +522,10 @@ mod tests {
         assert!(early.never_overlaps(&late));
         assert!(late.never_overlaps(&early), "relation is symmetric");
         let mid = Job::adp(2.5, 10.0, 1.0);
-        assert!(!early.never_overlaps(&mid), "arrives before latest completion");
+        assert!(
+            !early.never_overlaps(&mid),
+            "arrives before latest completion"
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ pub struct ScheduleMetrics {
 /// Panics if the schedule is incomplete or sized differently from the
 /// instance.
 pub fn schedule_metrics(inst: &Instance, schedule: &Schedule) -> ScheduleMetrics {
-    assert_eq!(schedule.len(), inst.len(), "schedule/instance size mismatch");
+    assert_eq!(
+        schedule.len(),
+        inst.len(),
+        "schedule/instance size mismatch"
+    );
     let span = schedule.span(inst);
     let peak = concurrency_profile(inst, schedule)
         .into_iter()
@@ -159,7 +163,11 @@ mod tests {
         let (inst, s) = setup();
         assert_eq!(concurrency_at(&inst, &s, t(0.5)), 0);
         assert_eq!(concurrency_at(&inst, &s, t(2.5)), 2);
-        assert_eq!(concurrency_at(&inst, &s, t(3.0)), 1, "half-open: J0 done at 3");
+        assert_eq!(
+            concurrency_at(&inst, &s, t(3.0)),
+            1,
+            "half-open: J0 done at 3"
+        );
         assert_eq!(concurrency_at(&inst, &s, t(8.0)), 1);
         assert_eq!(concurrency_at(&inst, &s, t(9.0)), 0);
     }
@@ -205,7 +213,9 @@ mod tests {
         let (inst, s) = setup();
         let profile = concurrency_profile(&inst, &s);
         assert!(
-            profile.windows(2).all(|w| w[0].1 != w[1].1 && w[0].0 < w[1].0),
+            profile
+                .windows(2)
+                .all(|w| w[0].1 != w[1].1 && w[0].0 < w[1].0),
             "consecutive entries must differ in count and ascend in time: {profile:?}"
         );
         // Each entry agrees with the instantaneous oracle.

@@ -17,7 +17,9 @@ pub struct Schedule {
 impl Schedule {
     /// An empty schedule for `n` jobs.
     pub fn with_len(n: usize) -> Self {
-        Schedule { starts: vec![None; n] }
+        Schedule {
+            starts: vec![None; n],
+        }
     }
 
     /// Builds a schedule from explicit `(JobId, start)` pairs for an
@@ -79,7 +81,11 @@ impl Schedule {
 
     /// The union of all active intervals.
     pub fn busy_set(&self, inst: &Instance) -> IntervalSet {
-        assert_eq!(self.starts.len(), inst.len(), "schedule/instance size mismatch");
+        assert_eq!(
+            self.starts.len(),
+            inst.len(),
+            "schedule/instance size mismatch"
+        );
         inst.iter()
             .filter_map(|(id, job)| self.start(id).map(|s| job.active_interval_at(s)))
             .collect()
@@ -147,14 +153,20 @@ impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ScheduleError::SizeMismatch { schedule, instance } => {
-                write!(f, "schedule has {schedule} slots but instance has {instance} jobs")
+                write!(
+                    f,
+                    "schedule has {schedule} slots but instance has {instance} jobs"
+                )
             }
             ScheduleError::Unstarted(id) => write!(f, "job {id} was never started"),
             ScheduleError::StartedBeforeArrival { id, start } => {
                 write!(f, "job {id} started at {start}, before its arrival")
             }
             ScheduleError::MissedDeadline { id, start } => {
-                write!(f, "job {id} started at {start}, after its starting deadline")
+                write!(
+                    f,
+                    "job {id} started at {start}, after its starting deadline"
+                )
             }
         }
     }
@@ -221,7 +233,10 @@ mod tests {
         );
         assert_eq!(
             s.validate(&inst),
-            Err(ScheduleError::StartedBeforeArrival { id: JobId(2), start: t(3.0) })
+            Err(ScheduleError::StartedBeforeArrival {
+                id: JobId(2),
+                start: t(3.0)
+            })
         );
     }
 
@@ -234,7 +249,10 @@ mod tests {
         );
         assert_eq!(
             s.validate(&inst),
-            Err(ScheduleError::MissedDeadline { id: JobId(0), start: t(2.5) })
+            Err(ScheduleError::MissedDeadline {
+                id: JobId(0),
+                start: t(2.5)
+            })
         );
     }
 
@@ -244,7 +262,10 @@ mod tests {
         let s = Schedule::with_len(2);
         assert_eq!(
             s.validate(&inst),
-            Err(ScheduleError::SizeMismatch { schedule: 2, instance: 3 })
+            Err(ScheduleError::SizeMismatch {
+                schedule: 2,
+                instance: 3
+            })
         );
     }
 
@@ -269,7 +290,10 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        let e = ScheduleError::MissedDeadline { id: JobId(3), start: t(9.0) };
+        let e = ScheduleError::MissedDeadline {
+            id: JobId(3),
+            start: t(9.0),
+        };
         assert!(e.to_string().contains("J3"));
         assert!(e.to_string().contains("starting deadline"));
     }

@@ -132,9 +132,7 @@ impl ServeEvent {
                 .map(|(_, v)| v.as_str())
                 .ok_or_else(|| format!("missing field '{key}'"))
         };
-        let version: u32 = get("v")?
-            .parse()
-            .map_err(|_| "bad version".to_string())?;
+        let version: u32 = get("v")?.parse().map_err(|_| "bad version".to_string())?;
         if version != SERVE_JOURNAL_VERSION {
             return Err(format!("unsupported journal version {version}"));
         }
@@ -303,10 +301,7 @@ impl ServeJournal {
                     if is_tail {
                         break; // torn final record: crash artifact, drop it
                     }
-                    return Err(ServeJournalError::Corrupt {
-                        line: idx + 1,
-                        why,
-                    });
+                    return Err(ServeJournalError::Corrupt { line: idx + 1, why });
                 }
             }
         }
@@ -505,8 +500,7 @@ mod tests {
             }
         }
         let (replayed, _) = run(&replayed_offers);
-        let render =
-            |ds: &[Decision]| ds.iter().map(|d| format!("{d}\n")).collect::<String>();
+        let render = |ds: &[Decision]| ds.iter().map(|d| format!("{d}\n")).collect::<String>();
         assert_eq!(render(&original), render(&replayed));
         let _ = std::fs::remove_file(&path);
     }

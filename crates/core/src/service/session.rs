@@ -819,23 +819,21 @@ mod tests {
                 .collect();
             assert_eq!(starts.len(), offers.len(), "{label}: all jobs started");
             for &(id, at) in &starts {
-                assert_eq!(
-                    batch.schedule.start(id),
-                    Some(at),
-                    "{label}: start of {id}"
-                );
+                assert_eq!(batch.schedule.start(id), Some(at), "{label}: start of {id}");
             }
             // Final decision's running span equals the batch span.
-            assert_eq!(decisions.last().map(|d| d.span), Some(batch.span), "{label}");
+            assert_eq!(
+                decisions.last().map(|d| d.span),
+                Some(batch.span),
+                "{label}"
+            );
         }
     }
 
     #[test]
     fn session_is_deterministic_byte_for_byte() {
         let offers = deck();
-        let render = |ds: &[Decision]| {
-            ds.iter().map(|d| format!("{d}\n")).collect::<String>()
-        };
+        let render = |ds: &[Decision]| ds.iter().map(|d| format!("{d}\n")).collect::<String>();
         let (a, _, _) = session_outcome(Box::new(Latest), &offers);
         let (b, _, _) = session_outcome(Box::new(Latest), &offers);
         assert_eq!(render(&a), render(&b));
@@ -888,8 +886,7 @@ mod tests {
 
     #[test]
     fn watchdog_contains_wakeup_spin() {
-        let mut s =
-            Session::new(Box::new(Spinner), Clairvoyance::Clairvoyant).with_watchdog(500);
+        let mut s = Session::new(Box::new(Spinner), Clairvoyance::Clairvoyant).with_watchdog(500);
         s.offer(offer(0.0, 1.0, 1.0)).unwrap();
         let verdict = s.close();
         let SessionVerdict::TimedOut { events } = verdict else {

@@ -82,12 +82,18 @@ pub struct JobSpec {
 impl JobSpec {
     /// A job with a fixed length.
     pub fn fixed(deadline: Time, length: Dur) -> Self {
-        JobSpec { deadline, length: LengthSpec::Fixed(length) }
+        JobSpec {
+            deadline,
+            length: LengthSpec::Fixed(length),
+        }
     }
 
     /// A job whose length the environment will decide adaptively.
     pub fn adaptive(deadline: Time) -> Self {
-        JobSpec { deadline, length: LengthSpec::Adaptive }
+        JobSpec {
+            deadline,
+            length: LengthSpec::Adaptive,
+        }
     }
 }
 
@@ -132,7 +138,13 @@ pub trait Environment {
     /// `started_at` is the job's start time; `now` is the ruling time (equal
     /// to `started_at` on the first call). When assigning, the completion
     /// `started_at + length` must be `>= now`.
-    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+    fn rule_length(
+        &mut self,
+        id: JobId,
+        started_at: Time,
+        now: Time,
+        world: &World,
+    ) -> LengthRuling {
         let _ = (id, started_at, now, world);
         unreachable!("environment released an Adaptive job but does not implement rule_length")
     }
@@ -148,7 +160,13 @@ impl<E: Environment + ?Sized> Environment for &mut E {
     fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
         (**self).release_at(now, world)
     }
-    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+    fn rule_length(
+        &mut self,
+        id: JobId,
+        started_at: Time,
+        now: Time,
+        world: &World,
+    ) -> LengthRuling {
         (**self).rule_length(id, started_at, now, world)
     }
 }
@@ -163,7 +181,13 @@ impl<E: Environment + ?Sized> Environment for Box<E> {
     fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
         (**self).release_at(now, world)
     }
-    fn rule_length(&mut self, id: JobId, started_at: Time, now: Time, world: &World) -> LengthRuling {
+    fn rule_length(
+        &mut self,
+        id: JobId,
+        started_at: Time,
+        now: Time,
+        world: &World,
+    ) -> LengthRuling {
         (**self).rule_length(id, started_at, now, world)
     }
 }
@@ -190,7 +214,11 @@ impl StaticEnv {
             .map(|(id, j)| (j.arrival(), j.deadline(), j.length(), id.index()))
             .collect();
         jobs.sort_by_key(|a| (a.0, a.3));
-        StaticEnv { jobs, next: 0, clairvoyance }
+        StaticEnv {
+            jobs,
+            next: 0,
+            clairvoyance,
+        }
     }
 
     /// Maps a simulation `JobId` (release order) back to the index of the

@@ -37,7 +37,11 @@ macro_rules! impl_finite_newtype {
             #[inline]
             #[track_caller]
             pub fn new(v: f64) -> Self {
-                assert!(v.is_finite(), concat!(stringify!($name), " must be finite, got {}"), v);
+                assert!(
+                    v.is_finite(),
+                    concat!(stringify!($name), " must be finite, got {}"),
+                    v
+                );
                 Self(v)
             }
 
@@ -50,13 +54,21 @@ macro_rules! impl_finite_newtype {
             /// Element-wise minimum.
             #[inline]
             pub fn min(self, other: Self) -> Self {
-                if self <= other { self } else { other }
+                if self <= other {
+                    self
+                } else {
+                    other
+                }
             }
 
             /// Element-wise maximum.
             #[inline]
             pub fn max(self, other: Self) -> Self {
-                if self >= other { self } else { other }
+                if self >= other {
+                    self
+                } else {
+                    other
+                }
             }
         }
 

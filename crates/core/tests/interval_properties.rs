@@ -134,7 +134,11 @@ fn insert_matches_sort_and_merge_oracle() {
         for iv in &ivs {
             set.insert(*iv);
         }
-        assert_eq!(set.segments(), naive_merge(&ivs).as_slice(), "inputs {ivs:?}");
+        assert_eq!(
+            set.segments(),
+            naive_merge(&ivs).as_slice(),
+            "inputs {ivs:?}"
+        );
     });
 }
 
@@ -174,7 +178,11 @@ fn segment_containing_matches_oracle() {
             t(rng.u64_below(500) as f64 / 4.0)
         };
         let expected = merged.iter().find(|seg| seg.contains(probe)).copied();
-        assert_eq!(set.segment_containing(probe), expected, "probe {probe} on {set}");
+        assert_eq!(
+            set.segment_containing(probe),
+            expected,
+            "probe {probe} on {set}"
+        );
     });
 }
 

@@ -46,7 +46,9 @@ pub fn assign_busy_time(inst: &Instance, schedule: &Schedule, g: usize) -> BusyT
     let items: Vec<Item> = inst
         .iter()
         .map(|(id, job)| {
-            let s = schedule.start(id).expect("busy-time needs a complete schedule");
+            let s = schedule
+                .start(id)
+                .expect("busy-time needs a complete schedule");
             Item::new(job.active_interval_at(s), size)
         })
         .collect();
@@ -122,10 +124,7 @@ mod tests {
             .map(|i| Job::adp((i % 7) as f64, (i % 7) as f64 + 5.0, 1.0 + (i % 3) as f64))
             .collect();
         let inst = Instance::new(jobs);
-        let s = Schedule::from_starts(
-            inst.len(),
-            inst.iter().map(|(id, j)| (id, j.deadline())),
-        );
+        let s = Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
         for g in [1, 2, 3, 5, 50] {
             let out = assign_busy_time(&inst, &s, g);
             assert!(

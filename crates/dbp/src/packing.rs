@@ -36,7 +36,10 @@ impl Item {
     /// # Panics
     /// Panics unless `0 < size <= 1` and the interval is non-empty.
     pub fn new(interval: Interval, size: f64) -> Self {
-        assert!(size > 0.0 && size <= 1.0, "size must be in (0, 1], got {size}");
+        assert!(
+            size > 0.0 && size <= 1.0,
+            "size must be in (0, 1], got {size}"
+        );
         assert!(!interval.is_empty(), "item interval must be non-empty");
         Item { interval, size }
     }
@@ -69,10 +72,17 @@ impl Packer {
         match *self {
             Packer::FirstFit | Packer::BestFit | Packer::NextFit => None,
             Packer::ClassifiedFirstFit { alpha, base } => {
-                assert!(alpha > 1.0 && base > 0.0, "invalid classified first fit parameters");
+                assert!(
+                    alpha > 1.0 && base > 0.0,
+                    "invalid classified first fit parameters"
+                );
                 let x = (len.get() / base).ln() / alpha.ln();
                 let snapped = x.round();
-                Some(if (x - snapped).abs() < 1e-9 { snapped as i64 } else { x.ceil() as i64 })
+                Some(if (x - snapped).abs() < 1e-9 {
+                    snapped as i64
+                } else {
+                    x.ceil() as i64
+                })
             }
         }
     }
@@ -212,9 +222,7 @@ pub fn pack(items: &[Item], packer: Packer) -> Packing {
                 let mut best: Option<(usize, f64)> = None;
                 for (i, bin) in bins.iter_mut().enumerate() {
                     bin.settle(t);
-                    if bin.fits(item.size)
-                        && best.is_none_or(|(_, load)| bin.load > load)
-                    {
+                    if bin.fits(item.size) && best.is_none_or(|(_, load)| bin.load > load) {
                         best = Some((i, bin.load));
                     }
                 }
@@ -249,8 +257,11 @@ pub fn pack(items: &[Item], packer: Packer) -> Packing {
 /// item is resident, and at least the time-accumulated demand because bins
 /// have unit capacity).
 pub fn usage_lower_bound(items: &[Item]) -> Dur {
-    let span: Dur =
-        items.iter().map(|i| i.interval).collect::<IntervalSet>().measure();
+    let span: Dur = items
+        .iter()
+        .map(|i| i.interval)
+        .collect::<IntervalSet>()
+        .measure();
     let area: f64 = items.iter().map(|i| i.interval.len().get() * i.size).sum();
     span.max(Dur::new(area))
 }
@@ -267,7 +278,8 @@ pub fn verify_capacity(items: &[Item], packing: &Packing) -> Option<(usize, Time
         }
         // Departures (negative) before arrivals at equal times.
         events.sort_by(|x, y| {
-            x.0.cmp(&y.0).then(x.1.partial_cmp(&y.1).expect("finite sizes"))
+            x.0.cmp(&y.0)
+                .then(x.1.partial_cmp(&y.1).expect("finite sizes"))
         });
         let mut load = 0.0;
         for (t, delta) in events {
@@ -328,7 +340,13 @@ mod tests {
     fn classified_first_fit_separates_classes() {
         // Durations 1 and 10 land in different classes for alpha=2, base=1.
         let items = [item(0.0, 1.0, 0.3), item(0.0, 10.0, 0.3)];
-        let p = pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 });
+        let p = pack(
+            &items,
+            Packer::ClassifiedFirstFit {
+                alpha: 2.0,
+                base: 1.0,
+            },
+        );
         assert_eq!(p.num_bins(), 2);
         assert_ne!(p.bins[0].class, p.bins[1].class);
     }
@@ -336,7 +354,13 @@ mod tests {
     #[test]
     fn classified_same_class_shares() {
         let items = [item(0.0, 3.0, 0.4), item(1.0, 4.5, 0.4)];
-        let p = pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 });
+        let p = pack(
+            &items,
+            Packer::ClassifiedFirstFit {
+                alpha: 2.0,
+                base: 1.0,
+            },
+        );
         assert_eq!(p.num_bins(), 1);
     }
 
@@ -365,7 +389,10 @@ mod tests {
         let mut bin = Bin::new(None);
         bin.place(0, items[0]);
         bin.place(1, items[1]);
-        let p = Packing { total_usage: bin.usage(), bins: vec![bin] };
+        let p = Packing {
+            total_usage: bin.usage(),
+            bins: vec![bin],
+        };
         let v = verify_capacity(&items, &p);
         assert!(v.is_some());
         assert_eq!(v.unwrap().0, 0);
@@ -388,9 +415,15 @@ mod tests {
         ];
         let p = pack(&items, Packer::BestFit);
         assert_eq!(p.num_bins(), 2);
-        assert!(p.bins[1].items.contains(&2), "Best Fit picks the fuller bin");
+        assert!(
+            p.bins[1].items.contains(&2),
+            "Best Fit picks the fuller bin"
+        );
         let ff = pack(&items, Packer::FirstFit);
-        assert!(ff.bins[0].items.contains(&2), "First Fit picks the earlier bin");
+        assert!(
+            ff.bins[0].items.contains(&2),
+            "First Fit picks the earlier bin"
+        );
     }
 
     #[test]
@@ -420,7 +453,10 @@ mod tests {
             Packer::FirstFit,
             Packer::BestFit,
             Packer::NextFit,
-            Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 },
+            Packer::ClassifiedFirstFit {
+                alpha: 2.0,
+                base: 1.0,
+            },
         ] {
             let p = pack(&items, packer);
             assert!(verify_capacity(&items, &p).is_none(), "{packer:?}");

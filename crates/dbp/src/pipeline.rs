@@ -60,7 +60,10 @@ pub fn pack_schedule(
 /// # Panics
 /// Panics unless `0 < min <= max <= 1`.
 pub fn deterministic_sizes(n: usize, min: f64, max: f64, seed: u64) -> Vec<f64> {
-    assert!(min > 0.0 && min <= max && max <= 1.0, "need 0 < min <= max <= 1");
+    assert!(
+        min > 0.0 && min <= max && max <= 1.0,
+        "need 0 < min <= max <= 1"
+    );
     let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     (0..n)
         .map(|_| {
@@ -91,16 +94,16 @@ pub fn arrival_schedule(inst: &Instance) -> Schedule {
 /// Relabels a simulation outcome's schedule so it can be packed: the
 /// engine's outcome instance is already in release order with a complete
 /// schedule, so this is just a typed passthrough that revalidates.
-pub fn outcome_items(
-    outcome: &fjs_core::sim::SimOutcome,
-    sizes: &[f64],
-) -> Vec<Item> {
+pub fn outcome_items(outcome: &fjs_core::sim::SimOutcome, sizes: &[f64]) -> Vec<Item> {
     assert_eq!(sizes.len(), outcome.instance.len());
     outcome
         .instance
         .iter()
         .map(|(id, job)| {
-            let s = outcome.schedule.start(id).expect("outcome schedules are complete");
+            let s = outcome
+                .schedule
+                .start(id)
+                .expect("outcome schedules are complete");
             Item::new(job.active_interval_at(s), sizes[id.index()])
         })
         .collect()

@@ -96,7 +96,11 @@ pub fn lb_chain(inst: &Instance) -> Dur {
             }
         }
         let prefix = rank(job.arrival()); // predecessors have comp <= a_j
-        let best_pred = if prefix == 0 { 0.0 } else { fenwick.query(prefix - 1) };
+        let best_pred = if prefix == 0 {
+            0.0
+        } else {
+            fenwick.query(prefix - 1)
+        };
         f[j] = best_pred + job.length().get();
         best = best.max(f[j]);
     }
@@ -105,7 +109,9 @@ pub fn lb_chain(inst: &Instance) -> Dur {
 
 /// The tightest of the certified lower bounds.
 pub fn best_lower_bound(inst: &Instance) -> Dur {
-    lb_chain(inst).max(lb_mandatory(inst)).max(lb_max_length(inst))
+    lb_chain(inst)
+        .max(lb_mandatory(inst))
+        .max(lb_max_length(inst))
 }
 
 /// Fenwick tree over prefix maxima.
@@ -115,7 +121,9 @@ struct PrefixMax {
 
 impl PrefixMax {
     fn new(n: usize) -> Self {
-        PrefixMax { tree: vec![0.0; n + 1] }
+        PrefixMax {
+            tree: vec![0.0; n + 1],
+        }
     }
 
     /// Raises the value at 0-based index `i` to at least `v`.
@@ -159,9 +167,9 @@ mod tests {
     fn chain_of_disjoint_jobs_sums_lengths() {
         // Each job arrives after the previous latest completion.
         let inst = Instance::new(vec![
-            Job::adp(0.0, 1.0, 2.0),   // latest completion 3
-            Job::adp(3.0, 4.0, 1.0),   // latest completion 5
-            Job::adp(5.0, 5.0, 4.0),   // latest completion 9
+            Job::adp(0.0, 1.0, 2.0), // latest completion 3
+            Job::adp(3.0, 4.0, 1.0), // latest completion 5
+            Job::adp(5.0, 5.0, 4.0), // latest completion 9
         ]);
         assert_eq!(lb_chain(&inst), dur(7.0));
     }
@@ -179,10 +187,7 @@ mod tests {
 
     #[test]
     fn chain_at_least_max_length() {
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 100.0, 9.0),
-            Job::adp(0.0, 100.0, 1.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 100.0, 9.0), Job::adp(0.0, 100.0, 1.0)]);
         assert!(lb_chain(&inst) >= lb_max_length(&inst));
         assert_eq!(lb_chain(&inst), dur(9.0), "overlappable jobs do not chain");
     }
@@ -190,8 +195,8 @@ mod tests {
     #[test]
     fn mandatory_union_measured() {
         let inst = Instance::new(vec![
-            Job::adp(0.0, 1.0, 3.0), // mandatory [1, 3)
-            Job::adp(2.0, 2.5, 2.0), // mandatory [2.5, 4)
+            Job::adp(0.0, 1.0, 3.0),  // mandatory [1, 3)
+            Job::adp(2.0, 2.5, 2.0),  // mandatory [2.5, 4)
             Job::adp(0.0, 50.0, 1.0), // no mandatory part
         ]);
         // [1,3) ∪ [2.5,4) = [1,4) → 3.

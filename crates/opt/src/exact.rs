@@ -48,7 +48,10 @@ impl std::fmt::Display for ExactError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ExactError::NonIntegral => {
-                write!(f, "exact solvers require integer arrivals, deadlines and lengths")
+                write!(
+                    f,
+                    "exact solvers require integer arrivals, deadlines and lengths"
+                )
             }
             ExactError::TooLarge { jobs, limit } => {
                 write!(f, "instance has {jobs} jobs, exact solver limit is {limit}")
@@ -106,7 +109,11 @@ fn to_int_jobs(inst: &Instance) -> Result<Vec<IntJob>, ExactError> {
             if a.fract() != 0.0 || d.fract() != 0.0 || p.fract() != 0.0 {
                 return Err(ExactError::NonIntegral);
             }
-            Ok(IntJob { a: a as i64, d: d as i64, p: p as i64 })
+            Ok(IntJob {
+                a: a as i64,
+                d: d as i64,
+                p: p as i64,
+            })
         })
         .collect()
 }
@@ -123,7 +130,10 @@ pub fn optimal_span_dp(inst: &Instance) -> Result<Dur, ExactError> {
         return Ok(Dur::ZERO);
     }
     if n > DP_JOB_LIMIT {
-        return Err(ExactError::TooLarge { jobs: n, limit: DP_JOB_LIMIT });
+        return Err(ExactError::TooLarge {
+            jobs: n,
+            limit: DP_JOB_LIMIT,
+        });
     }
 
     let t0 = jobs.iter().map(|j| j.a).min().expect("non-empty");
@@ -177,7 +187,10 @@ pub fn optimal_span_dp(inst: &Instance) -> Result<Dur, ExactError> {
     }
 
     let best = solve(&jobs, full_mask, t0, t0, &mut memo);
-    debug_assert!(best != i64::MAX, "every instance admits the deadline schedule");
+    debug_assert!(
+        best != i64::MAX,
+        "every instance admits the deadline schedule"
+    );
     Ok(Dur::new(best as f64))
 }
 
@@ -193,7 +206,10 @@ pub fn optimal_schedule_dp(inst: &Instance) -> Result<(Dur, Schedule), ExactErro
         return Ok((Dur::ZERO, Schedule::with_len(0)));
     }
     if n > DP_JOB_LIMIT {
-        return Err(ExactError::TooLarge { jobs: n, limit: DP_JOB_LIMIT });
+        return Err(ExactError::TooLarge {
+            jobs: n,
+            limit: DP_JOB_LIMIT,
+        });
     }
 
     let t0 = jobs.iter().map(|j| j.a).min().expect("non-empty");
@@ -273,7 +289,10 @@ pub fn optimal_span_exhaustive(inst: &Instance) -> Result<Dur, ExactError> {
         return Ok(Dur::ZERO);
     }
     if n > EXHAUSTIVE_JOB_LIMIT {
-        return Err(ExactError::TooLarge { jobs: n, limit: EXHAUSTIVE_JOB_LIMIT });
+        return Err(ExactError::TooLarge {
+            jobs: n,
+            limit: EXHAUSTIVE_JOB_LIMIT,
+        });
     }
 
     let mut starts = vec![0i64; n];
@@ -282,8 +301,11 @@ pub fn optimal_span_exhaustive(inst: &Instance) -> Result<Dur, ExactError> {
     fn rec(jobs: &[IntJob], starts: &mut [i64], k: usize, best: &mut i64) {
         if k == jobs.len() {
             // Union length of [s_i, s_i + p_i).
-            let mut ivs: Vec<(i64, i64)> =
-                jobs.iter().zip(starts.iter()).map(|(j, &s)| (s, s + j.p)).collect();
+            let mut ivs: Vec<(i64, i64)> = jobs
+                .iter()
+                .zip(starts.iter())
+                .map(|(j, &s)| (s, s + j.p))
+                .collect();
             ivs.sort_unstable();
             let mut total = 0;
             let mut cur = ivs[0];
@@ -386,14 +408,25 @@ mod tests {
     fn rejects_oversize() {
         let jobs: Vec<Job> = (0..20).map(|i| Job::adp(i as f64, i as f64, 1.0)).collect();
         let inst = Instance::new(jobs);
-        assert!(matches!(optimal_span_dp(&inst), Err(ExactError::TooLarge { .. })));
+        assert!(matches!(
+            optimal_span_dp(&inst),
+            Err(ExactError::TooLarge { .. })
+        ));
     }
 
     #[test]
     fn dp_matches_exhaustive_on_fixed_cases() {
         let cases = vec![
-            vec![Job::adp(0.0, 3.0, 2.0), Job::adp(1.0, 5.0, 1.0), Job::adp(2.0, 2.0, 3.0)],
-            vec![Job::adp(0.0, 0.0, 1.0), Job::adp(0.0, 6.0, 2.0), Job::adp(3.0, 4.0, 2.0)],
+            vec![
+                Job::adp(0.0, 3.0, 2.0),
+                Job::adp(1.0, 5.0, 1.0),
+                Job::adp(2.0, 2.0, 3.0),
+            ],
+            vec![
+                Job::adp(0.0, 0.0, 1.0),
+                Job::adp(0.0, 6.0, 2.0),
+                Job::adp(3.0, 4.0, 2.0),
+            ],
             vec![
                 Job::adp(0.0, 2.0, 1.0),
                 Job::adp(0.0, 2.0, 2.0),
@@ -451,8 +484,7 @@ mod tests {
         let opt = optimal_span_dp(&inst).unwrap();
         // Eager: [0,2)∪[1,2)∪[2,4)∪[6,7) = 5. Lazy: [4,6)∪[3,4)∪[7,9)∪[6,7) = 6.
         let eager_span = {
-            let starts: Vec<(JobId, Time)> =
-                inst.iter().map(|(id, j)| (id, j.arrival())).collect();
+            let starts: Vec<(JobId, Time)> = inst.iter().map(|(id, j)| (id, j.arrival())).collect();
             Schedule::from_starts(inst.len(), starts).span(&inst)
         };
         assert!(opt <= eager_span);

@@ -31,10 +31,12 @@ pub struct DescentResult {
 /// # Panics
 /// Panics if `init` is not a complete feasible schedule for `inst`.
 pub fn coordinate_descent(inst: &Instance, init: &Schedule, max_passes: usize) -> DescentResult {
-    init.validate(inst).expect("descent requires a feasible initial schedule");
+    init.validate(inst)
+        .expect("descent requires a feasible initial schedule");
     let n = inst.len();
-    let mut starts: Vec<Time> =
-        (0..n).map(|i| init.start(JobId(i as u32)).expect("complete")).collect();
+    let mut starts: Vec<Time> = (0..n)
+        .map(|i| init.start(JobId(i as u32)).expect("complete"))
+        .collect();
 
     let mut passes = 0;
     while passes < max_passes {
@@ -84,10 +86,19 @@ pub fn coordinate_descent(inst: &Instance, init: &Schedule, max_passes: usize) -
         }
     }
 
-    let schedule =
-        Schedule::from_starts(n, starts.iter().enumerate().map(|(i, &s)| (JobId(i as u32), s)));
+    let schedule = Schedule::from_starts(
+        n,
+        starts
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (JobId(i as u32), s)),
+    );
     let span = schedule.span(inst);
-    DescentResult { schedule, span, passes }
+    DescentResult {
+        schedule,
+        span,
+        passes,
+    }
 }
 
 /// Length of `[s, s+p)` not covered by `others`.
@@ -100,11 +111,19 @@ fn marginal(others: &IntervalSet, s: Time, p: Dur) -> Dur {
 /// and all-at-arrival schedules, then coordinate descent.
 pub fn upper_bound_span(inst: &Instance, max_passes: usize) -> DescentResult {
     if inst.is_empty() {
-        return DescentResult { schedule: Schedule::with_len(0), span: Dur::ZERO, passes: 0 };
+        return DescentResult {
+            schedule: Schedule::with_len(0),
+            span: Dur::ZERO,
+            passes: 0,
+        };
     }
     let lazy = Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
     let eager = Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.arrival())));
-    let init = if lazy.span(inst) <= eager.span(inst) { lazy } else { eager };
+    let init = if lazy.span(inst) <= eager.span(inst) {
+        lazy
+    } else {
+        eager
+    };
     coordinate_descent(inst, &init, max_passes)
 }
 
@@ -170,8 +189,7 @@ mod tests {
             Job::adp(2.0, 9.0, 3.0),
             Job::adp(4.0, 4.0, 2.0),
         ]);
-        let lazy =
-            Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
+        let lazy = Schedule::from_starts(inst.len(), inst.iter().map(|(id, j)| (id, j.deadline())));
         let before = lazy.span(&inst);
         let res = coordinate_descent(&inst, &lazy, 50);
         assert!(res.span <= before);
@@ -182,8 +200,16 @@ mod tests {
     fn descent_matches_exact_on_small_instances() {
         let cases = vec![
             vec![Job::adp(0.0, 0.0, 2.0), Job::adp(1.0, 3.0, 2.0)],
-            vec![Job::adp(0.0, 10.0, 8.0), Job::adp(2.0, 20.0, 1.0), Job::adp(5.0, 20.0, 1.0)],
-            vec![Job::adp(0.0, 3.0, 2.0), Job::adp(1.0, 5.0, 1.0), Job::adp(2.0, 2.0, 3.0)],
+            vec![
+                Job::adp(0.0, 10.0, 8.0),
+                Job::adp(2.0, 20.0, 1.0),
+                Job::adp(5.0, 20.0, 1.0),
+            ],
+            vec![
+                Job::adp(0.0, 3.0, 2.0),
+                Job::adp(1.0, 5.0, 1.0),
+                Job::adp(2.0, 2.0, 3.0),
+            ],
         ];
         for jobs in cases {
             let inst = Instance::new(jobs);

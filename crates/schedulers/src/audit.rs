@@ -71,7 +71,10 @@ impl fmt::Display for AuditError {
                 write!(f, "start of {id} unjustified: {detail}")
             }
             AuditError::PendingSkipped { id, flag } => {
-                write!(f, "{id} was pending at flag {flag}'s instant but not started")
+                write!(
+                    f,
+                    "{id} was pending at flag {flag}'s instant but not started"
+                )
             }
             AuditError::OverlappableFlags { first, second } => {
                 write!(f, "flags {first} and {second} could overlap")
@@ -83,11 +86,7 @@ impl fmt::Display for AuditError {
 
 impl std::error::Error for AuditError {}
 
-fn check_basics(
-    inst: &Instance,
-    schedule: &Schedule,
-    flags: &[JobId],
-) -> Result<(), AuditError> {
+fn check_basics(inst: &Instance, schedule: &Schedule, flags: &[JobId]) -> Result<(), AuditError> {
     schedule.validate(inst).map_err(AuditError::Infeasible)?;
     for &flag in flags {
         // Reject ids outside the instance before any indexed access, so
@@ -142,7 +141,10 @@ pub fn audit_batch_plus(
         let a = inst.job(w[0]);
         let b = inst.job(w[1]);
         if !a.never_overlaps(b) {
-            return Err(AuditError::OverlappableFlags { first: w[0], second: w[1] });
+            return Err(AuditError::OverlappableFlags {
+                first: w[0],
+                second: w[1],
+            });
         }
     }
     for (id, job) in inst.iter() {
@@ -157,8 +159,7 @@ pub fn audit_batch_plus(
             // Started with the batch at the flag instant…
             let rule_batch = s == f_start && job.arrival() <= f_start;
             // …or immediately at arrival during the flag's run.
-            let rule_immediate =
-                s == job.arrival() && s >= f_start && s < f_end;
+            let rule_immediate = s == job.arrival() && s >= f_start && s < f_end;
             rule_batch || rule_immediate
         });
         if !justified {
@@ -194,9 +195,8 @@ pub fn audit_profit(
             let f_start = fj.deadline();
             let f_end = fj.latest_completion();
             // Rule 1: pending at the flag instant with p ≤ k·p(flag).
-            let rule1 = s == f_start
-                && job.arrival() <= f_start
-                && p.get() <= k * fj.length().get() + 1e-9;
+            let rule1 =
+                s == f_start && job.arrival() <= f_start && p.get() <= k * fj.length().get() + 1e-9;
             // Rule 2: immediate start at arrival inside the flag's run with
             // p ≤ k·(end − a).
             let rule2 = s == job.arrival()
@@ -316,7 +316,10 @@ mod tests {
 
     #[test]
     fn error_messages_name_the_job() {
-        let e = AuditError::PendingSkipped { id: JobId(3), flag: JobId(1) };
+        let e = AuditError::PendingSkipped {
+            id: JobId(3),
+            flag: JobId(1),
+        };
         assert!(e.to_string().contains("J3"));
         assert!(e.to_string().contains("J1"));
     }

@@ -96,8 +96,9 @@ mod tests {
         // n short jobs with *distinct* deadlines far apart: Lazy induces
         // span n while starting them all together at arrival gives span 1.
         let n = 50;
-        let jobs: Vec<Job> =
-            (0..n).map(|i| Job::adp(0.0, 10.0 * (i + 1) as f64, 1.0)).collect();
+        let jobs: Vec<Job> = (0..n)
+            .map(|i| Job::adp(0.0, 10.0 * (i + 1) as f64, 1.0))
+            .collect();
         let inst = Instance::new(jobs);
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, Lazy);
         assert_eq!(out.span, dur(n as f64));

@@ -103,23 +103,21 @@ mod tests {
     fn batch_does_not_start_arrivals_mid_iteration() {
         // Unlike Batch+, a job arriving while others run is buffered until
         // *its own* (or an earlier) pending deadline.
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 10.0),
-            Job::adp(1.0, 20.0, 1.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 10.0), Job::adp(1.0, 20.0, 1.0)]);
         let mut sched = Batch::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
         assert!(out.is_feasible());
-        assert_eq!(out.schedule.start(JobId(1)), Some(t(20.0)), "waits for its deadline");
+        assert_eq!(
+            out.schedule.start(JobId(1)),
+            Some(t(20.0)),
+            "waits for its deadline"
+        );
         assert_eq!(out.span, dur(11.0));
     }
 
     #[test]
     fn same_deadline_jobs_share_one_iteration() {
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 3.0, 1.0),
-            Job::adp(1.0, 3.0, 2.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 3.0, 1.0), Job::adp(1.0, 3.0, 2.0)]);
         let mut sched = Batch::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
         assert!(out.is_feasible());

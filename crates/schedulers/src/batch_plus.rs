@@ -42,7 +42,11 @@ pub struct BatchPlusState {
 
 impl Default for BatchPlusState {
     fn default() -> Self {
-        BatchPlusState { mode: Mode::Buffering, pending: Vec::new(), flags: Vec::new() }
+        BatchPlusState {
+            mode: Mode::Buffering,
+            pending: Vec::new(),
+            flags: Vec::new(),
+        }
     }
 }
 
@@ -161,9 +165,9 @@ mod tests {
     #[test]
     fn arrivals_start_immediately_during_iteration() {
         let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 10.0),  // flag of iteration 1
-            Job::adp(1.0, 20.0, 1.0),  // arrives mid-iteration → starts at 1
-            Job::adp(3.0, 50.0, 2.0),  // arrives mid-iteration → starts at 3
+            Job::adp(0.0, 0.0, 10.0), // flag of iteration 1
+            Job::adp(1.0, 20.0, 1.0), // arrives mid-iteration → starts at 1
+            Job::adp(3.0, 50.0, 2.0), // arrives mid-iteration → starts at 3
         ]);
         let mut sched = BatchPlus::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
@@ -178,8 +182,8 @@ mod tests {
     #[test]
     fn buffering_resumes_when_flag_completes() {
         let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 2.0),   // flag, completes at 2
-            Job::adp(2.0, 30.0, 1.0),  // arrives exactly at flag completion → buffered
+            Job::adp(0.0, 0.0, 2.0),  // flag, completes at 2
+            Job::adp(2.0, 30.0, 1.0), // arrives exactly at flag completion → buffered
         ]);
         let mut sched = BatchPlus::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);
@@ -197,9 +201,9 @@ mod tests {
         // A non-flag job outlives the flag; buffering must resume at the
         // *flag's* completion regardless.
         let inst = Instance::new(vec![
-            Job::adp(0.0, 1.0, 1.0),   // flag (earliest deadline), runs [1,2)
-            Job::adp(0.0, 5.0, 10.0),  // started with flag, runs [1,11)
-            Job::adp(3.0, 4.0, 1.0),   // arrives during [2,?]: buffered (flag done at 2)
+            Job::adp(0.0, 1.0, 1.0),  // flag (earliest deadline), runs [1,2)
+            Job::adp(0.0, 5.0, 10.0), // started with flag, runs [1,11)
+            Job::adp(3.0, 4.0, 1.0),  // arrives during [2,?]: buffered (flag done at 2)
         ]);
         let mut sched = BatchPlus::new();
         let out = run_static(&inst, Clairvoyance::NonClairvoyant, &mut sched);

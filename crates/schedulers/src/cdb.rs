@@ -49,7 +49,10 @@ impl ClassifyByDuration {
     /// Panics if `alpha <= 1` or `base <= 0`.
     pub fn new(alpha: f64, base: f64) -> Self {
         assert!(alpha > 1.0, "CDB requires α > 1, got {alpha}");
-        assert!(base > 0.0, "CDB requires a positive base length, got {base}");
+        assert!(
+            base > 0.0,
+            "CDB requires a positive base length, got {base}"
+        );
         ClassifyByDuration {
             alpha,
             base,
@@ -95,8 +98,11 @@ impl ClassifyByDuration {
 
 impl FlagRecorder for ClassifyByDuration {
     fn flag_jobs(&self) -> Vec<JobId> {
-        let mut all: Vec<JobId> =
-            self.categories.values().flat_map(|s| s.flags().iter().copied()).collect();
+        let mut all: Vec<JobId> = self
+            .categories
+            .values()
+            .flat_map(|s| s.flags().iter().copied())
+            .collect();
         all.sort();
         all
     }
@@ -151,7 +157,11 @@ mod tests {
         assert_eq!(cdb.category_of(dur(2.0001)), 2);
         assert_eq!(cdb.category_of(dur(4.0)), 2);
         assert_eq!(cdb.category_of(dur(0.5)), -1);
-        assert_eq!(cdb.category_of(dur(0.4)), 0 - 1, "0.4 ∈ (0.25, 0.5]? no: (0.25,0.5] is cat -1");
+        assert_eq!(
+            cdb.category_of(dur(0.4)),
+            0 - 1,
+            "0.4 ∈ (0.25, 0.5]? no: (0.25,0.5] is cat -1"
+        );
     }
 
     #[test]
@@ -179,16 +189,24 @@ mod tests {
         // Short job category and long job category each get their own
         // Batch+ iterations.
         let inst = Instance::new(vec![
-            Job::adp(0.0, 2.0, 1.0),    // short, flags cat A at t=2
-            Job::adp(0.0, 8.0, 100.0),  // long, flags cat B at t=8
-            Job::adp(1.0, 50.0, 0.9),   // short, pending with J0 → starts at 2
+            Job::adp(0.0, 2.0, 1.0),   // short, flags cat A at t=2
+            Job::adp(0.0, 8.0, 100.0), // long, flags cat B at t=8
+            Job::adp(1.0, 50.0, 0.9),  // short, pending with J0 → starts at 2
         ]);
         let mut sched = ClassifyByDuration::new(2.0, 1.0);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut sched);
         assert!(out.is_feasible());
         assert_eq!(out.schedule.start(JobId(0)), Some(t(2.0)));
-        assert_eq!(out.schedule.start(JobId(2)), Some(t(2.0)), "same category as J0");
-        assert_eq!(out.schedule.start(JobId(1)), Some(t(8.0)), "own category, own flag");
+        assert_eq!(
+            out.schedule.start(JobId(2)),
+            Some(t(2.0)),
+            "same category as J0"
+        );
+        assert_eq!(
+            out.schedule.start(JobId(1)),
+            Some(t(8.0)),
+            "own category, own flag"
+        );
         assert_eq!(sched.num_categories(), 2);
         assert_eq!(sched.flag_jobs(), vec![JobId(0), JobId(1)]);
     }
@@ -196,22 +214,30 @@ mod tests {
     #[test]
     fn mid_iteration_arrival_starts_only_in_same_category() {
         let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 10.0),  // long flag, runs [0,10)
-            Job::adp(1.0, 40.0, 9.0),  // same category → starts at arrival
-            Job::adp(1.0, 40.0, 1.0),  // different category → buffered
+            Job::adp(0.0, 0.0, 10.0), // long flag, runs [0,10)
+            Job::adp(1.0, 40.0, 9.0), // same category → starts at arrival
+            Job::adp(1.0, 40.0, 1.0), // different category → buffered
         ]);
         let mut sched = ClassifyByDuration::new(2.0, 1.0);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, &mut sched);
         assert!(out.is_feasible());
         assert_eq!(out.schedule.start(JobId(1)), Some(t(1.0)));
-        assert_eq!(out.schedule.start(JobId(2)), Some(t(40.0)), "short category buffers");
+        assert_eq!(
+            out.schedule.start(JobId(2)),
+            Some(t(40.0)),
+            "short category buffers"
+        );
     }
 
     #[test]
     #[should_panic(expected = "clairvoyant")]
     fn non_clairvoyant_run_panics() {
         let inst = Instance::new(vec![Job::adp(0.0, 0.0, 1.0)]);
-        let _ = run_static(&inst, Clairvoyance::NonClairvoyant, ClassifyByDuration::optimal());
+        let _ = run_static(
+            &inst,
+            Clairvoyance::NonClairvoyant,
+            ClassifyByDuration::optimal(),
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl Doubler {
     /// # Panics
     /// Panics if `c <= 0`.
     pub fn new(c: f64) -> Self {
-        assert!(c > 0.0, "Doubler requires a positive budget factor, got {c}");
+        assert!(
+            c > 0.0,
+            "Doubler requires a positive budget factor, got {c}"
+        );
         Doubler { c }
     }
 
@@ -101,9 +104,9 @@ mod tests {
         // A long job starts at 10; short laxity-rich jobs arriving later
         // land inside its active interval thanks to their waits.
         let inst = Instance::new(vec![
-            Job::adp(0.0, 50.0, 10.0),  // starts at 10, runs [10, 20)
-            Job::adp(9.0, 50.0, 2.0),   // starts at 11, runs [11, 13)
-            Job::adp(12.0, 50.0, 1.0),  // starts at 13, runs [13, 14)
+            Job::adp(0.0, 50.0, 10.0), // starts at 10, runs [10, 20)
+            Job::adp(9.0, 50.0, 2.0),  // starts at 11, runs [11, 13)
+            Job::adp(12.0, 50.0, 1.0), // starts at 13, runs [13, 14)
         ]);
         let out = run_static(&inst, Clairvoyance::Clairvoyant, Doubler::default());
         assert!(out.is_feasible());

@@ -80,7 +80,10 @@ impl Threshold {
     /// Panics if `m == 0`.
     pub fn new(m: usize) -> Self {
         assert!(m >= 1, "threshold must be at least 1");
-        Threshold { m, flags: Vec::new() }
+        Threshold {
+            m,
+            flags: Vec::new(),
+        }
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
@@ -145,7 +148,11 @@ mod tests {
     #[test]
     fn random_start_respects_windows() {
         for seed in 0..20 {
-            let out = run_static(&inst(), Clairvoyance::NonClairvoyant, RandomStart::new(seed));
+            let out = run_static(
+                &inst(),
+                Clairvoyance::NonClairvoyant,
+                RandomStart::new(seed),
+            );
             assert!(out.is_feasible());
             assert!(out.schedule.validate(&out.instance).is_ok());
         }

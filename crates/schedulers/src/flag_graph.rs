@@ -72,7 +72,11 @@ impl FlagGraph {
                 children[q].push(i);
             }
         }
-        FlagGraph { nodes, parent, children }
+        FlagGraph {
+            nodes,
+            parent,
+            children,
+        }
     }
 
     /// Extracts flag parameters from a finished run and builds the graph.
@@ -107,7 +111,9 @@ impl FlagGraph {
 
     /// Indices of root jobs (`X(J) = ∅`).
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.nodes.len()).filter(|&i| self.parent[i].is_none()).collect()
+        (0..self.nodes.len())
+            .filter(|&i| self.parent[i].is_none())
+            .collect()
     }
 
     /// Number of rooted trees.
@@ -174,7 +180,11 @@ impl FlagGraph {
                     size += 1;
                     stack.extend_from_slice(&self.children[v]);
                 }
-                TreeStats { root, size, height: self.height(root) }
+                TreeStats {
+                    root,
+                    size,
+                    height: self.height(root),
+                }
             })
             .collect()
     }
@@ -248,7 +258,12 @@ pub fn flag_infos(inst: &Instance, flags: &[JobId]) -> Vec<FlagInfo> {
         .iter()
         .map(|&id| {
             let j = inst.job(id);
-            FlagInfo { id, arrival: j.arrival(), deadline: j.deadline(), length: j.length() }
+            FlagInfo {
+                id,
+                arrival: j.arrival(),
+                deadline: j.deadline(),
+                length: j.length(),
+            }
         })
         .collect()
 }
@@ -259,7 +274,12 @@ mod tests {
     use fjs_core::time::{dur, t};
 
     fn fi(id: u32, a: f64, d: f64, p: f64) -> FlagInfo {
-        FlagInfo { id: JobId(id), arrival: t(a), deadline: t(d), length: dur(p) }
+        FlagInfo {
+            id: JobId(id),
+            arrival: t(a),
+            deadline: t(d),
+            length: dur(p),
+        }
     }
 
     #[test]
@@ -322,7 +342,13 @@ mod tests {
         let stats = g.tree_stats();
         let total: usize = stats.iter().map(|s| s.size).sum();
         assert_eq!(total, 3);
-        assert_eq!(g.tree_assignment().iter().filter(|&&c| c == usize::MAX).count(), 0);
+        assert_eq!(
+            g.tree_assignment()
+                .iter()
+                .filter(|&&c| c == usize::MAX)
+                .count(),
+            0
+        );
     }
 
     #[test]

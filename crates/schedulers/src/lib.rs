@@ -24,9 +24,9 @@
 pub mod audit;
 pub mod baseline;
 pub mod batch;
-pub mod chaos;
 pub mod batch_plus;
 pub mod cdb;
+pub mod chaos;
 pub mod doubler;
 pub mod extensions;
 pub mod flag_graph;

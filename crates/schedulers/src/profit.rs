@@ -64,7 +64,11 @@ impl Profit {
     /// `k > 1`).
     pub fn new(k: f64) -> Self {
         assert!(k > 1.0, "Profit requires k > 1, got {k}");
-        Profit { k, active: Vec::new(), flags: Vec::new() }
+        Profit {
+            k,
+            active: Vec::new(),
+            flags: Vec::new(),
+        }
     }
 
     /// Profit with the analytically optimal `k = 1 + √2/2`.
@@ -171,13 +175,14 @@ mod tests {
     #[test]
     fn pending_profitable_jobs_start_with_flag() {
         // J0 deadline 5 (flag, p=2). J1 pending with p=3 ≤ k·2 for k=1.7.
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 5.0, 2.0),
-            Job::adp(1.0, 30.0, 3.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 5.0, 2.0), Job::adp(1.0, 30.0, 3.0)]);
         let (out, flags) = run_profit(&inst, OPTIMAL_K);
         assert_eq!(out.schedule.start(JobId(0)), Some(t(5.0)));
-        assert_eq!(out.schedule.start(JobId(1)), Some(t(5.0)), "profitable → same iteration");
+        assert_eq!(
+            out.schedule.start(JobId(1)),
+            Some(t(5.0)),
+            "profitable → same iteration"
+        );
         assert_eq!(flags, vec![JobId(0)]);
     }
 
@@ -185,10 +190,7 @@ mod tests {
     fn unprofitable_pending_job_waits_for_its_own_deadline() {
         // p(J1)=10 > k·p(J0)=k·1 → J1 not profitable; it flags its own
         // iteration at d=30.
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 5.0, 1.0),
-            Job::adp(1.0, 30.0, 10.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 5.0, 1.0), Job::adp(1.0, 30.0, 10.0)]);
         let (out, flags) = run_profit(&inst, OPTIMAL_K);
         assert_eq!(out.schedule.start(JobId(0)), Some(t(5.0)));
         assert_eq!(out.schedule.start(JobId(1)), Some(t(30.0)));
@@ -198,10 +200,7 @@ mod tests {
     #[test]
     fn arrival_during_flag_run_starts_if_profitable() {
         // Flag J0 runs [0, 10). J1 arrives at 2 with p=5 ≤ k·(10−2).
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 10.0),
-            Job::adp(2.0, 50.0, 5.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 10.0), Job::adp(2.0, 50.0, 5.0)]);
         let (out, flags) = run_profit(&inst, 1.5);
         assert_eq!(out.schedule.start(JobId(1)), Some(t(2.0)));
         assert_eq!(flags, vec![JobId(0)]);
@@ -210,22 +209,20 @@ mod tests {
     #[test]
     fn arrival_near_flag_end_not_profitable() {
         // Flag J0 runs [0, 10). J1 arrives at 9 with p=5 > k·(10−9)=1.5.
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 10.0),
-            Job::adp(9.0, 50.0, 5.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 10.0), Job::adp(9.0, 50.0, 5.0)]);
         let (out, flags) = run_profit(&inst, 1.5);
-        assert_eq!(out.schedule.start(JobId(1)), Some(t(50.0)), "waits, flags its own iteration");
+        assert_eq!(
+            out.schedule.start(JobId(1)),
+            Some(t(50.0)),
+            "waits, flags its own iteration"
+        );
         assert_eq!(flags, vec![JobId(0), JobId(1)]);
     }
 
     #[test]
     fn same_deadline_tie_breaks_to_longest_job() {
         // Both hit deadline 4; p=7 should be the flag, p=2 profitable to it.
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 4.0, 2.0),
-            Job::adp(1.0, 4.0, 7.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 4.0, 2.0), Job::adp(1.0, 4.0, 7.0)]);
         let (out, flags) = run_profit(&inst, 1.2);
         assert_eq!(flags, vec![JobId(1)], "longest job is the flag");
         assert_eq!(out.schedule.start(JobId(0)), Some(t(4.0)));
@@ -236,10 +233,7 @@ mod tests {
     fn concurrent_flags_possible() {
         // J0 flags at 0 with p=100. J1 (p=300, not profitable) flags at 10
         // while J0 still runs.
-        let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 100.0),
-            Job::adp(0.0, 10.0, 300.0),
-        ]);
+        let inst = Instance::new(vec![Job::adp(0.0, 0.0, 100.0), Job::adp(0.0, 10.0, 300.0)]);
         let (out, flags) = run_profit(&inst, 1.5);
         assert_eq!(flags, vec![JobId(0), JobId(1)]);
         assert_eq!(out.schedule.start(JobId(1)), Some(t(10.0)));

@@ -59,7 +59,10 @@ pub enum SchedulerKind {
 impl SchedulerKind {
     /// CDB at its analytically optimal `α`.
     pub fn cdb_optimal() -> Self {
-        SchedulerKind::Cdb { alpha: optimal_alpha(), base: 1.0 }
+        SchedulerKind::Cdb {
+            alpha: optimal_alpha(),
+            base: 1.0,
+        }
     }
 
     /// Profit at its analytically optimal `k`.
@@ -87,7 +90,9 @@ impl SchedulerKind {
     pub fn requires_clairvoyance(&self) -> bool {
         matches!(
             self,
-            SchedulerKind::Cdb { .. } | SchedulerKind::Profit { .. } | SchedulerKind::Doubler { .. }
+            SchedulerKind::Cdb { .. }
+                | SchedulerKind::Profit { .. }
+                | SchedulerKind::Doubler { .. }
         )
     }
 
@@ -247,15 +252,21 @@ mod tests {
         for kind in SchedulerKind::full_set() {
             let out = kind.run_on(&inst);
             assert!(out.is_feasible(), "{} produced violations", kind.label());
-            assert!(out.schedule.validate(&out.instance).is_ok(), "{}", kind.label());
+            assert!(
+                out.schedule.validate(&out.instance).is_ok(),
+                "{}",
+                kind.label()
+            );
             assert!(out.span.is_positive(), "{}", kind.label());
         }
     }
 
     #[test]
     fn labels_are_distinct() {
-        let labels: Vec<String> =
-            SchedulerKind::full_set().iter().map(|k| k.label()).collect();
+        let labels: Vec<String> = SchedulerKind::full_set()
+            .iter()
+            .map(|k| k.label())
+            .collect();
         let mut dedup = labels.clone();
         dedup.sort();
         dedup.dedup();
@@ -269,7 +280,10 @@ mod tests {
                 .unwrap_or_else(|| panic!("{} did not parse", kind.short_name()));
             assert_eq!(parsed, kind, "{} did not round-trip", kind.short_name());
         }
-        assert_eq!(SchedulerKind::from_short_name("batchplus"), Some(SchedulerKind::BatchPlus));
+        assert_eq!(
+            SchedulerKind::from_short_name("batchplus"),
+            Some(SchedulerKind::BatchPlus)
+        );
         assert_eq!(SchedulerKind::from_short_name("nope"), None);
     }
 

@@ -51,8 +51,11 @@ impl SemiCdb {
 
 impl FlagRecorder for SemiCdb {
     fn flag_jobs(&self) -> Vec<JobId> {
-        let mut all: Vec<JobId> =
-            self.categories.values().flat_map(|s| s.flags().iter().copied()).collect();
+        let mut all: Vec<JobId> = self
+            .categories
+            .values()
+            .flat_map(|s| s.flags().iter().copied())
+            .collect();
         all.sort();
         all
     }
@@ -69,12 +72,18 @@ impl OnlineScheduler for SemiCdb {
              Clairvoyance::ClassOnly or Clairvoyance::Clairvoyant",
         );
         self.record_category(job.id, cat);
-        self.categories.entry(cat).or_default().job_arrived(job.id, ctx);
+        self.categories
+            .entry(cat)
+            .or_default()
+            .job_arrived(job.id, ctx);
     }
 
     fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
         let cat = self.job_category[id.index()];
-        self.categories.entry(cat).or_default().job_deadline(id, ctx);
+        self.categories
+            .entry(cat)
+            .or_default()
+            .job_deadline(id, ctx);
     }
 
     fn on_completion(&mut self, id: JobId, _length: Dur, _ctx: &mut Ctx<'_>) {
@@ -126,10 +135,16 @@ mod tests {
         for seed in 0..20u64 {
             let inst = workload(seed, 120);
             let semi = run_static(&inst, Clairvoyance::ClassOnly, SemiCdb::new());
-            let full =
-                run_static(&inst, Clairvoyance::Clairvoyant, ClassifyByDuration::new(2.0, 1.0));
+            let full = run_static(
+                &inst,
+                Clairvoyance::Clairvoyant,
+                ClassifyByDuration::new(2.0, 1.0),
+            );
             assert!(semi.is_feasible() && full.is_feasible());
-            assert_eq!(semi.schedule, full.schedule, "seed {seed}: schedules diverge");
+            assert_eq!(
+                semi.schedule, full.schedule,
+                "seed {seed}: schedules diverge"
+            );
             assert_eq!(semi.span, full.span);
         }
     }

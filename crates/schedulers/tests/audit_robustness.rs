@@ -27,7 +27,11 @@ fn random_instance(rng: &mut SmallRng) -> Instance {
 /// An arbitrary schedule: possibly wrongly sized, possibly incomplete,
 /// starts at arbitrary times with no regard for job windows.
 fn random_schedule(rng: &mut SmallRng, n: usize) -> Schedule {
-    let m = if rng.bool_with(0.2) { rng.usize_range(0, n + 3) } else { n };
+    let m = if rng.bool_with(0.2) {
+        rng.usize_range(0, n + 3)
+    } else {
+        n
+    };
     let starts = (0..m).filter_map(|i| {
         if rng.bool_with(0.85) {
             Some((JobId(i as u32), t(rng.u64_below(40) as f64 * 0.5)))
@@ -43,7 +47,9 @@ fn random_schedule(rng: &mut SmallRng, n: usize) -> Schedule {
 /// An arbitrary flag list: duplicates allowed, ids may exceed the instance.
 fn random_flags(rng: &mut SmallRng, n: usize) -> Vec<JobId> {
     let k = rng.usize_range(0, 5);
-    (0..k).map(|_| JobId(rng.u64_below(n as u64 + 3) as u32)).collect()
+    (0..k)
+        .map(|_| JobId(rng.u64_below(n as u64 + 3) as u32))
+        .collect()
 }
 
 /// Audits return `Result`, never panic, on arbitrary inputs.

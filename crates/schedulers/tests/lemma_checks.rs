@@ -13,9 +13,7 @@
 
 use fjs_core::interval::IntervalSet;
 use fjs_core::prelude::*;
-use fjs_schedulers::{
-    BatchPlus, ClassifyByDuration, FlagRecorder, Profit, OPTIMAL_K,
-};
+use fjs_schedulers::{BatchPlus, ClassifyByDuration, FlagRecorder, Profit, OPTIMAL_K};
 
 /// Deterministic mixed workload used across the lemma checks.
 fn workload(seed: u64, n: usize) -> Instance {
@@ -74,7 +72,10 @@ fn batch_plus_flags_never_overlappable() {
                 w[0],
                 prev.latest_completion()
             );
-            assert!(prev.never_overlaps(next) , "seed {seed}: consecutive flags overlappable");
+            assert!(
+                prev.never_overlaps(next),
+                "seed {seed}: consecutive flags overlappable"
+            );
         }
     }
 }

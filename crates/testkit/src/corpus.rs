@@ -112,7 +112,9 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, CorpusError> {
     let mut expect = None;
     let mut note = String::new();
     for line in text.lines() {
-        let Some(meta) = line.trim().strip_prefix("#!") else { continue };
+        let Some(meta) = line.trim().strip_prefix("#!") else {
+            continue;
+        };
         let Some((key, value)) = meta.split_once(':') else {
             return Err(CorpusError::Meta(format!("malformed line: {line:?}")));
         };
@@ -121,14 +123,16 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, CorpusError> {
             "conform-corpus" => version = Some(value),
             "target" => target = Some(value),
             "oracle" => {
-                oracle = Some(OracleKind::from_id(&value).ok_or_else(|| {
-                    CorpusError::Meta(format!("unknown oracle id {value:?}"))
-                })?);
+                oracle =
+                    Some(OracleKind::from_id(&value).ok_or_else(|| {
+                        CorpusError::Meta(format!("unknown oracle id {value:?}"))
+                    })?);
             }
             "expect" => {
-                expect = Some(Expectation::from_id(&value).ok_or_else(|| {
-                    CorpusError::Meta(format!("unknown expectation {value:?}"))
-                })?);
+                expect =
+                    Some(Expectation::from_id(&value).ok_or_else(|| {
+                        CorpusError::Meta(format!("unknown expectation {value:?}"))
+                    })?);
             }
             "note" => note = value,
             other => return Err(CorpusError::Meta(format!("unknown key {other:?}"))),
@@ -137,7 +141,11 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, CorpusError> {
     match version {
         Some(v) if v == CORPUS_VERSION => {}
         Some(v) => return Err(CorpusError::Meta(format!("unsupported version {v:?}"))),
-        None => return Err(CorpusError::Meta("missing '#! conform-corpus:' header".into())),
+        None => {
+            return Err(CorpusError::Meta(
+                "missing '#! conform-corpus:' header".into(),
+            ))
+        }
     }
     let target = target.ok_or_else(|| CorpusError::Meta("missing target".into()))?;
     // Validate the target name now so replay errors point at the metadata.
@@ -147,7 +155,13 @@ pub fn parse_entry(text: &str) -> Result<CorpusEntry, CorpusError> {
     let oracle = oracle.ok_or_else(|| CorpusError::Meta("missing oracle".into()))?;
     let expect = expect.ok_or_else(|| CorpusError::Meta("missing expect".into()))?;
     let trace = parse_trace(text).map_err(|e| CorpusError::Trace(e.to_string()))?;
-    Ok(CorpusEntry { target, oracle, expect, note, instance: trace.instance })
+    Ok(CorpusEntry {
+        target,
+        oracle,
+        expect,
+        note,
+        instance: trace.instance,
+    })
 }
 
 /// Replays one entry: checks that the recorded expectation still holds.
@@ -188,7 +202,11 @@ fn content_fingerprint(s: &str) -> u64 {
 pub fn entry_filename(entry: &CorpusEntry) -> String {
     let safe_target = entry.target.replace(':', "-");
     let body = write_trace(&entry.instance, None);
-    format!("{safe_target}.{}.{:08x}.csv", entry.oracle.id(), content_fingerprint(&body) as u32)
+    format!(
+        "{safe_target}.{}.{:08x}.csv",
+        entry.oracle.id(),
+        content_fingerprint(&body) as u32
+    )
 }
 
 /// Writes an entry into `dir` (created if missing) under its deterministic
@@ -218,8 +236,7 @@ pub fn load_dir(dir: &Path) -> Result<Vec<(PathBuf, CorpusEntry)>, String> {
     for path in paths {
         let text = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let entry =
-            parse_entry(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let entry = parse_entry(&text).map_err(|e| format!("{}: {e}", path.display()))?;
         entries.push((path, entry));
     }
     Ok(entries)
@@ -312,6 +329,10 @@ mod tests {
         assert_eq!(loaded.len(), 1);
         assert_eq!(loaded[0].1.instance, entry.instance);
         std::fs::remove_dir_all(&dir).ok();
-        assert_eq!(load_dir(&dir).unwrap().len(), 0, "missing dir is an empty corpus");
+        assert_eq!(
+            load_dir(&dir).unwrap().len(),
+            0,
+            "missing dir is an empty corpus"
+        );
     }
 }

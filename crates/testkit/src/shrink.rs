@@ -170,7 +170,11 @@ pub fn shrink(
     budget: usize,
     fails: impl Fn(&Instance) -> bool,
 ) -> (Instance, ShrinkStats) {
-    let mut sh = Shrinker { fails: &fails, budget, stats: ShrinkStats::default() };
+    let mut sh = Shrinker {
+        fails: &fails,
+        budget,
+        stats: ShrinkStats::default(),
+    };
     let mut cur = inst.clone();
     loop {
         let mut progress = false;
@@ -201,15 +205,18 @@ mod tests {
             job(4.0, 6.0, 2.0),
             job(9.0, 12.0, 1.0),
         ]);
-        let fails =
-            |i: &Instance| i.jobs().iter().any(|j| j.length().get() >= 4.0);
+        let fails = |i: &Instance| i.jobs().iter().any(|j| j.length().get() >= 4.0);
         let (min, stats) = shrink(&inst, DEFAULT_SHRINK_BUDGET, fails);
         assert_eq!(min.len(), 1, "only the long job is needed: {min:?}");
         // Halving 5 → 2 loses the failure, so the length survives at 5;
         // the window collapses to rigid and the arrival shifts to 0.
         assert_eq!(min.jobs()[0].length().get(), 5.0);
         assert_eq!(min.jobs()[0].arrival().get(), 0.0, "shifted to the origin");
-        assert_eq!(min.jobs()[0].deadline().get(), 0.0, "deadline tightened to arrival");
+        assert_eq!(
+            min.jobs()[0].deadline().get(),
+            0.0,
+            "deadline tightened to arrival"
+        );
         assert!(stats.accepted >= 2);
         assert!(stats.evaluations <= DEFAULT_SHRINK_BUDGET);
     }
@@ -248,7 +255,9 @@ mod tests {
     #[test]
     fn respects_the_budget() {
         let inst = Instance::new(
-            (0..30).map(|i| job(i as f64, i as f64 + 3.0, 2.0)).collect(),
+            (0..30)
+                .map(|i| job(i as f64, i as f64 + 3.0, 2.0))
+                .collect(),
         );
         let (_, stats) = shrink(&inst, 10, |_| true);
         assert!(stats.evaluations <= 10);

@@ -74,9 +74,16 @@ impl ArrivalProcess {
                     }
                 }
             }
-            ArrivalProcess::Diurnal { base_rate, amplitude, period } => {
+            ArrivalProcess::Diurnal {
+                base_rate,
+                amplitude,
+                period,
+            } => {
                 assert!(base_rate > 0.0, "base rate must be positive");
-                assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0, 1]");
+                assert!(
+                    (0.0..=1.0).contains(&amplitude),
+                    "amplitude must be in [0, 1]"
+                );
                 assert!(period > 0.0, "period must be positive");
                 // Thinning against the envelope rate base·(1+amplitude).
                 let envelope = base_rate * (1.0 + amplitude);
@@ -150,16 +157,26 @@ impl LengthLaw {
                 }
             }
             LengthLaw::BoundedPareto { min, max, shape } => {
-                assert!(min > 0.0 && max > min && shape > 0.0, "invalid bounded Pareto");
+                assert!(
+                    min > 0.0 && max > min && shape > 0.0,
+                    "invalid bounded Pareto"
+                );
                 // Inverse CDF of the bounded Pareto.
                 let u: f64 = rng.f64_range(0.0, 1.0);
                 let lo_a = min.powf(-shape);
                 let hi_a = max.powf(-shape);
                 (lo_a - u * (lo_a - hi_a)).powf(-1.0 / shape)
             }
-            LengthLaw::Bimodal { short, long, p_long } => {
+            LengthLaw::Bimodal {
+                short,
+                long,
+                p_long,
+            } => {
                 assert!(short > 0.0 && long >= short, "need 0 < short <= long");
-                assert!((0.0..=1.0).contains(&p_long), "p_long must be a probability");
+                assert!(
+                    (0.0..=1.0).contains(&p_long),
+                    "p_long must be a probability"
+                );
                 if rng.bool_with(p_long) {
                     long
                 } else {
@@ -256,7 +273,11 @@ mod tests {
 
     #[test]
     fn bursty_arrivals_cluster() {
-        let a = ArrivalProcess::Bursty { burst_size: 5, rate: 1.0 }.sample(12, &mut rng());
+        let a = ArrivalProcess::Bursty {
+            burst_size: 5,
+            rate: 1.0,
+        }
+        .sample(12, &mut rng());
         assert_eq!(a.len(), 12);
         // First five identical, next five identical.
         assert!(a[0..5].iter().all(|&t| t == a[0]));
@@ -266,7 +287,11 @@ mod tests {
 
     #[test]
     fn diurnal_arrivals_cluster_in_peaks() {
-        let proc = ArrivalProcess::Diurnal { base_rate: 2.0, amplitude: 1.0, period: 20.0 };
+        let proc = ArrivalProcess::Diurnal {
+            base_rate: 2.0,
+            amplitude: 1.0,
+            period: 20.0,
+        };
         let a = proc.sample(2000, &mut rng());
         assert_eq!(a.len(), 2000);
         assert!(a.windows(2).all(|w| w[0] <= w[1]));
@@ -289,7 +314,11 @@ mod tests {
 
     #[test]
     fn bounded_pareto_respects_bounds() {
-        let law = LengthLaw::BoundedPareto { min: 1.0, max: 100.0, shape: 1.1 };
+        let law = LengthLaw::BoundedPareto {
+            min: 1.0,
+            max: 100.0,
+            shape: 1.1,
+        };
         let mut r = rng();
         for _ in 0..1000 {
             let p = law.sample(&mut r);
@@ -301,18 +330,32 @@ mod tests {
     #[test]
     fn bounded_pareto_is_heavy_tailed() {
         // Most mass near min for shape > 1.
-        let law = LengthLaw::BoundedPareto { min: 1.0, max: 1000.0, shape: 1.5 };
+        let law = LengthLaw::BoundedPareto {
+            min: 1.0,
+            max: 1000.0,
+            shape: 1.5,
+        };
         let mut r = rng();
         let below_10 = (0..2000).filter(|_| law.sample(&mut r) < 10.0).count();
-        assert!(below_10 > 1800, "expected >90% below 10, got {below_10}/2000");
+        assert!(
+            below_10 > 1800,
+            "expected >90% below 10, got {below_10}/2000"
+        );
     }
 
     #[test]
     fn bimodal_mixture_frequencies() {
-        let law = LengthLaw::Bimodal { short: 1.0, long: 8.0, p_long: 0.25 };
+        let law = LengthLaw::Bimodal {
+            short: 1.0,
+            long: 8.0,
+            p_long: 0.25,
+        };
         let mut r = rng();
         let longs = (0..4000).filter(|_| law.sample(&mut r) == 8.0).count();
-        assert!((800..1200).contains(&longs), "expected ≈1000 longs, got {longs}");
+        assert!(
+            (800..1200).contains(&longs),
+            "expected ≈1000 longs, got {longs}"
+        );
         assert_eq!(law.mu_bound(), 8.0);
     }
 
@@ -325,15 +368,24 @@ mod tests {
             assert!((2.0..=5.0).contains(&p));
         }
         // Degenerate range works.
-        assert_eq!(LengthLaw::Uniform { min: 3.0, max: 3.0 }.sample(&mut r), 3.0);
+        assert_eq!(
+            LengthLaw::Uniform { min: 3.0, max: 3.0 }.sample(&mut r),
+            3.0
+        );
     }
 
     #[test]
     fn laxity_models() {
         let mut r = rng();
         assert_eq!(LaxityModel::Rigid.sample(5.0, &mut r), 0.0);
-        assert_eq!(LaxityModel::Constant { value: 2.0 }.sample(5.0, &mut r), 2.0);
-        assert_eq!(LaxityModel::Proportional { factor: 0.5 }.sample(6.0, &mut r), 3.0);
+        assert_eq!(
+            LaxityModel::Constant { value: 2.0 }.sample(5.0, &mut r),
+            2.0
+        );
+        assert_eq!(
+            LaxityModel::Proportional { factor: 0.5 }.sample(6.0, &mut r),
+            3.0
+        );
         let l = LaxityModel::Uniform { min: 1.0, max: 4.0 }.sample(5.0, &mut r);
         assert!((1.0..=4.0).contains(&l));
     }

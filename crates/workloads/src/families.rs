@@ -152,7 +152,10 @@ impl UniformFamily {
             LoadRegime::Moderate => "moderate",
             LoadRegime::Sparse => "sparse",
         };
-        format!("uniform[n={},p={},slack<={},{load}]", self.n, self.p, self.max_slack)
+        format!(
+            "uniform[n={},p={},slack<={},{load}]",
+            self.n, self.p, self.max_slack
+        )
     }
 }
 
@@ -209,14 +212,24 @@ pub fn conformance_deck() -> Vec<Family> {
             SlackRegime::Generous,
         ] {
             for &load in &[LoadRegime::Burst, LoadRegime::Moderate, LoadRegime::Sparse] {
-                deck.push(Family::Int(IntFamily { n: 6, mu, slack, load }));
+                deck.push(Family::Int(IntFamily {
+                    n: 6,
+                    mu,
+                    slack,
+                    load,
+                }));
             }
         }
     }
     // Uniform-jobs members (μ = 1 by construction).
     for &(p, max_slack) in &[(1, 2), (3, 6), (5, 0)] {
         for &load in &[LoadRegime::Burst, LoadRegime::Sparse] {
-            deck.push(Family::Uniform(UniformFamily { n: 6, p, max_slack, load }));
+            deck.push(Family::Uniform(UniformFamily {
+                n: 6,
+                p,
+                max_slack,
+                load,
+            }));
         }
     }
     // Larger members: beyond the DP limit, exercising the structural and
@@ -250,7 +263,12 @@ mod tests {
     fn families_are_integral_and_deterministic() {
         for (i, fam) in conformance_deck().iter().enumerate() {
             let a = fam.generate(i as u64);
-            assert_eq!(a, fam.generate(i as u64), "{} not deterministic", fam.label());
+            assert_eq!(
+                a,
+                fam.generate(i as u64),
+                "{} not deterministic",
+                fam.label()
+            );
             for (_, j) in a.iter() {
                 assert!(is_small_integer(j.arrival().get()), "{}", fam.label());
                 assert!(is_small_integer(j.deadline().get()), "{}", fam.label());
@@ -274,7 +292,12 @@ mod tests {
 
     #[test]
     fn uniform_family_has_mu_one() {
-        let fam = UniformFamily { n: 30, p: 3, max_slack: 5, load: LoadRegime::Burst };
+        let fam = UniformFamily {
+            n: 30,
+            p: 3,
+            max_slack: 5,
+            load: LoadRegime::Burst,
+        };
         let inst = fam.generate(2);
         assert_eq!(inst.mu().unwrap(), 1.0);
         for (_, j) in inst.iter() {

@@ -103,13 +103,24 @@ impl Scenario {
             Scenario::CloudBatch => WorkloadSpec {
                 n,
                 arrivals: ArrivalProcess::Poisson { rate: 1.0 },
-                lengths: LengthLaw::BoundedPareto { min: 1.0, max: 64.0, shape: 1.2 },
+                lengths: LengthLaw::BoundedPareto {
+                    min: 1.0,
+                    max: 64.0,
+                    shape: 1.2,
+                },
                 laxity: LaxityModel::Proportional { factor: 1.0 },
             },
             Scenario::BurstyAnalytics => WorkloadSpec {
                 n,
-                arrivals: ArrivalProcess::Bursty { burst_size: 8, rate: 0.25 },
-                lengths: LengthLaw::Bimodal { short: 1.0, long: 16.0, p_long: 0.2 },
+                arrivals: ArrivalProcess::Bursty {
+                    burst_size: 8,
+                    rate: 0.25,
+                },
+                lengths: LengthLaw::Bimodal {
+                    short: 1.0,
+                    long: 16.0,
+                    p_long: 0.2,
+                },
                 laxity: LaxityModel::Constant { value: 20.0 },
             },
             Scenario::RigidLegacy => WorkloadSpec {
@@ -122,7 +133,10 @@ impl Scenario {
                 n,
                 arrivals: ArrivalProcess::Poisson { rate: 0.2 },
                 lengths: LengthLaw::Uniform { min: 1.0, max: 4.0 },
-                laxity: LaxityModel::Uniform { min: 50.0, max: 500.0 },
+                laxity: LaxityModel::Uniform {
+                    min: 50.0,
+                    max: 500.0,
+                },
             },
             Scenario::UniformService => WorkloadSpec {
                 n,
@@ -132,8 +146,16 @@ impl Scenario {
             },
             Scenario::DiurnalCloud => WorkloadSpec {
                 n,
-                arrivals: ArrivalProcess::Diurnal { base_rate: 1.0, amplitude: 0.9, period: 50.0 },
-                lengths: LengthLaw::BoundedPareto { min: 1.0, max: 32.0, shape: 1.3 },
+                arrivals: ArrivalProcess::Diurnal {
+                    base_rate: 1.0,
+                    amplitude: 0.9,
+                    period: 50.0,
+                },
+                lengths: LengthLaw::BoundedPareto {
+                    min: 1.0,
+                    max: 32.0,
+                    shape: 1.3,
+                },
                 laxity: LaxityModel::Proportional { factor: 1.5 },
             },
         }

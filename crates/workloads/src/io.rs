@@ -629,10 +629,7 @@ mod tests {
         // Offsets point at the exact source bytes.
         assert_eq!(&text.as_bytes()[11..11 + dead[0].raw.len()], b"bad one");
         assert_eq!(&text.as_bytes()[25..25 + dead[1].raw.len()], b"0,5");
-        let golden = [
-            "line 3 (byte 11): bad one",
-            "line 5 (byte 25): 0,5",
-        ];
+        let golden = ["line 3 (byte 11): bad one", "line 5 (byte 25): 0,5"];
         for (d, want) in dead.iter().zip(golden) {
             assert_eq!(d.to_string(), want);
         }

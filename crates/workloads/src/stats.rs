@@ -34,16 +34,19 @@ pub fn workload_stats(inst: &Instance) -> WorkloadStats {
     let mu = inst.mu().expect("non-empty");
     let total_work = inst.total_work().get();
     let mean_length = total_work / n as f64;
-    let mean_laxity =
-        inst.jobs().iter().map(|j| j.laxity().get()).sum::<f64>() / n as f64;
+    let mean_laxity = inst.jobs().iter().map(|j| j.laxity().get()).sum::<f64>() / n as f64;
     let mean_laxity_ratio = inst
         .jobs()
         .iter()
         .map(|j| j.laxity().get() / j.length().get())
         .sum::<f64>()
         / n as f64;
-    let rigid_fraction =
-        inst.jobs().iter().filter(|j| !j.laxity().is_positive()).count() as f64 / n as f64;
+    let rigid_fraction = inst
+        .jobs()
+        .iter()
+        .filter(|j| !j.laxity().is_positive())
+        .count() as f64
+        / n as f64;
     let first = inst.first_arrival().expect("non-empty").get();
     let last = inst
         .jobs()
@@ -51,7 +54,11 @@ pub fn workload_stats(inst: &Instance) -> WorkloadStats {
         .map(|j| j.arrival().get())
         .fold(f64::NEG_INFINITY, f64::max);
     let window = last - first;
-    let load = if window > 0.0 { total_work / window } else { 0.0 };
+    let load = if window > 0.0 {
+        total_work / window
+    } else {
+        0.0
+    };
     WorkloadStats {
         n,
         mu,
@@ -72,9 +79,9 @@ mod tests {
     #[test]
     fn stats_on_a_known_instance() {
         let inst = Instance::new(vec![
-            Job::adp(0.0, 0.0, 2.0),  // rigid
-            Job::adp(1.0, 5.0, 1.0),  // laxity 4, ratio 4
-            Job::adp(4.0, 6.0, 4.0),  // laxity 2, ratio 0.5
+            Job::adp(0.0, 0.0, 2.0), // rigid
+            Job::adp(1.0, 5.0, 1.0), // laxity 4, ratio 4
+            Job::adp(4.0, 6.0, 4.0), // laxity 2, ratio 0.5
         ]);
         let s = workload_stats(&inst);
         assert_eq!(s.n, 3);

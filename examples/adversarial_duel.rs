@@ -34,7 +34,10 @@ fn main() {
 
     // Game 1: the golden-ratio adversary (Theorem 4.1). Works against any
     // scheduler.
-    println!("=== Theorem 4.1 game: the φ-adversary ({}) ===", kind.label());
+    println!(
+        "=== Theorem 4.1 game: the φ-adversary ({}) ===",
+        kind.label()
+    );
     for n in [1usize, 5, 20, 100] {
         let mut adv = CvAdversary::new(n);
         let out = run(&mut adv, kind.build());
@@ -54,15 +57,23 @@ fn main() {
     // Game 2: the non-clairvoyant adversary (Theorem 3.3). Only for
     // schedulers that do not read lengths.
     if kind.requires_clairvoyance() {
-        println!("\n(Theorem 3.3 game skipped: {} reads processing lengths.)", kind.label());
+        println!(
+            "\n(Theorem 3.3 game skipped: {} reads processing lengths.)",
+            kind.label()
+        );
         return;
     }
-    println!("\n=== Theorem 3.3 game: the earmarking adversary ({}) ===", kind.label());
+    println!(
+        "\n=== Theorem 3.3 game: the earmarking adversary ({}) ===",
+        kind.label()
+    );
     let mu = 6.0;
     for k in [1usize, 4, 16] {
         let mut adv = NcAdversary::new(NcAdversaryParams::uniform(mu, k, 64));
         let out = run(&mut adv, kind.build());
-        let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2 check");
+        let prescribed = adv
+            .prescribed_schedule(&out.instance)
+            .expect("Lemma 3.2 check");
         let ratio = out.span.ratio(prescribed.span(&out.instance));
         println!(
             "  μ = {mu}, k = {k:>2}: {} iterations, {} earmarks — online span {:>9.3}, OPT ≤ {:>8.3}, ratio {:.4} (→ μ = {mu})",

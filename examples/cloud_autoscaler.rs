@@ -24,7 +24,10 @@ fn main() {
     );
 
     let lb = fjs::opt::best_lower_bound(&inst).get();
-    println!("certified minimum server-on time: ≥ {lb:.1} h (${:.0})\n", lb * DOLLARS_PER_HOUR);
+    println!(
+        "certified minimum server-on time: ≥ {lb:.1} h (${:.0})\n",
+        lb * DOLLARS_PER_HOUR
+    );
 
     println!(
         "{:<18} {:>12} {:>12} {:>10}",

@@ -37,7 +37,10 @@ fn main() {
         assert!(out.is_feasible());
         let items = outcome_items(&out, &sizes);
         let packer = if label.contains("CD-FF") {
-            Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }
+            Packer::ClassifiedFirstFit {
+                alpha: 2.0,
+                base: 1.0,
+            }
         } else {
             Packer::FirstFit
         };

@@ -21,7 +21,11 @@ fn main() {
         Job::adp(9.0, 12.0, 2.0),
     ]);
 
-    println!("instance: {} jobs, μ = {:.2}", inst.len(), inst.mu().unwrap());
+    println!(
+        "instance: {} jobs, μ = {:.2}",
+        inst.len(),
+        inst.mu().unwrap()
+    );
 
     // Bracket the offline optimum.
     let lb = fjs::opt::best_lower_bound(&inst);

@@ -19,14 +19,24 @@ fn main() {
     let spec = WorkloadSpec {
         n: 600,
         arrivals: ArrivalProcess::Poisson { rate: 1.0 },
-        lengths: LengthLaw::Bimodal { short: 1.0, long: 32.0, p_long: 0.3 },
+        lengths: LengthLaw::Bimodal {
+            short: 1.0,
+            long: 32.0,
+            p_long: 0.3,
+        },
         laxity: LaxityModel::Proportional { factor: 2.0 },
     };
     let inst = spec.generate(2026);
     let lb = fjs::opt::best_lower_bound(&inst).get();
-    println!("600 jobs, μ = {:.0}, OPT span ≥ {lb:.1}\n", inst.mu().unwrap());
+    println!(
+        "600 jobs, μ = {:.0}, OPT span ≥ {lb:.1}\n",
+        inst.mu().unwrap()
+    );
 
-    println!("{:<14} {:<18} {:>10} {:>10}", "information", "scheduler", "span", "vs LB");
+    println!(
+        "{:<14} {:<18} {:>10} {:>10}",
+        "information", "scheduler", "span", "vs LB"
+    );
 
     // Rung 1: no length information at all.
     let out = run_static(&inst, Clairvoyance::NonClairvoyant, BatchPlus::new());
@@ -37,7 +47,11 @@ fn main() {
     report("class only", "SemiCDB", &out, lb);
 
     // Rung 3: full lengths.
-    let out = run_static(&inst, Clairvoyance::Clairvoyant, ClassifyByDuration::new(2.0, 1.0));
+    let out = run_static(
+        &inst,
+        Clairvoyance::Clairvoyant,
+        ClassifyByDuration::new(2.0, 1.0),
+    );
     report("full", "CDB(α=2)", &out, lb);
     let out = run_static(&inst, Clairvoyance::Clairvoyant, Profit::optimal());
     report("full", "Profit(k*)", &out, lb);

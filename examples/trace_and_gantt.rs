@@ -35,7 +35,11 @@ fn main() {
     };
     let trace = parse_trace(&text).expect("valid trace");
     let inst = trace.instance;
-    println!("trace: {} jobs, μ = {:.2}", inst.len(), inst.mu().unwrap_or(1.0));
+    println!(
+        "trace: {} jobs, μ = {:.2}",
+        inst.len(),
+        inst.mu().unwrap_or(1.0)
+    );
 
     let lb = fjs::opt::best_lower_bound(&inst);
     println!("optimal span ≥ {lb}\n");
@@ -56,9 +60,20 @@ fn main() {
     }
 
     let (kind, out) = best.unwrap();
-    println!("\nbest schedule — {} (span {:.3}):\n", kind.label(), out.span.get());
+    println!(
+        "\nbest schedule — {} (span {:.3}):\n",
+        kind.label(),
+        out.span.get()
+    );
     println!(
         "{}",
-        render_gantt(&out.instance, &out.schedule, GanttOptions { width: 56, ..Default::default() })
+        render_gantt(
+            &out.instance,
+            &out.schedule,
+            GanttOptions {
+                width: 56,
+                ..Default::default()
+            }
+        )
     );
 }

@@ -12,7 +12,9 @@ fn cv_ratio(kind: SchedulerKind, n: usize) -> f64 {
     let out = run(&mut adv, kind.build());
     assert!(out.is_feasible(), "{}", kind.label());
     let prescribed = adv.prescribed_schedule(&out.instance);
-    prescribed.validate(&out.instance).expect("prescribed feasible");
+    prescribed
+        .validate(&out.instance)
+        .expect("prescribed feasible");
     out.span.ratio(prescribed.span(&out.instance))
 }
 
@@ -55,10 +57,15 @@ fn nc_adversary_handles_threshold_batching() {
     let out = run(&mut adv, SchedulerKind::Threshold { m: 16 }.build());
     assert!(out.is_feasible());
     assert_eq!(adv.iterations_released(), 5, "all iterations triggered");
-    let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2 check");
+    let prescribed = adv
+        .prescribed_schedule(&out.instance)
+        .expect("Lemma 3.2 check");
     let ratio = out.span.ratio(prescribed.span(&out.instance));
     let target = (4.0 * 4.0 + 1.0) / (4.0 + 4.0);
-    assert!(ratio >= target * 0.9, "ratio {ratio} vs (kμ+1)/(μ+k) = {target}");
+    assert!(
+        ratio >= target * 0.9,
+        "ratio {ratio} vs (kμ+1)/(μ+k) = {target}"
+    );
 }
 
 #[test]
@@ -69,7 +76,12 @@ fn nc_adversary_vs_random_start_still_certifies_a_ratio() {
     let mut adv = NcAdversary::new(NcAdversaryParams::uniform(6.0, 2, 64));
     let out = run(&mut adv, SchedulerKind::RandomStart { seed: 9 }.build());
     assert!(out.is_feasible());
-    let prescribed = adv.prescribed_schedule(&out.instance).expect("Lemma 3.2 check");
+    let prescribed = adv
+        .prescribed_schedule(&out.instance)
+        .expect("Lemma 3.2 check");
     let ratio = out.span.ratio(prescribed.span(&out.instance));
-    assert!(ratio > 1.5, "adversary should clearly beat random delays, got {ratio}");
+    assert!(
+        ratio > 1.5,
+        "adversary should clearly beat random delays, got {ratio}"
+    );
 }

@@ -18,7 +18,10 @@ use std::path::Path;
 fn corpus_replays_clean() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let entries = load_dir(&dir).expect("corpus must load");
-    assert!(!entries.is_empty(), "the corpus ships at least the chaos self-test entry");
+    assert!(
+        !entries.is_empty(),
+        "the corpus ships at least the chaos self-test entry"
+    );
     for (path, entry) in &entries {
         replay(entry).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         if entry.expect == Expectation::Violate {
@@ -46,7 +49,12 @@ fn dp_and_exhaustive_agree_on_small_instances() {
             SlackRegime::Generous,
         ] {
             for &load in &[LoadRegime::Burst, LoadRegime::Moderate, LoadRegime::Sparse] {
-                let fam = IntFamily { n: 5, mu, slack, load };
+                let fam = IntFamily {
+                    n: 5,
+                    mu,
+                    slack,
+                    load,
+                };
                 for _ in 0..6 {
                     let inst = fam.generate(case_seed(11, cases));
                     let dp = fjs::opt::optimal_span_dp(&inst).unwrap();
@@ -61,7 +69,10 @@ fn dp_and_exhaustive_agree_on_small_instances() {
             }
         }
     }
-    assert!(cases >= 200, "differential sweep covers at least 200 instances, got {cases}");
+    assert!(
+        cases >= 200,
+        "differential sweep covers at least 200 instances, got {cases}"
+    );
 }
 
 /// Figure 2 across a `μ × m` grid: the prescribed schedule's span equals
@@ -136,21 +147,33 @@ fn fig3_matches_analytic_optimum_across_grid() {
 fn parallel_map_matches_serial_evaluation() {
     let inputs: Vec<u64> = (0..48).collect();
     let eval = |seed: &u64| {
-        let fam =
-            IntFamily { n: 24, mu: 6, slack: SlackRegime::Generous, load: LoadRegime::Moderate };
+        let fam = IntFamily {
+            n: 24,
+            mu: 6,
+            slack: SlackRegime::Generous,
+            load: LoadRegime::Moderate,
+        };
         let inst = fam.generate(*seed);
         SchedulerKind::Batch.run_on(&inst).span.get().to_bits()
     };
     let par = fjs::analysis::parallel_map(&inputs, eval);
     let ser: Vec<u64> = inputs.iter().map(eval).collect();
-    assert_eq!(par, ser, "parallel_map must equal the serial map bit-for-bit");
+    assert_eq!(
+        par, ser,
+        "parallel_map must equal the serial map bit-for-bit"
+    );
 }
 
 /// `fjs conform` with a fixed seed is a pure function: two runs over every
 /// registered scheduler produce identical clean reports.
 #[test]
 fn conformance_run_is_deterministic_and_clean() {
-    let config = ConformConfig { cases: 16, base_seed: 1, quick: true, ..ConformConfig::default() };
+    let config = ConformConfig {
+        cases: 16,
+        base_seed: 1,
+        quick: true,
+        ..ConformConfig::default()
+    };
     let targets = all_targets();
     let a = run_conformance(&targets, &config);
     let b = run_conformance(&targets, &config);
@@ -159,7 +182,11 @@ fn conformance_run_is_deterministic_and_clean() {
         .iter()
         .map(|f| format!("{} / {}: {}", f.target.name(), f.oracle.id(), f.detail))
         .collect();
-    assert!(a.is_clean(), "conformance failures:\n{}", details.join("\n"));
+    assert!(
+        a.is_clean(),
+        "conformance failures:\n{}",
+        details.join("\n")
+    );
     assert_eq!(a.cases, b.cases);
     assert_eq!(a.checks, b.checks);
     assert_eq!(a.failures.len(), b.failures.len());

@@ -15,7 +15,13 @@ fn every_scheduler_packer_combination_is_capacity_safe() {
     for kind in SchedulerKind::full_set() {
         let out = kind.run_on(&inst);
         let items = outcome_items(&out, &sizes);
-        for packer in [Packer::FirstFit, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 }] {
+        for packer in [
+            Packer::FirstFit,
+            Packer::ClassifiedFirstFit {
+                alpha: 2.0,
+                base: 1.0,
+            },
+        ] {
             let packing = pack(&items, packer);
             assert!(
                 verify_capacity(&items, &packing).is_none(),
@@ -24,7 +30,10 @@ fn every_scheduler_packer_combination_is_capacity_safe() {
                 packer
             );
             assert!(packing.total_usage >= usage_lower_bound(&items) - dur(1e-9));
-            assert!(packing.total_usage >= out.span - dur(1e-9), "usage dominates span");
+            assert!(
+                packing.total_usage >= out.span - dur(1e-9),
+                "usage dominates span"
+            );
             // Every item placed exactly once.
             let placed: usize = packing.bins.iter().map(|b| b.items.len()).sum();
             assert_eq!(placed, items.len());
@@ -38,15 +47,28 @@ fn classified_first_fit_respects_classes() {
     let sizes = deterministic_sizes(200, 0.2, 0.5, 3);
     let out = SchedulerKind::BatchPlus.run_on(&inst);
     let items = outcome_items(&out, &sizes);
-    let packing = pack(&items, Packer::ClassifiedFirstFit { alpha: 2.0, base: 1.0 });
+    let packing = pack(
+        &items,
+        Packer::ClassifiedFirstFit {
+            alpha: 2.0,
+            base: 1.0,
+        },
+    );
     for bin in &packing.bins {
         assert!(bin.class.is_some());
         // All durations in one bin within a factor 2 of each other (one
         // geometric class).
-        let durs: Vec<f64> = bin.items.iter().map(|&i| items[i].interval.len().get()).collect();
+        let durs: Vec<f64> = bin
+            .items
+            .iter()
+            .map(|&i| items[i].interval.len().get())
+            .collect();
         let lo = durs.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = durs.iter().cloned().fold(0.0, f64::max);
-        assert!(hi / lo <= 2.0 * (1.0 + 1e-6), "bin mixes classes: {lo}..{hi}");
+        assert!(
+            hi / lo <= 2.0 * (1.0 + 1e-6),
+            "bin mixes classes: {lo}..{hi}"
+        );
     }
 }
 
@@ -87,7 +109,9 @@ fn unit_sizes_force_one_job_per_bin() {
         let packing = pack(&items, Packer::FirstFit);
         // Summation order differs between per-bin accounting and total
         // work, so compare with a tolerance.
-        let diff = (packing.total_usage - out.instance.total_work()).get().abs();
+        let diff = (packing.total_usage - out.instance.total_work())
+            .get()
+            .abs();
         assert!(
             diff < 1e-6,
             "usage {} vs work {}",

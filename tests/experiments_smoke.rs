@@ -17,7 +17,11 @@ fn every_experiment_runs_quick() {
             }
             // Rendering round-trips without panicking and contains data.
             let rendered = t.render();
-            assert!(rendered.lines().count() >= 3, "{} table {i} rendering too short", exp.id);
+            assert!(
+                rendered.lines().count() >= 3,
+                "{} table {i} rendering too short",
+                exp.id
+            );
             let csv = t.to_csv();
             assert_eq!(csv.lines().count(), t.rows.len() + 1);
         }
@@ -27,7 +31,9 @@ fn every_experiment_runs_quick() {
 #[test]
 fn experiment_ids_cover_design_doc() {
     let ids: Vec<&str> = all().iter().map(|e| e.id).collect();
-    for expected in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11"] {
+    for expected in [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+    ] {
         assert!(ids.contains(&expected), "missing experiment {expected}");
     }
 }

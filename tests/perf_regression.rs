@@ -334,7 +334,7 @@ fn bench_json_honours_schema_v1_and_self_diff_is_clean() {
     report
         .validate()
         .expect("bench report must satisfy schema v1");
-    assert_eq!(report.cases.len(), 5, "the suite ships five named cases");
+    assert_eq!(report.cases.len(), 6, "the suite ships six named cases");
 
     let reparsed = BenchReport::parse(&report.to_json()).expect("round-trip parse");
     reparsed

@@ -15,18 +15,27 @@ use fjs_prng::{check, SmallRng};
 fn random_spec(rng: &mut SmallRng) -> WorkloadSpec {
     let n = rng.usize_range(5, 60);
     let arrivals = match rng.u64_below(3) {
-        0 => ArrivalProcess::Poisson { rate: rng.f64_range(0.2, 3.0) },
-        1 => ArrivalProcess::Uniform { gap: rng.f64_range(0.0, 4.0) },
+        0 => ArrivalProcess::Poisson {
+            rate: rng.f64_range(0.2, 3.0),
+        },
+        1 => ArrivalProcess::Uniform {
+            gap: rng.f64_range(0.0, 4.0),
+        },
         _ => ArrivalProcess::Bursty {
             burst_size: rng.usize_range(1, 6),
             rate: rng.f64_range(0.1, 1.0),
         },
     };
     let lengths = match rng.u64_below(3) {
-        0 => LengthLaw::Fixed { value: rng.f64_range(1.0, 4.0) },
+        0 => LengthLaw::Fixed {
+            value: rng.f64_range(1.0, 4.0),
+        },
         1 => {
             let lo = rng.f64_range(1.0, 3.0);
-            LengthLaw::Uniform { min: lo, max: lo + rng.f64_range(0.0, 9.0) }
+            LengthLaw::Uniform {
+                min: lo,
+                max: lo + rng.f64_range(0.0, 9.0),
+            }
         }
         _ => {
             let s = rng.f64_range(1.0, 2.0);
@@ -39,10 +48,19 @@ fn random_spec(rng: &mut SmallRng) -> WorkloadSpec {
     };
     let laxity = match rng.u64_below(3) {
         0 => LaxityModel::Rigid,
-        1 => LaxityModel::Constant { value: rng.f64_range(0.0, 20.0) },
-        _ => LaxityModel::Proportional { factor: rng.f64_range(0.0, 4.0) },
+        1 => LaxityModel::Constant {
+            value: rng.f64_range(0.0, 20.0),
+        },
+        _ => LaxityModel::Proportional {
+            factor: rng.f64_range(0.0, 4.0),
+        },
     };
-    WorkloadSpec { n, arrivals, lengths, laxity }
+    WorkloadSpec {
+        n,
+        arrivals,
+        lengths,
+        laxity,
+    }
 }
 
 /// Random spec materialized with a random seed.
@@ -60,7 +78,11 @@ fn schedulers_feasible_and_bracketed() {
         for kind in SchedulerKind::full_set() {
             let out = kind.run_on(&inst);
             assert!(out.is_feasible(), "{} violated a deadline", kind.label());
-            assert!(out.schedule.validate(&out.instance).is_ok(), "{}", kind.label());
+            assert!(
+                out.schedule.validate(&out.instance).is_ok(),
+                "{}",
+                kind.label()
+            );
             // Tolerate f64 summation-order noise (different orders of
             // interval accumulation) with a tiny relative epsilon.
             let tol = 1e-9 * (1.0 + lb.get().abs());
@@ -84,7 +106,12 @@ fn runs_are_deterministic() {
             let a = kind.run_on(&inst);
             let b = kind.run_on(&inst);
             assert_eq!(a.span, b.span, "{} span nondeterministic", kind.label());
-            assert_eq!(a.schedule, b.schedule, "{} schedule nondeterministic", kind.label());
+            assert_eq!(
+                a.schedule,
+                b.schedule,
+                "{} schedule nondeterministic",
+                kind.label()
+            );
         }
     });
 }

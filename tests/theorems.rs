@@ -34,9 +34,17 @@ fn theorem_3_4_upper_bound_holds_exactly() {
 fn theorem_3_4_lower_bound_approached() {
     let mu = 4.0;
     let tight = fig2_batch_tightness(512, mu, 1e-3);
-    let out = run_static(&tight.instance, Clairvoyance::NonClairvoyant, fjs::schedulers::Batch::new());
+    let out = run_static(
+        &tight.instance,
+        Clairvoyance::NonClairvoyant,
+        fjs::schedulers::Batch::new(),
+    );
     let ratio = out.span.ratio(tight.prescribed_span);
-    assert!(ratio > 2.0 * mu * 0.97, "ratio {ratio} should be within 3% of 2μ = {}", 2.0 * mu);
+    assert!(
+        ratio > 2.0 * mu * 0.97,
+        "ratio {ratio} should be within 3% of 2μ = {}",
+        2.0 * mu
+    );
 }
 
 /// Theorem 3.5 (tightness, both sides): Batch+ stays within `(μ+1)·OPT`
@@ -57,10 +65,17 @@ fn theorem_3_5_tightness() {
     // Lower bound on the tightness family.
     let mu = 4.0;
     let tight = fig3_batch_plus_tightness(512, mu, 1e-3);
-    let out =
-        run_static(&tight.instance, Clairvoyance::NonClairvoyant, fjs::schedulers::BatchPlus::new());
+    let out = run_static(
+        &tight.instance,
+        Clairvoyance::NonClairvoyant,
+        fjs::schedulers::BatchPlus::new(),
+    );
     let ratio = out.span.ratio(tight.prescribed_span);
-    assert!(ratio > (mu + 1.0) * 0.97, "ratio {ratio} vs μ+1 = {}", mu + 1.0);
+    assert!(
+        ratio > (mu + 1.0) * 0.97,
+        "ratio {ratio} vs μ+1 = {}",
+        mu + 1.0
+    );
     assert!(ratio <= mu + 1.0 + 1e-9);
 }
 
@@ -69,7 +84,11 @@ fn theorem_3_5_tightness() {
 #[test]
 fn theorem_3_3_adversary_forces_mu() {
     let mu = 8.0;
-    for kind in [SchedulerKind::Batch, SchedulerKind::BatchPlus, SchedulerKind::Eager] {
+    for kind in [
+        SchedulerKind::Batch,
+        SchedulerKind::BatchPlus,
+        SchedulerKind::Eager,
+    ] {
         let mut adv = NcAdversary::new(NcAdversaryParams::uniform(mu, 32, 64));
         let out = run(&mut adv, kind.build());
         assert!(out.is_feasible());
