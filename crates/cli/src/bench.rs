@@ -89,6 +89,26 @@ fn engine_case() -> BenchSample {
     })
 }
 
+/// The `engine-static-10k` workload: the same shape at 10× scale, where
+/// arena locality and calendar-queue O(1) pops dominate (a BinaryHeap or
+/// an O(n) sorted-Vec removal shows up superlinearly here). The case also
+/// pins the arena memory counters so regressions fail on footprint, not
+/// just time.
+fn engine_case_10k() -> BenchSample {
+    let inst = fjs_workloads::Scenario::CloudBatch.generate(10_000, 3);
+    time_case("engine-static-10k", || {
+        let out = run_static(
+            &inst,
+            Clairvoyance::NonClairvoyant,
+            fjs_schedulers::Batch::new(),
+        );
+        assert!(out.is_feasible());
+        assert_eq!(out.stats.peak_retained, 10_000, "batch runs retain all");
+        assert_eq!(out.stats.arena_slots, 10_000, "no slot churn on batch");
+        out.span.get()
+    })
+}
+
 /// The `interval-union-bulk` workload: merging many pre-built interval
 /// sets into an accumulator (the busy-time union shape behind span and
 /// concurrency metrics).
@@ -163,6 +183,7 @@ pub fn run_bench_suite() -> BenchReport {
     report.upsert(conform_deck_case());
     report.upsert(exhaustive_sweep_case());
     report.upsert(engine_case());
+    report.upsert(engine_case_10k());
     report.upsert(interval_union_case());
     report.upsert(serve_throughput_case());
     report.upsert(serve_throughput_pooled_case());

@@ -464,6 +464,7 @@ fn run_stats_jsonl_record(
          \"ordered_starts\": {}, \"length_probes\": {}, \"deadline_alarms\": {}, \
          \"wakeups\": {}, \"events_total\": {}, \"peak_queue\": {}, \"actions_applied\": {}, \
          \"actions_rejected\": {}, \"force_starts\": {}, \"jobs_completed\": {}, \
+         \"peak_retained\": {}, \"arena_slots\": {}, \
          \"opt_cache_hits\": {}, \"opt_cache_misses\": {}, \
          \"wall_total_s\": {}, \"wall_scheduler_s\": {}, \"wall_environment_s\": {}}}\n",
         escape(scheduler),
@@ -482,6 +483,8 @@ fn run_stats_jsonl_record(
         s.actions_rejected,
         s.force_starts,
         s.jobs_completed,
+        s.peak_retained,
+        s.arena_slots,
         s.opt_cache_hits,
         s.opt_cache_misses,
         fmt_f64(s.wall_total_s),

@@ -390,6 +390,100 @@ impl SpanAccountant {
     }
 }
 
+/// Incremental span for the batch engine: a running scalar updated at each
+/// busy-interval open/close, replacing the end-of-run
+/// `Schedule::busy_set().measure()` pass.
+///
+/// Where [`SpanAccountant`] keeps a live [`IntervalSet`] (resident services
+/// record arbitrary, possibly-nested intervals), the engine's access pattern
+/// is stricter — starts arrive at a monotone `now` — so the whole union
+/// collapses to *one* current segment `[seg_start, seg_end)` plus a closed
+/// total:
+///
+/// * a start at `now` **merges** into the current segment iff `now <=
+///   seg_end` (the exact touching-merge comparison `lo <= hi` that
+///   [`IntervalSet::insert`] uses) or some merged job's completion is still
+///   unruled (`open > 0`): an unruled running job is guaranteed to cover
+///   through any later ruling instant, so the segment cannot have a gap;
+/// * otherwise the current segment **closes** (its length is added to the
+///   scalar in chronological order, matching the summation order of
+///   [`IntervalSet::measure`]) and a new one opens.
+///
+/// Endpoints are the same `f64` values the interval set would compute
+/// (`max` over identical completions, `min` = first chronological start), so
+/// the result is bit-identical to the legacy measurement — the engine
+/// equivalence suite pins this, and `prop_running_span_matches_measure`
+/// checks it against seeded open/close streams.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningSpan {
+    /// Sum of closed segments, accumulated chronologically.
+    closed: Dur,
+    seg_start: Time,
+    /// Latest known completion within the current segment.
+    seg_end: Time,
+    has_seg: bool,
+    /// Running jobs merged into the current segment whose completion is not
+    /// yet known (adaptive lengths before their ruling).
+    open: usize,
+}
+
+impl RunningSpan {
+    /// A fresh span of zero.
+    pub fn new() -> Self {
+        RunningSpan::default()
+    }
+
+    /// Records a job starting at `at` (calls must be monotone in `at`), with
+    /// its completion time when already known (fixed or just-ruled lengths)
+    /// or `None` while adaptive (close it later with
+    /// [`RunningSpan::on_rule`]).
+    pub fn on_start(&mut self, at: Time, completion: Option<Time>) {
+        if !self.has_seg {
+            self.has_seg = true;
+            self.seg_start = at;
+            self.seg_end = at;
+        } else if self.open == 0 && at > self.seg_end {
+            // Gap: close the finished segment, open a new one.
+            self.closed += self.seg_end - self.seg_start;
+            self.seg_start = at;
+            self.seg_end = at;
+        }
+        match completion {
+            Some(c) => self.seg_end = self.seg_end.max(c),
+            None => self.open += 1,
+        }
+    }
+
+    /// Resolves the completion of one previously-open start. The job is
+    /// necessarily part of the current segment: a segment cannot close while
+    /// any of its jobs is still open.
+    pub fn on_rule(&mut self, completion: Time) {
+        debug_assert!(self.open > 0, "ruling without an open start");
+        self.open -= 1;
+        self.seg_end = self.seg_end.max(completion);
+    }
+
+    /// The total span, provided every start's completion has been resolved;
+    /// `None` while any merged job's length is still unruled (callers fall
+    /// back to measuring the materialized schedule, as aborted runs must).
+    pub fn total_if_resolved(&self) -> Option<Dur> {
+        if self.open > 0 {
+            return None;
+        }
+        let tail = if self.has_seg {
+            self.seg_end - self.seg_start
+        } else {
+            Dur::ZERO
+        };
+        Some(self.closed + tail)
+    }
+
+    /// Number of merged starts whose completion is still unknown.
+    pub fn open_starts(&self) -> usize {
+        self.open
+    }
+}
+
 impl fmt::Display for IntervalSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
@@ -692,5 +786,110 @@ mod tests {
             assert_eq!(acc.total(), reference.measure());
             assert_eq!(acc.live_segments(), 0);
         });
+    }
+
+    /// The engine-shaped satellite differential property: over seeded
+    /// streams of monotone starts — fixed completions, re-entrant overlaps,
+    /// and adaptive starts whose completions are ruled later — the running
+    /// scalar must equal [`IntervalSet::measure`] over every interval ever
+    /// opened, *exactly*, whenever all completions are resolved. The same
+    /// stream is also replayed through [`SpanAccountant`] (with prefix
+    /// retirement at every step) to pin the compacted-prefix path the
+    /// service layer shares.
+    #[test]
+    fn prop_running_span_matches_measure() {
+        use fjs_prng::check::forall_seeded;
+        // Quarter-unit grid, as above: exact f64 arithmetic everywhere, so
+        // equality below is bitwise, not approximate.
+        let q = |x: f64| (x * 4.0).round() / 4.0;
+        forall_seeded(0x59a7_0a01, 96, move |rng| {
+            let mut span = RunningSpan::new();
+            let mut reference = IntervalSet::new();
+            let mut acc = SpanAccountant::new();
+            // Start times of adaptive opens whose completion is unruled.
+            let mut open: Vec<f64> = Vec::new();
+            let mut now = 0.0f64;
+            let steps = 1 + rng.u64_below(100) as usize;
+            for _ in 0..steps {
+                if !open.is_empty() && rng.bool_with(0.4) {
+                    // Rule one open start. The engine validates completions
+                    // against the ruling instant (`completion >= now`), and
+                    // `now` has passed every start merged meanwhile — the
+                    // exact guarantee that lets an open job hold its segment
+                    // together across re-entrant overlaps.
+                    let k = rng.usize_range(0, open.len());
+                    let start = open.swap_remove(k);
+                    now += q(rng.f64_range(0.0, 2.0));
+                    let hi = (start + 0.25).max(now) + q(rng.f64_range(0.0, 4.0));
+                    span.on_rule(t(hi));
+                    reference.insert(Interval::new(t(start), t(hi)));
+                    acc.record(Interval::new(t(start), t(hi)));
+                } else {
+                    now += q(rng.f64_range(0.0, 6.0));
+                    let s = now;
+                    let len = q(rng.f64_range_inclusive(0.25, 6.0));
+                    if rng.bool_with(0.3) {
+                        // Adaptive: completion revealed at a later ruling.
+                        span.on_start(t(s), None);
+                        open.push(s);
+                    } else {
+                        span.on_start(t(s), Some(t(s + len)));
+                        reference.insert(Interval::new(t(s), t(s + len)));
+                        acc.record(Interval::new(t(s), t(s + len)));
+                    }
+                }
+                assert_eq!(span.open_starts(), open.len());
+                if open.is_empty() {
+                    assert_eq!(
+                        span.total_if_resolved(),
+                        Some(reference.measure()),
+                        "running span diverged at now={now}"
+                    );
+                } else {
+                    assert_eq!(span.total_if_resolved(), None);
+                }
+                // Retire the accountant's prefix continuously (the
+                // compacted-prefix path the service layer uses); late
+                // records of open starts cap how far the watermark may go.
+                let safe = open.iter().fold(now, |m, &s| m.min(s));
+                acc.advance(t(safe));
+                assert_eq!(acc.total(), reference.measure());
+            }
+            // Resolve every remaining open start, then all three agree.
+            while let Some(start) = open.pop() {
+                let hi = (start + 0.25).max(now) + q(rng.f64_range(0.0, 4.0));
+                span.on_rule(t(hi));
+                reference.insert(Interval::new(t(start), t(hi)));
+                acc.record(Interval::new(t(start), t(hi)));
+            }
+            assert_eq!(span.total_if_resolved(), Some(reference.measure()));
+            assert_eq!(acc.total(), reference.measure());
+        });
+    }
+
+    #[test]
+    fn running_span_merges_touching_and_counts_gaps() {
+        let mut span = RunningSpan::new();
+        span.on_start(t(0.0), Some(t(2.0)));
+        span.on_start(t(2.0), Some(t(3.0))); // touching: [0,3)
+        span.on_start(t(5.0), Some(t(6.0))); // gap: closes [0,3)
+        assert_eq!(span.total_if_resolved(), Some(dur(4.0)));
+    }
+
+    #[test]
+    fn running_span_open_start_holds_segment_open() {
+        let mut span = RunningSpan::new();
+        span.on_start(t(0.0), None);
+        // Far-later start: would be a gap if the adaptive job's reach were
+        // known, but while open the segment cannot close.
+        span.on_start(t(10.0), Some(t(11.0)));
+        assert_eq!(span.total_if_resolved(), None);
+        span.on_rule(t(12.0)); // the adaptive job ran [0,12) — one segment
+        assert_eq!(span.total_if_resolved(), Some(dur(12.0)));
+    }
+
+    #[test]
+    fn running_span_empty_is_zero() {
+        assert_eq!(RunningSpan::new().total_if_resolved(), Some(Dur::ZERO));
     }
 }

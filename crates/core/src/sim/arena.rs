@@ -1,0 +1,605 @@
+//! The flat per-job arena behind [`crate::sim::World`].
+//!
+//! Job state is stored in structure-of-arrays columns indexed by *slot*, so
+//! the engine's hot loops (membership tests, start/complete transitions,
+//! pending/running iteration) touch contiguous memory instead of chasing a
+//! `Vec<JobRecord>` of wide mixed records.
+//!
+//! * **Id → slot.** Ids are dense and assigned in release order, so the map
+//!   is a `Vec<u32>` plus a `base` offset: id `base + i` occupies
+//!   `slot_of[i]`. Prefix compaction drains the front, but only when the
+//!   completed prefix is a majority of the map, so the shift is amortized
+//!   O(1) per record while lookups stay a plain indexed load (measurably
+//!   cheaper than a `VecDeque`'s two-slice indexing on the hot paths).
+//! * **Pending/running sets** are intrusive doubly-linked lists threaded
+//!   through `prev`/`next` columns (a job is in at most one of the two), so
+//!   removal is O(1) — the previous flat sorted `Vec`s paid an O(n) shift
+//!   per start and per completion, which made deck-scale runs quadratic.
+//!   Pending stays id-sorted for free (ids ascend at release and a job never
+//!   re-enters pending); running inserts walk backwards from the tail,
+//!   which is O(1) for the dominant in-id-order start patterns.
+//! * **Free list + generations.** Compacted slots are recycled through a
+//!   LIFO free list. Each slot carries a generation counter bumped on every
+//!   free, so a stale reference to a recycled slot is detectable and reuse
+//!   can be asserted ABA-safe (see `no_aba_on_recycled_slots`).
+//!
+//! Optional columns (`length`, `start`, `ordered_start`) use a NaN sentinel
+//! instead of `Option<f64>`: all legitimate values are finite by the
+//! [`Time`]/[`Dur`] construction invariant, and the dense 8-byte column
+//! halves the footprint scanned by hot paths.
+
+use crate::job::JobId;
+use crate::time::{Dur, Time};
+
+/// Slot state machine. `FREE` slots live on the free list only.
+pub(crate) const STATE_PENDING: u8 = 0;
+pub(crate) const STATE_RUNNING: u8 = 1;
+pub(crate) const STATE_COMPLETED: u8 = 2;
+pub(crate) const STATE_FREE: u8 = 3;
+
+/// Null link in the intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Which intrusive list an operation targets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum ListId {
+    Pending,
+    Running,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ListHeads {
+    head: u32,
+    tail: u32,
+    len: usize,
+}
+
+/// The structure-of-arrays job store. See module docs.
+#[derive(Clone, Debug)]
+pub(crate) struct JobArena {
+    // ---- per-slot columns --------------------------------------------
+    arrival: Vec<Time>,
+    deadline: Vec<Time>,
+    /// Length in seconds; NaN while an adaptive length is unruled.
+    length: Vec<f64>,
+    /// Start time; NaN until started.
+    start: Vec<f64>,
+    /// `Ctx::start_at` commitment; NaN when none.
+    ordered: Vec<f64>,
+    state: Vec<u8>,
+    /// Bumped every time the slot is freed; pins ABA-safe reuse.
+    gen: Vec<u32>,
+    /// Id of the current occupant (diagnostics + ABA checks).
+    id_of: Vec<u32>,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    // ---- indexes ------------------------------------------------------
+    /// Recycled slots, LIFO.
+    free: Vec<u32>,
+    /// `slot_of[i]` is the slot of id `base + i`.
+    slot_of: Vec<u32>,
+    /// First retained id (count of compacted-away records).
+    base: u32,
+    pending: ListHeads,
+    running: ListHeads,
+    /// High-water mark of retained records (memory gate).
+    peak_retained: usize,
+}
+
+impl JobArena {
+    pub(crate) fn new() -> Self {
+        JobArena {
+            arrival: Vec::new(),
+            deadline: Vec::new(),
+            length: Vec::new(),
+            start: Vec::new(),
+            ordered: Vec::new(),
+            state: Vec::new(),
+            gen: Vec::new(),
+            id_of: Vec::new(),
+            prev: Vec::new(),
+            next: Vec::new(),
+            free: Vec::new(),
+            slot_of: Vec::new(),
+            base: 0,
+            pending: ListHeads {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            },
+            running: ListHeads {
+                head: NIL,
+                tail: NIL,
+                len: 0,
+            },
+            peak_retained: 0,
+        }
+    }
+
+    /// Restores the pristine `new()` state while keeping every column's
+    /// allocation, so a recycled arena starts the next run without paying
+    /// the eleven-vector malloc bill again. Observable state afterwards is
+    /// exactly that of a fresh arena (the engine's cross-run determinism
+    /// rests on this).
+    pub(crate) fn reset(&mut self) {
+        self.arrival.clear();
+        self.deadline.clear();
+        self.length.clear();
+        self.start.clear();
+        self.ordered.clear();
+        self.state.clear();
+        self.gen.clear();
+        self.id_of.clear();
+        self.prev.clear();
+        self.next.clear();
+        self.free.clear();
+        self.slot_of.clear();
+        self.base = 0;
+        self.pending = ListHeads {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        };
+        self.running = ListHeads {
+            head: NIL,
+            tail: NIL,
+            len: 0,
+        };
+        self.peak_retained = 0;
+    }
+
+    /// The current per-slot column capacity, in records (how much memory a
+    /// recycled arena would keep parked; see the engine's scratch pool).
+    pub(crate) fn capacity(&self) -> usize {
+        self.arrival.capacity()
+    }
+
+    /// Pre-sizes every per-slot column (and the id map) for `additional`
+    /// more releases, so a hinted run never reallocates mid-flight.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.arrival.reserve(additional);
+        self.deadline.reserve(additional);
+        self.length.reserve(additional);
+        self.start.reserve(additional);
+        self.ordered.reserve(additional);
+        self.state.reserve(additional);
+        self.gen.reserve(additional);
+        self.id_of.reserve(additional);
+        self.prev.reserve(additional);
+        self.next.reserve(additional);
+        self.slot_of.reserve(additional);
+    }
+
+    // ---- sizes --------------------------------------------------------
+
+    /// Jobs released so far (the next release gets this id).
+    pub(crate) fn num_jobs(&self) -> usize {
+        self.base as usize + self.slot_of.len()
+    }
+
+    /// Records still materialized.
+    pub(crate) fn num_retained(&self) -> usize {
+        self.slot_of.len()
+    }
+
+    /// Leading records dropped by prefix compaction.
+    pub(crate) fn compacted(&self) -> usize {
+        self.base as usize
+    }
+
+    /// High-water mark of [`JobArena::num_retained`] over the run.
+    pub(crate) fn peak_retained(&self) -> usize {
+        self.peak_retained
+    }
+
+    /// Total slots ever allocated (columns footprint; recycled slots are
+    /// counted once).
+    pub(crate) fn slots_allocated(&self) -> usize {
+        self.state.len()
+    }
+
+    pub(crate) fn num_pending(&self) -> usize {
+        self.pending.len
+    }
+
+    pub(crate) fn num_running(&self) -> usize {
+        self.running.len
+    }
+
+    // ---- id → slot ----------------------------------------------------
+
+    /// The slot of a released, still-retained id.
+    ///
+    /// # Panics
+    /// Panics if the id was compacted away, or was never released (deque
+    /// bounds check).
+    #[inline]
+    #[track_caller]
+    pub(crate) fn slot(&self, id: JobId) -> u32 {
+        assert!(
+            id.0 >= self.base,
+            "job {id} was completed and compacted away"
+        );
+        self.slot_of[(id.0 - self.base) as usize]
+    }
+
+    /// The slot of `id`, or `None` when compacted away or not yet released.
+    pub(crate) fn try_slot(&self, id: JobId) -> Option<u32> {
+        if id.0 < self.base {
+            return None;
+        }
+        self.slot_of.get((id.0 - self.base) as usize).copied()
+    }
+
+    /// The generation of a slot (bumped on each free; test/diagnostic).
+    #[cfg(test)]
+    pub(crate) fn generation(&self, slot: u32) -> u32 {
+        self.gen[slot as usize]
+    }
+
+    // ---- per-job accessors (by slot, for hot paths) -------------------
+
+    pub(crate) fn arrival(&self, slot: u32) -> Time {
+        self.arrival[slot as usize]
+    }
+
+    pub(crate) fn deadline(&self, slot: u32) -> Time {
+        self.deadline[slot as usize]
+    }
+
+    pub(crate) fn length(&self, slot: u32) -> Option<Dur> {
+        let p = self.length[slot as usize];
+        (!p.is_nan()).then(|| Dur::new(p))
+    }
+
+    pub(crate) fn start(&self, slot: u32) -> Option<Time> {
+        let s = self.start[slot as usize];
+        (!s.is_nan()).then(|| Time::new(s))
+    }
+
+    pub(crate) fn ordered_start(&self, slot: u32) -> Option<Time> {
+        let s = self.ordered[slot as usize];
+        (!s.is_nan()).then(|| Time::new(s))
+    }
+
+    pub(crate) fn state(&self, slot: u32) -> u8 {
+        self.state[slot as usize]
+    }
+
+    // ---- lifecycle ----------------------------------------------------
+
+    /// Allocates (or recycles) a slot for the next dense id and links it
+    /// onto the pending tail. Returns the assigned id.
+    pub(crate) fn release(&mut self, arrival: Time, deadline: Time, length: Option<Dur>) -> JobId {
+        let id = JobId(self.base + self.slot_of.len() as u32);
+        let len_raw = length.map_or(f64::NAN, |p| p.get());
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let i = slot as usize;
+                debug_assert_eq!(self.state[i], STATE_FREE, "free-list slot not FREE");
+                self.arrival[i] = arrival;
+                self.deadline[i] = deadline;
+                self.length[i] = len_raw;
+                self.start[i] = f64::NAN;
+                self.ordered[i] = f64::NAN;
+                self.state[i] = STATE_PENDING;
+                self.id_of[i] = id.0;
+                slot
+            }
+            None => {
+                let slot = self.state.len() as u32;
+                self.arrival.push(arrival);
+                self.deadline.push(deadline);
+                self.length.push(len_raw);
+                self.start.push(f64::NAN);
+                self.ordered.push(f64::NAN);
+                self.state.push(STATE_PENDING);
+                self.gen.push(0);
+                self.id_of.push(id.0);
+                self.prev.push(NIL);
+                self.next.push(NIL);
+                slot
+            }
+        };
+        self.slot_of.push(slot);
+        self.peak_retained = self.peak_retained.max(self.slot_of.len());
+        // Ids ascend at release and never re-enter pending, so appending at
+        // the tail keeps the pending list id-sorted.
+        self.link_tail(ListId::Pending, slot);
+        id
+    }
+
+    pub(crate) fn mark_started(&mut self, slot: u32, start: Time) {
+        let i = slot as usize;
+        debug_assert_eq!(self.state[i], STATE_PENDING);
+        self.unlink(ListId::Pending, slot);
+        self.state[i] = STATE_RUNNING;
+        self.start[i] = start.get();
+        self.ordered[i] = f64::NAN;
+        self.link_sorted_running(slot);
+    }
+
+    pub(crate) fn set_length(&mut self, slot: u32, length: Dur) {
+        let i = slot as usize;
+        debug_assert!(self.length[i].is_nan());
+        self.length[i] = length.get();
+    }
+
+    pub(crate) fn set_ordered_start(&mut self, slot: u32, t: Time) {
+        self.ordered[slot as usize] = t.get();
+    }
+
+    /// # Panics
+    /// Panics (with the id for context) if the job is not running or has no
+    /// ruled length — engine invariants, kept as hard checks because a
+    /// miscounted completion corrupts the span.
+    pub(crate) fn mark_completed(&mut self, slot: u32, id: JobId) {
+        let i = slot as usize;
+        if self.state[i] != STATE_RUNNING {
+            panic!("completing a job that is not running: {id}");
+        }
+        if self.length[i].is_nan() {
+            panic!("completed job {id} must have a ruled length");
+        }
+        self.unlink(ListId::Running, slot);
+        self.state[i] = STATE_COMPLETED;
+    }
+
+    /// Drops the leading run of completed records when it is at least half
+    /// of the retained records (so the amortized cost stays O(1) per job
+    /// while memory stays within 2x of the live set), recycling their slots.
+    /// Returns how many records were dropped.
+    pub(crate) fn compact_completed_prefix(&mut self) -> usize {
+        let drop = self
+            .slot_of
+            .iter()
+            .take_while(|&&slot| self.state[slot as usize] == STATE_COMPLETED)
+            .count();
+        if drop == 0 || drop * 2 < self.slot_of.len() {
+            return 0;
+        }
+        for slot in self.slot_of.drain(..drop) {
+            let i = slot as usize;
+            self.state[i] = STATE_FREE;
+            self.gen[i] = self.gen[i].wrapping_add(1);
+            self.prev[i] = NIL;
+            self.next[i] = NIL;
+            self.free.push(slot);
+        }
+        self.base += drop as u32;
+        drop
+    }
+
+    // ---- intrusive lists ---------------------------------------------
+
+    fn heads(&mut self, list: ListId) -> &mut ListHeads {
+        match list {
+            ListId::Pending => &mut self.pending,
+            ListId::Running => &mut self.running,
+        }
+    }
+
+    fn link_tail(&mut self, list: ListId, slot: u32) {
+        let tail = self.heads(list).tail;
+        self.prev[slot as usize] = tail;
+        self.next[slot as usize] = NIL;
+        if tail == NIL {
+            self.heads(list).head = slot;
+        } else {
+            self.next[tail as usize] = slot;
+        }
+        let heads = self.heads(list);
+        heads.tail = slot;
+        heads.len += 1;
+    }
+
+    /// Inserts into the running list keeping it id-sorted, walking back
+    /// from the tail (starts overwhelmingly arrive in ascending id order,
+    /// making this an O(1) append).
+    fn link_sorted_running(&mut self, slot: u32) {
+        let id = self.id_of[slot as usize];
+        let mut after = self.running.tail;
+        while after != NIL && self.id_of[after as usize] > id {
+            after = self.prev[after as usize];
+        }
+        let i = slot as usize;
+        if after == NIL {
+            // New head.
+            let head = self.running.head;
+            self.prev[i] = NIL;
+            self.next[i] = head;
+            if head == NIL {
+                self.running.tail = slot;
+            } else {
+                self.prev[head as usize] = slot;
+            }
+            self.running.head = slot;
+        } else {
+            let nxt = self.next[after as usize];
+            self.prev[i] = after;
+            self.next[i] = nxt;
+            self.next[after as usize] = slot;
+            if nxt == NIL {
+                self.running.tail = slot;
+            } else {
+                self.prev[nxt as usize] = slot;
+            }
+        }
+        self.running.len += 1;
+    }
+
+    fn unlink(&mut self, list: ListId, slot: u32) {
+        let i = slot as usize;
+        let (p, n) = (self.prev[i], self.next[i]);
+        if p == NIL {
+            self.heads(list).head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n == NIL {
+            self.heads(list).tail = p;
+        } else {
+            self.prev[n as usize] = p;
+        }
+        self.prev[i] = NIL;
+        self.next[i] = NIL;
+        self.heads(list).len -= 1;
+    }
+
+    /// Ids on a list in id order (pending: release order; running: sorted
+    /// by construction).
+    pub(crate) fn list_ids(&self, list: ListId) -> ListIter<'_> {
+        ListIter {
+            arena: self,
+            cursor: match list {
+                ListId::Pending => self.pending.head,
+                ListId::Running => self.running.head,
+            },
+        }
+    }
+
+    /// `(id, slot)` for every retained record, in id order.
+    pub(crate) fn retained(&self) -> impl Iterator<Item = (JobId, u32)> + '_ {
+        self.slot_of
+            .iter()
+            .enumerate()
+            .map(|(i, &slot)| (JobId(self.base + i as u32), slot))
+    }
+}
+
+/// Iterator over an intrusive list's ids.
+pub(crate) struct ListIter<'a> {
+    arena: &'a JobArena,
+    cursor: u32,
+}
+
+impl Iterator for ListIter<'_> {
+    type Item = JobId;
+
+    fn next(&mut self) -> Option<JobId> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = self.cursor as usize;
+        self.cursor = self.arena.next[slot];
+        Some(JobId(self.arena.id_of[slot]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{dur, t};
+
+    fn release_n(a: &mut JobArena, n: u32) -> Vec<JobId> {
+        (0..n)
+            .map(|i| a.release(t(i as f64), t(i as f64 + 5.0), Some(dur(1.0))))
+            .collect()
+    }
+
+    #[test]
+    fn no_aba_on_recycled_slots() {
+        let mut a = JobArena::new();
+        let ids = release_n(&mut a, 4);
+        // Complete and compact the first three (majority prefix).
+        for &id in &ids[..3] {
+            let slot = a.slot(id);
+            a.mark_started(slot, t(0.0));
+            a.mark_completed(slot, id);
+        }
+        let freed: Vec<u32> = ids[..3].iter().map(|&id| a.slot(id)).collect();
+        let gens_before: Vec<u32> = freed.iter().map(|&s| a.generation(s)).collect();
+        assert_eq!(a.compact_completed_prefix(), 3);
+        assert_eq!(a.compacted(), 3);
+
+        // Recycled slots come back with a bumped generation, so a stale
+        // handle from the previous occupant can never alias the new one.
+        let new_ids = release_n(&mut a, 3);
+        assert_eq!(new_ids, vec![JobId(4), JobId(5), JobId(6)]);
+        let mut reused = 0;
+        for &id in &new_ids {
+            let slot = a.slot(id);
+            if let Some(k) = freed.iter().position(|&s| s == slot) {
+                reused += 1;
+                assert_eq!(
+                    a.generation(slot),
+                    gens_before[k].wrapping_add(1),
+                    "recycled slot must carry a fresh generation"
+                );
+                assert_ne!(
+                    a.id_of[slot as usize], ids[k].0,
+                    "recycled slot must not keep its previous id"
+                );
+            }
+        }
+        assert_eq!(reused, 3, "LIFO free list recycles all compacted slots");
+        assert_eq!(a.slots_allocated(), 4, "no new columns were grown");
+
+        // Old ids stay inaccessible; survivors and newcomers read correctly.
+        assert!(a.try_slot(ids[0]).is_none());
+        assert_eq!(a.arrival(a.slot(ids[3])), t(3.0));
+        assert_eq!(a.deadline(a.slot(new_ids[0])), t(5.0));
+        let pending: Vec<JobId> = a.list_ids(ListId::Pending).collect();
+        assert_eq!(
+            pending,
+            vec![ids[3], new_ids[0], new_ids[1], new_ids[2]],
+            "pending stays id-sorted across recycling"
+        );
+    }
+
+    #[test]
+    fn intrusive_lists_unlink_in_o1_from_any_position() {
+        let mut a = JobArena::new();
+        let ids = release_n(&mut a, 5);
+        // Start from the middle, head, and tail of pending.
+        for &id in &[ids[2], ids[0], ids[4]] {
+            let slot = a.slot(id);
+            a.mark_started(slot, t(4.0));
+        }
+        let pending: Vec<JobId> = a.list_ids(ListId::Pending).collect();
+        assert_eq!(pending, vec![ids[1], ids[3]]);
+        // Running inserts out of id order must still iterate sorted.
+        let running: Vec<JobId> = a.list_ids(ListId::Running).collect();
+        assert_eq!(running, vec![ids[0], ids[2], ids[4]]);
+        assert_eq!(a.num_pending(), 2);
+        assert_eq!(a.num_running(), 3);
+        let slot = a.slot(ids[2]);
+        a.mark_completed(slot, ids[2]);
+        let running: Vec<JobId> = a.list_ids(ListId::Running).collect();
+        assert_eq!(running, vec![ids[0], ids[4]]);
+    }
+
+    #[test]
+    fn peak_retained_tracks_high_water() {
+        let mut a = JobArena::new();
+        let ids = release_n(&mut a, 4);
+        assert_eq!(a.peak_retained(), 4);
+        for &id in &ids {
+            let slot = a.slot(id);
+            a.mark_started(slot, t(3.0));
+            a.mark_completed(slot, id);
+        }
+        a.compact_completed_prefix();
+        assert_eq!(a.num_retained(), 0);
+        assert_eq!(a.peak_retained(), 4, "high water survives compaction");
+        release_n(&mut a, 2);
+        assert_eq!(a.peak_retained(), 4);
+    }
+
+    #[test]
+    fn nan_sentinels_round_trip_none() {
+        let mut a = JobArena::new();
+        let id = a.release(t(0.0), t(9.0), None);
+        let slot = a.slot(id);
+        assert_eq!(a.length(slot), None);
+        assert_eq!(a.start(slot), None);
+        assert_eq!(a.ordered_start(slot), None);
+        a.set_ordered_start(slot, t(2.0));
+        assert_eq!(a.ordered_start(slot), Some(t(2.0)));
+        a.mark_started(slot, t(2.0));
+        assert_eq!(a.ordered_start(slot), None, "cleared on start");
+        a.set_length(slot, dur(1.5));
+        assert_eq!(a.length(slot), Some(dur(1.5)));
+        assert_eq!(a.start(slot), Some(t(2.0)));
+    }
+}

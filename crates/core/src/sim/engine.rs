@@ -23,16 +23,16 @@
 //! Within a kind, ties break by insertion sequence (FIFO), which makes runs
 //! fully deterministic.
 
+use crate::interval::RunningSpan;
 use crate::job::{Instance, JobId};
 use crate::schedule::Schedule;
+use crate::sim::calendar::{CalendarEvent, CalendarQueue};
 use crate::sim::env::{Clairvoyance, Environment, JobSpec, LengthRuling, LengthSpec};
 use crate::sim::sched::{Action, Arrival, Ctx, OnlineScheduler};
 use crate::sim::stats::RunStats;
 use crate::sim::trace::{TraceEvent, TraceKind, TraceMode};
-use crate::sim::world::{JobStatus, World};
+use crate::sim::world::World;
 use crate::time::{Dur, Time};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::fmt;
 use std::time::Instant;
 
@@ -370,7 +370,7 @@ impl SimOutcome {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum EventKind {
+pub(crate) enum EventKind {
     Completion(JobId),
     // Releases are not queued; they are pulled from the environment and
     // slot in at priority `RELEASE_ORDER`.
@@ -381,7 +381,7 @@ enum EventKind {
 }
 
 impl EventKind {
-    fn order(&self) -> u8 {
+    pub(crate) fn order(&self) -> u8 {
         match self {
             EventKind::Completion(_) => 0,
             EventKind::OrderedStart(_) => 2,
@@ -393,14 +393,14 @@ impl EventKind {
 }
 
 /// Priority of a release pseudo-event at equal timestamps.
-const RELEASE_ORDER: u8 = 1;
+pub(crate) const RELEASE_ORDER: u8 = 1;
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-struct Event {
-    time: Time,
-    order: u8,
-    seq: u64,
-    kind: EventKind,
+pub(crate) struct Event {
+    pub(crate) time: Time,
+    pub(crate) order: u8,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
 }
 
 impl Ord for Event {
@@ -415,6 +415,12 @@ impl PartialOrd for Event {
     }
 }
 
+impl CalendarEvent for Event {
+    fn time(&self) -> Time {
+        self.time
+    }
+}
+
 /// How the drive loop ended (the non-fault half of [`Termination`]).
 enum DriveEnd {
     Drained,
@@ -425,7 +431,10 @@ struct Engine<E, S> {
     world: World,
     env: E,
     sched: S,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: CalendarQueue<Event>,
+    /// Busy-interval span maintained incrementally as starts and rulings
+    /// happen, so completed runs never re-measure the `IntervalSet` union.
+    span: RunningSpan,
     seq: u64,
     violations: Vec<Violation>,
     rejected: Vec<RejectedAction>,
@@ -438,9 +447,13 @@ struct Engine<E, S> {
     /// Reused action buffer handed to each [`Ctx`] (one allocation per run,
     /// not per callback).
     scratch: Vec<Action>,
+    /// Reused release buffer handed to [`Environment::release_into`] (one
+    /// allocation per run, not one per release event).
+    spec_scratch: Vec<JobSpec>,
 }
 
 impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
+    #[inline]
     fn record(&mut self, kind: TraceKind) {
         match self.config.trace {
             TraceMode::Off | TraceMode::Ring(0) => {}
@@ -463,13 +476,14 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         }
     }
 
+    #[inline]
     fn push(&mut self, time: Time, kind: EventKind) {
-        self.queue.push(Reverse(Event {
+        self.queue.push(Event {
             time,
             order: kind.order(),
             seq: self.seq,
             kind,
-        }));
+        });
         self.seq += 1;
         self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
     }
@@ -511,14 +525,17 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     /// (bad adaptive-length rulings).
     fn start_job(&mut self, id: JobId, at: Time) -> Result<(), EnvFault> {
         debug_assert!(self.world.is_pending(id), "starting non-pending job {id}");
-        let rec = self.world.job(id);
-        debug_assert!(rec.arrival() <= at && at <= rec.deadline());
-        let known = rec.length();
+        debug_assert!({
+            let (a, d) = self.world.window_of(id);
+            a <= at && at <= d
+        });
+        let known = self.world.length_of(id);
         self.world.mark_started(id, at);
         self.record(TraceKind::Started { id });
         match known {
             Some(p) => {
                 let completion = self.completion_time(id, at, p)?;
+                self.span.on_start(at, Some(completion));
                 self.push(completion, EventKind::Completion(id));
             }
             None => {
@@ -533,12 +550,14 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         let completion = self.completion_time(id, at, p)?;
                         self.world.set_length(id, p);
                         self.record(TraceKind::LengthRuled { id, length: p });
+                        self.span.on_start(at, Some(completion));
                         self.push(completion, EventKind::Completion(id));
                     }
                     LengthRuling::AskAgainAt(t) => {
                         if t <= at {
                             return Err(EnvFault::ProbeNotDeferred { id, at: t });
                         }
+                        self.span.on_start(at, None);
                         self.push(t, EventKind::LengthProbe(id));
                     }
                 }
@@ -558,7 +577,13 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         call(&mut self.sched, &mut ctx);
         Self::phase_done(t0, &mut self.stats.wall_scheduler_s);
         let mut actions = ctx.into_actions();
-        let applied = self.apply_actions(&mut actions);
+        // No-op callbacks (the default on_completion, buffering on_arrival)
+        // skip the apply machinery entirely.
+        let applied = if actions.is_empty() {
+            Ok(())
+        } else {
+            self.apply_actions(&mut actions)
+        };
         actions.clear();
         self.scratch = actions;
         applied
@@ -577,8 +602,8 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         self.reject(ActionFault::StartNonPending { id });
                         continue;
                     }
-                    let rec = self.world.job(id);
-                    if now < rec.arrival() || now > rec.deadline() {
+                    let (arrival, deadline) = self.world.window_of(id);
+                    if now < arrival || now > deadline {
                         self.reject(ActionFault::StartOutsideWindow { id, at: now });
                         continue;
                     }
@@ -591,12 +616,12 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         self.reject(ActionFault::StartNonPending { id });
                         continue;
                     }
-                    let rec = self.world.job(id);
-                    if rec.ordered_start().is_some() {
+                    if self.world.ordered_start_of(id).is_some() {
                         self.reject(ActionFault::DuplicateOrderedStart { id });
                         continue;
                     }
-                    if at < now || at < rec.arrival() || at > rec.deadline() {
+                    let (arrival, deadline) = self.world.window_of(id);
+                    if at < now || at < arrival || at > deadline {
                         self.reject(ActionFault::StartAtOutsideWindow { id, at });
                         continue;
                     }
@@ -625,7 +650,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
     /// breaches bubble up as errors, scheduler misbehavior is absorbed.
     fn drive(&mut self) -> Result<DriveEnd, EnvFault> {
         loop {
-            let queued = self.queue.peek().map(|Reverse(e)| (e.time, e.order));
+            let queued = self.queue.peek().map(|e| (e.time, e.order));
             let t0 = self.phase_start();
             let next_release = self.env.next_release_time(&self.world);
             Self::phase_done(t0, &mut self.stats.wall_environment_s);
@@ -654,11 +679,12 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
             if let Some(now) = release_due {
                 self.stats.release_events += 1;
                 self.world.advance_to(now);
+                let mut specs = std::mem::take(&mut self.spec_scratch);
                 let t0 = self.phase_start();
-                let specs = self.env.release_at(now, &self.world);
+                self.env.release_into(now, &self.world, &mut specs);
                 Self::phase_done(t0, &mut self.stats.wall_environment_s);
                 let clairvoyance = self.world.clairvoyance();
-                for JobSpec { deadline, length } in specs {
+                for JobSpec { deadline, length } in specs.drain(..) {
                     if deadline < now {
                         return Err(EnvFault::DeadlineBeforeArrival {
                             arrival: now,
@@ -699,10 +725,12 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         },
                     })?;
                 }
+                // (On the error paths above the buffer is simply dropped.)
+                self.spec_scratch = specs;
                 continue;
             }
 
-            let Some(Reverse(event)) = self.queue.pop() else {
+            let Some(event) = self.queue.pop() else {
                 // Unreachable: release_due == None implies the queue was
                 // non-empty above; treat defensively as drained.
                 return Ok(DriveEnd::Drained);
@@ -714,7 +742,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                     self.stats.jobs_completed += 1;
                     self.world.mark_completed(id);
                     self.record(TraceKind::Completed { id });
-                    let Some(length) = self.world.job(id).length() else {
+                    let Some(length) = self.world.length_of(id) else {
                         // Unreachable: completions are only scheduled once a
                         // length is known (mark_completed checks too).
                         continue;
@@ -729,7 +757,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                 }
                 EventKind::LengthProbe(id) => {
                     self.stats.length_probes += 1;
-                    let Some(started_at) = self.world.job(id).start() else {
+                    let Some(started_at) = self.world.start_of(id) else {
                         // Unreachable: probes are only scheduled after a
                         // start; skip rather than abort.
                         continue;
@@ -754,6 +782,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                             }
                             self.world.set_length(id, p);
                             self.record(TraceKind::LengthRuled { id, length: p });
+                            self.span.on_rule(completion);
                             self.push(completion, EventKind::Completion(id));
                         }
                         LengthRuling::AskAgainAt(at) => {
@@ -769,7 +798,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                     if !self.world.is_pending(id) {
                         continue; // already started
                     }
-                    if self.world.job(id).ordered_start().is_some() {
+                    if self.world.ordered_start_of(id).is_some() {
                         // An ordered start exists; it can only be for this
                         // very instant (start_at validates t <= d), and the
                         // OrderedStart event sorts before remaining alarms,
@@ -779,7 +808,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
                         continue;
                     }
                     self.dispatch_callback(|sched, ctx| sched.on_deadline(id, ctx))?;
-                    if self.world.is_pending(id) && self.world.job(id).ordered_start().is_none() {
+                    if self.world.is_pending(id) && self.world.ordered_start_of(id).is_none() {
                         self.stats.force_starts += 1;
                         self.violations.push(Violation { id, at: event.time });
                         self.record(TraceKind::ForcedStart { id });
@@ -795,7 +824,7 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         }
     }
 
-    fn run(mut self) -> SimOutcome {
+    fn run(mut self) -> (SimOutcome, EngineScratch) {
         let run_start = Instant::now();
         let drive_end = self.drive();
         self.stats.wall_total_s = run_start.elapsed().as_secs_f64();
@@ -822,16 +851,28 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
         let (instance, unresolved) = self.world.to_partial_instance();
         debug_assert!(unresolved.is_empty() || !termination.is_completed());
         let mut schedule = Schedule::with_len(instance.len());
-        for (i, rec) in self.world.jobs().iter().enumerate() {
-            match rec.status() {
-                JobStatus::Completed { start, .. } | JobStatus::Running { start } => {
-                    schedule.set_start(JobId(i as u32), start);
-                }
-                JobStatus::Pending => {}
+        for (id, start) in self.world.starts() {
+            if let Some(start) = start {
+                schedule.set_start(id, start);
             }
         }
-        let span = schedule.span(&instance);
-        SimOutcome {
+        // A drained run has every start's completion ruled, so the running
+        // scalar is the exact span; aborted runs fall back to measuring the
+        // partial schedule (placeholder lengths make the scalar meaningless).
+        let span = match self.span.total_if_resolved() {
+            Some(s) if termination.is_completed() => {
+                debug_assert_eq!(
+                    s.get().to_bits(),
+                    schedule.span(&instance).get().to_bits(),
+                    "incremental span must be bit-identical to the measured union"
+                );
+                s
+            }
+            _ => schedule.span(&instance),
+        };
+        self.stats.peak_retained = self.world.peak_retained();
+        self.stats.arena_slots = self.world.arena_slots();
+        let outcome = SimOutcome {
             instance,
             schedule,
             span,
@@ -842,8 +883,39 @@ impl<E: Environment, S: OnlineScheduler> Engine<E, S> {
             events_processed: self.stats.events_total,
             stats: self.stats,
             trace: self.trace,
-        }
+        };
+        let scratch = EngineScratch {
+            world: self.world,
+            queue: self.queue,
+            scratch: self.scratch,
+            spec_scratch: self.spec_scratch,
+        };
+        (outcome, scratch)
     }
+}
+
+/// The engine's recyclable allocations: the arena-backed world (eleven
+/// column vectors), the calendar ring, and the two per-run scratch buffers.
+/// `run_with_config` parks one of these per thread between runs, so
+/// harness-shaped workloads — thousands of deck-sized runs back to back —
+/// pay the malloc bill once per thread instead of once per run. Every part
+/// is reset to its pristine state before reuse, so a recycled run is
+/// observably identical to a fresh one (the equivalence and determinism
+/// suites drive both paths).
+struct EngineScratch {
+    world: World,
+    queue: CalendarQueue<Event>,
+    scratch: Vec<Action>,
+    spec_scratch: Vec<JobSpec>,
+}
+
+/// Arenas above this capacity (in records) are dropped rather than parked,
+/// so one huge run does not pin megabytes to a long-lived thread.
+const POOL_MAX_RECORDS: usize = 1 << 15;
+
+thread_local! {
+    static SCRATCH_POOL: std::cell::Cell<Option<Box<EngineScratch>>> =
+        const { std::cell::Cell::new(None) };
 }
 
 /// Runs `sched` against `env` until no events remain.
@@ -857,14 +929,49 @@ pub fn run_with_config<E: Environment, S: OnlineScheduler>(
     sched: S,
     config: SimConfig,
 ) -> SimOutcome {
-    Engine {
-        world: World::new(env.clairvoyance()),
+    // Pre-sized: a typical run keeps a deadline alarm plus a completion in
+    // flight per overlapping job, so `2n` calendar days absorb the common
+    // case. The cap keeps huge runs from paying for a giant ring up front
+    // (the queue grows itself), and the `2n` side keeps tiny runs — the
+    // conformance decks and sweeps are dominated by 2–8 job instances —
+    // on a few-bucket ring instead of the full default.
+    let mut queue_hint = INITIAL_QUEUE_CAPACITY;
+    let expected = env.expected_jobs();
+    if let Some(n) = expected {
+        queue_hint = queue_hint.min(2 * n.max(1));
+    }
+    // Recycle the previous run's allocations (this thread) or start fresh;
+    // either way the parts are in their pristine state before the run.
+    let mut parts = match SCRATCH_POOL.with(|p| p.take()) {
+        Some(mut parts) => {
+            parts.world.reset(env.clairvoyance());
+            parts.queue.reset(queue_hint.min(config.max_events));
+            parts.scratch.clear();
+            parts.spec_scratch.clear();
+            parts
+        }
+        None => Box::new(EngineScratch {
+            world: World::new(env.clairvoyance()),
+            queue: CalendarQueue::with_capacity(queue_hint.min(config.max_events)),
+            scratch: Vec::new(),
+            spec_scratch: Vec::new(),
+        }),
+    };
+    if let Some(n) = expected {
+        parts.world.reserve_jobs(n);
+    }
+    let EngineScratch {
+        world,
+        queue,
+        scratch,
+        spec_scratch,
+    } = *parts;
+    let (outcome, used) = Engine {
+        world,
         env,
         sched,
-        // Pre-sized: a typical run keeps a deadline alarm plus a completion
-        // in flight per overlapping job, so starting at a few hundred slots
-        // removes every early regrowth without costing small runs anything.
-        queue: BinaryHeap::with_capacity(INITIAL_QUEUE_CAPACITY.min(config.max_events)),
+        queue,
+        span: RunningSpan::new(),
         seq: 0,
         violations: Vec::new(),
         rejected: Vec::new(),
@@ -872,13 +979,18 @@ pub fn run_with_config<E: Environment, S: OnlineScheduler>(
         config,
         trace: Vec::new(),
         trace_next: 0,
-        scratch: Vec::new(),
+        scratch,
+        spec_scratch,
     }
-    .run()
+    .run();
+    if used.world.capacity() <= POOL_MAX_RECORDS {
+        SCRATCH_POOL.with(|p| p.set(Some(Box::new(used))));
+    }
+    outcome
 }
 
-/// Initial event-heap capacity (clamped to `max_events` for micro runs).
-const INITIAL_QUEUE_CAPACITY: usize = 256;
+/// Initial event-queue capacity (clamped to `max_events` for micro runs).
+const INITIAL_QUEUE_CAPACITY: usize = 64;
 
 /// Convenience: runs a scheduler on a static instance.
 ///

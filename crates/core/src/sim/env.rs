@@ -133,6 +133,16 @@ pub trait Environment {
     /// [`Environment::next_release_time`]). May return an empty vector.
     fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec>;
 
+    /// Appends the batch of jobs arriving at `now` to `out` (which the
+    /// engine hands over empty and reuses across releases, so hot static
+    /// environments avoid one allocation per release). The default defers
+    /// to [`Environment::release_at`]; override it together with
+    /// `release_at` — the two must describe the same releases.
+    fn release_into(&mut self, now: Time, world: &World, out: &mut Vec<JobSpec>) {
+        debug_assert!(out.is_empty());
+        out.extend(self.release_at(now, world));
+    }
+
     /// Rules on the length of an adaptive job. See [`LengthRuling`].
     ///
     /// `started_at` is the job's start time; `now` is the ruling time (equal
@@ -148,6 +158,15 @@ pub trait Environment {
         let _ = (id, started_at, now, world);
         unreachable!("environment released an Adaptive job but does not implement rule_length")
     }
+
+    /// How many jobs this environment expects to release in total, when
+    /// known up front (static instances). Purely a capacity hint: the engine
+    /// pre-sizes the arena columns with it so releases never reallocate.
+    /// `None` (the default) means unknown; over- or under-estimating is
+    /// harmless for correctness.
+    fn expected_jobs(&self) -> Option<usize> {
+        None
+    }
 }
 
 impl<E: Environment + ?Sized> Environment for &mut E {
@@ -160,6 +179,9 @@ impl<E: Environment + ?Sized> Environment for &mut E {
     fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
         (**self).release_at(now, world)
     }
+    fn release_into(&mut self, now: Time, world: &World, out: &mut Vec<JobSpec>) {
+        (**self).release_into(now, world, out)
+    }
     fn rule_length(
         &mut self,
         id: JobId,
@@ -168,6 +190,9 @@ impl<E: Environment + ?Sized> Environment for &mut E {
         world: &World,
     ) -> LengthRuling {
         (**self).rule_length(id, started_at, now, world)
+    }
+    fn expected_jobs(&self) -> Option<usize> {
+        (**self).expected_jobs()
     }
 }
 
@@ -181,6 +206,9 @@ impl<E: Environment + ?Sized> Environment for Box<E> {
     fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
         (**self).release_at(now, world)
     }
+    fn release_into(&mut self, now: Time, world: &World, out: &mut Vec<JobSpec>) {
+        (**self).release_into(now, world, out)
+    }
     fn rule_length(
         &mut self,
         id: JobId,
@@ -189,6 +217,9 @@ impl<E: Environment + ?Sized> Environment for Box<E> {
         world: &World,
     ) -> LengthRuling {
         (**self).rule_length(id, started_at, now, world)
+    }
+    fn expected_jobs(&self) -> Option<usize> {
+        (**self).expected_jobs()
     }
 }
 
@@ -242,8 +273,13 @@ impl Environment for StaticEnv {
         self.jobs.get(self.next).map(|j| j.0)
     }
 
-    fn release_at(&mut self, now: Time, _world: &World) -> Vec<JobSpec> {
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
         let mut out = Vec::new();
+        self.release_into(now, world, &mut out);
+        out
+    }
+
+    fn release_into(&mut self, now: Time, _world: &World, out: &mut Vec<JobSpec>) {
         while let Some(&(a, d, p, _)) = self.jobs.get(self.next) {
             if a != now {
                 break;
@@ -251,7 +287,10 @@ impl Environment for StaticEnv {
             out.push(JobSpec::fixed(d, p));
             self.next += 1;
         }
-        out
+    }
+
+    fn expected_jobs(&self) -> Option<usize> {
+        Some(self.jobs.len() - self.next)
     }
 }
 

@@ -5,8 +5,12 @@
 //! interface, [`world`] for the observable state, and [`mod@stats`] for the
 //! [`RunStats`] counters every run accumulates.
 
+pub(crate) mod arena;
+pub(crate) mod calendar;
 pub mod engine;
 pub mod env;
+#[cfg(feature = "legacy-engine")]
+pub mod legacy;
 pub mod sched;
 pub mod stats;
 pub mod trace;

@@ -8,7 +8,7 @@
 
 use crate::job::JobId;
 use crate::sim::env::geometric_class;
-use crate::sim::world::{JobStatus, World};
+use crate::sim::world::World;
 use crate::time::{Dur, Time};
 
 /// What a scheduler learns when a job arrives.
@@ -98,6 +98,18 @@ impl<'a> Ctx<'a> {
         self.actions.push(Action::StartNow(id));
     }
 
+    /// Starts every currently pending job immediately, in id order.
+    /// Equivalent to `for id in ctx.pending().collect::<Vec<_>>() {
+    /// ctx.start(id) }` but without materializing the id list.
+    pub fn start_all_pending(&mut self) {
+        // `pending()` borrows the world immutably while `actions` is
+        // disjoint, so the loop pushes directly into the sink.
+        let world = self.world;
+        for id in world.pending() {
+            self.actions.push(Action::StartNow(id));
+        }
+    }
+
     /// Commits to starting a pending job at a future time `t` (engine
     /// validates `now <= t <= d(J)` when applying).
     pub fn start_at(&mut self, id: JobId, t: Time) {
@@ -137,25 +149,25 @@ impl<'a> Ctx<'a> {
 
     /// Arrival time of a released job.
     pub fn arrival_of(&self, id: JobId) -> Time {
-        self.world.job(id).arrival()
+        self.world.arrival_of(id)
     }
 
     /// Starting deadline of a released job.
     pub fn deadline_of(&self, id: JobId) -> Time {
-        self.world.job(id).deadline()
+        self.world.deadline_of(id)
     }
 
     /// Start time of a job, if it has started.
     pub fn start_of(&self, id: JobId) -> Option<Time> {
-        self.world.job(id).start()
+        self.world.start_of(id)
     }
 
     /// Processing length as visible to the scheduler: known for completed
     /// jobs always, and for released jobs iff the run is clairvoyant.
     pub fn length_of(&self, id: JobId) -> Option<Dur> {
-        let rec = self.world.job(id);
-        if self.world.is_clairvoyant() || matches!(rec.status(), JobStatus::Completed { .. }) {
-            rec.length()
+        let len = self.world.length_of(id); // panics on unreleased ids, like job()
+        if self.world.is_clairvoyant() || self.world.is_completed(id) {
+            len
         } else {
             None
         }
@@ -165,11 +177,9 @@ impl<'a> Ctx<'a> {
     /// available for released jobs iff the run reveals classes, and always
     /// for completed jobs.
     pub fn length_class_of(&self, id: JobId) -> Option<i64> {
-        let rec = self.world.job(id);
-        if self.world.clairvoyance().reveals_class()
-            || matches!(rec.status(), JobStatus::Completed { .. })
-        {
-            rec.length().map(|p| geometric_class(p, 2.0, 1.0))
+        let len = self.world.length_of(id); // panics on unreleased ids, like job()
+        if self.world.clairvoyance().reveals_class() || self.world.is_completed(id) {
+            len.map(|p| geometric_class(p, 2.0, 1.0))
         } else {
             None
         }

@@ -58,6 +58,13 @@ pub struct RunStats {
     pub force_starts: usize,
     /// Jobs that ran to completion.
     pub jobs_completed: usize,
+    /// Peak number of job records resident in the world's arena at any
+    /// point in the run (the memory high-water mark; equals jobs released
+    /// for batch runs, stays near the live set for compacting services).
+    pub peak_retained: usize,
+    /// Total arena slots allocated over the run. Recycled slots count
+    /// once, so this is the arena's column footprint in records.
+    pub arena_slots: usize,
     /// Wall-clock seconds for the whole drive loop. Always measured (two
     /// clock reads per *run*).
     pub wall_total_s: f64,
@@ -121,6 +128,13 @@ impl fmt::Display for RunStats {
             self.force_starts,
             self.jobs_completed,
         )?;
+        if self.arena_slots > 0 {
+            write!(
+                f,
+                ", arena peak {} / {} slots",
+                self.peak_retained, self.arena_slots,
+            )?;
+        }
         if self.opt_cache_hits + self.opt_cache_misses > 0 {
             write!(
                 f,

@@ -4,8 +4,15 @@
 //! engine mutates it; schedulers and environments read it (environments see
 //! everything, schedulers go through [`crate::sim::Ctx`], which masks
 //! lengths in non-clairvoyant runs).
+//!
+//! Storage is the flat structure-of-arrays `JobArena` (the crate-private
+//! `sim::arena` module):
+//! dense ids map to recycled slots through a front-compactable deque, the
+//! pending/running sets are intrusive linked lists with O(1) removal, and
+//! reads materialize a by-value [`JobRecord`] on demand.
 
 use crate::job::{Instance, Job, JobId};
+use crate::sim::arena::{JobArena, ListId, STATE_COMPLETED, STATE_PENDING, STATE_RUNNING};
 use crate::sim::env::Clairvoyance;
 use crate::time::{Dur, Time};
 
@@ -28,8 +35,8 @@ pub enum JobStatus {
     },
 }
 
-/// Per-job record.
-#[derive(Clone, Debug)]
+/// Per-job record, materialized by value from the arena columns.
+#[derive(Clone, Copy, Debug)]
 pub struct JobRecord {
     pub(crate) arrival: Time,
     pub(crate) deadline: Time,
@@ -81,18 +88,7 @@ impl JobRecord {
 pub struct World {
     clairvoyance: Clairvoyance,
     now: Time,
-    /// Records for ids `[compacted, compacted + jobs.len())`; earlier ids
-    /// were completed and compacted away (resident services only — the
-    /// batch engine never compacts, so its base stays 0).
-    jobs: Vec<JobRecord>,
-    /// Number of leading completed records dropped by
-    /// [`World::compact_completed_prefix`]; the id of `jobs[0]`.
-    compacted: u32,
-    /// Sorted ascending; deck-sized runs make a flat vector cheaper than a
-    /// tree (releases arrive in id order, so inserts are pushes).
-    pending: Vec<JobId>,
-    /// Sorted ascending (starts may interleave, so inserts keep order).
-    running: Vec<JobId>,
+    arena: JobArena,
 }
 
 impl World {
@@ -101,27 +97,22 @@ impl World {
         World {
             clairvoyance,
             now: Time::ZERO,
-            jobs: Vec::new(),
-            compacted: 0,
-            pending: Vec::new(),
-            running: Vec::new(),
+            arena: JobArena::new(),
         }
     }
 
-    /// Index of `id` into the retained record vector.
-    ///
-    /// # Panics
-    /// Panics if the id was compacted away — a long-lived consumer (e.g. a
-    /// scheduler inside a resident session) asked about ancient history the
-    /// world no longer materializes.
-    #[track_caller]
-    fn idx(&self, id: JobId) -> usize {
-        let base = self.compacted as usize;
-        assert!(
-            id.index() >= base,
-            "job {id} was completed and compacted away"
-        );
-        id.index() - base
+    /// Restores the pristine `new(clairvoyance)` state while keeping the
+    /// arena's allocations (see [`JobArena::reset`]); the engine's scratch
+    /// pool recycles worlds across runs through this.
+    pub(crate) fn reset(&mut self, clairvoyance: Clairvoyance) {
+        self.clairvoyance = clairvoyance;
+        self.now = Time::ZERO;
+        self.arena.reset();
+    }
+
+    /// Records of column capacity a recycled world keeps parked.
+    pub(crate) fn capacity(&self) -> usize {
+        self.arena.capacity()
     }
 
     /// The information model of this run.
@@ -141,70 +132,183 @@ impl World {
 
     /// Number of jobs released so far (the next release gets this id).
     pub fn num_jobs(&self) -> usize {
-        self.compacted as usize + self.jobs.len()
+        self.arena.num_jobs()
     }
 
     /// Number of job records still materialized (jobs released minus jobs
     /// compacted away). This is what bounds resident memory.
     pub fn num_retained(&self) -> usize {
-        self.jobs.len()
+        self.arena.num_retained()
+    }
+
+    /// High-water mark of [`World::num_retained`] over the run — the
+    /// arena-resident memory gate reported in
+    /// [`RunStats::peak_retained`](crate::sim::RunStats::peak_retained).
+    pub fn peak_retained(&self) -> usize {
+        self.arena.peak_retained()
+    }
+
+    /// Total arena slots ever allocated (recycled slots count once); the
+    /// columns' memory footprint.
+    pub fn arena_slots(&self) -> usize {
+        self.arena.slots_allocated()
     }
 
     /// Number of leading completed records dropped by prefix compaction
     /// (`compact_completed_prefix`). Retained records cover ids
     /// `[compacted, num_jobs)`. Always 0 for batch-engine runs.
     pub fn compacted(&self) -> usize {
-        self.compacted as usize
+        self.arena.compacted()
     }
 
-    /// The record for a job.
+    /// The record for a job, materialized by value.
     ///
     /// # Panics
     /// Panics if the id has not been released, or if its record was
     /// compacted away.
+    #[inline]
     #[track_caller]
-    pub fn job(&self, id: JobId) -> &JobRecord {
-        &self.jobs[self.idx(id)]
+    pub fn job(&self, id: JobId) -> JobRecord {
+        self.record(self.arena.slot(id))
     }
 
-    /// All *retained* jobs in id (= release) order; `jobs()[i]` is the
-    /// record of id `compacted() + i`. For batch runs (no compaction) this
-    /// is simply every released job.
-    pub fn jobs(&self) -> &[JobRecord] {
-        &self.jobs
+    fn record(&self, slot: u32) -> JobRecord {
+        let status = match self.arena.state(slot) {
+            STATE_PENDING => JobStatus::Pending,
+            STATE_RUNNING => match self.arena.start(slot) {
+                Some(start) => JobStatus::Running { start },
+                None => unreachable!("running job has a start"),
+            },
+            STATE_COMPLETED => match (self.arena.start(slot), self.arena.length(slot)) {
+                (Some(start), Some(length)) => JobStatus::Completed { start, length },
+                _ => unreachable!("completed job has a start and a ruled length"),
+            },
+            state => unreachable!("free slot {slot} (state {state}) reached via an id"),
+        };
+        JobRecord {
+            arrival: self.arena.arrival(slot),
+            deadline: self.arena.deadline(slot),
+            length: self.arena.length(slot),
+            status,
+            ordered_start: self.arena.ordered_start(slot),
+        }
+    }
+
+    /// All *retained* jobs as `(id, record)` in id (= release) order. For
+    /// batch runs (no compaction) this is simply every released job.
+    pub fn records(&self) -> impl Iterator<Item = (JobId, JobRecord)> + '_ {
+        self.arena
+            .retained()
+            .map(|(id, slot)| (id, self.record(slot)))
+    }
+
+    /// `(id, start)` for every retained job, in id order — the lean column
+    /// read behind end-of-run schedule assembly (`start` is `Some` iff the
+    /// job started, exactly the Running/Completed statuses).
+    pub(crate) fn starts(&self) -> impl Iterator<Item = (JobId, Option<Time>)> + '_ {
+        self.arena
+            .retained()
+            .map(|(id, slot)| (id, self.arena.start(slot)))
     }
 
     /// Ids of jobs that have arrived but not started, ascending.
     pub fn pending(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.pending.iter().copied()
+        self.arena.list_ids(ListId::Pending)
     }
 
     /// Ids of currently running jobs, ascending.
     pub fn running(&self) -> impl Iterator<Item = JobId> + '_ {
-        self.running.iter().copied()
+        self.arena.list_ids(ListId::Running)
     }
 
     /// Number of pending jobs.
     pub fn num_pending(&self) -> usize {
-        self.pending.len()
+        self.arena.num_pending()
     }
 
     /// Number of running jobs (the instantaneous *concurrency*).
     pub fn num_running(&self) -> usize {
-        self.running.len()
+        self.arena.num_running()
     }
 
     /// Whether the id refers to a pending job.
     pub fn is_pending(&self, id: JobId) -> bool {
-        self.pending.binary_search(&id).is_ok()
+        self.arena
+            .try_slot(id)
+            .is_some_and(|slot| self.arena.state(slot) == STATE_PENDING)
     }
 
     /// Whether the id refers to a running job.
     pub fn is_running(&self, id: JobId) -> bool {
-        self.running.binary_search(&id).is_ok()
+        self.arena
+            .try_slot(id)
+            .is_some_and(|slot| self.arena.state(slot) == STATE_RUNNING)
+    }
+
+    /// Whether the id refers to a completed job.
+    pub fn is_completed(&self, id: JobId) -> bool {
+        self.arena
+            .try_slot(id)
+            .is_some_and(|slot| self.arena.state(slot) == STATE_COMPLETED)
+    }
+
+    // ---- single-column accessors (hot paths) -------------------------
+    //
+    // These read one or two arena columns without materializing a full
+    // [`JobRecord`]; the engine's per-event handlers rarely need more than
+    // one field, and the record's three `Option` decodes plus the status
+    // match are measurable at deck scale. Same panics as [`World::job`].
+
+    /// Arrival time `a(J)` of a released job.
+    #[inline]
+    #[track_caller]
+    pub fn arrival_of(&self, id: JobId) -> Time {
+        self.arena.arrival(self.arena.slot(id))
+    }
+
+    /// Starting deadline `d(J)` of a released job.
+    #[inline]
+    #[track_caller]
+    pub fn deadline_of(&self, id: JobId) -> Time {
+        self.arena.deadline(self.arena.slot(id))
+    }
+
+    /// `(arrival, deadline)` of a released job with one id lookup.
+    #[inline]
+    #[track_caller]
+    pub fn window_of(&self, id: JobId) -> (Time, Time) {
+        let slot = self.arena.slot(id);
+        (self.arena.arrival(slot), self.arena.deadline(slot))
+    }
+
+    /// The job's length as known to the *engine* (`None` while an adaptive
+    /// length is unruled). Unlike `Ctx`, this does not mask clairvoyance.
+    #[inline]
+    #[track_caller]
+    pub fn length_of(&self, id: JobId) -> Option<Dur> {
+        self.arena.length(self.arena.slot(id))
+    }
+
+    /// Start time, if the job has started.
+    #[inline]
+    #[track_caller]
+    pub fn start_of(&self, id: JobId) -> Option<Time> {
+        self.arena.start(self.arena.slot(id))
+    }
+
+    /// A future start committed via `Ctx::start_at`, if any.
+    #[inline]
+    #[track_caller]
+    pub fn ordered_start_of(&self, id: JobId) -> Option<Time> {
+        self.arena.ordered_start(self.arena.slot(id))
     }
 
     // ---- engine-internal mutators ------------------------------------
+
+    /// Pre-sizes the arena for `n` more releases (capacity hint only).
+    pub(crate) fn reserve_jobs(&mut self, n: usize) {
+        self.arena.reserve(n);
+    }
 
     pub(crate) fn advance_to(&mut self, t: Time) {
         debug_assert!(t >= self.now, "time went backwards: {} -> {}", self.now, t);
@@ -212,58 +316,23 @@ impl World {
     }
 
     pub(crate) fn release(&mut self, arrival: Time, deadline: Time, length: Option<Dur>) -> JobId {
-        let id = JobId(self.compacted + self.jobs.len() as u32);
-        self.jobs.push(JobRecord {
-            arrival,
-            deadline,
-            length,
-            status: JobStatus::Pending,
-            ordered_start: None,
-        });
-        // Ids are consecutive, so each release is the new maximum.
-        self.pending.push(id);
-        id
+        self.arena.release(arrival, deadline, length)
     }
 
     pub(crate) fn mark_started(&mut self, id: JobId, start: Time) {
-        let i = self.idx(id);
-        let rec = &mut self.jobs[i];
-        debug_assert!(matches!(rec.status, JobStatus::Pending));
-        rec.status = JobStatus::Running { start };
-        rec.ordered_start = None;
-        if let Ok(i) = self.pending.binary_search(&id) {
-            self.pending.remove(i);
-        }
-        if let Err(i) = self.running.binary_search(&id) {
-            self.running.insert(i, id);
-        }
+        self.arena.mark_started(self.arena.slot(id), start);
     }
 
     pub(crate) fn set_length(&mut self, id: JobId, length: Dur) {
-        let i = self.idx(id);
-        let rec = &mut self.jobs[i];
-        debug_assert!(rec.length.is_none());
-        rec.length = Some(length);
+        self.arena.set_length(self.arena.slot(id), length);
     }
 
     pub(crate) fn set_ordered_start(&mut self, id: JobId, t: Time) {
-        let i = self.idx(id);
-        self.jobs[i].ordered_start = Some(t);
+        self.arena.set_ordered_start(self.arena.slot(id), t);
     }
 
     pub(crate) fn mark_completed(&mut self, id: JobId) {
-        let i = self.idx(id);
-        let rec = &mut self.jobs[i];
-        let JobStatus::Running { start } = rec.status else {
-            panic!("completing a job that is not running: {id}");
-        };
-        let Some(length) = rec.length else {
-            panic!("completed job {id} must have a ruled length");
-        };
-        rec.status = JobStatus::Completed { start, length };
-        if let Ok(i) = self.running.binary_search(&id) {
-            self.running.remove(i);
-        }
+        self.arena.mark_completed(self.arena.slot(id), id);
     }
 
     /// Drops the leading run of completed records so resident memory stays
@@ -271,22 +340,12 @@ impl World {
     /// were dropped.
     ///
     /// Only compacts when the completed prefix is at least half of the
-    /// retained records, so the `Vec::drain` shift amortizes to O(1) per
-    /// job while memory stays within 2x of the live set. Pending/running
-    /// indices are unaffected: a completed job is in neither list, and
-    /// surviving ids keep their values (`compacted` becomes the new base).
+    /// retained records, so the cost amortizes to O(1) per job while memory
+    /// stays within 2x of the live set; freed slots are recycled through the
+    /// arena free list. Pending/running lists are unaffected: a completed
+    /// job is in neither, and surviving ids keep their values.
     pub(crate) fn compact_completed_prefix(&mut self) -> usize {
-        let drop = self
-            .jobs
-            .iter()
-            .take_while(|r| matches!(r.status, JobStatus::Completed { .. }))
-            .count();
-        if drop == 0 || drop * 2 < self.jobs.len() {
-            return 0;
-        }
-        self.jobs.drain(..drop);
-        self.compacted += drop as u32;
-        drop
+        self.arena.compact_completed_prefix()
     }
 
     /// Materializes the final state as a static [`Instance`] (requires every
@@ -316,22 +375,21 @@ impl World {
     pub fn to_partial_instance(&self) -> (Instance, Vec<JobId>) {
         let mut unresolved = Vec::new();
         let inst = self
-            .jobs
-            .iter()
-            .enumerate()
-            .map(|(i, r)| {
-                let length = match r.length {
+            .arena
+            .retained()
+            .map(|(id, slot)| {
+                let length = match self.arena.length(slot) {
                     Some(p) => p,
                     None => {
-                        unresolved.push(JobId(self.compacted + i as u32));
-                        let elapsed = match r.status {
-                            JobStatus::Running { start } => self.now - start,
+                        unresolved.push(id);
+                        let elapsed = match (self.arena.state(slot), self.arena.start(slot)) {
+                            (STATE_RUNNING, Some(start)) => self.now - start,
                             _ => Dur::ZERO,
                         };
                         elapsed.max(Dur::new(f64::MIN_POSITIVE))
                     }
                 };
-                Job::new(r.arrival, r.deadline, length)
+                Job::new(self.arena.arrival(slot), self.arena.deadline(slot), length)
             })
             .collect();
         (inst, unresolved)
@@ -479,5 +537,25 @@ mod tests {
         assert_eq!(w.job(a).ordered_start(), Some(t(3.0)));
         w.mark_started(a, t(3.0));
         assert_eq!(w.job(a).ordered_start(), None, "cleared on start");
+    }
+
+    #[test]
+    fn memory_counters_expose_arena_state() {
+        let mut w = World::new(Clairvoyance::Clairvoyant);
+        let ids: Vec<JobId> = (0..4)
+            .map(|_| w.release(t(0.0), t(9.0), Some(dur(1.0))))
+            .collect();
+        assert_eq!(w.peak_retained(), 4);
+        assert_eq!(w.arena_slots(), 4);
+        for &id in &ids {
+            w.mark_started(id, t(0.0));
+            w.mark_completed(id);
+        }
+        w.compact_completed_prefix();
+        // Recycled slots: footprint does not grow on re-release.
+        w.release(t(1.0), t(9.0), Some(dur(1.0)));
+        assert_eq!(w.arena_slots(), 4);
+        assert_eq!(w.peak_retained(), 4);
+        assert_eq!(w.num_retained(), 1);
     }
 }

@@ -51,10 +51,7 @@ impl OnlineScheduler for Batch {
         // the deadline the first alarm elects the flag and starts the rest;
         // their own alarms then find them already started).
         self.flags.push(id);
-        let pending: Vec<JobId> = ctx.pending().collect();
-        for j in pending {
-            ctx.start(j);
-        }
+        ctx.start_all_pending();
     }
 }
 

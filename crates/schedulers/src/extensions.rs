@@ -87,10 +87,7 @@ impl Threshold {
     }
 
     fn flush(&mut self, ctx: &mut Ctx<'_>) {
-        let pending: Vec<JobId> = ctx.pending().collect();
-        for j in pending {
-            ctx.start(j);
-        }
+        ctx.start_all_pending();
     }
 }
 

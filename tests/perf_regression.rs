@@ -334,7 +334,11 @@ fn bench_json_honours_schema_v1_and_self_diff_is_clean() {
     report
         .validate()
         .expect("bench report must satisfy schema v1");
-    assert_eq!(report.cases.len(), 6, "the suite ships six named cases");
+    assert_eq!(report.cases.len(), 7, "the suite ships seven named cases");
+    assert!(
+        report.cases.iter().any(|c| c.name == "engine-static-10k"),
+        "the 10x engine case (arena/calendar scaling) must be in the suite"
+    );
 
     let reparsed = BenchReport::parse(&report.to_json()).expect("round-trip parse");
     reparsed
@@ -349,4 +353,46 @@ fn bench_json_honours_schema_v1_and_self_diff_is_clean() {
         diff.regressions(0.0).is_empty(),
         "a report diffed against itself must show zero regressions"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Arena/queue memory gate: the 10k batch run must not grow its footprint
+// past the structural bounds — every job resident exactly once (batch runs
+// never recycle slots) and the calendar queue holding at most one
+// completion, alarm, and ordered-start per live job plus slack for probes
+// and wakeups.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn engine_10k_memory_counters_stay_within_structural_bounds() {
+    use fjs::core::sim::{run_static, Clairvoyance};
+
+    let inst = fjs::workloads::Scenario::CloudBatch.generate(10_000, 3);
+    let out = run_static(
+        &inst,
+        Clairvoyance::NonClairvoyant,
+        fjs::schedulers::Batch::new(),
+    );
+    assert!(out.is_feasible());
+
+    // Batch runs retain every released job: the arena high-water mark and
+    // total slot count both equal the job count, or slots are leaking.
+    assert_eq!(
+        out.stats.peak_retained, 10_000,
+        "arena must retain 10k jobs"
+    );
+    assert_eq!(
+        out.stats.arena_slots, 10_000,
+        "arena must allocate 10k slots"
+    );
+
+    // The queue holds at most a few pending events per live job (completion
+    // + deadline alarm dominate; probes/wakeups are transient). 4× jobs is
+    // a loose structural ceiling — the seed run peaks far below it.
+    assert!(
+        out.stats.peak_queue <= 4 * 10_000,
+        "peak queue {} exceeds the 4-events-per-job structural bound",
+        out.stats.peak_queue
+    );
+    assert!(out.stats.is_consistent(), "per-kind counters must sum");
 }
