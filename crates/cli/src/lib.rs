@@ -13,6 +13,7 @@
 
 pub mod bench;
 pub mod experiments;
+pub mod fuzz;
 pub mod loadgen;
 pub mod serve;
 pub mod soak;

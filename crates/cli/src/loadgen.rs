@@ -22,7 +22,7 @@
 //! artifacts from a lagging send schedule.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fjs_analysis::benchjson::{BenchReport, BenchSample};
 use fjs_prng::SmallRng;
@@ -45,6 +45,11 @@ pub struct LoadgenOptions {
     pub mean_length: f64,
     /// Laxity factor: slack is uniform in `[0, laxity · length]`.
     pub laxity: f64,
+    /// Session-id prefix: sessions are named `<prefix>0`, `<prefix>1`, …
+    /// The default `"s"` keeps scripts byte-identical to older releases;
+    /// the fuzz harness uses dotted prefixes (`x3.r0s`) to pin its
+    /// traffic to a tenant.
+    pub sid_prefix: String,
 }
 
 impl Default for LoadgenOptions {
@@ -57,6 +62,7 @@ impl Default for LoadgenOptions {
             scheduler: "eager".into(),
             mean_length: 1.0,
             laxity: 2.0,
+            sid_prefix: "s".into(),
         }
     }
 }
@@ -71,8 +77,9 @@ pub fn emit_script(opts: &LoadgenOptions) -> String {
     let rate = if opts.rate > 0.0 { opts.rate } else { 100.0 };
     let mut out = String::new();
     out.push_str("# fjs loadgen script\n");
+    let p = opts.sid_prefix.as_str();
     for s in 0..sessions {
-        out.push_str(&format!("open s{s} {}\n", opts.scheduler));
+        out.push_str(&format!("open {p}{s} {}\n", opts.scheduler));
     }
     let mut now = 0.0f64;
     for i in 0..opts.jobs {
@@ -86,12 +93,12 @@ pub fn emit_script(opts: &LoadgenOptions) -> String {
         let length = round6(length).max(1e-6);
         let deadline = round6(now + slack).max(arrival);
         out.push_str(&format!(
-            "job s{} {arrival},{deadline},{length}\n",
+            "job {p}{} {arrival},{deadline},{length}\n",
             i % sessions
         ));
     }
     for s in 0..sessions {
-        out.push_str(&format!("close s{s}\n"));
+        out.push_str(&format!("close {p}{s}\n"));
     }
     out
 }
@@ -283,16 +290,30 @@ pub enum DriveTarget {
 }
 
 /// One direction of a connected drive stream.
-type HalfStream = (Box<dyn Read + Send>, Box<dyn Write + Send>);
+pub(crate) type HalfStream = (Box<dyn Read + Send>, Box<dyn Write + Send>);
 
 impl DriveTarget {
     /// Opens one connection and splits it into a reader/writer pair.
-    fn connect(&self) -> Result<HalfStream, String> {
+    pub(crate) fn connect(&self) -> Result<HalfStream, String> {
+        self.connect_inner(None)
+    }
+
+    /// Connects with a read timeout on the reader half. The fuzz harness
+    /// drains replies until the daemon goes quiet; without a timeout a
+    /// daemon that (correctly) keeps the connection open would block the
+    /// drain forever.
+    pub(crate) fn connect_timeout(&self, read_timeout: Duration) -> Result<HalfStream, String> {
+        self.connect_inner(Some(read_timeout))
+    }
+
+    fn connect_inner(&self, read_timeout: Option<Duration>) -> Result<HalfStream, String> {
         match self {
             #[cfg(unix)]
             DriveTarget::Unix(path) => {
                 let s = std::os::unix::net::UnixStream::connect(path)
                     .map_err(|e| format!("connecting {}: {e}", path.display()))?;
+                s.set_read_timeout(read_timeout)
+                    .map_err(|e| format!("socket: {e}"))?;
                 let r = s.try_clone().map_err(|e| format!("socket: {e}"))?;
                 Ok((Box::new(r), Box::new(s)))
             }
@@ -302,6 +323,8 @@ impl DriveTarget {
                 // Closed-loop clients alternate tiny writes and reads;
                 // Nagle + delayed ACK would serialize them at ~25ms each.
                 let _ = s.set_nodelay(true);
+                s.set_read_timeout(read_timeout)
+                    .map_err(|e| format!("socket: {e}"))?;
                 let r = s.try_clone().map_err(|e| format!("socket: {e}"))?;
                 Ok((Box::new(r), Box::new(s)))
             }
@@ -477,9 +500,9 @@ fn drive_closed_loop(
             .split_whitespace()
             .nth(1)
             .ok_or_else(|| format!("loadgen: malformed script line '{line}'"))?;
-        // Session ids are "s<N>"; recover N to deal by `N % k`.
+        // Session ids are "<prefix><N>"; recover N to deal by `N % k`.
         let n: usize = sid
-            .strip_prefix('s')
+            .strip_prefix(opts.sid_prefix.as_str())
             .and_then(|d| d.parse().ok())
             .ok_or_else(|| format!("loadgen: unexpected session id '{sid}'"))?;
         decks[n % k].push(line);
@@ -569,7 +592,8 @@ mod tests {
                     last_arrival = arrival;
                 }
                 crate::serve::protocol::Request::Close { .. } => closes += 1,
-                crate::serve::protocol::Request::Stats { .. } => panic!("unexpected stats"),
+                crate::serve::protocol::Request::Stats { .. }
+                | crate::serve::protocol::Request::StatsDaemon => panic!("unexpected stats"),
             }
         }
         assert_eq!((opens, jobs, closes), (3, 50, 3));

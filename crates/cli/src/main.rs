@@ -63,10 +63,16 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs serve [--input <file> | --socket <path> and/or --tcp <addr>] [--log <file>]\n\
  \u{20}                [--journal <file>] [--resume] [--workers <n>] [--max-sessions <n>]\n\
  \u{20}                [--max-pending <n>] [--watchdog-events <n>] [--quarantine halt|skip|dead-letter]\n\
- \u{20}                [--checkpoint-every <n>] [--throttle-ms <n>]\n\
+ \u{20}                [--checkpoint-every <n>] [--throttle-ms <n>] [--stats-jsonl <file>]\n\
+ \u{20}                [--tenant-max-sessions <n>] [--tenant-max-pending <n>] [--tenant-max-bytes <n>]\n\
+ \u{20}                [--breaker-threshold <n>] [--breaker-cooldown <events>]\n\
+ \u{20}                [--max-frame-bytes <n>] [--writer-queue <n>]\n\
  \u{20}      fjs loadgen (--emit <file|-> | --socket <path> | --tcp <addr>) [--sessions <n>]\n\
  \u{20}                [--jobs <n>] [--rate <r>] [--seed <s>] [--scheduler <spec>] [--mean-length <x>]\n\
- \u{20}                [--laxity <x>] [--concurrency <k>] [--json <file>]\n\
+ \u{20}                [--laxity <x>] [--concurrency <k>] [--json <file>] [--sid-prefix <p>]\n\
+ \u{20}                [--misbehave torn|garbage|giant|partial|disconnect|slowloris]\n\
+ \u{20}      fjs fuzz-serve (--socket <path> and/or --tcp <addr>) [--seed <s>] [--connections <n>]\n\
+ \u{20}                [--frames <n>] [--scheduler <spec>] [--emit-clean <file>]\n\
  Reproduces the figures/theorems of Ren & Tang, SPAA 2017 (see DESIGN.md).\n\
  Exit codes: 0 ok, 1 runtime failure, 2 usage error.";
 
@@ -985,6 +991,40 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 )))
             })?;
     }
+    if let Some(v) = take_flag_value(&mut args, "--tenant-max-sessions")? {
+        opts.tenant_max_sessions = parse_num("--tenant-max-sessions", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--tenant-max-pending")? {
+        opts.tenant_quotas.max_pending = parse_num("--tenant-max-pending", v)? as usize;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--tenant-max-bytes")? {
+        opts.tenant_quotas.max_bytes = parse_num("--tenant-max-bytes", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--breaker-threshold")? {
+        opts.breaker.threshold = parse_num("--breaker-threshold", v)? as u32;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--breaker-cooldown")? {
+        opts.breaker.cooldown_events = parse_num("--breaker-cooldown", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--max-frame-bytes")? {
+        let n = parse_num("--max-frame-bytes", v)? as usize;
+        if n == 0 {
+            return Err(CliError::Usage(Some(
+                "--max-frame-bytes must be at least 1".into(),
+            )));
+        }
+        opts.max_frame_bytes = n;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--writer-queue")? {
+        let n = parse_num("--writer-queue", v)? as usize;
+        if n == 0 {
+            return Err(CliError::Usage(Some(
+                "--writer-queue must be at least 1".into(),
+            )));
+        }
+        opts.writer_queue = n;
+    }
+    let stats_jsonl = take_flag_value(&mut args, "--stats-jsonl")?;
     if let Some(extra) = args.first() {
         return Err(CliError::Usage(Some(format!(
             "serve: unexpected argument '{extra}'"
@@ -1089,8 +1129,80 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
 
     let (summary, _log) = backend.finish().map_err(CliError::Runtime)?;
     eprint!("{summary}");
+    if let Some(path) = &stats_jsonl {
+        let mut line = summary.to_jsonl();
+        line.push('\n');
+        std::fs::write(path, line)
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+        eprintln!("serve: wrote degradation counters to {path}");
+    }
     if let Some(why) = summary.halted {
         return Err(CliError::Runtime(format!("serve: halted: {why}")));
+    }
+    Ok(())
+}
+
+fn cmd_fuzz_serve(args: &[String]) -> Result<(), CliError> {
+    use fjs_cli::fuzz::{run_fuzz_serve, FuzzServeOptions};
+    use fjs_cli::loadgen::DriveTarget;
+
+    let mut args = args.to_vec();
+    let parse_num = |flag: &str, v: String| -> Result<u64, CliError> {
+        v.parse()
+            .map_err(|_| CliError::Usage(Some(format!("{flag}: '{v}' is not a number"))))
+    };
+    let mut opts = FuzzServeOptions::default();
+    if let Some(sock) = take_flag_value(&mut args, "--socket")? {
+        #[cfg(unix)]
+        opts.targets.push(DriveTarget::Unix(sock.into()));
+        #[cfg(not(unix))]
+        {
+            let _ = sock;
+            return Err(CliError::Runtime(
+                "fuzz-serve: --socket needs unix domain sockets".into(),
+            ));
+        }
+    }
+    if let Some(addr) = take_flag_value(&mut args, "--tcp")? {
+        opts.targets.push(DriveTarget::Tcp(addr));
+    }
+    if let Some(v) = take_flag_value(&mut args, "--seed")? {
+        opts.seed = parse_num("--seed", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--connections")? {
+        let n = parse_num("--connections", v)? as usize;
+        if n == 0 {
+            return Err(CliError::Usage(Some(
+                "--connections must be at least 1".into(),
+            )));
+        }
+        opts.connections = n;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--frames")? {
+        opts.frames = parse_num("--frames", v)?;
+    }
+    if let Some(v) = take_flag_value(&mut args, "--scheduler")? {
+        opts.scheduler = v;
+    }
+    if let Some(path) = take_flag_value(&mut args, "--emit-clean")? {
+        opts.emit_clean = Some(path.into());
+    }
+    if let Some(extra) = args.first() {
+        return Err(CliError::Usage(Some(format!(
+            "fuzz-serve: unexpected argument '{extra}'"
+        ))));
+    }
+    if opts.targets.is_empty() {
+        return Err(CliError::Usage(Some(
+            "fuzz-serve needs --socket <path> and/or --tcp <addr>".into(),
+        )));
+    }
+    let report = run_fuzz_serve(&opts).map_err(CliError::Runtime)?;
+    println!("{report}");
+    if !report.healthy() {
+        return Err(CliError::Runtime(
+            "fuzz-serve: daemon unhealthy after chaos (see report above)".into(),
+        ));
     }
     Ok(())
 }
@@ -1129,6 +1241,18 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     if let Some(v) = take_flag_value(&mut args, "--laxity")? {
         opts.laxity = parse_f64("--laxity", v)?;
     }
+    if let Some(v) = take_flag_value(&mut args, "--sid-prefix")? {
+        opts.sid_prefix = v;
+    }
+    let misbehave = match take_flag_value(&mut args, "--misbehave")? {
+        Some(v) => Some(fjs_cli::fuzz::Misbehave::parse(&v).ok_or_else(|| {
+            CliError::Usage(Some(format!(
+                "--misbehave: '{v}' is not a mode \
+                 (torn, garbage, giant, partial, disconnect, slowloris)"
+            )))
+        })?),
+        None => None,
+    };
     let emit = take_flag_value(&mut args, "--emit")?;
     let socket = take_flag_value(&mut args, "--socket")?;
     let tcp = take_flag_value(&mut args, "--tcp")?;
@@ -1191,6 +1315,12 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
     };
 
     if let Some(target) = target {
+        if let Some(mode) = misbehave {
+            let line =
+                fjs_cli::fuzz::drive_misbehave(&target, &opts, mode).map_err(CliError::Runtime)?;
+            println!("{line}");
+            return Ok(());
+        }
         let report =
             fjs_cli::loadgen::drive(&target, &opts, concurrency).map_err(CliError::Runtime)?;
         println!("{report}");
@@ -1235,6 +1365,7 @@ fn real_main(args: &[String]) -> Result<(), CliError> {
         "soak" => cmd_soak(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "loadgen" => cmd_loadgen(&args[1..]),
+        "fuzz-serve" => cmd_fuzz_serve(&args[1..]),
         "list" => {
             for e in all() {
                 println!("{:4}  {}", e.id, e.title);

@@ -41,7 +41,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use fjs_core::service::{
-    stable_shard, PoolReply, PoolRequest, ServeEvent, ServeJournal, SessionPool,
+    stable_shard, tenant_of, OpenDecision, PoolReply, PoolRequest, ServeEvent, ServeJournal,
+    SessionPool, TenantBreakers,
 };
 use fjs_core::time::{dur, t};
 use fjs_workloads::{DeadLetter, Quarantine};
@@ -82,11 +83,24 @@ struct Inflight {
     replay: bool,
 }
 
+/// A journal-equivalent breaker transition, carried inside a [`Block`] so
+/// it is applied in **global sequence order** by [`PooledServer::flush_blocks`].
+/// Applying it at render time instead would capture the cooldown clock in
+/// worker-completion order, which varies run to run — this is what keeps
+/// breaker state byte-identical across `--workers N`.
+enum BreakerNote {
+    /// An admitted open or an admitted/poisoned job offer (clock tick).
+    Event,
+    /// A close verdict.
+    Close { sid: String, completed: bool },
+}
+
 /// A completed request, parked until the global sequence reaches it.
 #[derive(Default)]
 struct Block {
     log_lines: Vec<String>,
     journal: Option<ServeEvent>,
+    breaker: Option<BreakerNote>,
 }
 
 /// The pooled server: see the module docs for the ordering contract.
@@ -111,6 +125,7 @@ pub struct PooledServer {
     conn_next: HashMap<u64, u64>,
     conn_emit: HashMap<u64, u64>,
     conn_parked: HashMap<u64, BTreeMap<u64, String>>,
+    breakers: TenantBreakers,
 }
 
 impl PooledServer {
@@ -118,7 +133,8 @@ impl PooledServer {
     pub fn new(opts: ServeOptions, log: Sink, journal: Option<ServeJournal>) -> PooledServer {
         let watchdog = opts.watchdog_events;
         let factory = Arc::new(move |spec: &str| build_session(spec, watchdog));
-        let pool = SessionPool::new(opts.workers, opts.max_pending, factory);
+        let pool = SessionPool::new(opts.workers, opts.max_pending, opts.tenant_quotas, factory);
+        let breakers = TenantBreakers::new(opts.breaker);
         PooledServer {
             opts,
             pool,
@@ -136,7 +152,13 @@ impl PooledServer {
             conn_next: HashMap::new(),
             conn_emit: HashMap::new(),
             conn_parked: HashMap::new(),
+            breakers,
         }
+    }
+
+    /// The dispatcher's options (frontends read the net-layer caps).
+    pub(crate) fn opts(&self) -> &ServeOptions {
+        &self.opts
     }
 
     /// See [`super::Server::halted`].
@@ -234,7 +256,28 @@ impl PooledServer {
             if let Some(ev) = &block.journal {
                 self.journal_append(ev);
             }
+            match block.breaker {
+                Some(BreakerNote::Event) => self.breakers.note_event(),
+                Some(BreakerNote::Close { ref sid, completed }) => {
+                    self.breakers.note_close(sid, completed);
+                    self.summary.breaker_trips = self.breakers.trips();
+                }
+                None => {}
+            }
         }
+    }
+
+    /// Blocks until every inflight request has rendered and its block —
+    /// including any breaker note — has been applied, without releasing
+    /// per-connection replies (those stay parked for the next `pump`).
+    /// After this returns, breaker state reflects all prior input in
+    /// order, exactly like the serial server's at the same line.
+    fn settle_blocks(&mut self) -> Result<(), String> {
+        while !self.inflight.is_empty() {
+            self.pump_one_blocking()?;
+        }
+        self.flush_blocks();
+        Ok(())
     }
 
     /// Records a completed request at `seq` (no reply routing).
@@ -324,6 +367,7 @@ impl PooledServer {
         match (&meta.kind, reply) {
             (InKind::Open { spec }, PoolReply::Opened { name }) => {
                 self.summary.opened += 1;
+                block.breaker = Some(BreakerNote::Event);
                 if !meta.replay {
                     block.journal = Some(ServeEvent::Open {
                         session: meta.sid.clone(),
@@ -353,6 +397,7 @@ impl PooledServer {
                 for d in &decisions {
                     block.log_lines.push(wire::decision_line(sid, d));
                 }
+                block.breaker = Some(BreakerNote::Event);
                 if !meta.replay {
                     block.journal = Some(ServeEvent::Job {
                         session: meta.sid.clone(),
@@ -378,6 +423,7 @@ impl PooledServer {
                 for d in &decisions {
                     block.log_lines.push(wire::decision_line(sid, d));
                 }
+                block.breaker = Some(BreakerNote::Event);
                 if !meta.replay {
                     block.journal = Some(ServeEvent::Job {
                         session: meta.sid.clone(),
@@ -396,6 +442,18 @@ impl PooledServer {
             (InKind::Job { .. }, PoolReply::OfferShed { resident }) => {
                 self.summary.shed += 1;
                 reply_text = Some(wire::job_busy(sid, resident, self.opts.max_pending));
+            }
+            (
+                InKind::Job { .. },
+                PoolReply::OfferTenantShed {
+                    tenant,
+                    cause,
+                    used,
+                    limit,
+                },
+            ) => {
+                self.summary.tenant_shed += 1;
+                reply_text = Some(wire::job_tenant_busy(sid, &tenant, cause, used, limit));
             }
             (InKind::Job { .. }, PoolReply::OfferRejected { error, decisions }) => {
                 for d in &decisions {
@@ -421,6 +479,10 @@ impl PooledServer {
                 block
                     .log_lines
                     .push(wire::close_line(sid, span, verdict.label()));
+                block.breaker = Some(BreakerNote::Close {
+                    sid: meta.sid.clone(),
+                    completed: verdict.is_completed(),
+                });
                 if !meta.replay {
                     block.journal = Some(ServeEvent::Close {
                         session: meta.sid.clone(),
@@ -562,13 +624,60 @@ impl PooledServer {
                     );
                     return Ok(());
                 }
+                // Admission order mirrors the serial server exactly:
+                // duplicate → global cap → tenant cap → breaker → spec
+                // validation.
+                let tenant = tenant_of(&sid).to_string();
+                if self.opts.tenant_max_sessions > 0 {
+                    let open = self
+                        .directory
+                        .keys()
+                        .filter(|k| tenant_of(k) == tenant)
+                        .count();
+                    if open >= self.opts.tenant_max_sessions {
+                        self.summary.tenant_shed += 1;
+                        self.complete_immediate(
+                            conn,
+                            wire::open_tenant_busy(
+                                &sid,
+                                &tenant,
+                                open,
+                                self.opts.tenant_max_sessions,
+                            ),
+                        );
+                        return Ok(());
+                    }
+                }
+                let mut breaker_checked = false;
+                if self.opts.breaker.threshold > 0 {
+                    // Opens are rare, so a pipeline barrier here is cheap;
+                    // in exchange the breaker sees every prior event in
+                    // input order and decides exactly as the serial server.
+                    self.settle_blocks()?;
+                    breaker_checked = true;
+                    if let OpenDecision::Refuse {
+                        failures,
+                        retry_after,
+                    } = self.breakers.admit_open(&sid)
+                    {
+                        self.summary.breaker_refused += 1;
+                        self.complete_immediate(
+                            conn,
+                            wire::open_breaker(&sid, &tenant, failures, retry_after),
+                        );
+                        return Ok(());
+                    }
+                }
                 // Validate here (same constructor the worker uses) so the
                 // directory never holds a sid whose open will fail.
                 if let Err(e) = build_session(&spec, self.opts.watchdog_events) {
+                    if breaker_checked {
+                        self.breakers.abort_open(&sid);
+                    }
                     self.complete_immediate(conn, wire::open_err(&sid, &e));
                     return Ok(());
                 }
-                let worker = stable_shard(&sid, self.pool.workers());
+                let worker = stable_shard(tenant_of(&sid), self.pool.workers());
                 self.directory.insert(sid.clone(), worker);
                 self.summary.peak_sessions = self.summary.peak_sessions.max(self.directory.len());
                 self.submit_pool(
@@ -657,6 +766,13 @@ impl PooledServer {
                     },
                 )
             }
+            Request::StatsDaemon => {
+                // Daemon-wide counters must reflect every prior request in
+                // input order, exactly like the serial server's reply.
+                self.settle_blocks()?;
+                self.complete_immediate(conn, wire::stats_daemon(&self.summary));
+                Ok(())
+            }
         }
     }
 
@@ -671,7 +787,15 @@ impl PooledServer {
                 ServeEvent::Open {
                     session, scheduler, ..
                 } => {
-                    let worker = stable_shard(session, self.pool.workers());
+                    // Mirror live admission: journaled opens were admitted,
+                    // so advance the breaker (half-open probe reservation)
+                    // with state current through all earlier events.
+                    if self.opts.breaker.threshold > 0 {
+                        self.settle_blocks()
+                            .map_err(|e| format!("resume: replaying open {session}: {e}"))?;
+                        let _ = self.breakers.admit_open(session);
+                    }
+                    let worker = stable_shard(tenant_of(session), self.pool.workers());
                     self.directory.insert(session.clone(), worker);
                     self.summary.peak_sessions =
                         self.summary.peak_sessions.max(self.directory.len());

@@ -36,7 +36,10 @@ pub mod protocol;
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, Write};
 
-use fjs_core::service::{ServeEvent, ServeJournal, Session, SessionError};
+use fjs_core::service::{
+    tenant_of, BreakerConfig, OpenDecision, ServeEvent, ServeJournal, Session, SessionError,
+    TenantBreakers, TenantQuotas, TenantShedCause,
+};
 use fjs_core::supervise::{PoisonMode, PoisonedScheduler, DEFAULT_WATCHDOG_EVENTS};
 use fjs_core::time::{dur, t};
 use fjs_schedulers::SchedulerKind;
@@ -50,6 +53,16 @@ pub const DEFAULT_MAX_SESSIONS: usize = 64;
 
 /// Default cap on resident (pending + running) jobs per session.
 pub const DEFAULT_MAX_PENDING: usize = 4096;
+
+/// Default hard cap on one protocol frame (bytes, including the newline).
+/// A connection that exceeds it gets `err line-too-long` and is dropped —
+/// the reader never accumulates more than this per line.
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 8192;
+
+/// Default bounded depth of each connection's reply (writer) queue. A
+/// client that stops draining replies fills it and is disconnected as a
+/// slow client instead of growing daemon memory.
+pub const DEFAULT_WRITER_QUEUE: usize = 256;
 
 /// Tunables for a [`Server`].
 #[derive(Clone, Debug)]
@@ -71,8 +84,20 @@ pub struct ServeOptions {
     pub throttle_ms: u64,
     /// Session worker threads. `1` keeps the single-threaded [`Server`];
     /// above that, sessions shard across a
-    /// [`SessionPool`](fjs_core::service::SessionPool) by stable sid hash.
+    /// [`SessionPool`](fjs_core::service::SessionPool) by stable *tenant*
+    /// hash (so the governor's tenant quotas stay exact).
     pub workers: usize,
+    /// Cap on concurrently open sessions per tenant (sid prefix before
+    /// the first `.`); `0` disables. Excess `open`s shed `busy`.
+    pub tenant_max_sessions: usize,
+    /// Per-tenant resident-job and admitted-byte quotas (`0` = off).
+    pub tenant_quotas: TenantQuotas,
+    /// Tenant circuit-breaker tuning (threshold `0` disables).
+    pub breaker: BreakerConfig,
+    /// Hard cap on one protocol frame in bytes (socket frontends).
+    pub max_frame_bytes: usize,
+    /// Bounded per-connection writer-queue depth (socket frontends).
+    pub writer_queue: usize,
 }
 
 impl Default for ServeOptions {
@@ -85,6 +110,11 @@ impl Default for ServeOptions {
             checkpoint_every: fjs_core::service::DEFAULT_SYNC_EVERY,
             throttle_ms: 0,
             workers: 1,
+            tenant_max_sessions: 0,
+            tenant_quotas: TenantQuotas::off(),
+            breaker: BreakerConfig::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            writer_queue: DEFAULT_WRITER_QUEUE,
         }
     }
 }
@@ -151,6 +181,13 @@ pub struct ServeSummary {
     pub jobs: u64,
     /// Requests shed with a `busy` reply (admission control).
     pub shed: u64,
+    /// Requests shed by a per-tenant governor quota (session cap,
+    /// resident-job quota or byte quota).
+    pub tenant_shed: u64,
+    /// `open`s refused because the tenant's circuit breaker was open.
+    pub breaker_refused: u64,
+    /// Times any tenant's circuit breaker tripped (closed → open).
+    pub breaker_trips: u64,
     /// Sessions opened.
     pub opened: u64,
     /// Sessions closed (explicitly or by drain).
@@ -174,6 +211,12 @@ pub struct ServeSummary {
     /// Connections dropped by a read/write error (`ECONNRESET`, `EPIPE`,
     /// a client killed mid-line); the daemon keeps serving the rest.
     pub disconnects: u64,
+    /// Connections dropped for sending a frame over the byte cap.
+    pub oversize_disconnects: u64,
+    /// Connections dropped for not draining replies (writer queue full).
+    pub slow_disconnects: u64,
+    /// Peak depth any connection's writer queue reached.
+    pub peak_writer_queue: usize,
     /// Transient `accept()` failures retried instead of treated as fatal.
     pub accept_retries: u64,
     /// Set when a `halt`-policy quarantine or an I/O failure stopped the
@@ -208,6 +251,21 @@ impl std::fmt::Display for ServeSummary {
                 self.connections, self.disconnects, self.accept_retries
             )?;
         }
+        if self.tenant_shed > 0 || self.breaker_refused > 0 || self.breaker_trips > 0 {
+            writeln!(
+                f,
+                "serve: governor: {} tenant-quota sheds, {} breaker refusals, {} breaker trips",
+                self.tenant_shed, self.breaker_refused, self.breaker_trips
+            )?;
+        }
+        if self.oversize_disconnects > 0 || self.slow_disconnects > 0 {
+            writeln!(
+                f,
+                "serve: net: {} oversize disconnects, {} slow clients dropped, \
+                 peak writer queue {}",
+                self.oversize_disconnects, self.slow_disconnects, self.peak_writer_queue
+            )?;
+        }
         if self.quarantined > 0 {
             writeln!(f, "serve: {} malformed lines quarantined", self.quarantined)?;
         }
@@ -221,12 +279,49 @@ impl std::fmt::Display for ServeSummary {
     }
 }
 
+impl ServeSummary {
+    /// One-line schema-v1 JSON rendering (the `--stats-jsonl` record),
+    /// flat and append-friendly like the bench/journal line grammars.
+    pub fn to_jsonl(&self) -> String {
+        format!(
+            "{{\"v\":1,\"kind\":\"serve-summary\",\"lines\":{},\"requests\":{},\
+             \"jobs\":{},\"shed\":{},\"tenant_shed\":{},\"breaker_refused\":{},\
+             \"breaker_trips\":{},\"opened\":{},\"closed\":{},\
+             \"decision_lines\":{},\"quarantined\":{},\"peak_sessions\":{},\
+             \"peak_retained\":{},\"peak_live_segments\":{},\"connections\":{},\
+             \"disconnects\":{},\"oversize_disconnects\":{},\
+             \"slow_disconnects\":{},\"peak_writer_queue\":{},\
+             \"accept_retries\":{}}}",
+            self.lines,
+            self.requests,
+            self.jobs,
+            self.shed,
+            self.tenant_shed,
+            self.breaker_refused,
+            self.breaker_trips,
+            self.opened,
+            self.closed,
+            self.decision_lines,
+            self.quarantined,
+            self.peak_sessions,
+            self.peak_retained,
+            self.peak_live_segments,
+            self.connections,
+            self.disconnects,
+            self.oversize_disconnects,
+            self.slow_disconnects,
+            self.peak_writer_queue,
+            self.accept_retries,
+        )
+    }
+}
+
 /// Reply and decision-log line formats, shared verbatim by the serial
 /// [`Server`] and the pooled [`dispatch::PooledServer`] so the two
 /// backends are byte-identical by construction, not by convention.
 pub(crate) mod wire {
     use fjs_core::job::JobId;
-    use fjs_core::service::{Decision, SessionError, SessionVerdict};
+    use fjs_core::service::{Decision, SessionError, SessionVerdict, TenantShedCause};
     use fjs_core::time::Dur;
 
     pub fn open_ok(sid: &str, name: &str) -> String {
@@ -238,11 +333,52 @@ pub(crate) mod wire {
     pub fn open_busy(sid: &str, sessions: usize, max_sessions: usize) -> String {
         format!("busy open {sid} sessions={sessions} max-sessions={max_sessions}")
     }
+    pub fn open_tenant_busy(sid: &str, tenant: &str, sessions: usize, max: usize) -> String {
+        format!(
+            "busy open {sid} tenant={tenant} tenant-sessions={sessions} max-tenant-sessions={max}"
+        )
+    }
+    pub fn open_breaker(sid: &str, tenant: &str, failures: u32, retry_after: u64) -> String {
+        format!(
+            "busy open {sid} breaker-open tenant={tenant} failures={failures} \
+             retry-after-events={retry_after}"
+        )
+    }
     pub fn job_ok(sid: &str, id: JobId, span: Dur) -> String {
         format!("ok job {sid} id={id} span={span}")
     }
     pub fn job_busy(sid: &str, resident: usize, max_pending: usize) -> String {
         format!("busy job {sid} pending={resident} max-pending={max_pending}")
+    }
+    pub fn job_tenant_busy(
+        sid: &str,
+        tenant: &str,
+        cause: TenantShedCause,
+        used: u64,
+        limit: u64,
+    ) -> String {
+        let label = cause.label();
+        format!("busy job {sid} tenant={tenant} tenant-{label}={used} max-tenant-{label}={limit}")
+    }
+    pub fn line_too_long(max_frame_bytes: usize) -> String {
+        format!("err line-too-long max-frame-bytes={max_frame_bytes}")
+    }
+    pub fn stats_daemon(s: &super::ServeSummary) -> String {
+        format!(
+            "ok stats daemon lines={} requests={} jobs={} shed={} tenant-shed={} \
+             breaker-refused={} breaker-trips={} oversize={} slow-clients={} \
+             peak-writer-queue={}",
+            s.lines,
+            s.requests,
+            s.jobs,
+            s.shed,
+            s.tenant_shed,
+            s.breaker_refused,
+            s.breaker_trips,
+            s.oversize_disconnects,
+            s.slow_disconnects,
+            s.peak_writer_queue,
+        )
     }
     pub fn job_terminal(sid: &str, v: &SessionVerdict) -> String {
         format!("err job {sid} verdict={}: session is terminal", v.label())
@@ -296,12 +432,14 @@ pub struct Server {
     cursor: u64,
     replaying: bool,
     summary: ServeSummary,
+    breakers: TenantBreakers,
 }
 
 impl Server {
     /// Creates a server writing decisions to `log`, journaling admitted
     /// requests to `journal` (if any).
     pub fn new(opts: ServeOptions, log: Sink, journal: Option<ServeJournal>) -> Server {
+        let breakers = TenantBreakers::new(opts.breaker);
         Server {
             opts,
             sessions: BTreeMap::new(),
@@ -311,6 +449,7 @@ impl Server {
             cursor: 0,
             replaying: false,
             summary: ServeSummary::default(),
+            breakers,
         }
     }
 
@@ -325,6 +464,10 @@ impl Server {
                 ServeEvent::Open {
                     session, scheduler, ..
                 } => {
+                    // Journaled opens were all admitted; re-running the
+                    // breaker check replays its half-open probe marking
+                    // (it admits again by determinism).
+                    let _ = self.breakers.admit_open(session);
                     self.apply_open(session, scheduler)
                         .map_err(|e| format!("resume: replaying open {session}: {e}"))?;
                 }
@@ -424,6 +567,7 @@ impl Server {
             .insert(sid.to_string(), Slot { session, jobs: 0 });
         self.summary.opened += 1;
         self.summary.peak_sessions = self.summary.peak_sessions.max(self.sessions.len());
+        self.breakers.note_event();
         Ok(name)
     }
 
@@ -446,6 +590,11 @@ impl Server {
         if outcome.is_ok() {
             slot.jobs += 1;
         }
+        // Tick the breaker clock only for journal-equivalent outcomes
+        // (admitted, or admitted-and-poisoned) so replay ticks match.
+        if matches!(&outcome, Ok(_) | Err(SessionError::Terminal(_))) {
+            self.breakers.note_event();
+        }
         self.flush_decisions(sid)?;
         Ok(outcome)
     }
@@ -464,6 +613,8 @@ impl Server {
         self.note_peaks(&slot.session);
         self.log_line(&wire::close_line(sid, span, verdict.label()))?;
         self.summary.closed += 1;
+        self.breakers.note_close(sid, verdict.is_completed());
+        self.summary.breaker_trips = self.breakers.trips();
         Ok((verdict.label().to_string(), span, slot.jobs))
     }
 
@@ -526,15 +677,46 @@ impl Server {
         let line = self.line_no;
         match req {
             Request::Open { sid, spec } => {
-                if !self.sessions.contains_key(&sid)
-                    && self.sessions.len() >= self.opts.max_sessions
-                {
-                    self.summary.shed += 1;
-                    return Ok(wire::open_busy(
-                        &sid,
-                        self.sessions.len(),
-                        self.opts.max_sessions,
-                    ));
+                // Admission order (mirrored exactly by the pooled
+                // dispatcher): duplicate → global cap → tenant cap →
+                // breaker → spec validation.
+                let mut breaker_checked = false;
+                if !self.sessions.contains_key(&sid) {
+                    if self.sessions.len() >= self.opts.max_sessions {
+                        self.summary.shed += 1;
+                        return Ok(wire::open_busy(
+                            &sid,
+                            self.sessions.len(),
+                            self.opts.max_sessions,
+                        ));
+                    }
+                    let cap = self.opts.tenant_max_sessions;
+                    if cap > 0 {
+                        let tenant = tenant_of(&sid);
+                        let open = self
+                            .sessions
+                            .keys()
+                            .filter(|k| tenant_of(k) == tenant)
+                            .count();
+                        if open >= cap {
+                            self.summary.tenant_shed += 1;
+                            return Ok(wire::open_tenant_busy(&sid, tenant, open, cap));
+                        }
+                    }
+                    breaker_checked = true;
+                    if let OpenDecision::Refuse {
+                        failures,
+                        retry_after,
+                    } = self.breakers.admit_open(&sid)
+                    {
+                        self.summary.breaker_refused += 1;
+                        return Ok(wire::open_breaker(
+                            &sid,
+                            tenant_of(&sid),
+                            failures,
+                            retry_after,
+                        ));
+                    }
                 }
                 match self.apply_open(&sid, &spec) {
                     Ok(name) => {
@@ -545,7 +727,15 @@ impl Server {
                         })?;
                         Ok(wire::open_ok(&sid, &name))
                     }
-                    Err(e) => Ok(wire::open_err(&sid, &e)),
+                    Err(e) => {
+                        // A failed open is not journaled; undo the
+                        // half-open probe reservation (if this sid took
+                        // it) so the probe slot is not leaked.
+                        if breaker_checked {
+                            self.breakers.abort_open(&sid);
+                        }
+                        Ok(wire::open_err(&sid, &e))
+                    }
                 }
             }
             Request::Job {
@@ -565,6 +755,45 @@ impl Server {
                             self.summary.shed += 1;
                             return Ok(wire::job_busy(&sid, resident, self.opts.max_pending));
                         }
+                    }
+                }
+                // Tenant quota checks, in the same order as the pool
+                // worker's so serial and pooled replies match bytewise.
+                let q = self.opts.tenant_quotas;
+                if q.enabled() {
+                    let tenant = tenant_of(&sid).to_string();
+                    let mut t_resident = 0usize;
+                    let mut t_bytes = 0u64;
+                    for (k, slot) in &self.sessions {
+                        if tenant_of(k) == tenant {
+                            t_resident += slot.session.num_pending() + slot.session.num_running();
+                            t_bytes += slot.session.admitted_payload_bytes();
+                        }
+                    }
+                    if q.max_pending > 0 && t_resident >= q.max_pending {
+                        self.summary.tenant_shed += 1;
+                        return Ok(wire::job_tenant_busy(
+                            &sid,
+                            &tenant,
+                            TenantShedCause::Pending,
+                            t_resident as u64,
+                            q.max_pending as u64,
+                        ));
+                    }
+                    let offer = fjs_core::service::JobOffer {
+                        arrival: t(arrival),
+                        deadline: t(deadline),
+                        length: dur(length),
+                    };
+                    if q.max_bytes > 0 && t_bytes + offer.canonical_bytes() > q.max_bytes {
+                        self.summary.tenant_shed += 1;
+                        return Ok(wire::job_tenant_busy(
+                            &sid,
+                            &tenant,
+                            TenantShedCause::Bytes,
+                            t_bytes,
+                            q.max_bytes,
+                        ));
                     }
                 }
                 match self.apply_job(&sid, arrival, deadline, length)? {
@@ -626,6 +855,7 @@ impl Server {
                     ))
                 }
             },
+            Request::StatsDaemon => Ok(wire::stats_daemon(&self.summary)),
         }
     }
 
@@ -764,6 +994,22 @@ impl Backend {
         match self {
             Backend::Serial(s) => s.opts.throttle_ms,
             Backend::Pooled(p) => p.throttle_ms(),
+        }
+    }
+
+    /// The frame-length cap the socket frontends enforce per line.
+    pub fn max_frame_bytes(&self) -> usize {
+        match self {
+            Backend::Serial(s) => s.opts.max_frame_bytes,
+            Backend::Pooled(p) => p.opts().max_frame_bytes,
+        }
+    }
+
+    /// The bounded per-connection writer-queue depth.
+    pub fn writer_queue(&self) -> usize {
+        match self {
+            Backend::Serial(s) => s.opts.writer_queue,
+            Backend::Pooled(p) => p.opts().writer_queue,
         }
     }
 
@@ -1281,5 +1527,252 @@ mod tests {
         assert!(build_session("poison:hang:lazy", 1000).is_ok());
         assert!(build_session("poison:frogs:eager", 1000).is_err());
         assert!(build_session("nonesuch", 1000).is_err());
+    }
+
+    #[test]
+    fn tenant_session_cap_sheds_with_structured_busy() {
+        let opts = ServeOptions {
+            tenant_max_sessions: 1,
+            ..ServeOptions::default()
+        };
+        let out = run_script(
+            "open t.a eager\nopen t.b eager\nopen u.a eager\nclose t.a\nclose u.a\n",
+            opts,
+        )
+        .unwrap();
+        assert!(out.replies[0].starts_with("ok open t.a "));
+        assert_eq!(
+            out.replies[1],
+            "busy open t.b tenant=t tenant-sessions=1 max-tenant-sessions=1"
+        );
+        // Another tenant is unaffected by t's cap.
+        assert!(out.replies[2].starts_with("ok open u.a "));
+        assert_eq!(out.summary.tenant_shed, 1);
+        assert_eq!(out.summary.opened, 2);
+    }
+
+    #[test]
+    fn tenant_pending_quota_spans_sibling_sessions() {
+        let opts = ServeOptions {
+            tenant_quotas: fjs_core::service::TenantQuotas {
+                max_pending: 1,
+                max_bytes: 0,
+            },
+            ..ServeOptions::default()
+        };
+        // Lazy keeps same-instant jobs resident, so t.a's admitted job
+        // counts against the tenant when t.b offers its own.
+        let out = run_script(
+            "open t.a lazy\n\
+             open t.b lazy\n\
+             job t.a 0,100,1\n\
+             job t.b 0,100,1\n\
+             open u.a lazy\n\
+             job u.a 0,100,1\n\
+             close t.a\nclose t.b\nclose u.a\n",
+            opts,
+        )
+        .unwrap();
+        assert!(out.replies[2].starts_with("ok job t.a "));
+        assert_eq!(
+            out.replies[3],
+            "busy job t.b tenant=t tenant-pending=1 max-tenant-pending=1"
+        );
+        // Tenant u is untouched by t's quota.
+        assert!(out.replies[5].starts_with("ok job u.a "));
+        assert_eq!(out.summary.tenant_shed, 1);
+    }
+
+    #[test]
+    fn breaker_trips_refuses_and_recovers_end_to_end() {
+        let opts = ServeOptions {
+            breaker: fjs_core::service::BreakerConfig {
+                threshold: 2,
+                cooldown_events: 4,
+            },
+            ..ServeOptions::default()
+        };
+        let out = with_quiet_panics(|| {
+            run_script(
+                "open h.a poison:panic:eager\n\
+                 job h.a 0,1,1\n\
+                 close h.a\n\
+                 open h.b poison:panic:eager\n\
+                 job h.b 0,1,1\n\
+                 close h.b\n\
+                 open h.c eager\n\
+                 open u.a eager\n\
+                 job u.a 0,5,1\n\
+                 job u.a 1,6,1\n\
+                 close u.a\n\
+                 open h.d eager\n\
+                 job h.d 0,5,2\n\
+                 close h.d\n\
+                 open h.e eager\n\
+                 close h.e\n",
+                opts,
+            )
+            .unwrap()
+        });
+        // Two poisoned closes trip tenant h's breaker...
+        assert_eq!(
+            out.replies[6],
+            "busy open h.c breaker-open tenant=h failures=2 retry-after-events=4"
+        );
+        // ...four healthy events later the cooldown elapses and h.d is
+        // admitted as the half-open probe; its completed close re-closes
+        // the breaker, so h.e is admitted without restriction.
+        assert!(
+            out.replies[11].starts_with("ok open h.d "),
+            "{:?}",
+            out.replies
+        );
+        assert!(out.replies[13].contains("verdict=completed"));
+        assert!(out.replies[14].starts_with("ok open h.e "));
+        assert_eq!(out.summary.breaker_trips, 1);
+        assert_eq!(out.summary.breaker_refused, 1);
+    }
+
+    #[test]
+    fn governor_output_is_byte_identical_across_worker_counts() {
+        let script = "open t.a lazy\n\
+                      open t.b lazy\n\
+                      job t.a 0,100,1\n\
+                      job t.b 0,100,1\n\
+                      open h.a poison:panic:eager\n\
+                      job h.a 0,1,1\n\
+                      close h.a\n\
+                      open h.b poison:panic:eager\n\
+                      job h.b 0,1,1\n\
+                      close h.b\n\
+                      open h.c eager\n\
+                      open u.a eager\n\
+                      job u.a 0,5,1\n\
+                      job u.a 1,6,1\n\
+                      close u.a\n\
+                      open h.d eager\n\
+                      job h.d 0,5,2\n\
+                      close h.d\n\
+                      stats\n\
+                      close t.a\n\
+                      close t.b\n";
+        let opts = |workers: usize| ServeOptions {
+            workers,
+            tenant_max_sessions: 3,
+            tenant_quotas: fjs_core::service::TenantQuotas {
+                max_pending: 1,
+                max_bytes: 64,
+            },
+            breaker: fjs_core::service::BreakerConfig {
+                threshold: 2,
+                cooldown_events: 4,
+            },
+            ..ServeOptions::default()
+        };
+        let serial = with_quiet_panics(|| run_script(script, opts(1)).unwrap());
+        assert!(
+            serial.summary.breaker_trips > 0,
+            "script must trip the breaker"
+        );
+        assert!(serial.summary.tenant_shed > 0, "script must shed on quota");
+        for workers in [2usize, 8] {
+            let pooled = with_quiet_panics(|| run_script_pooled(script, opts(workers)).unwrap());
+            assert_eq!(
+                pooled.replies, serial.replies,
+                "replies must be byte-identical at workers={workers}"
+            );
+            assert_eq!(
+                pooled.log, serial.log,
+                "log must be byte-identical at workers={workers}"
+            );
+            assert_eq!(pooled.summary.breaker_trips, serial.summary.breaker_trips);
+            assert_eq!(
+                pooled.summary.breaker_refused,
+                serial.summary.breaker_refused
+            );
+            assert_eq!(pooled.summary.tenant_shed, serial.summary.tenant_shed);
+        }
+    }
+
+    #[test]
+    fn breaker_state_survives_resume_identically() {
+        let dir = std::env::temp_dir().join(format!(
+            "fjs-breaker-resume-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("serve.journal");
+        let opts = || ServeOptions {
+            breaker: fjs_core::service::BreakerConfig {
+                threshold: 2,
+                cooldown_events: 100,
+            },
+            ..ServeOptions::default()
+        };
+        // Two poisoned sessions trip tenant h live; everything they did
+        // is journaled (opens, the poisoning offers, the closes).
+        let script = "open h.a poison:panic:eager\n\
+                      job h.a 0,1,1\n\
+                      close h.a\n\
+                      open h.b poison:panic:eager\n\
+                      job h.b 0,1,1\n\
+                      close h.b\n";
+        let journal = fjs_core::service::ServeJournal::create(&journal_path)
+            .unwrap()
+            .with_sync_every(1);
+        let mut live = Server::new(opts(), Sink::Null, Some(journal));
+        let mut offset = 0u64;
+        with_quiet_panics(|| {
+            for line in script.split_inclusive('\n') {
+                live.handle_line(offset, line);
+                offset += line.len() as u64;
+            }
+        });
+        let live_reply = live.handle_line(offset, "open h.z eager\n").unwrap();
+        drop(live); // SIGKILL stand-in.
+
+        // A resumed daemon must refuse the same open with the same bytes.
+        // Re-feed the original input first: the resume cursor skips those
+        // lines, then the probe lands at the same position as live.
+        let events = fjs_core::service::ServeJournal::load(&journal_path).unwrap();
+        let mut resumed = Server::new(opts(), Sink::Null, None);
+        with_quiet_panics(|| resumed.resume(&events).unwrap());
+        let mut offset = 0u64;
+        for line in script.split_inclusive('\n') {
+            assert!(resumed.handle_line(offset, line).is_none());
+            offset += line.len() as u64;
+        }
+        let resumed_reply = resumed.handle_line(offset, "open h.z eager\n").unwrap();
+        assert_eq!(
+            resumed_reply, live_reply,
+            "breaker state must replay bit-identically from the journal"
+        );
+        assert_eq!(
+            resumed_reply,
+            "busy open h.z breaker-open tenant=h failures=2 retry-after-events=100"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn summary_jsonl_is_flat_schema_v1() {
+        let out = script_outcome("open a eager\njob a 0,5,2\nclose a\n");
+        let line = out.summary.to_jsonl();
+        assert!(
+            line.starts_with("{\"v\":1,\"kind\":\"serve-summary\""),
+            "{line}"
+        );
+        for key in [
+            "\"tenant_shed\":0",
+            "\"breaker_refused\":0",
+            "\"breaker_trips\":0",
+            "\"oversize_disconnects\":0",
+            "\"slow_disconnects\":0",
+            "\"peak_writer_queue\":0",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert!(!line.contains('\n'), "one flat line for JSONL appends");
     }
 }

@@ -7,6 +7,7 @@
 //! job <sid> <arrival>,<deadline>,<length>
 //! close <sid>                     # finish the session, flush its deltas
 //! stats <sid>                     # read-only probe
+//! stats                           # daemon-wide degradation counters
 //! ```
 //!
 //! Blank lines and `#` comments are ignored (no reply). Every other line
@@ -49,16 +50,21 @@ pub enum Request {
         /// Session name.
         sid: String,
     },
+    /// Bare `stats` — daemon-wide degradation counters (sheds, breaker
+    /// trips, disconnect causes). Addresses no session.
+    StatsDaemon,
 }
 
 impl Request {
-    /// The session the request addresses.
-    pub fn sid(&self) -> &str {
+    /// The session the request addresses (`None` for daemon-wide
+    /// requests).
+    pub fn sid(&self) -> Option<&str> {
         match self {
             Request::Open { sid, .. }
             | Request::Job { sid, .. }
             | Request::Close { sid }
-            | Request::Stats { sid } => sid,
+            | Request::Stats { sid } => Some(sid),
+            Request::StatsDaemon => None,
         }
     }
 }
@@ -91,6 +97,9 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, String> {
         return Err(format!(
             "unknown verb '{verb}' (expected open/job/close/stats)"
         ));
+    }
+    if verb == "stats" && sid.is_empty() {
+        return Ok(Some(Request::StatsDaemon));
     }
     if !valid_sid(sid) {
         return Err(format!(
@@ -194,6 +203,15 @@ mod tests {
             Some(Request::Stats {
                 sid: "alpha".into()
             })
+        );
+        assert_eq!(
+            parse_request("stats").unwrap(),
+            Some(Request::StatsDaemon),
+            "bare stats is the daemon-wide probe"
+        );
+        assert_eq!(
+            parse_request("  stats  ").unwrap(),
+            Some(Request::StatsDaemon)
         );
     }
 

@@ -1,0 +1,174 @@
+//! Seeded never-panic fuzz over the serve line protocol.
+//!
+//! Two generators feed [`parse_request`]: raw arbitrary bytes (lossily
+//! decoded, as the daemon's reader does for non-UTF-8 input) and
+//! structured mutations of known-good lines (byte flips, truncations,
+//! splices, whitespace injection). The parser must never panic, and every
+//! `Ok(Some(_))` it returns must satisfy the protocol invariants the
+//! daemon relies on downstream: echo-safe session names and finite,
+//! well-ordered job windows.
+//!
+//! Deterministic by construction — fixed seeds through `fjs-prng`, no
+//! time or OS entropy — so a failure reproduces exactly.
+
+use fjs_cli::serve::protocol::{parse_request, Request};
+use fjs_prng::SmallRng;
+
+/// Asserts the invariants the serve dispatcher assumes about any request
+/// the parser lets through.
+fn check_invariants(line: &str, req: &Request) {
+    if let Some(sid) = req.sid() {
+        assert!(
+            !sid.is_empty() && sid.len() <= 64,
+            "sid length out of bounds for line {line:?}: {sid:?}"
+        );
+        assert!(
+            sid.chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')),
+            "sid with unsafe chars leaked through for line {line:?}: {sid:?}"
+        );
+    }
+    if let Request::Job {
+        arrival,
+        deadline,
+        length,
+        ..
+    } = req
+    {
+        assert!(
+            arrival.is_finite() && deadline.is_finite() && length.is_finite(),
+            "non-finite job field for line {line:?}"
+        );
+        assert!(
+            deadline >= arrival,
+            "inverted window admitted for line {line:?}"
+        );
+        assert!(
+            *length > 0.0,
+            "non-positive length admitted for line {line:?}"
+        );
+    }
+}
+
+#[test]
+fn parser_never_panics_on_arbitrary_bytes() {
+    let mut rng = SmallRng::seed_from_u64(0xF0D5_EC41_7A11_0001);
+    for _ in 0..20_000 {
+        let len = rng.usize_range(0, 200);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xFF) as u8).collect();
+        let line = String::from_utf8_lossy(&bytes);
+        // The daemon frames on '\n'; feed each framed piece like the
+        // reader would.
+        for piece in line.split('\n') {
+            if let Ok(Some(req)) = parse_request(piece) {
+                check_invariants(piece, &req);
+            }
+        }
+    }
+}
+
+#[test]
+fn parser_never_panics_on_structured_mutations() {
+    const SEEDS: &[&str] = &[
+        "open alpha eager",
+        "open t.a poison:panic:eager",
+        "job alpha 0,5,2",
+        "job t.a 0.25,1e3,0.5",
+        "close alpha",
+        "stats alpha",
+        "stats",
+        "# comment line",
+        "job alpha 0,inf,2",
+        "open alpha batch+",
+    ];
+    const JUNK: &[u8] = b" \t,.-_:;!@#\x00\x7f\xffABCxyz0189";
+    let mut rng = SmallRng::seed_from_u64(0xF0D5_EC41_7A11_0002);
+    for _ in 0..20_000 {
+        let mut bytes = rng.choose(SEEDS).as_bytes().to_vec();
+        for _ in 0..rng.usize_range(1, 5) {
+            match rng.usize_range(0, 5) {
+                // Flip one byte to an arbitrary value.
+                0 if !bytes.is_empty() => {
+                    let at = rng.usize_range(0, bytes.len());
+                    bytes[at] = (rng.next_u64() & 0xFF) as u8;
+                }
+                // Truncate at a random point.
+                1 if !bytes.is_empty() => {
+                    bytes.truncate(rng.usize_range(0, bytes.len()));
+                }
+                // Insert a junk byte.
+                2 => {
+                    let at = rng.usize_range(0, bytes.len() + 1);
+                    bytes.insert(at, *rng.choose(JUNK));
+                }
+                // Duplicate a random slice (torn-frame splice).
+                3 if bytes.len() > 1 => {
+                    let start = rng.usize_range(0, bytes.len() - 1);
+                    let end = rng.usize_range(start + 1, bytes.len() + 1);
+                    let slice = bytes[start..end].to_vec();
+                    bytes.extend_from_slice(&slice);
+                }
+                // Prepend/append whitespace the parser must trim.
+                _ => {
+                    bytes.insert(0, b' ');
+                    bytes.push(b'\t');
+                }
+            }
+        }
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(Some(req)) = parse_request(&line) {
+            check_invariants(&line, &req);
+        }
+    }
+}
+
+#[test]
+fn job_payload_edge_numbers_never_panic_and_keep_window_invariants() {
+    let mut rng = SmallRng::seed_from_u64(0xF0D5_EC41_7A11_0003);
+    const SPECIALS: &[&str] = &[
+        "0",
+        "-0",
+        "1",
+        "-1",
+        "inf",
+        "-inf",
+        "nan",
+        "NaN",
+        "1e308",
+        "-1e308",
+        "1e-308",
+        "9007199254740993",
+        "0.1",
+        "1e999",
+        "0x10",
+        "1_000",
+        "",
+        " ",
+        "+5",
+        "5.",
+        ".5",
+    ];
+    for _ in 0..10_000 {
+        let field = |rng: &mut SmallRng| -> String {
+            if rng.bool_with(0.5) {
+                (*rng.choose(SPECIALS)).to_string()
+            } else {
+                format!("{:.6}", rng.f64_range(-1e12, 1e12))
+            }
+        };
+        let a = field(&mut rng);
+        let d = field(&mut rng);
+        let l = field(&mut rng);
+        let line = format!("job s {a},{d},{l}");
+        match parse_request(&line) {
+            Ok(Some(req)) => check_invariants(&line, &req),
+            Ok(None) => panic!("job line parsed as silence: {line:?}"),
+            Err(reason) => {
+                assert!(
+                    !reason.starts_with("line "),
+                    "reader position prefix leaked into {reason:?}"
+                );
+            }
+        }
+    }
+}

@@ -21,6 +21,14 @@
 //! * interior garbage is a hard [`ServeJournalError::Corrupt`] — that is
 //!   data loss, not a crash artifact, and resuming from it would
 //!   fabricate decisions.
+//!
+//! The governor's state (per-tenant admitted-byte usage, circuit-breaker
+//! phases and failure streaks) is deliberately **not** journaled: every
+//! governor transition is keyed off exactly the events recorded here —
+//! admitted opens, admitted jobs, closes — so a resume replay re-derives
+//! it bit-identically for free, with no new record kind and no version
+//! bump. [`ServeEvent::payload_bytes`] is the replay-side hook for the
+//! byte accounting.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -92,6 +100,30 @@ impl ServeEvent {
             ServeEvent::Open { session, .. }
             | ServeEvent::Job { session, .. }
             | ServeEvent::Close { session, .. } => session,
+        }
+    }
+
+    /// Canonical payload bytes this event charges against its tenant's
+    /// byte quota (`None` for non-job events). Matches
+    /// [`JobOffer::canonical_bytes`](crate::service::JobOffer::canonical_bytes)
+    /// on the offer the record was journaled for, so live accounting and
+    /// replay agree exactly.
+    pub fn payload_bytes(&self) -> Option<u64> {
+        match self {
+            ServeEvent::Job {
+                arrival,
+                deadline,
+                length,
+                ..
+            } => Some(
+                crate::service::JobOffer {
+                    arrival: crate::time::Time::new(*arrival),
+                    deadline: crate::time::Time::new(*deadline),
+                    length: crate::time::Dur::new(*length),
+                }
+                .canonical_bytes(),
+            ),
+            _ => None,
         }
     }
 
@@ -503,5 +535,29 @@ mod tests {
         let render = |ds: &[Decision]| ds.iter().map(|d| format!("{d}\n")).collect::<String>();
         assert_eq!(render(&original), render(&replayed));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn payload_bytes_matches_the_live_offer_accounting() {
+        let ev = ServeEvent::Job {
+            session: "t.a".into(),
+            line: 7,
+            arrival: 0.5,
+            deadline: 2.0,
+            length: 1.25,
+        };
+        let live = JobOffer {
+            arrival: t(0.5),
+            deadline: t(2.0),
+            length: dur(1.25),
+        };
+        assert_eq!(ev.payload_bytes(), Some(live.canonical_bytes()));
+        assert_eq!(ev.payload_bytes(), Some("0.5,2,1.25".len() as u64));
+        let open = ServeEvent::Open {
+            session: "t.a".into(),
+            scheduler: "eager".into(),
+            line: 1,
+        };
+        assert_eq!(open.payload_bytes(), None);
     }
 }

@@ -14,9 +14,14 @@
 //! * [`checkpoint`] — the crash-safe [`ServeJournal`] that makes a killed
 //!   daemon resumable to a byte-identical decision log;
 //! * [`pool`] — the multi-core worker pool: sessions sharded across
-//!   resident threads by stable session-id hash, replies tagged with
-//!   global sequence numbers so the dispatcher can merge decision-log and
-//!   journal lines deterministically at any worker count.
+//!   resident threads by stable *tenant* hash (so per-tenant state stays
+//!   on one worker), replies tagged with global sequence numbers so the
+//!   dispatcher can merge decision-log and journal lines
+//!   deterministically at any worker count;
+//! * [`governor`] — overload/abuse containment: tenant identity, per-
+//!   tenant admission quotas, and the deterministic circuit-breaker
+//!   state machine that refuses `open`s from tenants whose sessions keep
+//!   failing.
 //!
 //! The protocol frontend (line parsing, admission control, sockets,
 //! signals) lives in the `fjs` CLI; this module is deliberately free of
@@ -24,11 +29,15 @@
 //! benches.
 
 pub mod checkpoint;
+pub mod governor;
 pub mod pool;
 pub mod session;
 
 pub use checkpoint::{
     ServeEvent, ServeJournal, ServeJournalError, DEFAULT_SYNC_EVERY, SERVE_JOURNAL_VERSION,
+};
+pub use governor::{
+    tenant_of, BreakerConfig, OpenDecision, TenantBreakers, TenantQuotas, TenantShedCause,
 };
 pub use pool::{
     stable_shard, PoolReply, PoolRequest, SessionFactory, SessionPool, SessionSnapshot,

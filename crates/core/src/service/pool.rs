@@ -1,9 +1,12 @@
 //! A worker pool that shards [`Session`]s across threads.
 //!
 //! `fjs serve` at `--workers N` dispatches every session to one of `N`
-//! resident worker threads chosen by a **stable hash of the session id**
-//! ([`stable_shard`]), so all requests of one session apply on one thread
-//! in submission order. Each submitted request carries a **global
+//! resident worker threads chosen by a **stable hash of the session's
+//! tenant** ([`stable_shard`] over [`tenant_of`]), so all requests of one
+//! session — and of every sibling session of its tenant — apply on one
+//! thread in submission order. Tenant co-location is what makes the
+//! governor's per-tenant quotas exact: the owning worker can sum resident
+//! jobs and admitted bytes over the whole tenant without racing anyone. Each submitted request carries a **global
 //! sequence number** assigned by the dispatcher; replies come back tagged
 //! with it, and the dispatcher merges decision-log and journal lines in
 //! sequence order — the same index-ordered merge discipline as the
@@ -30,6 +33,7 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use super::governor::{tenant_of, TenantQuotas, TenantShedCause};
 use super::session::{Decision, JobOffer, Session, SessionError, SessionVerdict};
 use crate::job::JobId;
 use crate::time::Dur;
@@ -144,6 +148,19 @@ pub enum PoolReply {
         /// Resident (pending + running) jobs at the time of the check.
         resident: usize,
     },
+    /// A per-tenant governor quota would be exceeded; shed. Exact
+    /// because the dispatcher shards sessions by tenant, so the worker
+    /// sees all of the tenant's sessions.
+    OfferTenantShed {
+        /// The tenant (sid prefix) the quota charged.
+        tenant: String,
+        /// Which quota tripped.
+        cause: TenantShedCause,
+        /// Tenant-wide usage observed at the check.
+        used: u64,
+        /// The configured limit.
+        limit: u64,
+    },
     /// The offer failed validation; nothing was mutated.
     OfferRejected {
         /// The validation error.
@@ -203,10 +220,25 @@ struct Worker {
     sessions: BTreeMap<String, Slot>,
     factory: SessionFactory,
     max_pending: usize,
+    quotas: TenantQuotas,
     report: WorkerReport,
 }
 
 impl Worker {
+    /// Tenant-wide (resident jobs, admitted payload bytes) across this
+    /// worker's open sessions of `tenant`. Exact by construction: the
+    /// dispatcher shards by tenant, so no other worker holds any of them.
+    fn tenant_usage(&self, tenant: &str) -> (usize, u64) {
+        let mut resident = 0usize;
+        let mut bytes = 0u64;
+        for (sid, slot) in &self.sessions {
+            if tenant_of(sid) == tenant {
+                resident += slot.session.num_pending() + slot.session.num_running();
+                bytes += slot.session.admitted_payload_bytes();
+            }
+        }
+        (resident, bytes)
+    }
     fn note_peaks(&mut self, sid: &str) {
         if let Some(slot) = self.sessions.get(sid) {
             self.report.peak_retained = self
@@ -248,6 +280,31 @@ impl Worker {
                 if resident >= self.max_pending {
                     return PoolReply::OfferShed { resident };
                 }
+                if self.quotas.enabled() {
+                    let tenant = tenant_of(&sid).to_string();
+                    let (t_resident, t_bytes) = self.tenant_usage(&tenant);
+                    if self.quotas.max_pending > 0 && t_resident >= self.quotas.max_pending {
+                        return PoolReply::OfferTenantShed {
+                            tenant,
+                            cause: TenantShedCause::Pending,
+                            used: t_resident as u64,
+                            limit: self.quotas.max_pending as u64,
+                        };
+                    }
+                    if self.quotas.max_bytes > 0
+                        && t_bytes + offer.canonical_bytes() > self.quotas.max_bytes
+                    {
+                        return PoolReply::OfferTenantShed {
+                            tenant,
+                            cause: TenantShedCause::Bytes,
+                            used: t_bytes,
+                            limit: self.quotas.max_bytes,
+                        };
+                    }
+                }
+                let Some(slot) = self.sessions.get_mut(&sid) else {
+                    return PoolReply::NoSession;
+                };
                 let outcome = slot.session.offer(offer);
                 if outcome.is_ok() {
                     slot.jobs += 1;
@@ -324,7 +381,14 @@ impl SessionPool {
     /// per-session resident-job cap enforced on the owning worker — the
     /// worker sees its session's exact state after all prior requests,
     /// so the shed decision is identical to a single-threaded server's.
-    pub fn new(workers: usize, max_pending: usize, factory: SessionFactory) -> SessionPool {
+    /// `quotas` are the per-tenant caps (off by default), exact under
+    /// tenant-sharded dispatch for the same reason.
+    pub fn new(
+        workers: usize,
+        max_pending: usize,
+        quotas: TenantQuotas,
+        factory: SessionFactory,
+    ) -> SessionPool {
         let workers = workers.max(1);
         let (reply_tx, rx) = mpsc::channel::<(u64, PoolReply)>();
         let mut txs = Vec::with_capacity(workers);
@@ -338,6 +402,7 @@ impl SessionPool {
                     sessions: BTreeMap::new(),
                     factory,
                     max_pending,
+                    quotas,
                     report: WorkerReport::default(),
                 };
                 while let Ok(task) = task_rx.recv() {
@@ -449,7 +514,7 @@ mod tests {
 
     #[test]
     fn pool_round_trips_a_session_lifecycle() {
-        let pool = SessionPool::new(2, 1024, factory());
+        let pool = SessionPool::new(2, 1024, TenantQuotas::off(), factory());
         let w = stable_shard("a", pool.workers());
         pool.submit(
             w,
@@ -511,7 +576,7 @@ mod tests {
 
     #[test]
     fn unknown_spec_and_missing_session_are_typed() {
-        let pool = SessionPool::new(1, 1024, factory());
+        let pool = SessionPool::new(1, 1024, TenantQuotas::off(), factory());
         pool.submit(
             0,
             0,
@@ -550,7 +615,7 @@ mod tests {
         // a non-starting scheduler; eager starts instantly, so resident
         // stays 1 — use max_pending 1 and two same-instant offers: the
         // first is running when the second arrives, so it sheds.
-        let pool = SessionPool::new(1, 1, factory());
+        let pool = SessionPool::new(1, 1, TenantQuotas::off(), factory());
         pool.submit(
             0,
             0,
@@ -591,6 +656,141 @@ mod tests {
             }
         }
         assert!(got_shed);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tenant_pending_quota_spans_sibling_sessions() {
+        // Tenant `t` owns two sessions on one worker; a 1-job tenant
+        // quota sheds the second session's offer while the first tenant's
+        // job is still resident — and leaves other tenants alone.
+        let quotas = TenantQuotas {
+            max_pending: 1,
+            max_bytes: 0,
+        };
+        let pool = SessionPool::new(1, 1024, quotas, factory());
+        for (seq, sid) in [(0u64, "t.a"), (1, "t.b"), (2, "u.a")] {
+            pool.submit(
+                0,
+                seq,
+                PoolRequest::Open {
+                    sid: sid.into(),
+                    spec: "eager".into(),
+                },
+            )
+            .unwrap();
+        }
+        pool.submit(
+            0,
+            3,
+            PoolRequest::Offer {
+                sid: "t.a".into(),
+                offer: offer(0.0, 5.0, 10.0),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            4,
+            PoolRequest::Offer {
+                sid: "t.b".into(),
+                offer: offer(0.0, 6.0, 1.0),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            5,
+            PoolRequest::Offer {
+                sid: "u.a".into(),
+                offer: offer(0.0, 6.0, 1.0),
+            },
+        )
+        .unwrap();
+        let mut replies = BTreeMap::new();
+        for _ in 0..6 {
+            let (seq, reply) = pool
+                .recv_timeout(Duration::from_secs(5))
+                .expect("pool reply");
+            replies.insert(seq, reply);
+        }
+        assert!(matches!(
+            replies.get(&3),
+            Some(PoolReply::OfferAdmitted { .. })
+        ));
+        match replies.get(&4) {
+            Some(PoolReply::OfferTenantShed {
+                tenant,
+                cause: TenantShedCause::Pending,
+                used: 1,
+                limit: 1,
+            }) => assert_eq!(tenant, "t"),
+            other => panic!("want tenant shed, got {other:?}"),
+        }
+        assert!(matches!(
+            replies.get(&5),
+            Some(PoolReply::OfferAdmitted { .. })
+        ));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn tenant_byte_quota_charges_canonical_payload_bytes() {
+        // "0,5,2" is 5 canonical bytes; a 9-byte quota admits one offer
+        // and sheds the next (5 + 5 > 9). Bytes are only released at
+        // close, so job completion does not reopen the budget.
+        let quotas = TenantQuotas {
+            max_pending: 0,
+            max_bytes: 9,
+        };
+        let pool = SessionPool::new(1, 1024, quotas, factory());
+        pool.submit(
+            0,
+            0,
+            PoolRequest::Open {
+                sid: "t.a".into(),
+                spec: "eager".into(),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            1,
+            PoolRequest::Offer {
+                sid: "t.a".into(),
+                offer: offer(0.0, 5.0, 2.0),
+            },
+        )
+        .unwrap();
+        pool.submit(
+            0,
+            2,
+            PoolRequest::Offer {
+                sid: "t.a".into(),
+                offer: offer(3.0, 8.0, 2.0),
+            },
+        )
+        .unwrap();
+        let mut replies = BTreeMap::new();
+        for _ in 0..3 {
+            let (seq, reply) = pool
+                .recv_timeout(Duration::from_secs(5))
+                .expect("pool reply");
+            replies.insert(seq, reply);
+        }
+        assert!(matches!(
+            replies.get(&1),
+            Some(PoolReply::OfferAdmitted { .. })
+        ));
+        match replies.get(&2) {
+            Some(PoolReply::OfferTenantShed {
+                tenant,
+                cause: TenantShedCause::Bytes,
+                used: 5,
+                limit: 9,
+            }) => assert_eq!(tenant, "t"),
+            other => panic!("want byte shed, got {other:?}"),
+        }
         pool.shutdown();
     }
 }

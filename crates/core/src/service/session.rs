@@ -111,6 +111,37 @@ pub struct JobOffer {
     pub length: Dur,
 }
 
+impl JobOffer {
+    /// Canonical wire size of this offer's payload: the byte length of
+    /// `"{a},{d},{l}"` rendered from the parsed values. The governor's
+    /// per-tenant byte quota charges this — not the raw client bytes — so
+    /// live admission and a journal replay (which re-parses the same
+    /// canonical floats) account identically, and padding a payload with
+    /// whitespace buys a client nothing.
+    pub fn canonical_bytes(&self) -> u64 {
+        let mut counter = ByteCounter(0);
+        use std::fmt::Write;
+        let _ = write!(
+            counter,
+            "{},{},{}",
+            self.arrival.get(),
+            self.deadline.get(),
+            self.length.get()
+        );
+        counter.0
+    }
+}
+
+/// Counts formatted bytes without allocating.
+struct ByteCounter(u64);
+
+impl fmt::Write for ByteCounter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0 += s.len() as u64;
+        Ok(())
+    }
+}
+
 /// Why an offer (or close) was refused. The session state is unchanged
 /// unless the variant is [`SessionError::Terminal`].
 #[derive(Clone, PartialEq, Debug)]
@@ -273,6 +304,7 @@ pub struct Session {
     max_events: usize,
     frontier: Time,
     peak_retained: usize,
+    admitted_bytes: u64,
 }
 
 impl fmt::Debug for Session {
@@ -305,6 +337,7 @@ impl Session {
             max_events: DEFAULT_WATCHDOG_EVENTS,
             frontier: Time::ZERO,
             peak_retained: 0,
+            admitted_bytes: 0,
         }
     }
 
@@ -365,6 +398,15 @@ impl Session {
         self.span.peak_live_segments()
     }
 
+    /// Cumulative [`JobOffer::canonical_bytes`] of every offer that got
+    /// past validation (admitted jobs *and* the offer that poisoned the
+    /// session — exactly the offers the journal records, so a replay
+    /// reproduces this figure). The tenant byte quota sums it across a
+    /// tenant's open sessions.
+    pub fn admitted_payload_bytes(&self) -> u64 {
+        self.admitted_bytes
+    }
+
     /// Terminal verdict, if the session has one.
     pub fn verdict(&self) -> Option<&SessionVerdict> {
         self.verdict.as_ref()
@@ -405,6 +447,7 @@ impl Session {
             });
         }
         self.frontier = offer.arrival;
+        self.admitted_bytes += offer.canonical_bytes();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             self.drain_before(offer.arrival, RELEASE_ORDER)?;
             self.release_offer(offer)
