@@ -8,7 +8,11 @@
 //! * [`clairvoyant`] — the adaptive Theorem 4.1 adversary (ratio → `φ`
 //!   against every deterministic clairvoyant scheduler);
 //! * [`tightness`] — the static Figure 2 / Figure 3 instances showing
-//!   Batch's `2μ` lower bound and Batch+'s `μ+1` tightness.
+//!   Batch's `2μ` lower bound and Batch+'s `μ+1` tightness;
+//! * [`uniform`] — the successor paper's uniform-jobs (`μ = 1`)
+//!   constructions: the adaptive [`UnitTrapAdversary`] (ratio 2 against
+//!   early-committing play) and static tightness staircases pinning the
+//!   `2` and `1 + λ` guarantees of the `fjs-schedulers` uniform family.
 //!
 //! Adversaries implement [`fjs_core::sim::Environment`], so any
 //! [`fjs_core::sim::OnlineScheduler`] can be thrown at them via
@@ -23,7 +27,12 @@
 pub mod clairvoyant;
 pub mod non_clairvoyant;
 pub mod tightness;
+pub mod uniform;
 
 pub use clairvoyant::{phi, CvAdversary};
 pub use non_clairvoyant::{NcAdversary, NcAdversaryParams};
 pub use tightness::{fig2_batch_tightness, fig3_batch_plus_tightness, TightnessInstance};
+pub use uniform::{
+    uniform_aligned_tightness, uniform_endfit_tightness, uniform_greedy_tightness,
+    UnitTrapAdversary,
+};

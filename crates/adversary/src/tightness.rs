@@ -26,7 +26,7 @@ pub struct TightnessInstance {
 }
 
 impl TightnessInstance {
-    fn new(instance: Instance, prescribed: Schedule) -> Self {
+    pub(crate) fn new(instance: Instance, prescribed: Schedule) -> Self {
         prescribed
             .validate(&instance)
             .expect("prescribed schedule must be feasible by construction");

@@ -1,0 +1,475 @@
+//! Lower-bound constructions for the **uniform-jobs** regime (`μ = 1`,
+//! every length equal) from the successor paper (Liu, Khuller & Tang,
+//! *Online Span Minimization for Flexible Uniform Jobs*). They are the
+//! counterparts of the guarantees carried by the `fjs-schedulers::uniform`
+//! family, normalized to unit length (`p = 1`; everything scales):
+//!
+//! * [`UnitTrapAdversary`] — an **adaptive** environment punishing early
+//!   commitment: each round releases one unit job with laxity `L ≥ 1`; the
+//!   moment the scheduler starts it at `s` with `s + 1` still inside the
+//!   window, a **rigid trap** of length 1 is released at `s + 1`. The
+//!   online player pays 2 per trapped round while the prescribed schedule
+//!   stacks the flexible job *onto* the trap's slot and pays 1 — so a
+//!   scheduler trapped every round (Eager, UnitGreedy) is forced to ratio
+//!   exactly 2. Deadline-players (Lazy, Batch+, UnitAligned, masked
+//!   Doubler) escape every trap and the adversary honestly reports a
+//!   forced ratio of 1 for them ([`UnitTrapAdversary::claimed_forced_ratio`]
+//!   is computed from the realized trap/escape outcome, never asserted a
+//!   priori); *their* cost of escaping is what the static
+//!   [`uniform_endfit_tightness`] staircase charges instead.
+//! * [`uniform_aligned_tightness`] — unit-length collapse of the seed
+//!   paper's Figure 3 staircase: `m` rigid units at even times interleaved
+//!   with `m` flexible units arriving `ε` before each rigid slot ends,
+//!   all sharing deadline `2m`. Aligned batching (UnitAligned ≡ Batch+)
+//!   starts each flexible job mid-flag and pays `m(2 − ε)` against a
+//!   prescribed `m + 1` — ratio `→ 2`, matching `μ + 1` at `μ = 1`.
+//! * [`uniform_greedy_tightness`] — `groups` batches of `g` staggered
+//!   arrivals sharing one feasible meeting point at each group's last
+//!   window. Arrival-greedy play tiles `[0, groups·g)` while the
+//!   prescribed schedule stacks each group into one slot: ratio exactly
+//!   `g = 1 + λ` (normalized laxity `λ = g − 1`), so UnitGreedy's
+//!   `(1 + λ)` guarantee is *exactly* tight at integer `λ`.
+//! * [`uniform_endfit_tightness`] — `n` unit jobs arriving together with
+//!   deadlines `0, 1, …, n − 1`. End-of-window play smears them across
+//!   `[0, n)` while the prescribed schedule runs all of them at once:
+//!   ratio exactly `n = 1 + λ`, the mirror tightness for UnitEndfit
+//!   (and the price Lazy pays for evading the trap adversary).
+//!
+//! The static constructors return [`TightnessInstance`]s (prescribed
+//! schedules validated feasible at construction); the trap adversary
+//! implements [`Environment`], so any
+//! [`fjs_core::sim::OnlineScheduler`] can be thrown at it via
+//! [`fjs_core::sim::run`], and
+//! [`UnitTrapAdversary::prescribed_schedule`] certifies the measured
+//! ratio the same way [`crate::NcAdversary`] does.
+
+use fjs_core::job::{Instance, Job, JobId};
+use fjs_core::schedule::Schedule;
+use fjs_core::sim::{Clairvoyance, Environment, JobSpec, LengthRuling, World};
+use fjs_core::time::{Dur, Time};
+
+use crate::tightness::TightnessInstance;
+
+/// One round of the trap adversary.
+#[derive(Clone, Debug)]
+struct TrapRound {
+    /// The round's flexible unit job.
+    flex: JobId,
+    /// Its starting deadline (release + laxity).
+    deadline: Time,
+    /// Where the scheduler started it, once observed.
+    start: Option<Time>,
+    /// The rigid trap job and its release instant, if this round trapped.
+    trap: Option<(JobId, Time)>,
+}
+
+/// The adaptive **unit trap** adversary (see the module docs).
+///
+/// Plays `rounds` rounds. Round `i` releases one *adaptive* unit job with
+/// laxity `L`; when the scheduler starts it at `s`, the adversary assigns
+/// length 1 and — iff `s + 1` still fits inside the job's window — releases
+/// a rigid unit trap at `s + 1`. Trapped rounds cost the online player 2
+/// and the prescribed schedule 1; escaped rounds cost both exactly 1 (the
+/// prescribed schedule copies the observed start), so the realized ratio
+/// equals [`claimed_forced_ratio`](UnitTrapAdversary::claimed_forced_ratio)
+/// `= (2t + e)/(t + e)` for `t` trapped / `e` escaped rounds — a certified
+/// lower bound on the scheduler's competitive ratio over uniform
+/// instances.
+#[derive(Clone, Debug)]
+pub struct UnitTrapAdversary {
+    rounds: usize,
+    laxity: Dur,
+    rounds_log: Vec<TrapRound>,
+    /// Whether the next release is a trap (decided in `rule_length`).
+    pending_trap: bool,
+    next_release: Option<Time>,
+}
+
+impl UnitTrapAdversary {
+    /// Creates a trap adversary playing `rounds` rounds with per-job
+    /// laxity `laxity`.
+    ///
+    /// # Panics
+    /// Panics unless `rounds ≥ 1` and `laxity ≥ 1` (with less than one
+    /// unit of slack no trap can ever fit and the game is vacuous).
+    pub fn new(rounds: usize, laxity: f64) -> Self {
+        assert!(rounds >= 1, "need at least one round");
+        assert!(
+            laxity >= 1.0,
+            "need laxity ≥ 1 for a trap to fit, got {laxity}"
+        );
+        UnitTrapAdversary {
+            rounds,
+            laxity: Dur::new(laxity),
+            rounds_log: Vec::new(),
+            pending_trap: false,
+            next_release: Some(Time::ZERO),
+        }
+    }
+
+    /// Number of rounds the adversary was configured to play.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Number of rounds actually played (released) so far.
+    pub fn rounds_played(&self) -> usize {
+        self.rounds_log.len()
+    }
+
+    /// Rounds in which the scheduler committed early and was trapped.
+    pub fn trapped(&self) -> usize {
+        self.rounds_log.iter().filter(|r| r.trap.is_some()).count()
+    }
+
+    /// Rounds in which the scheduler started at (or past `window − 1`
+    /// before) its deadline and escaped.
+    pub fn escaped(&self) -> usize {
+        self.rounds_log
+            .iter()
+            .filter(|r| r.start.is_some() && r.trap.is_none())
+            .count()
+    }
+
+    /// The ratio this play certifiably forced: `(2t + e)/(t + e)` over the
+    /// completed rounds (1.0 if none completed). The online span is exactly
+    /// `2t + e` and the prescribed span exactly `t + e`, so the realized
+    /// ratio *equals* this claim — tests assert the equality bit-exactly.
+    pub fn claimed_forced_ratio(&self) -> f64 {
+        let t = self.trapped() as f64;
+        let e = self.escaped() as f64;
+        if t + e == 0.0 {
+            1.0
+        } else {
+            (2.0 * t + e) / (t + e)
+        }
+    }
+
+    /// The adversary's counter-schedule for the materialized instance:
+    /// trapped rounds stack the flexible job onto the trap's slot (one unit
+    /// of busy time instead of the online player's two); escaped rounds
+    /// copy the scheduler's own start.
+    ///
+    /// # Panics
+    /// Panics if called before the run finished (a round without an
+    /// observed start).
+    pub fn prescribed_schedule(&self, instance: &Instance) -> Schedule {
+        let mut schedule = Schedule::with_len(instance.len());
+        for round in &self.rounds_log {
+            match round.trap {
+                Some((trap_id, trap_at)) => {
+                    // `trap_at = s + 1 ≤ deadline`, so the flexible job may
+                    // legally start together with the rigid trap.
+                    schedule.set_start(round.flex, trap_at);
+                    schedule.set_start(trap_id, trap_at);
+                }
+                None => {
+                    let start = round.start.expect("round not completed");
+                    schedule.set_start(round.flex, start);
+                }
+            }
+        }
+        schedule
+    }
+}
+
+impl Environment for UnitTrapAdversary {
+    fn clairvoyance(&self) -> Clairvoyance {
+        Clairvoyance::NonClairvoyant
+    }
+
+    fn next_release_time(&mut self, _world: &World) -> Option<Time> {
+        self.next_release
+    }
+
+    fn release_at(&mut self, now: Time, world: &World) -> Vec<JobSpec> {
+        debug_assert_eq!(Some(now), self.next_release);
+        if self.pending_trap {
+            // The trap: rigid (deadline = arrival), unit length, dropped
+            // exactly one unit after the flexible job's observed start.
+            self.pending_trap = false;
+            let trap_id = JobId(world.num_jobs() as u32);
+            let round = self
+                .rounds_log
+                .last_mut()
+                .expect("trap follows a flexible round");
+            round.trap = Some((trap_id, now));
+            self.next_release = (self.rounds_log.len() < self.rounds).then(|| now + Dur::new(2.0));
+            vec![JobSpec::fixed(now, Dur::new(1.0))]
+        } else {
+            let flex = JobId(world.num_jobs() as u32);
+            self.rounds_log.push(TrapRound {
+                flex,
+                deadline: now + self.laxity,
+                start: None,
+                trap: None,
+            });
+            // The next move depends on where the scheduler starts this job;
+            // decided in `rule_length`.
+            self.next_release = None;
+            vec![JobSpec::adaptive(now + self.laxity)]
+        }
+    }
+
+    fn rule_length(
+        &mut self,
+        id: JobId,
+        started_at: Time,
+        _now: Time,
+        _world: &World,
+    ) -> LengthRuling {
+        let rounds = self.rounds;
+        let round = self
+            .rounds_log
+            .iter_mut()
+            .rev()
+            .find(|r| r.flex == id)
+            .expect("ruling on a job we released");
+        if round.start.is_none() {
+            round.start = Some(started_at);
+            let trap_at = started_at + Dur::new(1.0);
+            if trap_at <= round.deadline {
+                // Early commitment: spring the trap at the job's completion.
+                self.pending_trap = true;
+                self.next_release = Some(trap_at);
+            } else {
+                // Escaped (started within one unit of the deadline). Next
+                // round starts one unit after this round's busy slot ends.
+                self.next_release =
+                    (self.rounds_log.len() < rounds).then(|| started_at + Dur::new(2.0));
+            }
+        }
+        LengthRuling::Assign(Dur::new(1.0))
+    }
+}
+
+/// The unit-length collapse of the seed paper's Figure 3 staircase,
+/// driving **aligned batching** (UnitAligned ≡ Batch+) to ratio `→ 2`.
+///
+/// Round `i ∈ 0..m` releases a rigid unit job at `2i` and a flexible unit
+/// job at `2i + 1 − ε`; every flexible job shares the starting deadline
+/// `2m`. Aligned batching flags each rigid job at its arrival and — the
+/// door being open while the flag runs — starts the flexible job the
+/// moment it arrives, paying `2 − ε` per round (span `m(2 − ε)`). The
+/// prescribed schedule runs rigids at arrival and stacks every flexible
+/// job at the common deadline: span `m + 1`, hence ratio
+/// `m(2 − ε)/(m + 1) → 2`.
+///
+/// # Panics
+/// Panics unless `m ≥ 1` and `0 < ε < 1`.
+pub fn uniform_aligned_tightness(m: usize, eps: f64) -> TightnessInstance {
+    assert!(m >= 1, "need at least one round");
+    assert!(eps > 0.0 && eps < 1.0, "need 0 < ε < 1, got {eps}");
+
+    let common_deadline = 2.0 * m as f64;
+    let mut jobs = Vec::with_capacity(2 * m);
+    for i in 0..m {
+        let a = 2.0 * i as f64;
+        jobs.push(Job::adp(a, a, 1.0)); // rigid
+        jobs.push(Job::adp(a + 1.0 - eps, common_deadline, 1.0)); // flexible
+    }
+    let instance = Instance::new(jobs);
+
+    let mut prescribed = Schedule::with_len(instance.len());
+    for (id, job) in instance.iter() {
+        if job.laxity() == Dur::ZERO {
+            prescribed.set_start(id, job.arrival());
+        } else {
+            prescribed.set_start(id, Time::new(common_deadline));
+        }
+    }
+    TightnessInstance::new(instance, prescribed)
+}
+
+/// Grouped staggered arrivals forcing **arrival-greedy** play (UnitGreedy,
+/// Eager) to ratio exactly `g = 1 + λ` — the `(1 + λ)` guarantee is tight.
+///
+/// Job `k ∈ 0..groups·g` arrives at `k` with starting deadline
+/// `(⌊k/g⌋ + 1)·g − 1`: each group of `g` consecutive arrivals shares one
+/// feasible meeting point at its last member's (rigid) window. Greedy play
+/// tiles `[0, groups·g)` (span `groups·g`); the prescribed schedule stacks
+/// each group at its meeting point (span `groups`). Normalized laxity is
+/// `λ = g − 1`, so the ratio is exactly `g = 1 + λ`. UnitEndfit plays this
+/// instance *optimally* (every deadline is a meeting point) — the two
+/// `(1 + λ)` algorithms have disjoint worst cases.
+///
+/// # Panics
+/// Panics unless `groups ≥ 1` and `g ≥ 1`.
+pub fn uniform_greedy_tightness(groups: usize, g: usize) -> TightnessInstance {
+    assert!(groups >= 1, "need at least one group");
+    assert!(g >= 1, "need at least one job per group");
+
+    let n = groups * g;
+    let mut jobs = Vec::with_capacity(n);
+    for k in 0..n {
+        let deadline = ((k / g + 1) * g - 1) as f64;
+        jobs.push(Job::adp(k as f64, deadline, 1.0));
+    }
+    let instance = Instance::new(jobs);
+
+    let mut prescribed = Schedule::with_len(instance.len());
+    for (id, job) in instance.iter() {
+        prescribed.set_start(id, job.deadline()); // the group meeting point
+    }
+    TightnessInstance::new(instance, prescribed)
+}
+
+/// A common-arrival deadline staircase forcing **end-of-window** play
+/// (UnitEndfit, Lazy) to ratio exactly `n = 1 + λ`.
+///
+/// All `n` unit jobs arrive at 0; job `i` has starting deadline `i`.
+/// End-of-window play smears them across `[0, n)` (span `n`); the
+/// prescribed schedule runs all of them concurrently at 0 (span 1).
+/// Normalized laxity is `λ = n − 1`, so the ratio is exactly `1 + λ` —
+/// and this is precisely the price Lazy-style players pay for escaping
+/// the [`UnitTrapAdversary`]. UnitGreedy plays this instance optimally.
+///
+/// # Panics
+/// Panics unless `n ≥ 1`.
+pub fn uniform_endfit_tightness(n: usize) -> TightnessInstance {
+    assert!(n >= 1, "need at least one job");
+
+    let jobs: Vec<Job> = (0..n).map(|i| Job::adp(0.0, i as f64, 1.0)).collect();
+    let instance = Instance::new(jobs);
+
+    let mut prescribed = Schedule::with_len(instance.len());
+    for (id, _job) in instance.iter() {
+        prescribed.set_start(id, Time::ZERO);
+    }
+    TightnessInstance::new(instance, prescribed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fjs_core::prelude::*;
+    use fjs_core::sim::run;
+    use fjs_schedulers::{BatchPlus, Eager, Lazy, UnitAligned, UnitEndfit, UnitGreedy};
+
+    #[test]
+    fn trap_forces_ratio_two_against_arrival_greedy_play() {
+        for sched in [
+            Box::new(Eager) as Box<dyn OnlineScheduler>,
+            Box::new(UnitGreedy),
+        ] {
+            let mut adv = UnitTrapAdversary::new(4, 3.0);
+            let out = run(&mut adv, sched);
+            assert!(out.is_feasible());
+            assert_eq!(out.instance.uniform_length(), Some(dur(1.0)));
+            assert_eq!((adv.trapped(), adv.escaped()), (4, 0));
+            assert_eq!(out.span, dur(8.0)); // 2 per trapped round
+
+            let presc = adv.prescribed_schedule(&out.instance);
+            assert!(presc.validate(&out.instance).is_ok());
+            assert_eq!(presc.span(&out.instance), dur(4.0));
+            let ratio = out.span.ratio(presc.span(&out.instance));
+            assert_eq!(ratio, 2.0);
+            assert_eq!(ratio, adv.claimed_forced_ratio());
+        }
+    }
+
+    #[test]
+    fn trap_lets_deadline_players_escape_honestly() {
+        // Deadline-players never leave a unit of slack behind a start, so
+        // no trap fits; the adversary's claim degrades to 1 (honest).
+        for sched in [
+            Box::new(Lazy) as Box<dyn OnlineScheduler>,
+            Box::new(UnitEndfit),
+            Box::new(BatchPlus::new()),
+            Box::new(UnitAligned::new()),
+        ] {
+            let mut adv = UnitTrapAdversary::new(4, 3.0);
+            let out = run(&mut adv, sched);
+            assert!(out.is_feasible());
+            assert_eq!((adv.trapped(), adv.escaped()), (0, 4));
+            let presc = adv.prescribed_schedule(&out.instance);
+            assert!(presc.validate(&out.instance).is_ok());
+            let ratio = out.span.ratio(presc.span(&out.instance));
+            assert_eq!(ratio, 1.0);
+            assert_eq!(adv.claimed_forced_ratio(), 1.0);
+        }
+    }
+
+    #[test]
+    fn trap_rounds_are_isolated_in_time() {
+        // The certified accounting relies on rounds never touching: online
+        // busy time is exactly 2t + e and prescribed exactly t + e.
+        let mut adv = UnitTrapAdversary::new(7, 2.0);
+        let out = run(&mut adv, Eager);
+        assert_eq!(adv.rounds_played(), 7);
+        assert_eq!(out.span, dur(2.0 * 7.0));
+        assert_eq!(
+            adv.prescribed_schedule(&out.instance).span(&out.instance),
+            dur(7.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "laxity ≥ 1")]
+    fn trap_rejects_subunit_laxity() {
+        let _ = UnitTrapAdversary::new(3, 0.5);
+    }
+
+    #[test]
+    fn aligned_tightness_approaches_two() {
+        let m = 8;
+        let eps = 1e-3;
+        let t = uniform_aligned_tightness(m, eps);
+        assert_eq!(t.instance.uniform_length(), Some(dur(1.0)));
+        assert_eq!(t.prescribed_span, dur(m as f64 + 1.0));
+        for sched in [
+            Box::new(UnitAligned::new()) as Box<dyn OnlineScheduler>,
+            Box::new(BatchPlus::new()),
+        ] {
+            let out = run_static(&t.instance, Clairvoyance::NonClairvoyant, sched);
+            assert!(out.is_feasible());
+            // Span m(2 − ε), ratio m(2 − ε)/(m + 1) → 2.
+            assert!((out.span.get() - m as f64 * (2.0 - eps)).abs() < 1e-9);
+            let ratio = out.span.ratio(t.prescribed_span);
+            assert!(
+                ratio > 1.77,
+                "m = {m} should already force > 1.77, got {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_tightness_is_exactly_one_plus_lambda() {
+        let (groups, g) = (3, 4);
+        let t = uniform_greedy_tightness(groups, g);
+        assert_eq!(t.instance.uniform_laxity_ratio(), Some((g - 1) as f64));
+        assert_eq!(t.prescribed_span, dur(groups as f64));
+        for sched in [
+            Box::new(Eager) as Box<dyn OnlineScheduler>,
+            Box::new(UnitGreedy),
+        ] {
+            let out = run_static(&t.instance, Clairvoyance::NonClairvoyant, sched);
+            assert!(out.is_feasible());
+            assert_eq!(out.span, dur((groups * g) as f64));
+            assert_eq!(out.span.ratio(t.prescribed_span), g as f64); // = 1 + λ
+        }
+        // The mirror algorithm plays it optimally.
+        let out = run_static(&t.instance, Clairvoyance::NonClairvoyant, UnitEndfit);
+        assert_eq!(out.span.ratio(t.prescribed_span), 1.0);
+    }
+
+    #[test]
+    fn endfit_tightness_is_exactly_one_plus_lambda() {
+        let n = 6;
+        let t = uniform_endfit_tightness(n);
+        assert_eq!(t.instance.uniform_laxity_ratio(), Some((n - 1) as f64));
+        assert_eq!(t.prescribed_span, dur(1.0));
+        for sched in [
+            Box::new(Lazy) as Box<dyn OnlineScheduler>,
+            Box::new(UnitEndfit),
+        ] {
+            let out = run_static(&t.instance, Clairvoyance::NonClairvoyant, sched);
+            assert!(out.is_feasible());
+            assert_eq!(out.span, dur(n as f64));
+            assert_eq!(out.span.ratio(t.prescribed_span), n as f64); // = 1 + λ
+        }
+        // The mirror algorithm plays it optimally.
+        let out = run_static(&t.instance, Clairvoyance::NonClairvoyant, UnitGreedy);
+        assert_eq!(out.span.ratio(t.prescribed_span), 1.0);
+    }
+}

@@ -1,0 +1,313 @@
+//! **E15 — the uniform-jobs frontier (unit lengths, μ = 1).** Sweeps the
+//! uniform-family tightness constructions and the adaptive unit trap:
+//!
+//! * `uniform_aligned_tightness(m, ε)` — UnitAligned / Batch+ pay
+//!   `m(2−ε)` against prescribed `m+1`, so the ratio approaches the
+//!   uniform bound **2** from below as `m` grows;
+//! * `uniform_greedy_tightness(groups, g)` — UnitGreedy / Eager realize
+//!   **exactly** `g = 1+λ` while UnitEndfit is optimal on the instance;
+//! * `uniform_endfit_tightness(n)` — UnitEndfit / Lazy realize exactly
+//!   `n = 1+λ` while UnitGreedy is optimal — the two one-sided bounds
+//!   are incomparable;
+//! * [`UnitTrapAdversary`] — the adaptive lower bound: forces exactly 2
+//!   against arrival-greedy play (Eager, UnitGreedy) and certifies an
+//!   honest ratio 1 against deadline players, per its outcome-dependent
+//!   [`UnitTrapAdversary::claimed_forced_ratio`].
+//!
+//! Expected shape: every measured ratio meets its claimed value exactly
+//! (the constructions are integral, so the arithmetic is bit-stable up to
+//! the ε accumulation in the aligned family) and never exceeds the proved
+//! uniform upper bounds.
+
+use super::Profile;
+use fjs_adversary::{
+    uniform_aligned_tightness, uniform_endfit_tightness, uniform_greedy_tightness,
+    UnitTrapAdversary,
+};
+use fjs_analysis::{convergence_limit, f3, parallel_map, Table};
+use fjs_core::sim::{run as simulate, run_static, Clairvoyance};
+use fjs_schedulers::SchedulerKind;
+
+/// One static tightness measurement: a construction played against the
+/// scheduler it fools and a contrast scheduler it does not.
+pub struct TightResult {
+    /// Construction label.
+    pub construction: &'static str,
+    /// Size parameter (`m`, `groups·g`, or `n`).
+    pub size: usize,
+    /// Scheduler the construction targets.
+    pub victim: String,
+    /// Victim span.
+    pub victim_span: f64,
+    /// Contrast scheduler (should be near-optimal here).
+    pub contrast: String,
+    /// Contrast span.
+    pub contrast_span: f64,
+    /// Prescribed schedule span (≥ OPT).
+    pub prescribed_span: f64,
+    /// Victim ratio against the prescribed schedule.
+    pub ratio: f64,
+    /// The ratio the construction claims to force in the limit.
+    pub claimed: f64,
+}
+
+fn tight_measure(
+    construction: &'static str,
+    size: usize,
+    instance: fjs_core::job::Instance,
+    prescribed_span: f64,
+    victim: SchedulerKind,
+    contrast: SchedulerKind,
+    claimed: f64,
+) -> TightResult {
+    let v = run_static(&instance, Clairvoyance::NonClairvoyant, victim.build());
+    let c = run_static(&instance, Clairvoyance::NonClairvoyant, contrast.build());
+    assert!(v.is_feasible() && c.is_feasible());
+    TightResult {
+        construction,
+        size,
+        victim: victim.label(),
+        victim_span: v.span.get(),
+        contrast: contrast.label(),
+        contrast_span: c.span.get(),
+        prescribed_span,
+        ratio: v.span.get() / prescribed_span,
+        claimed,
+    }
+}
+
+/// UnitAligned on the aligned tightness family (ratio → 2).
+pub fn measure_aligned(m: usize, eps: f64) -> TightResult {
+    let t = uniform_aligned_tightness(m, eps);
+    tight_measure(
+        "aligned(m)",
+        m,
+        t.instance,
+        t.prescribed_span.get(),
+        SchedulerKind::UnitAligned,
+        SchedulerKind::UnitGreedy,
+        2.0,
+    )
+}
+
+/// UnitGreedy on the greedy tightness family (ratio exactly `g = 1+λ`).
+pub fn measure_greedy(groups: usize, g: usize) -> TightResult {
+    let t = uniform_greedy_tightness(groups, g);
+    tight_measure(
+        "greedy(g)",
+        g,
+        t.instance,
+        t.prescribed_span.get(),
+        SchedulerKind::UnitGreedy,
+        SchedulerKind::UnitEndfit,
+        g as f64,
+    )
+}
+
+/// UnitEndfit on the endfit tightness family (ratio exactly `n = 1+λ`).
+pub fn measure_endfit(n: usize) -> TightResult {
+    let t = uniform_endfit_tightness(n);
+    tight_measure(
+        "endfit(n)",
+        n,
+        t.instance,
+        t.prescribed_span.get(),
+        SchedulerKind::UnitEndfit,
+        SchedulerKind::UnitGreedy,
+        n as f64,
+    )
+}
+
+/// One adaptive trap duel.
+pub struct TrapResult {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Rounds requested.
+    pub rounds: usize,
+    /// Rounds on which the scheduler was trapped.
+    pub trapped: usize,
+    /// Rounds on which it escaped.
+    pub escaped: usize,
+    /// Online span.
+    pub online_span: f64,
+    /// Prescribed counter-schedule span (≥ OPT).
+    pub prescribed_span: f64,
+    /// Certified ratio lower bound.
+    pub ratio: f64,
+    /// The adversary's own outcome-dependent claim `(2t+e)/(t+e)`.
+    pub claimed: f64,
+}
+
+/// Runs one non-clairvoyant scheduler against the unit trap.
+pub fn trap_duel(kind: SchedulerKind, rounds: usize, laxity: f64) -> TrapResult {
+    assert!(
+        !kind.requires_clairvoyance(),
+        "the unit trap rules lengths adaptively and only admits \
+         non-clairvoyant schedulers"
+    );
+    let mut adv = UnitTrapAdversary::new(rounds, laxity);
+    let out = simulate(&mut adv, kind.build());
+    assert!(out.is_feasible(), "{} violated feasibility", kind.label());
+    let prescribed = adv.prescribed_schedule(&out.instance);
+    prescribed
+        .validate(&out.instance)
+        .expect("prescribed schedule feasible");
+    let prescribed_span = prescribed.span(&out.instance).get();
+    TrapResult {
+        scheduler: kind.label(),
+        rounds,
+        trapped: adv.trapped(),
+        escaped: adv.escaped(),
+        online_span: out.span.get(),
+        prescribed_span,
+        ratio: out.span.get() / prescribed_span,
+        claimed: adv.claimed_forced_ratio(),
+    }
+}
+
+/// Experiment runner.
+pub fn run(profile: Profile) -> Vec<Table> {
+    let eps = 1e-3;
+    let ms: &[usize] = profile.pick(&[1, 8, 64][..], &[1, 2, 4, 8, 16, 32, 64, 128, 256][..]);
+    let gs: &[usize] = profile.pick(&[2, 5][..], &[2, 3, 5, 8, 13][..]);
+    let ns: &[usize] = profile.pick(&[2, 6][..], &[2, 4, 8, 16, 32][..]);
+
+    let aligned = parallel_map(ms, |&m| measure_aligned(m, eps));
+    let greedy = parallel_map(gs, |&g| measure_greedy(profile.pick(3, 8), g));
+    let endfit = parallel_map(ns, |&n| measure_endfit(n));
+
+    let mut t = Table::new(
+        "E15 (uniform μ=1): tightness constructions vs their victims",
+        &[
+            "construction",
+            "size",
+            "victim",
+            "victim span",
+            "contrast",
+            "contrast span",
+            "prescribed span",
+            "ratio",
+            "claimed",
+        ],
+    );
+    for r in aligned.iter().chain(&greedy).chain(&endfit) {
+        t.push_row(vec![
+            r.construction.to_string(),
+            format!("{}", r.size),
+            r.victim.clone(),
+            f3(r.victim_span),
+            r.contrast.clone(),
+            f3(r.contrast_span),
+            f3(r.prescribed_span),
+            f3(r.ratio),
+            f3(r.claimed),
+        ]);
+    }
+
+    // Extrapolate the aligned family's m → ∞ limit (should hit 2).
+    let mut conv = Table::new(
+        "E15 convergence: aligned family's m→∞ ratio vs the uniform bound 2",
+        &["estimated limit", "bound", "fit r²"],
+    );
+    let (ms_f, ratios): (Vec<f64>, Vec<f64>) = aligned
+        .iter()
+        .filter(|r| r.size >= 4)
+        .map(|r| (r.size as f64, r.ratio))
+        .unzip();
+    if ms_f.len() >= 2 {
+        let fit = convergence_limit(&ms_f, &ratios);
+        conv.push_row(vec![f3(fit.a), f3(2.0), f3(fit.r2)]);
+    }
+
+    let rounds = profile.pick(8, 64);
+    let kinds = [
+        SchedulerKind::Eager,
+        SchedulerKind::UnitGreedy,
+        SchedulerKind::Lazy,
+        SchedulerKind::UnitEndfit,
+        SchedulerKind::BatchPlus,
+        SchedulerKind::UnitAligned,
+    ];
+    let duels = parallel_map(&kinds, |&kind| trap_duel(kind, rounds, 1.0));
+
+    let mut trap = Table::new(
+        "E15 trap: adaptive unit adversary (traps arrival-greedy play at 2)",
+        &[
+            "scheduler",
+            "rounds",
+            "trapped",
+            "escaped",
+            "online span",
+            "prescribed span",
+            "ratio (cert. LB)",
+            "claimed (2t+e)/(t+e)",
+        ],
+    );
+    for r in &duels {
+        trap.push_row(vec![
+            r.scheduler.clone(),
+            format!("{}", r.rounds),
+            format!("{}", r.trapped),
+            format!("{}", r.escaped),
+            f3(r.online_span),
+            f3(r.prescribed_span),
+            f3(r.ratio),
+            f3(r.claimed),
+        ]);
+    }
+
+    vec![t, conv, trap]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligned_ratio_approaches_two_never_exceeding() {
+        let mut prev = 0.0;
+        for m in [1, 4, 16, 64] {
+            let r = measure_aligned(m, 1e-3);
+            assert!(r.ratio > prev);
+            assert!(r.ratio <= 2.0 + 1e-9, "uniform upper bound");
+            prev = r.ratio;
+        }
+        assert!(prev > 2.0 * 0.97, "m=64 within 3% of 2, got {prev}");
+    }
+
+    #[test]
+    fn greedy_and_endfit_hit_one_plus_lambda_exactly() {
+        let g = measure_greedy(3, 5);
+        assert_eq!(g.ratio, 5.0);
+        assert_eq!(g.contrast_span, g.prescribed_span, "endfit optimal here");
+        let e = measure_endfit(6);
+        assert_eq!(e.ratio, 6.0);
+        assert_eq!(e.contrast_span, e.prescribed_span, "greedy optimal here");
+    }
+
+    #[test]
+    fn trap_forces_two_on_greedy_and_certifies_one_on_endfit() {
+        let g = trap_duel(SchedulerKind::UnitGreedy, 6, 1.0);
+        assert_eq!(g.trapped, 6);
+        assert_eq!(g.ratio, 2.0);
+        assert_eq!(g.ratio, g.claimed);
+        let e = trap_duel(SchedulerKind::UnitEndfit, 6, 1.0);
+        assert_eq!(e.escaped, 6);
+        assert_eq!(e.ratio, 1.0);
+        assert_eq!(e.ratio, e.claimed);
+    }
+
+    #[test]
+    fn quick_profile_renders() {
+        let tables = run(Profile::Quick);
+        assert_eq!(tables.len(), 3);
+        assert!(tables[0].rows.len() >= 7);
+        assert_eq!(tables[2].rows.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-clairvoyant")]
+    fn clairvoyant_schedulers_rejected() {
+        let _ = trap_duel(SchedulerKind::profit_optimal(), 2, 1.0);
+    }
+}

@@ -21,6 +21,7 @@ pub mod e11_ablations;
 pub mod e12_busy_time;
 pub mod e13_extensions;
 pub mod e14_information;
+pub mod e15_uniform;
 
 /// Effort level of an experiment run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -124,6 +125,11 @@ pub fn all() -> Vec<Experiment> {
             title: "Extension: the information ladder (none / class-only / full clairvoyance)",
             run: e14_information::run,
         },
+        Experiment {
+            id: "e15",
+            title: "Uniform jobs (μ=1): tightness constructions and the adaptive unit trap",
+            run: e15_uniform::run,
+        },
     ]
 }
 
@@ -137,13 +143,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_fourteen_unique_ids() {
+    fn registry_has_fifteen_unique_ids() {
         let exps = all();
-        assert_eq!(exps.len(), 14);
+        assert_eq!(exps.len(), 15);
         let mut ids: Vec<_> = exps.iter().map(|e| e.id).collect();
         ids.sort();
         ids.dedup();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
     }
 
     #[test]

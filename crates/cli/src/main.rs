@@ -15,6 +15,7 @@
 //! fjs stats all --log-jsonl runs.jsonl   # counters for all, logged as JSONL
 //! fjs bench-diff old.json new.json       # compare two BENCH_results.json
 //! fjs conform all          # property-based conformance: every scheduler × oracle
+//! fjs conform uniform      # the uniform-jobs family on the unit-length deck
 //! fjs conform batch+ --cases 256 --seed 7    # one scheduler, deeper run
 //! fjs conform chaos        # harness self-test: must fail and shrink
 //! fjs conform all --journal c.jsonl          # checkpoint every finished cell
@@ -47,7 +48,7 @@ impl CliError {
     }
 }
 
-const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
+const USAGE: &str = "usage: fjs <list | all | e1..e15> [--full] [--csv <dir>]\n\
  \u{20}      fjs gantt [scheduler] [seed]\n\
  \u{20}      fjs trace <file.csv>\n\
  \u{20}      fjs audit <batch|batch+|profit> [seed]\n\
@@ -55,8 +56,9 @@ const USAGE: &str = "usage: fjs <list | all | e1..e14> [--full] [--csv <dir>]\n\
  \u{20}      fjs stats <scheduler|all> [--n <jobs>] [--seed <s>] [--log-jsonl <file>]\n\
  \u{20}      fjs bench [--json <file>] [--quick]\n\
  \u{20}      fjs bench-diff <old.json> <new.json> [--threshold <frac> | --max-regress <pct>]\n\
- \u{20}      fjs conform <scheduler|all|chaos> [--cases <n>] [--seed <s>] [--quick] [--corpus <dir>]\n\
- \u{20}                  [--journal <file>] [--resume] [--watchdog-events <n>] [--shards <n>]\n\
+ \u{20}      fjs conform <scheduler|all|uniform|chaos> [--cases <n>] [--seed <s>] [--quick]\n\
+ \u{20}                  [--deck main|uniform] [--corpus <dir>] [--journal <file>] [--resume]\n\
+ \u{20}                  [--watchdog-events <n>] [--shards <n>]\n\
  \u{20}      fjs soak <scheduler|all|chaos> --journal <file> [--cells <n>] [--seed <s>]\n\
  \u{20}               [--seconds <s> | --minutes <m>] [--resume] [--watchdog-events <n>]\n\
  \u{20}               [--poison panic|hang] [--trace <file.csv>] [--throttle-ms <n>] [--shards <n>]\n\
@@ -658,8 +660,8 @@ fn cmd_bench_diff(args: &[String]) -> Result<(), CliError> {
 fn cmd_conform(args: &[String]) -> Result<(), CliError> {
     use fjs_core::supervise::Journal;
     use fjs_testkit::{
-        all_targets, row, run_conformance_with, save_entry, set_watchdog_events, ConformConfig,
-        ConformHooks, CorpusEntry, Expectation, Failure, Target,
+        all_targets, row, run_conformance_with, save_entry, set_watchdog_events, uniform_targets,
+        ConformConfig, ConformHooks, CorpusEntry, DeckKind, Expectation, Failure, Target,
     };
     use std::sync::Mutex;
 
@@ -677,8 +679,8 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
         None => ConformConfig::default().base_seed,
     };
     let quick = take_switch(&mut args, "--quick");
-    let corpus_dir =
-        take_flag_value(&mut args, "--corpus")?.unwrap_or_else(|| "tests/corpus".into());
+    let corpus_flag = take_flag_value(&mut args, "--corpus")?;
+    let deck_flag = take_flag_value(&mut args, "--deck")?;
     if let Some(v) = take_flag_value(&mut args, "--watchdog-events")? {
         let n: usize = v.parse().map_err(|_| {
             CliError::Usage(Some(format!(
@@ -702,19 +704,40 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
     }
 
     let which = args.first().map(String::as_str).unwrap_or("all");
-    let targets: Vec<Target> = match which {
-        "all" => all_targets(),
-        "chaos" => vec![Target::default_chaos()],
-        name => vec![Target::from_name(name).ok_or_else(|| {
-            CliError::Usage(Some(format!(
-                "unknown conformance target '{name}' (a scheduler short name, 'all', \
-                 'chaos', or 'chaos:<mode>:<scheduler>')"
-            )))
-        })?],
+    let (targets, default_deck): (Vec<Target>, DeckKind) = match which {
+        "all" => (all_targets(), DeckKind::Main),
+        "uniform" => (uniform_targets(), DeckKind::Uniform),
+        "chaos" => (vec![Target::default_chaos()], DeckKind::Main),
+        name => (
+            vec![Target::from_name(name).ok_or_else(|| {
+                CliError::Usage(Some(format!(
+                    "unknown conformance target '{name}' (a scheduler short name, 'all', \
+                     'uniform', 'chaos', or 'chaos:<mode>:<scheduler>')"
+                )))
+            })?],
+            DeckKind::Main,
+        ),
     };
+    let deck = match deck_flag.as_deref() {
+        None => default_deck,
+        Some("main") => DeckKind::Main,
+        Some("uniform") => DeckKind::Uniform,
+        Some(v) => {
+            return Err(CliError::Usage(Some(format!(
+                "--deck: '{v}' is not a deck ('main' or 'uniform')"
+            ))))
+        }
+    };
+    // Uniform-deck counterexamples live in their own corpus directory so
+    // the replay suites stay per-family.
+    let corpus_dir = corpus_flag.unwrap_or_else(|| match deck {
+        DeckKind::Main => "tests/corpus".into(),
+        DeckKind::Uniform => "tests/corpus/uniform".into(),
+    });
 
     let config = ConformConfig {
         cases,
+        deck,
         base_seed,
         quick,
         shards,
@@ -758,11 +781,12 @@ fn cmd_conform(args: &[String]) -> Result<(), CliError> {
     let report = run_conformance_with(&targets, &config, hooks);
     println!(
         "conformance: {} case(s) × {} target(s) = {} oracle checks \
-         ({} mode, base seed {base_seed})\n",
+         ({} mode, {} deck, base seed {base_seed})\n",
         report.cases,
         targets.len(),
         report.checks,
         if quick { "quick" } else { "full" },
+        deck.name(),
     );
     if report.skipped > 0 {
         println!(

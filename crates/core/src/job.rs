@@ -378,6 +378,40 @@ impl Instance {
         self.jobs.iter().map(|j| j.length()).min()
     }
 
+    /// The common processing length of a **uniform** instance (all jobs the
+    /// same length), or `None` for an empty or mixed-length instance. This
+    /// is the regime of the uniform-jobs successor paper (Liu, Khuller &
+    /// Tang), where `μ = 1` and every length-dependent bound of the seed
+    /// paper degenerates.
+    pub fn uniform_length(&self) -> Option<Dur> {
+        let first = self.jobs.first()?.length();
+        self.jobs
+            .iter()
+            .all(|j| j.length() == first)
+            .then_some(first)
+    }
+
+    /// Whether every job has the same processing length (nonempty).
+    pub fn is_uniform(&self) -> bool {
+        self.uniform_length().is_some()
+    }
+
+    /// Maximum laxity `max_J d(J) − a(J)` over the instance.
+    pub fn max_laxity(&self) -> Option<Dur> {
+        self.jobs.iter().map(|j| j.laxity()).max()
+    }
+
+    /// The **normalized laxity** `λ = max_J laxity(J) / p` of a uniform
+    /// instance: how many job lengths the most flexible job may be delayed.
+    /// `None` when the instance is empty or mixed-length. Scale-invariant
+    /// (both numerator and denominator scale together), which is what makes
+    /// the uniform family's `1 + λ` guarantees survive the scaling
+    /// metamorphic oracle.
+    pub fn uniform_laxity_ratio(&self) -> Option<f64> {
+        let p = self.uniform_length()?;
+        self.max_laxity()?.checked_ratio(p)
+    }
+
     /// Earliest arrival.
     pub fn first_arrival(&self) -> Option<Time> {
         self.jobs.iter().map(|j| j.arrival()).min()
@@ -543,6 +577,29 @@ mod tests {
         assert_eq!(inst.first_arrival(), Some(t(0.0)));
         assert_eq!(inst.horizon(), Some(t(9.0)));
         assert_eq!(inst[JobId(1)].length(), dur(4.0));
+    }
+
+    #[test]
+    fn uniform_helpers() {
+        let uniform = Instance::new(vec![
+            Job::adp(0.0, 0.0, 2.0),
+            Job::adp(1.0, 7.0, 2.0),
+            Job::adp(3.0, 5.0, 2.0),
+        ]);
+        assert!(uniform.is_uniform());
+        assert_eq!(uniform.uniform_length(), Some(dur(2.0)));
+        assert_eq!(uniform.max_laxity(), Some(dur(6.0)));
+        // λ = 6 / 2.
+        assert_eq!(uniform.uniform_laxity_ratio(), Some(3.0));
+
+        let mixed = Instance::new(vec![Job::adp(0.0, 1.0, 1.0), Job::adp(0.0, 1.0, 2.0)]);
+        assert!(!mixed.is_uniform());
+        assert_eq!(mixed.uniform_length(), None);
+        assert_eq!(mixed.uniform_laxity_ratio(), None);
+        assert_eq!(mixed.max_laxity(), Some(dur(1.0)));
+
+        assert_eq!(Instance::empty().uniform_length(), None);
+        assert_eq!(Instance::empty().uniform_laxity_ratio(), None);
     }
 
     #[test]

@@ -25,7 +25,7 @@ pub mod cache;
 pub mod exact;
 pub mod improve;
 
-pub use bounds::{best_lower_bound, lb_chain, lb_mandatory, lb_max_length};
+pub use bounds::{best_lower_bound, lb_chain, lb_mandatory, lb_max_length, lb_uniform_windows};
 pub use cache::{cached_optimal_span_dp, CacheStats};
 pub use exact::{
     fits_dp, fits_exhaustive, is_integral, optimal_schedule_dp, optimal_span_dp,
@@ -89,6 +89,30 @@ mod proptests {
             let ub = upper_bound_span(&inst, 50);
             assert!(ub.span >= opt);
             assert!(ub.schedule.validate(&inst).is_ok());
+        });
+    }
+
+    #[test]
+    fn uniform_windows_matches_chain_and_respects_optimum() {
+        check::forall(64, |rng| {
+            // Uniform small instance: one common length, random windows.
+            let n = rng.usize_range(1, 6);
+            let p = 1.0 + rng.u64_below(3) as f64;
+            let inst = Instance::new(
+                (0..n)
+                    .map(|_| {
+                        let a = rng.u64_below(8) as f64;
+                        let lax = rng.u64_below(5) as f64;
+                        Job::adp(a, a + lax, p)
+                    })
+                    .collect(),
+            );
+            let win = lb_uniform_windows(&inst);
+            // The chain condition is expanded-window disjointness, so on
+            // equal lengths the two bounds coincide exactly.
+            assert_eq!(win, lb_chain(&inst), "on {inst:?}");
+            let opt = optimal_span_dp(&inst).unwrap();
+            assert!(win <= opt, "LB {win} > OPT {opt} on {inst:?}");
         });
     }
 

@@ -14,6 +14,18 @@
 //! | [`Profit`] | clairvoyant | `2k+2+1/(k−1)`, best `4+2√2` | Thm 4.11 |
 //! | [`Doubler`] | clairvoyant | baseline (Koehler–Khuller reconstruction) | §5 |
 //!
+//! The [`uniform`] module adds the **uniform-jobs family** from the
+//! successor paper (Liu, Khuller & Tang, *Online Span Minimization for
+//! Flexible Uniform Jobs*) — the `μ = 1` regime where every bound above
+//! degenerates. Its guarantees hold on equal-length instances only
+//! (`λ` is the normalized laxity `max laxity / p`):
+//!
+//! | Scheduler | Setting | Ratio on uniform instances |
+//! |-----------|---------|----------------------------|
+//! | [`UnitAligned`] | collapsed (length-blind) | `2` (tight) |
+//! | [`UnitGreedy`] | collapsed (length-blind) | `1+λ` (tight) |
+//! | [`UnitEndfit`] | collapsed (length-blind) | `1+λ` (lower side `λ`) |
+//!
 //! The [`flag_graph`] module implements the flag-job graph `G(F,E)` used by
 //! the Profit analysis (Lemmas 4.6–4.10), and [`registry`] exposes a uniform
 //! way to enumerate and run all schedulers.
@@ -33,6 +45,7 @@ pub mod flag_graph;
 pub mod profit;
 pub mod registry;
 pub mod semi_cdb;
+pub mod uniform;
 
 pub use audit::{audit_batch, audit_batch_plus, audit_profit, AuditError};
 pub use baseline::{Eager, Lazy};
@@ -45,3 +58,4 @@ pub use flag_graph::{flag_infos, FlagGraph, FlagInfo, FlagRecorder, TreeStats};
 pub use profit::{profit_bound, Profit, OPTIMAL_K};
 pub use registry::SchedulerKind;
 pub use semi_cdb::SemiCdb;
+pub use uniform::{UnitAligned, UnitEndfit, UnitGreedy};

@@ -13,6 +13,7 @@ use crate::doubler::Doubler;
 use crate::extensions::{RandomStart, Threshold};
 use crate::profit::{profit_bound, Profit, OPTIMAL_K};
 use crate::semi_cdb::SemiCdb;
+use crate::uniform::{UnitAligned, UnitEndfit, UnitGreedy};
 
 /// A buildable description of one scheduler configuration.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -54,6 +55,15 @@ pub enum SchedulerKind {
     },
     /// Semi-clairvoyant CDB: only length classes revealed (extension).
     SemiCdb,
+    /// Aligned batching for uniform jobs (Liu–Khuller–Tang family):
+    /// 2-competitive on uniform instances.
+    UnitAligned,
+    /// Start-at-arrival for uniform jobs: `(1+λ)`-competitive on uniform
+    /// instances (λ = normalized laxity).
+    UnitGreedy,
+    /// Start-at-window-end for uniform jobs: `(1+λ)`-competitive on
+    /// uniform instances.
+    UnitEndfit,
 }
 
 impl SchedulerKind {
@@ -83,6 +93,9 @@ impl SchedulerKind {
             SchedulerKind::RandomStart { seed } => Box::new(RandomStart::new(seed)),
             SchedulerKind::Threshold { m } => Box::new(Threshold::new(m)),
             SchedulerKind::SemiCdb => Box::new(SemiCdb::new()),
+            SchedulerKind::UnitAligned => Box::new(UnitAligned::new()),
+            SchedulerKind::UnitGreedy => Box::new(UnitGreedy),
+            SchedulerKind::UnitEndfit => Box::new(UnitEndfit),
         }
     }
 
@@ -125,6 +138,9 @@ impl SchedulerKind {
             SchedulerKind::RandomStart { .. } => "random",
             SchedulerKind::Threshold { .. } => "threshold",
             SchedulerKind::SemiCdb => "semicdb",
+            SchedulerKind::UnitAligned => "ualign",
+            SchedulerKind::UnitGreedy => "ugreedy",
+            SchedulerKind::UnitEndfit => "uendfit",
         }
     }
 
@@ -144,6 +160,9 @@ impl SchedulerKind {
             "random" => SchedulerKind::RandomStart { seed: 42 },
             "threshold" => SchedulerKind::Threshold { m: 4 },
             "semicdb" => SchedulerKind::SemiCdb,
+            "ualign" => SchedulerKind::UnitAligned,
+            "ugreedy" => SchedulerKind::UnitGreedy,
+            "uendfit" => SchedulerKind::UnitEndfit,
             _ => return None,
         })
     }
@@ -161,8 +180,66 @@ impl SchedulerKind {
             SchedulerKind::BatchPlus => Some(mu + 1.0),
             SchedulerKind::Cdb { alpha, .. } => Some(cdb_bound(alpha)),
             SchedulerKind::Profit { k } => Some(profit_bound(k)),
+            // UnitAligned's decision rule is Batch+ (both length-blind), so
+            // Theorem 3.5's tight μ+1 applies verbatim; at the uniform
+            // family's home regime μ = 1 this reads 2.
+            SchedulerKind::UnitAligned => Some(mu + 1.0),
             _ => None,
         }
+    }
+
+    /// The proven worst-case competitive ratio *for this concrete instance*,
+    /// or `None` when no guarantee applies to it. The default delegates to
+    /// [`SchedulerKind::ratio_bound`] at the instance's `μ`; the uniform
+    /// family's guarantees are instead parameterized by the instance's
+    /// normalized laxity `λ` and apply only when all lengths are equal:
+    ///
+    /// * [`SchedulerKind::UnitAligned`] — `2` on uniform instances (also
+    ///   reachable through the default path since uniform means `μ = 1`);
+    /// * [`SchedulerKind::UnitGreedy`] / [`SchedulerKind::UnitEndfit`] —
+    ///   `1 + λ` on uniform instances, no guarantee otherwise.
+    ///
+    /// This is the contract the conformance ratio oracle enforces against
+    /// the exact DP optimum.
+    pub fn ratio_bound_on(&self, inst: &Instance) -> Option<f64> {
+        match *self {
+            SchedulerKind::UnitGreedy | SchedulerKind::UnitEndfit => {
+                Some(1.0 + inst.uniform_laxity_ratio()?)
+            }
+            SchedulerKind::UnitAligned => {
+                // Only claim the bound in the family's own regime; mixed
+                // lengths fall outside the uniform paper's theorems even
+                // though the Batch+ coincidence would justify μ+1.
+                inst.uniform_length().map(|_| 2.0)
+            }
+            _ => self.ratio_bound(inst.mu()?),
+        }
+    }
+
+    /// Whether this kind carries *any* span guarantee checkable by the
+    /// conformance harness (i.e. [`SchedulerKind::ratio_bound_on`] can
+    /// return `Some` for suitable instances).
+    pub fn has_ratio_bound(&self) -> bool {
+        self.ratio_bound(1.0).is_some()
+            || matches!(self, SchedulerKind::UnitGreedy | SchedulerKind::UnitEndfit)
+    }
+
+    /// Whether this kind belongs to the uniform-jobs family (Liu–Khuller–
+    /// Tang): guarantees stated for equal-length instances only.
+    pub fn is_uniform_family(&self) -> bool {
+        matches!(
+            self,
+            SchedulerKind::UnitAligned | SchedulerKind::UnitGreedy | SchedulerKind::UnitEndfit
+        )
+    }
+
+    /// The registry invariant of the uniform family: the scheduler never
+    /// reads processing lengths, so clairvoyant and non-clairvoyant runs
+    /// are bit-identical — at unit length the two information models
+    /// collapse and the distinction is moot. Pinned by a cross-model
+    /// bit-identity test.
+    pub fn clairvoyance_collapses(&self) -> bool {
+        self.is_uniform_family()
     }
 
     /// Whether the scheduler's decisions are invariant under translating
@@ -218,10 +295,20 @@ impl SchedulerKind {
         all
     }
 
+    /// The uniform-jobs scheduler family (Liu–Khuller–Tang), in canonical
+    /// order: aligned batching, start-at-arrival, start-at-window-end.
+    pub fn uniform_set() -> Vec<SchedulerKind> {
+        vec![
+            SchedulerKind::UnitAligned,
+            SchedulerKind::UnitGreedy,
+            SchedulerKind::UnitEndfit,
+        ]
+    }
+
     /// Every registered scheduler configuration, including the extension
-    /// schedulers that head-to-head experiments omit. This is the population
-    /// the fault-injection harness exercises: anything buildable must
-    /// survive chaos.
+    /// schedulers that head-to-head experiments omit and the uniform-jobs
+    /// family. This is the population the fault-injection harness
+    /// exercises: anything buildable must survive chaos.
     pub fn registered_set() -> Vec<SchedulerKind> {
         let mut all = Self::full_set();
         all.extend([
@@ -229,6 +316,7 @@ impl SchedulerKind {
             SchedulerKind::Threshold { m: 4 },
             SchedulerKind::SemiCdb,
         ]);
+        all.extend(Self::uniform_set());
         all
     }
 }
@@ -297,6 +385,87 @@ mod tests {
         assert_eq!(SchedulerKind::Eager.ratio_bound(mu), None);
         assert_eq!(SchedulerKind::Lazy.ratio_bound(mu), None);
         assert_eq!(SchedulerKind::Doubler { c: 1.0 }.ratio_bound(mu), None);
+    }
+
+    #[test]
+    fn mu_one_degenerate_bounds_pin_the_shared_regime() {
+        // At uniform lengths the seed paper's bounds collapse to constants:
+        // Batch+ reads μ+1 = 2 (the same constant the uniform family's
+        // aligned batching claims), Batch reads 2μ+1 = 3. These are the
+        // values the `conform uniform` cross-check tables enforce.
+        assert_eq!(SchedulerKind::BatchPlus.ratio_bound(1.0), Some(2.0));
+        assert_eq!(SchedulerKind::Batch.ratio_bound(1.0), Some(3.0));
+        assert_eq!(SchedulerKind::UnitAligned.ratio_bound(1.0), Some(2.0));
+    }
+
+    fn uniform_instance() -> Instance {
+        Instance::new(vec![
+            Job::adp(0.0, 4.0, 2.0),
+            Job::adp(1.0, 1.0, 2.0),
+            Job::adp(3.0, 9.0, 2.0),
+        ])
+    }
+
+    #[test]
+    fn instance_ratio_bounds() {
+        let uni = uniform_instance(); // λ = max laxity 6 / p 2 = 3
+        assert_eq!(SchedulerKind::UnitAligned.ratio_bound_on(&uni), Some(2.0));
+        assert_eq!(SchedulerKind::UnitGreedy.ratio_bound_on(&uni), Some(4.0));
+        assert_eq!(SchedulerKind::UnitEndfit.ratio_bound_on(&uni), Some(4.0));
+        // Default path: μ of this instance is 1, so Batch+ reads 2.
+        assert_eq!(SchedulerKind::BatchPlus.ratio_bound_on(&uni), Some(2.0));
+
+        let mixed = small_instance();
+        assert_eq!(SchedulerKind::UnitAligned.ratio_bound_on(&mixed), None);
+        assert_eq!(SchedulerKind::UnitGreedy.ratio_bound_on(&mixed), None);
+        assert_eq!(SchedulerKind::UnitEndfit.ratio_bound_on(&mixed), None);
+        assert!(SchedulerKind::BatchPlus.ratio_bound_on(&mixed).is_some());
+
+        assert!(SchedulerKind::UnitGreedy.has_ratio_bound());
+        assert!(SchedulerKind::UnitEndfit.has_ratio_bound());
+        assert!(SchedulerKind::UnitAligned.has_ratio_bound());
+        assert!(!SchedulerKind::Eager.has_ratio_bound());
+        assert!(!SchedulerKind::Lazy.has_ratio_bound());
+    }
+
+    #[test]
+    fn short_names_never_collide() {
+        // Registry hygiene: `fjs conform all` resolves targets by short
+        // name, so a collision would silently shadow a family.
+        let kinds = SchedulerKind::registered_set();
+        for (i, a) in kinds.iter().enumerate() {
+            for b in &kinds[i + 1..] {
+                assert_ne!(
+                    a.short_name(),
+                    b.short_name(),
+                    "{} and {} share a short name",
+                    a.label(),
+                    b.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_family_clairvoyance_collapses_bit_identically() {
+        // The registry invariant: the uniform family never reads lengths,
+        // so both information models produce the same run. Verified by
+        // executing each member under both models.
+        let inst = uniform_instance();
+        for kind in SchedulerKind::uniform_set() {
+            assert!(kind.clairvoyance_collapses(), "{}", kind.label());
+            assert!(kind.is_uniform_family());
+            assert_eq!(kind.information_model(), Clairvoyance::NonClairvoyant);
+            assert!(kind.scale_invariant(), "{}", kind.label());
+            let nc = run_static(&inst, Clairvoyance::NonClairvoyant, kind.build());
+            let cv = run_static(&inst, Clairvoyance::Clairvoyant, kind.build());
+            assert_eq!(nc.schedule, cv.schedule, "{}", kind.label());
+            assert_eq!(nc.span, cv.span, "{}", kind.label());
+        }
+        for kind in SchedulerKind::full_set() {
+            assert!(!kind.clairvoyance_collapses(), "{}", kind.label());
+            assert!(!kind.is_uniform_family(), "{}", kind.label());
+        }
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The **uniform-jobs scheduler family** — the successor paper's regime
+//! ("Online Span Minimization for Flexible Uniform Jobs", Liu, Khuller &
+//! Tang): every job has the same processing length `p`, i.e. `μ = 1`,
+//! exactly where the seed paper's length-ratio bounds degenerate.
+//!
+//! At unit length the two information models **collapse**: a length-blind
+//! scheduler cannot distinguish clairvoyant from non-clairvoyant runs
+//! because there is nothing to learn — all three schedulers here never read
+//! `p(J)`, and the registry encodes the collapse as an invariant
+//! ([`crate::SchedulerKind::clairvoyance_collapses`], pinned by a
+//! bit-identity test across both models).
+//!
+//! The family and its guarantees (all on uniform instances; `λ` is the
+//! normalized laxity `max_J laxity(J) / p`,
+//! [`fjs_core::job::Instance::uniform_laxity_ratio`]):
+//!
+//! | Scheduler | Rule | Ratio on uniform instances |
+//! |---|---|---|
+//! | [`UnitAligned`] | aligned batching (flag at earliest pending deadline, open door while the flag runs) | `2` (tight) |
+//! | [`UnitGreedy`] | start at arrival | `1 + λ` (tight) |
+//! | [`UnitEndfit`] | start at the end of the window | `1 + λ` (lower side `λ`) |
+//!
+//! **Why `1 + λ` holds** (dilation argument): fix an optimal schedule and
+//! one of its maximal busy components `C = [l, r)`. Every job OPT starts
+//! inside `C` has `s_J ∈ [l, r − p]` with `s_J ∈ [a_J, a_J + λp]`, so its
+//! arrival lies in `[l − λp, r − p]` and its deadline in `[l, r − p + λp]`.
+//! Hence UnitGreedy's interval `[a_J, a_J + p)` lies in `[l − λp, r)` and
+//! UnitEndfit's `[d_J, d_J + p)` lies in `[l, r + λp)`: each component's
+//! cost inflates by at most `λp ≤ λ·|C|` (components have `|C| ≥ p`), and
+//! summing over components gives span ≤ `(1 + λ)·OPT`. The
+//! `uniform_greedy_tightness` / `uniform_endfit_tightness` constructions in
+//! `fjs-adversary` realize the bound exactly.
+//!
+//! **Why `2` holds for [`UnitAligned`]:** its decision rule is exactly
+//! Batch+ (which never reads lengths either), so Theorem 3.5's tight
+//! `μ + 1` bound applies with `μ = 1`. The equivalence is by construction —
+//! [`UnitAligned`] runs a [`BatchPlusState`] — and is additionally pinned
+//! decision-for-decision by a registry test. `uniform_aligned_tightness`
+//! drives the ratio arbitrarily close to `2`.
+
+use fjs_core::job::JobId;
+use fjs_core::sim::{Arrival, Ctx, OnlineScheduler};
+
+use crate::batch_plus::BatchPlusState;
+use crate::flag_graph::FlagRecorder;
+
+/// Aligned batching at unit length: flag the earliest pending deadline,
+/// start everything pending with it, keep the door open while the flag
+/// runs. Decision-identical to Batch+ (both are length-blind), hence
+/// `2`-competitive on uniform instances by Theorem 3.5 at `μ = 1` — and
+/// that bound is *tight* for this rule (the seed paper's Figure 3 family
+/// collapses to a unit-length staircase that still works, see
+/// `uniform_aligned_tightness`).
+///
+/// ```
+/// use fjs_core::prelude::*;
+/// use fjs_schedulers::UnitAligned;
+///
+/// let inst = Instance::new(vec![
+///     Job::adp(0.0, 4.0, 1.0),
+///     Job::adp(1.0, 9.0, 1.0),
+/// ]);
+/// let out = run_static(&inst, Clairvoyance::NonClairvoyant, UnitAligned::new());
+/// assert!(out.is_feasible());
+/// // Both stack on the earliest pending deadline (t = 4): span 1.
+/// assert_eq!(out.span, dur(1.0));
+/// ```
+#[derive(Clone, Default, Debug)]
+pub struct UnitAligned {
+    state: BatchPlusState,
+}
+
+impl UnitAligned {
+    /// Creates an aligned-batching scheduler.
+    pub fn new() -> Self {
+        UnitAligned::default()
+    }
+}
+
+impl FlagRecorder for UnitAligned {
+    fn flag_jobs(&self) -> Vec<JobId> {
+        self.state.flags().to_vec()
+    }
+}
+
+impl OnlineScheduler for UnitAligned {
+    fn name(&self) -> String {
+        "UnitAligned".into()
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        self.state.job_arrived(job.id, ctx);
+    }
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        self.state.job_deadline(id, ctx);
+    }
+
+    fn on_completion(&mut self, id: JobId, _length: fjs_core::time::Dur, _ctx: &mut Ctx<'_>) {
+        self.state.job_completed(id);
+    }
+}
+
+/// Start every job the moment it arrives. On uniform instances this is
+/// `(1 + λ)`-competitive (see the module docs for the dilation proof) —
+/// in stark contrast to the mixed-length regime, where the same rule
+/// (Eager) has unbounded ratio. The bound is *exactly* tight: grouped
+/// staggered arrivals sharing one feasible meeting point force ratio
+/// `1 + λ` at integer `λ` (`uniform_greedy_tightness`).
+///
+/// ```
+/// use fjs_core::prelude::*;
+/// use fjs_schedulers::UnitGreedy;
+///
+/// let inst = Instance::new(vec![Job::adp(0.0, 3.0, 1.0), Job::adp(0.5, 8.0, 1.0)]);
+/// let out = run_static(&inst, Clairvoyance::NonClairvoyant, UnitGreedy);
+/// assert!(out.is_feasible());
+/// assert_eq!(out.span, dur(1.5)); // [0, 1) ∪ [0.5, 1.5)
+/// ```
+#[derive(Clone, Copy, Default, Debug)]
+pub struct UnitGreedy;
+
+impl OnlineScheduler for UnitGreedy {
+    fn name(&self) -> String {
+        "UnitGreedy".into()
+    }
+
+    fn on_arrival(&mut self, job: Arrival, ctx: &mut Ctx<'_>) {
+        ctx.start(job.id);
+    }
+
+    fn on_deadline(&mut self, _id: JobId, _ctx: &mut Ctx<'_>) {
+        // Unreachable: nothing is ever pending at a deadline.
+    }
+}
+
+/// Start every job at the *end* of its window (its starting deadline). The
+/// mirror image of [`UnitGreedy`]: on uniform instances the same dilation
+/// argument gives `(1 + λ)`-competitiveness, and a common-arrival staircase
+/// of distinct deadlines realizes ratio `λ` (`uniform_endfit_tightness`),
+/// pinning the guarantee to within one unit of optimal play.
+///
+/// ```
+/// use fjs_core::prelude::*;
+/// use fjs_schedulers::UnitEndfit;
+///
+/// let inst = Instance::new(vec![Job::adp(0.0, 2.0, 1.0), Job::adp(0.0, 2.0, 1.0)]);
+/// let out = run_static(&inst, Clairvoyance::NonClairvoyant, UnitEndfit);
+/// assert!(out.is_feasible());
+/// assert_eq!(out.span, dur(1.0)); // both stack at their shared deadline
+/// ```
+#[derive(Clone, Copy, Default, Debug)]
+pub struct UnitEndfit;
+
+impl OnlineScheduler for UnitEndfit {
+    fn name(&self) -> String {
+        "UnitEndfit".into()
+    }
+
+    fn on_arrival(&mut self, _job: Arrival, _ctx: &mut Ctx<'_>) {}
+
+    fn on_deadline(&mut self, id: JobId, ctx: &mut Ctx<'_>) {
+        ctx.start(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch_plus::BatchPlus;
+    use fjs_core::prelude::*;
+
+    fn uniform_inst() -> Instance {
+        Instance::new(vec![
+            Job::adp(0.0, 0.0, 1.0), // rigid
+            Job::adp(0.5, 4.0, 1.0),
+            Job::adp(2.0, 2.5, 1.0),
+            Job::adp(2.0, 6.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn all_three_are_feasible_on_uniform_instances() {
+        for out in [
+            run_static(
+                &uniform_inst(),
+                Clairvoyance::NonClairvoyant,
+                UnitAligned::new(),
+            ),
+            run_static(&uniform_inst(), Clairvoyance::NonClairvoyant, UnitGreedy),
+            run_static(&uniform_inst(), Clairvoyance::NonClairvoyant, UnitEndfit),
+        ] {
+            assert!(out.is_feasible());
+            assert!(out.schedule.validate(&out.instance).is_ok());
+        }
+    }
+
+    #[test]
+    fn unit_aligned_matches_batch_plus_decisions() {
+        // The coincidence theorem, at the unit level: same starts, same
+        // flags, on a uniform instance.
+        let inst = uniform_inst();
+        let mut ua = UnitAligned::new();
+        let mut bp = BatchPlus::new();
+        let a = run_static(&inst, Clairvoyance::NonClairvoyant, &mut ua);
+        let b = run_static(&inst, Clairvoyance::NonClairvoyant, &mut bp);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(ua.flag_jobs(), bp.flag_jobs());
+    }
+
+    #[test]
+    fn collapse_clairvoyant_and_non_clairvoyant_runs_agree() {
+        // None of the three reads lengths, so revealing them changes nothing.
+        let inst = uniform_inst();
+        let a = run_static(&inst, Clairvoyance::NonClairvoyant, UnitAligned::new());
+        let b = run_static(&inst, Clairvoyance::Clairvoyant, UnitAligned::new());
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.span, b.span);
+    }
+
+    #[test]
+    fn unit_greedy_is_eagerness() {
+        let out = run_static(&uniform_inst(), Clairvoyance::NonClairvoyant, UnitGreedy);
+        for (id, job) in out.instance.iter() {
+            assert_eq!(out.schedule.start(id), Some(job.arrival()));
+        }
+    }
+
+    #[test]
+    fn unit_endfit_starts_at_deadlines() {
+        let out = run_static(&uniform_inst(), Clairvoyance::NonClairvoyant, UnitEndfit);
+        for (id, job) in out.instance.iter() {
+            assert_eq!(out.schedule.start(id), Some(job.deadline()));
+        }
+    }
+
+    #[test]
+    fn rigid_uniform_instance_ties_all_three() {
+        // λ = 0 → both 1+λ bounds read 1: every scheduler is optimal.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 0.0, 1.0),
+            Job::adp(0.5, 0.5, 1.0),
+            Job::adp(3.0, 3.0, 1.0),
+        ]);
+        let spans: Vec<Dur> = [
+            run_static(&inst, Clairvoyance::NonClairvoyant, UnitAligned::new()).span,
+            run_static(&inst, Clairvoyance::NonClairvoyant, UnitGreedy).span,
+            run_static(&inst, Clairvoyance::NonClairvoyant, UnitEndfit).span,
+        ]
+        .into();
+        assert!(spans.iter().all(|&s| s == spans[0]));
+        assert_eq!(spans[0], dur(2.5)); // [0, 1.5) ∪ [3, 4)
+    }
+}

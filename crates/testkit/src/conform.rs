@@ -10,8 +10,37 @@ use fjs_analysis::{sharded_map, ShardPlan};
 use fjs_core::job::Instance;
 use fjs_core::supervise::{Cell, CellResult, Journal};
 use fjs_prng::check::case_seed;
-use fjs_workloads::{conformance_deck, Family};
+use fjs_workloads::{conformance_deck, uniform_conformance_deck, Family};
 use std::sync::Mutex;
+
+/// Which case deck a conformance run draws from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DeckKind {
+    /// The canonical mixed-length deck ([`conformance_deck`]).
+    #[default]
+    Main,
+    /// The uniform-jobs deck ([`uniform_conformance_deck`]): lengths all
+    /// equal, arming the uniform family's `2` / `1 + λ` ratio bounds.
+    Uniform,
+}
+
+impl DeckKind {
+    /// Materializes the deck.
+    pub fn deck(&self) -> Vec<Family> {
+        match self {
+            DeckKind::Main => conformance_deck(),
+            DeckKind::Uniform => uniform_conformance_deck(),
+        }
+    }
+
+    /// Stable name (CLI `--deck`, corpus notes).
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeckKind::Main => "main",
+            DeckKind::Uniform => "uniform",
+        }
+    }
+}
 
 /// Configuration for one conformance run.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -19,6 +48,8 @@ pub struct ConformConfig {
     /// Number of cases; case `i` draws deck member `i % deck.len()` with
     /// seed `case_seed(base_seed, i)`.
     pub cases: usize,
+    /// The case deck.
+    pub deck: DeckKind,
     /// Base seed; the whole run is a pure function of `(targets, config)`.
     pub base_seed: u64,
     /// Quick mode (CI): only deck members with at most 8 jobs, so every
@@ -36,6 +67,7 @@ impl Default for ConformConfig {
     fn default() -> Self {
         ConformConfig {
             cases: 64,
+            deck: DeckKind::Main,
             base_seed: 1,
             quick: false,
             shrink_budget: DEFAULT_SHRINK_BUDGET,
@@ -130,7 +162,7 @@ pub fn run_conformance_with(
     config: &ConformConfig,
     mut hooks: ConformHooks<'_>,
 ) -> ConformReport {
-    let mut deck: Vec<Family> = conformance_deck();
+    let mut deck: Vec<Family> = config.deck.deck();
     if config.quick {
         deck.retain(|f| f.n() <= 8);
     }
@@ -275,6 +307,23 @@ pub fn all_targets() -> Vec<Target> {
         .collect()
 }
 
+/// The targets of a `fjs conform uniform` run: the uniform family itself
+/// plus the seed-paper schedulers that remain meaningful at `μ = 1` —
+/// cross-checking both theories on the shared regime (Batch+ reads
+/// `μ + 1 = 2` there, the same bound UnitAligned claims).
+pub fn uniform_targets() -> Vec<Target> {
+    use fjs_schedulers::SchedulerKind;
+    let mut kinds = SchedulerKind::uniform_set();
+    kinds.extend([
+        SchedulerKind::Eager,
+        SchedulerKind::Lazy,
+        SchedulerKind::Batch,
+        SchedulerKind::BatchPlus,
+        SchedulerKind::Doubler { c: 1.0 },
+    ]);
+    kinds.into_iter().map(Target::Kind).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -306,6 +355,48 @@ mod tests {
             report.checks > 24 * all_targets().len(),
             "several oracles per target-case"
         );
+    }
+
+    #[test]
+    fn uniform_deck_conformance_is_clean() {
+        let config = ConformConfig {
+            deck: DeckKind::Uniform,
+            ..quick_config(24)
+        };
+        let report = run_conformance(&uniform_targets(), &config);
+        let details: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| format!("{} / {}: {}", f.target.name(), f.oracle.id(), f.detail))
+            .collect();
+        assert!(
+            report.is_clean(),
+            "uniform conformance failures:\n{}",
+            details.join("\n")
+        );
+        assert!(report.checks > 24 * uniform_targets().len());
+    }
+
+    #[test]
+    fn uniform_chaos_is_caught_and_shrunk_uniform() {
+        // Self-test on the uniform deck: an injected bug in a uniform-family
+        // scheduler must be caught, and its minimized counterexample must
+        // still be a uniform-jobs instance.
+        let target = Target::from_name("chaos:drop-starts:ualign").expect("parseable");
+        let config = ConformConfig {
+            deck: DeckKind::Uniform,
+            ..quick_config(16)
+        };
+        let report = run_conformance(&[target], &config);
+        assert!(!report.is_clean(), "harness must catch chaos on ualign");
+        for f in &report.failures {
+            assert!(
+                f.shrunk.is_uniform(),
+                "shrunk counterexample went mixed: {:?}",
+                f.shrunk
+            );
+            assert!(oracles::still_fails(&f.target, f.oracle, &f.shrunk));
+        }
     }
 
     #[test]

@@ -33,8 +33,8 @@ pub mod shrink;
 pub mod target;
 
 pub use conform::{
-    all_targets, run_conformance, run_conformance_with, ConformConfig, ConformHooks, ConformReport,
-    Failure,
+    all_targets, run_conformance, run_conformance_with, uniform_targets, ConformConfig,
+    ConformHooks, ConformReport, DeckKind, Failure,
 };
 pub use corpus::{
     entry_filename, load_dir, parse_entry, render_entry, replay, save_entry, CorpusEntry,

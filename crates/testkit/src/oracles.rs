@@ -11,10 +11,12 @@
 //!
 //! Contract oracles (per the theorems, when an exact optimum is available):
 //!
-//! * [`OracleKind::RatioBound`] — `span ≤ bound(μ) · OPT` with `bound` from
-//!   [`fjs_schedulers::SchedulerKind::ratio_bound`] and `OPT` from the
-//!   memoized exact DP ([`fjs_opt::cache`]), so re-checks of the same (or a
-//!   translated/scaled/permuted) instance share one solve.
+//! * [`OracleKind::RatioBound`] — `span ≤ bound · OPT` with `bound` from
+//!   [`fjs_schedulers::SchedulerKind::ratio_bound_on`] (the seed paper's
+//!   `bound(μ)`, or the uniform family's `2` / `1 + λ` on equal-length
+//!   instances) and `OPT` from the memoized exact DP ([`fjs_opt::cache`]),
+//!   so re-checks of the same (or a translated/scaled/permuted) instance
+//!   share one solve.
 //!
 //! Metamorphic oracles (when the registry declares the invariance):
 //!
@@ -140,7 +142,7 @@ pub fn row(target: &Target) -> Vec<OracleKind> {
         return row;
     }
     let kind = target.kind();
-    if kind.ratio_bound(1.0).is_some() {
+    if kind.has_ratio_bound() {
         row.push(OracleKind::RatioBound);
     }
     if kind.translation_invariant() {
@@ -302,19 +304,22 @@ fn check_span_measure(out: &SimOutcome) -> Result<(), String> {
 }
 
 fn check_ratio(target: &Target, out: &SimOutcome, opt: Dur) -> Result<(), String> {
-    let mu = match out.instance.mu() {
-        Some(mu) => mu,
-        None => return Ok(()),
-    };
-    let bound = match target.kind().ratio_bound(mu) {
+    // Instance-sensitive bound: the uniform family's guarantees hold on
+    // equal-length instances only (and read `1 + λ` there), while the seed
+    // paper's schedulers fall through to their `bound(μ)`.
+    let bound = match target.kind().ratio_bound_on(&out.instance) {
         Some(b) => b,
         None => return Ok(()),
     };
     let limit = bound * opt.get();
     if out.span.get() > limit + span_tol(limit) {
         return Err(format!(
-            "span {} exceeds {:.4} * OPT = {:.4} (mu = {:.3}, OPT = {})",
-            out.span, bound, limit, mu, opt
+            "span {} exceeds {:.4} * OPT = {:.4} (mu = {:?}, OPT = {})",
+            out.span,
+            bound,
+            limit,
+            out.instance.mu(),
+            opt
         ));
     }
     Ok(())
@@ -389,6 +394,20 @@ fn check_masked_lengths(target: &Target, base: &SimOutcome, inst: &Instance) -> 
     // Until the first completion, a non-clairvoyant scheduler has received
     // no length information, so its decisions must be identical.
     let variant = target.run_on(&unit_lengths(inst), true);
+    if inst.uniform_length() == Some(Dur::new(1.0)) {
+        // On an already-unit-length instance the transform is the identity,
+        // so the oracle degenerates to a no-op — which is itself a contract:
+        // the whole run (not just the pre-completion prefix) must replay bit
+        // for bit, or the target is nondeterministic.
+        if variant.schedule != base.schedule || variant.span != base.span {
+            return Err(format!(
+                "unit-length instance: identity re-run diverged \
+                 (span {} vs {}) — target is nondeterministic",
+                base.span, variant.span
+            ));
+        }
+        return Ok(());
+    }
     let cutoff = first_completion(&base.trace).min(first_completion(&variant.trace));
     let a = decisions_before(&base.trace, cutoff);
     let b = decisions_before(&variant.trace, cutoff);
@@ -545,6 +564,71 @@ mod tests {
 
         let chaos = row(&Target::default_chaos());
         assert_eq!(chaos, vec![OracleKind::Window, OracleKind::SpanMeasure]);
+    }
+
+    #[test]
+    fn uniform_family_rows_gate_on_uniform_instances() {
+        // UnitGreedy has no μ-parameterized bound, but its row must still
+        // carry the ratio oracle (bound materializes per instance as 1+λ).
+        let row = row(&Target::Kind(SchedulerKind::UnitGreedy));
+        assert!(row.contains(&OracleKind::RatioBound));
+        assert!(row.contains(&OracleKind::Scaling));
+        assert!(row.contains(&OracleKind::MaskedLengths));
+
+        // On a mixed instance the bound is vacuous: the check passes
+        // whatever the span, because ratio_bound_on yields None.
+        let mixed = mixed_instance();
+        let opt = exact_opt(&mixed);
+        let (_, violations) = check_all(&Target::Kind(SchedulerKind::UnitGreedy), &mixed, opt);
+        assert!(
+            violations
+                .iter()
+                .all(|v| v.oracle != OracleKind::RatioBound),
+            "mixed instance must not arm the uniform bound: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn uniform_instances_pass_the_one_plus_lambda_bound() {
+        // λ = 2 at p = 1: UnitGreedy/UnitEndfit are bound by 3·OPT,
+        // UnitAligned by 2·OPT, and all of them meet it.
+        let inst = Instance::new(vec![
+            Job::adp(0.0, 2.0, 1.0),
+            Job::adp(1.0, 1.0, 1.0),
+            Job::adp(3.0, 5.0, 1.0),
+            Job::adp(4.0, 6.0, 1.0),
+        ]);
+        let opt = exact_opt(&inst);
+        assert!(opt.is_some());
+        for kind in SchedulerKind::uniform_set() {
+            let (checks, violations) = check_all(&Target::Kind(kind), &inst, opt);
+            assert!(checks >= 5, "{kind:?}: only {checks} checks ran");
+            assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+        }
+    }
+
+    #[test]
+    fn scaling_rescales_the_uniform_unit() {
+        // The scaling transform multiplies lengths too, so a uniform
+        // instance stays uniform with a rescaled unit and *unchanged*
+        // normalized laxity — which is why the uniform family's bounds are
+        // scale-invariant and the scaling oracle applies to them.
+        let inst = Instance::new(vec![Job::adp(0.0, 4.0, 2.0), Job::adp(1.0, 3.0, 2.0)]);
+        let s = scaled(&inst, SCALE_FACTOR);
+        assert_eq!(s.uniform_length(), Some(Dur::new(2.0 * SCALE_FACTOR)));
+        assert_eq!(s.uniform_laxity_ratio(), inst.uniform_laxity_ratio());
+    }
+
+    #[test]
+    fn unit_lengths_is_identity_on_unit_instances() {
+        // The masked-lengths transform is a no-op exactly on p = 1
+        // instances; the oracle then demands full-run equality.
+        let unit = Instance::new(vec![Job::adp(0.0, 2.0, 1.0), Job::adp(1.0, 4.0, 1.0)]);
+        assert_eq!(unit_lengths(&unit), unit);
+        for kind in SchedulerKind::uniform_set() {
+            let (_, violations) = check_all(&Target::Kind(kind), &unit, None);
+            assert!(violations.is_empty(), "{kind:?}: {violations:?}");
+        }
     }
 
     #[test]

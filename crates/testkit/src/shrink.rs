@@ -8,13 +8,22 @@
 //! 2. **field simplification** — per job: round times to integers, shorten
 //!    the length (halve, then to 1), tighten the deadline toward the
 //!    arrival (halve the slack, then rigid);
-//! 3. **global shift** — translate the whole instance so the first arrival
+//! 3. **global length unification** — on an equal-length instance with
+//!    `p > 1`, rescale the common length to 1 for *every* job at once;
+//! 4. **global shift** — translate the whole instance so the first arrival
 //!    is 0.
 //!
 //! Every candidate is validated by re-running the caller's failure
 //! predicate, so the minimized instance fails *the same oracle* as the
 //! original. The shrinker never invents values: candidates only remove
 //! jobs or move fields toward 0/1, so integral instances stay integral.
+//!
+//! **Uniformity invariant.** A counterexample from the uniform-jobs deck
+//! must minimize to a uniform-jobs counterexample: on an instance whose
+//! lengths are all equal, per-job length mutations are suppressed (lengths
+//! only change through the all-at-once unification pass), so *every*
+//! candidate the predicate ever sees keeps the lengths-all-equal invariant.
+//! Job removal, deadline tightening and time shifts preserve it trivially.
 
 use fjs_core::job::{Instance, Job};
 
@@ -103,8 +112,10 @@ fn ddmin_jobs(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
     progress
 }
 
-/// Simplification candidates for one job, most aggressive first.
-fn job_candidates(j: &Job) -> Vec<Job> {
+/// Simplification candidates for one job, most aggressive first. With
+/// `pin_length`, length-changing candidates are suppressed so a lengths-
+/// all-equal instance can never drift mixed through a per-job mutation.
+fn job_candidates(j: &Job, pin_length: bool) -> Vec<Job> {
     let (a, d, p) = (j.arrival().get(), j.deadline().get(), j.length().get());
     let mut out = Vec::new();
     let mut push = |a2: f64, d2: f64, p2: f64| {
@@ -116,22 +127,27 @@ fn job_candidates(j: &Job) -> Vec<Job> {
     };
     // Round times to integers (floor keeps d >= a; length rounds up so it
     // stays positive).
-    push(a.floor(), d.floor(), p.ceil());
-    // Shorten the length.
-    push(a, d, (p / 2.0).floor().max(1.0));
-    push(a, d, 1.0);
+    push(a.floor(), d.floor(), if pin_length { p } else { p.ceil() });
+    if !pin_length {
+        // Shorten the length.
+        push(a, d, (p / 2.0).floor().max(1.0));
+        push(a, d, 1.0);
+    }
     // Tighten the deadline toward the arrival.
     push(a, a + ((d - a) / 2.0).floor(), p);
     push(a, a, p);
     out
 }
 
-/// Field pass: simplify each job in place.
+/// Field pass: simplify each job in place. On a multi-job uniform instance
+/// lengths are pinned (see the module docs); a single job is trivially
+/// uniform whatever its length, so it keeps the full candidate set.
 fn simplify_fields(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
     let mut progress = false;
     let mut idx = 0;
     while idx < cur.len() && !sh.exhausted() {
-        let candidates = job_candidates(&cur.jobs()[idx]);
+        let pin_length = cur.len() > 1 && cur.is_uniform();
+        let candidates = job_candidates(&cur.jobs()[idx], pin_length);
         for job in candidates {
             let candidate = with_job(cur, idx, job);
             if sh.accept(&candidate) {
@@ -143,6 +159,28 @@ fn simplify_fields(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
         idx += 1;
     }
     progress
+}
+
+/// Unification pass: on an equal-length instance with `p > 1`, try
+/// rescaling the common length to 1 for every job at once — the only
+/// length mutation allowed to touch a uniform instance.
+fn unify_length_to_one(sh: &mut Shrinker<'_>, cur: &mut Instance) -> bool {
+    match cur.uniform_length() {
+        Some(p) if p.get() > 1.0 => {}
+        _ => return false,
+    }
+    let candidate = Instance::new(
+        cur.jobs()
+            .iter()
+            .map(|j| Job::adp(j.arrival().get(), j.deadline().get(), 1.0))
+            .collect(),
+    );
+    if sh.accept(&candidate) {
+        *cur = candidate;
+        true
+    } else {
+        false
+    }
 }
 
 /// Shift pass: move the first arrival to 0.
@@ -180,6 +218,7 @@ pub fn shrink(
         let mut progress = false;
         progress |= ddmin_jobs(&mut sh, &mut cur);
         progress |= simplify_fields(&mut sh, &mut cur);
+        progress |= unify_length_to_one(&mut sh, &mut cur);
         progress |= shift_to_zero(&mut sh, &mut cur);
         if !progress || sh.exhausted() {
             break;
@@ -250,6 +289,42 @@ mod tests {
         let (b, _) = shrink(&inst, DEFAULT_SHRINK_BUDGET, fails);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn uniform_instances_stay_uniform_through_every_candidate() {
+        use std::cell::RefCell;
+        // Every single candidate the predicate sees — accepted or not —
+        // must keep the lengths-all-equal invariant.
+        let inst = Instance::new(
+            (0..6)
+                .map(|i| job(2.0 * i as f64, 2.0 * i as f64 + 3.0, 3.0))
+                .collect(),
+        );
+        assert!(inst.is_uniform());
+        let seen: RefCell<Vec<Instance>> = RefCell::new(Vec::new());
+        let fails = |i: &Instance| {
+            seen.borrow_mut().push(i.clone());
+            i.len() >= 2
+        };
+        let (min, _) = shrink(&inst, DEFAULT_SHRINK_BUDGET, fails);
+        assert!(min.is_uniform(), "minimized instance went mixed: {min:?}");
+        assert_eq!(min.len(), 2);
+        let seen = seen.into_inner();
+        assert!(!seen.is_empty());
+        for cand in &seen {
+            assert!(cand.is_uniform(), "mixed-length candidate: {cand:?}");
+        }
+    }
+
+    #[test]
+    fn unification_rescales_the_common_length_to_one() {
+        // The failure doesn't care about lengths, so the all-at-once
+        // rescale is accepted and p = 5 collapses to 1 on both jobs.
+        let inst = Instance::new(vec![job(0.0, 2.0, 5.0), job(1.0, 4.0, 5.0)]);
+        let (min, _) = shrink(&inst, DEFAULT_SHRINK_BUDGET, |i| i.len() >= 2);
+        assert_eq!(min.uniform_length().map(|p| p.get()), Some(1.0));
+        assert_eq!(min.len(), 2);
     }
 
     #[test]

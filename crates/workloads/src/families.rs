@@ -251,6 +251,52 @@ pub fn conformance_deck() -> Vec<Family> {
     deck
 }
 
+/// The **uniform conformance deck**: a slack×load grid with every length
+/// pinned to 1 — the workload model of the uniform-jobs paper — plus a few
+/// members at larger common lengths (so the oracles verify that scaling
+/// rescales the unit rather than assuming `p = 1`) and two larger
+/// stress members past the quick-mode cutoff. Like [`conformance_deck`],
+/// the deck shape is part of the conformance contract: case `i` of a
+/// `fjs conform uniform` run always draws from member `i % deck.len()`.
+pub fn uniform_conformance_deck() -> Vec<Family> {
+    let mut deck = Vec::new();
+    // The slack×load grid at unit length. `max_slack` doubles as the
+    // normalized laxity λ ceiling, sweeping the `1 + λ` guarantees from
+    // the rigid tie (λ = 0) to ample stacking room.
+    for &max_slack in &[0, 1, 2, 4, 8] {
+        for &load in &[LoadRegime::Burst, LoadRegime::Moderate, LoadRegime::Sparse] {
+            deck.push(Family::Uniform(UniformFamily {
+                n: 6,
+                p: 1,
+                max_slack,
+                load,
+            }));
+        }
+    }
+    // Rescaled units: identical regime at p > 1, so `λ = slack / p` is
+    // fractional and the scale-invariance of the family's bounds is
+    // exercised for real.
+    for &p in &[2, 5] {
+        deck.push(Family::Uniform(UniformFamily {
+            n: 6,
+            p,
+            max_slack: 4,
+            load: LoadRegime::Moderate,
+        }));
+    }
+    // Larger members: past quick mode, exercising the structural and
+    // metamorphic oracles at scale.
+    for &n in &[40, 64] {
+        deck.push(Family::Uniform(UniformFamily {
+            n,
+            p: 1,
+            max_slack: 8,
+            load: LoadRegime::Burst,
+        }));
+    }
+    deck
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,5 +373,48 @@ mod tests {
         d.sort();
         d.dedup();
         assert_eq!(d.len(), labels.len(), "duplicate deck labels");
+    }
+
+    #[test]
+    fn uniform_deck_is_all_uniform_and_deterministic() {
+        let deck = uniform_conformance_deck();
+        assert!(deck.len() >= 15, "slack×load grid plus extras");
+        let mut labels: Vec<String> = deck.iter().map(Family::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), deck.len(), "duplicate uniform deck labels");
+        for (i, fam) in deck.iter().enumerate() {
+            assert!(matches!(fam, Family::Uniform(_)), "{}", fam.label());
+            let inst = fam.generate(i as u64);
+            assert_eq!(inst, fam.generate(i as u64));
+            assert_eq!(inst.mu(), Some(1.0), "{}", fam.label());
+            let p = inst.jobs()[0].length();
+            assert!(
+                inst.jobs().iter().all(|j| j.length() == p),
+                "{} is not uniform",
+                fam.label()
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_deck_has_quick_members_and_rescaled_units() {
+        let deck = uniform_conformance_deck();
+        assert!(
+            deck.iter().filter(|f| f.n() <= 8).count() >= 15,
+            "quick mode needs the full grid"
+        );
+        let lengths: Vec<u64> = deck
+            .iter()
+            .filter_map(|f| match f {
+                Family::Uniform(u) => Some(u.p),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            lengths.contains(&2) && lengths.contains(&5),
+            "p > 1 members"
+        );
+        assert!(deck.iter().any(|f| f.n() > 8), "stress members past quick");
     }
 }

@@ -18,7 +18,10 @@ pub mod io_faults;
 pub mod stats;
 
 pub use distributions::{ArrivalProcess, LaxityModel, LengthLaw};
-pub use families::{conformance_deck, Family, IntFamily, LoadRegime, SlackRegime, UniformFamily};
+pub use families::{
+    conformance_deck, uniform_conformance_deck, Family, IntFamily, LoadRegime, SlackRegime,
+    UniformFamily,
+};
 pub use generator::{Scenario, WorkloadSpec};
 pub use io::{
     parse_trace, write_trace, DeadLetter, IngestStats, Quarantine, Trace, TraceError, TraceReader,

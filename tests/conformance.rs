@@ -3,11 +3,18 @@
 //! 2/3 tightness families match their analytic optimal spans across a
 //! `μ × m` grid, and the parallel conformance pipeline is deterministic.
 
-use fjs::adversary::{fig2_batch_tightness, fig3_batch_plus_tightness};
+use fjs::adversary::{
+    fig2_batch_tightness, fig3_batch_plus_tightness, uniform_aligned_tightness,
+    uniform_endfit_tightness, uniform_greedy_tightness, UnitTrapAdversary,
+};
+use fjs::core::sim::run;
 use fjs::prelude::*;
 use fjs::workloads::{IntFamily, LoadRegime, SlackRegime};
 use fjs_prng::check::case_seed;
-use fjs_testkit::{all_targets, load_dir, replay, run_conformance, ConformConfig, Expectation};
+use fjs_testkit::{
+    all_targets, load_dir, replay, run_conformance, still_fails, uniform_targets, ConformConfig,
+    DeckKind, Expectation, Target,
+};
 use std::path::Path;
 
 /// Every committed corpus entry must still replay with its recorded
@@ -162,6 +169,165 @@ fn parallel_map_matches_serial_evaluation() {
         par, ser,
         "parallel_map must equal the serial map bit-for-bit"
     );
+}
+
+/// Adversary transfer matrix (uniform lower bounds vs the baselines):
+/// the adaptive unit trap is played against every non-clairvoyant
+/// baseline and its certificate must be *exact* — realized ratio equals
+/// the outcome-dependent claim `(2t+e)/(t+e)`, bit for bit — with the
+/// arrival-greedy schedulers pinned at the full forced ratio 2 and the
+/// deadline players pinned at the honest 1.
+#[test]
+fn unit_trap_transfer_matrix_is_bit_stable() {
+    let pinned: &[(SchedulerKind, f64)] = &[
+        (SchedulerKind::Eager, 2.0),
+        (SchedulerKind::UnitGreedy, 2.0),
+        (SchedulerKind::Lazy, 1.0),
+        (SchedulerKind::UnitEndfit, 1.0),
+        (SchedulerKind::BatchPlus, 1.0),
+        (SchedulerKind::UnitAligned, 1.0),
+        (SchedulerKind::Doubler { c: 1.0 }, 1.0),
+    ];
+    for &(kind, expect) in pinned {
+        let mut adv = UnitTrapAdversary::new(8, 1.0);
+        let out = run(&mut adv, kind.build());
+        assert!(out.is_feasible(), "{}", kind.label());
+        assert_eq!(adv.rounds_played(), 8, "{}", kind.label());
+        let prescribed = adv.prescribed_schedule(&out.instance);
+        prescribed
+            .validate(&out.instance)
+            .expect("prescribed feasible");
+        let ratio = out.span.ratio(prescribed.span(&out.instance));
+        assert_eq!(ratio, expect, "{} realized ratio drifted", kind.label());
+        assert_eq!(
+            ratio,
+            adv.claimed_forced_ratio(),
+            "{}: certificate must equal the realized ratio exactly",
+            kind.label()
+        );
+    }
+}
+
+/// The static uniform tightness constructions force their claimed lower
+/// bounds against at least one mixed-length baseline each: the greedy
+/// family realizes exactly `g` on Eager, the endfit family exactly `n`
+/// on Lazy, and the aligned family drives Batch+ beyond `2 − ε·2`.
+#[test]
+fn uniform_tightness_transfers_to_baselines() {
+    let g = 6usize;
+    let t = uniform_greedy_tightness(5, g);
+    let out = run_static(
+        &t.instance,
+        Clairvoyance::NonClairvoyant,
+        SchedulerKind::Eager.build(),
+    );
+    assert_eq!(out.span.ratio(t.prescribed_span), g as f64);
+
+    let n = 8usize;
+    let t = uniform_endfit_tightness(n);
+    let out = run_static(
+        &t.instance,
+        Clairvoyance::NonClairvoyant,
+        SchedulerKind::Lazy.build(),
+    );
+    assert_eq!(out.span.ratio(t.prescribed_span), n as f64);
+
+    let (m, eps) = (64usize, 1e-3);
+    let t = uniform_aligned_tightness(m, eps);
+    let out = run_static(
+        &t.instance,
+        Clairvoyance::NonClairvoyant,
+        fjs::schedulers::BatchPlus::new(),
+    );
+    let ratio = out.span.ratio(t.prescribed_span);
+    assert!(
+        ratio > 2.0 - 2.0 * eps - 2.0 / m as f64,
+        "Batch+ ratio {ratio} on aligned(m={m})"
+    );
+    assert!(ratio <= 2.0 + 1e-9, "μ=1 keeps Batch+ under 2");
+}
+
+/// `fjs conform uniform` is shard-invariant: the uniform deck over the
+/// full uniform target set produces a bit-identical clean report at 1, 2
+/// and 8 worker shards.
+#[test]
+fn uniform_conformance_is_clean_and_shard_invariant() {
+    let targets = uniform_targets();
+    let render = |shards: usize| {
+        let config = ConformConfig {
+            cases: 24,
+            deck: DeckKind::Uniform,
+            base_seed: 1,
+            quick: true,
+            shards,
+            ..ConformConfig::default()
+        };
+        let r = run_conformance(&targets, &config);
+        let details: Vec<String> = r
+            .failures
+            .iter()
+            .map(|f| format!("{} / {}: {}", f.target.name(), f.oracle.id(), f.detail))
+            .collect();
+        assert!(r.is_clean(), "shards={shards}:\n{}", details.join("\n"));
+        format!("{} {} {:?}", r.cases, r.checks, details)
+    };
+    let one = render(1);
+    assert_eq!(one, render(2));
+    assert_eq!(one, render(8));
+}
+
+/// Injected chaos on the uniform deck is caught, and delta-debugging the
+/// counterexample never leaves the uniform family: every minimized
+/// failure is still unit-length and still fails its oracle.
+#[test]
+fn uniform_chaos_shrinks_stay_uniform() {
+    let target = Target::from_name("chaos:drop-starts:ualign").expect("parseable");
+    let config = ConformConfig {
+        cases: 16,
+        deck: DeckKind::Uniform,
+        base_seed: 1,
+        quick: true,
+        ..ConformConfig::default()
+    };
+    let report = run_conformance(&[target], &config);
+    assert!(!report.is_clean(), "harness must catch chaos on ualign");
+    for f in &report.failures {
+        assert!(
+            f.shrunk.is_uniform(),
+            "shrunk counterexample went mixed: {:?}",
+            f.shrunk
+        );
+        assert!(still_fails(&f.target, f.oracle, &f.shrunk));
+    }
+}
+
+/// The uniform corpus directory replays clean, exactly like the main one:
+/// its `violate` entries prove the harness still catches the injected
+/// uniform-scheduler bug on minimized unit-length instances.
+#[test]
+fn uniform_corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/uniform");
+    let entries = load_dir(&dir).expect("uniform corpus must load");
+    assert!(
+        !entries.is_empty(),
+        "the uniform corpus ships at least the chaos self-test entry"
+    );
+    for (path, entry) in &entries {
+        replay(entry).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            entry.instance.is_uniform(),
+            "{}: uniform corpus entries must be unit-length",
+            path.display()
+        );
+        if entry.expect == Expectation::Violate {
+            assert!(
+                entry.instance.len() <= 6,
+                "{}: violate entries are committed minimized (got {} jobs)",
+                path.display(),
+                entry.instance.len()
+            );
+        }
+    }
 }
 
 /// `fjs conform` with a fixed seed is a pure function: two runs over every
